@@ -1,0 +1,42 @@
+// Figure 5.1 — bandwidth of the index-based solution relative to PPS, as
+// update and query frequencies vary, for three update-locality levels.
+#include "bench/bench_util.h"
+#include "pps/bandwidth_model.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Figure 5.1", "index-based vs PPS bandwidth ratio");
+  note("ratio > 1: the index-based solution uses more bandwidth than PPS");
+
+  double corner_ratio = 0.0;
+  double local_ratio = 0.0;
+  for (double local : {0.0, 0.5, 0.9}) {
+    note("local update fraction = " + std::to_string(local));
+    columns({"update_freq", "query_freq", "ratio_index_over_pps"});
+    for (double fu : {1.0, 10.0, 100.0, 500.0, 1000.0}) {
+      for (double fq : {1.0, 10.0, 100.0, 500.0, 1000.0}) {
+        double ratio = pps::bandwidth_ratio(fu, fq, local);
+        row({fu, fq, ratio});
+        if (local == 0.0 && fu == 1000.0 && fq == 1000.0) {
+          corner_ratio = ratio;
+        }
+        if (local == 0.9 && fu == 1000.0 && fq == 1000.0) {
+          local_ratio = ratio;
+        }
+      }
+    }
+    blank();
+  }
+
+  // Paper: "eight times more bandwidth when updates are non-local, and
+  // nearly twice more traffic when most updates are local".
+  shape("index-based ~8x PPS with remote updates (measured " +
+            std::to_string(corner_ratio) + "x)",
+        corner_ratio > 4.0 && corner_ratio < 16.0);
+  shape("still >1x with 90% local updates (measured " +
+            std::to_string(local_ratio) + "x)",
+        local_ratio > 1.0 && local_ratio < corner_ratio);
+  return 0;
+}

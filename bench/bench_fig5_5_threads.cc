@@ -1,0 +1,49 @@
+// Figure 5.5 — query delay with in-memory metadata as the number of
+// matching threads grows: near-linear speedup up to the core count, then a
+// plateau where the single I/O (feeder) thread becomes the bottleneck.
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "bench/pps_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  constexpr size_t kItems = 200'000;
+  PpsFixture fx;
+  fx.build(kItems);
+  header("Figure 5.5",
+         "in-memory query delay vs matching threads, " +
+             std::to_string(kItems) + " metadata");
+  note("host cores: " + std::to_string(std::thread::hardware_concurrency()));
+  columns({"threads", "delay_s", "speedup"});
+
+  auto q = fx.zero_match_query();
+  std::vector<double> delays;
+  for (size_t threads : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    pps::PipelineConfig cfg;
+    cfg.source = pps::SourceMode::kMemory;
+    cfg.matcher_threads = threads;
+    cfg.batch_entries = 2'000;
+    // Repeat and take the median to de-noise scheduling jitter.
+    SampleSet samples;
+    for (int rep = 0; rep < 5; ++rep) {
+      samples.add(pps::MatchPipeline(fx.store, cfg).run_all(q).duration_s);
+    }
+    delays.push_back(samples.median());
+    row({static_cast<double>(threads), delays.back(),
+         delays.front() / delays.back()});
+  }
+
+  double speedup2 = delays[0] / delays[1];
+  double best = delays[0] / *std::min_element(delays.begin(), delays.end());
+  double tail = delays[0] / delays.back();
+  shape("2 threads speed up matching substantially (x" +
+            std::to_string(speedup2) + ")",
+        speedup2 > 1.4);
+  shape("speedup plateaus (best x" + std::to_string(best) +
+            ", 8-thread x" + std::to_string(tail) + ")",
+        tail < best * 1.3);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6.1 — basic query-delay comparison: SW vs ROAR vs PTN vs the
+// optimal envelope, on the Table 6.1 heterogeneous farm across loads.
+// Expected ordering (the paper's combination-count argument):
+// OPT <= PTN <= ROAR <= SW, with ROAR close to PTN.
+#include "bench/sim_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  Table61 t;
+  header("Figure 6.1", "basic delay comparison: SW / ROAR / PTN / OPT");
+  print_table61(t);
+  columns({"load", "OPT", "PTN", "ROAR", "SW"});
+
+  auto farm = farm_from(t);
+  bool ordering_holds = true;
+  double roar_over_ptn_mid = 0.0;
+  for (double load : {0.2, 0.4, 0.6, 0.8}) {
+    auto params = params_from(t);
+    params.load = load;
+
+    sim::OptStrategy opt;
+    sim::PtnStrategy ptn(t.p);
+    sim::RoarStrategy roar(t.p);
+    sim::SwStrategy sw(t.n / t.p);
+
+    double d_opt = run_sim(farm, opt, params).mean_delay;
+    double d_ptn = run_sim(farm, ptn, params).mean_delay;
+    double d_roar = run_sim(farm, roar, params).mean_delay;
+    double d_sw = run_sim(farm, sw, params).mean_delay;
+    row({load, d_opt, d_ptn, d_roar, d_sw});
+
+    if (!(d_opt <= d_ptn * 1.05 && d_ptn <= d_roar * 1.10 &&
+          d_roar <= d_sw * 1.05)) {
+      ordering_holds = false;
+    }
+    if (load == 0.6) roar_over_ptn_mid = d_roar / d_ptn;
+  }
+
+  shape("delay ordering OPT <= PTN <= ROAR <= SW", ordering_holds);
+  shape("ROAR within a small factor of PTN (x" +
+            std::to_string(roar_over_ptn_mid) + " at load 0.6)",
+        roar_over_ptn_mid < 2.0);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 6.2 — query delay as the system grows (N sweep at fixed r = 6):
+// with p = N/r growing, per-sub-query work shrinks and all algorithms get
+// faster; the relative ordering is stable across scales.
+#include "bench/sim_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  Table61 t;
+  header("Figure 6.2", "delay vs N (r = 6 fixed, p = N/6)");
+  print_table61(t);
+  columns({"N", "OPT", "PTN", "ROAR", "SW"});
+
+  std::vector<double> roar_delays;
+  bool ordering_holds = true;
+  for (uint32_t n : {24u, 48u, 96u, 192u, 384u}) {
+    Table61 tt = t;
+    tt.n = n;
+    tt.p = n / 6;
+    auto farm = farm_from(tt);
+    auto params = params_from(tt);
+
+    sim::OptStrategy opt;
+    sim::PtnStrategy ptn(tt.p);
+    sim::RoarStrategy roar(tt.p);
+    sim::SwStrategy sw(6);
+
+    double d_opt = run_sim(farm, opt, params).mean_delay;
+    double d_ptn = run_sim(farm, ptn, params).mean_delay;
+    double d_roar = run_sim(farm, roar, params).mean_delay;
+    double d_sw = run_sim(farm, sw, params).mean_delay;
+    row({static_cast<double>(n), d_opt, d_ptn, d_roar, d_sw});
+    roar_delays.push_back(d_roar);
+    if (!(d_ptn <= d_roar * 1.15 && d_roar <= d_sw * 1.1)) {
+      ordering_holds = false;
+    }
+  }
+
+  shape("delay decreases with N at fixed r (384 vs 24: x" +
+            std::to_string(roar_delays.front() / roar_delays.back()) + ")",
+        roar_delays.back() < roar_delays.front() / 4);
+  shape("ordering PTN <= ROAR <= SW stable across N", ordering_holds);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6.6 — increasing pQ beyond the minimum p (§4.2): smaller
+// sub-queries cut delay when the system is lightly loaded, but the fixed
+// per-sub-query overheads mean over-partitioning wastes capacity — at high
+// load large pQ backfires.
+#include <cmath>
+
+#include "bench/sim_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  Table61 t;
+  header("Figure 6.6", "effect of pq/p on ROAR delay (overhead 5 ms/part)");
+  print_table61(t);
+  columns({"pq_over_p", "low_load_0.3", "high_load_0.85"});
+
+  auto farm = farm_from(t);
+  std::vector<double> low, high;
+  for (double f : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    sim::RoarOptions opts;
+    opts.pq_factor = f;
+    sim::RoarStrategy roar(t.p, opts);
+    auto p_low = params_from(t);
+    p_low.load = 0.3;
+    p_low.overhead = 0.005;
+    auto p_high = params_from(t);
+    p_high.load = 0.85;
+    p_high.overhead = 0.005;
+    double d_low = run_sim(farm, roar, p_low).mean_delay;
+    double d_high = run_sim(farm, roar, p_high).mean_delay;
+    row({f, d_low, d_high});
+    low.push_back(d_low);
+    high.push_back(d_high);
+  }
+
+  shape("at low load, pq = 2p reduces delay (x" +
+            std::to_string(low[0] / low[2]) + ")",
+        low[2] < low[0]);
+  bool high_worse = std::isinf(high.back()) || high.back() > high.front();
+  shape("at high load, large pq wastes capacity (overheads dominate)",
+        high_worse);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 7.11 — delay breakdown as seen at the front-end: scheduling
+// (real CPU time of Algorithm 1), network, node service and queueing, for
+// small and large p. Node processing dominates; scheduling is sub-ms.
+#include "bench/cluster_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Figure 7.11", "delay breakdown at the front-end");
+  columns({"p", "schedule_ms", "network_ms", "service_s", "queue_s",
+           "total_s"});
+
+  double sched_ms_43 = 0, service_frac = 0;
+  for (uint32_t p : {5u, 15u, 43u}) {
+    cluster::EmulatedCluster c(hen_config(p));
+    RunningStat sched, net, service, queue, total;
+    for (int q = 0; q < 30; ++q) {
+      c.frontend().submit([&](const cluster::QueryOutcome& out) {
+        sched.add(out.breakdown.schedule_s);
+        net.add(out.breakdown.network_s);
+        service.add(out.breakdown.service_s);
+        queue.add(out.breakdown.queue_s);
+        total.add(out.breakdown.total_s);
+      });
+      c.loop().run_until(c.now() + 0.8);
+    }
+    c.loop().run_until(c.now() + 30.0);
+    row({static_cast<double>(p), sched.mean() * 1000, net.mean() * 1000,
+         service.mean(), queue.mean(), total.mean()});
+    if (p == 43) {
+      sched_ms_43 = sched.mean() * 1000;
+      service_frac = service.mean() / total.mean();
+    }
+  }
+
+  shape("node service dominates the breakdown (" +
+            std::to_string(service_frac * 100) + "% at p=43)",
+        service_frac > 0.5);
+  shape("scheduling cost is milliseconds even at p=43 (" +
+            std::to_string(sched_ms_43) + " ms)",
+        sched_ms_43 < 50.0);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 7.12 — front-end scheduling cost: ROAR's O(n log p) sweep
+// (Algorithm 1) vs the O(n·p) straw-man vs PTN's O(n) greedy, measured
+// with google-benchmark across system sizes. The thesis reports ROAR ~3x
+// slower than PTN (20 ms vs 8.5 ms at n≈p≈1000) and ~100x faster than the
+// straw-man.
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.h"
+#include "rendezvous/ptn.h"
+
+namespace {
+
+using namespace roar;
+using namespace roar::core;
+
+class BusyEstimator : public FinishEstimator {
+ public:
+  explicit BusyEstimator(uint32_t n, uint64_t seed) : busy_(n) {
+    Rng rng(seed);
+    for (auto& b : busy_) b = rng.next_double();
+  }
+  double estimate_finish(NodeId node, double share) const override {
+    return busy_[node % busy_.size()] + share;
+  }
+
+ private:
+  std::vector<double> busy_;
+};
+
+Ring make_ring(uint32_t n, uint64_t seed) {
+  Ring ring;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < n; ++i) ring.add_node(i, rng.next_ring_id());
+  return ring;
+}
+
+void BM_RoarSweep(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  uint32_t p = n / 10;
+  Ring ring = make_ring(n, 42);
+  BusyEstimator est(n, 7);
+  for (auto _ : state) {
+    auto r = SweepScheduler::schedule(ring, p, est);
+    benchmark::DoNotOptimize(r.best_delay);
+  }
+  state.SetLabel("O(n log p)");
+}
+BENCHMARK(BM_RoarSweep)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_RoarStrawman(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  uint32_t p = n / 10;
+  Ring ring = make_ring(n, 42);
+  BusyEstimator est(n, 7);
+  for (auto _ : state) {
+    auto r = SweepScheduler::schedule_exhaustive(ring, p, est);
+    benchmark::DoNotOptimize(r.best_delay);
+  }
+  state.SetLabel("O(n p)");
+}
+BENCHMARK(BM_RoarStrawman)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_PtnGreedy(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  uint32_t p = n / 10;
+  rendezvous::Ptn ptn(n, p, 3);
+  std::vector<std::vector<NodeId>> clusters;
+  for (const auto& c : ptn.clusters()) {
+    clusters.emplace_back(c.begin(), c.end());
+  }
+  BusyEstimator est(n, 7);
+  std::vector<bool> alive(n, true);
+  for (auto _ : state) {
+    auto r = ptn_schedule(clusters, alive, est);
+    benchmark::DoNotOptimize(r.delay);
+  }
+  state.SetLabel("O(n)");
+}
+BENCHMARK(BM_PtnGreedy)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_RoarSweepLargeP(benchmark::State& state) {
+  // The thesis' extreme point: p ~ n ~ 1000.
+  uint32_t n = 1000, p = 1000;
+  Ring ring = make_ring(n, 42);
+  BusyEstimator est(n, 7);
+  for (auto _ : state) {
+    auto r = SweepScheduler::schedule(ring, p, est);
+    benchmark::DoNotOptimize(r.best_delay);
+  }
+}
+BENCHMARK(BM_RoarSweepLargeP);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Figure 7.13 — observed server processing speeds: the front-end's EWMA
+// estimates, learned purely from sub-query replies, recover the true
+// hardware classes of Table 7.1.
+#include "bench/cluster_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Figure 7.13", "front-end speed estimates vs true rates");
+  print_table71();
+  columns({"node", "true_rate_mps", "estimated_mps", "error_pct"});
+
+  auto cfg = hen_config(12);
+  cluster::EmulatedCluster c(cfg);
+  c.run_queries(1.0, 250);
+
+  double worst_err = 0.0;
+  std::vector<double> est_by_class;
+  for (cluster::NodeId id : c.node_ids()) {
+    double true_rate = c.node(id).rate();
+    double est = c.frontend().estimated_rate(id);
+    double err = std::abs(est - true_rate) / true_rate * 100;
+    worst_err = std::max(worst_err, err);
+    row({static_cast<double>(id), true_rate, est, err});
+  }
+
+  // Class ordering: a Dell 2950 (nodes 18..27) must be estimated faster
+  // than a Sun X4100 (nodes 38..42).
+  double fast = c.frontend().estimated_rate(20);
+  double slow = c.frontend().estimated_rate(40);
+  shape("estimates recover the class ordering (2950 " + std::to_string(fast) +
+            " > X4100 " + std::to_string(slow) + ")",
+        fast > 1.5 * slow);
+  shape("worst estimation error modest (" + std::to_string(worst_err) + "%)",
+        worst_err < 30.0);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7.14 — query delay, ROAR vs PTN, on the heterogeneous 43-node
+// farm across loads: PTN's r^p combinations give it the edge, ROAR stays
+// within a small factor everywhere (the thesis' headline comparison).
+#include "bench/bench_util.h"
+#include "sim/cluster_sim.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Figure 7.14",
+         "ROAR vs PTN delay quantiles, Table 7.1 farm, p=8");
+  columns({"load", "ptn_mean", "roar_mean", "ptn_p95", "roar_p95"});
+
+  auto farm = sim::ServerFarm::from_classes(sim::hen_testbed());
+  bool within_factor = true;
+  double worst_ratio = 0.0;
+  for (double load : {0.3, 0.5, 0.7, 0.85}) {
+    sim::SimParams params;
+    params.load = load;
+    params.queries = 4000;
+    params.seed = 8;
+    sim::PtnStrategy ptn(8);
+    sim::RoarStrategy roar(8);
+    auto r_ptn = run_sim(farm, ptn, params);
+    auto r_roar = run_sim(farm, roar, params);
+    row({load, r_ptn.mean_delay, r_roar.mean_delay, r_ptn.p95_delay,
+         r_roar.p95_delay});
+    double ratio = r_roar.mean_delay / r_ptn.mean_delay;
+    worst_ratio = std::max(worst_ratio, ratio);
+    if (r_roar.mean_delay < r_ptn.mean_delay * 0.9) within_factor = false;
+  }
+
+  shape("PTN never loses (its r^p choices dominate ROAR's r)",
+        within_factor);
+  shape("ROAR stays within a small factor of PTN (worst x" +
+            std::to_string(worst_ratio) + ", thesis: comparable delays)",
+        worst_ratio < 2.0);
+  return 0;
+}

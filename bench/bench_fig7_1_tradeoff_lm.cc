@@ -1,0 +1,39 @@
+// Figure 7.1 — the basic trade-off with PPS_LM on the 43-node testbed:
+// low-load query delay falls as p grows (more parallelism), while peak
+// throughput falls (fixed per-sub-query overheads are paid p times).
+#include "bench/cluster_bench_common.h"
+#include "pps/pipeline.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Figure 7.1", "effect of p: delay and throughput, PPS_LM, 43 nodes");
+  print_table71();
+  columns({"p", "mean_delay_s", "p95_delay_s", "throughput_qps"});
+
+  std::vector<double> delays, throughputs;
+  for (uint32_t p : {5u, 9u, 15u, 22u, 30u, 43u}) {
+    auto cfg = hen_config(p);
+    cfg.frontend.fixed_cost_s = pps::pps_lm_config().fixed_cost_s;
+    // Low-load delay.
+    cluster::EmulatedCluster quiet(cfg);
+    quiet.run_queries(0.15, 40);
+    double mean_d = quiet.delays().mean();
+    double p95 = quiet.delays().percentile(0.95);
+    // Peak throughput.
+    cluster::EmulatedCluster busy(cfg);
+    double thr = measure_throughput(busy, 150);
+    row({static_cast<double>(p), mean_d, p95, thr});
+    delays.push_back(mean_d);
+    throughputs.push_back(thr);
+  }
+
+  shape("delay decreases with p (p=5 vs p=43: x" +
+            std::to_string(delays.front() / delays.back()) + ")",
+        delays.back() < delays.front() / 3);
+  shape("peak throughput decreases with p (p=5 vs p=43: x" +
+            std::to_string(throughputs.front() / throughputs.back()) + ")",
+        throughputs.back() < throughputs.front());
+  return 0;
+}

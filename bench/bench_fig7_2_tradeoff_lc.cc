@@ -1,0 +1,46 @@
+// Figure 7.2 — the same p trade-off with PPS_LC (lower per-query fixed
+// cost): the delay curve shifts down and peak throughput rises relative to
+// LM, but the delay/throughput trade-off shape is identical.
+#include "bench/cluster_bench_common.h"
+#include "pps/pipeline.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Figure 7.2", "effect of p: delay and throughput, PPS_LC, 43 nodes");
+  columns({"p", "mean_delay_s", "p95_delay_s", "throughput_qps"});
+
+  std::vector<double> delays, throughputs;
+  double lm_delay_p43 = 0;
+  for (uint32_t p : {5u, 9u, 15u, 22u, 30u, 43u}) {
+    auto cfg = hen_config(p);
+    cfg.frontend.fixed_cost_s = pps::pps_lc_config().fixed_cost_s;
+    cluster::EmulatedCluster quiet(cfg);
+    quiet.run_queries(0.15, 40);
+    cluster::EmulatedCluster busy(cfg);
+    double thr = measure_throughput(busy, 150);
+    row({static_cast<double>(p), quiet.delays().mean(),
+         quiet.delays().percentile(0.95), thr});
+    delays.push_back(quiet.delays().mean());
+    throughputs.push_back(thr);
+    if (p == 43) {
+      // LM reference at the same p, for the LC-vs-LM fixed-cost claim.
+      auto lm_cfg = hen_config(p);
+      lm_cfg.frontend.fixed_cost_s = pps::pps_lm_config().fixed_cost_s;
+      cluster::EmulatedCluster lm_quiet(lm_cfg);
+      lm_quiet.run_queries(0.15, 40);
+      lm_delay_p43 = lm_quiet.delays().mean();
+    }
+  }
+
+  shape("same trade-off shape as LM: delay falls with p",
+        delays.back() < delays.front() / 3);
+  shape("throughput falls with p",
+        throughputs.back() < throughputs.front());
+  double gap = lm_delay_p43 - delays.back();
+  shape("LC beats LM by about the fixed-cost difference at p=43 (" +
+            std::to_string(gap) + " s, configured 0.09 s)",
+        gap > 0.04 && gap < 0.25);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 7.3 — average per-node CPU load at the same offered query rate
+// for small vs large p: larger p burns more CPU on fixed per-sub-query
+// overheads ("higher overheads = wasted resources", §7.3.3).
+#include "bench/cluster_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Figure 7.3", "per-node CPU load at 0.6 q/s, p=5 vs p=43");
+  columns({"node", "load_p5", "load_p43"});
+
+  auto run = [&](uint32_t p) {
+    cluster::EmulatedCluster c(hen_config(p));
+    c.run_queries(0.6, 120);
+    return c.node_busy_fractions();
+  };
+  auto p5 = run(5);
+  auto p43 = run(43);
+
+  double sum5 = 0, sum43 = 0;
+  for (size_t i = 0; i < p5.size(); ++i) {
+    row({static_cast<double>(i), p5[i], p43[i]});
+    sum5 += p5[i];
+    sum43 += p43[i];
+  }
+  double avg5 = sum5 / p5.size();
+  double avg43 = sum43 / p43.size();
+  note("average load: p=5 " + std::to_string(avg5) + ", p=43 " +
+       std::to_string(avg43));
+
+  shape("same offered load costs more CPU at p=43 (x" +
+            std::to_string(avg43 / avg5) + ")",
+        avg43 > avg5 * 1.05);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7.4 — effect of object updates on query throughput: each update
+// is applied at every replica, so at low p (large r) a given update rate
+// steals more matching capacity (§7.3.4 "update overhead increases with r").
+#include "bench/cluster_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+namespace {
+
+// Throughput with queries and updates genuinely interleaved: queries
+// arrive slightly above capacity while updates flow for the whole run.
+double contended_throughput(uint32_t p, double update_rate) {
+  auto cfg = hen_config(p);
+  cfg.node_proto.update_cost_s = 0.001;
+  cluster::EmulatedCluster c(cfg);
+  constexpr uint32_t kQueries = 120;
+  if (update_rate > 0) {
+    c.inject_updates(update_rate, 180.0);
+  }
+  double t0 = c.now();
+  uint32_t done = c.run_queries(2.6, kQueries, 600.0);
+  double elapsed = c.now() - t0;
+  return elapsed > 0 ? done / elapsed : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  header("Figure 7.4", "query throughput vs update rate (update = 1 ms/replica)");
+  columns({"updates_per_s", "thr_p5_r8.6", "thr_p22_r2"});
+
+  double base_p5 = 0, base_p22 = 0, loss_p5 = 0, loss_p22 = 0;
+  for (double upd : {0.0, 500.0, 1000.0, 2000.0}) {
+    double t5 = contended_throughput(5, upd);
+    double t22 = contended_throughput(22, upd);
+    row({upd, t5, t22});
+    if (upd == 0.0) {
+      base_p5 = t5;
+      base_p22 = t22;
+    }
+    if (upd == 2000.0) {
+      loss_p5 = 1 - t5 / base_p5;
+      loss_p22 = 1 - t22 / base_p22;
+    }
+  }
+
+  shape("updates reduce query throughput (p=5 loses " +
+            std::to_string(loss_p5 * 100) + "% at 2000 upd/s)",
+        loss_p5 > 0.05);
+  shape("the loss is larger at low p / high r (" +
+            std::to_string(loss_p5 * 100) + "% vs " +
+            std::to_string(loss_p22 * 100) + "%)",
+        loss_p5 > loss_p22);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// §6.3 — cost of changing the p/r trade-off: total data moved (in copies
+// of the dataset) when reconfiguring p -> p' with n fixed, PTN vs ROAR.
+// PTN destroys/creates clusters (whole-server reloads); ROAR only extends
+// or trims replication arcs.
+#include "bench/bench_util.h"
+#include "core/reconfig.h"
+#include "rendezvous/ptn.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  constexpr uint32_t kN = 48;
+  header("Section 6.3",
+         "data moved by reconfiguration p -> p' (dataset copies, n=48)");
+  columns({"p_from", "p_to", "PTN", "ROAR"});
+
+  bool roar_cheaper_everywhere = true;
+  double worst_ratio = 1e9;
+  for (auto [from, to] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {16, 8}, {16, 12}, {12, 16}, {8, 16}, {24, 6}, {6, 24}}) {
+    rendezvous::Ptn ptn(kN, from, 1);
+    double ptn_cost = ptn.reconfiguration_transfer(to);
+    // ROAR: only decreases of p fetch data; per node (1/p' − 1/p), n nodes.
+    double roar_cost =
+        core::ReplicationController::per_node_fetch_fraction(from, to) * kN;
+    row({static_cast<double>(from), static_cast<double>(to), ptn_cost,
+         roar_cost});
+    if (roar_cost > ptn_cost) roar_cheaper_everywhere = false;
+    if (ptn_cost > 0 && roar_cost > 0) {
+      worst_ratio = std::min(worst_ratio, ptn_cost / roar_cost);
+    }
+  }
+
+  shape("ROAR moves no more data than PTN for every transition",
+        roar_cheaper_everywhere);
+  shape("where both move data, PTN moves at least " +
+            std::to_string(worst_ratio) + "x more",
+        worst_ratio > 1.0);
+  shape("ROAR p-increases are free (deletion only)",
+        core::ReplicationController::per_node_fetch_fraction(8, 16) == 0.0);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 7.2 — energy saved by running at p=5 instead of p=43 for the same
+// workload: fewer sub-queries means less fixed overhead burned, hence less
+// CPU time and less energy (the thesis' machine room ran 4°C hotter at
+// full load).
+#include "bench/cluster_bench_common.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+int main() {
+  header("Table 7.2", "energy at p=5 vs p=43, same 120-query workload");
+  columns({"p", "cpu_seconds", "energy_kJ", "delay_s"});
+
+  struct Result {
+    double cpu = 0, energy = 0, delay = 0;
+  };
+  auto run = [&](uint32_t p) {
+    cluster::EmulatedCluster c(hen_config(p));
+    c.run_queries(0.6, 120);
+    Result r;
+    for (cluster::NodeId id : c.node_ids()) {
+      r.cpu += c.node(id).busy_seconds();
+    }
+    r.energy = c.energy_joules() / 1000.0;
+    r.delay = c.delays().mean();
+    return r;
+  };
+
+  auto r5 = run(5);
+  auto r43 = run(43);
+  row({5, r5.cpu, r5.energy, r5.delay});
+  row({43, r43.cpu, r43.energy, r43.delay});
+
+  double active_5 = r5.cpu;
+  double active_43 = r43.cpu;
+  double cpu_saving = 1.0 - active_5 / active_43;
+  note("CPU-time saving at p=5: " + std::to_string(cpu_saving * 100) + "%");
+
+  shape("p=5 uses less CPU time than p=43 for the same work (saves " +
+            std::to_string(cpu_saving * 100) + "%)",
+        active_5 < active_43);
+  shape("the price is higher per-query delay at p=5 (" +
+            std::to_string(r5.delay) + " vs " + std::to_string(r43.delay) +
+            " s)",
+        r5.delay > r43.delay);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper (see
+// DESIGN.md §3 for the index). Output convention: a `# figure <id>` header,
+// whitespace-separated gnuplot-ready columns, and a final `shape:` line
+// stating the qualitative claim the run reproduces.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace roar::bench {
+
+inline void header(const std::string& figure, const std::string& title) {
+  std::printf("# %s — %s\n", figure.c_str(), title.c_str());
+}
+
+inline void columns(const std::vector<std::string>& names) {
+  std::string row = "# ";
+  for (const auto& n : names) row += n + "  ";
+  std::printf("%s\n", row.c_str());
+}
+
+inline void row(const std::vector<double>& values) {
+  std::string out;
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%-14.6g", v);
+    out += buf;
+  }
+  std::printf("%s\n", out.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("# %s\n", text.c_str());
+}
+
+inline void shape(const std::string& claim, bool holds) {
+  std::printf("shape: %s — %s\n", claim.c_str(),
+              holds ? "REPRODUCED" : "NOT REPRODUCED");
+}
+
+inline void blank() { std::printf("\n"); }
+
+}  // namespace roar::bench

@@ -1,0 +1,37 @@
+// Shared setup for the Chapter 7 benches: the 43-node Hen-testbed cluster
+// with 5M metadata and PPS-calibrated node rates (Table 7.1).
+#pragma once
+
+#include "bench/bench_util.h"
+#include "cluster/emulated_cluster.h"
+
+namespace roar::bench {
+
+inline cluster::ClusterConfig hen_config(uint32_t p, uint64_t seed = 9) {
+  cluster::ClusterConfig cfg;
+  cfg.classes = sim::hen_testbed();
+  cfg.dataset_size = 5'000'000;  // the thesis' 5M-file headline
+  cfg.p = p;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline void print_table71() {
+  note("Table 7.1 server classes (count x relative speed):");
+  for (const auto& c : sim::hen_testbed()) {
+    note("  " + c.model + ": " + std::to_string(c.count) + " x " +
+         std::to_string(c.speed));
+  }
+}
+
+// Saturating throughput: offer far more load than capacity and measure the
+// completion rate.
+inline double measure_throughput(cluster::EmulatedCluster& c,
+                                 uint32_t queries) {
+  double t0 = c.now();
+  uint32_t done = c.run_queries(1000.0, queries, 3600.0);
+  double elapsed = c.now() - t0;
+  return elapsed > 0 ? done / elapsed : 0.0;
+}
+
+}  // namespace roar::bench

@@ -1,0 +1,67 @@
+// Shared PPS corpus setup for the Chapter 5 benches.
+//
+// Two profiles:
+//  * lean (default): keyword-only encoder, ~170 B metadata — same match
+//    cost as the paper's keyword metadata, cheap to encrypt; used by the
+//    CPU-side sweeps.
+//  * paper-sized: the full default encoder capacity (~700 B ciphertext,
+//    matching the paper's combined-attribute metadata) — used where the
+//    bytes-per-metadata ratio matters (the disk-vs-CPU trace experiment).
+//
+// Queries match nothing (the §5.7 workload), so stored word counts never
+// affect matching cost.
+#pragma once
+
+#include <memory>
+
+#include "pps/corpus.h"
+#include "pps/pipeline.h"
+#include "pps/predicates.h"
+#include "pps/store.h"
+
+namespace roar::bench {
+
+struct PpsFixture {
+  explicit PpsFixture(bool paper_sized_metadata = false)
+      : encoder(key, paper_sized_metadata
+                         ? padded_profile()
+                         : pps::MetadataEncoderParams::keyword_only()) {}
+
+  // Full-capacity Bloom filter (the paper's ~500-700 B combined metadata)
+  // but without numeric/ranked word generation: the filter is padded to
+  // capacity, so ciphertext size and match cost equal the full encoder's
+  // while corpus encryption stays fast.
+  static pps::MetadataEncoderParams padded_profile() {
+    auto p = pps::MetadataEncoderParams::defaults();
+    p.ranked_keywords = false;
+    p.numeric_attributes = false;
+    return p;
+  }
+
+  pps::SecretKey key = pps::SecretKey::from_seed(2026);
+  pps::MetadataEncoder encoder;
+  pps::MetadataStore store{4096};
+  Rng rng{1};
+
+  void build(size_t count) {
+    pps::CorpusParams cp;
+    cp.content_keywords_per_file = 2;
+    cp.max_path_depth = 3;
+    pps::CorpusGenerator gen(cp, 7);
+    auto files = gen.generate(count);
+    store.load(pps::encrypt_corpus(encoder, files, rng));
+  }
+
+  // The paper's standard workload: random keywords matching nothing (so
+  // the whole collection is scanned and no result bytes interfere).
+  pps::MultiPredicateQuery zero_match_query(size_t keywords = 2) const {
+    std::vector<pps::Predicate> preds;
+    for (size_t i = 0; i < keywords; ++i) {
+      preds.push_back(pps::make_keyword_predicate(
+          encoder, "zz_nomatch_" + std::to_string(i)));
+    }
+    return pps::MultiPredicateQuery(pps::Combiner::kAnd, std::move(preds));
+  }
+};
+
+}  // namespace roar::bench

@@ -1,0 +1,43 @@
+// Shared setup for the Chapter 6 simulation benches (Table 6.1 defaults).
+#pragma once
+
+#include "bench/bench_util.h"
+#include "sim/cluster_sim.h"
+
+namespace roar::bench {
+
+// Table 6.1 — simulation parameters used throughout Chapter 6.
+struct Table61 {
+  uint32_t n = 48;
+  uint32_t p = 8;            // r = n/p = 6
+  double load = 0.5;         // utilisation ρ
+  double speed_cov = 0.4;    // server speed heterogeneity
+  uint32_t queries = 4000;   // per run ("a few thousand", §6.1)
+  uint64_t seed = 42;
+};
+
+inline void print_table61(const Table61& t) {
+  note("Table 6.1 simulation parameters: n=" + std::to_string(t.n) +
+       " p=" + std::to_string(t.p) + " r=" + std::to_string(t.n / t.p) +
+       " load=" + std::to_string(t.load) +
+       " speed_cov=" + std::to_string(t.speed_cov) +
+       " queries=" + std::to_string(t.queries) +
+       " arrivals=Poisson service=deterministic (Def. 8)");
+}
+
+inline sim::SimParams params_from(const Table61& t) {
+  sim::SimParams p;
+  p.load = t.load;
+  p.queries = t.queries;
+  p.seed = t.seed;
+  return p;
+}
+
+inline sim::ServerFarm farm_from(const Table61& t) {
+  Rng rng(t.seed * 3 + 1);
+  return t.speed_cov > 0
+             ? sim::ServerFarm::heterogeneous(t.n, t.speed_cov, rng)
+             : sim::ServerFarm::uniform(t.n);
+}
+
+}  // namespace roar::bench

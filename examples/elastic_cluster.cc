@@ -1,0 +1,103 @@
+// Elastic search cluster: a 43-node emulated ROAR deployment riding a
+// diurnal load curve.
+//
+// A small controller implements the thesis' minP idea (§2.3.3): it watches
+// recent query delays and retunes p to the smallest value that keeps delay
+// under the target — low p off-peak (cheap: few sub-query overheads, low
+// energy), high p at peak (fast). Increases of p apply instantly;
+// decreases wait for the background re-replication (§4.5).
+//
+// Build & run:  ./build/examples/elastic_cluster
+#include <cstdio>
+#include <deque>
+
+#include "cluster/emulated_cluster.h"
+
+using namespace roar;
+using namespace roar::cluster;
+
+namespace {
+
+struct Controller {
+  EmulatedCluster& cluster;
+  double target_delay_s;
+  std::deque<double> recent;
+
+  void observe(double delay) {
+    recent.push_back(delay);
+    if (recent.size() > 12) recent.pop_front();
+  }
+  double recent_mean() const {
+    double s = 0;
+    for (double d : recent) s += d;
+    return recent.empty() ? 0 : s / recent.size();
+  }
+  void tick() {
+    if (recent.size() < 6) return;
+    double d = recent_mean();
+    uint32_t p = cluster.frontend().target_p();
+    if (d > target_delay_s && p < 40) {
+      std::printf("t=%6.1f  delay %.2fs > target %.2fs: p %u -> %u\n",
+                  cluster.now(), d, target_delay_s, p, p * 2);
+      cluster.change_p(p * 2);
+      recent.clear();
+    } else if (d < target_delay_s * 0.55 && p > 5) {
+      std::printf("t=%6.1f  delay %.2fs well under target: p %u -> %u "
+                  "(background downloads start)\n",
+                  cluster.now(), d, p, p / 2);
+      cluster.change_p(p / 2);
+      recent.clear();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  ClusterConfig cfg;
+  cfg.classes = sim::hen_testbed();
+  cfg.dataset_size = 5'000'000;
+  cfg.p = 10;
+  cfg.seed = 2;
+  EmulatedCluster cluster(cfg);
+  Controller ctl{cluster, /*target_delay_s=*/2.0, {}};
+
+  // Diurnal load: night 0.3 q/s, day 1.4 q/s, night again.
+  auto rate_at = [](double t) {
+    if (t < 120) return 0.3;
+    if (t < 300) return 1.4;
+    return 0.3;
+  };
+
+  std::printf("diurnal workload, delay target %.1fs, starting p=%u\n\n",
+              ctl.target_delay_s, cfg.p);
+
+  Rng rng(7);
+  double t = 0.0;
+  RunningStat all_delays;
+  while (t < 420.0) {
+    t += rng.next_exponential(rate_at(t));
+    cluster.loop().schedule_at(t, [&] {
+      cluster.frontend().submit([&](const QueryOutcome& out) {
+        if (out.complete) {
+          ctl.observe(out.breakdown.total_s);
+          all_delays.add(out.breakdown.total_s);
+        }
+      });
+    });
+  }
+  // Controller ticks every 10 s of virtual time.
+  for (double tick = 10.0; tick < 420.0; tick += 10.0) {
+    cluster.loop().schedule_at(tick, [&] { ctl.tick(); });
+  }
+  cluster.loop().run_until(500.0);
+
+  std::printf("\n%zu queries served; mean delay %.2fs (max %.2fs)\n",
+              all_delays.count(), all_delays.mean(), all_delays.max());
+  std::printf("final p=%u, energy %.0f kJ\n", cluster.safe_p(),
+              cluster.energy_joules() / 1000.0);
+  std::printf("\nThe knob the thesis argues for: the same 43 machines served "
+              "a 4.7x load swing\nby moving along the p/r trade-off instead "
+              "of adding hardware.\n");
+  return 0;
+}

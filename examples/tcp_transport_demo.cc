@@ -1,0 +1,95 @@
+// The cluster byte protocol over real loopback TCP.
+//
+// Four "storage node" servers listen on ephemeral ports; a front-end
+// client connects, sends framed SubQueryMsg requests (the identical bytes
+// the emulated cluster exchanges), and collects SubQueryReplyMsg frames —
+// demonstrating that the protocol layer is deployable on real sockets
+// (§4.8.4). Each node fakes its matching work with the Definition-8 cost
+// model.
+//
+// Build & run:  ./build/examples/tcp_transport_demo
+#include <cstdio>
+#include <memory>
+
+#include "cluster/protocol.h"
+#include "core/query_planner.h"
+#include "net/tcp.h"
+
+using namespace roar;
+using namespace roar::cluster;
+using namespace roar::net;
+
+int main() {
+  constexpr uint32_t kNodes = 4;
+  TcpReactor reactor;
+
+  // --- storage nodes: decode sub-queries, reply with scan statistics ----
+  std::vector<std::unique_ptr<TcpListener>> listeners;
+  for (uint32_t node = 0; node < kNodes; ++node) {
+    listeners.push_back(std::make_unique<TcpListener>(
+        reactor, 0, [node](TcpConnection& conn) {
+          conn.set_frame_handler([node](TcpConnection& c, Bytes frame) {
+            auto msg = SubQueryMsg::decode(frame);
+            if (!msg) return;  // defensive: drop malformed frames
+            uint64_t window =
+                msg->window_begin.distance_to(msg->window_end);
+            double frac =
+                static_cast<double>(window) / 18446744073709551616.0;
+            SubQueryReplyMsg reply;
+            reply.query_id = msg->query_id;
+            reply.part_id = msg->part_id;
+            reply.scanned = static_cast<uint64_t>(frac * 1'000'000);
+            reply.matches = reply.scanned / 5000;
+            reply.service_s = frac * 4.0;  // 250k metadata/s model
+            c.send(reply.encode());
+            std::printf("  node %u served part %u: window %.3f, %llu "
+                        "scanned\n",
+                        node, msg->part_id, frac,
+                        static_cast<unsigned long long>(reply.scanned));
+          });
+        }));
+    std::printf("node %u listening on 127.0.0.1:%u\n", node,
+                listeners.back()->port());
+  }
+
+  // --- front-end: plan a p-way query and send it over the wire ----------
+  std::vector<TcpConnection*> conns;
+  for (auto& l : listeners) {
+    conns.push_back(&reactor.connect(l->port()));
+  }
+
+  uint32_t replies = 0;
+  uint64_t total_scanned = 0;
+  for (auto* c : conns) {
+    c->set_frame_handler([&](TcpConnection&, Bytes frame) {
+      if (auto reply = SubQueryReplyMsg::decode(frame)) {
+        ++replies;
+        total_scanned += reply->scanned;
+        std::printf("frontend got part %u: %llu scanned, %.3f s service\n",
+                    reply->part_id,
+                    static_cast<unsigned long long>(reply->scanned),
+                    reply->service_s);
+      }
+    });
+  }
+
+  RingId start = RingId::from_double(0.1);
+  for (uint32_t i = 0; i < kNodes; ++i) {
+    SubQueryMsg msg;
+    msg.query_id = 1;
+    msg.part_id = i;
+    msg.point = query_point(start, i, kNodes);
+    msg.window_begin = query_point(start, (i + kNodes - 1) % kNodes, kNodes);
+    msg.window_end = msg.point;
+    msg.pq = kNodes;
+    msg.share = 1.0 / kNodes;
+    conns[i]->send(msg.encode());
+  }
+
+  bool ok = reactor.poll_until([&] { return replies == kNodes; }, 5000);
+  std::printf("\n%u/%u replies over real TCP; %llu metadata covered (%s)\n",
+              replies, kNodes,
+              static_cast<unsigned long long>(total_scanned),
+              ok && total_scanned >= 999'000 ? "full coverage" : "FAILED");
+  return ok ? 0 : 1;
+}

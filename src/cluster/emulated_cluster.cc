@@ -1,0 +1,235 @@
+#include "cluster/emulated_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace roar::cluster {
+
+EmulatedCluster::EmulatedCluster(ClusterConfig config)
+    : config_(std::move(config)),
+      net_(loop_, config_.latency_s, config_.seed * 31 + 7),
+      membership_(core::MembershipConfig{}, config_.seed * 17 + 3),
+      rng_(config_.seed) {
+  config_.frontend.p = config_.p;
+  config_.frontend.subquery_overhead_s = config_.node_proto.subquery_overhead_s;
+
+  frontend_ = std::make_unique<Frontend>(net_, config_.frontend,
+                                         config_.dataset_size,
+                                         config_.seed * 101 + 5);
+  frontend_->start();
+
+  // Membership handler: fetch confirmations flow through here.
+  net_.bind(kMembershipAddr, [this](net::Address from, net::Bytes payload) {
+    handle_membership_msg(from, std::move(payload));
+  });
+
+  // Create and join all nodes.
+  NodeId id = 0;
+  for (const auto& cls : config_.classes) {
+    for (uint32_t i = 0; i < cls.count; ++i) {
+      NodeParams np = config_.node_proto;
+      np.id = id;
+      np.speed = cls.speed;
+      auto node = std::make_unique<NodeRuntime>(net_, np,
+                                                config_.dataset_size);
+      node->start();
+      membership_.join(id, cls.speed);
+      nodes_.push_back(std::move(node));
+      ++id;
+    }
+  }
+  // Converge ranges to ∝ speed before measurements.
+  for (uint32_t i = 0; i < config_.initial_balance_steps; ++i) {
+    if (membership_.balance_step() == 0.0) break;
+  }
+  push_ranges();
+  measure_start_ = loop_.now();
+}
+
+std::vector<NodeId> EmulatedCluster::node_ids() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n->alive()) out.push_back(n->id());
+  }
+  return out;
+}
+
+void EmulatedCluster::push_ranges() {
+  const core::Ring& ring = membership_.ring(0);
+  uint32_t p = frontend_->target_p();
+  for (const auto& n : ring.nodes()) {
+    Arc range = ring.range_of(n.id);
+    RangePushMsg msg;
+    msg.range_begin = range.begin();
+    msg.range_len = range.length();
+    msg.p = p;
+    net_.send(kMembershipAddr, node_address(n.id), msg.encode());
+  }
+  frontend_->sync_ring(ring);
+}
+
+NodeId EmulatedCluster::add_node(double speed) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  NodeParams np = config_.node_proto;
+  np.id = id;
+  np.speed = speed;
+  auto node = std::make_unique<NodeRuntime>(net_, np, config_.dataset_size);
+  node->start();
+  nodes_.push_back(std::move(node));
+  membership_.join(id, speed);
+
+  // The node serves only after downloading its stored arc (§4.3); the
+  // membership server marks it up (pushes ranges) when the load is done.
+  const core::Ring& ring = membership_.ring(0);
+  Arc stored = core::stored_object_arc(ring, id, frontend_->target_p());
+  double bytes = stored.fraction() *
+                 static_cast<double>(config_.dataset_size) *
+                 config_.node_proto.bytes_per_object;
+  double warmup = bytes / config_.node_proto.fetch_bandwidth;
+  loop_.schedule_after(warmup, [this] { push_ranges(); });
+  ROAR_LOG(kInfo) << "cluster: node " << id << " joining, warmup "
+                  << warmup << "s";
+  return id;
+}
+
+void EmulatedCluster::kill_node(NodeId id) {
+  nodes_.at(id)->kill();
+  // Membership will learn and clean up; the front-end must *discover* the
+  // failure through timeouts (the realistic path). We only update the
+  // authoritative record here.
+  membership_.fail(id);
+}
+
+uint32_t EmulatedCluster::remove_dead_nodes() {
+  std::vector<NodeId> dead;
+  for (const auto& n : membership_.ring(0).nodes()) {
+    if (!n.alive) dead.push_back(n.id);
+  }
+  for (NodeId id : dead) {
+    membership_.remove_failed(id);
+    frontend_->node_removed(id);
+  }
+  if (!dead.empty()) push_ranges();
+  return static_cast<uint32_t>(dead.size());
+}
+
+double EmulatedCluster::balance_round() {
+  double moved = membership_.balance_step();
+  if (moved > 0) push_ranges();
+  return moved;
+}
+
+void EmulatedCluster::change_p(uint32_t p_new) {
+  uint32_t p_old = frontend_->safe_p();
+  if (p_new == p_old) return;
+  const core::Ring& ring = membership_.ring(0);
+  if (p_new > p_old) {
+    // Increase p: safe immediately; nodes drop surplus data lazily.
+    frontend_->set_target_p(p_new, {});
+    push_ranges();
+    return;
+  }
+  // Decrease p: order fetches, switch only on full confirmation.
+  std::vector<NodeId> confirmers;
+  for (const auto& n : ring.nodes()) {
+    if (!n.alive) continue;
+    confirmers.push_back(n.id);
+  }
+  frontend_->set_target_p(p_new, confirmers);
+  for (NodeId id : confirmers) {
+    Arc fetch =
+        core::ReplicationController::fetch_arc(ring, id, p_old, p_new);
+    FetchOrderMsg msg;
+    msg.arc_begin = fetch.begin();
+    msg.arc_len = fetch.length();
+    msg.new_p = p_new;
+    net_.send(kMembershipAddr, node_address(id), msg.encode());
+  }
+}
+
+void EmulatedCluster::handle_membership_msg(net::Address from,
+                                            net::Bytes payload) {
+  (void)from;
+  auto type = peek_type(payload);
+  if (!type) return;
+  if (*type == MsgType::kFetchComplete) {
+    if (auto m = FetchCompleteMsg::decode(payload)) {
+      frontend_->confirm_fetch(m->node);
+      if (!frontend_->ring().empty() &&
+          frontend_->safe_p() == m->new_p) {
+        // Reconfiguration complete: sync everyone to the new p.
+        push_ranges();
+        ROAR_LOG(kInfo) << "cluster: reconfiguration to p=" << m->new_p
+                        << " complete at t=" << loop_.now();
+      }
+    }
+  }
+}
+
+uint32_t EmulatedCluster::run_queries(double rate_per_s, uint32_t count,
+                                      double give_up_s) {
+  uint32_t completed = 0;
+  uint32_t finished = 0;  // complete or failed
+  double t = loop_.now();
+  for (uint32_t i = 0; i < count; ++i) {
+    t += rng_.next_exponential(rate_per_s);
+    loop_.schedule_at(t, [this, &completed, &finished] {
+      frontend_->submit([&completed, &finished](const QueryOutcome& out) {
+        ++finished;
+        if (out.complete) ++completed;
+      });
+    });
+  }
+  // Step in chunks so virtual time stops shortly after the last completion
+  // (keeps elapsed-time metrics meaningful) instead of at the give-up
+  // deadline.
+  double deadline = t + give_up_s;
+  while (finished < count && loop_.now() < deadline) {
+    loop_.run_until(std::min(loop_.now() + 0.5, deadline));
+  }
+  return completed;
+}
+
+void EmulatedCluster::inject_updates(double rate_per_s, double duration_s) {
+  double t = loop_.now();
+  double end = t + duration_s;
+  while (t < end) {
+    t += rng_.next_exponential(rate_per_s);
+    RingId id = rng_.next_ring_id();
+    loop_.schedule_at(t, [this, id] {
+      const core::Ring& ring = membership_.ring(0);
+      uint32_t p = frontend_->safe_p();
+      for (const auto& n : ring.nodes()) {
+        if (!n.alive) continue;
+        if (core::stored_object_arc(ring, n.id, p).contains(id)) {
+          ObjectUpdateMsg msg;
+          msg.object_id = id;
+          msg.payload_bytes = 700;
+          net_.send(kUpdateServerAddr, node_address(n.id), msg.encode());
+        }
+      }
+    });
+  }
+}
+
+std::vector<double> EmulatedCluster::node_busy_fractions() const {
+  std::vector<double> out;
+  double elapsed = loop_.now() - measure_start_;
+  for (const auto& n : nodes_) {
+    out.push_back(elapsed > 0 ? n->busy_seconds() / elapsed : 0.0);
+  }
+  return out;
+}
+
+double EmulatedCluster::energy_joules(double idle_w, double peak_w) const {
+  double elapsed = loop_.now() - measure_start_;
+  double joules = 0.0;
+  for (const auto& n : nodes_) {
+    if (!n->alive()) continue;
+    joules += idle_w * elapsed + (peak_w - idle_w) * n->busy_seconds();
+  }
+  return joules;
+}
+
+}  // namespace roar::cluster

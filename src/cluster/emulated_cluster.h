@@ -1,0 +1,98 @@
+// The emulated ROAR deployment: N node runtimes + front-end + membership
+// glued over the in-process network on one virtual-time event loop.
+//
+// This is the Chapter 7 substrate: the same control-plane code paths a
+// physical deployment runs (joins, range pushes, reconfiguration fetch
+// orders and confirmations, failure detection by timeout, §4.4 splits),
+// with node matching rates taken from the PPS measurements. See DESIGN.md
+// for the substitution argument.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/frontend.h"
+#include "cluster/node.h"
+#include "core/membership.h"
+#include "sim/farm.h"
+
+namespace roar::cluster {
+
+struct ClusterConfig {
+  std::vector<sim::ServerClass> classes = sim::hen_testbed();
+  uint64_t dataset_size = 5'000'000;  // metadata (the paper's 5M headline)
+  uint32_t p = 8;
+  FrontendParams frontend;  // p is overwritten from the field above
+  NodeParams node_proto;    // id/speed overwritten per node
+  double latency_s = 100e-6;
+  uint64_t seed = 1;
+  // Membership balance iterations at startup (ranges ∝ speed).
+  uint32_t initial_balance_steps = 800;
+};
+
+class EmulatedCluster {
+ public:
+  explicit EmulatedCluster(ClusterConfig config);
+
+  net::EventLoop& loop() { return loop_; }
+  net::InProcNetwork& network() { return net_; }
+  Frontend& frontend() { return *frontend_; }
+  core::MembershipServer& membership() { return membership_; }
+
+  size_t node_count() const { return nodes_.size(); }
+  NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
+  std::vector<NodeId> node_ids() const;
+
+  // Pushes authoritative ranges + current p to every node and re-syncs the
+  // front-end's ring mirror. Called automatically after membership events.
+  void push_ranges();
+
+  // --- membership operations -------------------------------------------
+  // Joins a fresh node; it downloads its data for `warmup` simulated
+  // seconds (derived from range size and fetch bandwidth) before serving.
+  NodeId add_node(double speed);
+  // Crash-stops a node: it silently vanishes; the front-end must discover
+  // it by timeout.
+  void kill_node(NodeId id);
+  // Background range balancing round (§4.6); returns range fraction moved.
+  double balance_round();
+  // Long-term failure handling (§4.9): drop crashed nodes from the ring so
+  // their ranges merge into live successors, and republish ranges. Returns
+  // the number of nodes removed.
+  uint32_t remove_dead_nodes();
+
+  // --- reconfiguration (§4.5) -------------------------------------------
+  void change_p(uint32_t p_new);
+  uint32_t safe_p() const { return frontend_->safe_p(); }
+
+  // --- workload -----------------------------------------------------------
+  // Open-loop Poisson queries; runs the loop until all complete or
+  // `give_up_s` of virtual time passes. Returns completed count.
+  uint32_t run_queries(double rate_per_s, uint32_t count,
+                       double give_up_s = 600.0);
+  // Object updates at Poisson rate for `duration_s` (§7.3.4); each update
+  // goes to every node storing the object's arc.
+  void inject_updates(double rate_per_s, double duration_s);
+
+  // --- metrics -------------------------------------------------------------
+  double now() const { return loop_.now(); }
+  std::vector<double> node_busy_fractions() const;
+  // Energy over the elapsed virtual time with a linear power model.
+  double energy_joules(double idle_w = 200.0, double peak_w = 285.0) const;
+  const SampleSet& delays() const { return frontend_->delays(); }
+
+ private:
+  void handle_membership_msg(net::Address from, net::Bytes payload);
+  std::vector<double> speeds_from_classes() const;
+
+  ClusterConfig config_;
+  net::EventLoop loop_;
+  net::InProcNetwork net_;
+  core::MembershipServer membership_;
+  std::unique_ptr<Frontend> frontend_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  Rng rng_;
+  double measure_start_ = 0.0;
+};
+
+}  // namespace roar::cluster

@@ -1,0 +1,309 @@
+#include "cluster/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace roar::cluster {
+
+// Finish estimator over the front-end's EWMA rates and queue projections.
+class Frontend::Estimator : public core::FinishEstimator {
+ public:
+  explicit Estimator(const Frontend& fe) : fe_(fe) {}
+  double estimate_finish(core::NodeId node, double share) const override {
+    return fe_.predict(node, share);
+  }
+
+ private:
+  const Frontend& fe_;
+};
+
+Frontend::Frontend(net::InProcNetwork& net, FrontendParams params,
+                   uint64_t dataset_size, uint64_t seed)
+    : net_(net),
+      params_(params),
+      dataset_size_(dataset_size),
+      repl_(params.p),
+      rng_(seed) {}
+
+void Frontend::start() {
+  net_.bind(kFrontendAddr, [this](net::Address from, net::Bytes payload) {
+    handle(from, std::move(payload));
+  });
+}
+
+void Frontend::sync_ring(const core::Ring& authoritative) {
+  ring_ = authoritative;
+  double now = net_.loop().now();
+  for (const auto& n : ring_.nodes()) {
+    auto& st = nodes_[n.id];
+    st.alive = n.alive;
+    if (!st.rate.has_value()) {
+      st.rate = Ewma(params_.ewma_alpha);
+      st.rate.add(params_.initial_rate * n.speed);
+      st.busy_until = now;
+    }
+  }
+}
+
+void Frontend::node_up(NodeId id, RingId position, double speed_hint) {
+  if (!ring_.contains(id)) {
+    ring_.add_node(id, position, speed_hint);
+  } else {
+    ring_.set_alive(id, true);
+  }
+  auto& st = nodes_[id];
+  st.alive = true;
+  st.busy_until = net_.loop().now();
+  if (!st.rate.has_value()) {
+    st.rate = Ewma(params_.ewma_alpha);
+    st.rate.add(params_.initial_rate * speed_hint);
+  }
+}
+
+void Frontend::node_down(NodeId id) {
+  if (ring_.contains(id)) ring_.set_alive(id, false);
+  nodes_[id].alive = false;
+}
+
+void Frontend::node_removed(NodeId id) {
+  if (ring_.contains(id)) ring_.remove_node(id);
+  nodes_.erase(id);
+}
+
+void Frontend::node_moved(NodeId id, RingId position) {
+  if (ring_.contains(id)) ring_.set_position(id, position);
+}
+
+void Frontend::set_target_p(uint32_t p_new,
+                            const std::vector<NodeId>& must_confirm) {
+  repl_.begin_change(p_new, must_confirm);
+}
+
+void Frontend::confirm_fetch(NodeId node) {
+  repl_.confirm(node);
+}
+
+double Frontend::estimated_rate(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.rate.has_value()
+             ? it->second.rate.value()
+             : params_.initial_rate;
+}
+
+double Frontend::predict(NodeId node, double share) const {
+  double now = net_.loop().now();
+  auto it = nodes_.find(node);
+  double busy = now, rate = params_.initial_rate;
+  if (it != nodes_.end()) {
+    busy = std::max(now, it->second.busy_until);
+    if (it->second.rate.has_value()) rate = it->second.rate.value();
+  }
+  double count = share * static_cast<double>(dataset_size_);
+  return busy + count / rate + params_.subquery_overhead_s +
+         2 * net_.latency();
+}
+
+uint64_t Frontend::submit(QueryCallback cb) {
+  uint64_t id = next_query_id_++;
+  PendingQuery q;
+  q.id = id;
+  q.submit_time = net_.loop().now();
+  q.cb = std::move(cb);
+
+  // The scheduling computation itself is measured in wall-clock time: this
+  // is the Fig 7.12 quantity (it is real CPU work the front-end does).
+  auto wall0 = std::chrono::steady_clock::now();
+  Estimator est(*this);
+  uint32_t pq = std::max(
+      repl_.safe_p(),
+      static_cast<uint32_t>(repl_.safe_p() * params_.pq_factor + 0.5));
+  auto sched =
+      core::SweepScheduler::schedule(ring_, pq, est, rng_.next_ring_id());
+  auto plan = planner_.plan(ring_, sched.best_start, pq, repl_.safe_p(),
+                            rng_);
+  if (params_.range_adjustment) {
+    core::adjust_ranges(&plan, ring_, repl_.safe_p(), est);
+  }
+  if (params_.max_splits > 0) {
+    core::split_slowest(&plan, ring_, repl_.safe_p(), est,
+                        params_.max_splits);
+  }
+  q.schedule_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  schedule_times_.add(q.schedule_wall_s);
+
+  auto [it, inserted] = pending_.emplace(id, std::move(q));
+  PendingQuery& stored = it->second;
+  for (const auto& part : plan.parts) {
+    if (part.node == core::kInvalidNode) {
+      stored.full_coverage = false;  // harvest < 100%
+      stored.missing_share += part.share;
+      continue;
+    }
+    send_part(stored, part);
+  }
+  if (stored.outstanding == 0) {
+    // Nothing could be sent (e.g. all nodes dead): fail immediately.
+    QueryOutcome out;
+    out.id = id;
+    out.complete = false;
+    auto cb2 = std::move(stored.cb);
+    pending_.erase(id);
+    if (cb2) cb2(out);
+  }
+  return id;
+}
+
+void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
+  PendingPart part;
+  part.sub = sub;
+  part.node = sub.node;
+
+  SubQueryMsg msg;
+  msg.query_id = q.id;
+  msg.part_id = static_cast<uint32_t>(q.parts.size());
+  msg.point = sub.point;
+  msg.window_begin = sub.window_begin;
+  msg.window_end = sub.responsibility_end;
+  msg.pq = repl_.safe_p();
+  msg.share = sub.share;
+
+  // Update the queue projection for this node.
+  double predicted = predict(sub.node, sub.share);
+  auto& st = nodes_[sub.node];
+  st.busy_until = predicted - 2 * net_.latency();
+
+  double timeout = (predicted - net_.loop().now()) * params_.timeout_factor +
+                   params_.timeout_margin_s;
+  uint64_t qid = q.id;
+  uint32_t pidx = static_cast<uint32_t>(q.parts.size());
+  part.timer_id = net_.loop().schedule_after(
+      timeout, [this, qid, pidx] { on_timeout(qid, pidx); });
+
+  q.parts.push_back(part);
+  ++q.outstanding;
+  net_.send(kFrontendAddr, node_address(sub.node), msg.encode());
+}
+
+void Frontend::handle(net::Address from, net::Bytes payload) {
+  (void)from;
+  auto type = peek_type(payload);
+  if (!type) return;
+  if (*type == MsgType::kSubQueryReply) {
+    if (auto m = SubQueryReplyMsg::decode(payload)) on_reply(*m);
+  }
+}
+
+void Frontend::on_reply(const SubQueryReplyMsg& m) {
+  auto it = pending_.find(m.query_id);
+  if (it == pending_.end()) return;  // late reply after query completion
+  PendingQuery& q = it->second;
+  if (m.part_id >= q.parts.size()) return;
+  PendingPart& part = q.parts[m.part_id];
+
+  // Liveness is "last time seen up" (§4.8): any reply — including a late
+  // one from a node whose timer already fired — proves the node is alive,
+  // merely overloaded. Without this resurrection, false timeouts under
+  // transient overload would progressively erase the ring.
+  auto& replier = nodes_[part.node];
+  if (!replier.alive) {
+    replier.alive = true;
+    if (ring_.contains(part.node)) ring_.set_alive(part.node, true);
+  }
+
+  if (part.done) return;  // duplicate or post-timeout reply
+  part.done = true;
+  net_.loop().cancel(part.timer_id);
+  --q.outstanding;
+  q.matches += m.matches;
+  q.max_service = std::max(q.max_service, m.service_s);
+
+  // Speed estimation (§4.8): observed rate from this sub-query.
+  if (m.service_s > params_.subquery_overhead_s && m.scanned > 0) {
+    double rate = static_cast<double>(m.scanned) /
+                  (m.service_s - params_.subquery_overhead_s / 2);
+    nodes_[part.node].rate.add(rate);
+  }
+  finish_if_done(q);
+}
+
+void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  PendingQuery& q = it->second;
+  if (part_index >= q.parts.size()) return;
+  PendingPart& part = q.parts[part_index];
+  if (part.done) return;
+
+  if (part.expiries == 0) {
+    // Second chance: re-arm from the *current* queue projection — if the
+    // node is alive but swamped (e.g. absorbing a mass failure's load),
+    // the refreshed prediction reflects the backlog and the timer now
+    // covers it.
+    part.expiries = 1;
+    double predicted = predict(part.node, part.sub.share);
+    double timeout =
+        (predicted - net_.loop().now()) * params_.timeout_factor +
+        params_.timeout_margin_s;
+    part.timer_id = net_.loop().schedule_after(
+        std::max(timeout, params_.timeout_margin_s),
+        [this, query_id, part_index] { on_timeout(query_id, part_index); });
+    return;
+  }
+
+  // Node considered dead (§4.8: "if a query response times out, the node
+  // is marked as dead").
+  ++failures_detected_;
+  NodeId dead = part.node;
+  node_down(dead);
+  ROAR_LOG(kInfo) << "frontend: node " << dead << " timed out on query "
+                  << query_id;
+
+  part.done = true;
+  --q.outstanding;
+  ++q.retries;
+
+  // Split the unfinished sub-query across the failed node's neighbourhood
+  // and reschedule (§4.4).
+  std::vector<core::RoarSubQuery> splits;
+  if (planner_.split_around_failure(ring_, part.sub, repl_.safe_p(), rng_,
+                                    &splits)) {
+    for (const auto& sub : splits) send_part(q, sub);
+  } else {
+    q.full_coverage = false;  // the dead node's window is unreachable
+    q.missing_share += part.sub.share;
+  }
+  finish_if_done(q);
+}
+
+void Frontend::finish_if_done(PendingQuery& q) {
+  if (q.outstanding > 0) return;
+  double now = net_.loop().now();
+  double total = now - q.submit_time + params_.fixed_cost_s;
+
+  QueryOutcome out;
+  out.id = q.id;
+  out.complete = q.full_coverage;
+  out.harvest = std::max(0.0, 1.0 - q.missing_share);
+  out.matches = q.matches;
+  out.parts_sent = static_cast<uint32_t>(q.parts.size());
+  out.retries = q.retries;
+  out.breakdown.schedule_s = q.schedule_wall_s;
+  out.breakdown.network_s = 2 * net_.latency();
+  out.breakdown.service_s = q.max_service;
+  out.breakdown.total_s = total;
+  out.breakdown.queue_s = std::max(
+      0.0, total - q.max_service - out.breakdown.network_s -
+               params_.fixed_cost_s);
+
+  delays_.add(total);
+  ++completed_;
+  auto cb = std::move(q.cb);
+  pending_.erase(q.id);
+  if (cb) cb(out);
+}
+
+}  // namespace roar::cluster

@@ -1,0 +1,158 @@
+// The ROAR front-end server (§4.8) in the emulated cluster.
+//
+// Receives client queries, picks the start id with the Algorithm-1 sweep
+// against its per-node speed (EWMA of observed rates) and queue estimates,
+// partitions the query with the §4.2 planner, sends sub-queries, detects
+// failures with per-sub-query timers (splitting the unfinished sub-query
+// across the dead node's neighbourhood, §4.4/§4.8), and assembles replies.
+// It also owns the safe-p bookkeeping during reconfigurations (§4.5) and
+// the per-query delay breakdown of Fig 7.11.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "cluster/node.h"
+#include "common/stats.h"
+#include "core/reconfig.h"
+#include "core/scheduler.h"
+
+namespace roar::cluster {
+
+struct FrontendParams {
+  uint32_t p = 8;
+  double pq_factor = 1.0;
+  // Per-query fixed cost at the front-end (result assembly etc.); the
+  // LM/LC variants of §7.2 differ here.
+  double fixed_cost_s = 0.0;
+  // Timeout = expected finish × factor + margin.
+  double timeout_factor = 3.0;
+  double timeout_margin_s = 0.200;
+  bool range_adjustment = false;
+  uint32_t max_splits = 0;
+  double ewma_alpha = 0.2;
+  double initial_rate = 250'000.0;  // metadata/s prior before observations
+  double subquery_overhead_s = 0.004;  // matches NodeParams for estimates
+};
+
+struct QueryBreakdown {
+  double schedule_s = 0.0;  // wall-clock cost of running the scheduler
+  double network_s = 0.0;
+  double service_s = 0.0;   // slowest node's processing
+  double queue_s = 0.0;     // waiting behind other sub-queries
+  double total_s = 0.0;     // end-to-end virtual delay
+};
+
+struct QueryOutcome {
+  uint64_t id = 0;
+  bool complete = false;
+  // Fraction of the object space actually searched (Brewer's harvest,
+  // §2.1): 1.0 for complete queries, lower when failures made some
+  // responsibility windows unreachable.
+  double harvest = 1.0;
+  uint64_t matches = 0;
+  uint32_t parts_sent = 0;
+  uint32_t retries = 0;
+  QueryBreakdown breakdown;
+};
+
+class Frontend {
+ public:
+  using QueryCallback = std::function<void(const QueryOutcome&)>;
+
+  Frontend(net::InProcNetwork& net, FrontendParams params,
+           uint64_t dataset_size, uint64_t seed);
+
+  void start();
+
+  // Ring mirror management (driven by the membership service).
+  // Replaces the whole mirror with the authoritative ring (positions,
+  // speeds, liveness) while preserving accumulated per-node statistics.
+  void sync_ring(const core::Ring& authoritative);
+  void node_up(NodeId id, RingId position, double speed_hint);
+  void node_down(NodeId id);
+  void node_removed(NodeId id);
+  void node_moved(NodeId id, RingId position);
+
+  // Reconfiguration interface (§4.5).
+  void set_target_p(uint32_t p_new, const std::vector<NodeId>& must_confirm);
+  void confirm_fetch(NodeId node);
+  uint32_t safe_p() const { return repl_.safe_p(); }
+  uint32_t target_p() const { return repl_.target_p(); }
+
+  // Submits a query; `cb` fires when all sub-queries complete.
+  uint64_t submit(QueryCallback cb);
+
+  void set_dataset_size(uint64_t d) { dataset_size_ = d; }
+
+  // Stats.
+  const SampleSet& delays() const { return delays_; }
+  const SampleSet& schedule_times() const { return schedule_times_; }
+  uint64_t queries_completed() const { return completed_; }
+  uint64_t failures_detected() const { return failures_detected_; }
+  double estimated_rate(NodeId id) const;
+  const core::Ring& ring() const { return ring_; }
+
+  // Exposed for tests: predicted finish for a share on a node.
+  double predict(NodeId node, double share) const;
+
+ private:
+  struct PendingPart {
+    core::RoarSubQuery sub;
+    NodeId node;
+    uint64_t timer_id = 0;
+    bool done = false;
+    // First expiry extends the timer once (the node may be overloaded, not
+    // dead); only the second expiry declares failure. Prevents the retry
+    // storm a mass failure's backlog would otherwise trigger.
+    uint8_t expiries = 0;
+  };
+  struct PendingQuery {
+    uint64_t id;
+    double submit_time;
+    double schedule_wall_s = 0.0;
+    uint32_t outstanding = 0;
+    uint32_t retries = 0;
+    uint64_t matches = 0;
+    double max_service = 0.0;
+    // False if any responsibility window could not be assigned to a live
+    // node (harvest < 100%): the query is answered but reported partial.
+    bool full_coverage = true;
+    double missing_share = 0.0;  // uncovered fraction of the object space
+    std::vector<PendingPart> parts;
+    QueryCallback cb;
+  };
+
+  class Estimator;
+
+  void handle(net::Address from, net::Bytes payload);
+  void on_reply(const SubQueryReplyMsg& m);
+  void on_timeout(uint64_t query_id, uint32_t part_index);
+  void send_part(PendingQuery& q, const core::RoarSubQuery& sub);
+  void finish_if_done(PendingQuery& q);
+
+  net::InProcNetwork& net_;
+  FrontendParams params_;
+  uint64_t dataset_size_;
+  core::Ring ring_;
+  core::QueryPlanner planner_;
+  core::ReplicationController repl_;
+  Rng rng_;
+
+  struct NodeState {
+    Ewma rate;
+    double busy_until = 0.0;
+    bool alive = true;
+  };
+  std::unordered_map<NodeId, NodeState> nodes_;
+
+  uint64_t next_query_id_ = 1;
+  std::map<uint64_t, PendingQuery> pending_;
+  SampleSet delays_;
+  SampleSet schedule_times_;
+  uint64_t completed_ = 0;
+  uint64_t failures_detected_ = 0;
+};
+
+}  // namespace roar::cluster

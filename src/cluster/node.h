@@ -1,0 +1,86 @@
+// A ROAR storage/matching node in the emulated cluster.
+//
+// Serves sub-queries over its slice of the metadata (FIFO, one logical
+// matching pipeline per node — Definition 8's constant-service-time model,
+// with rates taken from the PPS measurements), applies object updates
+// (which consume matching capacity, §7.3.4), maintains its range as pushed
+// by the membership server, and simulates the background download when the
+// replication level grows (§4.5).
+#pragma once
+
+#include "cluster/protocol.h"
+#include "core/reconfig.h"
+#include "net/event_loop.h"
+#include "net/inproc.h"
+
+namespace roar::cluster {
+
+inline net::Address node_address(NodeId id) { return 100 + id; }
+inline constexpr net::Address kMembershipAddr = 0;
+inline constexpr net::Address kFrontendAddr = 1;
+inline constexpr net::Address kUpdateServerAddr = 2;
+
+struct NodeParams {
+  NodeId id = 0;
+  double speed = 1.0;            // relative hardware speed (Table 7.1)
+  double base_rate = 250'000.0;  // metadata/s at speed 1.0 (Fig 5.6b)
+  double subquery_overhead_s = 0.004;  // fixed per-sub-query cost (§7.3.2)
+  double update_cost_s = 0.003;  // per stored object update (§7.3.4)
+  double fetch_bandwidth = 50e6;  // bytes/s from the backend filestore
+  double bytes_per_object = 700.0;
+};
+
+class NodeRuntime {
+ public:
+  NodeRuntime(net::InProcNetwork& net, NodeParams params,
+              uint64_t dataset_size);
+
+  NodeId id() const { return params_.id; }
+  net::Address address() const { return node_address(params_.id); }
+
+  // Lifecycle. kill() unbinds from the network: in-flight and future
+  // messages to this node vanish, exactly like a crashed host.
+  void start();
+  void kill();
+  bool alive() const { return alive_; }
+
+  void set_dataset_size(uint64_t d) { dataset_size_ = d; }
+
+  // Matching rate in metadata/s.
+  double rate() const { return params_.base_rate * params_.speed; }
+
+  // Diagnostics for the CPU-load and speed figures.
+  double busy_seconds() const { return busy_seconds_; }
+  uint64_t subqueries_served() const { return subqueries_served_; }
+  uint64_t updates_applied() const { return updates_applied_; }
+  double busy_until() const { return busy_until_; }
+  const Arc& range() const { return range_; }
+  uint32_t current_p() const { return p_; }
+
+  // The object ids this node stores: its range extended 1/p backwards
+  // (every object whose replication arc reaches the range).
+  Arc stored_arc() const;
+
+ private:
+  void handle(net::Address from, net::Bytes payload);
+  void on_subquery(net::Address from, const SubQueryMsg& m);
+  void on_range_push(const RangePushMsg& m);
+  void on_fetch_order(const FetchOrderMsg& m);
+  void on_update(const ObjectUpdateMsg& m);
+
+  // Enqueues `seconds` of work at the local pipeline; returns finish time.
+  double enqueue_work(double seconds);
+
+  net::InProcNetwork& net_;
+  NodeParams params_;
+  uint64_t dataset_size_;
+  bool alive_ = false;
+  Arc range_;
+  uint32_t p_ = 1;
+  double busy_until_ = 0.0;
+  double busy_seconds_ = 0.0;
+  uint64_t subqueries_served_ = 0;
+  uint64_t updates_applied_ = 0;
+};
+
+}  // namespace roar::cluster

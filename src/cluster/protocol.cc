@@ -1,0 +1,170 @@
+#include "cluster/protocol.h"
+
+namespace roar::cluster {
+namespace {
+
+net::Writer with_type(MsgType t) {
+  net::Writer w;
+  w.u8(static_cast<uint8_t>(t));
+  return w;
+}
+
+std::optional<net::Reader> reader_for(const net::Bytes& b, MsgType expect) {
+  if (b.empty() || b[0] != static_cast<uint8_t>(expect)) return std::nullopt;
+  net::Reader r(b.data() + 1, b.size() - 1);
+  return r;
+}
+
+}  // namespace
+
+std::optional<MsgType> peek_type(const net::Bytes& b) {
+  if (b.empty()) return std::nullopt;
+  uint8_t t = b[0];
+  if (t < 1 || t > 7) return std::nullopt;
+  return static_cast<MsgType>(t);
+}
+
+net::Bytes SubQueryMsg::encode() const {
+  auto w = with_type(MsgType::kSubQuery);
+  w.u64(query_id);
+  w.u32(part_id);
+  w.ring_id(point);
+  w.ring_id(window_begin);
+  w.ring_id(window_end);
+  w.u32(pq);
+  w.f64(share);
+  return w.take();
+}
+
+std::optional<SubQueryMsg> SubQueryMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kSubQuery);
+  if (!r) return std::nullopt;
+  SubQueryMsg m;
+  m.query_id = r->u64();
+  m.part_id = r->u32();
+  m.point = r->ring_id();
+  m.window_begin = r->ring_id();
+  m.window_end = r->ring_id();
+  m.pq = r->u32();
+  m.share = r->f64();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes SubQueryReplyMsg::encode() const {
+  auto w = with_type(MsgType::kSubQueryReply);
+  w.u64(query_id);
+  w.u32(part_id);
+  w.u64(scanned);
+  w.u64(matches);
+  w.f64(service_s);
+  return w.take();
+}
+
+std::optional<SubQueryReplyMsg> SubQueryReplyMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kSubQueryReply);
+  if (!r) return std::nullopt;
+  SubQueryReplyMsg m;
+  m.query_id = r->u64();
+  m.part_id = r->u32();
+  m.scanned = r->u64();
+  m.matches = r->u64();
+  m.service_s = r->f64();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes RangePushMsg::encode() const {
+  auto w = with_type(MsgType::kRangePush);
+  w.ring_id(range_begin);
+  w.u64(range_len);
+  w.u32(p);
+  w.u8(fixed ? 1 : 0);
+  return w.take();
+}
+
+std::optional<RangePushMsg> RangePushMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kRangePush);
+  if (!r) return std::nullopt;
+  RangePushMsg m;
+  m.range_begin = r->ring_id();
+  m.range_len = r->u64();
+  m.p = r->u32();
+  m.fixed = r->u8() != 0;
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes FetchOrderMsg::encode() const {
+  auto w = with_type(MsgType::kFetchOrder);
+  w.ring_id(arc_begin);
+  w.u64(arc_len);
+  w.u32(new_p);
+  return w.take();
+}
+
+std::optional<FetchOrderMsg> FetchOrderMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kFetchOrder);
+  if (!r) return std::nullopt;
+  FetchOrderMsg m;
+  m.arc_begin = r->ring_id();
+  m.arc_len = r->u64();
+  m.new_p = r->u32();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes FetchCompleteMsg::encode() const {
+  auto w = with_type(MsgType::kFetchComplete);
+  w.u32(node);
+  w.u32(new_p);
+  return w.take();
+}
+
+std::optional<FetchCompleteMsg> FetchCompleteMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kFetchComplete);
+  if (!r) return std::nullopt;
+  FetchCompleteMsg m;
+  m.node = r->u32();
+  m.new_p = r->u32();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes ObjectUpdateMsg::encode() const {
+  auto w = with_type(MsgType::kObjectUpdate);
+  w.ring_id(object_id);
+  w.u32(payload_bytes);
+  return w.take();
+}
+
+std::optional<ObjectUpdateMsg> ObjectUpdateMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kObjectUpdate);
+  if (!r) return std::nullopt;
+  ObjectUpdateMsg m;
+  m.object_id = r->ring_id();
+  m.payload_bytes = r->u32();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes NodeStatsMsg::encode() const {
+  auto w = with_type(MsgType::kNodeStats);
+  w.u32(node);
+  w.f64(busy_fraction);
+  w.f64(observed_rate);
+  return w.take();
+}
+
+std::optional<NodeStatsMsg> NodeStatsMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kNodeStats);
+  if (!r) return std::nullopt;
+  NodeStatsMsg m;
+  m.node = r->u32();
+  m.busy_fraction = r->f64();
+  m.observed_rate = r->f64();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+}  // namespace roar::cluster

@@ -1,0 +1,101 @@
+// Wire protocol of the emulated ROAR cluster.
+//
+// All component communication — front-end to node sub-queries, replies,
+// membership range pushes, reconfiguration fetch orders and confirmations,
+// object updates — is encoded with net::Writer/Reader and delivered over
+// net::InProcNetwork (or, byte-identically, the TCP transport). Keeping a
+// real serialised protocol (rather than direct method calls) means the
+// emulated cluster exercises the same decode paths a deployment would.
+#pragma once
+
+#include <optional>
+
+#include "common/ring_id.h"
+#include "net/serialize.h"
+
+namespace roar::cluster {
+
+using NodeId = uint32_t;
+
+enum class MsgType : uint8_t {
+  kSubQuery = 1,
+  kSubQueryReply = 2,
+  kRangePush = 3,      // membership -> node: your range is [..]
+  kFetchOrder = 4,     // membership -> node: download arc for new p
+  kFetchComplete = 5,  // node -> membership
+  kObjectUpdate = 6,   // update server -> node
+  kNodeStats = 7,      // node -> membership (load report)
+};
+
+struct SubQueryMsg {
+  uint64_t query_id = 0;
+  uint32_t part_id = 0;
+  RingId point;
+  RingId window_begin;
+  RingId window_end;
+  uint32_t pq = 1;
+  double share = 0.0;
+
+  net::Bytes encode() const;
+  static std::optional<SubQueryMsg> decode(const net::Bytes& b);
+};
+
+struct SubQueryReplyMsg {
+  uint64_t query_id = 0;
+  uint32_t part_id = 0;
+  uint64_t scanned = 0;   // metadata matched against the query
+  uint64_t matches = 0;
+  double service_s = 0.0;  // pure processing time (for speed estimation)
+
+  net::Bytes encode() const;
+  static std::optional<SubQueryReplyMsg> decode(const net::Bytes& b);
+};
+
+struct RangePushMsg {
+  RingId range_begin;
+  uint64_t range_len = 0;
+  uint32_t p = 1;          // current partitioning level
+  bool fixed = false;      // administrator-pinned range (§4.9)
+
+  net::Bytes encode() const;
+  static std::optional<RangePushMsg> decode(const net::Bytes& b);
+};
+
+struct FetchOrderMsg {
+  RingId arc_begin;
+  uint64_t arc_len = 0;
+  uint32_t new_p = 1;
+
+  net::Bytes encode() const;
+  static std::optional<FetchOrderMsg> decode(const net::Bytes& b);
+};
+
+struct FetchCompleteMsg {
+  NodeId node = 0;
+  uint32_t new_p = 1;
+
+  net::Bytes encode() const;
+  static std::optional<FetchCompleteMsg> decode(const net::Bytes& b);
+};
+
+struct ObjectUpdateMsg {
+  RingId object_id;
+  uint32_t payload_bytes = 0;
+
+  net::Bytes encode() const;
+  static std::optional<ObjectUpdateMsg> decode(const net::Bytes& b);
+};
+
+struct NodeStatsMsg {
+  NodeId node = 0;
+  double busy_fraction = 0.0;
+  double observed_rate = 0.0;  // metadata/s
+
+  net::Bytes encode() const;
+  static std::optional<NodeStatsMsg> decode(const net::Bytes& b);
+};
+
+// Reads the leading type byte without consuming the payload.
+std::optional<MsgType> peek_type(const net::Bytes& b);
+
+}  // namespace roar::cluster

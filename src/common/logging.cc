@@ -1,0 +1,16 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace roar::log_internal {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+
+void emit(LogLevel level, const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::fprintf(stderr, "[%s] %s\n", kNames[idx], msg.c_str());
+}
+
+}  // namespace roar::log_internal

@@ -1,0 +1,48 @@
+// Minimal leveled logging. The emulated cluster logs membership and failure
+// events at INFO; everything is silent by default so tests and benches stay
+// clean. Not thread-synchronized beyond the atomic level gate; cluster code
+// serializes through the event loop.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace roar {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_internal {
+extern std::atomic<int> g_level;
+void emit(LogLevel level, const std::string& msg);
+}  // namespace log_internal
+
+inline void set_log_level(LogLevel level) {
+  log_internal::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         log_internal::g_level.load(std::memory_order_relaxed);
+}
+
+// Usage: ROAR_LOG(kInfo) << "node " << id << " joined";
+#define ROAR_LOG(severity)                                        \
+  if (!::roar::log_enabled(::roar::LogLevel::severity)) {         \
+  } else                                                          \
+    ::roar::log_internal::LogLine(::roar::LogLevel::severity).stream()
+
+namespace log_internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, os_.str()); }
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace log_internal
+
+}  // namespace roar

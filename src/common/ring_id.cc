@@ -1,0 +1,86 @@
+#include "common/ring_id.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace roar {
+
+RingId RingId::from_double(double f) {
+  f -= std::floor(f);
+  // 2^64 as a double; the product is < 2^64 for f < 1.
+  long double scaled = static_cast<long double>(f) * 18446744073709551616.0L;
+  return RingId(static_cast<uint64_t>(scaled));
+}
+
+double RingId::to_double() const {
+  return static_cast<double>(raw_) / 18446744073709551616.0;
+}
+
+std::string RingId::to_string() const {
+  std::ostringstream os;
+  os << to_double();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, RingId id) {
+  return os << id.to_double();
+}
+
+RingId query_point(RingId start, uint32_t i, uint32_t p) {
+  // offset = i * 2^64 / p, computed with 128-bit intermediate so the points
+  // are individually rounded (no accumulated drift across i).
+  unsigned __int128 off = (static_cast<unsigned __int128>(i) << 64) / p;
+  return start.advanced_raw(static_cast<uint64_t>(off));
+}
+
+bool Arc::intersects(const Arc& other) const {
+  if (empty() || other.empty()) return false;
+  // Arcs [a, a+la) and [b, b+lb) intersect iff b is within la of a going
+  // clockwise, or a is within lb of b.
+  return begin_.distance_to(other.begin_) < len_ ||
+         other.begin_.distance_to(begin_) < other.len_;
+}
+
+uint64_t Arc::intersection_length(const Arc& other) const {
+  if (empty() || other.empty()) return 0;
+  // Work in coordinates relative to this->begin: this arc is [0, la).
+  // The other arc is [s, s+lb) and may wrap past 2^64, splitting into
+  // [s, 2^64) and [0, s+lb−2^64).
+  unsigned __int128 la = len_;
+  unsigned __int128 s = begin_.distance_to(other.begin_);
+  unsigned __int128 lb = other.len_;
+  unsigned __int128 full = (static_cast<unsigned __int128>(1) << 64);
+
+  auto overlap = [&](unsigned __int128 lo, unsigned __int128 hi) {
+    // Overlap of [0, la) with [lo, hi).
+    unsigned __int128 a = lo;
+    unsigned __int128 b = hi < la ? hi : la;
+    return b > a ? b - a : static_cast<unsigned __int128>(0);
+  };
+
+  unsigned __int128 total = 0;
+  unsigned __int128 end = s + lb;
+  if (end <= full) {
+    total = overlap(s, end);
+  } else {
+    total = overlap(s, full) + overlap(0, end - full);
+  }
+  return static_cast<uint64_t>(total > UINT64_MAX ? UINT64_MAX : total);
+}
+
+double Arc::fraction() const {
+  return static_cast<double>(len_) / 18446744073709551616.0;
+}
+
+std::string Arc::to_string() const {
+  std::ostringstream os;
+  os << "[" << begin_ << ", +" << fraction() << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Arc& a) {
+  return os << a.to_string();
+}
+
+}  // namespace roar

@@ -1,0 +1,115 @@
+// Fixed-point positions and arcs on the unit circle.
+//
+// ROAR (and the SW/dual-SW baselines) place servers, objects and queries on
+// a continuous circular id space. The thesis describes the space as [0, 1);
+// we represent a position as a 64-bit unsigned integer so that all modular
+// arithmetic (wrap-around distances, arc intersection, equi-spaced query
+// points) is exact. One unit of RingId::raw corresponds to 2^-64 of the
+// circle, far below any precision the algorithms need.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace roar {
+
+// A point on the unit circle, fixed point with 64 fractional bits.
+class RingId {
+ public:
+  constexpr RingId() = default;
+  constexpr explicit RingId(uint64_t raw) : raw_(raw) {}
+
+  // Converts from a fraction of the circle in [0, 1). Values outside the
+  // range are wrapped. Intended for tests and human-entered constants; the
+  // library itself works in raw units.
+  static RingId from_double(double f);
+
+  // Fraction of the circle in [0, 1). Lossy; for reporting only.
+  double to_double() const;
+
+  constexpr uint64_t raw() const { return raw_; }
+
+  // Clockwise (increasing-id) distance from *this to `other`, wrapping.
+  // distance_to(x) == 0 iff x == *this.
+  constexpr uint64_t distance_to(RingId other) const {
+    return other.raw_ - raw_;  // unsigned wrap is the modular distance
+  }
+
+  // The point `frac` of the circle clockwise from this one.
+  constexpr RingId advanced_raw(uint64_t delta) const {
+    return RingId(raw_ + delta);
+  }
+
+  friend constexpr bool operator==(RingId a, RingId b) = default;
+  // Total order by raw value; note this is *not* a circular order. Use
+  // distance_to for circular reasoning.
+  friend constexpr auto operator<=>(RingId a, RingId b) {
+    return a.raw_ <=> b.raw_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  uint64_t raw_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, RingId id);
+
+// One n-th of the circle, in raw units, rounding so that n steps of
+// circle_fraction(n) plus distributed remainder cover the circle. For query
+// fan-out we instead use equally spaced points computed multiplicatively to
+// avoid accumulation error (see query_point below).
+constexpr uint64_t circle_fraction(uint64_t n) {
+  // 2^64 / n, rounded up so n arcs of this length always cover the circle.
+  // n == 1 would be 2^64 (unrepresentable); the near-full-circle UINT64_MAX
+  // is returned instead — one raw unit short, which no algorithm resolves.
+  return n == 0   ? 0
+         : n == 1 ? 0xFFFF'FFFF'FFFF'FFFFull
+                  : (0xFFFF'FFFF'FFFF'FFFFull / n) + 1;
+}
+
+// The i-th of `p` equally spaced query points starting at `start`.
+// i in [0, p). Spacing is computed per-point so the p points are within one
+// raw unit of ideal positions and never drift.
+RingId query_point(RingId start, uint32_t i, uint32_t p);
+
+// A half-open arc [begin, begin + length) on the circle. length is in raw
+// units; a length of 0 is the empty arc, a length of UINT64_MAX is treated
+// as (just short of) the full circle.
+class Arc {
+ public:
+  constexpr Arc() = default;
+  constexpr Arc(RingId begin, uint64_t length) : begin_(begin), len_(length) {}
+
+  constexpr RingId begin() const { return begin_; }
+  constexpr uint64_t length() const { return len_; }
+  constexpr RingId end() const { return begin_.advanced_raw(len_); }
+  constexpr bool empty() const { return len_ == 0; }
+
+  // Whether `id` lies in [begin, begin+len), accounting for wrap.
+  constexpr bool contains(RingId id) const {
+    return begin_.distance_to(id) < len_;
+  }
+
+  // Whether the two arcs share at least one point.
+  bool intersects(const Arc& other) const;
+
+  // Length (in raw units) of the overlap with `other`. The overlap of two
+  // arcs on a circle can be two disjoint segments; the total is returned.
+  uint64_t intersection_length(const Arc& other) const;
+
+  // Fraction of the circle covered. For reporting.
+  double fraction() const;
+
+  std::string to_string() const;
+
+ private:
+  RingId begin_;
+  uint64_t len_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Arc& a);
+
+}  // namespace roar

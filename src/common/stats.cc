@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace roar {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const {
+  return std::sqrt(variance());
+}
+
+double SampleSet::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double SampleSet::percentile(double q) const {
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  if (q <= 0.0) return xs_.front();
+  if (q >= 1.0) return xs_.back();
+  double pos = q * static_cast<double>(xs_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double mx = std::accumulate(x.begin(), x.begin() + n, 0.0) / n;
+  double my = std::accumulate(y.begin(), y.begin() + n, 0.0) / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+bool queue_exploding(const std::vector<double>& arrival_times,
+                     const std::vector<double>& delays,
+                     double slope_threshold) {
+  return fit_line(arrival_times, delays).slope > slope_threshold;
+}
+
+double load_imbalance(const std::vector<double>& assigned) {
+  if (assigned.empty()) return 0.0;
+  double mx = *std::max_element(assigned.begin(), assigned.end());
+  double mean = std::accumulate(assigned.begin(), assigned.end(), 0.0) /
+                static_cast<double>(assigned.size());
+  return mean > 0.0 ? mx / mean : 0.0;
+}
+
+std::string format_row(const std::vector<std::string>& cells, int width) {
+  std::ostringstream os;
+  for (const auto& c : cells) {
+    os << c;
+    int pad = width - static_cast<int>(c.size());
+    for (int i = 0; i < std::max(pad, 1); ++i) os << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace roar

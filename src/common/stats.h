@@ -1,0 +1,97 @@
+// Statistics utilities shared by the simulator, the emulated cluster and the
+// benchmark harnesses: running summaries, percentiles, EWMA speed estimates
+// (used by the front-end server, §4.8), and the queue-explosion regression
+// test the thesis applies to open-loop simulations (§6.1, "slope of the
+// fitted delay(time) line > 0.1 means the system is overloaded").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace roar {
+
+// Streaming mean/variance/min/max (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Collects raw samples for percentile reporting. Benchmarks report the same
+// quantiles as the paper's figures (mean, median, p95, p99).
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  void reserve(size_t n) { xs_.reserve(n); }
+  size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  // q in [0, 1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(1.0); }
+  const std::vector<double>& samples() const { return xs_; }
+  void clear() { xs_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+// Exponentially weighted moving average; the front-end uses this for
+// per-server processing-speed estimates (§4.8: "an exponentially weighted
+// average processing speed is updated with the new data").
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+  void add(double x);
+  bool has_value() const { return initialized_; }
+  double value() const { return value_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Least-squares fit y = a + b*x. Used for the thesis' queue-explosion
+// check: fit delay against arrival time; a slope > threshold means the
+// open-loop system is unstable and delay should be reported as infinite.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+// The paper's stability test (§6.1): true if the delay(time) slope exceeds
+// `slope_threshold` (default 0.1, i.e. delays grow 0.1s per second).
+bool queue_exploding(const std::vector<double>& arrival_times,
+                     const std::vector<double>& delays,
+                     double slope_threshold = 0.1);
+
+// Load imbalance per Definition 3: max assigned / mean assigned.
+double load_imbalance(const std::vector<double>& assigned);
+
+// Formats a table row with fixed column width for bench output.
+std::string format_row(const std::vector<std::string>& cells, int width = 12);
+
+}  // namespace roar

@@ -1,0 +1,271 @@
+#include "core/membership.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace roar::core {
+
+MembershipServer::MembershipServer(MembershipConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.ring_count == 0) {
+    throw std::invalid_argument("ring_count must be >= 1");
+  }
+  rings_.resize(config_.ring_count);
+  ring_active_.assign(config_.ring_count, true);
+}
+
+std::vector<const Ring*> MembershipServer::ring_pointers() const {
+  std::vector<const Ring*> out;
+  for (const auto& r : rings_) out.push_back(&r);
+  return out;
+}
+
+std::vector<const Ring*> MembershipServer::active_ring_pointers() const {
+  std::vector<const Ring*> out;
+  for (size_t k = 0; k < rings_.size(); ++k) {
+    if (ring_active_[k]) out.push_back(&rings_[k]);
+  }
+  return out;
+}
+
+uint32_t MembershipServer::pick_ring_for_join() const {
+  uint32_t best = 0;
+  double best_speed = std::numeric_limits<double>::infinity();
+  for (uint32_t k = 0; k < rings_.size(); ++k) {
+    double s = rings_[k].total_speed();
+    if (s < best_speed) {
+      best_speed = s;
+      best = k;
+    }
+  }
+  return best;
+}
+
+RingId MembershipServer::hottest_split_position(uint32_t ring_idx) const {
+  const Ring& ring = rings_[ring_idx];
+  if (ring.empty()) {
+    return RingId(0x8000'0000'0000'0000ull);  // arbitrary first position
+  }
+  NodeId hottest = kInvalidNode;
+  double worst = -1.0;
+  for (const auto& n : ring.nodes()) {
+    if (!n.alive) continue;
+    double load = ring.range_fraction(n.id) / n.speed;
+    if (load > worst) {
+      worst = load;
+      hottest = n.id;
+    }
+  }
+  if (hottest == kInvalidNode) hottest = ring.nodes().front().id;
+  Arc range = ring.range_of(hottest);
+  // New node sits halfway through the hottest range, taking its first half.
+  return range.begin().advanced_raw(range.length() / 2);
+}
+
+uint32_t MembershipServer::join(NodeId id, double speed) {
+  auto it = members_.find(id);
+  if (it != members_.end() && it->second.up) {
+    throw std::invalid_argument("node already up: " + std::to_string(id));
+  }
+  uint32_t ring_idx;
+  RingId position;
+  if (it != members_.end() && it->second.last_position.has_value()) {
+    // Returning server: same ring, same range (§4.9 history).
+    ring_idx = it->second.ring;
+    position = *it->second.last_position;
+    // Guard against a collision created since it left.
+    while (true) {
+      bool collision = false;
+      for (const auto& n : rings_[ring_idx].nodes()) {
+        if (n.position == position) {
+          collision = true;
+          break;
+        }
+      }
+      if (!collision) break;
+      position = position.advanced_raw(1);
+    }
+  } else {
+    ring_idx = pick_ring_for_join();
+    position = hottest_split_position(ring_idx);
+  }
+  rings_[ring_idx].add_node(id, position, speed);
+  MemberRecord rec;
+  rec.id = id;
+  rec.ring = ring_idx;
+  rec.speed = speed;
+  rec.up = true;
+  rec.last_position = position;
+  members_[id] = rec;
+  ROAR_LOG(kInfo) << "membership: node " << id << " joined ring " << ring_idx
+                  << " at " << position;
+  return ring_idx;
+}
+
+void MembershipServer::leave(NodeId id) {
+  auto& rec = members_.at(id);
+  rec.last_position = rings_[rec.ring].node(id).position;
+  rings_[rec.ring].remove_node(id);
+  rec.up = false;
+}
+
+void MembershipServer::fail(NodeId id) {
+  auto& rec = members_.at(id);
+  rings_[rec.ring].set_alive(id, false);
+  rec.up = false;
+}
+
+void MembershipServer::remove_failed(NodeId id) {
+  auto& rec = members_.at(id);
+  rec.last_position = rings_[rec.ring].node(id).position;
+  rings_[rec.ring].remove_node(id);
+}
+
+void MembershipServer::set_fixed_range(NodeId id, bool fixed) {
+  members_.at(id).fixed_range = fixed;
+}
+
+void MembershipServer::update_speed(NodeId id, double speed) {
+  auto& rec = members_.at(id);
+  rec.speed = speed;
+  if (rec.up) rings_[rec.ring].set_speed(id, speed);
+}
+
+double MembershipServer::load_proxy(uint32_t ring_idx, NodeId id) const {
+  const Ring& ring = rings_[ring_idx];
+  return ring.range_fraction(id) / ring.node(id).speed;
+}
+
+double MembershipServer::balance_step() {
+  double moved = 0.0;
+  for (uint32_t k = 0; k < rings_.size(); ++k) {
+    Ring& ring = rings_[k];
+    if (ring.size() < 2) continue;
+    // Snapshot node order; boundaries move as we go.
+    std::vector<NodeId> order;
+    for (const auto& n : ring.nodes()) order.push_back(n.id);
+    for (NodeId a_id : order) {
+      if (!ring.contains(a_id)) continue;
+      NodeId b_id = ring.successor(a_id);
+      if (a_id == b_id) continue;
+      const RingNode& a = ring.node(a_id);
+      const RingNode& b = ring.node(b_id);
+      if (!a.alive || !b.alive) continue;
+      if (members_.at(a_id).fixed_range || members_.at(b_id).fixed_range) {
+        continue;
+      }
+      double la = ring.range_fraction(a_id) / a.speed;
+      double lb = ring.range_fraction(b_id) / b.speed;
+      double hi = std::max(la, lb);
+      if (hi <= 0) continue;
+      if (std::abs(la - lb) / hi < config_.balance_threshold) continue;
+
+      // Boundary between a and b is a's position: move it toward the more
+      // loaded side by balance_step of the load gap, converted to range.
+      double target_shift_frac =
+          config_.balance_step * std::abs(la - lb) *
+          (a.speed * b.speed) / (a.speed + b.speed);
+      uint64_t shift =
+          RingId::from_double(target_shift_frac).raw();
+      uint64_t range_a = ring.range_of(a_id).length();
+      uint64_t range_b = ring.range_of(b_id).length();
+      RingId new_pos;
+      if (la > lb) {
+        // a overloaded: shrink a by moving its position backwards.
+        shift = std::min(shift, range_a > 2 ? range_a - 2 : 0);
+        new_pos = a.position.advanced_raw(uint64_t{0} - shift);
+      } else {
+        shift = std::min(shift, range_b > 2 ? range_b - 2 : 0);
+        new_pos = a.position.advanced_raw(shift);
+      }
+      if (shift == 0 || new_pos == a.position) continue;
+      try {
+        ring.set_position(a_id, new_pos);
+        members_.at(a_id).last_position = new_pos;
+        moved += static_cast<double>(shift) / 18446744073709551616.0;
+      } catch (const std::invalid_argument&) {
+        // Position collision: skip this pair this round.
+      }
+    }
+  }
+  return moved;
+}
+
+bool MembershipServer::global_move(double hot_factor) {
+  for (uint32_t k = 0; k < rings_.size(); ++k) {
+    Ring& ring = rings_[k];
+    if (ring.size() < 3) continue;
+    NodeId hottest = kInvalidNode, coolest = kInvalidNode;
+    double hot_load = -1.0, cool_load = std::numeric_limits<double>::max();
+    for (const auto& n : ring.nodes()) {
+      if (!n.alive || members_.at(n.id).fixed_range) continue;
+      double load = ring.range_fraction(n.id) / n.speed;
+      if (load > hot_load) {
+        hot_load = load;
+        hottest = n.id;
+      }
+      if (load < cool_load) {
+        cool_load = load;
+        coolest = n.id;
+      }
+    }
+    if (hottest == kInvalidNode || coolest == kInvalidNode ||
+        hottest == coolest) {
+      continue;
+    }
+    if (cool_load <= 0 || hot_load / std::max(cool_load, 1e-12) < hot_factor) {
+      continue;
+    }
+    // Move the coolest node into the middle of the hottest range. The
+    // coolest node's old range is absorbed by its successor.
+    Arc hot_range = ring.range_of(hottest);
+    RingId new_pos = hot_range.begin().advanced_raw(hot_range.length() / 2);
+    double speed = ring.node(coolest).speed;
+    ring.remove_node(coolest);
+    while (true) {
+      bool collision = false;
+      for (const auto& n : ring.nodes()) {
+        if (n.position == new_pos) {
+          collision = true;
+          break;
+        }
+      }
+      if (!collision) break;
+      new_pos = new_pos.advanced_raw(1);
+    }
+    ring.add_node(coolest, new_pos, speed);
+    members_.at(coolest).last_position = new_pos;
+    ROAR_LOG(kInfo) << "membership: moved node " << coolest
+                    << " into hot range of node " << hottest;
+    return true;
+  }
+  return false;
+}
+
+void MembershipServer::set_active_rings(uint32_t active) {
+  if (active == 0 || active > rings_.size()) {
+    throw std::invalid_argument("active rings out of range");
+  }
+  for (uint32_t k = 0; k < rings_.size(); ++k) {
+    bool want = k < active;
+    if (ring_active_[k] == want) continue;
+    ring_active_[k] = want;
+    for (const auto& n : rings_[k].nodes()) {
+      rings_[k].set_alive(n.id, want);
+    }
+  }
+}
+
+double MembershipServer::range_imbalance(uint32_t ring_idx) const {
+  const Ring& ring = rings_[ring_idx];
+  std::vector<double> loads;
+  for (const auto& n : ring.nodes()) {
+    if (n.alive) loads.push_back(ring.range_fraction(n.id) / n.speed);
+  }
+  return load_imbalance(loads);
+}
+
+}  // namespace roar::core

@@ -1,0 +1,111 @@
+// The ROAR membership server (§4.9).
+//
+// A centralised (replicable) service that owns the assignment of nodes to
+// rings and positions: it inserts new servers at hot spots, runs the slow
+// background range balancing between neighbours (with the 10% churn
+// threshold), moves servers from cool to hot regions, remembers range
+// history so returning servers reload only deltas, and powers whole rings
+// up or down to track diurnal load (§4.9.1).
+//
+// This class is pure policy over Ring state. The emulated cluster
+// (src/cluster) invokes it through messages; the simulator drives it
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ring.h"
+
+namespace roar::core {
+
+struct MembershipConfig {
+  uint32_t ring_count = 1;
+  // Nodes stop balancing when their load-proxy difference is below this
+  // (§4.9: "we set a threshold on the load difference between nodes (10%
+  // for our implementation)").
+  double balance_threshold = 0.10;
+  // Fraction of the imbalance corrected per balancing step (slow
+  // background process).
+  double balance_step = 0.25;
+};
+
+struct MemberRecord {
+  NodeId id = kInvalidNode;
+  uint32_t ring = 0;
+  double speed = 1.0;
+  bool up = false;
+  bool fixed_range = false;  // administrator pinned (§4.9 "Fixed" flag)
+  std::optional<RingId> last_position;  // history for fast rejoin
+};
+
+class MembershipServer {
+ public:
+  MembershipServer(MembershipConfig config, uint64_t seed);
+
+  uint32_t ring_count() const {
+    return static_cast<uint32_t>(rings_.size());
+  }
+  const Ring& ring(uint32_t k) const { return rings_[k]; }
+  std::vector<const Ring*> ring_pointers() const;
+  // Rings currently powered on (diurnal adaptation may disable some).
+  std::vector<const Ring*> active_ring_pointers() const;
+  bool ring_active(uint32_t k) const { return ring_active_[k]; }
+
+  // Adds a server. Default policy (§4.9): join the ring with the least
+  // total processing capacity, at the hottest spot (largest range/speed).
+  // A rejoining server with history gets its old position back. Returns
+  // the ring index chosen.
+  uint32_t join(NodeId id, double speed);
+
+  // Graceful removal (neighbours absorb the range implicitly).
+  void leave(NodeId id);
+  // Crash: node marked dead but keeps its range until detected/cleaned.
+  void fail(NodeId id);
+  // Long-term failure handling: drop the node from the ring entirely.
+  void remove_failed(NodeId id);
+
+  void set_fixed_range(NodeId id, bool fixed);
+  void update_speed(NodeId id, double speed);
+
+  // One round of local pairwise balancing on every ring. Returns the total
+  // range fraction moved (proxy for data churn).
+  double balance_step();
+
+  // Global rebalancing: if some node is > `hot_factor` hotter than the
+  // coolest node, move the coolest node next to the hottest (§4.9: "simply
+  // move nodes from cool places of the ring to the hot ones"). Returns
+  // true if a move happened.
+  bool global_move(double hot_factor = 2.0);
+
+  // Power management (§4.9.1): keep `active` rings running, disable the
+  // rest. Requires 1 <= active <= ring_count. Disabled rings' nodes are
+  // marked down (they keep positions for fast restart).
+  void set_active_rings(uint32_t active);
+
+  // Load proxy used by all policies: range_fraction / speed.
+  double load_proxy(uint32_t ring_idx, NodeId id) const;
+
+  // Load imbalance (Definition 3) of query load across live nodes of a
+  // ring, where assigned load is range·(1/speed-normalised).
+  double range_imbalance(uint32_t ring_idx) const;
+
+  const std::map<NodeId, MemberRecord>& members() const { return members_; }
+
+ private:
+  Ring& mutable_ring(uint32_t k) { return rings_[k]; }
+  uint32_t pick_ring_for_join() const;
+  // Splits the hottest node's range, returning the new node's position.
+  RingId hottest_split_position(uint32_t ring_idx) const;
+
+  MembershipConfig config_;
+  Rng rng_;
+  std::vector<Ring> rings_;
+  std::vector<bool> ring_active_;
+  std::map<NodeId, MemberRecord> members_;
+};
+
+}  // namespace roar::core

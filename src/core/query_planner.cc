@@ -1,0 +1,106 @@
+#include "core/query_planner.h"
+
+namespace roar::core {
+
+bool object_matched_by(RingId id_object, RingId start, uint32_t i,
+                       uint32_t pq) {
+  if (pq <= 1) return true;  // a single sub-query owns the whole space
+  RingId cur = query_point(start, i, pq);
+  RingId prev = query_point(start, (i + pq - 1) % pq, pq);
+  uint64_t window = prev.distance_to(cur);
+  uint64_t d = prev.distance_to(id_object);
+  return d > 0 && d <= window;
+}
+
+Arc replication_arc(RingId id_object, uint32_t p) {
+  return Arc(id_object, circle_fraction(p));
+}
+
+QueryPlanner::QueryPlanner(uint64_t delta_raw) : delta_raw_(delta_raw) {}
+
+RoarQueryPlan QueryPlanner::plan(const Ring& ring, RingId start, uint32_t pq,
+                                 uint32_t p, Rng& rng) const {
+  RoarQueryPlan plan;
+  plan.start = start;
+  plan.pq = pq;
+  plan.parts.reserve(pq);
+  double share = 1.0 / pq;
+  for (uint32_t i = 0; i < pq; ++i) {
+    RoarSubQuery sq;
+    sq.point = query_point(start, i, pq);
+    sq.window_begin = query_point(start, (i + pq - 1) % pq, pq);
+    sq.responsibility_end = sq.point;
+    sq.share = share;
+    size_t idx = ring.index_in_charge(sq.point);
+    const RingNode& n = ring.nodes()[idx];
+    if (n.alive) {
+      sq.node = n.id;
+      plan.parts.push_back(sq);
+      continue;
+    }
+    if (!split_around_failure(ring, sq, p, rng, &plan.parts)) {
+      // Data under the failed node is unreachable; record the part as
+      // unassigned so callers can count the query as failed/partial.
+      sq.node = kInvalidNode;
+      plan.parts.push_back(sq);
+    }
+  }
+  return plan;
+}
+
+bool QueryPlanner::split_around_failure(const Ring& ring,
+                                        const RoarSubQuery& failed,
+                                        uint32_t p, Rng& rng,
+                                        std::vector<RoarSubQuery>* out) const {
+  size_t failed_idx = ring.index_in_charge(failed.point);
+  const RingNode& failed_node = ring.nodes()[failed_idx];
+  Arc failed_range = ring.range_of(failed_node.id);
+
+  // faillo / failhi: the extremes of the failed node's range.
+  RingId faillo = failed_range.begin();
+  RingId failhi = failed_node.position;
+
+  uint64_t span = circle_fraction(p);  // 1/p in raw units
+  if (span <= delta_raw_) return false;
+  uint64_t reach = span - delta_raw_;  // 1/p − δ
+
+  // idq1 ∈ (failhi − reach, faillo): the arc of valid first targets.
+  // failhi − reach + 1, computed with modular unsigned arithmetic.
+  RingId arc_begin = failhi.advanced_raw(uint64_t{1} - reach);
+  uint64_t arc_len = arc_begin.distance_to(faillo);
+  if (arc_len == 0 || arc_len >= reach) {
+    // Failed node's range is too large for a (1/p − δ) straddle.
+    return false;
+  }
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    RingId idq1 = arc_begin.advanced_raw(rng.next_below(arc_len));
+    RingId idq2 = idq1.advanced_raw(reach);
+    size_t i1 = ring.index_in_charge(idq1);
+    size_t i2 = ring.index_in_charge(idq2);
+    const RingNode& n1 = ring.nodes()[i1];
+    const RingNode& n2 = ring.nodes()[i2];
+    if (!n1.alive || !n2.alive || n1.id == failed_node.id ||
+        n2.id == failed_node.id) {
+      // §4.4: "if either of the new sub-queries hits a second failed node,
+      // the process is simply repeated, choosing a new random value".
+      continue;
+    }
+    RoarSubQuery a = failed;  // keep the original responsibility window
+    a.point = idq1;
+    a.node = n1.id;
+    a.share = failed.share / 2;
+    a.failure_split = true;
+    RoarSubQuery b = failed;
+    b.point = idq2;
+    b.node = n2.id;
+    b.share = failed.share / 2;
+    b.failure_split = true;
+    out->push_back(a);
+    out->push_back(b);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace roar::core

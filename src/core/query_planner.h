@@ -1,0 +1,81 @@
+// ROAR query planning (§4.2–§4.4): sub-query placement, the duplicate-free
+// object-ownership predicate for pq >= p, and failure splitting.
+//
+// A query launched at `start` with partitioning pq sends sub-query i to the
+// node in charge of point_i = start + i/pq. Sub-query i is responsible for
+// exactly the objects with ids in (point_{i-1}, point_i] — the integer-
+// exact form of the paper's conditions (4.1)–(4.2)
+//   id_object < id_query  and  id_object + 1/pq >= id_query,
+// which makes every object matched by exactly one sub-query whenever
+// pq >= p (objects are replicated on arcs of length 1/p >= 1/pq, so the
+// owning node stores everything in its responsibility window).
+//
+// When a target node is dead, the planner applies §4.4: the sub-query is
+// split in two, sent to points just before the failed node's range and
+// (1/p − δ) later, both carrying the *original* query point so the
+// responsibility window is unchanged and other sub-queries see no overlap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ring.h"
+
+namespace roar::core {
+
+struct RoarSubQuery {
+  RingId point;          // logical destination id on the ring
+  RingId window_begin;   // objects in (window_begin, responsibility_end]
+  RingId responsibility_end;  // == original query point
+  NodeId node = kInvalidNode;
+  double share = 0.0;    // fraction of the object space (for delay models)
+  bool failure_split = false;
+};
+
+struct RoarQueryPlan {
+  RingId start;
+  uint32_t pq = 0;
+  std::vector<RoarSubQuery> parts;
+};
+
+// True iff an object at `id_object` must be matched by sub-query i of a
+// query at `start` with partitioning `pq` — i.e. id_object lies in
+// (point_{i-1}, point_i].
+bool object_matched_by(RingId id_object, RingId start, uint32_t i,
+                       uint32_t pq);
+
+// The node a stored object relies on for sub-query coverage exists iff the
+// object's replication arc [id, id + 1/p) intersects the node's range;
+// helper for tests.
+Arc replication_arc(RingId id_object, uint32_t p);
+
+class QueryPlanner {
+ public:
+  // `delta_raw` is the paper's δ safety margin for failure splits,
+  // expressed in raw ring units; it must exceed the largest rounding
+  // error of recently used p values (a few units suffice; default covers
+  // any p by using one-millionth of the circle).
+  explicit QueryPlanner(uint64_t delta_raw = (1ull << 44));
+
+  // Plans a query with partitioning pq >= minimum p (caller's duty; the
+  // ROAR reconfiguration layer tracks the safe minimum). Dead targets are
+  // split per §4.4 using `rng` for the randomized split point. `p` is the
+  // replication-defining partitioning level (arc length 1/p); it bounds
+  // how far apart the two split halves may be.
+  RoarQueryPlan plan(const Ring& ring, RingId start, uint32_t pq, uint32_t p,
+                     Rng& rng) const;
+
+  // Splits one sub-query around a failed node per §4.4, appending the two
+  // replacement parts to `out`. Exposed for the front-end's timeout path
+  // (a node that dies mid-query gets the same treatment). Returns false if
+  // no live pair of nodes can cover the window (data unavailable).
+  bool split_around_failure(const Ring& ring, const RoarSubQuery& failed,
+                            uint32_t p, Rng& rng,
+                            std::vector<RoarSubQuery>* out) const;
+
+ private:
+  uint64_t delta_raw_;
+};
+
+}  // namespace roar::core

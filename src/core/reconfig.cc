@@ -1,0 +1,67 @@
+#include "core/reconfig.h"
+
+#include <stdexcept>
+
+namespace roar::core {
+
+ReplicationController::ReplicationController(uint32_t initial_p)
+    : target_p_(initial_p), safe_p_(initial_p) {
+  if (initial_p == 0) throw std::invalid_argument("p must be >= 1");
+}
+
+void ReplicationController::begin_change(uint32_t p_new,
+                                         const std::vector<NodeId>& nodes) {
+  if (p_new == 0) throw std::invalid_argument("p must be >= 1");
+  pending_.clear();
+  if (p_new >= safe_p_) {
+    // Increase (or no-op): immediately safe — arcs only shrink, and any
+    // replication level >= 1/p_new's requirement already exists.
+    target_p_ = p_new;
+    safe_p_ = p_new;
+    return;
+  }
+  // Decrease: safe_p_ stays until all nodes confirm.
+  target_p_ = p_new;
+  pending_.insert(nodes.begin(), nodes.end());
+  if (pending_.empty()) safe_p_ = p_new;  // vacuous confirmation
+}
+
+void ReplicationController::confirm(NodeId node) {
+  pending_.erase(node);
+  if (pending_.empty()) safe_p_ = target_p_;
+}
+
+Arc stored_object_arc(const Ring& ring, NodeId node, uint32_t p) {
+  Arc range = ring.range_of(node);
+  uint64_t repl = circle_fraction(p);
+  // ids in (range_begin − 1/p, range_end] — equivalently the half-open
+  // [range_begin − 1/p + 1, range_end + 1).
+  RingId begin = range.begin().advanced_raw(uint64_t{1} - repl);
+  uint64_t len = repl - 1 + range.length();
+  return Arc(begin, len);
+}
+
+Arc ReplicationController::fetch_arc(const Ring& ring, NodeId node,
+                                     uint32_t p_old, uint32_t p_new) {
+  if (p_new >= p_old) return Arc();  // nothing to fetch
+  Arc range = ring.range_of(node);
+  uint64_t repl_old = circle_fraction(p_old);
+  uint64_t repl_new = circle_fraction(p_new);
+  // New ids: [range_begin − 1/p_new + 1, range_begin − 1/p_old + 1).
+  RingId begin = range.begin().advanced_raw(uint64_t{1} - repl_new);
+  return Arc(begin, repl_new - repl_old);
+}
+
+Arc ReplicationController::drop_arc(const Ring& ring, NodeId node,
+                                    uint32_t p_old, uint32_t p_new) {
+  if (p_new <= p_old) return Arc();  // nothing to drop
+  return fetch_arc(ring, node, p_new, p_old);
+}
+
+double ReplicationController::per_node_fetch_fraction(uint32_t p_old,
+                                                      uint32_t p_new) {
+  if (p_new >= p_old) return 0.0;
+  return 1.0 / p_new - 1.0 / p_old;
+}
+
+}  // namespace roar::core

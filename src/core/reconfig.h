@@ -1,0 +1,64 @@
+// On-the-fly p/r reconfiguration (§4.5).
+//
+// Increasing p (shrinking r): always safe immediately — queries may use the
+// new, larger pq at once, and nodes drop surplus objects in their own time.
+//
+// Decreasing p to p' (growing r): every object's replication arc extends by
+// 1/p' − 1/p further round the ring; each node must fetch the objects whose
+// extended arcs newly reach its range. Until *every* node confirms its
+// fetch, the front-ends must keep partitioning queries the old p ways —
+// this controller tracks that safety rule and exposes the safe pq.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/ring.h"
+
+namespace roar::core {
+
+class ReplicationController {
+ public:
+  explicit ReplicationController(uint32_t initial_p);
+
+  // The configured (target) partitioning level.
+  uint32_t target_p() const { return target_p_; }
+  // The minimum pq that is currently guaranteed to reach every object.
+  uint32_t safe_p() const { return safe_p_; }
+  bool in_progress() const { return !pending_.empty(); }
+
+  // Starts a change to p_new. For decreases, `nodes` is the set that must
+  // confirm their downloads before the new p becomes safe; for increases
+  // the switch is immediate and `nodes` is ignored.
+  void begin_change(uint32_t p_new, const std::vector<NodeId>& nodes);
+
+  // Node reports its extended-range download is complete.
+  void confirm(NodeId node);
+
+  // The arc of object ids a node must newly fetch when p_old → p_new
+  // (p_new < p_old): ids in [range_begin − 1/p_new, range_begin − 1/p_old).
+  static Arc fetch_arc(const Ring& ring, NodeId node, uint32_t p_old,
+                       uint32_t p_new);
+
+  // Fraction of the dataset each node fetches for the change (0 when p
+  // increases — only deletions).
+  static double per_node_fetch_fraction(uint32_t p_old, uint32_t p_new);
+
+  // The arc of object ids a node may drop after p_old → p_new with
+  // p_new > p_old (the mirror of fetch_arc).
+  static Arc drop_arc(const Ring& ring, NodeId node, uint32_t p_old,
+                      uint32_t p_new);
+
+ private:
+  uint32_t target_p_;
+  uint32_t safe_p_;
+  std::set<NodeId> pending_;
+};
+
+// The full arc of object ids a node must store at partitioning level p:
+// objects whose replication arc [id, id+1/p) intersects the node's range,
+// i.e. ids in (range_begin − 1/p, range_end].
+Arc stored_object_arc(const Ring& ring, NodeId node, uint32_t p);
+
+}  // namespace roar::core

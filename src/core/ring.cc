@@ -1,0 +1,123 @@
+#include "core/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roar::core {
+
+void Ring::add_node(NodeId id, RingId position, double speed) {
+  if (contains(id)) {
+    throw std::invalid_argument("duplicate node id " + std::to_string(id));
+  }
+  auto pos = std::lower_bound(
+      nodes_.begin(), nodes_.end(), position,
+      [](const RingNode& n, RingId p) { return n.position < p; });
+  if (pos != nodes_.end() && pos->position == position) {
+    throw std::invalid_argument("position collision on ring");
+  }
+  nodes_.insert(pos, RingNode{id, position, speed, true});
+}
+
+void Ring::remove_node(NodeId id) {
+  size_t i = index_of(id);
+  nodes_.erase(nodes_.begin() + static_cast<ptrdiff_t>(i));
+}
+
+bool Ring::contains(NodeId id) const {
+  for (const auto& n : nodes_) {
+    if (n.id == id) return true;
+  }
+  return false;
+}
+
+size_t Ring::index_of(NodeId id) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id == id) return i;
+  }
+  throw std::out_of_range("node not on ring: " + std::to_string(id));
+}
+
+const RingNode& Ring::node(NodeId id) const {
+  return nodes_[index_of(id)];
+}
+
+void Ring::set_alive(NodeId id, bool alive) {
+  nodes_[index_of(id)].alive = alive;
+}
+
+void Ring::set_speed(NodeId id, double speed) {
+  nodes_[index_of(id)].speed = speed;
+}
+
+void Ring::set_position(NodeId id, RingId position) {
+  RingNode n = nodes_[index_of(id)];
+  remove_node(id);
+  try {
+    add_node(n.id, position, n.speed);
+  } catch (...) {
+    add_node(n.id, n.position, n.speed);  // restore on collision
+    throw;
+  }
+  nodes_[index_of(id)].alive = n.alive;
+}
+
+size_t Ring::index_in_charge(RingId q) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("index_in_charge on empty ring");
+  }
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), q,
+      [](const RingNode& n, RingId p) { return n.position < p; });
+  if (it == nodes_.end()) it = nodes_.begin();  // wrap
+  return static_cast<size_t>(it - nodes_.begin());
+}
+
+NodeId Ring::node_in_charge(RingId q) const {
+  return nodes_[index_in_charge(q)].id;
+}
+
+NodeId Ring::live_node_in_charge(RingId q) const {
+  if (nodes_.empty()) return kInvalidNode;
+  size_t i = index_in_charge(q);
+  for (size_t step = 0; step < nodes_.size(); ++step) {
+    const RingNode& n = nodes_[(i + step) % nodes_.size()];
+    if (n.alive) return n.id;
+  }
+  return kInvalidNode;
+}
+
+NodeId Ring::successor(NodeId id) const {
+  size_t i = index_of(id);
+  return nodes_[(i + 1) % nodes_.size()].id;
+}
+
+NodeId Ring::predecessor(NodeId id) const {
+  size_t i = index_of(id);
+  return nodes_[(i + nodes_.size() - 1) % nodes_.size()].id;
+}
+
+Arc Ring::range_of(NodeId id) const {
+  size_t i = index_of(id);
+  if (nodes_.size() == 1) {
+    // Sole node owns (almost) the whole circle.
+    return Arc(nodes_[i].position.advanced_raw(1), UINT64_MAX);
+  }
+  const RingNode& pred =
+      nodes_[(i + nodes_.size() - 1) % nodes_.size()];
+  uint64_t len = pred.position.distance_to(nodes_[i].position);
+  return Arc(pred.position.advanced_raw(1), len);
+}
+
+double Ring::range_fraction(NodeId id) const {
+  return range_of(id).fraction();
+}
+
+double Ring::total_speed() const {
+  double s = 0.0;
+  for (const auto& n : nodes_) {
+    if (n.alive) s += n.speed;
+  }
+  return s;
+}
+
+}  // namespace roar::core

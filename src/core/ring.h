@@ -1,0 +1,89 @@
+// The ROAR ring (§4): a continuous circular id space carved into
+// contiguous node ranges.
+//
+// Convention: a node "at position x" owns the half-open arc
+// (predecessor_position, x] — i.e. node_in_charge(q) is the first node at
+// or clockwise-after q. This is the convention Algorithm 1 (the sweep
+// scheduler) uses: the distance from a query point to the owning node's
+// position is exactly how far the sweep can advance before the point
+// crosses into the next node.
+//
+// The ring itself is a passive data structure; query planning, scheduling
+// and membership policy live in query_planner.h / scheduler.h /
+// membership.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ring_id.h"
+
+namespace roar::core {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+struct RingNode {
+  NodeId id = kInvalidNode;
+  RingId position;      // owns (pred.position, position]
+  double speed = 1.0;   // relative processing speed (objects/sec scale)
+  bool alive = true;
+};
+
+class Ring {
+ public:
+  Ring() = default;
+
+  // Node ids must be unique; positions must be unique.
+  void add_node(NodeId id, RingId position, double speed = 1.0);
+  void remove_node(NodeId id);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  // Nodes in position order (ascending raw id).
+  const std::vector<RingNode>& nodes() const { return nodes_; }
+
+  bool contains(NodeId id) const;
+  const RingNode& node(NodeId id) const;
+  void set_alive(NodeId id, bool alive);
+  void set_speed(NodeId id, double speed);
+  // Moves a node's position (the boundary between it and its successor
+  // stays with it: its range and its *predecessor's successor range*
+  // change). Position must not collide with another node's.
+  void set_position(NodeId id, RingId position);
+
+  // Index (into nodes()) of the node in charge of `q`: first node at
+  // position >= q, wrapping to nodes().front(). O(log n). Ring must be
+  // non-empty.
+  size_t index_in_charge(RingId q) const;
+  NodeId node_in_charge(RingId q) const;
+
+  // Like node_in_charge but skips dead nodes (returns the next live node
+  // clockwise); kInvalidNode if all nodes are dead.
+  NodeId live_node_in_charge(RingId q) const;
+
+  // Neighbour navigation by node id.
+  NodeId successor(NodeId id) const;
+  NodeId predecessor(NodeId id) const;
+
+  // The arc a node owns: (pred.position, position]. Represented as the
+  // half-open [pred.position + 1, position + 1) in raw units.
+  Arc range_of(NodeId id) const;
+  // Fraction of the circle owned.
+  double range_fraction(NodeId id) const;
+
+  // Sum of speeds of live nodes.
+  double total_speed() const;
+
+  // Position-sorted index of a node id, for iteration. Throws if missing.
+  size_t index_of(NodeId id) const;
+
+ private:
+  // Sorted by position.
+  std::vector<RingNode> nodes_;
+};
+
+}  // namespace roar::core

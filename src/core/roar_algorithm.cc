@@ -1,0 +1,130 @@
+#include "core/roar_algorithm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roar::core {
+
+RoarAlgorithm::RoarAlgorithm(uint32_t n, uint32_t p, uint32_t rings,
+                             uint64_t seed)
+    : n_(n), p_(p), ring_count_(rings), rng_(seed) {
+  if (rings == 0 || n == 0 || p == 0 || rings > n) {
+    throw std::invalid_argument("RoarAlgorithm: bad parameters");
+  }
+  rings_.resize(rings);
+  ring_of_.resize(n);
+  // Deal servers round-robin to rings, evenly spaced in each ring.
+  std::vector<uint32_t> per_ring(rings, 0);
+  for (uint32_t s = 0; s < n; ++s) {
+    ring_of_[s] = s % rings;
+    ++per_ring[s % rings];
+  }
+  std::vector<uint32_t> placed(rings, 0);
+  for (uint32_t s = 0; s < n; ++s) {
+    uint32_t k = ring_of_[s];
+    RingId pos = query_point(RingId(0), placed[k], per_ring[k]);
+    // Offset ring k slightly so rings do not share boundaries.
+    pos = pos.advanced_raw(static_cast<uint64_t>(k) << 32);
+    rings_[k].add_node(s, pos, 1.0);
+    ++placed[k];
+  }
+}
+
+void RoarAlgorithm::set_alive(rendezvous::ServerId s, bool alive) {
+  rings_[ring_of_[s]].set_alive(s, alive);
+}
+
+rendezvous::Placement RoarAlgorithm::place_object(uint64_t object_key) {
+  // Uniform id from the key (splmix-style scramble).
+  uint64_t x = object_key + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  RingId id(x ^ (x >> 31));
+  Arc repl = replication_arc(id, p_);
+
+  rendezvous::Placement out;
+  for (const auto& ring : rings_) {
+    for (const auto& node : ring.nodes()) {
+      if (ring.range_of(node.id).intersects(repl)) {
+        out.replicas.push_back(node.id);
+      }
+    }
+  }
+  return out;
+}
+
+rendezvous::QueryPlan RoarAlgorithm::plan_query(
+    uint64_t choice, const std::vector<bool>& alive) const {
+  // Fast path: callers that maintain liveness via set_alive pass an empty
+  // vector and we plan directly against the internal rings. Otherwise sync
+  // liveness into copies (const interface).
+  std::vector<Ring> ring_copies;
+  const std::vector<Ring>* rings = &rings_;
+  if (!alive.empty()) {
+    ring_copies = rings_;
+    for (uint32_t s = 0; s < n_; ++s) {
+      ring_copies[ring_of_[s]].set_alive(s, alive[s]);
+    }
+    rings = &ring_copies;
+  }
+  const std::vector<Ring>& live_rings = *rings;
+
+  RingId start(choice * 0x9E3779B97F4A7C15ull);
+  rendezvous::QueryPlan plan;
+  QueryPlanner planner;
+  Rng rng(choice ^ 0xD1B54A32D192ED03ull);
+
+  for (uint32_t i = 0; i < p_; ++i) {
+    RingId point = query_point(start, i, p_);
+    double share = 1.0 / p_;
+    // Try each ring (rotated by choice) for a live owner.
+    bool assigned = false;
+    for (uint32_t kk = 0; kk < ring_count_ && !assigned; ++kk) {
+      uint32_t k = static_cast<uint32_t>((kk + choice + i) % ring_count_);
+      const Ring& ring = live_rings[k];
+      size_t idx = ring.index_in_charge(point);
+      if (ring.nodes()[idx].alive) {
+        plan.parts.push_back(rendezvous::SubQuery{
+            ring.nodes()[idx].id, share});
+        assigned = true;
+      }
+    }
+    if (assigned) continue;
+    // All owners dead: §4.4 failure split on the first ring that works.
+    for (uint32_t k = 0; k < ring_count_ && !assigned; ++k) {
+      RoarSubQuery sq;
+      sq.point = point;
+      sq.window_begin = query_point(start, (i + p_ - 1) % p_, p_);
+      sq.responsibility_end = point;
+      sq.share = share;
+      std::vector<RoarSubQuery> split;
+      if (planner.split_around_failure(live_rings[k], sq, p_, rng, &split)) {
+        for (const auto& part : split) {
+          plan.parts.push_back(
+              rendezvous::SubQuery{part.node, part.share});
+        }
+        assigned = true;
+      }
+    }
+    if (!assigned) {
+      plan.parts.push_back(
+          rendezvous::SubQuery{rendezvous::kInvalidServer, share});
+    }
+  }
+  return plan;
+}
+
+double RoarAlgorithm::combination_count() const {
+  double r = static_cast<double>(n_) / p_;
+  if (ring_count_ == 1) {
+    // Granularity of distinct assignments along the sweep: n crossings,
+    // grouped into r distinct starting windows (§4.6: "it must choose
+    // between r configurations").
+    return r;
+  }
+  // §4.7: r · 2^(p−1) for two rings; generalised r · R^(p−1).
+  return r * std::pow(static_cast<double>(ring_count_),
+                      static_cast<double>(p_ - 1));
+}
+
+}  // namespace roar::core

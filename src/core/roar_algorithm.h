@@ -1,0 +1,58 @@
+// Adapter: ROAR as a rendezvous::Algorithm (single- or multi-ring).
+//
+// Lets the availability and message-cost analyses (Fig 6.8, Table 6.2)
+// treat ROAR uniformly with the PTN/SW/RAND baselines. Placement follows
+// §4.1 (replication arc of 1/p per ring, objects stored on every ring);
+// query planning follows §4.2 with the §4.4 failure-splitting fallback and
+// the §4.7 multi-ring rule (each query point may be served by the owner in
+// any ring, since every ring stores every object).
+#pragma once
+
+#include <memory>
+
+#include "core/query_planner.h"
+#include "core/ring.h"
+#include "rendezvous/algorithm.h"
+
+namespace roar::core {
+
+class RoarAlgorithm : public rendezvous::Algorithm {
+ public:
+  // Spreads n servers evenly across `rings` rings, evenly spaced. p is the
+  // partitioning level (objects replicated on 1/p arcs in every ring, so
+  // the per-object replica count is ≈ rings · n / (rings · p) = n/p).
+  RoarAlgorithm(uint32_t n, uint32_t p, uint32_t rings, uint64_t seed);
+
+  std::string name() const override {
+    return ring_count_ > 1 ? "ROAR-" + std::to_string(ring_count_) + "r"
+                           : "ROAR";
+  }
+  uint32_t server_count() const override { return n_; }
+  uint32_t partitioning_level() const override { return p_; }
+  double replication_level() const override {
+    return static_cast<double>(n_) / p_;
+  }
+
+  rendezvous::Placement place_object(uint64_t object_key) override;
+  rendezvous::QueryPlan plan_query(
+      uint64_t choice, const std::vector<bool>& alive) const override;
+  double combination_count() const override;
+
+  const Ring& ring(uint32_t k) const { return rings_[k]; }
+  uint32_t ring_count() const { return ring_count_; }
+
+  // Propagate liveness into the internal rings (the Algorithm interface
+  // passes liveness per query; the internal planner needs it on the ring).
+  void set_alive(rendezvous::ServerId s, bool alive);
+
+ private:
+  uint32_t n_;
+  uint32_t p_;
+  uint32_t ring_count_;
+  mutable Rng rng_;
+  std::vector<Ring> rings_;
+  std::vector<uint32_t> ring_of_;  // server -> ring index
+  QueryPlanner planner_;
+};
+
+}  // namespace roar::core

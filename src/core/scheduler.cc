@@ -1,0 +1,447 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace roar::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Index of the live node in charge of q, or SIZE_MAX if none.
+size_t live_index_in_charge(const Ring& ring, RingId q) {
+  size_t n = ring.nodes().size();
+  size_t i = ring.index_in_charge(q);
+  for (size_t step = 0; step < n; ++step) {
+    size_t j = (i + step) % n;
+    if (ring.nodes()[j].alive) return j;
+  }
+  return SIZE_MAX;
+}
+
+// Next live node strictly after index i (by position), wrapping.
+size_t next_live(const Ring& ring, size_t i) {
+  size_t n = ring.nodes().size();
+  for (size_t step = 1; step <= n; ++step) {
+    size_t j = (i + step) % n;
+    if (ring.nodes()[j].alive) return j;
+  }
+  return SIZE_MAX;
+}
+
+struct HeapEntry {
+  uint64_t distance;  // absolute distance from base point to node position
+  uint32_t pos;       // which query point
+  uint32_t ring;      // which ring (multi-ring); 0 otherwise
+  bool operator>(const HeapEntry& o) const { return distance > o.distance; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+uint64_t sweep_limit(uint32_t p) {
+  return p <= 1 ? UINT64_MAX : query_point(RingId(0), 1, p).raw();
+}
+
+}  // namespace
+
+double plan_delay(const RoarQueryPlan& plan, const FinishEstimator& est) {
+  double d = 0.0;
+  for (const auto& part : plan.parts) {
+    if (part.node == kInvalidNode) return kInf;
+    d = std::max(d, est.estimate_finish(part.node, part.share));
+  }
+  return d;
+}
+
+ScheduleResult SweepScheduler::schedule(const Ring& ring, uint32_t p,
+                                        const FinishEstimator& est,
+                                        RingId phase) {
+  if (ring.empty() || p == 0) {
+    throw std::invalid_argument("schedule: empty ring or p == 0");
+  }
+  ScheduleResult result;
+  const auto& nodes = ring.nodes();
+  double share = 1.0 / p;
+
+  std::vector<size_t> assigned(p);
+  std::vector<double> finish(p);
+  std::vector<RingId> base(p);
+  MinHeap heap;
+
+  double delay_q = 0.0;
+  for (uint32_t i = 0; i < p; ++i) {
+    base[i] = query_point(phase, i, p);
+    size_t idx = live_index_in_charge(ring, base[i]);
+    if (idx == SIZE_MAX) {
+      throw std::runtime_error("schedule: no live nodes");
+    }
+    assigned[i] = idx;
+    finish[i] = est.estimate_finish(nodes[idx].id, share);
+    delay_q = std::max(delay_q, finish[i]);
+    heap.push(HeapEntry{base[i].distance_to(nodes[idx].position), i, 0});
+  }
+
+  double best_delay = delay_q;
+  uint64_t best_id = 0;
+  uint64_t limit = sweep_limit(p);
+
+  while (!heap.empty()) {
+    HeapEntry d = heap.top();
+    // All remaining crossings happen at or past the end of the sweep
+    // window: every start in [0, 1/p) has been considered.
+    if (d.distance >= limit - 1) break;
+    heap.pop();
+    ++result.heap_iterations;
+
+    uint64_t id = d.distance + 1;
+    size_t succ = next_live(ring, assigned[d.pos]);
+    if (succ == SIZE_MAX) break;
+    assigned[d.pos] = succ;
+
+    bool was_max = finish[d.pos] == delay_q;
+    finish[d.pos] = est.estimate_finish(nodes[succ].id, share);
+    if (was_max && finish[d.pos] < delay_q) {
+      delay_q = *std::max_element(finish.begin(), finish.end());
+    } else if (finish[d.pos] > delay_q) {
+      delay_q = finish[d.pos];
+    }
+    if (delay_q < best_delay) {
+      best_delay = delay_q;
+      best_id = id;
+    }
+    d.distance = base[d.pos].distance_to(nodes[succ].position);
+    // A full lap means this point has cycled through every node (p == 1
+    // with tiny rings); the entry would repeat forever.
+    if (d.distance < id) break;
+    heap.push(d);
+  }
+
+  result.best_start = phase.advanced_raw(best_id);
+  result.best_delay = best_delay;
+  result.assignment.reserve(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    RingId point = base[i].advanced_raw(best_id);
+    size_t idx = live_index_in_charge(ring, point);
+    result.assignment.emplace_back(point, nodes[idx].id);
+  }
+  return result;
+}
+
+ScheduleResult SweepScheduler::schedule_exhaustive(
+    const Ring& ring, uint32_t p, const FinishEstimator& est, RingId phase) {
+  if (ring.empty() || p == 0) {
+    throw std::invalid_argument("schedule_exhaustive: empty ring or p == 0");
+  }
+  ScheduleResult result;
+  const auto& nodes = ring.nodes();
+  double share = 1.0 / p;
+  uint64_t limit = sweep_limit(p);
+
+  // Candidate starts: 0 plus every id at which some query point just
+  // passed some node position (the only places the assignment changes).
+  std::vector<uint64_t> candidates{0};
+  std::vector<RingId> base(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    base[i] = query_point(phase, i, p);
+    for (const auto& n : nodes) {
+      uint64_t d = base[i].distance_to(n.position) + 1;
+      if (d < limit) candidates.push_back(d);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  double best_delay = kInf;
+  uint64_t best_id = 0;
+  for (uint64_t id : candidates) {
+    double delay = 0.0;
+    for (uint32_t i = 0; i < p; ++i) {
+      ++result.heap_iterations;  // counts inner evaluations for comparison
+      size_t idx = live_index_in_charge(ring, base[i].advanced_raw(id));
+      if (idx == SIZE_MAX) {
+        delay = kInf;
+        break;
+      }
+      delay = std::max(delay, est.estimate_finish(nodes[idx].id, share));
+    }
+    if (delay < best_delay) {
+      best_delay = delay;
+      best_id = id;
+    }
+  }
+
+  result.best_start = phase.advanced_raw(best_id);
+  result.best_delay = best_delay;
+  for (uint32_t i = 0; i < p; ++i) {
+    RingId point = base[i].advanced_raw(best_id);
+    size_t idx = live_index_in_charge(ring, point);
+    result.assignment.emplace_back(point, nodes[idx].id);
+  }
+  return result;
+}
+
+ScheduleResult SweepScheduler::schedule_multi(
+    std::span<const Ring* const> rings, uint32_t p,
+    const FinishEstimator& est, RingId phase) {
+  if (rings.empty()) {
+    throw std::invalid_argument("schedule_multi: no rings");
+  }
+  if (rings.size() == 1) return schedule(*rings[0], p, est, phase);
+
+  uint32_t R = static_cast<uint32_t>(rings.size());
+  double share = 1.0 / p;
+  ScheduleResult result;
+
+  std::vector<RingId> base(p);
+  // candidate[i][k]: index (in ring k) of the live node owning point i.
+  std::vector<std::vector<size_t>> candidate(p, std::vector<size_t>(R));
+  std::vector<std::vector<double>> cand_finish(p, std::vector<double>(R));
+  std::vector<double> finish(p);
+  MinHeap heap;
+
+  double delay_q = 0.0;
+  for (uint32_t i = 0; i < p; ++i) {
+    base[i] = query_point(phase, i, p);
+    finish[i] = kInf;
+    for (uint32_t k = 0; k < R; ++k) {
+      size_t idx = live_index_in_charge(*rings[k], base[i]);
+      if (idx == SIZE_MAX) {
+        throw std::runtime_error("schedule_multi: ring with no live nodes");
+      }
+      candidate[i][k] = idx;
+      const auto& node = rings[k]->nodes()[idx];
+      cand_finish[i][k] = est.estimate_finish(node.id, share);
+      finish[i] = std::min(finish[i], cand_finish[i][k]);
+      heap.push(HeapEntry{base[i].distance_to(node.position), i, k});
+    }
+    delay_q = std::max(delay_q, finish[i]);
+  }
+
+  double best_delay = delay_q;
+  uint64_t best_id = 0;
+  uint64_t limit = sweep_limit(p);
+
+  while (!heap.empty()) {
+    HeapEntry d = heap.top();
+    if (d.distance >= limit - 1) break;
+    heap.pop();
+    ++result.heap_iterations;
+    uint64_t id = d.distance + 1;
+
+    const Ring& ring = *rings[d.ring];
+    size_t succ = next_live(ring, candidate[d.pos][d.ring]);
+    if (succ == SIZE_MAX) break;
+    candidate[d.pos][d.ring] = succ;
+    cand_finish[d.pos][d.ring] =
+        est.estimate_finish(ring.nodes()[succ].id, share);
+
+    bool was_max = finish[d.pos] == delay_q;
+    finish[d.pos] = *std::min_element(cand_finish[d.pos].begin(),
+                                      cand_finish[d.pos].end());
+    if (was_max && finish[d.pos] < delay_q) {
+      delay_q = *std::max_element(finish.begin(), finish.end());
+    } else if (finish[d.pos] > delay_q) {
+      delay_q = finish[d.pos];
+    }
+    if (delay_q < best_delay) {
+      best_delay = delay_q;
+      best_id = id;
+    }
+    d.distance = base[d.pos].distance_to(ring.nodes()[succ].position);
+    if (d.distance < id) break;
+    heap.push(d);
+  }
+
+  result.best_start = phase.advanced_raw(best_id);
+  result.best_delay = best_delay;
+  for (uint32_t i = 0; i < p; ++i) {
+    RingId point = base[i].advanced_raw(best_id);
+    double best_f = kInf;
+    NodeId best_node = kInvalidNode;
+    for (uint32_t k = 0; k < R; ++k) {
+      size_t idx = live_index_in_charge(*rings[k], point);
+      if (idx == SIZE_MAX) continue;
+      double f = est.estimate_finish(rings[k]->nodes()[idx].id, share);
+      if (f < best_f) {
+        best_f = f;
+        best_node = rings[k]->nodes()[idx].id;
+      }
+    }
+    result.assignment.emplace_back(point, best_node);
+  }
+  return result;
+}
+
+PtnScheduleResult ptn_schedule(
+    const std::vector<std::vector<NodeId>>& clusters,
+    const std::vector<bool>& alive, const FinishEstimator& est) {
+  PtnScheduleResult result;
+  double share = clusters.empty() ? 0.0 : 1.0 / clusters.size();
+  for (const auto& cluster : clusters) {
+    NodeId best = kInvalidNode;
+    double best_f = kInf;
+    for (NodeId s : cluster) {
+      if (!alive.empty() && !alive[s]) continue;
+      double f = est.estimate_finish(s, share);
+      if (f < best_f) {
+        best_f = f;
+        best = s;
+      }
+    }
+    result.chosen.push_back(best);
+    result.delay = std::max(result.delay, best_f);
+  }
+  return result;
+}
+
+double adjust_ranges(RoarQueryPlan* plan, const Ring& ring, uint32_t p,
+                     const FinishEstimator& est) {
+  (void)p;
+  auto& parts = plan->parts;
+  if (parts.size() < 2) return plan_delay(*plan, est);
+  for (const auto& part : parts) {
+    if (part.failure_split || part.node == kInvalidNode) {
+      return plan_delay(*plan, est);  // only plain plans are adjusted
+    }
+  }
+  uint64_t window_pq = circle_fraction(plan->pq);
+
+  // Affine finish model: est(node, s) = intercept + slope·s.
+  auto slope_of = [&](NodeId node) {
+    return est.estimate_finish(node, 1.0) - est.estimate_finish(node, 0.0);
+  };
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < parts.size(); ++i) {
+      RoarSubQuery& a = parts[i];                       // earlier window
+      RoarSubQuery& d = parts[(i + 1) % parts.size()];  // later window
+      const RingNode& node_a = ring.node(a.node);
+      const RingNode& pred_d = ring.node(ring.predecessor(d.node));
+
+      // Current boundary between the two windows.
+      RingId boundary = a.responsibility_end;
+
+      // Bounds (§4.8.2): clockwise limit is node a's position; counter-
+      // clockwise limit keeps objects above the boundary replicated on d.
+      RingId right_limit = node_a.position;
+      RingId left_limit = pred_d.position.advanced_raw(1 - window_pq);
+      // Keep windows non-degenerate.
+      RingId lo = a.window_begin.advanced_raw(1);
+      RingId hi = d.responsibility_end.advanced_raw(-1ull);
+      // Merge constraints into [lo, hi] measured from a.window_begin.
+      uint64_t span = a.window_begin.distance_to(d.responsibility_end);
+      auto clamp_off = [&](RingId x) {
+        uint64_t off = a.window_begin.distance_to(x);
+        return off >= span ? span - 1 : off;
+      };
+      uint64_t off_lo = std::max<uint64_t>(1, clamp_off(left_limit));
+      uint64_t off_hi = std::max<uint64_t>(1, clamp_off(right_limit));
+      (void)hi;
+      (void)lo;
+      if (off_hi < off_lo) continue;  // no feasible movement
+
+      // Ideal boundary equalising finishes; shares scale with window size.
+      double sa = a.share;
+      double sd = d.share;
+      double slope_a = slope_of(a.node);
+      double slope_d = slope_of(d.node);
+      if (slope_a + slope_d <= 0) continue;
+      double fa = est.estimate_finish(a.node, sa);
+      double fd = est.estimate_finish(d.node, sd);
+      double delta_share = (fd - fa) / (slope_a + slope_d);
+      // Convert share delta to a ring offset delta.
+      double total_share = sa + sd;
+      if (total_share <= 0) continue;
+      double frac =
+          (sa + delta_share) / total_share;  // new fraction of the window
+      frac = std::clamp(frac, 0.01, 0.99);
+      uint64_t off_new = static_cast<uint64_t>(
+          frac * static_cast<double>(span));
+      off_new = std::clamp(off_new, off_lo, off_hi);
+
+      RingId new_boundary = a.window_begin.advanced_raw(off_new);
+      if (new_boundary == boundary) continue;
+      a.responsibility_end = new_boundary;
+      d.window_begin = new_boundary;
+      // Shares are exactly the new window lengths (off_new may have been
+      // clamped, so recompute from the geometry, not from `frac`).
+      a.share = static_cast<double>(off_new) / 18446744073709551616.0;
+      d.share =
+          static_cast<double>(span - off_new) / 18446744073709551616.0;
+    }
+  }
+  return plan_delay(*plan, est);
+}
+
+double split_slowest(RoarQueryPlan* plan, const Ring& ring, uint32_t p,
+                     const FinishEstimator& est, uint32_t max_splits) {
+  uint64_t repl = circle_fraction(p);
+  for (uint32_t s = 0; s < max_splits; ++s) {
+    // Find the predicted-slowest part.
+    size_t worst = SIZE_MAX;
+    double worst_f = -1.0;
+    for (size_t i = 0; i < plan->parts.size(); ++i) {
+      const auto& part = plan->parts[i];
+      if (part.node == kInvalidNode) continue;
+      double f = est.estimate_finish(part.node, part.share);
+      if (f > worst_f) {
+        worst_f = f;
+        worst = i;
+      }
+    }
+    if (worst == SIZE_MAX) break;
+    RoarSubQuery victim = plan->parts[worst];
+
+    uint64_t win = victim.window_begin.distance_to(victim.responsibility_end);
+    if (win < 2) break;
+    RingId mid = victim.window_begin.advanced_raw(win / 2);
+
+    // Candidates for window (x, y]: nodes whose range intersects
+    // [y, x + 1/p) — they store every object of the window.
+    auto best_candidate = [&](RingId x, RingId y,
+                              double share) -> std::pair<NodeId, double> {
+      Arc common(y, y.distance_to(x.advanced_raw(repl)));
+      NodeId best = kInvalidNode;
+      double best_f = kInf;
+      for (const auto& n : ring.nodes()) {
+        if (!n.alive) continue;
+        if (!common.contains(n.position) &&
+            ring.node_in_charge(y) != n.id) {
+          continue;
+        }
+        double f = est.estimate_finish(n.id, share);
+        if (f < best_f) {
+          best_f = f;
+          best = n.id;
+        }
+      }
+      return {best, best_f};
+    };
+
+    auto [n1, f1] =
+        best_candidate(victim.window_begin, mid, victim.share / 2);
+    auto [n2, f2] = best_candidate(mid, victim.responsibility_end,
+                                   victim.share / 2);
+    if (n1 == kInvalidNode || n2 == kInvalidNode) break;
+    if (std::max(f1, f2) >= worst_f) break;  // no improvement
+
+    RoarSubQuery first = victim;
+    first.responsibility_end = mid;
+    first.node = n1;
+    first.share = victim.share / 2;
+    RoarSubQuery second = victim;
+    second.window_begin = mid;
+    second.node = n2;
+    second.share = victim.share / 2;
+    plan->parts[worst] = first;
+    plan->parts.insert(plan->parts.begin() + static_cast<ptrdiff_t>(worst) + 1,
+                       second);
+  }
+  return plan_delay(*plan, est);
+}
+
+}  // namespace roar::core

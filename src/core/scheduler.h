@@ -1,0 +1,94 @@
+// ROAR front-end scheduling (§4.8.1, Algorithm 1) and the §4.8.2
+// optimisations.
+//
+// Given per-node finish-time estimates, the sweep scheduler finds the query
+// start id minimising the predicted completion time of a p-way query. It
+// sweeps the start across one 1/p window; a binary heap keyed on the
+// distance from each query point to its current node's position yields the
+// next assignment change, so the whole sweep costs O(n log p) instead of
+// the straw-man O(n·p) (schedule_exhaustive, kept as the test oracle and
+// the Fig 7.12 baseline). Multi-ring scheduling overlays the rings and
+// picks the fastest candidate per point (§4.7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/query_planner.h"
+#include "core/ring.h"
+
+namespace roar::core {
+
+// Estimates when a sub-query of `share` of the object space would finish
+// if enqueued on `node` now. Implementations close over queue state and
+// speed estimates (see sim::ClusterSim and cluster::Frontend).
+class FinishEstimator {
+ public:
+  virtual ~FinishEstimator() = default;
+  virtual double estimate_finish(NodeId node, double share) const = 0;
+};
+
+struct ScheduleResult {
+  RingId best_start;
+  double best_delay = 0.0;
+  // The winning assignment: query point -> node, one entry per part.
+  std::vector<std::pair<RingId, NodeId>> assignment;
+  uint64_t heap_iterations = 0;  // complexity diagnostics (tests, Fig 7.12)
+};
+
+class SweepScheduler {
+ public:
+  // Algorithm 1. Dead nodes are skipped (their successor inherits the
+  // point). Ring must be non-empty; p >= 1. `phase` rotates the sweep
+  // window: any phase yields the same optimum delay, but ties between
+  // equal-delay configurations resolve toward the first crossing after the
+  // phase — front-ends pass a random phase per query so perfectly
+  // symmetric rings still rotate load (§4.2's random start id).
+  static ScheduleResult schedule(const Ring& ring, uint32_t p,
+                                 const FinishEstimator& est,
+                                 RingId phase = RingId(0));
+
+  // Straw-man O(n·p): evaluates every distinct start. Exact same optimum.
+  static ScheduleResult schedule_exhaustive(const Ring& ring, uint32_t p,
+                                            const FinishEstimator& est,
+                                            RingId phase = RingId(0));
+
+  // Multi-ring variant: each query point is served by the fastest owner
+  // among the rings. Rings must all be non-empty.
+  static ScheduleResult schedule_multi(std::span<const Ring* const> rings,
+                                       uint32_t p,
+                                       const FinishEstimator& est,
+                                       RingId phase = RingId(0));
+};
+
+// PTN front-end scheduling (§4.8.1 end): independent greedy choice per
+// cluster, O(n) total. Returns per-cluster chosen servers and the plan
+// delay. Provided here for the head-to-head scheduling benchmarks.
+struct PtnScheduleResult {
+  std::vector<NodeId> chosen;  // one per cluster
+  double delay = 0.0;
+};
+PtnScheduleResult ptn_schedule(
+    const std::vector<std::vector<NodeId>>& clusters,
+    const std::vector<bool>& alive, const FinishEstimator& est);
+
+// §4.8.2 "Range Adjustments": shifts the responsibility boundaries of the
+// planned sub-queries to take work away from late finishers, subject to
+// the replication constraints (a boundary may move clockwise up to the
+// earlier node's position, and counter-clockwise as long as the later
+// node still stores the objects). Rebalances shares in place; returns the
+// new predicted delay.
+double adjust_ranges(RoarQueryPlan* plan, const Ring& ring, uint32_t p,
+                     const FinishEstimator& est);
+
+// §4.8.2 "Increasing the Number of Sub-Queries": repeatedly splits the
+// predicted-slowest sub-query in half, assigning each half to the fastest
+// node that stores its window (any of ~r candidates). Stops after
+// `max_splits` or when splitting no longer helps. Returns predicted delay.
+double split_slowest(RoarQueryPlan* plan, const Ring& ring, uint32_t p,
+                     const FinishEstimator& est, uint32_t max_splits);
+
+// Predicted delay of a plan under `est` (max over parts).
+double plan_delay(const RoarQueryPlan& plan, const FinishEstimator& est);
+
+}  // namespace roar::core

@@ -1,0 +1,47 @@
+#include "net/framing.h"
+
+#include <cstring>
+
+namespace roar::net {
+
+Bytes frame(const Bytes& payload) {
+  Bytes out;
+  out.reserve(payload.size() + 4);
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  out.push_back(static_cast<uint8_t>(n));
+  out.push_back(static_cast<uint8_t>(n >> 8));
+  out.push_back(static_cast<uint8_t>(n >> 16));
+  out.push_back(static_cast<uint8_t>(n >> 24));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool FrameDecoder::feed(const uint8_t* data, size_t n) {
+  if (failed_) return false;
+  buf_.insert(buf_.end(), data, data + n);
+  return true;
+}
+
+std::optional<Bytes> FrameDecoder::next() {
+  if (failed_) return std::nullopt;
+  size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  uint32_t len;
+  std::memcpy(&len, buf_.data() + consumed_, 4);
+  if (len > kMaxFrameBytes) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return std::nullopt;
+  Bytes out(buf_.begin() + static_cast<ptrdiff_t>(consumed_) + 4,
+            buf_.begin() + static_cast<ptrdiff_t>(consumed_) + 4 + len);
+  consumed_ += 4 + len;
+  // Compact occasionally so the buffer does not grow without bound.
+  if (consumed_ > 1 << 20 || consumed_ == buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return out;
+}
+
+}  // namespace roar::net

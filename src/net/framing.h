@@ -1,0 +1,43 @@
+// Length-prefixed message framing for stream transports (§4.8.4: queries
+// and replies ride TCP).
+//
+// Wire format per frame: u32 little-endian payload length, then payload.
+// The decoder is incremental: feed() accepts arbitrary fragmentation
+// (single bytes, coalesced frames, split headers) and emits complete
+// frames in order — the property the framing test fuzzes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/serialize.h"
+
+namespace roar::net {
+
+// Maximum accepted frame; guards against hostile/corrupt length headers.
+inline constexpr uint32_t kMaxFrameBytes = 64 * 1024 * 1024;
+
+Bytes frame(const Bytes& payload);
+
+class FrameDecoder {
+ public:
+  // Appends raw stream bytes. Returns false (and enters the failed state)
+  // if a frame header exceeds kMaxFrameBytes.
+  bool feed(const uint8_t* data, size_t n);
+  bool feed(const Bytes& b) { return feed(b.data(), b.size()); }
+
+  // Pops the next complete frame, if any.
+  std::optional<Bytes> next();
+
+  bool failed() const { return failed_; }
+  size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // bytes of buf_ already parsed away
+  bool failed_ = false;
+};
+
+}  // namespace roar::net

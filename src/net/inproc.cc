@@ -1,0 +1,23 @@
+#include "net/inproc.h"
+
+namespace roar::net {
+
+void InProcNetwork::send(Address from, Address to, Bytes payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+  if (loss_rate_ > 0 && rng_.next_double() < loss_rate_) {
+    ++messages_dropped_;
+    return;
+  }
+  loop_.schedule_after(
+      latency_, [this, from, to, payload = std::move(payload)]() mutable {
+        auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          ++messages_dropped_;  // dead destination
+          return;
+        }
+        it->second(from, std::move(payload));
+      });
+}
+
+}  // namespace roar::net

@@ -1,0 +1,58 @@
+// In-process message network over the virtual-time event loop.
+//
+// Every cluster component (node, front-end, membership server) is an
+// Endpoint with an address; send() delivers the payload to the remote
+// handler after the configured latency. Datacenter RTTs are sub-millisecond
+// (§4.8.1), so the default one-way latency is 100 µs. Loss can be injected
+// for failure-path tests.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "net/event_loop.h"
+#include "net/serialize.h"
+
+namespace roar::net {
+
+using Address = uint32_t;
+
+class InProcNetwork {
+ public:
+  using Handler = std::function<void(Address from, Bytes payload)>;
+
+  InProcNetwork(EventLoop& loop, double one_way_latency_s = 100e-6,
+                uint64_t seed = 7)
+      : loop_(loop), latency_(one_way_latency_s), rng_(seed) {}
+
+  // Registers (or replaces) the handler for `addr`.
+  void bind(Address addr, Handler handler) {
+    handlers_[addr] = std::move(handler);
+  }
+  void unbind(Address addr) { handlers_.erase(addr); }
+
+  // Sends to `to`; silently dropped if unbound (crashed node) or if the
+  // loss injector fires — exactly how a datagram to a dead host behaves.
+  void send(Address from, Address to, Bytes payload);
+
+  void set_loss_rate(double p) { loss_rate_ = p; }
+  double latency() const { return latency_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+  EventLoop& loop() { return loop_; }
+
+ private:
+  EventLoop& loop_;
+  double latency_;
+  Rng rng_;
+  double loss_rate_ = 0.0;
+  std::unordered_map<Address, Handler> handlers_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace roar::net

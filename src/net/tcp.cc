@@ -1,0 +1,272 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace roar::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Tags stored in epoll data: low bit distinguishes listeners.
+void* conn_tag(TcpConnection* c) { return c; }
+void* listener_tag(TcpListener* l) {
+  return reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(l) | 1);
+}
+bool is_listener(void* tag) {
+  return (reinterpret_cast<uintptr_t>(tag) & 1) != 0;
+}
+TcpListener* as_listener(void* tag) {
+  return reinterpret_cast<TcpListener*>(reinterpret_cast<uintptr_t>(tag) &
+                                        ~uintptr_t{1});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- TcpConnection
+
+TcpConnection::TcpConnection(TcpReactor& reactor, int fd, uint64_t id)
+    : reactor_(reactor), fd_(fd), id_(id) {}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) {
+    reactor_.del_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void TcpConnection::close() {
+  if (fd_ < 0) return;
+  reactor_.del_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (on_close_) on_close_(*this);
+  reactor_.doomed_.push_back(id_);
+}
+
+void TcpConnection::send(const Bytes& payload) {
+  if (fd_ < 0) return;
+  Bytes framed = frame(payload);
+  out_.insert(out_.end(), framed.begin(), framed.end());
+  handle_writable();  // opportunistic flush
+}
+
+void TcpConnection::handle_writable() {
+  if (fd_ < 0) return;
+  while (out_off_ < out_.size()) {
+    ssize_t n = ::send(fd_, out_.data() + out_off_, out_.size() - out_off_,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      out_off_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close();
+    return;
+  }
+  if (out_off_ == out_.size()) {
+    out_.clear();
+    out_off_ = 0;
+  } else if (out_off_ > (1u << 20)) {
+    out_.erase(out_.begin(), out_.begin() + static_cast<ptrdiff_t>(out_off_));
+    out_off_ = 0;
+  }
+  update_interest();
+}
+
+void TcpConnection::update_interest() {
+  if (fd_ < 0) return;
+  uint32_t ev = EPOLLIN;
+  if (out_off_ < out_.size()) ev |= EPOLLOUT;
+  reactor_.mod_fd(fd_, ev, conn_tag(this));
+}
+
+void TcpConnection::handle_readable() {
+  uint8_t buf[16384];
+  while (fd_ >= 0) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close();  // peer closed or error
+    return;
+  }
+  while (auto f = decoder_.next()) {
+    if (on_frame_) on_frame_(*this, std::move(*f));
+    if (fd_ < 0) return;  // handler closed us
+  }
+  if (decoder_.failed()) close();
+}
+
+// ------------------------------------------------------------ TcpListener
+
+TcpListener::TcpListener(TcpReactor& reactor, uint16_t port,
+                         AcceptHandler on_accept)
+    : reactor_(reactor), fd_(-1), port_(0), on_accept_(std::move(on_accept)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("bind() failed");
+  }
+  if (listen(fd_, 64) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(fd_);
+  reactor_.add_fd(fd_, EPOLLIN, listener_tag(this));
+  reactor_.listeners_.push_back(this);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) {
+    reactor_.del_fd(fd_);
+    ::close(fd_);
+  }
+  std::erase(reactor_.listeners_, this);
+}
+
+void TcpListener::handle_readable() {
+  while (true) {
+    int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) break;
+    set_nonblocking(cfd);
+    set_nodelay(cfd);
+    TcpConnection& conn = reactor_.adopt(cfd);
+    if (on_accept_) on_accept_(conn);
+  }
+}
+
+// ------------------------------------------------------------- TcpReactor
+
+TcpReactor::TcpReactor() : epoll_fd_(epoll_create1(0)) {
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+}
+
+TcpReactor::~TcpReactor() {
+  conns_.clear();
+  ::close(epoll_fd_);
+}
+
+void TcpReactor::add_fd(int fd, uint32_t events, void* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void TcpReactor::mod_fd(int fd, uint32_t events, void* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void TcpReactor::del_fd(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+TcpConnection& TcpReactor::adopt(int fd) {
+  uint64_t id = next_id_++;
+  auto conn = std::unique_ptr<TcpConnection>(new TcpConnection(*this, fd, id));
+  TcpConnection& ref = *conn;
+  conns_.emplace(id, std::move(conn));
+  add_fd(fd, EPOLLIN, conn_tag(&ref));
+  return ref;
+}
+
+TcpConnection& TcpReactor::connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    throw std::runtime_error("connect() failed");
+  }
+  return adopt(fd);
+}
+
+size_t TcpReactor::poll(int timeout_ms) {
+  epoll_event events[64];
+  int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  size_t handled = 0;
+  for (int i = 0; i < n; ++i) {
+    void* tag = events[i].data.ptr;
+    if (is_listener(tag)) {
+      as_listener(tag)->handle_readable();
+      ++handled;
+      continue;
+    }
+    auto* conn = static_cast<TcpConnection*>(tag);
+    if (conn->closed()) continue;
+    if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+      conn->close();
+      ++handled;
+      continue;
+    }
+    if (events[i].events & EPOLLOUT) conn->handle_writable();
+    if (conn->closed()) {
+      ++handled;
+      continue;
+    }
+    if (events[i].events & EPOLLIN) conn->handle_readable();
+    ++handled;
+  }
+  // Reap closed connections after the event batch.
+  for (uint64_t id : doomed_) conns_.erase(id);
+  doomed_.clear();
+  return handled;
+}
+
+bool TcpReactor::poll_until(const std::function<bool()>& pred, int max_ms) {
+  auto start = std::chrono::steady_clock::now();
+  while (!pred()) {
+    poll(5);
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (elapsed > max_ms) return false;
+  }
+  return true;
+}
+
+void TcpReactor::destroy(TcpConnection& c) {
+  conns_.erase(c.id());
+}
+
+}  // namespace roar::net

@@ -1,0 +1,122 @@
+// Loopback TCP transport: the deployable form of the cluster protocol.
+//
+// A compact epoll reactor with non-blocking sockets, the length-prefixed
+// framing of framing.h, and buffered partial writes. The emulated cluster
+// runs on the virtual-time InProcNetwork for determinism; this transport
+// exists to demonstrate (and test) that the identical byte protocol works
+// over real sockets — see examples/tcp_transport_demo.cc.
+//
+// §4.8.4 discusses TCP's min-RTO head-of-line blocking for small queries;
+// on loopback the kernel path is loss-free, so the demo focuses on framing
+// and concurrency correctness rather than retransmission behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/framing.h"
+
+namespace roar::net {
+
+class TcpReactor;
+
+// One established connection (server- or client-side).
+class TcpConnection {
+ public:
+  using FrameHandler = std::function<void(TcpConnection&, Bytes frame)>;
+  using CloseHandler = std::function<void(TcpConnection&)>;
+
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+  bool closed() const { return fd_ < 0; }
+
+  // Queues a framed message; flushes as the socket drains.
+  void send(const Bytes& payload);
+  void close();
+
+  void set_frame_handler(FrameHandler h) { on_frame_ = std::move(h); }
+  void set_close_handler(CloseHandler h) { on_close_ = std::move(h); }
+
+ private:
+  friend class TcpReactor;
+  TcpConnection(TcpReactor& reactor, int fd, uint64_t id);
+  void handle_readable();
+  void handle_writable();
+  void update_interest();
+
+  TcpReactor& reactor_;
+  int fd_;
+  uint64_t id_;
+  FrameDecoder decoder_;
+  std::vector<uint8_t> out_;  // unsent bytes
+  size_t out_off_ = 0;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+};
+
+// Accepts connections on a loopback port.
+class TcpListener {
+ public:
+  using AcceptHandler = std::function<void(TcpConnection&)>;
+
+  // port 0 = ephemeral; query with port().
+  TcpListener(TcpReactor& reactor, uint16_t port, AcceptHandler on_accept);
+  ~TcpListener();
+  uint16_t port() const { return port_; }
+
+ private:
+  friend class TcpReactor;
+  void handle_readable();
+
+  TcpReactor& reactor_;
+  int fd_;
+  uint16_t port_;
+  AcceptHandler on_accept_;
+};
+
+class TcpReactor {
+ public:
+  TcpReactor();
+  ~TcpReactor();
+  TcpReactor(const TcpReactor&) = delete;
+  TcpReactor& operator=(const TcpReactor&) = delete;
+
+  // Connects to 127.0.0.1:port (non-blocking connect completed by the
+  // reactor). Returns the connection, owned by the reactor.
+  TcpConnection& connect(uint16_t port);
+
+  // Processes ready events; returns number handled. timeout_ms = 0 polls.
+  size_t poll(int timeout_ms);
+  // Polls until `pred` returns true or `max_ms` elapses. Returns pred().
+  bool poll_until(const std::function<bool()>& pred, int max_ms = 5000);
+
+  const std::unordered_map<uint64_t, std::unique_ptr<TcpConnection>>&
+  connections() const {
+    return conns_;
+  }
+
+ private:
+  friend class TcpConnection;
+  friend class TcpListener;
+  void add_fd(int fd, uint32_t events, void* tag);
+  void mod_fd(int fd, uint32_t events, void* tag);
+  void del_fd(int fd);
+  TcpConnection& adopt(int fd);
+  void destroy(TcpConnection& c);
+
+  int epoll_fd_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<TcpConnection>> conns_;
+  std::vector<TcpListener*> listeners_;
+  std::vector<uint64_t> doomed_;  // connections to destroy after poll
+};
+
+}  // namespace roar::net

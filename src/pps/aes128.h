@@ -1,0 +1,46 @@
+// AES-128 (FIPS 197) block cipher, implemented from scratch.
+//
+// PPS uses AES-128 as its pseudorandom permutation (§5.6: "We used 128-bit
+// AES for the symmetric encryption scheme and as a pseudorandom
+// permutation"). The Dictionary scheme permutes word indexes with it, and
+// the corpus tools use it in CTR mode for payload encryption. This is a
+// portable table-free S-box implementation tuned for clarity; throughput is
+// secondary since PPS matching is SHA-1 bound.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace roar::pps {
+
+using AesKey = std::array<uint8_t, 16>;
+using AesBlock = std::array<uint8_t, 16>;
+
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  AesBlock encrypt_block(const AesBlock& in) const;
+  AesBlock decrypt_block(const AesBlock& in) const;
+
+  // Pseudorandom permutation over [0, 2^64): encrypts the value in a fixed
+  // block layout. Not format-preserving over smaller domains; Dictionary
+  // uses cycle-walking (see permute_below).
+  uint64_t permute_u64(uint64_t v) const;
+  uint64_t inverse_permute_u64(uint64_t v) const;
+
+  // Format-preserving permutation over [0, bound) via cycle walking on
+  // permute_u64. Expected iterations: 2^64 / bound is huge for small bound,
+  // so instead we cycle-walk a power-of-two domain >= bound. bound > 0.
+  uint64_t permute_below(uint64_t v, uint64_t bound) const;
+
+  // CTR keystream XOR (encrypt == decrypt).
+  void ctr_xor(std::span<uint8_t> data, uint64_t nonce) const;
+
+ private:
+  std::array<std::array<uint8_t, 16>, 11> round_keys_;
+};
+
+}  // namespace roar::pps

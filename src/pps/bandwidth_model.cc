@@ -1,0 +1,64 @@
+#include "pps/bandwidth_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace roar::pps {
+
+double pps_bandwidth(double update_freq, double query_freq,
+                     const BandwidthModelParams& p) {
+  return p.metadata_bytes * update_freq +
+         (p.query_bytes + p.result_bytes) * query_freq;
+}
+
+double index_bandwidth_at(double update_freq, double query_freq,
+                          double local_fraction, uint32_t delta_max,
+                          const BandwidthModelParams& p) {
+  double dm = static_cast<double>(delta_max);
+  // Remote updates require downloading before a query; local ones do not.
+  double remote_updates = update_freq * (1.0 - local_fraction);
+
+  // Update upload: every δmax-th change re-uploads the index, the rest
+  // upload one delta each (uploads happen for all updates, local or not).
+  double update_bw =
+      update_freq * (p.index_bytes + p.delta_bytes * (dm - 1.0)) / dm;
+
+  // Query download: before a search the device fetches the index or the
+  // pending deltas; amortised cost per fetch is index/δmax plus on average
+  // (δmax−1)/2 deltas. Fetches happen at most as often as remote changes.
+  double fetch_freq = std::min(query_freq, remote_updates);
+  double query_bw =
+      fetch_freq *
+      (p.index_bytes + (p.delta_bytes / 2.0) * dm * (dm - 1.0)) / dm;
+
+  return update_bw + query_bw;
+}
+
+double index_bandwidth_optimal(double update_freq, double query_freq,
+                               double local_fraction,
+                               uint32_t* best_delta_max,
+                               const BandwidthModelParams& p) {
+  double best = std::numeric_limits<double>::infinity();
+  uint32_t best_dm = 1;
+  for (uint32_t dm = 1; dm <= 10'000; dm = dm < 100 ? dm + 1 : dm + dm / 20) {
+    double bw =
+        index_bandwidth_at(update_freq, query_freq, local_fraction, dm, p);
+    if (bw < best) {
+      best = bw;
+      best_dm = dm;
+    }
+  }
+  if (best_delta_max != nullptr) *best_delta_max = best_dm;
+  return best;
+}
+
+double bandwidth_ratio(double update_freq, double query_freq,
+                       double local_fraction, const BandwidthModelParams& p) {
+  double idx =
+      index_bandwidth_optimal(update_freq, query_freq, local_fraction,
+                              nullptr, p);
+  double pps = pps_bandwidth(update_freq, query_freq, p);
+  return pps > 0 ? idx / pps : 0.0;
+}
+
+}  // namespace roar::pps

@@ -1,0 +1,47 @@
+// Analytical bandwidth model comparing the index-based solution to PPS
+// (§5.3.1, Figure 5.1).
+//
+// PPS:        B = 500·fu + 2500·fq     (500 B metadata update; 500 B query
+//                                       + 10 results × 200 B)
+// Index:      updates: fu · (500000 + 200·(δmax−1)) / δmax
+//             queries: f  · (500000 + 100·δmax·(δmax−1)) / δmax
+//                      with f = min(fq, fu) as in the thesis (query cost is
+//                      bounded by how often the index actually changes),
+//             δmax chosen to minimise the total, and a `local_fraction` of
+//             updates generated on the querying device (no download).
+#pragma once
+
+#include <cstdint>
+
+namespace roar::pps {
+
+struct BandwidthModelParams {
+  double index_bytes = 500'000.0;   // full compressed+encrypted index
+  double delta_bytes = 200.0;       // one encoded index delta
+  double metadata_bytes = 500.0;    // one PPS metadata
+  double query_bytes = 500.0;       // one encrypted PPS query
+  double result_bytes = 2000.0;     // 10 results × 200 B
+};
+
+// Bandwidth (bytes per unit time) used by PPS.
+double pps_bandwidth(double update_freq, double query_freq,
+                     const BandwidthModelParams& p = {});
+
+// Bandwidth used by the index-based approach with the given delta cap.
+double index_bandwidth_at(double update_freq, double query_freq,
+                          double local_fraction, uint32_t delta_max,
+                          const BandwidthModelParams& p = {});
+
+// Minimises over δmax in [1, 10000]. Returns the optimum through
+// *best_delta_max if non-null.
+double index_bandwidth_optimal(double update_freq, double query_freq,
+                               double local_fraction,
+                               uint32_t* best_delta_max = nullptr,
+                               const BandwidthModelParams& p = {});
+
+// Ratio index/PPS — the quantity plotted in Figure 5.1.
+double bandwidth_ratio(double update_freq, double query_freq,
+                       double local_fraction,
+                       const BandwidthModelParams& p = {});
+
+}  // namespace roar::pps

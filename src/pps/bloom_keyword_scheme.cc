@@ -1,0 +1,95 @@
+#include "pps/bloom_keyword_scheme.h"
+
+#include <cmath>
+#include <string>
+
+namespace roar::pps {
+
+double BloomParams::false_positive_rate() const {
+  // (1 - e^{-kn/m})^k with n = expected_words, m = filter_bits, k = r.
+  double m = filter_bits();
+  double n = expected_words;
+  double k = hash_count;
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+BloomKeywordScheme::BloomKeywordScheme(const SecretKey& key,
+                                       BloomParams params)
+    : params_(params) {
+  keys_.reserve(params_.hash_count);
+  for (uint32_t i = 0; i < params_.hash_count; ++i) {
+    keys_.push_back(key.derive("bloom:" + std::to_string(i)));
+  }
+}
+
+BloomKeywordScheme::Trapdoor BloomKeywordScheme::encrypt_query(
+    std::string_view word) const {
+  Trapdoor t;
+  t.parts.reserve(keys_.size());
+  for (const auto& k : keys_) {
+    t.parts.push_back(hmac_sha1(as_span(k), word));
+  }
+  return t;
+}
+
+uint32_t BloomKeywordScheme::codeword_position(const EncryptedMetadata& m,
+                                               const Sha1Digest& x,
+                                               uint32_t i) const {
+  // y_i = F_rnd(x_i); the bit position is y_i reduced mod the filter size.
+  // The hash-function index is mixed in so identical trapdoor parts (which
+  // cannot happen for distinct sub-keys, but cheap insurance) separate.
+  uint8_t msg[20 + 8 + 4];
+  std::memcpy(msg, x.data(), 20);
+  std::memcpy(msg + 20, m.rnd.data(), 8);
+  for (int b = 0; b < 4; ++b) msg[28 + b] = static_cast<uint8_t>(i >> (b * 8));
+  Sha1Digest y = hmac_sha1(as_span(m.rnd), std::span<const uint8_t>(msg, sizeof(msg)));
+  uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) v = (v << 8) | y[b];
+  return v % params_.filter_bits();
+}
+
+void BloomKeywordScheme::set_word(EncryptedMetadata& m,
+                                  const Trapdoor& t) const {
+  for (uint32_t i = 0; i < t.parts.size(); ++i) {
+    uint32_t pos = codeword_position(m, t.parts[i], i);
+    m.bits[pos / 64] |= (1ull << (pos % 64));
+  }
+}
+
+BloomKeywordScheme::EncryptedMetadata BloomKeywordScheme::encrypt_metadata(
+    std::span<const std::string> words, Rng& rng) const {
+  EncryptedMetadata m;
+  m.rnd = make_nonce(rng);
+  m.bits.assign((params_.filter_bits() + 63) / 64, 0);
+  m.word_count = static_cast<uint32_t>(words.size());
+  for (const auto& w : words) {
+    set_word(m, encrypt_query(w));
+  }
+  // Pad: set random bits as if `expected_words` words were present, so the
+  // popcount does not reveal the document's true word count.
+  if (words.size() < params_.expected_words) {
+    uint64_t missing =
+        (params_.expected_words - words.size()) * params_.hash_count;
+    for (uint64_t i = 0; i < missing; ++i) {
+      uint64_t pos = rng.next_below(params_.filter_bits());
+      m.bits[pos / 64] |= (1ull << (pos % 64));
+    }
+  }
+  return m;
+}
+
+bool BloomKeywordScheme::match(const EncryptedMetadata& m, const Trapdoor& q,
+                               MatchCost* cost) const {
+  for (uint32_t i = 0; i < q.parts.size(); ++i) {
+    if (cost != nullptr) cost->bump();
+    uint32_t pos = codeword_position(m, q.parts[i], i);
+    if ((m.bits[pos / 64] & (1ull << (pos % 64))) == 0) return false;
+  }
+  return true;
+}
+
+bool BloomKeywordScheme::cover(const Trapdoor& a, const Trapdoor& b) {
+  return a.parts == b.parts;
+}
+
+}  // namespace roar::pps

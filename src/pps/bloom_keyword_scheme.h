@@ -1,0 +1,70 @@
+// Bloom-filter keyword PPS (§5.5.2), after Goh's secure index.
+//
+// Each metadata is a Bloom filter over per-document codewords: the trapdoor
+// for word w is (F_{k_1}(w), …, F_{k_r}(w)); the stored codewords are
+// y_i = F_rnd(x_i), so the same word sets different bits in different
+// documents and the filter leaks nothing without a trapdoor. Matching
+// computes the r codewords for the query trapdoor and tests bits, exiting
+// on the first zero (the paper's average r/2 hashes on a non-match).
+//
+// Paper parameters: r = 17 hash functions and ~25 bits per element give a
+// 1-in-100,000 false-positive rate; 50 keywords → ~130 B filters.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pps/scheme.h"
+
+namespace roar::pps {
+
+struct BloomParams {
+  uint32_t hash_count = 17;      // r
+  uint32_t expected_words = 50;  // capacity the filter is sized for
+  uint32_t bits_per_word = 25;   // m / expected_words
+
+  uint32_t filter_bits() const { return expected_words * bits_per_word; }
+  // Expected false-positive probability at full capacity.
+  double false_positive_rate() const;
+};
+
+class BloomKeywordScheme {
+ public:
+  struct Trapdoor {
+    std::vector<Sha1Digest> parts;  // r PRF values, one per hash function
+  };
+  struct EncryptedMetadata {
+    Nonce rnd;
+    std::vector<uint64_t> bits;  // packed filter
+    uint32_t word_count = 0;     // diagnostic only (padding hides it on wire)
+
+    size_t byte_size() const { return bits.size() * 8 + sizeof(Nonce); }
+  };
+
+  BloomKeywordScheme(const SecretKey& key, BloomParams params = {});
+
+  const BloomParams& params() const { return params_; }
+
+  Trapdoor encrypt_query(std::string_view word) const;
+
+  // Encrypts a document given its word list. If the document has fewer
+  // words than `expected_words`, random bits are set to mask the true
+  // count (§5.5.2: "add random bits to the BF to simulate the proper
+  // number of words").
+  EncryptedMetadata encrypt_metadata(std::span<const std::string> words,
+                                     Rng& rng) const;
+
+  bool match(const EncryptedMetadata& m, const Trapdoor& q,
+             MatchCost* cost = nullptr) const;
+  static bool cover(const Trapdoor& a, const Trapdoor& b);
+
+ private:
+  uint32_t codeword_position(const EncryptedMetadata& m, const Sha1Digest& x,
+                             uint32_t i) const;
+  void set_word(EncryptedMetadata& m, const Trapdoor& t) const;
+
+  BloomParams params_;
+  std::vector<Sha1Digest> keys_;  // k_1 … k_r
+};
+
+}  // namespace roar::pps

@@ -1,0 +1,76 @@
+#include "pps/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace roar::pps {
+
+CorpusGenerator::CorpusGenerator(CorpusParams params, uint64_t seed)
+    : params_(params),
+      rng_(seed),
+      zipf_(params.vocabulary_size, params.zipf_exponent) {}
+
+std::string CorpusGenerator::word(uint64_t rank) {
+  return "w" + std::to_string(rank);
+}
+
+FileInfo CorpusGenerator::next_file() {
+  FileInfo f;
+
+  // Path: depth between 2 and max_path_depth, geometric-ish (most files are
+  // shallow), components drawn from the vocabulary.
+  uint32_t depth = 2;
+  while (depth < params_.max_path_depth && rng_.next_double() < 0.55) ++depth;
+  std::string path = "home";
+  for (uint32_t d = 1; d < depth; ++d) {
+    path += "/" + word(zipf_.next(rng_));
+  }
+  path += "/file" + std::to_string(next_file_index_++) + "_" +
+          word(zipf_.next(rng_)) + ".txt";
+  f.path = std::move(path);
+
+  // Content keywords: distinct Zipf draws, kept in draw order. Earlier
+  // draws are *not* necessarily more important; importance order is the
+  // order we store, so shuffle-free draw order is fine for rank buckets.
+  std::unordered_set<uint64_t> seen;
+  while (f.content_keywords.size() < params_.content_keywords_per_file) {
+    uint64_t r = zipf_.next(rng_);
+    if (seen.insert(r).second) {
+      f.content_keywords.push_back(word(r));
+    }
+    if (seen.size() >= params_.vocabulary_size) break;
+  }
+
+  // Size: log-uniform between 128 B and max_file_size.
+  double lo = std::log(128.0);
+  double hi = std::log(static_cast<double>(params_.max_file_size));
+  f.size_bytes =
+      static_cast<int64_t>(std::exp(lo + rng_.next_double() * (hi - lo)));
+
+  f.mtime = params_.mtime_lo +
+            static_cast<int64_t>(rng_.next_double() *
+                                 static_cast<double>(params_.mtime_hi -
+                                                     params_.mtime_lo));
+  return f;
+}
+
+std::vector<FileInfo> CorpusGenerator::generate(size_t count) {
+  std::vector<FileInfo> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(next_file());
+  return out;
+}
+
+std::vector<EncryptedFileMetadata> encrypt_corpus(
+    const MetadataEncoder& encoder, std::span<const FileInfo> files,
+    Rng& rng) {
+  std::vector<EncryptedFileMetadata> out;
+  out.reserve(files.size());
+  for (const auto& f : files) {
+    out.push_back(encoder.encrypt(f, rng));
+  }
+  return out;
+}
+
+}  // namespace roar::pps

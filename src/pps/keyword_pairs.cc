@@ -1,0 +1,31 @@
+#include "pps/keyword_pairs.h"
+
+#include <algorithm>
+
+namespace roar::pps {
+
+std::string pair_word(std::string_view a, std::string_view b) {
+  // Canonical order; the empty keyword (single-word query) stays second so
+  // singles read "word&".
+  if (!b.empty() && b < a) std::swap(a, b);
+  std::string out;
+  out.reserve(a.size() + b.size() + 1);
+  out.append(a);
+  out.push_back('&');
+  out.append(b);
+  return out;
+}
+
+std::vector<std::string> pair_words(std::span<const std::string> keywords) {
+  std::vector<std::string> out;
+  out.reserve(pair_word_count(keywords.size()));
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    out.push_back(pair_word(keywords[i]));
+    for (size_t j = i + 1; j < keywords.size(); ++j) {
+      out.push_back(pair_word(keywords[i], keywords[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace roar::pps

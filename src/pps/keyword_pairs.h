@@ -1,0 +1,31 @@
+// Two-keyword conjunctive queries without leaking per-keyword matches
+// (§5.5.2 "Beyond Single Keyword Queries").
+//
+// Submitting two separate trapdoors tells the server which documents match
+// *each* keyword; the paper's alternative encodes every unordered keyword
+// pair as its own dictionary word ("a&b", canonical order), so a pair
+// query reveals only the conjunction. Singles remain searchable as the
+// degenerate pair with the empty keyword. The cost is the O(k²) blow-up
+// the paper quantifies (50 keywords → 2500 entries ≈ 7.5 kB filters),
+// which is why the implementation defaults to the cheaper separate-
+// predicate path and offers this as an opt-in.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roar::pps {
+
+// Canonical pair word: order-insensitive, "a" alone maps to "a&".
+std::string pair_word(std::string_view a, std::string_view b = {});
+
+// The full pair document for a keyword set: all unordered pairs plus every
+// single. k keywords → k·(k−1)/2 + k words.
+std::vector<std::string> pair_words(std::span<const std::string> keywords);
+
+// Number of filter entries for k keywords (for sizing Bloom parameters).
+constexpr size_t pair_word_count(size_t k) { return k * (k - 1) / 2 + k; }
+
+}  // namespace roar::pps

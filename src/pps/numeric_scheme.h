@@ -1,0 +1,153 @@
+// Numeric PPS: inequality and range matching (§5.5.3).
+//
+// Both constructions reduce numeric predicates to keyword matching over a
+// synthetic vocabulary and are generic over the keyword backend (the paper
+// uses the Bloom scheme for keywords and the Dictionary scheme as the basis
+// for ranges; both instantiations are exercised by the tests).
+//
+// Inequality: pick l reference points p_1 … p_l. A metadata value N is the
+// document { "ti|pi" : ti = '<' or '>' per comparison with p_i }. A query
+// (type, value) is approximated by the nearest reference point and issued
+// as the single keyword "type|pi".
+//
+// Range: pick m partitions of the domain with different subset sizes and
+// offsets. A value belongs to exactly one subset per partition; the
+// document lists those m subset names. A query [lb, ub] is approximated by
+// the best-fitting single subset across all partitions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "pps/scheme.h"
+
+namespace roar::pps {
+
+// The paper's exponentially spaced reference points for 4-byte positive
+// integers: 1..10, 20..100, 200..1000, …, 2e8..1e9 (≈100 points).
+std::vector<int64_t> exponential_reference_points(int64_t max_value);
+
+// Evenly spaced points over [lo, hi].
+std::vector<int64_t> linear_reference_points(int64_t lo, int64_t hi,
+                                             size_t count);
+
+enum class IneqType { kLess, kGreater };
+
+// Maps an inequality metadata value to its synthetic keyword document.
+std::vector<std::string> inequality_words(
+    int64_t value, const std::vector<int64_t>& reference_points);
+
+// Maps a query to the single keyword for the nearest reference point.
+// Returns the chosen reference point through `chosen` if non-null (tests
+// verify approximation error).
+std::string inequality_query_word(IneqType type, int64_t value,
+                                  const std::vector<int64_t>& reference_points,
+                                  int64_t* chosen = nullptr);
+
+template <typename KeywordBackend>
+class InequalityScheme {
+ public:
+  using EncryptedQuery = typename KeywordBackend::Trapdoor;
+  using EncryptedMetadata = typename KeywordBackend::EncryptedMetadata;
+
+  InequalityScheme(const KeywordBackend& backend,
+                   std::vector<int64_t> reference_points)
+      : backend_(backend), points_(std::move(reference_points)) {}
+
+  const std::vector<int64_t>& reference_points() const { return points_; }
+
+  EncryptedQuery encrypt_query(IneqType type, int64_t value) const {
+    return backend_.encrypt_query(inequality_query_word(type, value, points_));
+  }
+
+  EncryptedMetadata encrypt_metadata(int64_t value, Rng& rng) const {
+    auto words = inequality_words(value, points_);
+    return backend_.encrypt_metadata(words, rng);
+  }
+
+  bool match(const EncryptedMetadata& m, const EncryptedQuery& q,
+             MatchCost* cost = nullptr) const {
+    return backend_.match(m, q, cost);
+  }
+
+ private:
+  const KeywordBackend& backend_;
+  std::vector<int64_t> points_;
+};
+
+// One partition of the numeric domain into contiguous subsets.
+struct DomainPartition {
+  int64_t lo = 0;
+  int64_t hi = 0;      // inclusive domain bounds
+  int64_t width = 1;   // subset width
+  int64_t offset = 0;  // start offset of the first subset (shifts the grid)
+
+  // Index of the subset containing v (v must be in [lo, hi]).
+  int64_t subset_of(int64_t v) const;
+  // Bounds of subset s as [a, b] inclusive, clamped to the domain.
+  void subset_bounds(int64_t s, int64_t* a, int64_t* b) const;
+};
+
+// Builds m dyadic partitions of [lo, hi]: widths w, 2w, 4w, …, each with a
+// half-width-shifted sibling, a practical instance of the paper's "several
+// partitions with different subset sizes and different starting offsets".
+std::vector<DomainPartition> dyadic_partitions(int64_t lo, int64_t hi,
+                                               int64_t min_width,
+                                               size_t levels);
+
+std::vector<std::string> range_words(int64_t value,
+                                     const std::vector<DomainPartition>& ps);
+
+// Best single-subset approximation of [lb, ub]: minimises
+// |lb - a| + |ub - b| across all subsets of all partitions.
+std::string range_query_word(int64_t lb, int64_t ub,
+                             const std::vector<DomainPartition>& ps,
+                             int64_t* out_a = nullptr,
+                             int64_t* out_b = nullptr);
+
+template <typename KeywordBackend>
+class RangeScheme {
+ public:
+  using EncryptedQuery = typename KeywordBackend::Trapdoor;
+  using EncryptedMetadata = typename KeywordBackend::EncryptedMetadata;
+
+  RangeScheme(const KeywordBackend& backend,
+              std::vector<DomainPartition> partitions)
+      : backend_(backend), partitions_(std::move(partitions)) {}
+
+  const std::vector<DomainPartition>& partitions() const {
+    return partitions_;
+  }
+
+  EncryptedQuery encrypt_query(int64_t lb, int64_t ub) const {
+    return backend_.encrypt_query(range_query_word(lb, ub, partitions_));
+  }
+
+  EncryptedMetadata encrypt_metadata(int64_t value, Rng& rng) const {
+    auto words = range_words(value, partitions_);
+    return backend_.encrypt_metadata(words, rng);
+  }
+
+  bool match(const EncryptedMetadata& m, const EncryptedQuery& q,
+             MatchCost* cost = nullptr) const {
+    return backend_.match(m, q, cost);
+  }
+
+ private:
+  const KeywordBackend& backend_;
+  std::vector<DomainPartition> partitions_;
+};
+
+// Ranked queries (§5.5.4): rank buckets over a document's ordered feature
+// list. A keyword at position k gets the extra words "top1|w" (if k==0),
+// "top5|w" (k<5), "top10|w", "top25|w". Queries ask for "topB|w".
+std::vector<std::string> ranked_words(std::span<const std::string> ordered_keywords);
+std::string ranked_query_word(std::string_view keyword, uint32_t bucket);
+// The bucket sizes used; exposed for tests/docs.
+std::span<const uint32_t> rank_buckets();
+
+}  // namespace roar::pps

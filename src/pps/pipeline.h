@@ -1,0 +1,93 @@
+// The producer–consumer query execution pipeline (§5.6.3).
+//
+// One I/O thread streams metadata batches from the store into a bounded
+// buffer; one or more matcher threads drain it, running the (possibly
+// multi-predicate) query. This decouples the two possible bottlenecks the
+// thesis analyses — disk streaming and SHA-1 matching — and reproduces the
+// execution traces of Figure 5.4.
+//
+// Two execution modes:
+//  * realtime: the I/O thread actually paces itself at the modelled device
+//    rate and matcher threads run on real cores; durations are wall-clock.
+//    Used for trace and thread-scaling experiments.
+//  * modeled: matching runs at full speed single-threaded while the I/O
+//    cost is computed analytically; the reported duration is
+//    fixed + max(io_model, cpu_measured / threads). Used for large sweeps
+//    where pacing a 2M-metadata "disk" read in real time would be wasteful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pps/predicates.h"
+#include "pps/store.h"
+
+namespace roar::pps {
+
+struct PipelineConfig {
+  size_t matcher_threads = 1;
+  size_t batch_entries = 1000;
+  size_t queue_capacity = 8;  // batches in flight
+  SourceMode source = SourceMode::kMemory;
+  IoModel io;
+  // Fixed per-query overhead (thread start, parsing, result assembly; for
+  // PPS_LM also the forced collection — §5.7's LM vs LC distinction).
+  double fixed_cost_s = 0.0;
+  bool realtime = true;
+  // Entries between trace samples; 0 disables tracing.
+  size_t trace_every = 0;
+};
+
+// PPS_LM / PPS_LC presets (fixed costs calibrated to the thesis' reported
+// fixed-cost knees; see EXPERIMENTS.md).
+PipelineConfig pps_lm_config();
+PipelineConfig pps_lc_config();
+
+struct TracePoint {
+  double t_s = 0.0;
+  uint64_t produced = 0;
+  uint64_t consumed = 0;
+};
+
+struct QueryStats {
+  uint64_t scanned = 0;
+  uint64_t matches = 0;
+  double duration_s = 0.0;
+  double io_s = 0.0;     // modelled or measured I/O time
+  double cpu_s = 0.0;    // matcher-side busy time (summed across threads)
+  double fixed_s = 0.0;
+  uint64_t prf_calls = 0;
+  std::vector<TracePoint> trace;
+
+  double metadata_per_s() const {
+    return duration_s > 0 ? static_cast<double>(scanned) / duration_s : 0.0;
+  }
+};
+
+class MatchPipeline {
+ public:
+  MatchPipeline(const MetadataStore& store, PipelineConfig config);
+
+  // Runs `query` against the metadata in `slice`. Each matcher thread uses
+  // its own Evaluation (independent selectivity sampling), matching the
+  // paper's tolerance for approximate ordering decisions.
+  QueryStats run(const MetadataStore::RangeSlice& slice,
+                 const MultiPredicateQuery& query) const;
+
+  QueryStats run_all(const MultiPredicateQuery& query) const {
+    return run(store_.slice_all(), query);
+  }
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  QueryStats run_realtime(const MetadataStore::RangeSlice& slice,
+                          const MultiPredicateQuery& query) const;
+  QueryStats run_modeled(const MetadataStore::RangeSlice& slice,
+                         const MultiPredicateQuery& query) const;
+
+  const MetadataStore& store_;
+  PipelineConfig config_;
+};
+
+}  // namespace roar::pps

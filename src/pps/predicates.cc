@@ -1,0 +1,118 @@
+#include "pps/predicates.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace roar::pps {
+
+MultiPredicateQuery::MultiPredicateQuery(Combiner combiner,
+                                         std::vector<Predicate> predicates,
+                                         QueryOptions options)
+    : combiner_(combiner),
+      predicates_(std::move(predicates)),
+      options_(options) {}
+
+MultiPredicateQuery::Evaluation::Evaluation(const MultiPredicateQuery& query)
+    : query_(query),
+      order_(query.size()),
+      sample_matches_(query.size(), 0) {
+  std::iota(order_.begin(), order_.end(), 0);
+  // Single predicate or ordering disabled: nothing to decide.
+  if (!query_.options().dynamic_ordering || query_.size() < 2) {
+    ordered_ = true;
+  }
+}
+
+void MultiPredicateQuery::Evaluation::maybe_decide_order() {
+  if (ordered_ || sampled_ < query_.options().selectivity_samples) return;
+  // AND: most selective (fewest matches) first so non-matching metadata is
+  // rejected after one cheap predicate. OR: least selective first so
+  // matching metadata is accepted after one predicate.
+  std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+    if (query_.combiner() == Combiner::kAnd) {
+      return sample_matches_[a] < sample_matches_[b];
+    }
+    return sample_matches_[a] > sample_matches_[b];
+  });
+  ordered_ = true;
+}
+
+bool MultiPredicateQuery::Evaluation::match(const EncryptedFileMetadata& m,
+                                            MatchCost* cost) {
+  const auto& preds = query_.predicates();
+  if (!ordered_) {
+    // Sampling phase: run every predicate, count matches.
+    bool acc = query_.combiner() == Combiner::kAnd;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      bool r = preds[i].match(m, cost);
+      if (r) ++sample_matches_[i];
+      if (query_.combiner() == Combiner::kAnd) {
+        acc = acc && r;
+      } else {
+        acc = acc || r;
+      }
+    }
+    ++sampled_;
+    maybe_decide_order();
+    return acc;
+  }
+  // Ordered phase: short-circuit in decided order.
+  if (query_.combiner() == Combiner::kAnd) {
+    for (size_t i : order_) {
+      if (!preds[i].match(m, cost)) return false;
+    }
+    return true;
+  }
+  for (size_t i : order_) {
+    if (preds[i].match(m, cost)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> MultiPredicateQuery::Evaluation::current_order() const {
+  return order_;
+}
+
+Predicate make_keyword_predicate(const MetadataEncoder& enc,
+                                 std::string_view word) {
+  auto trapdoor = enc.keyword_query(word);
+  return Predicate(
+      "kw=" + std::string(word),
+      [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
+        return enc.match(m, trapdoor, cost);
+      });
+}
+
+Predicate make_size_predicate(const MetadataEncoder& enc, IneqType type,
+                              int64_t value) {
+  auto trapdoor = enc.size_query(type, value);
+  std::string label = std::string("size") +
+                      (type == IneqType::kGreater ? ">" : "<") +
+                      std::to_string(value);
+  return Predicate(
+      label, [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
+        return enc.match(m, trapdoor, cost);
+      });
+}
+
+Predicate make_mtime_predicate(const MetadataEncoder& enc, int64_t lb,
+                               int64_t ub) {
+  auto trapdoor = enc.mtime_range_query(lb, ub);
+  return Predicate(
+      "mtime[" + std::to_string(lb) + "," + std::to_string(ub) + "]",
+      [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
+        return enc.match(m, trapdoor, cost);
+      });
+}
+
+Predicate make_ranked_predicate(const MetadataEncoder& enc,
+                                std::string_view word, uint32_t bucket) {
+  auto trapdoor = enc.ranked_keyword_query(word, bucket);
+  return Predicate(
+      "top" + std::to_string(bucket) + "|" + std::string(word),
+      [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
+        return enc.match(m, trapdoor, cost);
+      });
+}
+
+}  // namespace roar::pps

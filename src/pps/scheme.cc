@@ -1,0 +1,34 @@
+#include "pps/scheme.h"
+
+namespace roar::pps {
+
+SecretKey SecretKey::generate(Rng& rng) {
+  SecretKey k;
+  for (size_t i = 0; i < k.key_.size(); i += 8) {
+    uint64_t v = rng.next_u64();
+    for (size_t j = 0; j < 8; ++j) {
+      k.key_[i + j] = static_cast<uint8_t>(v >> (j * 8));
+    }
+  }
+  return k;
+}
+
+SecretKey SecretKey::from_seed(uint64_t seed) {
+  Rng rng(seed);
+  return generate(rng);
+}
+
+Sha1Digest SecretKey::derive(std::string_view role) const {
+  return hmac_sha1(raw(), role);
+}
+
+Nonce make_nonce(Rng& rng) {
+  Nonce n;
+  uint64_t v = rng.next_u64();
+  for (size_t i = 0; i < n.size(); ++i) {
+    n[i] = static_cast<uint8_t>(v >> (i * 8));
+  }
+  return n;
+}
+
+}  // namespace roar::pps

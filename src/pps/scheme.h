@@ -1,0 +1,67 @@
+// Common types for Privacy Preserving Search schemes (§5.4–5.5).
+//
+// A PPS scheme lets an untrusted server decide whether an encrypted query
+// matches encrypted metadata without learning either. Every scheme provides
+// the five algorithms of Definition 7: Keygen, EncryptQuery,
+// EncryptMetadata, Match and (conservative) Cover.
+//
+// Schemes are deliberately *not* virtual at this layer: each has distinct
+// query/metadata ciphertext types and the compositions (Inequality on top
+// of a keyword scheme, the combined file-metadata encoder) are explicit.
+// The server-side pipeline works against the PredicateMatcher interface in
+// predicates.h, which erases the scheme type at the query boundary only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "pps/sha1.h"
+
+namespace roar::pps {
+
+using Bytes = std::vector<uint8_t>;
+
+// Master secret. Sub-keys for the different PRF roles are derived with
+// domain-separated HMAC so a single user key drives every scheme.
+class SecretKey {
+ public:
+  static SecretKey generate(Rng& rng);
+  static SecretKey from_seed(uint64_t seed);
+
+  // Derives a 20-byte sub-key for the given role label ("bloom:3",
+  // "dict:prp", ...). Deterministic.
+  Sha1Digest derive(std::string_view role) const;
+
+  std::span<const uint8_t> raw() const { return std::span(key_); }
+
+ private:
+  std::array<uint8_t, 16> key_{};
+};
+
+// Random per-metadata nonce (the `rnd` of the constructions).
+using Nonce = std::array<uint8_t, 8>;
+Nonce make_nonce(Rng& rng);
+
+inline std::span<const uint8_t> as_span(const Sha1Digest& d) {
+  return std::span<const uint8_t>(d.data(), d.size());
+}
+inline std::span<const uint8_t> as_span(const Nonce& n) {
+  return std::span<const uint8_t>(n.data(), n.size());
+}
+inline std::span<const uint8_t> as_span(const Bytes& b) {
+  return std::span<const uint8_t>(b.data(), b.size());
+}
+
+// Counts PRF applications so benchmarks can report matching cost in the
+// same unit as the paper (SHA-1 applications per metadata, §5.7). Threaded
+// through Match calls; a null counter is allowed.
+struct MatchCost {
+  uint64_t prf_calls = 0;
+  void bump(uint64_t n = 1) { prf_calls += n; }
+};
+
+}  // namespace roar::pps

@@ -1,0 +1,160 @@
+#include "pps/sha1.h"
+
+namespace roar::pps {
+namespace {
+
+constexpr uint32_t rotl32(uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_len_ = 0;
+  buf_len_ = 0;
+}
+
+void Sha1::process_block(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const uint8_t> data) {
+  total_len_ += data.size();
+  size_t i = 0;
+  if (buf_len_ > 0) {
+    size_t take = std::min(data.size(), sizeof(buf_) - buf_len_);
+    std::memcpy(buf_ + buf_len_, data.data(), take);
+    buf_len_ += take;
+    i = take;
+    if (buf_len_ == sizeof(buf_)) {
+      process_block(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (i + 64 <= data.size()) {
+    process_block(data.data() + i);
+    i += 64;
+  }
+  if (i < data.size()) {
+    std::memcpy(buf_, data.data() + i, data.size() - i);
+    buf_len_ = data.size() - i;
+  }
+}
+
+Sha1Digest Sha1::finish() {
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad = 0x80;
+  update(std::span<const uint8_t>(&pad, 1));
+  uint8_t zero = 0;
+  while (buf_len_ != 56) {
+    update(std::span<const uint8_t>(&zero, 1));
+  }
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  }
+  update(std::span<const uint8_t>(len_be, 8));
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+Sha1Digest Sha1::hash(std::span<const uint8_t> data) {
+  Sha1 s;
+  s.update(data);
+  return s.finish();
+}
+
+Sha1Digest Sha1::hash(std::string_view sv) {
+  Sha1 s;
+  s.update(sv);
+  return s.finish();
+}
+
+Sha1Digest hmac_sha1(std::span<const uint8_t> key, std::span<const uint8_t> msg) {
+  uint8_t k_block[64] = {0};
+  if (key.size() > 64) {
+    Sha1Digest kd = Sha1::hash(key);
+    std::memcpy(k_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(k_block, key.data(), key.size());
+  }
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k_block[i] ^ 0x5C);
+  }
+  Sha1 inner;
+  inner.update(std::span<const uint8_t>(ipad, 64));
+  inner.update(msg);
+  Sha1Digest inner_d = inner.finish();
+
+  Sha1 outer;
+  outer.update(std::span<const uint8_t>(opad, 64));
+  outer.update(std::span<const uint8_t>(inner_d.data(), inner_d.size()));
+  return outer.finish();
+}
+
+Sha1Digest hmac_sha1(std::span<const uint8_t> key, std::string_view msg) {
+  return hmac_sha1(key, std::span<const uint8_t>(
+                            reinterpret_cast<const uint8_t*>(msg.data()),
+                            msg.size()));
+}
+
+uint64_t prf_u64(std::span<const uint8_t> key, std::string_view msg) {
+  Sha1Digest d = hmac_sha1(key, msg);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | d[i];
+  return v;
+}
+
+}  // namespace roar::pps

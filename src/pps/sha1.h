@@ -1,0 +1,55 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// The thesis' PPS implementation (§5.6) uses SHA-1 as its pseudorandom
+// function throughout; we match that choice so the per-metadata matching
+// cost (the paper's "8 cycles/byte, ~2.5 SHA-1 applications per metadata")
+// has the same shape. SHA-1 is cryptographically broken for collision
+// resistance; it remains adequate here as a PRF building block for a
+// faithful reproduction, and the Scheme interfaces are hash-agnostic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace roar::pps {
+
+using Sha1Digest = std::array<uint8_t, 20>;
+
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+  // Finalizes and returns the digest. The object must be reset() before
+  // reuse.
+  Sha1Digest finish();
+
+  static Sha1Digest hash(std::span<const uint8_t> data);
+  static Sha1Digest hash(std::string_view s);
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t total_len_ = 0;
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+};
+
+// HMAC-SHA1 (RFC 2104): the keyed PRF used by every PPS scheme.
+Sha1Digest hmac_sha1(std::span<const uint8_t> key, std::span<const uint8_t> msg);
+Sha1Digest hmac_sha1(std::span<const uint8_t> key, std::string_view msg);
+
+// First 8 bytes of HMAC-SHA1 as a little-endian integer; convenient for
+// Bloom-filter positions and dictionary indexes.
+uint64_t prf_u64(std::span<const uint8_t> key, std::string_view msg);
+
+}  // namespace roar::pps

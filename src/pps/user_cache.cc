@@ -1,0 +1,68 @@
+#include "pps/user_cache.h"
+
+#include <stdexcept>
+
+namespace roar::pps {
+
+void UserMetadataCache::register_user(UserId user,
+                                      const MetadataStore* store) {
+  if (store == nullptr) {
+    throw std::invalid_argument("null store for user");
+  }
+  stores_[user] = store;
+}
+
+bool UserMetadataCache::resident(UserId user) const {
+  return resident_.count(user) != 0;
+}
+
+void UserMetadataCache::make_room(uint64_t needed) {
+  while (stats_.resident_bytes + needed > capacity_bytes_ && !lru_.empty()) {
+    UserId victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+    stats_.resident_bytes -= stores_.at(victim)->total_bytes();
+    ++stats_.evictions;
+  }
+}
+
+UserMetadataCache::Access UserMetadataCache::access(UserId user,
+                                                    const IoModel& io,
+                                                    SourceMode miss_mode) {
+  auto store_it = stores_.find(user);
+  if (store_it == stores_.end()) {
+    throw std::out_of_range("unknown user " + std::to_string(user));
+  }
+  const MetadataStore& store = *store_it->second;
+
+  auto it = resident_.find(user);
+  if (it != resident_.end()) {
+    // Hit: move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return Access{SourceMode::kMemory, 0.0};
+  }
+
+  // Miss: load (costing the miss-mode I/O), evicting LRU users as needed.
+  ++stats_.misses;
+  uint64_t bytes = store.total_bytes();
+  if (bytes <= capacity_bytes_) {
+    make_room(bytes);
+    lru_.push_front(user);
+    resident_[user] = lru_.begin();
+    stats_.resident_bytes += bytes;
+  }
+  // A dataset larger than the whole cache streams through uncached.
+  double cost = io.read_seconds(miss_mode, bytes, 1);
+  return Access{miss_mode, cost};
+}
+
+void UserMetadataCache::invalidate(UserId user) {
+  auto it = resident_.find(user);
+  if (it == resident_.end()) return;
+  stats_.resident_bytes -= stores_.at(user)->total_bytes();
+  lru_.erase(it->second);
+  resident_.erase(it);
+}
+
+}  // namespace roar::pps

@@ -1,0 +1,75 @@
+// Multi-user metadata cache (§5.6.1).
+//
+// "Multiple users will be serviced by the same server as multiplexing is
+// needed to make PPS economically viable. […] A user's metadata is cached
+// as long as memory is available. […] The cache policy is least recently
+// used (LRU)." A query served while the user's metadata is resident runs
+// in the kMemory regime; a miss loads from the backing store (cold-disk or
+// buffer-cache cost) and may evict the least recently used users to make
+// room.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "pps/store.h"
+
+namespace roar::pps {
+
+using UserId = uint64_t;
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;
+
+  double hit_rate() const {
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class UserMetadataCache {
+ public:
+  // `capacity_bytes` bounds the total resident metadata across users.
+  explicit UserMetadataCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Registers a user's on-"disk" store (owned by the caller; must outlive
+  // the cache). Does not load anything yet.
+  void register_user(UserId user, const MetadataStore* store);
+  bool has_user(UserId user) const { return stores_.count(user) != 0; }
+
+  // Touches `user` for a query. Returns the source mode the query runs in
+  // (kMemory on a hit; `miss_mode` on a miss, after which the user is
+  // resident) and the I/O seconds the miss would cost under `io`.
+  struct Access {
+    SourceMode mode = SourceMode::kMemory;
+    double io_seconds = 0.0;
+  };
+  Access access(UserId user, const IoModel& io,
+                SourceMode miss_mode = SourceMode::kColdDisk);
+
+  bool resident(UserId user) const;
+  const CacheStats& stats() const { return stats_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  // Drops a user's metadata (e.g. on logout). No-op if absent.
+  void invalidate(UserId user);
+
+ private:
+  void make_room(uint64_t needed);
+
+  uint64_t capacity_bytes_;
+  std::unordered_map<UserId, const MetadataStore*> stores_;
+  // Most-recently-used at the front.
+  std::list<UserId> lru_;
+  std::unordered_map<UserId, std::list<UserId>::iterator> resident_;
+  CacheStats stats_;
+};
+
+}  // namespace roar::pps

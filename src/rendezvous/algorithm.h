@@ -1,0 +1,76 @@
+// The Distributed Rendezvous algorithm interface (Definition 1).
+//
+// A DR algorithm decides where each object's replicas live and which set of
+// servers a query visits so that, between them, the visited servers hold
+// every object. This interface is implemented by the three baseline
+// families from Chapter 3 — Partitioned (PTN, the Google algorithm),
+// Sliding Window (SW) and Randomized (RAND) — and by an adapter over the
+// ROAR core (src/core). The analytical simulator (src/sim) and the
+// availability/cost benches treat all algorithms uniformly through it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace roar::rendezvous {
+
+using ServerId = uint32_t;
+inline constexpr ServerId kInvalidServer = UINT32_MAX;
+
+// One object's replica set.
+struct Placement {
+  std::vector<ServerId> replicas;
+};
+
+// One sub-query: which server runs it and what share of the object space it
+// must cover (used by the delay model: execution time ∝ share).
+struct SubQuery {
+  ServerId server = kInvalidServer;
+  double share = 0.0;  // fraction of the object id space this part covers
+};
+
+// A full query plan: the p (or pq) sub-queries.
+struct QueryPlan {
+  std::vector<SubQuery> parts;
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual uint32_t server_count() const = 0;
+  // The minimum partitioning level currently guaranteed correct.
+  virtual uint32_t partitioning_level() const = 0;
+  // Average replicas per object under the current configuration.
+  virtual double replication_level() const = 0;
+
+  // Stores one object (identified by an opaque uniform key; algorithms that
+  // need a ring id derive it from the key). Returns its replica set.
+  virtual Placement place_object(uint64_t object_key) = 0;
+
+  // Plans a query. `choice` selects among the algorithm's alternative
+  // server combinations (SW: r starting offsets; PTN: per-cluster replica
+  // choice is made by the scheduler, so `choice` seeds it; ROAR: sweep
+  // position). Implementations must guarantee coverage of all objects for
+  // every valid choice. alive[s] == false marks failed servers the plan
+  // must avoid (algorithms without a failure story may return parts on
+  // dead servers; the simulator then counts the query as failed).
+  virtual QueryPlan plan_query(uint64_t choice,
+                               const std::vector<bool>& alive) const = 0;
+
+  // Number of distinct server combinations a query can be assigned to —
+  // the paper's key explanatory metric for delay differences (§3: PTN has
+  // r^p, SW has r, ROAR has r·(n/p) granularity, two-ring ROAR r·2^(p-1)).
+  virtual double combination_count() const = 0;
+};
+
+// Returns true if `plan` covers the whole object space: shares sum to ~1
+// and every part is on a live server.
+bool plan_is_complete(const QueryPlan& plan, const std::vector<bool>& alive);
+
+}  // namespace roar::rendezvous

@@ -1,0 +1,72 @@
+#include "rendezvous/cost_model.h"
+
+#include <cmath>
+
+namespace roar::rendezvous {
+
+OperationCosts ptn_costs(uint32_t n, uint32_t p) {
+  OperationCosts c;
+  c.algorithm = "PTN";
+  double r = static_cast<double>(n) / p;
+  c.store_object = r;   // every server of one cluster
+  c.run_query = p;      // one server per cluster
+  // Changing r by ±1 with n fixed means re-clustering: a server leaving a
+  // cluster re-downloads a full new share; averaged per node this is ~1/p
+  // of the dataset for the increase and similar churn for the decrease
+  // (§3.1: asymmetric, some servers drop & reload everything).
+  c.increase_r_per_node = 1.0 / p;
+  c.decrease_r_per_node = 1.0 / p;
+  return c;
+}
+
+OperationCosts sw_costs(uint32_t n, uint32_t r) {
+  OperationCosts c;
+  c.algorithm = "SW";
+  c.store_object = r;
+  c.run_query = std::ceil(static_cast<double>(n) / r);
+  // §3.3: increasing r by one copies 1/n of the data per node; decreasing
+  // only deletes.
+  c.increase_r_per_node = 1.0 / n;
+  c.decrease_r_per_node = 0.0;
+  return c;
+}
+
+OperationCosts rand_costs(uint32_t n, uint32_t r, double cc) {
+  OperationCosts c;
+  c.algorithm = "RAND";
+  c.store_object = cc * r;
+  c.run_query = cc * static_cast<double>(n) / r;
+  // One extra replica written (or dropped) at the end of the random walk.
+  c.increase_r_per_node = cc / n;
+  c.decrease_r_per_node = 0.0;
+  c.harvest = 1.0 - std::exp(-cc * cc);
+  return c;
+}
+
+OperationCosts roar_costs(uint32_t n, uint32_t p) {
+  OperationCosts c;
+  c.algorithm = "ROAR";
+  double r = static_cast<double>(n) / p;
+  c.store_object = r;  // servers intersecting the 1/p replication arc
+  c.run_query = p;
+  // §4.5: decreasing p to p' extends every object 1/p' − 1/p further round
+  // the ring; per node that is the same minimal 1/n-ish transfer as SW.
+  c.increase_r_per_node = 1.0 / n;
+  c.decrease_r_per_node = 0.0;
+  return c;
+}
+
+double optimal_replication(uint32_t n, double b_query, double b_data) {
+  if (b_data <= 0) return n;
+  return std::sqrt(static_cast<double>(n) * b_query / b_data);
+}
+
+double cross_sectional_updates_ptn(uint32_t racks_spanned) {
+  return racks_spanned;
+}
+
+double cross_sectional_updates_roar(uint32_t racks_spanned) {
+  return racks_spanned + 1.0;
+}
+
+}  // namespace roar::rendezvous

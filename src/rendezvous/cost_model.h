@@ -1,0 +1,35 @@
+// Analytical per-operation message/transfer costs for all DR algorithms
+// (Table 6.2 and §6.3), plus the bandwidth-optimal replication level of
+// §2.3.2 and the cross-sectional bandwidth estimate of §4.9.2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace roar::rendezvous {
+
+// Messages (or unit-object transfers) per basic operation.
+struct OperationCosts {
+  std::string algorithm;
+  double store_object = 0;      // replicas written per object
+  double run_query = 0;         // sub-query messages per query
+  double increase_r_per_node = 0;  // dataset fraction copied per node, r→r+1
+  double decrease_r_per_node = 0;  // dataset fraction copied per node, r→r-1
+  double harvest = 1.0;         // fraction of objects a query reaches
+};
+
+OperationCosts ptn_costs(uint32_t n, uint32_t p);
+OperationCosts sw_costs(uint32_t n, uint32_t r);
+OperationCosts rand_costs(uint32_t n, uint32_t r, double c);
+OperationCosts roar_costs(uint32_t n, uint32_t p);
+
+// §2.3.2: r that minimises total bandwidth r·B_data + (n/r)·B_query.
+double optimal_replication(uint32_t n, double b_query, double b_data);
+
+// §4.9.2: cross-sectional (inter-rack) transfers per object update when a
+// replica window spans `racks_spanned` racks. PTN: one message per rack;
+// ROAR with rack-contiguous ring placement: racks+1.
+double cross_sectional_updates_ptn(uint32_t racks_spanned);
+double cross_sectional_updates_roar(uint32_t racks_spanned);
+
+}  // namespace roar::rendezvous

@@ -1,0 +1,106 @@
+#include "rendezvous/ptn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roar::rendezvous {
+
+Ptn::Ptn(uint32_t n, uint32_t p, uint64_t seed)
+    : n_(n), p_(p), placement_rng_(seed) {
+  if (p == 0 || p > n) {
+    throw std::invalid_argument("PTN requires 0 < p <= n");
+  }
+  clusters_.resize(p_);
+  cluster_of_.resize(n_);
+  objects_per_cluster_.assign(p_, 0);
+  // Even split; the first (n mod p) clusters get one extra server.
+  uint32_t base = n_ / p_;
+  uint32_t extra = n_ % p_;
+  ServerId next = 0;
+  for (uint32_t c = 0; c < p_; ++c) {
+    uint32_t size = base + (c < extra ? 1 : 0);
+    for (uint32_t i = 0; i < size; ++i) {
+      clusters_[c].push_back(next);
+      cluster_of_[next] = c;
+      ++next;
+    }
+  }
+}
+
+Placement Ptn::place_object(uint64_t object_key) {
+  (void)object_key;
+  // Random cluster (the paper: "stored on all the servers in one randomly
+  // chosen cluster"); we also track per-cluster counts for balance stats.
+  uint32_t c = static_cast<uint32_t>(placement_rng_.next_below(p_));
+  ++objects_per_cluster_[c];
+  Placement out;
+  out.replicas = clusters_[c];
+  return out;
+}
+
+QueryPlan Ptn::plan_query(uint64_t choice,
+                          const std::vector<bool>& alive) const {
+  QueryPlan plan;
+  plan.parts.reserve(p_);
+  double share = 1.0 / p_;
+  for (uint32_t c = 0; c < p_; ++c) {
+    const auto& members = clusters_[c];
+    // Rotate through replicas by `choice`; skip dead servers.
+    ServerId chosen = kInvalidServer;
+    for (size_t i = 0; i < members.size(); ++i) {
+      ServerId s = members[(choice + i) % members.size()];
+      if (alive.empty() || alive[s]) {
+        chosen = s;
+        break;
+      }
+    }
+    plan.parts.push_back(SubQuery{chosen, share});
+  }
+  return plan;
+}
+
+double Ptn::combination_count() const {
+  // r^p with r = n/p (geometric mean of actual cluster sizes).
+  double log_count = 0.0;
+  for (const auto& c : clusters_) {
+    log_count += std::log(static_cast<double>(c.size()));
+  }
+  return std::exp(log_count);
+}
+
+double Ptn::reconfiguration_transfer(uint32_t p_new) const {
+  if (p_new == p_) return 0.0;
+  if (p_new < p_) {
+    // Decrease p (grow r): destroy (p - p_new) clusters; their objects are
+    // re-stored on all servers of surviving clusters, and the freed servers
+    // are re-filled with their new cluster's data. Every freed server
+    // downloads a full 1/p_new share; every surviving server downloads the
+    // migrated objects, (p - p_new)/p of the dataset spread over p_new
+    // clusters. Measured in dataset copies: (see §3.1)
+    double destroyed = static_cast<double>(p_ - p_new);
+    double migrated_per_survivor = destroyed / static_cast<double>(p_);
+    double survivors_load =
+        migrated_per_survivor * static_cast<double>(n_) / p_;  // r copies
+    double freed_servers = destroyed * (static_cast<double>(n_) / p_);
+    double freed_load = freed_servers / p_new;
+    return survivors_load + freed_load;
+  }
+  // Increase p (shrink r): carve (p_new - p) new clusters out of existing
+  // ones; each new-cluster server drops its data and downloads its share
+  // of 1/p_new of the dataset.
+  double new_clusters = static_cast<double>(p_new - p_);
+  double servers_per_cluster = static_cast<double>(n_) / p_new;
+  return new_clusters * servers_per_cluster / p_new;
+}
+
+bool plan_is_complete(const QueryPlan& plan, const std::vector<bool>& alive) {
+  double total = 0.0;
+  for (const auto& part : plan.parts) {
+    if (part.server == kInvalidServer) return false;
+    if (!alive.empty() && !alive[part.server]) return false;
+    total += part.share;
+  }
+  return total > 0.999;
+}
+
+}  // namespace roar::rendezvous

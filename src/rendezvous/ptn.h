@@ -1,0 +1,56 @@
+// Partitioned Distributed Rendezvous (PTN, §3.1) — the cluster-based
+// algorithm used by Google [BDH03].
+//
+// The n servers are divided into p clusters of ~n/p servers; each object is
+// stored on every server of one random cluster; each query visits one
+// server per cluster. PTN's strength is its r^p server combinations per
+// query (every cluster contributes an independent choice); its weakness is
+// reconfiguration: changing p means destroying/creating clusters and
+// reloading whole server datasets, which this class also models
+// (reconfiguration_cost) for §6.3 and Table 6.2.
+#pragma once
+
+#include "rendezvous/algorithm.h"
+
+namespace roar::rendezvous {
+
+class Ptn : public Algorithm {
+ public:
+  // Divides `n` servers into `p` clusters as evenly as possible.
+  Ptn(uint32_t n, uint32_t p, uint64_t seed);
+
+  std::string name() const override { return "PTN"; }
+  uint32_t server_count() const override { return n_; }
+  uint32_t partitioning_level() const override { return p_; }
+  double replication_level() const override {
+    return static_cast<double>(n_) / p_;
+  }
+
+  Placement place_object(uint64_t object_key) override;
+  QueryPlan plan_query(uint64_t choice,
+                       const std::vector<bool>& alive) const override;
+  double combination_count() const override;
+
+  // Cluster membership, used by the front-end scheduler (per-part greedy
+  // choice is optimal because PTN's parts are independent).
+  const std::vector<std::vector<ServerId>>& clusters() const {
+    return clusters_;
+  }
+  uint32_t cluster_of(ServerId s) const { return cluster_of_[s]; }
+
+  // Objects (fraction of the dataset) each server must *download* when the
+  // partitioning level changes p → p_new with n fixed (§3.1's disruptive
+  // reconfiguration). Returns total data transferred in units of "copies
+  // of the full dataset".
+  double reconfiguration_transfer(uint32_t p_new) const;
+
+ private:
+  uint32_t n_;
+  uint32_t p_;
+  Rng placement_rng_;
+  std::vector<std::vector<ServerId>> clusters_;
+  std::vector<uint32_t> cluster_of_;
+  std::vector<uint64_t> objects_per_cluster_;
+};
+
+}  // namespace roar::rendezvous

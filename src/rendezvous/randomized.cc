@@ -1,0 +1,75 @@
+#include "rendezvous/randomized.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roar::rendezvous {
+namespace {
+
+// Draws `k` distinct servers from [0, n), preferring live ones.
+std::vector<ServerId> draw_distinct(uint32_t n, uint32_t k, Rng& rng,
+                                    const std::vector<bool>* alive) {
+  std::vector<ServerId> out;
+  out.reserve(k);
+  std::vector<bool> used(n, false);
+  uint32_t attempts = 0;
+  while (out.size() < k && attempts < 20 * n) {
+    ++attempts;
+    ServerId s = static_cast<ServerId>(rng.next_below(n));
+    if (used[s]) continue;
+    if (alive != nullptr && !alive->empty() && !(*alive)[s]) continue;
+    used[s] = true;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+Randomized::Randomized(uint32_t n, uint32_t r, double c, uint64_t seed)
+    : n_(n), r_(r), c_(c), placement_rng_(seed) {
+  if (r == 0 || r > n || c <= 0) {
+    throw std::invalid_argument("RAND requires 0 < r <= n and c > 0");
+  }
+}
+
+Placement Randomized::place_object(uint64_t object_key) {
+  (void)object_key;
+  uint32_t replicas = std::min(
+      n_, static_cast<uint32_t>(std::lround(c_ * r_)));
+  Placement out;
+  out.replicas = draw_distinct(n_, replicas, placement_rng_, nullptr);
+  return out;
+}
+
+QueryPlan Randomized::plan_query(uint64_t choice,
+                                 const std::vector<bool>& alive) const {
+  // Choice seeds the random server selection: each choice is one of the
+  // (astronomically many) random subsets.
+  Rng rng(choice * 0x9E3779B97F4A7C15ull + 1);
+  uint32_t q = std::min(n_, partitioning_level());
+  QueryPlan plan;
+  auto servers = draw_distinct(n_, q, rng, &alive);
+  double share = servers.empty() ? 0.0 : 1.0 / servers.size();
+  for (ServerId s : servers) {
+    plan.parts.push_back(SubQuery{s, share});
+  }
+  return plan;
+}
+
+double Randomized::combination_count() const {
+  // log(n choose q) via lgamma; returned as exp (may be +inf for big n).
+  double n = n_;
+  double q = partitioning_level();
+  double log_c = std::lgamma(n + 1) - std::lgamma(q + 1) -
+                 std::lgamma(n - q + 1);
+  return std::exp(log_c);
+}
+
+double Randomized::hit_probability() const {
+  double q = partitioning_level();
+  double replicas = c_ * r_;
+  return 1.0 - std::pow(1.0 - q / n_, replicas);
+}
+
+}  // namespace roar::rendezvous

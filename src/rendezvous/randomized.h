@@ -1,0 +1,42 @@
+// Randomized Distributed Rendezvous (RAND, §3.2), after BubbleStorm.
+//
+// Object replicas land on c·r random servers; queries visit c·n/r random
+// servers. Coverage is probabilistic: with c = 2 a query reaches a given
+// object with probability ≈ 1 − e^{−c²} ≈ 98%. Changing r is trivial, and
+// robustness to churn is excellent, but every operation costs c× more than
+// the deterministic algorithms — the reason the thesis rules RAND out for
+// data centers (Table 6.2 quantifies this).
+#pragma once
+
+#include "rendezvous/algorithm.h"
+
+namespace roar::rendezvous {
+
+class Randomized : public Algorithm {
+ public:
+  Randomized(uint32_t n, uint32_t r, double c, uint64_t seed);
+
+  std::string name() const override { return "RAND"; }
+  uint32_t server_count() const override { return n_; }
+  uint32_t partitioning_level() const override {
+    return static_cast<uint32_t>(c_ * n_ / r_ + 0.5);
+  }
+  double replication_level() const override { return c_ * r_; }
+
+  Placement place_object(uint64_t object_key) override;
+  QueryPlan plan_query(uint64_t choice,
+                       const std::vector<bool>& alive) const override;
+  double combination_count() const override;
+
+  // Probability a query visits at least one replica of a given object
+  // (harvest per object): 1 - (1 - q/n)^(c·r) with q query servers.
+  double hit_probability() const;
+
+ private:
+  uint32_t n_;
+  uint32_t r_;
+  double c_;
+  Rng placement_rng_;
+};
+
+}  // namespace roar::rendezvous

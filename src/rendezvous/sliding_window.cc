@@ -1,0 +1,61 @@
+#include "rendezvous/sliding_window.h"
+
+#include <stdexcept>
+
+namespace roar::rendezvous {
+
+SlidingWindow::SlidingWindow(uint32_t n, uint32_t r, uint64_t seed)
+    : n_(n), r_(r), placement_rng_(seed) {
+  if (r == 0 || r > n) {
+    throw std::invalid_argument("SW requires 0 < r <= n");
+  }
+}
+
+Placement SlidingWindow::place_object(uint64_t object_key) {
+  (void)object_key;
+  Placement out;
+  uint32_t start = static_cast<uint32_t>(placement_rng_.next_below(n_));
+  out.replicas.reserve(r_);
+  for (uint32_t i = 0; i < r_; ++i) {
+    out.replicas.push_back((start + i) % n_);
+  }
+  return out;
+}
+
+QueryPlan SlidingWindow::plan_query(uint64_t choice,
+                                    const std::vector<bool>& alive) const {
+  QueryPlan plan;
+  uint32_t offset = static_cast<uint32_t>(choice % r_);
+  uint32_t parts = partitioning_level();
+  double share = 1.0 / parts;
+  for (uint32_t i = 0; i < parts; ++i) {
+    uint32_t node = (offset + i * r_) % n_;
+    if (alive.empty() || alive[node]) {
+      plan.parts.push_back(SubQuery{node, share});
+      continue;
+    }
+    // Failed node: its window is jointly held by its ring neighbours; send
+    // half the sub-query to each live one (load concentration, §3.3).
+    uint32_t pred = (node + n_ - 1) % n_;
+    uint32_t succ = (node + 1) % n_;
+    bool pred_ok = alive.empty() || alive[pred];
+    bool succ_ok = alive.empty() || alive[succ];
+    if (pred_ok && succ_ok) {
+      plan.parts.push_back(SubQuery{pred, share / 2});
+      plan.parts.push_back(SubQuery{succ, share / 2});
+    } else {
+      // Both neighbours needed; if either is also dead the objects whose
+      // window ended (or started) at `node` are unreachable.
+      plan.parts.push_back(SubQuery{kInvalidServer, share});
+    }
+  }
+  return plan;
+}
+
+double SlidingWindow::reconfiguration_transfer(uint32_t r_new) const {
+  if (r_new <= r_) return 0.0;  // shrinking only deletes
+  // Growing by Δr: each node copies Δr/n of the dataset; n nodes total.
+  return static_cast<double>(r_new - r_) / n_ * n_;
+}
+
+}  // namespace roar::rendezvous

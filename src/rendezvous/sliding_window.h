@@ -1,0 +1,47 @@
+// Sliding Window Distributed Rendezvous (SW, §3.3).
+//
+// The n nodes sit on a discrete circle; object k is stored on nodes
+// k … k+r−1 (mod n); a query visits every r-th node from one of r starting
+// offsets. Changing r is the cheapest of all algorithms (extend/shrink each
+// node's window), but SW has only r server combinations per query, poor
+// failure behaviour (a failed node's items must be matched by both of its
+// neighbours) and no support for heterogeneous servers — exactly the
+// weaknesses ROAR fixes while keeping the window placement.
+#pragma once
+
+#include "rendezvous/algorithm.h"
+
+namespace roar::rendezvous {
+
+class SlidingWindow : public Algorithm {
+ public:
+  SlidingWindow(uint32_t n, uint32_t r, uint64_t seed);
+
+  std::string name() const override { return "SW"; }
+  uint32_t server_count() const override { return n_; }
+  uint32_t partitioning_level() const override {
+    return (n_ + r_ - 1) / r_;  // ceil: step r covers the circle
+  }
+  double replication_level() const override { return r_; }
+
+  Placement place_object(uint64_t object_key) override;
+  QueryPlan plan_query(uint64_t choice,
+                       const std::vector<bool>& alive) const override;
+  double combination_count() const override { return r_; }
+
+  // SW failure handling: when a visited node is dead, the plan adds both
+  // its predecessor and successor (which jointly hold its window) —
+  // concentrating load, per §3.3.
+  uint32_t replication() const { return r_; }
+
+  // Data transfer to change r → r_new, in dataset copies: |Δr|/n per node
+  // when growing, zero when shrinking (§3.3's "very nice properties").
+  double reconfiguration_transfer(uint32_t r_new) const;
+
+ private:
+  uint32_t n_;
+  uint32_t r_;
+  Rng placement_rng_;
+};
+
+}  // namespace roar::rendezvous

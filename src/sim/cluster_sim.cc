@@ -1,0 +1,72 @@
+#include "sim/cluster_sim.h"
+
+namespace roar::sim {
+
+SimResult run_sim(ServerFarm farm, Strategy& strategy,
+                  const SimParams& params) {
+  Rng rng(params.seed);
+  if (params.estimation_error > 0) {
+    farm.set_estimation_error(params.estimation_error, rng);
+  }
+  strategy.prepare(farm);
+  farm.reset_queues();
+
+  double lambda = params.load * farm.total_speed();
+  double now = 0.0;
+
+  SimResult result;
+  result.strategy = strategy.name();
+  std::vector<double> arrivals;
+  std::vector<double> delays_by_arrival;
+  double total_parts = 0.0;
+  double last_finish = 0.0;
+
+  for (uint32_t q = 0; q < params.queries; ++q) {
+    now += rng.next_exponential(lambda);
+    ScheduleContext ctx{farm, now, params.overhead, &rng};
+    auto tasks = strategy.schedule(ctx);
+    double finish = now;
+    for (const auto& t : tasks) {
+      double dur = t.share / farm.speed(t.server) + params.overhead;
+      double start = std::max(now, farm.busy_until(t.server));
+      double f = start + dur;
+      // Commit directly (share-based commit can't carry overhead).
+      farm.commit(t.server, dur * farm.speed(t.server), now);
+      finish = std::max(finish, f);
+    }
+    if (q >= params.warmup) {
+      arrivals.push_back(now);
+      delays_by_arrival.push_back(finish - now);
+      result.delays.add(finish - now);
+      total_parts += static_cast<double>(tasks.size());
+      last_finish = std::max(last_finish, finish);
+    }
+  }
+
+  result.exploded = queue_exploding(arrivals, delays_by_arrival);
+  if (result.exploded) {
+    result.mean_delay = SimResult::kInfiniteDelay;
+    result.median_delay = SimResult::kInfiniteDelay;
+    result.p95_delay = SimResult::kInfiniteDelay;
+    result.p99_delay = SimResult::kInfiniteDelay;
+  } else {
+    result.mean_delay = result.delays.mean();
+    result.median_delay = result.delays.median();
+    result.p95_delay = result.delays.percentile(0.95);
+    result.p99_delay = result.delays.percentile(0.99);
+  }
+  size_t measured = params.queries - params.warmup;
+  result.mean_parts = measured ? total_parts / measured : 0.0;
+  if (last_finish > 0 && !arrivals.empty()) {
+    double span = last_finish - arrivals.front();
+    result.throughput = span > 0 ? measured / span : 0.0;
+    double busy = 0.0;
+    for (ServerIndex s = 0; s < farm.size(); ++s) {
+      busy += farm.busy_seconds(s);
+    }
+    result.utilisation = busy / (farm.size() * last_finish);
+  }
+  return result;
+}
+
+}  // namespace roar::sim

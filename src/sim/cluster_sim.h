@@ -1,0 +1,54 @@
+// Open-loop cluster simulation (§6.1's "Simulator").
+//
+// Queries arrive as a Poisson process; the strategy under test schedules
+// each arrival against the farm's FIFO queues; delays are recorded and the
+// thesis' queue-explosion regression test marks unstable runs (reported
+// delay = infinity). This is the engine behind every Chapter 6 figure.
+#pragma once
+
+#include <limits>
+
+#include "common/stats.h"
+#include "sim/strategy.h"
+
+namespace roar::sim {
+
+struct SimParams {
+  // Target utilisation ρ: arrival rate λ = ρ · Σspeed (a query is one unit
+  // of work — matching the whole dataset once).
+  double load = 0.5;
+  uint32_t queries = 4000;
+  // Fixed per-sub-query server overhead in seconds (0 reproduces the pure
+  // Definition-8 model of Chapter 6; Chapter 7 benches set it from the
+  // PPS measurements).
+  double overhead = 0.0;
+  // Multiplicative server-speed estimation error at the front-end
+  // (Fig 6.5); 0 = perfect estimates.
+  double estimation_error = 0.0;
+  uint64_t seed = 1;
+  // Warm-up queries excluded from statistics.
+  uint32_t warmup = 200;
+};
+
+struct SimResult {
+  std::string strategy;
+  double mean_delay = 0.0;
+  double median_delay = 0.0;
+  double p95_delay = 0.0;
+  double p99_delay = 0.0;
+  bool exploded = false;
+  double throughput = 0.0;       // completed queries per second
+  double utilisation = 0.0;      // busy server-seconds / capacity
+  double mean_parts = 0.0;       // avg sub-queries actually sent
+  SampleSet delays;
+
+  static constexpr double kInfiniteDelay =
+      std::numeric_limits<double>::infinity();
+};
+
+// Runs `strategy` on (a copy of) `farm`. The strategy's prepare() is called
+// with the estimation-error-adjusted farm.
+SimResult run_sim(ServerFarm farm, Strategy& strategy,
+                  const SimParams& params);
+
+}  // namespace roar::sim

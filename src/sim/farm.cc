@@ -1,0 +1,96 @@
+#include "sim/farm.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace roar::sim {
+
+std::vector<ServerClass> hen_testbed() {
+  // 43 ROAR nodes (§7.1); relative speeds calibrated to the ~2.5x spread of
+  // observed processing rates in Fig 7.13.
+  return {
+      {"Dell PowerEdge 1950", 18, 1.00},
+      {"Dell PowerEdge 2950", 10, 1.25},
+      {"Dell PowerEdge 1850", 10, 0.55},
+      {"Sun X4100", 5, 0.45},
+  };
+}
+
+std::vector<ServerClass> ec2_pool() {
+  // 1000 small instances; EC2 neighbours introduce mild speed variation.
+  return {
+      {"EC2 m1.small (fast neighbours)", 250, 1.10},
+      {"EC2 m1.small", 500, 1.00},
+      {"EC2 m1.small (noisy neighbours)", 250, 0.80},
+  };
+}
+
+ServerFarm ServerFarm::uniform(uint32_t n, double speed) {
+  ServerFarm f;
+  f.speed_.assign(n, speed);
+  f.est_speed_ = f.speed_;
+  f.busy_until_.assign(n, 0.0);
+  f.busy_seconds_.assign(n, 0.0);
+  f.alive_.assign(n, true);
+  return f;
+}
+
+ServerFarm ServerFarm::heterogeneous(uint32_t n, double cov, Rng& rng) {
+  ServerFarm f;
+  f.speed_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    f.speed_.push_back(rng.next_normal_truncated(1.0, cov, 0.1));
+  }
+  f.est_speed_ = f.speed_;
+  f.busy_until_.assign(n, 0.0);
+  f.busy_seconds_.assign(n, 0.0);
+  f.alive_.assign(n, true);
+  return f;
+}
+
+ServerFarm ServerFarm::from_classes(const std::vector<ServerClass>& classes) {
+  ServerFarm f;
+  for (const auto& c : classes) {
+    for (uint32_t i = 0; i < c.count; ++i) f.speed_.push_back(c.speed);
+  }
+  f.est_speed_ = f.speed_;
+  f.busy_until_.assign(f.speed_.size(), 0.0);
+  f.busy_seconds_.assign(f.speed_.size(), 0.0);
+  f.alive_.assign(f.speed_.size(), true);
+  return f;
+}
+
+double ServerFarm::total_speed() const {
+  double t = 0.0;
+  for (uint32_t s = 0; s < size(); ++s) {
+    if (alive_[s]) t += speed_[s];
+  }
+  return t;
+}
+
+void ServerFarm::set_estimation_error(double err, Rng& rng) {
+  for (uint32_t s = 0; s < size(); ++s) {
+    double noise = 1.0 + err * (2.0 * rng.next_double() - 1.0);
+    est_speed_[s] = speed_[s] * std::max(noise, 0.05);
+  }
+}
+
+double ServerFarm::commit(ServerIndex s, double share, double now) {
+  double start = std::max(now, busy_until_[s]);
+  double dur = share / speed_[s];
+  busy_until_[s] = start + dur;
+  busy_seconds_[s] += dur;
+  return busy_until_[s];
+}
+
+double ServerFarm::predict(ServerIndex s, double share, double now) const {
+  double start = std::max(now, busy_until_[s]);
+  return start + share / est_speed_[s];
+}
+
+void ServerFarm::reset_queues() {
+  std::fill(busy_until_.begin(), busy_until_.end(), 0.0);
+  std::fill(busy_seconds_.begin(), busy_seconds_.end(), 0.0);
+}
+
+}  // namespace roar::sim

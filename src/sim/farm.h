@@ -1,0 +1,83 @@
+// Simulated server farm: the substrate for the Chapter 6 analytical
+// evaluation and the Chapter 7 scale experiments.
+//
+// Implements the paper's computation model (Definition 8): each server has
+// a fixed processing speed (object-space fraction per second, normalised so
+// speed 1.0 matches the whole dataset in 1 s), serves sub-queries FIFO, and
+// a sub-query of share s takes s/speed seconds. Network delays are
+// negligible in-datacenter and omitted, as in the thesis' simulator.
+//
+// The front-end does not know true speeds: it sees estimates with
+// configurable multiplicative error (Fig 6.5 studies the sensitivity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace roar::sim {
+
+using ServerIndex = uint32_t;
+
+// One hardware class of the experimental testbed (Table 7.1). The speeds
+// are calibrated approximations: the thesis reports four Hen machine
+// models; relative speeds here reproduce the ~2.5x spread its Fig 7.13
+// shows between the fastest and slowest observed processing rates.
+struct ServerClass {
+  std::string model;
+  uint32_t count = 0;
+  double speed = 1.0;
+};
+
+// The 43-node Hen deployment used throughout Chapter 7.
+std::vector<ServerClass> hen_testbed();
+// A 1000-server EC2-like pool (Table 7.3): mostly uniform with mild noise.
+std::vector<ServerClass> ec2_pool();
+
+class ServerFarm {
+ public:
+  // Homogeneous farm.
+  static ServerFarm uniform(uint32_t n, double speed = 1.0);
+  // Heterogeneous farm with speeds ~ Normal(1, cov), truncated at 0.1.
+  static ServerFarm heterogeneous(uint32_t n, double cov, Rng& rng);
+  // Farm from hardware classes (Table 7.1 / 7.3).
+  static ServerFarm from_classes(const std::vector<ServerClass>& classes);
+
+  uint32_t size() const { return static_cast<uint32_t>(speed_.size()); }
+  double speed(ServerIndex s) const { return speed_[s]; }
+  double total_speed() const;
+  bool alive(ServerIndex s) const { return alive_[s]; }
+  void set_alive(ServerIndex s, bool alive) { alive_[s] = alive; }
+  const std::vector<bool>& alive_mask() const { return alive_; }
+
+  // Front-end view: estimated speed (true speed × multiplicative noise).
+  double estimated_speed(ServerIndex s) const { return est_speed_[s]; }
+  // Applies fresh estimation errors: est = true × (1 + U(−err, +err)).
+  void set_estimation_error(double err, Rng& rng);
+
+  // FIFO queue state.
+  double busy_until(ServerIndex s) const { return busy_until_[s]; }
+  // Enqueues a sub-query of `share` at `now`; returns its finish time and
+  // advances the queue.
+  double commit(ServerIndex s, double share, double now);
+  // Predicted finish if enqueued now, using *estimated* speed.
+  double predict(ServerIndex s, double share, double now) const;
+
+  void reset_queues();
+
+  // Work each server has executed so far (seconds busy); for utilisation
+  // and CPU-load figures.
+  double busy_seconds(ServerIndex s) const { return busy_seconds_[s]; }
+
+ private:
+  std::vector<double> speed_;
+  std::vector<double> est_speed_;
+  std::vector<double> busy_until_;
+  std::vector<double> busy_seconds_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace roar::sim

@@ -1,0 +1,136 @@
+// Scheduling strategies for the simulator: how each DR algorithm's
+// front-end assigns a query's sub-queries to servers.
+//
+// The Chapter 6 comparison is exactly a comparison of these: PTN picks the
+// best replica per cluster (r^p combinations), SW can only pick among r
+// starting offsets, ROAR sweeps start ids with Algorithm 1 (plus the §4.8.2
+// optimisations and §4.7 multi-ring variant), and OPT is the theoretical
+// envelope that splits every query across all servers proportionally to
+// their speed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/membership.h"
+#include "core/query_planner.h"
+#include "core/scheduler.h"
+#include "sim/farm.h"
+
+namespace roar::sim {
+
+struct SubTask {
+  ServerIndex server;
+  double share;
+};
+
+struct ScheduleContext {
+  const ServerFarm& farm;
+  double now = 0.0;
+  // Fixed per-sub-query overhead in seconds (query parsing, thread start,
+  // reply serialisation — §2's fixed costs). Charged to the server.
+  double overhead = 0.0;
+  Rng* rng = nullptr;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+  // Called once when the farm is known (build clusters/rings).
+  virtual void prepare(const ServerFarm& farm) = 0;
+  virtual std::vector<SubTask> schedule(const ScheduleContext& ctx) = 0;
+  // Nominal partitioning level (for reporting).
+  virtual uint32_t parts() const = 0;
+};
+
+// PTN: speed-balanced clusters (greedy bin packing so cluster capacities
+// are roughly equal, §3.1), then the O(n) per-cluster greedy choice.
+class PtnStrategy : public Strategy {
+ public:
+  explicit PtnStrategy(uint32_t p);
+  std::string name() const override { return "PTN"; }
+  void prepare(const ServerFarm& farm) override;
+  std::vector<SubTask> schedule(const ScheduleContext& ctx) override;
+  uint32_t parts() const override { return p_; }
+
+ private:
+  uint32_t p_;
+  std::vector<std::vector<core::NodeId>> clusters_;
+};
+
+// SW: discrete window; evaluates all r starting offsets, takes the best.
+class SwStrategy : public Strategy {
+ public:
+  explicit SwStrategy(uint32_t r);
+  std::string name() const override { return "SW"; }
+  void prepare(const ServerFarm& farm) override;
+  std::vector<SubTask> schedule(const ScheduleContext& ctx) override;
+  uint32_t parts() const override { return (n_ + r_ - 1) / r_; }
+
+ private:
+  uint32_t r_;
+  uint32_t n_ = 0;
+};
+
+struct RoarOptions {
+  uint32_t rings = 1;
+  double pq_factor = 1.0;       // pq = ceil(pq_factor · p)
+  bool range_adjustment = false;  // §4.8.2 optimisation 1
+  uint32_t max_splits = 0;        // §4.8.2 optimisation 2
+  bool proportional_ranges = true;  // §4.6 (false = equal ranges)
+};
+
+// ROAR: proportional-range ring(s) + Algorithm 1 sweep + planner.
+class RoarStrategy : public Strategy {
+ public:
+  RoarStrategy(uint32_t p, RoarOptions options = {});
+  std::string name() const override;
+  void prepare(const ServerFarm& farm) override;
+  std::vector<SubTask> schedule(const ScheduleContext& ctx) override;
+  uint32_t parts() const override { return p_; }
+
+  const core::Ring& ring(uint32_t k) const { return rings_[k]; }
+
+ private:
+  void sync_liveness(const ServerFarm& farm);
+
+  uint32_t p_;
+  RoarOptions options_;
+  std::vector<core::Ring> rings_;
+  core::QueryPlanner planner_;
+};
+
+// OPT: theoretical lower envelope — every query is split across all live
+// servers proportionally to true speed (§6.1.1's bound).
+class OptStrategy : public Strategy {
+ public:
+  OptStrategy() = default;
+  std::string name() const override { return "OPT"; }
+  void prepare(const ServerFarm& farm) override;
+  std::vector<SubTask> schedule(const ScheduleContext& ctx) override;
+  uint32_t parts() const override { return n_; }
+
+ private:
+  uint32_t n_ = 0;
+};
+
+// Adapter exposing farm prediction (+ per-sub-query overhead) as the core
+// FinishEstimator used by Algorithm 1.
+class FarmEstimator : public core::FinishEstimator {
+ public:
+  FarmEstimator(const ServerFarm& farm, double now, double overhead)
+      : farm_(farm), now_(now), overhead_(overhead) {}
+  double estimate_finish(core::NodeId node, double share) const override {
+    return farm_.predict(node, share, now_) + overhead_;
+  }
+
+ private:
+  const ServerFarm& farm_;
+  double now_;
+  double overhead_;
+};
+
+}  // namespace roar::sim

@@ -1,0 +1,99 @@
+#include "pps/aes128.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace roar::pps {
+namespace {
+
+AesKey key_from(std::initializer_list<uint8_t> bytes) {
+  AesKey k{};
+  std::copy(bytes.begin(), bytes.end(), k.begin());
+  return k;
+}
+
+// FIPS 197 Appendix B known-answer test.
+TEST(Aes128Test, Fips197Vector) {
+  AesKey key = key_from({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                         0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+  AesBlock pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  AesBlock expect = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                     0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  EXPECT_EQ(aes.encrypt_block(pt), expect);
+}
+
+// NIST SP 800-38A ECB-AES128 vector.
+TEST(Aes128Test, Sp80038aVector) {
+  AesKey key = key_from({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                         0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+  AesBlock pt = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+                 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
+  AesBlock expect = {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60,
+                     0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66, 0xef, 0x97};
+  Aes128 aes(key);
+  EXPECT_EQ(aes.encrypt_block(pt), expect);
+}
+
+TEST(Aes128Test, DecryptInvertsEncrypt) {
+  Aes128 aes(key_from({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}));
+  AesBlock pt{};
+  for (int trial = 0; trial < 32; ++trial) {
+    for (auto& b : pt) b = static_cast<uint8_t>(b * 31 + trial + 7);
+    EXPECT_EQ(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+  }
+}
+
+TEST(Aes128Test, PermuteU64IsBijective) {
+  Aes128 aes(key_from({9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}));
+  std::set<uint64_t> seen;
+  for (uint64_t v = 0; v < 2000; ++v) {
+    uint64_t e = aes.permute_u64(v);
+    EXPECT_TRUE(seen.insert(e).second) << "collision at " << v;
+    EXPECT_EQ(aes.inverse_permute_u64(e), v);
+  }
+}
+
+TEST(Aes128Test, PermuteBelowStaysInDomainAndBijective) {
+  Aes128 aes(key_from({3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}));
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000ull, 32768ull}) {
+    std::set<uint64_t> seen;
+    for (uint64_t v = 0; v < bound; ++v) {
+      uint64_t e = aes.permute_below(v, bound);
+      ASSERT_LT(e, bound) << "bound=" << bound;
+      ASSERT_TRUE(seen.insert(e).second)
+          << "collision at v=" << v << " bound=" << bound;
+    }
+    EXPECT_EQ(seen.size(), bound);
+  }
+}
+
+TEST(Aes128Test, CtrRoundTripsAndDiffersByNonce) {
+  Aes128 aes(key_from({7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}));
+  std::vector<uint8_t> data(100);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  auto orig = data;
+
+  aes.ctr_xor(std::span<uint8_t>(data), 42);
+  EXPECT_NE(data, orig);
+  aes.ctr_xor(std::span<uint8_t>(data), 42);
+  EXPECT_EQ(data, orig);
+
+  auto a = orig;
+  auto b = orig;
+  aes.ctr_xor(std::span<uint8_t>(a), 1);
+  aes.ctr_xor(std::span<uint8_t>(b), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Aes128Test, DifferentKeysDifferentCiphertexts) {
+  Aes128 a(key_from({1}));
+  Aes128 b(key_from({2}));
+  AesBlock pt{};
+  EXPECT_NE(a.encrypt_block(pt), b.encrypt_block(pt));
+}
+
+}  // namespace
+}  // namespace roar::pps

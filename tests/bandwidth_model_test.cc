@@ -1,0 +1,54 @@
+#include "pps/bandwidth_model.h"
+
+#include <gtest/gtest.h>
+
+namespace roar::pps {
+namespace {
+
+TEST(BandwidthModelTest, PpsFormula) {
+  // §5.3.1: 500·fu + 2500·fq.
+  EXPECT_DOUBLE_EQ(pps_bandwidth(10, 4), 500.0 * 10 + 2500.0 * 4);
+}
+
+TEST(BandwidthModelTest, IndexCostDecreasesWithDeltasForUpdateHeavy) {
+  // With many updates and few queries, batching deltas amortises the full
+  // index upload: larger δmax must be cheaper up to a point.
+  double d1 = index_bandwidth_at(100, 1, 0.0, 1);
+  double d10 = index_bandwidth_at(100, 1, 0.0, 10);
+  EXPECT_LT(d10, d1);
+}
+
+TEST(BandwidthModelTest, OptimalBeatsFixedChoices) {
+  uint32_t best_dm = 0;
+  double opt = index_bandwidth_optimal(50, 20, 0.0, &best_dm);
+  EXPECT_LE(opt, index_bandwidth_at(50, 20, 0.0, 1));
+  EXPECT_LE(opt, index_bandwidth_at(50, 20, 0.0, 100));
+  EXPECT_GE(best_dm, 1u);
+}
+
+TEST(BandwidthModelTest, IndexWorseThanPpsWhenRemote) {
+  // Paper: ~8x more bandwidth when updates are non-local.
+  double ratio = bandwidth_ratio(500, 500, 0.0);
+  EXPECT_GT(ratio, 3.0);
+}
+
+TEST(BandwidthModelTest, LocalUpdatesShrinkTheGap) {
+  double remote = bandwidth_ratio(500, 500, 0.0);
+  double half_local = bandwidth_ratio(500, 500, 0.5);
+  double mostly_local = bandwidth_ratio(500, 500, 0.9);
+  EXPECT_GT(remote, half_local);
+  EXPECT_GT(half_local, mostly_local);
+  // Paper: "nearly twice more traffic when most updates are local".
+  EXPECT_GT(mostly_local, 1.0);
+}
+
+TEST(BandwidthModelTest, QueryFetchCappedByUpdateRate) {
+  // If queries far outnumber updates, the index is only re-fetched when it
+  // changed: cost grows with updates, not queries.
+  double few_updates = index_bandwidth_optimal(1, 1000, 0.0);
+  double many_updates = index_bandwidth_optimal(100, 1000, 0.0);
+  EXPECT_LT(few_updates, many_updates);
+}
+
+}  // namespace
+}  // namespace roar::pps

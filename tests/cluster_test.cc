@@ -1,0 +1,220 @@
+// Integration tests for the emulated cluster: end-to-end queries, failure
+// masking, dynamic reconfiguration, updates, joins, and energy accounting.
+#include "cluster/emulated_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace roar::cluster {
+namespace {
+
+ClusterConfig small_config(uint32_t p = 4, uint32_t nodes = 12) {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", nodes, 1.0}};
+  cfg.dataset_size = 1'000'000;
+  cfg.p = p;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(ProtocolTest, AllMessagesRoundTrip) {
+  SubQueryMsg sq;
+  sq.query_id = 42;
+  sq.part_id = 3;
+  sq.point = RingId::from_double(0.5);
+  sq.window_begin = RingId::from_double(0.25);
+  sq.window_end = RingId::from_double(0.5);
+  sq.pq = 8;
+  sq.share = 0.125;
+  auto sq2 = SubQueryMsg::decode(sq.encode());
+  ASSERT_TRUE(sq2.has_value());
+  EXPECT_EQ(sq2->query_id, 42u);
+  EXPECT_EQ(sq2->pq, 8u);
+  EXPECT_EQ(sq2->point, sq.point);
+
+  SubQueryReplyMsg rep;
+  rep.query_id = 42;
+  rep.part_id = 3;
+  rep.scanned = 12345;
+  rep.matches = 7;
+  rep.service_s = 0.25;
+  auto rep2 = SubQueryReplyMsg::decode(rep.encode());
+  ASSERT_TRUE(rep2.has_value());
+  EXPECT_EQ(rep2->scanned, 12345u);
+
+  RangePushMsg rp;
+  rp.range_begin = RingId::from_double(0.1);
+  rp.range_len = 999;
+  rp.p = 16;
+  rp.fixed = true;
+  auto rp2 = RangePushMsg::decode(rp.encode());
+  ASSERT_TRUE(rp2.has_value());
+  EXPECT_TRUE(rp2->fixed);
+
+  FetchOrderMsg fo;
+  fo.arc_begin = RingId::from_double(0.7);
+  fo.arc_len = 1234;
+  fo.new_p = 4;
+  auto fo2 = FetchOrderMsg::decode(fo.encode());
+  ASSERT_TRUE(fo2.has_value());
+  EXPECT_EQ(fo2->new_p, 4u);
+
+  FetchCompleteMsg fc;
+  fc.node = 9;
+  fc.new_p = 4;
+  auto fc2 = FetchCompleteMsg::decode(fc.encode());
+  ASSERT_TRUE(fc2.has_value());
+  EXPECT_EQ(fc2->node, 9u);
+
+  ObjectUpdateMsg ou;
+  ou.object_id = RingId::from_double(0.33);
+  ou.payload_bytes = 700;
+  auto ou2 = ObjectUpdateMsg::decode(ou.encode());
+  ASSERT_TRUE(ou2.has_value());
+  EXPECT_EQ(ou2->payload_bytes, 700u);
+}
+
+TEST(ProtocolTest, DecodeRejectsWrongTypeAndGarbage) {
+  SubQueryMsg sq;
+  auto bytes = sq.encode();
+  EXPECT_FALSE(SubQueryReplyMsg::decode(bytes).has_value());
+  EXPECT_FALSE(SubQueryMsg::decode({}).has_value());
+  net::Bytes garbage{99, 1, 2, 3};
+  EXPECT_FALSE(peek_type(garbage).has_value());
+  net::Bytes truncated(bytes.begin(), bytes.begin() + 5);
+  EXPECT_FALSE(SubQueryMsg::decode(truncated).has_value());
+}
+
+TEST(ClusterTest, QueriesCompleteAndCoverDataset) {
+  EmulatedCluster cluster(small_config());
+  uint32_t done = cluster.run_queries(20.0, 50);
+  EXPECT_EQ(done, 50u);
+  EXPECT_EQ(cluster.delays().count(), 50u);
+  EXPECT_GT(cluster.delays().mean(), 0.0);
+  // Every query scans the entire dataset exactly once: total scanned
+  // across nodes ≈ queries × dataset.
+  uint64_t scanned = 0;
+  for (NodeId id : cluster.node_ids()) {
+    scanned += cluster.node(id).subqueries_served();
+  }
+  EXPECT_GE(scanned, 50u * 4u);  // p sub-queries per query
+}
+
+TEST(ClusterTest, HigherPReducesDelayAtLowLoad) {
+  auto lo = small_config(2, 16);
+  auto hi = small_config(8, 16);
+  EmulatedCluster c_lo(lo), c_hi(hi);
+  c_lo.run_queries(5.0, 40);
+  c_hi.run_queries(5.0, 40);
+  EXPECT_LT(c_hi.delays().mean(), c_lo.delays().mean());
+}
+
+TEST(ClusterTest, FailureMaskedByTimeoutAndSplit) {
+  auto cfg = small_config(4, 12);
+  cfg.frontend.timeout_factor = 1.5;
+  cfg.frontend.timeout_margin_s = 0.05;
+  EmulatedCluster cluster(cfg);
+  cluster.run_queries(20.0, 20);  // warm estimates
+  cluster.kill_node(3);
+  uint32_t done = cluster.run_queries(20.0, 60);
+  EXPECT_EQ(done, 60u) << "queries must complete despite the dead node";
+  EXPECT_GT(cluster.frontend().failures_detected(), 0u);
+}
+
+TEST(ClusterTest, IncreasePIsImmediate) {
+  EmulatedCluster cluster(small_config(4, 12));
+  cluster.change_p(6);
+  EXPECT_EQ(cluster.safe_p(), 6u);
+  uint32_t done = cluster.run_queries(10.0, 30);
+  EXPECT_EQ(done, 30u);
+}
+
+TEST(ClusterTest, DecreasePWaitsForFetches) {
+  EmulatedCluster cluster(small_config(6, 12));
+  cluster.change_p(3);
+  // Not yet safe: downloads in progress.
+  EXPECT_EQ(cluster.safe_p(), 6u);
+  EXPECT_EQ(cluster.frontend().target_p(), 3u);
+  // Queries keep working during the transition at the old p.
+  uint32_t done = cluster.run_queries(10.0, 20);
+  EXPECT_EQ(done, 20u);
+  // Let downloads complete.
+  cluster.loop().run_until(cluster.now() + 300.0);
+  EXPECT_EQ(cluster.safe_p(), 3u);
+  done = cluster.run_queries(10.0, 20);
+  EXPECT_EQ(done, 20u);
+}
+
+TEST(ClusterTest, UpdatesConsumeCapacity) {
+  auto cfg = small_config(4, 8);
+  EmulatedCluster with(cfg), without(cfg);
+  with.inject_updates(400.0, 5.0);
+  with.run_queries(10.0, 40);
+  without.run_queries(10.0, 40);
+  EXPECT_GT(with.delays().mean(), without.delays().mean());
+  uint64_t updates = 0;
+  for (NodeId id : with.node_ids()) {
+    updates += with.node(id).updates_applied();
+  }
+  EXPECT_GT(updates, 0u);
+}
+
+TEST(ClusterTest, JoinedNodeServesAfterWarmup) {
+  EmulatedCluster cluster(small_config(4, 8));
+  NodeId fresh = cluster.add_node(1.0);
+  cluster.loop().run_until(cluster.now() + 120.0);  // warmup passes
+  cluster.run_queries(20.0, 100);
+  EXPECT_GT(cluster.node(fresh).subqueries_served(), 0u)
+      << "new node should receive sub-queries once loaded";
+}
+
+TEST(ClusterTest, BusyFractionsRoughlyBalanced) {
+  EmulatedCluster cluster(small_config(4, 12));
+  cluster.run_queries(25.0, 200);
+  auto busy = cluster.node_busy_fractions();
+  double mx = *std::max_element(busy.begin(), busy.end());
+  double mn = *std::min_element(busy.begin(), busy.end());
+  EXPECT_GT(mn, 0.0);
+  EXPECT_LT(mx / std::max(mn, 1e-9), 4.0);
+}
+
+TEST(ClusterTest, EnergyGrowsWithWork) {
+  EmulatedCluster idle(small_config(4, 8));
+  EmulatedCluster busy(small_config(4, 8));
+  idle.loop().run_until(idle.now() + 10.0);
+  busy.run_queries(40.0, 300);
+  busy.loop().run_until(busy.now() + 0.001);
+  double t_busy = busy.now();
+  // Compare energy per second: the busy cluster burns more than idle.
+  double e_idle = idle.energy_joules() / 10.0;
+  double e_busy = busy.energy_joules() / t_busy;
+  EXPECT_GT(e_busy, e_idle);
+}
+
+TEST(ClusterTest, HeterogeneousSpeedEstimatesConverge) {
+  ClusterConfig cfg;
+  cfg.classes = {{"fast", 4, 2.0}, {"slow", 4, 0.5}};
+  cfg.dataset_size = 1'000'000;
+  cfg.p = 4;
+  cfg.seed = 5;
+  EmulatedCluster cluster(cfg);
+  cluster.run_queries(20.0, 300);
+  // Frontend EWMA should reflect the 4x true rate difference.
+  double fast_rate = cluster.frontend().estimated_rate(0);
+  double slow_rate = cluster.frontend().estimated_rate(4);
+  EXPECT_GT(fast_rate, 2.0 * slow_rate);
+}
+
+TEST(ClusterTest, BreakdownComponentsAreSane) {
+  EmulatedCluster cluster(small_config(4, 8));
+  QueryOutcome last;
+  cluster.frontend().submit([&](const QueryOutcome& out) { last = out; });
+  cluster.loop().run_until(cluster.now() + 60.0);
+  ASSERT_TRUE(last.complete);
+  EXPECT_GT(last.breakdown.service_s, 0.0);
+  EXPECT_GT(last.breakdown.network_s, 0.0);
+  EXPECT_GE(last.breakdown.schedule_s, 0.0);
+  EXPECT_GE(last.breakdown.total_s, last.breakdown.service_s);
+}
+
+}  // namespace
+}  // namespace roar::cluster

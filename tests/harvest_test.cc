@@ -1,0 +1,72 @@
+// Harvest/yield semantics (§2.1, Brewer) at the cluster front-end: a
+// healthy query has harvest 1.0; when failures make windows unreachable
+// the outcome reports the searched fraction honestly.
+#include <gtest/gtest.h>
+
+#include "cluster/emulated_cluster.h"
+
+namespace roar::cluster {
+namespace {
+
+TEST(HarvestTest, HealthyQueriesHaveFullHarvest) {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", 8, 1.0}};
+  cfg.dataset_size = 500'000;
+  cfg.p = 4;
+  cfg.seed = 21;
+  EmulatedCluster c(cfg);
+  QueryOutcome out;
+  c.frontend().submit([&](const QueryOutcome& o) { out = o; });
+  c.loop().run_until(c.now() + 60.0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_DOUBLE_EQ(out.harvest, 1.0);
+}
+
+TEST(HarvestTest, UnreachableWindowReducesHarvest) {
+  // Two nodes, one dead: with p=2 (windows of half the ring) the dead
+  // node's window cannot be straddled — harvest must drop to ~0.5.
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", 2, 1.0}};
+  cfg.dataset_size = 100'000;
+  cfg.p = 2;
+  cfg.seed = 22;
+  cfg.frontend.timeout_factor = 1.5;
+  cfg.frontend.timeout_margin_s = 0.05;
+  EmulatedCluster c(cfg);
+  c.run_queries(5.0, 5);  // warm estimates
+  c.kill_node(1);
+  // Let the front-end discover the failure.
+  c.run_queries(5.0, 5);
+
+  QueryOutcome out;
+  c.frontend().submit([&](const QueryOutcome& o) { out = o; });
+  c.loop().run_until(c.now() + 120.0);
+  EXPECT_FALSE(out.complete);
+  EXPECT_LT(out.harvest, 0.9);
+  EXPECT_GT(out.harvest, 0.1);
+}
+
+TEST(HarvestTest, HarvestRestoredAfterCleanup) {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", 12, 1.0}};
+  cfg.dataset_size = 500'000;
+  cfg.p = 3;
+  cfg.seed = 23;
+  cfg.frontend.timeout_factor = 2.0;
+  cfg.frontend.timeout_margin_s = 0.1;
+  EmulatedCluster c(cfg);
+  c.run_queries(10.0, 10);
+  c.kill_node(4);
+  c.kill_node(5);
+  c.run_queries(10.0, 20);  // discovery
+  c.remove_dead_nodes();
+
+  QueryOutcome out;
+  c.frontend().submit([&](const QueryOutcome& o) { out = o; });
+  c.loop().run_until(c.now() + 120.0);
+  EXPECT_TRUE(out.complete);
+  EXPECT_DOUBLE_EQ(out.harvest, 1.0);
+}
+
+}  // namespace
+}  // namespace roar::cluster

@@ -1,0 +1,142 @@
+#include "core/membership.h"
+
+#include <gtest/gtest.h>
+
+namespace roar::core {
+namespace {
+
+TEST(MembershipTest, JoinPopulatesLeastLoadedRing) {
+  MembershipServer ms(MembershipConfig{.ring_count = 2}, 1);
+  uint32_t r0 = ms.join(0, 1.0);
+  uint32_t r1 = ms.join(1, 1.0);
+  EXPECT_NE(r0, r1);  // second join goes to the empty ring
+  uint32_t r2 = ms.join(2, 1.0);
+  uint32_t r3 = ms.join(3, 1.0);
+  EXPECT_NE(r2, r3);
+  EXPECT_EQ(ms.ring(0).size() + ms.ring(1).size(), 4u);
+}
+
+TEST(MembershipTest, JoinSplitsHottestNode) {
+  MembershipServer ms(MembershipConfig{.ring_count = 1}, 2);
+  ms.join(0, 1.0);
+  ms.join(1, 1.0);
+  // Node ranges after two joins: node 1 took half of node 0's circle.
+  double f0 = ms.ring(0).range_fraction(0);
+  double f1 = ms.ring(0).range_fraction(1);
+  EXPECT_NEAR(f0 + f1, 1.0, 1e-9);
+  EXPECT_NEAR(f0, 0.5, 0.01);
+  // Third join halves the (joint) hottest range again.
+  ms.join(2, 1.0);
+  EXPECT_NEAR(ms.ring(0).range_fraction(2), 0.25, 0.01);
+}
+
+TEST(MembershipTest, DoubleJoinThrows) {
+  MembershipServer ms(MembershipConfig{}, 3);
+  ms.join(0, 1.0);
+  EXPECT_THROW(ms.join(0, 1.0), std::invalid_argument);
+}
+
+TEST(MembershipTest, RejoinGetsOldPosition) {
+  MembershipServer ms(MembershipConfig{}, 4);
+  ms.join(0, 1.0);
+  ms.join(1, 1.0);
+  ms.join(2, 1.0);
+  RingId pos_before = ms.ring(0).node(1).position;
+  ms.leave(1);
+  EXPECT_EQ(ms.ring(0).size(), 2u);
+  ms.join(1, 1.0);
+  EXPECT_EQ(ms.ring(0).node(1).position, pos_before);
+}
+
+TEST(MembershipTest, FailMarksDeadKeepsRange) {
+  MembershipServer ms(MembershipConfig{}, 5);
+  ms.join(0, 1.0);
+  ms.join(1, 1.0);
+  ms.fail(1);
+  EXPECT_FALSE(ms.ring(0).node(1).alive);
+  EXPECT_EQ(ms.ring(0).size(), 2u);
+  ms.remove_failed(1);
+  EXPECT_EQ(ms.ring(0).size(), 1u);
+}
+
+TEST(MembershipTest, BalanceConvergesForHeterogeneousSpeeds) {
+  MembershipServer ms(MembershipConfig{}, 6);
+  // Two fast nodes, two slow.
+  ms.join(0, 2.0);
+  ms.join(1, 2.0);
+  ms.join(2, 0.5);
+  ms.join(3, 0.5);
+  for (int i = 0; i < 400; ++i) ms.balance_step();
+  // Load proxies (range/speed) within ~15% of each other.
+  double lo = 1e9, hi = 0;
+  for (const auto& n : ms.ring(0).nodes()) {
+    double l = ms.load_proxy(0, n.id);
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  EXPECT_LT((hi - lo) / hi, 0.35)
+      << "proportional ranges should converge (threshold stops at ~10%)";
+  // Fast nodes own larger ranges than slow ones.
+  EXPECT_GT(ms.ring(0).range_fraction(0), ms.ring(0).range_fraction(2));
+}
+
+TEST(MembershipTest, BalanceRespectsThreshold) {
+  // Near-balanced ring: no movement below the 10% churn threshold.
+  MembershipConfig cfg;
+  cfg.balance_threshold = 0.10;
+  MembershipServer ms(cfg, 7);
+  ms.join(0, 1.0);
+  ms.join(1, 1.0);
+  for (int i = 0; i < 50; ++i) ms.balance_step();
+  double moved = ms.balance_step();
+  EXPECT_EQ(moved, 0.0);
+}
+
+TEST(MembershipTest, FixedRangeIsNotBalanced) {
+  MembershipServer ms(MembershipConfig{}, 8);
+  ms.join(0, 4.0);
+  ms.join(1, 0.25);
+  ms.set_fixed_range(0, true);
+  ms.set_fixed_range(1, true);
+  double f_before = ms.ring(0).range_fraction(0);
+  for (int i = 0; i < 100; ++i) ms.balance_step();
+  EXPECT_DOUBLE_EQ(ms.ring(0).range_fraction(0), f_before);
+}
+
+TEST(MembershipTest, GlobalMoveRelievesHotSpot) {
+  MembershipServer ms(MembershipConfig{}, 9);
+  for (NodeId i = 0; i < 8; ++i) ms.join(i, 1.0);
+  // Manufacture a hot spot: pairwise-balance, then double one node's range
+  // worth of imbalance by speed change.
+  ms.update_speed(3, 0.1);  // node 3's load proxy becomes ~10x
+  double before = ms.range_imbalance(0);
+  bool moved = ms.global_move(2.0);
+  EXPECT_TRUE(moved);
+  double after = ms.range_imbalance(0);
+  EXPECT_LT(after, before);
+}
+
+TEST(MembershipTest, ActiveRingsPowerCycle) {
+  MembershipServer ms(MembershipConfig{.ring_count = 4}, 10);
+  for (NodeId i = 0; i < 16; ++i) ms.join(i, 1.0);
+  ms.set_active_rings(2);
+  EXPECT_TRUE(ms.ring_active(0));
+  EXPECT_TRUE(ms.ring_active(1));
+  EXPECT_FALSE(ms.ring_active(2));
+  EXPECT_FALSE(ms.ring_active(3));
+  // Nodes of inactive rings are down.
+  for (const auto& n : ms.ring(3).nodes()) EXPECT_FALSE(n.alive);
+  EXPECT_EQ(ms.active_ring_pointers().size(), 2u);
+  // Power back up: nodes return with their ranges.
+  ms.set_active_rings(4);
+  for (const auto& n : ms.ring(3).nodes()) EXPECT_TRUE(n.alive);
+}
+
+TEST(MembershipTest, SetActiveRingsValidation) {
+  MembershipServer ms(MembershipConfig{.ring_count = 2}, 11);
+  EXPECT_THROW(ms.set_active_rings(0), std::invalid_argument);
+  EXPECT_THROW(ms.set_active_rings(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roar::core

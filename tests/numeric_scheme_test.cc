@@ -1,0 +1,211 @@
+// Tests for Inequality, Range and Ranked constructions (§5.5.3–5.5.4),
+// exercised on both keyword backends (Bloom and Dictionary).
+#include "pps/numeric_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "pps/bloom_keyword_scheme.h"
+#include "pps/dictionary_scheme.h"
+
+namespace roar::pps {
+namespace {
+
+class NumericTest : public ::testing::Test {
+ protected:
+  SecretKey key_ = SecretKey::from_seed(77);
+  Rng rng_{88};
+};
+
+TEST_F(NumericTest, ExponentialPointsMatchPaperShape) {
+  auto pts = exponential_reference_points(1'000'000'000);
+  // 1..9, 10..90, ... : 9 per decade, 10 decades → ~82 points incl. 1e9.
+  EXPECT_GE(pts.size(), 80u);
+  EXPECT_LE(pts.size(), 100u);
+  EXPECT_EQ(pts.front(), 1);
+  EXPECT_EQ(pts.back(), 1'000'000'000);
+  EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
+}
+
+TEST_F(NumericTest, InequalityWordsPartitionAroundValue) {
+  auto pts = linear_reference_points(0, 100, 11);  // 0,10,...,100
+  auto words = inequality_words(55, pts);
+  // 55 is > {0..50} and < {60..100}: 6 + 5 words.
+  EXPECT_EQ(words.size(), 11u);
+  EXPECT_NE(std::find(words.begin(), words.end(), ">50"), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), "<60"), words.end());
+}
+
+TEST_F(NumericTest, InequalityQuerySnapsToNearestPoint) {
+  auto pts = linear_reference_points(0, 100, 11);
+  int64_t chosen = -1;
+  auto w = inequality_query_word(IneqType::kGreater, 43, pts, &chosen);
+  EXPECT_EQ(chosen, 40);
+  EXPECT_EQ(w, ">40");
+}
+
+TEST_F(NumericTest, InequalityEndToEndOnBloom) {
+  BloomParams bp;
+  bp.expected_words = 16;
+  BloomKeywordScheme bloom(key_, bp);
+  auto pts = linear_reference_points(0, 1000, 11);
+  InequalityScheme<BloomKeywordScheme> ineq(bloom, pts);
+
+  auto m_big = ineq.encrypt_metadata(750, rng_);
+  auto m_small = ineq.encrypt_metadata(120, rng_);
+
+  auto q_gt500 = ineq.encrypt_query(IneqType::kGreater, 500);
+  EXPECT_TRUE(ineq.match(m_big, q_gt500));
+  EXPECT_FALSE(ineq.match(m_small, q_gt500));
+
+  auto q_lt300 = ineq.encrypt_query(IneqType::kLess, 300);
+  EXPECT_FALSE(ineq.match(m_big, q_lt300));
+  EXPECT_TRUE(ineq.match(m_small, q_lt300));
+}
+
+TEST_F(NumericTest, InequalityEndToEndOnDictionary) {
+  auto pts = linear_reference_points(0, 1000, 11);
+  // Dictionary vocabulary: all possible inequality words.
+  std::vector<std::string> dict_words;
+  for (int64_t p : pts) {
+    dict_words.push_back(">" + std::to_string(p));
+    dict_words.push_back("<" + std::to_string(p));
+  }
+  DictionaryScheme dict(key_, dict_words);
+  InequalityScheme<DictionaryScheme> ineq(dict, pts);
+
+  auto m = ineq.encrypt_metadata(620, rng_);
+  EXPECT_TRUE(ineq.match(m, ineq.encrypt_query(IneqType::kGreater, 500)));
+  EXPECT_FALSE(ineq.match(m, ineq.encrypt_query(IneqType::kGreater, 700)));
+  EXPECT_TRUE(ineq.match(m, ineq.encrypt_query(IneqType::kLess, 700)));
+}
+
+TEST_F(NumericTest, PaperApproximationExample) {
+  // §5.5.3: domain 0..10, points {0,5,10}. Query x>7 ≈ x>5, so encrypted 6
+  // matches while plaintext would not: the scheme is only exact when
+  // queries align with reference points.
+  std::vector<int64_t> pts{0, 5, 10};
+  int64_t chosen;
+  inequality_query_word(IneqType::kGreater, 7, pts, &chosen);
+  EXPECT_EQ(chosen, 5);
+  auto w6 = inequality_words(6, pts);
+  EXPECT_NE(std::find(w6.begin(), w6.end(), ">5"), w6.end());
+  auto w4 = inequality_words(4, pts);
+  EXPECT_EQ(std::find(w4.begin(), w4.end(), ">5"), w4.end());
+}
+
+TEST_F(NumericTest, DomainPartitionSubsets) {
+  DomainPartition p{0, 99, 10, 0};
+  EXPECT_EQ(p.subset_of(0), 0);
+  EXPECT_EQ(p.subset_of(9), 0);
+  EXPECT_EQ(p.subset_of(10), 1);
+  EXPECT_EQ(p.subset_of(99), 9);
+  int64_t a, b;
+  p.subset_bounds(3, &a, &b);
+  EXPECT_EQ(a, 30);
+  EXPECT_EQ(b, 39);
+}
+
+TEST_F(NumericTest, OffsetPartitionShiftsGrid) {
+  DomainPartition p{0, 99, 10, -5};  // subsets ...[-5,4],[5,14],...
+  EXPECT_EQ(p.subset_of(4), 0);
+  EXPECT_EQ(p.subset_of(5), 1);
+  int64_t a, b;
+  p.subset_bounds(0, &a, &b);
+  EXPECT_EQ(a, 0);  // clamped to domain
+  EXPECT_EQ(b, 4);
+}
+
+TEST_F(NumericTest, DyadicPartitionsGrow) {
+  auto ps = dyadic_partitions(0, 1023, 8, 5);
+  EXPECT_GE(ps.size(), 5u);
+  EXPECT_EQ(ps[0].width, 8);
+  // Widths double per level and shifted siblings exist.
+  bool found_shifted = false;
+  for (const auto& p : ps) {
+    if (p.offset != 0) found_shifted = true;
+  }
+  EXPECT_TRUE(found_shifted);
+}
+
+TEST_F(NumericTest, RangeQueryPicksBestSubset) {
+  auto ps = dyadic_partitions(0, 1023, 8, 6);
+  int64_t a, b;
+  range_query_word(100, 131, ps, &a, &b);
+  // Best approximation should cover about [100, 131].
+  EXPECT_LE(std::llabs(100 - a) + std::llabs(131 - b), 40);
+}
+
+TEST_F(NumericTest, RangeEndToEndOnBloom) {
+  BloomParams bp;
+  bp.expected_words = 16;
+  BloomKeywordScheme bloom(key_, bp);
+  auto ps = dyadic_partitions(0, 1023, 8, 6);
+  RangeScheme<BloomKeywordScheme> range(bloom, ps);
+
+  auto q = range.encrypt_query(256, 383);  // exactly a width-128 subset
+  auto m_in = range.encrypt_metadata(300, rng_);
+  auto m_out = range.encrypt_metadata(600, rng_);
+  EXPECT_TRUE(range.match(m_in, q));
+  EXPECT_FALSE(range.match(m_out, q));
+}
+
+TEST_F(NumericTest, RangeAlignedQueriesAreExact) {
+  BloomParams bp;
+  bp.expected_words = 16;
+  BloomKeywordScheme bloom(key_, bp);
+  auto ps = dyadic_partitions(0, 1023, 8, 6);
+  RangeScheme<BloomKeywordScheme> range(bloom, ps);
+  // Query aligned to the width-8 grid: [40,47].
+  auto q = range.encrypt_query(40, 47);
+  for (int64_t v = 40; v <= 47; ++v) {
+    EXPECT_TRUE(range.match(range.encrypt_metadata(v, rng_), q)) << v;
+  }
+  for (int64_t v : {30, 39, 48, 60, 500}) {
+    EXPECT_FALSE(range.match(range.encrypt_metadata(v, rng_), q)) << v;
+  }
+}
+
+TEST_F(NumericTest, RankedWordsBucketMembership) {
+  std::vector<std::string> kws{"k0", "k1", "k2", "k3", "k4", "k5", "k6"};
+  auto words = ranked_words(kws);
+  auto has = [&](const std::string& w) {
+    return std::find(words.begin(), words.end(), w) != words.end();
+  };
+  EXPECT_TRUE(has("top1|k0"));
+  EXPECT_FALSE(has("top1|k1"));
+  EXPECT_TRUE(has("top5|k4"));
+  EXPECT_FALSE(has("top5|k5"));
+  EXPECT_TRUE(has("top10|k6"));
+  EXPECT_TRUE(has("k6"));  // plain keyword still searchable
+}
+
+TEST_F(NumericTest, RankedWordCountMatchesPaper) {
+  // Paper: 41 extra words for 25+ keywords (25 + 10 + 5 + 1).
+  std::vector<std::string> kws;
+  for (int i = 0; i < 50; ++i) kws.push_back("k" + std::to_string(i));
+  auto words = ranked_words(kws);
+  EXPECT_EQ(words.size(), 50u + 41u);
+}
+
+TEST_F(NumericTest, RankedEndToEndOnBloom) {
+  BloomParams bp;
+  bp.expected_words = 100;
+  BloomKeywordScheme bloom(key_, bp);
+  std::vector<std::string> kws{"main", "second", "third", "fourth", "fifth",
+                               "sixth"};
+  auto doc = ranked_words(kws);
+  auto m = bloom.encrypt_metadata(doc, rng_);
+
+  EXPECT_TRUE(bloom.match(m, bloom.encrypt_query(ranked_query_word("main", 1))));
+  EXPECT_FALSE(
+      bloom.match(m, bloom.encrypt_query(ranked_query_word("second", 1))));
+  EXPECT_TRUE(
+      bloom.match(m, bloom.encrypt_query(ranked_query_word("second", 5))));
+  EXPECT_FALSE(
+      bloom.match(m, bloom.encrypt_query(ranked_query_word("sixth", 5))));
+  EXPECT_TRUE(
+      bloom.match(m, bloom.encrypt_query(ranked_query_word("sixth", 10))));
+}
+
+}  // namespace
+}  // namespace roar::pps

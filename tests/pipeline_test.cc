@@ -1,0 +1,156 @@
+#include "pps/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "pps/corpus.h"
+
+namespace roar::pps {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  SecretKey key_ = SecretKey::from_seed(888);
+  MetadataEncoder enc_{key_};
+  Rng rng_{42};
+  MetadataStore store_{256};
+
+  void load_corpus(size_t n, const std::string& common_keyword = "") {
+    CorpusGenerator gen(CorpusParams{}, 17);
+    auto files = gen.generate(n);
+    if (!common_keyword.empty()) {
+      for (size_t i = 0; i < files.size(); i += 2) {
+        files[i].content_keywords[0] = common_keyword;
+      }
+    }
+    store_.load(encrypt_corpus(enc_, files, rng_));
+  }
+
+  MultiPredicateQuery keyword_query(const std::string& w) {
+    return MultiPredicateQuery(Combiner::kAnd,
+                               {make_keyword_predicate(enc_, w)});
+  }
+};
+
+TEST_F(PipelineTest, FindsPlantedMatches) {
+  load_corpus(400, "needle");
+  PipelineConfig cfg;
+  cfg.matcher_threads = 2;
+  cfg.batch_entries = 50;
+  MatchPipeline pipe(store_, cfg);
+  auto stats = pipe.run_all(keyword_query("needle"));
+  EXPECT_EQ(stats.scanned, 400u);
+  // Half the files carry the keyword; Bloom FPs can add a couple.
+  EXPECT_GE(stats.matches, 200u);
+  EXPECT_LE(stats.matches, 205u);
+}
+
+TEST_F(PipelineTest, ZeroMatchQueryScansEverything) {
+  load_corpus(300);
+  MatchPipeline pipe(store_, PipelineConfig{});
+  auto stats = pipe.run_all(keyword_query("zzz_nonexistent"));
+  EXPECT_EQ(stats.scanned, 300u);
+  EXPECT_LE(stats.matches, 1u);  // at most a stray Bloom FP
+  EXPECT_GT(stats.prf_calls, 0u);
+}
+
+TEST_F(PipelineTest, RealtimeAndModeledAgreeOnMatches) {
+  load_corpus(500, "plant");
+  PipelineConfig rt;
+  rt.realtime = true;
+  PipelineConfig md;
+  md.realtime = false;
+  auto rt_stats = MatchPipeline(store_, rt).run_all(keyword_query("plant"));
+  auto md_stats = MatchPipeline(store_, md).run_all(keyword_query("plant"));
+  EXPECT_EQ(rt_stats.matches, md_stats.matches);
+  EXPECT_EQ(rt_stats.scanned, md_stats.scanned);
+}
+
+TEST_F(PipelineTest, PartialSliceOnlyScansRange) {
+  load_corpus(600);
+  Arc arc(RingId::from_double(0.25), circle_fraction(4));
+  auto slice = store_.slice(arc);
+  MatchPipeline pipe(store_, PipelineConfig{});
+  auto stats = pipe.run(slice, keyword_query("whatever"));
+  EXPECT_EQ(stats.scanned, slice.count);
+  EXPECT_LT(stats.scanned, 400u);  // a quarter of the ring ± noise
+  EXPECT_GT(stats.scanned, 60u);
+}
+
+TEST_F(PipelineTest, DiskModeIsSlowerThanMemory) {
+  load_corpus(300);
+  PipelineConfig disk;
+  disk.source = SourceMode::kColdDisk;
+  disk.io.disk_mb_s = 5.0;  // slow fake disk so the gap is unambiguous
+  PipelineConfig mem;
+  mem.source = SourceMode::kMemory;
+  auto d = MatchPipeline(store_, disk).run_all(keyword_query("x"));
+  auto m = MatchPipeline(store_, mem).run_all(keyword_query("x"));
+  EXPECT_GT(d.duration_s, m.duration_s);
+  EXPECT_GT(d.io_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.io_s, 0.0);
+}
+
+TEST_F(PipelineTest, FixedCostAddsToDuration) {
+  load_corpus(50);
+  PipelineConfig with;
+  with.fixed_cost_s = 0.05;
+  PipelineConfig without;
+  auto w = MatchPipeline(store_, with).run_all(keyword_query("x"));
+  auto wo = MatchPipeline(store_, without).run_all(keyword_query("x"));
+  EXPECT_GT(w.duration_s, wo.duration_s + 0.03);
+}
+
+TEST_F(PipelineTest, TraceIsMonotonicAndConsumerLagsProducer) {
+  load_corpus(500);
+  PipelineConfig cfg;
+  cfg.trace_every = 100;
+  cfg.batch_entries = 100;
+  cfg.source = SourceMode::kBufferCache;
+  cfg.io.cache_mb_s = 100.0;
+  MatchPipeline pipe(store_, cfg);
+  auto stats = pipe.run_all(keyword_query("x"));
+  ASSERT_GE(stats.trace.size(), 2u);
+  for (size_t i = 1; i < stats.trace.size(); ++i) {
+    EXPECT_GE(stats.trace[i].t_s, stats.trace[i - 1].t_s);
+    EXPECT_GE(stats.trace[i].consumed, stats.trace[i - 1].consumed);
+  }
+  for (const auto& tp : stats.trace) {
+    EXPECT_LE(tp.consumed, tp.produced);
+  }
+  EXPECT_EQ(stats.trace.back().consumed, 500u);
+}
+
+TEST_F(PipelineTest, MultiThreadSpeedsUpCpuBoundWork) {
+  load_corpus(3000);
+  PipelineConfig one;
+  one.matcher_threads = 1;
+  one.realtime = false;
+  PipelineConfig four;
+  four.matcher_threads = 4;
+  four.realtime = false;
+  auto q = keyword_query("nothing");
+  auto s1 = MatchPipeline(store_, one).run_all(q);
+  auto s4 = MatchPipeline(store_, four).run_all(q);
+  // Modeled mode divides CPU time by thread count.
+  EXPECT_LT(s4.duration_s, s1.duration_s);
+}
+
+TEST_F(PipelineTest, LmConfigHasHigherFixedCostThanLc) {
+  EXPECT_GT(pps_lm_config().fixed_cost_s, pps_lc_config().fixed_cost_s);
+}
+
+TEST_F(PipelineTest, MultiPredicateThroughPipeline) {
+  load_corpus(400, "tagged");
+  MultiPredicateQuery q(
+      Combiner::kAnd,
+      {make_keyword_predicate(enc_, "tagged"),
+       make_size_predicate(enc_, IneqType::kGreater, 1)});
+  PipelineConfig cfg;
+  cfg.matcher_threads = 3;
+  auto stats = MatchPipeline(store_, cfg).run_all(q);
+  EXPECT_GE(stats.matches, 190u);
+  EXPECT_LE(stats.matches, 210u);
+}
+
+}  // namespace
+}  // namespace roar::pps

@@ -1,0 +1,262 @@
+// Parameterized property sweeps over the DESIGN.md §5 invariants: exact
+// coverage for any (n, p, pq) configuration, scheduler optimality across
+// ring shapes, reconfiguration safety mid-transition, and PPS scheme
+// correctness across parameterizations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/query_planner.h"
+#include "core/reconfig.h"
+#include "core/scheduler.h"
+#include "pps/bloom_keyword_scheme.h"
+#include "rendezvous/ptn.h"
+#include "rendezvous/sliding_window.h"
+
+namespace roar {
+namespace {
+
+using core::kInvalidNode;
+using core::QueryPlanner;
+using core::replication_arc;
+using core::Ring;
+
+Ring random_ring(uint32_t n, uint64_t seed) {
+  Ring ring;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < n; ++i) ring.add_node(i, rng.next_ring_id());
+  return ring;
+}
+
+// ---------------------------------------------------------------- coverage
+
+// (n, p, pq_multiplier)
+class CoverageProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint32_t>> {};
+
+TEST_P(CoverageProperty, EveryObjectMatchedExactlyOnceByAStoringNode) {
+  auto [n, p, pq_mult] = GetParam();
+  uint32_t pq = p * pq_mult;
+  Rng rng(n * 131 + p * 17 + pq);
+  QueryPlanner planner;
+  for (uint64_t ring_seed = 1; ring_seed <= 2; ++ring_seed) {
+    Ring ring = random_ring(n, ring_seed);
+    RingId start = rng.next_ring_id();
+    auto plan = planner.plan(ring, start, pq, p, rng);
+    ASSERT_EQ(plan.parts.size(), pq);
+
+    for (int trial = 0; trial < 60; ++trial) {
+      RingId obj = rng.next_ring_id();
+      Arc repl = replication_arc(obj, p);
+      int responsible = 0;
+      for (const auto& part : plan.parts) {
+        uint64_t d = part.window_begin.distance_to(obj);
+        uint64_t win =
+            part.window_begin.distance_to(part.responsibility_end);
+        bool in_window = (pq == 1) || (d > 0 && d <= win);
+        if (!in_window) continue;
+        ++responsible;
+        ASSERT_NE(part.node, kInvalidNode);
+        EXPECT_TRUE(ring.range_of(part.node).intersects(repl))
+            << "n=" << n << " p=" << p << " pq=" << pq;
+      }
+      ASSERT_EQ(responsible, 1) << "n=" << n << " p=" << p << " pq=" << pq;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoverageProperty,
+    ::testing::Combine(::testing::Values(8u, 16u, 43u, 128u),
+                       ::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ------------------------------------------------------- scheduler optimum
+
+class SchedulerProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+namespace {
+class RandomEstimator : public core::FinishEstimator {
+ public:
+  RandomEstimator(uint32_t n, uint64_t seed) : busy_(n), speed_(n) {
+    Rng rng(seed);
+    for (uint32_t i = 0; i < n; ++i) {
+      busy_[i] = rng.next_double() * 0.5;
+      speed_[i] = rng.next_normal_truncated(1.0, 0.5, 0.2);
+    }
+  }
+  double estimate_finish(core::NodeId node, double share) const override {
+    return busy_[node] + share / speed_[node];
+  }
+
+ private:
+  std::vector<double> busy_;
+  std::vector<double> speed_;
+};
+}  // namespace
+
+TEST_P(SchedulerProperty, SweepFindsTheExhaustiveOptimum) {
+  auto [n, p] = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Ring ring = random_ring(n, seed * 7);
+    RandomEstimator est(n, seed * 13);
+    auto sweep = core::SweepScheduler::schedule(ring, p, est);
+    auto exact = core::SweepScheduler::schedule_exhaustive(ring, p, est);
+    EXPECT_NEAR(sweep.best_delay, exact.best_delay, 1e-12)
+        << "n=" << n << " p=" << p << " seed=" << seed;
+  }
+}
+
+TEST_P(SchedulerProperty, SweepOptimumInvariantToPhase) {
+  auto [n, p] = GetParam();
+  Ring ring = random_ring(n, 5);
+  RandomEstimator est(n, 6);
+  auto base = core::SweepScheduler::schedule(ring, p, est);
+  Rng rng(9);
+  for (int k = 0; k < 4; ++k) {
+    auto shifted =
+        core::SweepScheduler::schedule(ring, p, est, rng.next_ring_id());
+    EXPECT_NEAR(shifted.best_delay, base.best_delay, 1e-12)
+        << "phase changes ties, never the optimum";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SchedulerProperty,
+                         ::testing::Combine(::testing::Values(10u, 24u, 64u),
+                                            ::testing::Values(2u, 5u, 9u)));
+
+// -------------------------------------------------- reconfiguration safety
+
+class ReconfigProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(ReconfigProperty, MidTransitionQueriesNeverMissObjects) {
+  // During p_old -> p_new (decrease), queries must keep using p_old; the
+  // planner at p_old must stay correct against the *old* storage layout.
+  auto [p_old, p_new] = GetParam();
+  if (p_new >= p_old) GTEST_SKIP();
+  uint32_t n = 24;
+  Ring ring = random_ring(n, 3);
+  Rng rng(41);
+  QueryPlanner planner;
+  core::ReplicationController ctl(p_old);
+  std::vector<core::NodeId> all;
+  for (const auto& node : ring.nodes()) all.push_back(node.id);
+  ctl.begin_change(p_new, all);
+
+  // Mid-transition: half the nodes confirmed. Safe p must still be p_old,
+  // and planning at safe_p against arcs of length 1/p_old is exact.
+  for (size_t i = 0; i < all.size() / 2; ++i) ctl.confirm(all[i]);
+  ASSERT_EQ(ctl.safe_p(), p_old);
+  auto plan = planner.plan(ring, rng.next_ring_id(), ctl.safe_p(), p_old,
+                           rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    RingId obj = rng.next_ring_id();
+    Arc repl = replication_arc(obj, p_old);
+    bool covered = false;
+    for (const auto& part : plan.parts) {
+      uint64_t d = part.window_begin.distance_to(obj);
+      uint64_t win = part.window_begin.distance_to(part.responsibility_end);
+      if (d > 0 && d <= win) {
+        covered = part.node != kInvalidNode &&
+                  ring.range_of(part.node).intersects(repl);
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+
+  // After all confirm, fetch arcs exactly top up the stored sets.
+  for (size_t i = all.size() / 2; i < all.size(); ++i) ctl.confirm(all[i]);
+  ASSERT_EQ(ctl.safe_p(), p_new);
+  for (const auto& node : ring.nodes()) {
+    Arc fetched = core::ReplicationController::fetch_arc(ring, node.id,
+                                                         p_old, p_new);
+    Arc now_stored = core::stored_object_arc(ring, node.id, p_new);
+    Arc was_stored = core::stored_object_arc(ring, node.id, p_old);
+    for (int trial = 0; trial < 60; ++trial) {
+      RingId obj = rng.next_ring_id();
+      EXPECT_EQ(now_stored.contains(obj),
+                was_stored.contains(obj) || fetched.contains(obj));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ReconfigProperty,
+                         ::testing::Combine(::testing::Values(6u, 8u, 12u),
+                                            ::testing::Values(2u, 3u, 4u, 8u)));
+
+// --------------------------------------------------------- PPS parameters
+
+class BloomParamProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(BloomParamProperty, MatchCorrectAcrossFilterShapes) {
+  auto [hash_count, bits_per_word] = GetParam();
+  pps::BloomParams params;
+  params.hash_count = hash_count;
+  params.bits_per_word = bits_per_word;
+  params.expected_words = 20;
+  pps::SecretKey key = pps::SecretKey::from_seed(hash_count * 100 +
+                                                 bits_per_word);
+  pps::BloomKeywordScheme scheme(key, params);
+  Rng rng(4);
+
+  std::vector<std::string> words;
+  for (int i = 0; i < 15; ++i) words.push_back("w" + std::to_string(i));
+  auto m = scheme.encrypt_metadata(words, rng);
+  for (const auto& w : words) {
+    EXPECT_TRUE(scheme.match(m, scheme.encrypt_query(w)))
+        << "k=" << hash_count << " bpw=" << bits_per_word;
+  }
+  // False positives bounded: with generous filters, absent words miss.
+  if (bits_per_word >= 15) {
+    int fp = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (scheme.match(m, scheme.encrypt_query("absent" +
+                                               std::to_string(i)))) {
+        ++fp;
+      }
+    }
+    EXPECT_LE(fp, 3) << "k=" << hash_count << " bpw=" << bits_per_word;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BloomParamProperty,
+                         ::testing::Combine(::testing::Values(5u, 10u, 17u),
+                                            ::testing::Values(10u, 15u, 25u)));
+
+// ----------------------------------------------- baseline coverage sweeps
+
+class BaselineCoverage
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(BaselineCoverage, PtnAndSwCoverAllObjects) {
+  auto [n, r] = GetParam();
+  if (r > n) GTEST_SKIP();
+  rendezvous::Ptn ptn(n, std::max(1u, n / r), n + r);
+  rendezvous::SlidingWindow sw(n, r, n * r);
+  std::vector<bool> alive(n, true);
+  for (auto* alg :
+       std::initializer_list<rendezvous::Algorithm*>{&ptn, &sw}) {
+    std::vector<rendezvous::Placement> placements;
+    for (int o = 0; o < 60; ++o) placements.push_back(alg->place_object(o));
+    for (int q = 0; q < 6; ++q) {
+      auto plan = alg->plan_query(q * 997 + 7, alive);
+      std::vector<bool> visited(n, false);
+      for (const auto& part : plan.parts) visited[part.server] = true;
+      for (const auto& pl : placements) {
+        bool hit = false;
+        for (auto s : pl.replicas) hit |= visited[s];
+        ASSERT_TRUE(hit) << alg->name() << " n=" << n << " r=" << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BaselineCoverage,
+                         ::testing::Combine(::testing::Values(12u, 30u, 43u),
+                                            ::testing::Values(2u, 3u, 6u)));
+
+}  // namespace
+}  // namespace roar

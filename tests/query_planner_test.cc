@@ -1,0 +1,256 @@
+// Property tests for the ROAR coverage invariants (DESIGN.md §5, items 1
+// and 3): every object matched by exactly one sub-query for any pq >= p,
+// and failure splits that cover exactly the failed node's share.
+#include "core/query_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/reconfig.h"
+
+namespace roar::core {
+namespace {
+
+Ring uniform_ring(uint32_t n, uint64_t seed = 0) {
+  Ring r;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (seed == 0) {
+      r.add_node(i, query_point(RingId(0), i, n));
+    } else {
+      r.add_node(i, rng.next_ring_id());
+    }
+  }
+  return r;
+}
+
+TEST(ObjectMatchPredicateTest, ExactlyOneSubQueryMatchesEachObject) {
+  Rng rng(101);
+  for (uint32_t pq : {1u, 2u, 3u, 7u, 16u, 47u}) {
+    RingId start = rng.next_ring_id();
+    for (int trial = 0; trial < 200; ++trial) {
+      RingId obj = rng.next_ring_id();
+      int matches = 0;
+      for (uint32_t i = 0; i < pq; ++i) {
+        if (object_matched_by(obj, start, i, pq)) ++matches;
+      }
+      ASSERT_EQ(matches, 1)
+          << "pq=" << pq << " obj=" << obj << " start=" << start;
+    }
+  }
+}
+
+TEST(ObjectMatchPredicateTest, ObjectAtQueryPointBelongsToThatPoint) {
+  // (prev, cur]: an object exactly at a query point is matched by it.
+  RingId start = RingId::from_double(0.25);
+  uint32_t pq = 4;
+  for (uint32_t i = 0; i < pq; ++i) {
+    RingId point = query_point(start, i, pq);
+    EXPECT_TRUE(object_matched_by(point, start, i, pq)) << i;
+  }
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  QueryPlanner planner_;
+  Rng rng_{77};
+};
+
+TEST_F(PlannerTest, PlanTargetsOwningNodes) {
+  auto ring = uniform_ring(12);
+  auto plan = planner_.plan(ring, RingId::from_double(0.03), 4, 4, rng_);
+  ASSERT_EQ(plan.parts.size(), 4u);
+  for (const auto& part : plan.parts) {
+    EXPECT_EQ(part.node, ring.node_in_charge(part.point));
+    EXPECT_FALSE(part.failure_split);
+    EXPECT_NEAR(part.share, 0.25, 1e-9);
+  }
+}
+
+// The central ROAR correctness property (§4.2): for every stored object,
+// the sub-query responsible for it lands on a node that stores it.
+TEST_F(PlannerTest, ResponsibleNodeStoresEveryObject) {
+  for (uint64_t ring_seed : {1ull, 2ull, 3ull}) {
+    auto ring = uniform_ring(24, ring_seed);
+    for (uint32_t p : {4u, 6u, 8u}) {
+      for (uint32_t pq : {p, p + 1, 2 * p}) {
+        RingId start = rng_.next_ring_id();
+        auto plan = planner_.plan(ring, start, pq, p, rng_);
+        for (int trial = 0; trial < 100; ++trial) {
+          RingId obj = rng_.next_ring_id();
+          Arc repl = replication_arc(obj, p);
+          int matched = 0;
+          for (const auto& part : plan.parts) {
+            // Which part is responsible for this object?
+            uint64_t d = part.window_begin.distance_to(obj);
+            uint64_t win =
+                part.window_begin.distance_to(part.responsibility_end);
+            if (!(d > 0 && d <= win)) continue;
+            ++matched;
+            // The node must store the object: its range must intersect
+            // the object's replication arc.
+            ASSERT_NE(part.node, kInvalidNode);
+            EXPECT_TRUE(ring.range_of(part.node).intersects(repl))
+                << "p=" << p << " pq=" << pq << " obj=" << obj;
+          }
+          ASSERT_EQ(matched, 1) << "p=" << p << " pq=" << pq;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PlannerTest, FailureSplitCoversFailedWindow) {
+  auto ring = uniform_ring(12);
+  // Fail the node owning point 0.5 region.
+  NodeId failed = ring.node_in_charge(RingId::from_double(0.5));
+  ring.set_alive(failed, false);
+
+  uint32_t p = 4;
+  // Start so one point lands on the failed node.
+  RingId start = ring.node(failed).position.advanced_raw(-42);
+  auto plan = planner_.plan(ring, start, p, p, rng_);
+
+  // Expect p−1 normal parts + 2 split parts.
+  int splits = 0;
+  for (const auto& part : plan.parts) {
+    if (part.failure_split) {
+      ++splits;
+      EXPECT_NE(part.node, failed);
+      EXPECT_NE(part.node, kInvalidNode);
+      EXPECT_TRUE(ring.node(part.node).alive);
+    }
+  }
+  EXPECT_EQ(splits, 2);
+  EXPECT_EQ(plan.parts.size(), p + 1);
+
+  // Both splits keep the original responsibility window, and every object
+  // in that window is stored on at least one of the two targets.
+  std::vector<const RoarSubQuery*> split_parts;
+  for (const auto& part : plan.parts) {
+    if (part.failure_split) split_parts.push_back(&part);
+  }
+  const auto& w = *split_parts[0];
+  for (int trial = 0; trial < 300; ++trial) {
+    uint64_t win = w.window_begin.distance_to(w.responsibility_end);
+    RingId obj = w.window_begin.advanced_raw(1 + rng_.next_below(win));
+    Arc repl = replication_arc(obj, p);
+    bool stored = false;
+    for (const auto* part : split_parts) {
+      if (ring.range_of(part->node).intersects(repl)) stored = true;
+    }
+    EXPECT_TRUE(stored) << "object " << obj << " uncovered after split";
+  }
+}
+
+TEST_F(PlannerTest, SplitSharesSumToOriginal) {
+  auto ring = uniform_ring(12);
+  NodeId failed = ring.node_in_charge(RingId::from_double(0.25));
+  ring.set_alive(failed, false);
+  RingId start = ring.node(failed).position.advanced_raw(-1);
+  auto plan = planner_.plan(ring, start, 4, 4, rng_);
+  double total = 0.0;
+  for (const auto& part : plan.parts) total += part.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(PlannerTest, MultipleFailuresRetried) {
+  auto ring = uniform_ring(24);
+  // Kill three adjacent nodes; the planner must still find live targets.
+  NodeId a = ring.node_in_charge(RingId::from_double(0.5));
+  NodeId b = ring.successor(a);
+  NodeId c = ring.predecessor(a);
+  for (NodeId x : {a, b, c}) ring.set_alive(x, false);
+
+  uint32_t p = 6;  // 1/p = 4 node ranges: wide enough to straddle 3 dead
+  RingId start = ring.node(a).position.advanced_raw(-5);
+  auto plan = planner_.plan(ring, start, p, p, rng_);
+  for (const auto& part : plan.parts) {
+    if (part.node != kInvalidNode) {
+      EXPECT_TRUE(ring.node(part.node).alive);
+    }
+  }
+}
+
+TEST_F(PlannerTest, UncoverableFailureReportsInvalidNode) {
+  // Two nodes, one dead, p = n: the failed node's range can't be straddled
+  // by a (1/p − δ) window pair within the tiny ring.
+  Ring ring;
+  ring.add_node(0, RingId::from_double(0.0));
+  ring.add_node(1, RingId::from_double(0.5));
+  ring.set_alive(1, false);
+  auto plan = planner_.plan(ring, RingId::from_double(0.4), 2, 2, rng_);
+  bool any_invalid = false;
+  for (const auto& part : plan.parts) {
+    if (part.node == kInvalidNode) any_invalid = true;
+  }
+  EXPECT_TRUE(any_invalid);
+}
+
+TEST(StoredObjectArcTest, ContainsExactlyTheStoredObjects) {
+  Ring ring;
+  Rng rng(5);
+  for (uint32_t i = 0; i < 10; ++i) ring.add_node(i, rng.next_ring_id());
+  uint32_t p = 5;
+  for (const auto& n : ring.nodes()) {
+    Arc stored = stored_object_arc(ring, n.id, p);
+    for (int trial = 0; trial < 200; ++trial) {
+      RingId obj = rng.next_ring_id();
+      bool is_stored =
+          ring.range_of(n.id).intersects(replication_arc(obj, p));
+      EXPECT_EQ(stored.contains(obj), is_stored)
+          << "node " << n.id << " obj " << obj;
+    }
+  }
+}
+
+TEST(ReconfigTest, IncreasePIsImmediatelySafe) {
+  ReplicationController ctl(8);
+  ctl.begin_change(16, {0, 1, 2});
+  EXPECT_EQ(ctl.safe_p(), 16u);
+  EXPECT_FALSE(ctl.in_progress());
+}
+
+TEST(ReconfigTest, DecreasePWaitsForAllConfirmations) {
+  ReplicationController ctl(16);
+  ctl.begin_change(8, {0, 1, 2});
+  EXPECT_EQ(ctl.safe_p(), 16u);  // old p stays safe
+  EXPECT_EQ(ctl.target_p(), 8u);
+  EXPECT_TRUE(ctl.in_progress());
+  ctl.confirm(0);
+  ctl.confirm(1);
+  EXPECT_EQ(ctl.safe_p(), 16u);
+  ctl.confirm(2);
+  EXPECT_EQ(ctl.safe_p(), 8u);
+  EXPECT_FALSE(ctl.in_progress());
+}
+
+TEST(ReconfigTest, FetchArcMatchesTheoreticalFraction) {
+  Ring ring;
+  Rng rng(9);
+  for (uint32_t i = 0; i < 8; ++i) ring.add_node(i, rng.next_ring_id());
+  uint32_t p_old = 8, p_new = 4;
+  for (const auto& n : ring.nodes()) {
+    Arc fetch = ReplicationController::fetch_arc(ring, n.id, p_old, p_new);
+    EXPECT_NEAR(fetch.fraction(), 1.0 / p_new - 1.0 / p_old, 1e-9);
+    // The fetched ids plus the old stored set equal the new stored set.
+    Arc old_stored = stored_object_arc(ring, n.id, p_old);
+    Arc new_stored = stored_object_arc(ring, n.id, p_new);
+    for (int trial = 0; trial < 200; ++trial) {
+      RingId obj = rng.next_ring_id();
+      bool expect_new = new_stored.contains(obj);
+      bool covered = old_stored.contains(obj) || fetch.contains(obj);
+      EXPECT_EQ(covered, expect_new) << "node " << n.id;
+    }
+  }
+}
+
+TEST(ReconfigTest, PerNodeFetchFraction) {
+  EXPECT_DOUBLE_EQ(ReplicationController::per_node_fetch_fraction(8, 4),
+                   1.0 / 4 - 1.0 / 8);
+  EXPECT_DOUBLE_EQ(ReplicationController::per_node_fetch_fraction(4, 8), 0.0);
+}
+
+}  // namespace
+}  // namespace roar::core

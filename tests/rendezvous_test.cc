@@ -1,0 +1,266 @@
+// Tests for the baseline DR algorithms (PTN, SW, RAND) and the ROAR
+// adapter: coverage, combination counts, reconfiguration costs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/roar_algorithm.h"
+#include "rendezvous/cost_model.h"
+#include "rendezvous/ptn.h"
+#include "rendezvous/randomized.h"
+#include "rendezvous/sliding_window.h"
+
+namespace roar::rendezvous {
+namespace {
+
+// Generic coverage check: simulate object placement and a query; every
+// object's replica set must intersect the queried servers (for the
+// deterministic algorithms).
+void expect_full_coverage(Algorithm& alg, int objects, int queries) {
+  std::vector<Placement> placements;
+  for (int o = 0; o < objects; ++o) {
+    placements.push_back(alg.place_object(o));
+  }
+  std::vector<bool> alive(alg.server_count(), true);
+  for (int q = 0; q < queries; ++q) {
+    auto plan = alg.plan_query(q * 7919 + 13, alive);
+    std::set<ServerId> visited;
+    for (const auto& part : plan.parts) visited.insert(part.server);
+    for (const auto& pl : placements) {
+      bool hit = false;
+      for (ServerId s : pl.replicas) {
+        if (visited.count(s)) hit = true;
+      }
+      ASSERT_TRUE(hit) << alg.name() << " query " << q << " missed object";
+    }
+  }
+}
+
+TEST(PtnTest, ClustersPartitionServers) {
+  Ptn ptn(43, 10, 1);
+  std::set<ServerId> all;
+  size_t total = 0;
+  for (const auto& c : ptn.clusters()) {
+    EXPECT_GE(c.size(), 4u);
+    EXPECT_LE(c.size(), 5u);
+    total += c.size();
+    all.insert(c.begin(), c.end());
+  }
+  EXPECT_EQ(total, 43u);
+  EXPECT_EQ(all.size(), 43u);
+}
+
+TEST(PtnTest, FullCoverage) {
+  Ptn ptn(24, 6, 2);
+  expect_full_coverage(ptn, 200, 20);
+}
+
+TEST(PtnTest, PlacementIsWholeCluster) {
+  Ptn ptn(12, 4, 3);
+  auto placement = ptn.place_object(1);
+  EXPECT_EQ(placement.replicas.size(), 3u);  // r = 12/4
+  uint32_t c = ptn.cluster_of(placement.replicas[0]);
+  for (ServerId s : placement.replicas) EXPECT_EQ(ptn.cluster_of(s), c);
+}
+
+TEST(PtnTest, SkipsDeadServersWithinCluster) {
+  Ptn ptn(12, 4, 4);
+  std::vector<bool> alive(12, true);
+  alive[ptn.clusters()[0][0]] = false;
+  auto plan = ptn.plan_query(0, alive);
+  EXPECT_TRUE(plan_is_complete(plan, alive));
+}
+
+TEST(PtnTest, CombinationCountIsRToTheP) {
+  Ptn ptn(12, 4, 5);  // r = 3
+  EXPECT_NEAR(ptn.combination_count(), 81.0, 1e-6);
+}
+
+TEST(PtnTest, ReconfigurationCostAsymmetric) {
+  Ptn ptn(40, 8, 6);
+  // Decreasing p moves far more data than ROAR/SW-style windows would.
+  double dec = ptn.reconfiguration_transfer(4);
+  double inc = ptn.reconfiguration_transfer(16);
+  EXPECT_GT(dec, 1.0);  // more than one full dataset copy
+  EXPECT_GT(inc, 0.0);
+  EXPECT_DOUBLE_EQ(ptn.reconfiguration_transfer(8), 0.0);
+}
+
+TEST(PtnTest, InvalidParamsThrow) {
+  EXPECT_THROW(Ptn(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Ptn(4, 5, 1), std::invalid_argument);
+}
+
+TEST(SwTest, FullCoverage) {
+  SlidingWindow sw(24, 4, 7);
+  expect_full_coverage(sw, 200, 12);
+}
+
+TEST(SwTest, PlacementIsConsecutive) {
+  SlidingWindow sw(10, 3, 8);
+  auto p = sw.place_object(0);
+  ASSERT_EQ(p.replicas.size(), 3u);
+  EXPECT_EQ((p.replicas[0] + 1) % 10, p.replicas[1]);
+  EXPECT_EQ((p.replicas[1] + 1) % 10, p.replicas[2]);
+}
+
+TEST(SwTest, FailedNodeCoveredByNeighbours) {
+  SlidingWindow sw(12, 3, 9);
+  std::vector<bool> alive(12, true);
+  alive[6] = false;
+  // Offset 0 visits 0,3,6,9: node 6 dead → pred 5 and succ 7 stand in.
+  auto plan = sw.plan_query(0, alive);
+  std::set<ServerId> visited;
+  for (const auto& part : plan.parts) visited.insert(part.server);
+  EXPECT_TRUE(visited.count(5));
+  EXPECT_TRUE(visited.count(7));
+  EXPECT_TRUE(plan_is_complete(plan, alive));
+}
+
+TEST(SwTest, OnlyRChoices) {
+  SlidingWindow sw(20, 5, 10);
+  EXPECT_DOUBLE_EQ(sw.combination_count(), 5.0);
+  // Choices repeat modulo r.
+  std::vector<bool> alive(20, true);
+  auto a = sw.plan_query(2, alive);
+  auto b = sw.plan_query(7, alive);  // 7 mod 5 == 2
+  ASSERT_EQ(a.parts.size(), b.parts.size());
+  for (size_t i = 0; i < a.parts.size(); ++i) {
+    EXPECT_EQ(a.parts[i].server, b.parts[i].server);
+  }
+}
+
+TEST(SwTest, ReconfigurationCostMinimal) {
+  SlidingWindow sw(20, 5, 11);
+  EXPECT_DOUBLE_EQ(sw.reconfiguration_transfer(6), 20.0 / 20);  // Δr/n per node × n
+  EXPECT_DOUBLE_EQ(sw.reconfiguration_transfer(4), 0.0);
+}
+
+TEST(RandTest, ProbabilisticHarvestNearTheory) {
+  Randomized rand(50, 10, 2.0, 12);
+  // c=2: hit probability ≈ 1 − e^{−4} ≈ 0.982.
+  EXPECT_NEAR(rand.hit_probability(), 0.982, 0.01);
+
+  // Empirical: fraction of (object, query) pairs covered.
+  std::vector<Placement> placements;
+  for (int o = 0; o < 200; ++o) placements.push_back(rand.place_object(o));
+  std::vector<bool> alive(50, true);
+  int hits = 0, total = 0;
+  for (int q = 0; q < 50; ++q) {
+    auto plan = rand.plan_query(q + 1000, alive);
+    std::set<ServerId> visited;
+    for (const auto& part : plan.parts) visited.insert(part.server);
+    for (const auto& pl : placements) {
+      ++total;
+      for (ServerId s : pl.replicas) {
+        if (visited.count(s)) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  double harvest = static_cast<double>(hits) / total;
+  EXPECT_GT(harvest, 0.95);
+  EXPECT_LT(harvest, 1.0);  // not deterministic
+}
+
+TEST(RandTest, CostsAreCTimesHigher) {
+  auto costs = rand_costs(50, 10, 2.0);
+  EXPECT_DOUBLE_EQ(costs.store_object, 20.0);
+  EXPECT_DOUBLE_EQ(costs.run_query, 10.0);
+  EXPECT_LT(costs.harvest, 1.0);
+}
+
+TEST(RoarAdapterTest, FullCoverageSingleRing) {
+  core::RoarAlgorithm roar(24, 6, 1, 13);
+  expect_full_coverage(roar, 200, 12);
+}
+
+TEST(RoarAdapterTest, FullCoverageTwoRings) {
+  core::RoarAlgorithm roar(24, 6, 2, 14);
+  expect_full_coverage(roar, 200, 12);
+}
+
+TEST(RoarAdapterTest, ReplicationLevelMatchesNOverP) {
+  core::RoarAlgorithm roar(24, 6, 1, 15);
+  double total = 0;
+  for (int o = 0; o < 500; ++o) {
+    total += roar.place_object(o).replicas.size();
+  }
+  // Average replicas ≈ n/p + 1 (a 1/p arc touches ~n/p ranges plus the
+  // partial one at each end).
+  EXPECT_NEAR(total / 500, 24.0 / 6 + 1, 0.3);
+}
+
+TEST(RoarAdapterTest, SurvivesFailuresViaSplitting) {
+  core::RoarAlgorithm roar(24, 6, 1, 16);
+  std::vector<bool> alive(24, true);
+  alive[3] = false;
+  alive[10] = false;
+  std::vector<Placement> placements;
+  for (int o = 0; o < 100; ++o) {
+    placements.push_back(roar.place_object(o));
+  }
+  int covered = 0;
+  auto plan = roar.plan_query(99, alive);
+  std::set<ServerId> visited;
+  for (const auto& part : plan.parts) {
+    EXPECT_NE(part.server, 3u);
+    EXPECT_NE(part.server, 10u);
+    visited.insert(part.server);
+  }
+  for (const auto& pl : placements) {
+    for (ServerId s : pl.replicas) {
+      if (visited.count(s)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(RoarAdapterTest, CombinationCountsMatchPaper) {
+  core::RoarAlgorithm one(40, 8, 1, 17);   // r = 5
+  core::RoarAlgorithm two(40, 8, 2, 18);
+  EXPECT_DOUBLE_EQ(one.combination_count(), 5.0);
+  EXPECT_DOUBLE_EQ(two.combination_count(), 5.0 * 128.0);  // r·2^(p−1)
+}
+
+TEST(CostModelTest, Table62Shape) {
+  // ROAR and SW reconfigure with ~1/n per node; PTN with ~1/p; RAND pays
+  // c× on every basic operation.
+  uint32_t n = 40, p = 8, r = 5;
+  auto ptn = ptn_costs(n, p);
+  auto sw = sw_costs(n, r);
+  auto roar = roar_costs(n, p);
+  auto rnd = rand_costs(n, r, 2.0);
+
+  EXPECT_DOUBLE_EQ(ptn.store_object, 5.0);
+  EXPECT_DOUBLE_EQ(sw.store_object, 5.0);
+  EXPECT_DOUBLE_EQ(roar.store_object, 5.0);
+  EXPECT_DOUBLE_EQ(rnd.store_object, 10.0);
+
+  EXPECT_DOUBLE_EQ(ptn.run_query, 8.0);
+  EXPECT_DOUBLE_EQ(roar.run_query, 8.0);
+  EXPECT_DOUBLE_EQ(rnd.run_query, 16.0);
+
+  EXPECT_LT(roar.increase_r_per_node, ptn.increase_r_per_node);
+  EXPECT_DOUBLE_EQ(roar.increase_r_per_node, sw.increase_r_per_node);
+  EXPECT_DOUBLE_EQ(roar.decrease_r_per_node, 0.0);
+}
+
+TEST(CostModelTest, OptimalReplication) {
+  // §2.3.2: r_opt = sqrt(n · B_query / B_data).
+  EXPECT_NEAR(optimal_replication(100, 4.0, 1.0), 20.0, 1e-9);
+  EXPECT_NEAR(optimal_replication(100, 1.0, 1.0), 10.0, 1e-9);
+}
+
+TEST(CostModelTest, CrossSectionalBandwidth) {
+  EXPECT_DOUBLE_EQ(cross_sectional_updates_ptn(3), 3.0);
+  EXPECT_DOUBLE_EQ(cross_sectional_updates_roar(3), 4.0);
+}
+
+}  // namespace
+}  // namespace roar::rendezvous

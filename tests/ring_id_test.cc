@@ -1,0 +1,120 @@
+#include "common/ring_id.h"
+
+#include <gtest/gtest.h>
+
+namespace roar {
+namespace {
+
+TEST(RingIdTest, DoubleRoundTrip) {
+  for (double f : {0.0, 0.25, 0.5, 0.75, 0.999999}) {
+    EXPECT_NEAR(RingId::from_double(f).to_double(), f, 1e-12);
+  }
+}
+
+TEST(RingIdTest, FromDoubleWraps) {
+  EXPECT_NEAR(RingId::from_double(1.25).to_double(), 0.25, 1e-12);
+  EXPECT_NEAR(RingId::from_double(-0.25).to_double(), 0.75, 1e-12);
+}
+
+TEST(RingIdTest, DistanceIsModular) {
+  RingId a = RingId::from_double(0.9);
+  RingId b = RingId::from_double(0.1);
+  EXPECT_NEAR(static_cast<double>(a.distance_to(b)) / 1.8446744e19, 0.2,
+              1e-6);
+  EXPECT_NEAR(static_cast<double>(b.distance_to(a)) / 1.8446744e19, 0.8,
+              1e-6);
+  EXPECT_EQ(a.distance_to(a), 0u);
+}
+
+TEST(RingIdTest, QueryPointsAreEquallySpaced) {
+  RingId start = RingId::from_double(0.37);
+  constexpr uint32_t p = 7;
+  uint64_t expected_gap = circle_fraction(p);
+  for (uint32_t i = 0; i + 1 < p; ++i) {
+    RingId a = query_point(start, i, p);
+    RingId b = query_point(start, i + 1, p);
+    uint64_t gap = a.distance_to(b);
+    // Per-point rounding keeps each gap within 1 raw unit of ideal.
+    EXPECT_NEAR(static_cast<double>(gap), static_cast<double>(expected_gap),
+                2.0);
+  }
+  // Closing the circle: last point back to start is also ~1/p.
+  RingId last = query_point(start, p - 1, p);
+  EXPECT_NEAR(static_cast<double>(last.distance_to(start)),
+              static_cast<double>(expected_gap), static_cast<double>(p));
+}
+
+TEST(RingIdTest, QueryPointZeroIsStart) {
+  RingId start = RingId::from_double(0.123);
+  EXPECT_EQ(query_point(start, 0, 5), start);
+}
+
+TEST(ArcTest, ContainsBasic) {
+  Arc a(RingId::from_double(0.2), circle_fraction(4));  // [0.2, 0.45)
+  EXPECT_TRUE(a.contains(RingId::from_double(0.2)));
+  EXPECT_TRUE(a.contains(RingId::from_double(0.3)));
+  EXPECT_FALSE(a.contains(RingId::from_double(0.5)));
+  EXPECT_FALSE(a.contains(RingId::from_double(0.1)));
+}
+
+TEST(ArcTest, ContainsWrapsAroundZero) {
+  Arc a(RingId::from_double(0.9), circle_fraction(5));  // [0.9, 0.1)
+  EXPECT_TRUE(a.contains(RingId::from_double(0.95)));
+  EXPECT_TRUE(a.contains(RingId::from_double(0.05)));
+  EXPECT_FALSE(a.contains(RingId::from_double(0.5)));
+  EXPECT_FALSE(a.contains(RingId::from_double(0.11)));
+}
+
+TEST(ArcTest, EmptyArcContainsNothing) {
+  Arc a(RingId::from_double(0.5), 0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.contains(RingId::from_double(0.5)));
+}
+
+TEST(ArcTest, IntersectsOverlapping) {
+  Arc a(RingId::from_double(0.1), circle_fraction(4));  // [0.1, 0.35)
+  Arc b(RingId::from_double(0.3), circle_fraction(4));  // [0.3, 0.55)
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+}
+
+TEST(ArcTest, IntersectsDisjoint) {
+  Arc a(RingId::from_double(0.1), circle_fraction(10));
+  Arc b(RingId::from_double(0.5), circle_fraction(10));
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_FALSE(b.intersects(a));
+}
+
+TEST(ArcTest, IntersectsAcrossWrap) {
+  Arc a(RingId::from_double(0.95), circle_fraction(10));  // [0.95, 0.05)
+  Arc b(RingId::from_double(0.02), circle_fraction(10));  // [0.02, 0.12)
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+}
+
+TEST(ArcTest, HalfOpenBoundaries) {
+  // Arcs that share only an endpoint do not intersect.
+  uint64_t quarter = circle_fraction(4);
+  Arc a(RingId::from_double(0.0), quarter);
+  Arc b(a.end(), quarter);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(ArcTest, FractionReporting) {
+  Arc a(RingId::from_double(0.0), circle_fraction(8));
+  EXPECT_NEAR(a.fraction(), 0.125, 1e-9);
+}
+
+TEST(CircleFractionTest, CoversCircle) {
+  // n arcs of length circle_fraction(n) starting at multiples must cover
+  // every point: the rounding is upward.
+  for (uint64_t n : {2ull, 3ull, 7ull, 10ull, 43ull, 1000ull}) {
+    unsigned __int128 total =
+        static_cast<unsigned __int128>(circle_fraction(n)) * n;
+    EXPECT_GE(total, (static_cast<unsigned __int128>(1) << 64))
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace roar

@@ -1,0 +1,131 @@
+#include "core/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace roar::core {
+namespace {
+
+Ring make_ring(std::initializer_list<double> positions) {
+  Ring r;
+  NodeId id = 0;
+  for (double p : positions) {
+    r.add_node(id++, RingId::from_double(p));
+  }
+  return r;
+}
+
+TEST(RingTest, NodesSortedByPosition) {
+  Ring r;
+  r.add_node(5, RingId::from_double(0.8));
+  r.add_node(2, RingId::from_double(0.2));
+  r.add_node(9, RingId::from_double(0.5));
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.nodes()[0].id, 2u);
+  EXPECT_EQ(r.nodes()[1].id, 9u);
+  EXPECT_EQ(r.nodes()[2].id, 5u);
+}
+
+TEST(RingTest, DuplicateIdThrows) {
+  Ring r;
+  r.add_node(1, RingId::from_double(0.1));
+  EXPECT_THROW(r.add_node(1, RingId::from_double(0.5)),
+               std::invalid_argument);
+}
+
+TEST(RingTest, PositionCollisionThrows) {
+  Ring r;
+  r.add_node(1, RingId::from_double(0.1));
+  EXPECT_THROW(r.add_node(2, RingId::from_double(0.1)),
+               std::invalid_argument);
+}
+
+TEST(RingTest, NodeInChargeIsSuccessorConvention) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  EXPECT_EQ(r.node_in_charge(RingId::from_double(0.1)), 0u);
+  EXPECT_EQ(r.node_in_charge(RingId::from_double(0.2)), 0u);  // inclusive
+  EXPECT_EQ(r.node_in_charge(RingId::from_double(0.21)), 1u);
+  EXPECT_EQ(r.node_in_charge(RingId::from_double(0.5)), 1u);
+  EXPECT_EQ(r.node_in_charge(RingId::from_double(0.79)), 2u);
+  // Past the last node wraps to the first.
+  EXPECT_EQ(r.node_in_charge(RingId::from_double(0.9)), 0u);
+}
+
+TEST(RingTest, RangesPartitionTheCircle) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  double total = 0.0;
+  for (const auto& n : r.nodes()) {
+    total += r.range_fraction(n.id);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Node 1 at 0.5 owns (0.2, 0.5]: fraction 0.3.
+  EXPECT_NEAR(r.range_fraction(1), 0.3, 1e-9);
+  // Node 0 at 0.2 owns (0.8, 0.2] across the wrap: 0.4.
+  EXPECT_NEAR(r.range_fraction(0), 0.4, 1e-9);
+}
+
+TEST(RingTest, RangeContainsOwnPositionNotPredecessors) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  Arc range1 = r.range_of(1);
+  EXPECT_TRUE(range1.contains(RingId::from_double(0.5)));
+  EXPECT_FALSE(range1.contains(RingId::from_double(0.2)));
+  EXPECT_TRUE(range1.contains(RingId::from_double(0.3)));
+}
+
+TEST(RingTest, SuccessorPredecessorWrap) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  EXPECT_EQ(r.successor(0), 1u);
+  EXPECT_EQ(r.successor(2), 0u);
+  EXPECT_EQ(r.predecessor(0), 2u);
+  EXPECT_EQ(r.predecessor(1), 0u);
+}
+
+TEST(RingTest, LiveNodeInChargeSkipsDead) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  r.set_alive(1, false);
+  EXPECT_EQ(r.live_node_in_charge(RingId::from_double(0.4)), 2u);
+  r.set_alive(2, false);
+  EXPECT_EQ(r.live_node_in_charge(RingId::from_double(0.4)), 0u);
+  r.set_alive(0, false);
+  EXPECT_EQ(r.live_node_in_charge(RingId::from_double(0.4)), kInvalidNode);
+}
+
+TEST(RingTest, RemoveNodeMergesRangeIntoSuccessor) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  double before = r.range_fraction(2);
+  r.remove_node(1);  // successor of 0's range gap goes to node 2
+  EXPECT_NEAR(r.range_fraction(2), before + 0.3, 1e-9);
+}
+
+TEST(RingTest, SetPositionMovesBoundary) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  r.set_position(1, RingId::from_double(0.6));
+  EXPECT_NEAR(r.range_fraction(1), 0.4, 1e-9);
+  EXPECT_NEAR(r.range_fraction(2), 0.2, 1e-9);
+}
+
+TEST(RingTest, SetPositionCollisionRestores) {
+  auto r = make_ring({0.2, 0.5, 0.8});
+  EXPECT_THROW(r.set_position(1, RingId::from_double(0.8)),
+               std::invalid_argument);
+  EXPECT_NEAR(r.node(1).position.to_double(), 0.5, 1e-9);
+}
+
+TEST(RingTest, SingleNodeOwnsWholeCircle) {
+  Ring r;
+  r.add_node(7, RingId::from_double(0.3));
+  EXPECT_EQ(r.node_in_charge(RingId::from_double(0.9)), 7u);
+  EXPECT_NEAR(r.range_fraction(7), 1.0, 1e-9);
+  EXPECT_EQ(r.successor(7), 7u);
+}
+
+TEST(RingTest, TotalSpeedCountsLiveOnly) {
+  Ring r;
+  r.add_node(0, RingId::from_double(0.1), 2.0);
+  r.add_node(1, RingId::from_double(0.6), 3.0);
+  EXPECT_DOUBLE_EQ(r.total_speed(), 5.0);
+  r.set_alive(0, false);
+  EXPECT_DOUBLE_EQ(r.total_speed(), 3.0);
+}
+
+}  // namespace
+}  // namespace roar::core

@@ -1,0 +1,120 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace roar {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng r(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng r(11);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 60'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(6)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, kDraws / 6.0, kDraws * 0.01) << "value " << v;
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(3);
+  double sum = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) sum += r.next_exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);  // mean 1/rate
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r(9);
+  double sum = 0, sq = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = r.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, TruncatedNormalRespectsFloor) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.next_normal_truncated(1.0, 2.0, 0.1), 0.1);
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(21);
+  Rng b = a.fork();
+  // Forked stream should not replay the parent stream.
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, RanksInDomainAndSkewed) {
+  Rng r(31);
+  ZipfGenerator z(1000, 1.0);
+  int rank1 = 0, rank_tail = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    uint64_t k = z.next(r);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+    if (k == 1) ++rank1;
+    if (k > 500) ++rank_tail;
+  }
+  // Rank 1 should be far more frequent than the entire top half tail is
+  // light; with s=1 rank 1 has ~13% mass.
+  EXPECT_GT(rank1, 4000);
+  EXPECT_LT(rank_tail, 8000);
+}
+
+}  // namespace
+}  // namespace roar

@@ -1,0 +1,257 @@
+// Tests for Algorithm 1 (the sweep scheduler) and the §4.8.2 optimisations,
+// including the DESIGN.md invariant 4: the sweep returns the same optimum
+// as the exhaustive scan.
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace roar::core {
+namespace {
+
+// Estimator with per-node queue state and speeds: finish = busy + share/speed.
+class TestEstimator : public FinishEstimator {
+ public:
+  void set(NodeId id, double busy, double speed) {
+    busy_[id] = busy;
+    speed_[id] = speed;
+  }
+  double estimate_finish(NodeId node, double share) const override {
+    double busy = busy_.count(node) ? busy_.at(node) : 0.0;
+    double speed = speed_.count(node) ? speed_.at(node) : 1.0;
+    return busy + share / speed;
+  }
+
+ private:
+  std::map<NodeId, double> busy_;
+  std::map<NodeId, double> speed_;
+};
+
+Ring random_ring(uint32_t n, uint64_t seed, Rng* speed_rng = nullptr) {
+  Ring r;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < n; ++i) {
+    double speed =
+        speed_rng ? speed_rng->next_normal_truncated(1.0, 0.4, 0.2) : 1.0;
+    r.add_node(i, rng.next_ring_id(), speed);
+  }
+  return r;
+}
+
+TEST(SweepSchedulerTest, PaperExample) {
+  // The worked example of Fig 4.5: four nodes at 0.2, 0.33, 0.55, 0.95
+  // with p = 2. Node numbering here is by position order (0..3).
+  Ring ring;
+  ring.add_node(0, RingId::from_double(0.2));
+  ring.add_node(1, RingId::from_double(0.33));
+  ring.add_node(2, RingId::from_double(0.55));
+  ring.add_node(3, RingId::from_double(0.95));
+  TestEstimator est;
+  // Make nodes 1 and 3 fast and idle so the {1,3} configuration wins.
+  est.set(0, 0.5, 1.0);
+  est.set(1, 0.0, 2.0);
+  est.set(2, 0.6, 1.0);
+  est.set(3, 0.0, 2.0);
+  auto result = SweepScheduler::schedule(ring, 2, est);
+  std::vector<NodeId> chosen;
+  for (auto& [point, node] : result.assignment) chosen.push_back(node);
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(chosen, (std::vector<NodeId>{1, 3}));
+  EXPECT_NEAR(result.best_delay, 0.25, 1e-9);  // share 0.5 at speed 2
+}
+
+TEST(SweepSchedulerTest, MatchesExhaustiveOnRandomRings) {
+  for (uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    Rng srng(seed * 7);
+    Ring ring = random_ring(16, seed, &srng);
+    TestEstimator est;
+    Rng brng(seed * 13);
+    for (const auto& n : ring.nodes()) {
+      est.set(n.id, brng.next_double() * 0.3, n.speed);
+    }
+    for (uint32_t p : {2u, 4u, 8u}) {
+      auto sweep = SweepScheduler::schedule(ring, p, est);
+      auto exhaustive = SweepScheduler::schedule_exhaustive(ring, p, est);
+      EXPECT_NEAR(sweep.best_delay, exhaustive.best_delay, 1e-12)
+          << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(SweepSchedulerTest, SkipsDeadNodes) {
+  Ring ring = random_ring(10, 5);
+  TestEstimator est;
+  ring.set_alive(3, false);
+  ring.set_alive(7, false);
+  auto result = SweepScheduler::schedule(ring, 4, est);
+  for (auto& [point, node] : result.assignment) {
+    EXPECT_NE(node, 3u);
+    EXPECT_NE(node, 7u);
+  }
+}
+
+TEST(SweepSchedulerTest, IterationCountIsLinearInN) {
+  // O(n log p): the heap pops one entry per node crossing; crossing count
+  // must equal ~n (each node boundary crossed exactly once per sweep).
+  TestEstimator est;
+  for (uint32_t n : {20u, 100u, 400u}) {
+    Ring ring = random_ring(n, n);
+    auto result = SweepScheduler::schedule(ring, 10, est);
+    EXPECT_LE(result.heap_iterations, n + 10u) << n;
+    EXPECT_GE(result.heap_iterations, n / 2) << n;
+  }
+}
+
+TEST(SweepSchedulerTest, PrefersFastIdleServers) {
+  Ring ring = random_ring(12, 3);
+  TestEstimator est;
+  // Node 5 is very slow & busy: the chosen configuration should avoid it
+  // if any alternative exists.
+  for (const auto& n : ring.nodes()) {
+    est.set(n.id, n.id == 5 ? 10.0 : 0.0, 1.0);
+  }
+  auto result = SweepScheduler::schedule(ring, 3, est);
+  for (auto& [point, node] : result.assignment) {
+    EXPECT_NE(node, 5u);
+  }
+}
+
+TEST(SweepSchedulerTest, BestStartWithinFirstWindow) {
+  Ring ring = random_ring(20, 9);
+  TestEstimator est;
+  auto result = SweepScheduler::schedule(ring, 5, est);
+  EXPECT_LT(result.best_start.raw(), circle_fraction(5));
+}
+
+TEST(MultiRingSchedulerTest, PicksFastestAcrossRings) {
+  Ring slow = random_ring(8, 21);
+  Ring fast;
+  Rng rng(22);
+  for (uint32_t i = 0; i < 8; ++i) {
+    fast.add_node(100 + i, rng.next_ring_id(), 1.0);
+  }
+  TestEstimator est;
+  for (const auto& n : slow.nodes()) est.set(n.id, 5.0, 1.0);   // busy
+  for (const auto& n : fast.nodes()) est.set(n.id, 0.0, 1.0);   // idle
+  std::vector<const Ring*> rings{&slow, &fast};
+  auto result = SweepScheduler::schedule_multi(
+      std::span<const Ring* const>(rings.data(), rings.size()), 4, est);
+  for (auto& [point, node] : result.assignment) {
+    EXPECT_GE(node, 100u) << "should always choose the idle ring";
+  }
+}
+
+TEST(MultiRingSchedulerTest, TwoRingsBeatOneWithMixedLoad) {
+  // With per-point ring choice, two rings give r·2^(p−1) combinations and
+  // should never do worse than the better single ring.
+  Rng rng(31);
+  Ring a, b;
+  TestEstimator est;
+  for (uint32_t i = 0; i < 10; ++i) {
+    a.add_node(i, rng.next_ring_id());
+    b.add_node(100 + i, rng.next_ring_id());
+    est.set(i, rng.next_double(), 1.0);
+    est.set(100 + i, rng.next_double(), 1.0);
+  }
+  std::vector<const Ring*> rings{&a, &b};
+  auto multi = SweepScheduler::schedule_multi(
+      std::span<const Ring* const>(rings.data(), rings.size()), 4, est);
+  auto only_a = SweepScheduler::schedule(a, 4, est);
+  auto only_b = SweepScheduler::schedule(b, 4, est);
+  EXPECT_LE(multi.best_delay,
+            std::min(only_a.best_delay, only_b.best_delay) + 1e-12);
+}
+
+TEST(PtnScheduleTest, PicksBestReplicaPerCluster) {
+  std::vector<std::vector<NodeId>> clusters{{0, 1, 2}, {3, 4, 5}};
+  TestEstimator est;
+  est.set(0, 1.0, 1.0);
+  est.set(1, 0.1, 1.0);
+  est.set(2, 2.0, 1.0);
+  est.set(3, 0.5, 1.0);
+  est.set(4, 0.9, 1.0);
+  est.set(5, 0.05, 1.0);
+  auto result = ptn_schedule(clusters, {}, est);
+  EXPECT_EQ(result.chosen, (std::vector<NodeId>{1, 5}));
+}
+
+TEST(PtnScheduleTest, SkipsDeadServers) {
+  std::vector<std::vector<NodeId>> clusters{{0, 1}};
+  TestEstimator est;
+  est.set(0, 0.0, 1.0);
+  est.set(1, 5.0, 1.0);
+  std::vector<bool> alive{false, true};
+  auto result = ptn_schedule(clusters, alive, est);
+  EXPECT_EQ(result.chosen, (std::vector<NodeId>{1}));
+}
+
+class OptimisationTest : public ::testing::Test {
+ protected:
+  Rng rng_{55};
+  QueryPlanner planner_;
+};
+
+TEST_F(OptimisationTest, RangeAdjustmentNeverWorsensPredictedDelay) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng srng(seed);
+    Ring ring = random_ring(16, seed + 100, &srng);
+    TestEstimator est;
+    Rng brng(seed + 200);
+    for (const auto& n : ring.nodes()) {
+      est.set(n.id, brng.next_double() * 0.2, n.speed);
+    }
+    uint32_t p = 4;
+    auto sched = SweepScheduler::schedule(ring, p, est);
+    auto plan = planner_.plan(ring, sched.best_start, p, p, rng_);
+    double before = plan_delay(plan, est);
+    double after = adjust_ranges(&plan, ring, p, est);
+    EXPECT_LE(after, before + 1e-9) << "seed=" << seed;
+    // Shares must still sum to 1 (full coverage).
+    double total = 0.0;
+    for (const auto& part : plan.parts) total += part.share;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST_F(OptimisationTest, SplitSlowestReducesDelayWithSlowServer) {
+  Rng srng(77);
+  Ring ring = random_ring(16, 303, &srng);
+  TestEstimator est;
+  for (const auto& n : ring.nodes()) {
+    est.set(n.id, 0.0, n.id == ring.nodes()[4].id ? 0.1 : 2.0);
+  }
+  uint32_t p = 4;
+  auto sched = SweepScheduler::schedule(ring, p, est);
+  auto plan = planner_.plan(ring, sched.best_start, p, p, rng_);
+  double before = plan_delay(plan, est);
+  double after = split_slowest(&plan, ring, p, est, 3);
+  EXPECT_LE(after, before + 1e-12);
+  double total = 0.0;
+  for (const auto& part : plan.parts) total += part.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(OptimisationTest, SplitCandidatesStoreTheirWindows) {
+  Rng srng(88);
+  Ring ring = random_ring(20, 404, &srng);
+  TestEstimator est;
+  for (const auto& n : ring.nodes()) est.set(n.id, 0.0, n.speed);
+  uint32_t p = 5;
+  auto sched = SweepScheduler::schedule(ring, p, est);
+  auto plan = planner_.plan(ring, sched.best_start, p, p, rng_);
+  split_slowest(&plan, ring, p, est, 4);
+  // Every part's node must store every object of its window.
+  for (const auto& part : plan.parts) {
+    ASSERT_NE(part.node, kInvalidNode);
+    uint64_t win = part.window_begin.distance_to(part.responsibility_end);
+    for (int t = 0; t < 50; ++t) {
+      RingId obj = part.window_begin.advanced_raw(1 + rng_.next_below(win));
+      EXPECT_TRUE(
+          ring.range_of(part.node).intersects(replication_arc(obj, p)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace roar::core

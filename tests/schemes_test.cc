@@ -1,0 +1,219 @@
+// Correctness and basic security-shape tests for the Equal, Bloom-keyword
+// and Dictionary PPS schemes (§5.5.1–5.5.2).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pps/bloom_keyword_scheme.h"
+#include "pps/dictionary_scheme.h"
+#include "pps/equal_scheme.h"
+
+namespace roar::pps {
+namespace {
+
+class SchemesTest : public ::testing::Test {
+ protected:
+  SecretKey key_ = SecretKey::from_seed(1234);
+  Rng rng_{5678};
+};
+
+// ---------------------------------------------------------------- Equal
+
+TEST_F(SchemesTest, EqualMatchesSameValue) {
+  EqualScheme eq(key_);
+  auto m = eq.encrypt_metadata("hello", rng_);
+  EXPECT_TRUE(EqualScheme::match(m, eq.encrypt_query("hello")));
+}
+
+TEST_F(SchemesTest, EqualRejectsDifferentValue) {
+  EqualScheme eq(key_);
+  auto m = eq.encrypt_metadata("hello", rng_);
+  EXPECT_FALSE(EqualScheme::match(m, eq.encrypt_query("world")));
+  EXPECT_FALSE(EqualScheme::match(m, eq.encrypt_query("hell")));
+  EXPECT_FALSE(EqualScheme::match(m, eq.encrypt_query("helloo")));
+}
+
+TEST_F(SchemesTest, EqualCiphertextsOfSameValueDiffer) {
+  // Semantic security for metadata: two encryptions of the same plaintext
+  // are distinct thanks to the fresh nonce.
+  EqualScheme eq(key_);
+  auto m1 = eq.encrypt_metadata("hello", rng_);
+  auto m2 = eq.encrypt_metadata("hello", rng_);
+  EXPECT_NE(m1.rnd, m2.rnd);
+  EXPECT_NE(m1.tag, m2.tag);
+}
+
+TEST_F(SchemesTest, EqualWrongKeyDoesNotMatch) {
+  EqualScheme eq1(key_);
+  EqualScheme eq2(SecretKey::from_seed(999));
+  auto m = eq1.encrypt_metadata("hello", rng_);
+  EXPECT_FALSE(EqualScheme::match(m, eq2.encrypt_query("hello")));
+}
+
+TEST_F(SchemesTest, EqualCoverIsEquality) {
+  EqualScheme eq(key_);
+  EXPECT_TRUE(
+      EqualScheme::cover(eq.encrypt_query("a"), eq.encrypt_query("a")));
+  EXPECT_FALSE(
+      EqualScheme::cover(eq.encrypt_query("a"), eq.encrypt_query("b")));
+}
+
+TEST_F(SchemesTest, EqualMatchCostIsOnePrf) {
+  EqualScheme eq(key_);
+  auto m = eq.encrypt_metadata("x", rng_);
+  MatchCost cost;
+  EqualScheme::match(m, eq.encrypt_query("x"), &cost);
+  EXPECT_EQ(cost.prf_calls, 1u);
+}
+
+// ---------------------------------------------------------------- Bloom
+
+std::vector<std::string> words(std::initializer_list<const char*> ws) {
+  return {ws.begin(), ws.end()};
+}
+
+TEST_F(SchemesTest, BloomMatchesContainedWords) {
+  BloomKeywordScheme bloom(key_);
+  auto doc = words({"alpha", "beta", "gamma"});
+  auto m = bloom.encrypt_metadata(doc, rng_);
+  for (const auto& w : doc) {
+    EXPECT_TRUE(bloom.match(m, bloom.encrypt_query(w))) << w;
+  }
+}
+
+TEST_F(SchemesTest, BloomRejectsAbsentWords) {
+  BloomKeywordScheme bloom(key_);
+  auto m = bloom.encrypt_metadata(words({"alpha", "beta"}), rng_);
+  // With the paper's 1e-5 FP rate, 100 absent words should all miss.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bloom.match(m, bloom.encrypt_query("absent" +
+                                                    std::to_string(i))));
+  }
+}
+
+TEST_F(SchemesTest, BloomFalsePositiveRateNearTarget) {
+  BloomParams params;
+  EXPECT_LT(params.false_positive_rate(), 5e-5);
+  EXPECT_GT(params.false_positive_rate(), 1e-7);
+}
+
+TEST_F(SchemesTest, BloomFilterSizeMatchesPaper) {
+  // 50 words × 25 bits ≈ 1250 bits ≈ 160 B filter + nonce; the paper quotes
+  // ~130 B for m = 1025 bits. Ours uses 25 bits/word exactly.
+  BloomKeywordScheme bloom(key_);
+  auto m = bloom.encrypt_metadata(words({"a"}), rng_);
+  EXPECT_LE(m.byte_size(), 180u);
+  EXPECT_GE(m.byte_size(), 120u);
+}
+
+TEST_F(SchemesTest, BloomPaddingHidesWordCount) {
+  // Filters of a 1-word and a 40-word document should have similar
+  // popcounts because of padding.
+  BloomKeywordScheme bloom(key_);
+  auto count_bits = [](const BloomKeywordScheme::EncryptedMetadata& m) {
+    int c = 0;
+    for (uint64_t w : m.bits) c += __builtin_popcountll(w);
+    return c;
+  };
+  std::vector<std::string> small = words({"only"});
+  std::vector<std::string> big;
+  for (int i = 0; i < 40; ++i) big.push_back("w" + std::to_string(i));
+  int bits_small = count_bits(bloom.encrypt_metadata(small, rng_));
+  int bits_big = count_bits(bloom.encrypt_metadata(big, rng_));
+  EXPECT_NEAR(bits_small, bits_big, bits_big / 4 + 40);
+}
+
+TEST_F(SchemesTest, BloomSameWordDifferentDocsSetsDifferentBits) {
+  // Codewords are nonce-dependent: without the trapdoor the server cannot
+  // correlate the same word across documents.
+  BloomKeywordScheme bloom(key_);
+  BloomParams p;
+  auto m1 = bloom.encrypt_metadata(words({"secret"}), rng_);
+  auto m2 = bloom.encrypt_metadata(words({"secret"}), rng_);
+  EXPECT_NE(m1.bits, m2.bits);
+}
+
+TEST_F(SchemesTest, BloomNonMatchCostsFewerPrfsThanMatch) {
+  BloomKeywordScheme bloom(key_);
+  auto m = bloom.encrypt_metadata(words({"hit"}), rng_);
+  MatchCost hit_cost, miss_cost;
+  bloom.match(m, bloom.encrypt_query("hit"), &hit_cost);
+  bloom.match(m, bloom.encrypt_query("miss"), &miss_cost);
+  EXPECT_EQ(hit_cost.prf_calls, bloom.params().hash_count);
+  EXPECT_LT(miss_cost.prf_calls, hit_cost.prf_calls);
+}
+
+TEST_F(SchemesTest, BloomWrongKeyDoesNotMatch) {
+  BloomKeywordScheme b1(key_);
+  BloomKeywordScheme b2(SecretKey::from_seed(4321));
+  auto m = b1.encrypt_metadata(words({"alpha"}), rng_);
+  EXPECT_FALSE(b1.match(m, b2.encrypt_query("alpha")));
+}
+
+// ------------------------------------------------------------ Dictionary
+
+std::vector<std::string> test_dictionary() {
+  std::vector<std::string> d;
+  for (int i = 0; i < 500; ++i) d.push_back("word" + std::to_string(i));
+  return d;
+}
+
+TEST_F(SchemesTest, DictionaryMatchesContainedWords) {
+  DictionaryScheme dict(key_, test_dictionary());
+  auto m = dict.encrypt_metadata(words({"word3", "word42", "word499"}), rng_);
+  EXPECT_TRUE(DictionaryScheme::match(m, dict.encrypt_query("word3")));
+  EXPECT_TRUE(DictionaryScheme::match(m, dict.encrypt_query("word42")));
+  EXPECT_TRUE(DictionaryScheme::match(m, dict.encrypt_query("word499")));
+}
+
+TEST_F(SchemesTest, DictionaryNoFalsePositives) {
+  // Unlike Bloom, Dictionary is exact: every absent word must miss.
+  DictionaryScheme dict(key_, test_dictionary());
+  auto m = dict.encrypt_metadata(words({"word1", "word2"}), rng_);
+  for (int i = 3; i < 500; ++i) {
+    ASSERT_FALSE(
+        DictionaryScheme::match(m, dict.encrypt_query("word" +
+                                                      std::to_string(i))))
+        << i;
+  }
+}
+
+TEST_F(SchemesTest, DictionaryUnknownWordThrows) {
+  DictionaryScheme dict(key_, test_dictionary());
+  EXPECT_FALSE(dict.contains("nope"));
+  EXPECT_THROW(dict.encrypt_query("nope"), std::invalid_argument);
+}
+
+TEST_F(SchemesTest, DictionaryCiphertextSizeIsDictionarySize) {
+  DictionaryScheme dict(key_, test_dictionary());
+  auto m = dict.encrypt_metadata(words({"word1"}), rng_);
+  // 500 bits → 8 × 64-bit words + nonce.
+  EXPECT_EQ(m.byte_size(), 8u * 8u + 8u);
+}
+
+TEST_F(SchemesTest, DictionaryBlindingDiffersAcrossMetadata) {
+  DictionaryScheme dict(key_, test_dictionary());
+  auto m1 = dict.encrypt_metadata(words({"word1"}), rng_);
+  auto m2 = dict.encrypt_metadata(words({"word1"}), rng_);
+  EXPECT_NE(m1.blinded, m2.blinded);
+}
+
+TEST_F(SchemesTest, DictionaryMatchCostIsOnePrf) {
+  DictionaryScheme dict(key_, test_dictionary());
+  auto m = dict.encrypt_metadata(words({"word7"}), rng_);
+  MatchCost cost;
+  DictionaryScheme::match(m, dict.encrypt_query("word7"), &cost);
+  EXPECT_EQ(cost.prf_calls, 1u);
+}
+
+TEST_F(SchemesTest, DictionaryCoverIsEquality) {
+  DictionaryScheme dict(key_, test_dictionary());
+  EXPECT_TRUE(DictionaryScheme::cover(dict.encrypt_query("word1"),
+                                      dict.encrypt_query("word1")));
+  EXPECT_FALSE(DictionaryScheme::cover(dict.encrypt_query("word1"),
+                                       dict.encrypt_query("word2")));
+}
+
+}  // namespace
+}  // namespace roar::pps

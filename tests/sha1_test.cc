@@ -1,0 +1,107 @@
+#include "pps/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace roar::pps {
+namespace {
+
+std::string hex(const Sha1Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+// FIPS 180-1 / RFC 3174 known-answer tests.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(hex(Sha1::hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(hex(Sha1::hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex(Sha1::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 s;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(hex(s.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 s;
+    s.update(std::string_view(msg).substr(0, split));
+    s.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(hex(s.finish()), hex(Sha1::hash(msg))) << "split=" << split;
+  }
+}
+
+TEST(Sha1Test, ExactBlockBoundary) {
+  std::string msg(64, 'x');
+  Sha1 a;
+  a.update(msg);
+  std::string msg2(128, 'x');
+  Sha1 b;
+  b.update(msg2);
+  EXPECT_NE(hex(a.finish()), hex(b.finish()));
+}
+
+// RFC 2202 HMAC-SHA1 test vectors.
+TEST(HmacSha1Test, Rfc2202Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  EXPECT_EQ(hex(hmac_sha1(std::span<const uint8_t>(key), "Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1Test, Rfc2202Case2) {
+  std::string key = "Jefe";
+  EXPECT_EQ(hex(hmac_sha1(std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(key.data()),
+                              key.size()),
+                          "what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1Test, Rfc2202Case3) {
+  std::vector<uint8_t> key(20, 0xaa);
+  std::vector<uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(hex(hmac_sha1(std::span<const uint8_t>(key),
+                          std::span<const uint8_t>(msg))),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Test, LongKeyIsHashed) {
+  std::vector<uint8_t> key(80, 0xaa);
+  // RFC 2202 case 6.
+  EXPECT_EQ(hex(hmac_sha1(std::span<const uint8_t>(key),
+                          "Test Using Larger Than Block-Size Key - Hash Key "
+                          "First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(PrfU64Test, DeterministicAndKeyed) {
+  std::vector<uint8_t> k1(16, 1), k2(16, 2);
+  EXPECT_EQ(prf_u64(std::span<const uint8_t>(k1), "msg"),
+            prf_u64(std::span<const uint8_t>(k1), "msg"));
+  EXPECT_NE(prf_u64(std::span<const uint8_t>(k1), "msg"),
+            prf_u64(std::span<const uint8_t>(k2), "msg"));
+  EXPECT_NE(prf_u64(std::span<const uint8_t>(k1), "msg"),
+            prf_u64(std::span<const uint8_t>(k1), "msh"));
+}
+
+}  // namespace
+}  // namespace roar::pps

@@ -1,0 +1,181 @@
+// Simulator tests: stability detection, the delay ordering the thesis
+// proves (OPT <= PTN <= ROAR <= SW on heterogeneous farms), and the effect
+// of the ROAR mechanisms.
+#include "sim/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace roar::sim {
+namespace {
+
+SimParams quick_params(double load, uint32_t queries = 2500) {
+  SimParams p;
+  p.load = load;
+  p.queries = queries;
+  p.warmup = 200;
+  p.seed = 42;
+  return p;
+}
+
+TEST(FarmTest, HenTestbedHas43Nodes) {
+  auto farm = ServerFarm::from_classes(hen_testbed());
+  EXPECT_EQ(farm.size(), 43u);
+  EXPECT_GT(farm.total_speed(), 30.0);
+}
+
+TEST(FarmTest, CommitAdvancesQueue) {
+  auto farm = ServerFarm::uniform(2, 2.0);
+  double f1 = farm.commit(0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(f1, 0.5);  // share 1 at speed 2
+  double f2 = farm.commit(0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(f2, 1.0);  // queued behind the first
+  EXPECT_DOUBLE_EQ(farm.busy_until(1), 0.0);
+}
+
+TEST(FarmTest, EstimationErrorPerturbsOnlyEstimates) {
+  Rng rng(7);
+  auto farm = ServerFarm::uniform(10, 1.0);
+  farm.set_estimation_error(0.5, rng);
+  bool any_diff = false;
+  for (uint32_t s = 0; s < farm.size(); ++s) {
+    EXPECT_DOUBLE_EQ(farm.speed(s), 1.0);
+    if (farm.estimated_speed(s) != 1.0) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SimTest, LowLoadIsStable) {
+  auto farm = ServerFarm::uniform(24, 1.0);
+  RoarStrategy roar(6);
+  auto result = run_sim(farm, roar, quick_params(0.3));
+  EXPECT_FALSE(result.exploded);
+  EXPECT_GT(result.mean_delay, 0.0);
+}
+
+TEST(SimTest, OverloadExplodes) {
+  auto farm = ServerFarm::uniform(24, 1.0);
+  RoarStrategy roar(6);
+  auto params = quick_params(1.3);
+  auto result = run_sim(farm, roar, params);
+  EXPECT_TRUE(result.exploded);
+  EXPECT_TRUE(std::isinf(result.mean_delay));
+}
+
+TEST(SimTest, DelayOrderingOnHeterogeneousFarm) {
+  // §6.1.2's core finding: OPT <= PTN <= ROAR <= SW for query delay on
+  // heterogeneous servers (the combination counts order them).
+  Rng rng(5);
+  auto farm = ServerFarm::heterogeneous(24, 0.4, rng);
+  uint32_t p = 6;
+  auto params = quick_params(0.5, 4000);
+
+  OptStrategy opt;
+  PtnStrategy ptn(p);
+  RoarStrategy roar(p);
+  SwStrategy sw(24 / p);
+
+  double d_opt = run_sim(farm, opt, params).mean_delay;
+  double d_ptn = run_sim(farm, ptn, params).mean_delay;
+  double d_roar = run_sim(farm, roar, params).mean_delay;
+  double d_sw = run_sim(farm, sw, params).mean_delay;
+
+  EXPECT_LE(d_opt, d_ptn * 1.05);
+  EXPECT_LE(d_ptn, d_roar * 1.10) << "PTN has r^p choices vs ROAR's r";
+  EXPECT_LE(d_roar, d_sw * 1.05) << "ROAR dominates SW";
+  EXPECT_LT(d_roar, 2.5 * d_ptn) << "ROAR within small factor of PTN";
+}
+
+TEST(SimTest, HigherPqReducesDelayAtLowLoad) {
+  Rng rng(6);
+  auto farm = ServerFarm::heterogeneous(24, 0.4, rng);
+  RoarOptions base;
+  RoarOptions pq2;
+  pq2.pq_factor = 2.0;
+  RoarStrategy r1(6, base);
+  RoarStrategy r2(6, pq2);
+  auto params = quick_params(0.3, 2500);
+  double d1 = run_sim(farm, r1, params).mean_delay;
+  double d2 = run_sim(farm, r2, params).mean_delay;
+  EXPECT_LT(d2, d1) << "pq=2p halves sub-query sizes at low load";
+}
+
+TEST(SimTest, RangeAdjustmentHelpsAtLowReplication) {
+  Rng rng(8);
+  auto farm = ServerFarm::heterogeneous(20, 0.5, rng);
+  RoarOptions plain;
+  RoarOptions adj;
+  adj.range_adjustment = true;
+  RoarStrategy r_plain(10, plain);  // r = 2: low replication
+  RoarStrategy r_adj(10, adj);
+  auto params = quick_params(0.4, 2500);
+  double d_plain = run_sim(farm, r_plain, params).mean_delay;
+  double d_adj = run_sim(farm, r_adj, params).mean_delay;
+  EXPECT_LE(d_adj, d_plain * 1.02);
+}
+
+TEST(SimTest, TwoRingsImproveDelay) {
+  Rng rng(9);
+  auto farm = ServerFarm::heterogeneous(24, 0.5, rng);
+  RoarOptions one;
+  RoarOptions two;
+  two.rings = 2;
+  RoarStrategy r1(6, one);
+  RoarStrategy r2(6, two);
+  auto params = quick_params(0.5, 3000);
+  double d1 = run_sim(farm, r1, params).mean_delay;
+  double d2 = run_sim(farm, r2, params).mean_delay;
+  EXPECT_LE(d2, d1 * 1.05) << "r·2^(p−1) combinations vs r";
+}
+
+TEST(SimTest, OverheadReducesThroughputAtHighP) {
+  // §7.3: fixed per-sub-query overheads make large p waste capacity.
+  auto farm = ServerFarm::uniform(40, 1.0);
+  SimParams params = quick_params(0.85, 3000);
+  params.overhead = 0.02;
+  RoarStrategy low_p(5);
+  RoarStrategy high_p(40);
+  auto r_low = run_sim(farm, low_p, params);
+  auto r_high = run_sim(farm, high_p, params);
+  // At the same offered load, high p must burn more server time per query
+  // (utilisation higher or queue exploding).
+  EXPECT_TRUE(r_high.exploded || r_high.utilisation > r_low.utilisation);
+}
+
+TEST(SimTest, FailedServersAreAvoided) {
+  auto farm = ServerFarm::uniform(24, 1.0);
+  farm.set_alive(5, false);
+  farm.set_alive(11, false);
+  RoarStrategy roar(6);
+  roar.prepare(farm);
+  Rng rng(1);
+  ScheduleContext ctx{farm, 0.0, 0.0, &rng};
+  auto tasks = roar.schedule(ctx);
+  for (const auto& t : tasks) {
+    EXPECT_NE(t.server, 5u);
+    EXPECT_NE(t.server, 11u);
+  }
+}
+
+TEST(SimTest, OptUtilisationTracksLoad) {
+  auto farm = ServerFarm::uniform(16, 1.0);
+  OptStrategy opt;
+  auto result = run_sim(farm, opt, quick_params(0.6, 4000));
+  EXPECT_NEAR(result.utilisation, 0.6, 0.08);
+}
+
+TEST(SimTest, EstimationErrorDegradesRoarDelay) {
+  Rng rng(11);
+  auto farm = ServerFarm::heterogeneous(24, 0.5, rng);
+  RoarStrategy roar(6);
+  auto good = quick_params(0.55, 3000);
+  auto bad = quick_params(0.55, 3000);
+  bad.estimation_error = 0.8;
+  double d_good = run_sim(farm, roar, good).mean_delay;
+  double d_bad = run_sim(farm, roar, bad).mean_delay;
+  EXPECT_GT(d_bad, d_good * 0.99);
+}
+
+}  // namespace
+}  // namespace roar::sim

@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace roar {
+namespace {
+
+TEST(RunningStatTest, Moments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSetTest, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSetTest, AddAfterPercentileResorts) {
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(EwmaTest, ConvergesTowardInput) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.has_value());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);  // first sample initialises
+  e.add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 17.5);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};
+  auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(QueueExplosionTest, StableVsExploding) {
+  std::vector<double> t, stable, exploding;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back(i);
+    stable.push_back(0.5 + 0.001 * (i % 7));  // flat noise
+    exploding.push_back(0.5 + 0.2 * i);       // growing queue
+  }
+  EXPECT_FALSE(queue_exploding(t, stable));
+  EXPECT_TRUE(queue_exploding(t, exploding));
+}
+
+TEST(LoadImbalanceTest, Definition3) {
+  // Even split: imbalance 1. All on one server of n: imbalance n.
+  EXPECT_DOUBLE_EQ(load_imbalance({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({20, 0, 0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 0.0);
+}
+
+}  // namespace
+}  // namespace roar

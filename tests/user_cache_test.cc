@@ -1,0 +1,157 @@
+// Tests for the multi-user LRU metadata cache (§5.6.1) and the
+// keyword-pair encoding (§5.5.2).
+#include <gtest/gtest.h>
+
+#include "pps/bloom_keyword_scheme.h"
+#include "pps/corpus.h"
+#include "pps/keyword_pairs.h"
+#include "pps/user_cache.h"
+
+namespace roar::pps {
+namespace {
+
+class UserCacheTest : public ::testing::Test {
+ protected:
+  UserCacheTest() : encoder_(key_, MetadataEncoderParams::keyword_only()) {}
+
+  MetadataStore make_store(size_t files, uint64_t seed) {
+    CorpusParams cp;
+    cp.content_keywords_per_file = 2;
+    cp.max_path_depth = 2;
+    CorpusGenerator gen(cp, seed);
+    auto corpus = gen.generate(files);
+    MetadataStore store(256);
+    store.load(encrypt_corpus(encoder_, corpus, rng_));
+    return store;
+  }
+
+  SecretKey key_ = SecretKey::from_seed(909);
+  MetadataEncoder encoder_;
+  Rng rng_{3};
+  IoModel io_;
+};
+
+TEST_F(UserCacheTest, MissThenHit) {
+  auto store = make_store(50, 1);
+  UserMetadataCache cache(10 * store.total_bytes());
+  cache.register_user(7, &store);
+
+  auto first = cache.access(7, io_);
+  EXPECT_EQ(first.mode, SourceMode::kColdDisk);
+  EXPECT_GT(first.io_seconds, 0.0);
+  EXPECT_TRUE(cache.resident(7));
+
+  auto second = cache.access(7, io_);
+  EXPECT_EQ(second.mode, SourceMode::kMemory);
+  EXPECT_DOUBLE_EQ(second.io_seconds, 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(UserCacheTest, LruEvictionOrder) {
+  auto a = make_store(40, 1);
+  auto b = make_store(40, 2);
+  auto c = make_store(40, 3);
+  // Capacity fits exactly two users.
+  UserMetadataCache cache(a.total_bytes() + b.total_bytes() +
+                          c.total_bytes() / 2);
+  cache.register_user(1, &a);
+  cache.register_user(2, &b);
+  cache.register_user(3, &c);
+
+  cache.access(1, io_);
+  cache.access(2, io_);
+  cache.access(1, io_);  // touch 1: 2 becomes LRU
+  cache.access(3, io_);  // evicts 2
+  EXPECT_TRUE(cache.resident(1));
+  EXPECT_FALSE(cache.resident(2));
+  EXPECT_TRUE(cache.resident(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(UserCacheTest, OversizedDatasetStreamsUncached) {
+  auto big = make_store(100, 4);
+  UserMetadataCache cache(big.total_bytes() / 2);
+  cache.register_user(1, &big);
+  auto access = cache.access(1, io_);
+  EXPECT_EQ(access.mode, SourceMode::kColdDisk);
+  EXPECT_FALSE(cache.resident(1));
+  // Second access also misses (never cached).
+  cache.access(1, io_);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(UserCacheTest, ResidentBytesAccounting) {
+  auto a = make_store(30, 5);
+  auto b = make_store(30, 6);
+  UserMetadataCache cache(1 << 30);
+  cache.register_user(1, &a);
+  cache.register_user(2, &b);
+  cache.access(1, io_);
+  cache.access(2, io_);
+  EXPECT_EQ(cache.stats().resident_bytes,
+            a.total_bytes() + b.total_bytes());
+  cache.invalidate(1);
+  EXPECT_EQ(cache.stats().resident_bytes, b.total_bytes());
+  EXPECT_FALSE(cache.resident(1));
+}
+
+TEST_F(UserCacheTest, UnknownUserThrows) {
+  UserMetadataCache cache(1024);
+  EXPECT_THROW(cache.access(42, io_), std::out_of_range);
+  EXPECT_THROW(cache.register_user(1, nullptr), std::invalid_argument);
+}
+
+TEST_F(UserCacheTest, MissModeSelectable) {
+  auto store = make_store(20, 7);
+  UserMetadataCache cache(1 << 30);
+  cache.register_user(1, &store);
+  auto access = cache.access(1, io_, SourceMode::kBufferCache);
+  EXPECT_EQ(access.mode, SourceMode::kBufferCache);
+  EXPECT_LT(access.io_seconds,
+            io_.read_seconds(SourceMode::kColdDisk, store.total_bytes(), 1));
+}
+
+// ----------------------------------------------------------- pair words
+
+TEST(KeywordPairTest, CanonicalOrdering) {
+  EXPECT_EQ(pair_word("alpha", "beta"), pair_word("beta", "alpha"));
+  EXPECT_EQ(pair_word("alpha"), "alpha&");
+  EXPECT_NE(pair_word("a", "b"), pair_word("a", "c"));
+}
+
+TEST(KeywordPairTest, DocumentSizeMatchesFormula) {
+  std::vector<std::string> kws;
+  for (int i = 0; i < 50; ++i) kws.push_back("k" + std::to_string(i));
+  auto words = pair_words(kws);
+  // Paper: 50 keywords → 50·49/2 + 50 = 1225 + 50 entries (the "2500
+  // entries" figure counts ordered pairs; unordered halves it).
+  EXPECT_EQ(words.size(), pair_word_count(50));
+  EXPECT_EQ(words.size(), 1225u + 50u);
+}
+
+TEST(KeywordPairTest, PairQueriesLeakOnlyTheConjunction) {
+  SecretKey key = SecretKey::from_seed(11);
+  BloomParams params;
+  params.expected_words = 25;  // 6 keywords → 21 pair words
+  BloomKeywordScheme scheme(key, params);
+  Rng rng(9);
+
+  std::vector<std::string> doc_ab{"alpha", "beta", "gamma"};
+  std::vector<std::string> doc_a{"alpha", "delta", "epsilon"};
+  auto m_ab = scheme.encrypt_metadata(pair_words(doc_ab), rng);
+  auto m_a = scheme.encrypt_metadata(pair_words(doc_a), rng);
+
+  // Conjunctive pair query: single trapdoor, no per-keyword leakage.
+  auto q = scheme.encrypt_query(pair_word("alpha", "beta"));
+  EXPECT_TRUE(scheme.match(m_ab, q));
+  EXPECT_FALSE(scheme.match(m_a, q));
+
+  // Singles still work via the degenerate pair.
+  auto q_single = scheme.encrypt_query(pair_word("alpha"));
+  EXPECT_TRUE(scheme.match(m_ab, q_single));
+  EXPECT_TRUE(scheme.match(m_a, q_single));
+}
+
+}  // namespace
+}  // namespace roar::pps
