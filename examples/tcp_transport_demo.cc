@@ -1,19 +1,24 @@
-// The cluster byte protocol over real loopback TCP.
+// The cluster byte protocol over real loopback TCP, via the Transport
+// abstraction.
 //
-// Four "storage node" servers listen on ephemeral ports; a front-end
-// client connects, sends framed SubQueryMsg requests (the identical bytes
-// the emulated cluster exchanges), and collects SubQueryReplyMsg frames —
+// Four "storage node" endpoints and one front-end endpoint, each a
+// TcpTransport with its own listener on an ephemeral port, wired together
+// by the shared TcpDriver's address registry. The front-end sends framed
+// SubQueryMsg requests — the identical bytes the emulated cluster
+// exchanges in virtual time — and collects SubQueryReplyMsg frames,
 // demonstrating that the protocol layer is deployable on real sockets
 // (§4.8.4). Each node fakes its matching work with the Definition-8 cost
-// model.
+// model, sleeping the modeled service time on the wall clock before
+// replying.
 //
 // Build & run:  ./build/examples/tcp_transport_demo
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "cluster/node.h"
 #include "cluster/protocol.h"
-#include "core/query_planner.h"
-#include "net/tcp.h"
+#include "net/tcp_transport.h"
 
 using namespace roar;
 using namespace roar::cluster;
@@ -21,57 +26,57 @@ using namespace roar::net;
 
 int main() {
   constexpr uint32_t kNodes = 4;
-  TcpReactor reactor;
+  TcpDriver driver;
 
   // --- storage nodes: decode sub-queries, reply with scan statistics ----
-  std::vector<std::unique_ptr<TcpListener>> listeners;
-  for (uint32_t node = 0; node < kNodes; ++node) {
-    listeners.push_back(std::make_unique<TcpListener>(
-        reactor, 0, [node](TcpConnection& conn) {
-          conn.set_frame_handler([node](TcpConnection& c, Bytes frame) {
-            auto msg = SubQueryMsg::decode(frame);
-            if (!msg) return;  // defensive: drop malformed frames
-            uint64_t window =
-                msg->window_begin.distance_to(msg->window_end);
-            double frac =
-                static_cast<double>(window) / 18446744073709551616.0;
-            SubQueryReplyMsg reply;
-            reply.query_id = msg->query_id;
-            reply.part_id = msg->part_id;
-            reply.scanned = static_cast<uint64_t>(frac * 1'000'000);
-            reply.matches = reply.scanned / 5000;
-            reply.service_s = frac * 4.0;  // 250k metadata/s model
-            c.send(reply.encode());
-            std::printf("  node %u served part %u: window %.3f, %llu "
-                        "scanned\n",
-                        node, msg->part_id, frac,
-                        static_cast<unsigned long long>(reply.scanned));
-          });
-        }));
-    std::printf("node %u listening on 127.0.0.1:%u\n", node,
-                listeners.back()->port());
+  std::vector<std::unique_ptr<TcpTransport>> nodes;
+  for (uint32_t i = 0; i < kNodes; ++i) {
+    auto t = std::make_unique<TcpTransport>(driver);
+    TcpTransport& transport = *t;
+    Address self = node_address(i);
+    transport.bind(self, [&transport, &driver, self, i](Address from,
+                                                        Bytes payload) {
+      auto msg = SubQueryMsg::decode(payload);
+      if (!msg) return;  // defensive: drop malformed messages
+      uint64_t window = msg->window_begin.distance_to(msg->window_end);
+      double frac = static_cast<double>(window) / 18446744073709551616.0;
+
+      SubQueryReplyMsg reply;
+      reply.query_id = msg->query_id;
+      reply.part_id = msg->part_id;
+      reply.scanned = static_cast<uint64_t>(frac * 1'000'000);
+      reply.matches = reply.scanned / 5000;
+      reply.service_s = frac * 0.02;  // scaled-down Definition-8 model
+      std::printf("  node %u serving part %u: window %.3f, %llu scanned\n",
+                  i, msg->part_id, frac,
+                  static_cast<unsigned long long>(reply.scanned));
+      // The modeled matching time actually elapses before the reply.
+      driver.clock().schedule_after(reply.service_s,
+                                    [&transport, self, from, reply] {
+                                      transport.send(self, from,
+                                                     reply.encode());
+                                    });
+    });
+    std::printf("node %u listening on 127.0.0.1:%u (address %u)\n", i,
+                t->port(), node_address(i));
+    nodes.push_back(std::move(t));
   }
 
-  // --- front-end: plan a p-way query and send it over the wire ----------
-  std::vector<TcpConnection*> conns;
-  for (auto& l : listeners) {
-    conns.push_back(&reactor.connect(l->port()));
-  }
-
+  // --- front-end: its own endpoint; replies arrive by address -----------
+  TcpTransport frontend(driver);
   uint32_t replies = 0;
   uint64_t total_scanned = 0;
-  for (auto* c : conns) {
-    c->set_frame_handler([&](TcpConnection&, Bytes frame) {
-      if (auto reply = SubQueryReplyMsg::decode(frame)) {
-        ++replies;
-        total_scanned += reply->scanned;
-        std::printf("frontend got part %u: %llu scanned, %.3f s service\n",
-                    reply->part_id,
-                    static_cast<unsigned long long>(reply->scanned),
-                    reply->service_s);
-      }
-    });
-  }
+  frontend.bind(kFrontendAddr, [&](Address from, Bytes payload) {
+    auto reply = SubQueryReplyMsg::decode(payload);
+    if (!reply) return;
+    ++replies;
+    total_scanned += reply->scanned;
+    std::printf("frontend got part %u from address %u: %llu scanned, "
+                "%.3f s service\n",
+                reply->part_id, from,
+                static_cast<unsigned long long>(reply->scanned),
+                reply->service_s);
+  });
 
   RingId start = RingId::from_double(0.1);
   for (uint32_t i = 0; i < kNodes; ++i) {
@@ -79,17 +84,22 @@ int main() {
     msg.query_id = 1;
     msg.part_id = i;
     msg.point = query_point(start, i, kNodes);
-    msg.window_begin = query_point(start, (i + kNodes - 1) % kNodes, kNodes);
+    msg.window_begin =
+        query_point(start, (i + kNodes - 1) % kNodes, kNodes);
     msg.window_end = msg.point;
     msg.pq = kNodes;
     msg.share = 1.0 / kNodes;
-    conns[i]->send(msg.encode());
+    frontend.send(kFrontendAddr, node_address(i), msg.encode());
   }
 
-  bool ok = reactor.poll_until([&] { return replies == kNodes; }, 5000);
-  std::printf("\n%u/%u replies over real TCP; %llu metadata covered (%s)\n",
+  bool ok = driver.run_until([&] { return replies == kNodes; }, 5.0);
+  bool covered = ok && total_scanned >= 999'000;
+  std::printf("\n%u/%u replies over real TCP; %llu metadata covered; "
+              "%llu msgs / %llu wire bytes from the front-end (%s)\n",
               replies, kNodes,
               static_cast<unsigned long long>(total_scanned),
-              ok && total_scanned >= 999'000 ? "full coverage" : "FAILED");
-  return ok ? 0 : 1;
+              static_cast<unsigned long long>(frontend.messages_sent()),
+              static_cast<unsigned long long>(frontend.wire_bytes_sent()),
+              covered ? "full coverage" : "FAILED");
+  return covered ? 0 : 1;
 }

@@ -1,0 +1,62 @@
+#include "cluster/control.h"
+
+#include "common/logging.h"
+
+namespace roar::cluster {
+
+void push_ranges(const core::Ring& ring, uint32_t p, net::Transport& net,
+                 Frontend& frontend) {
+  for (const auto& n : ring.nodes()) {
+    Arc range = ring.range_of(n.id);
+    RangePushMsg msg;
+    msg.range_begin = range.begin();
+    msg.range_len = range.length();
+    msg.p = p;
+    net.send(kMembershipAddr, node_address(n.id), msg.encode());
+  }
+  frontend.sync_ring(ring);
+}
+
+void order_p_change(const core::Ring& ring, uint32_t p_new,
+                    net::Transport& net, Frontend& frontend) {
+  uint32_t p_old = frontend.safe_p();
+  if (p_new == p_old) return;
+  if (p_new > p_old) {
+    // Increase p: safe immediately; nodes drop surplus data lazily.
+    frontend.set_target_p(p_new, {});
+    push_ranges(ring, frontend.target_p(), net, frontend);
+    return;
+  }
+  // Decrease p: order fetches, switch only on full confirmation.
+  std::vector<NodeId> confirmers;
+  for (const auto& n : ring.nodes()) {
+    if (!n.alive) continue;
+    confirmers.push_back(n.id);
+  }
+  frontend.set_target_p(p_new, confirmers);
+  for (NodeId id : confirmers) {
+    Arc fetch = core::ReplicationController::fetch_arc(ring, id, p_old, p_new);
+    FetchOrderMsg msg;
+    msg.arc_begin = fetch.begin();
+    msg.arc_len = fetch.length();
+    msg.new_p = p_new;
+    net.send(kMembershipAddr, node_address(id), msg.encode());
+  }
+}
+
+void handle_membership_message(
+    const net::Bytes& payload, Frontend& frontend,
+    const std::function<void(uint32_t new_p)>& on_reconfigured) {
+  auto type = peek_type(payload);
+  if (!type) return;
+  if (*type == MsgType::kFetchComplete) {
+    if (auto m = FetchCompleteMsg::decode(payload)) {
+      frontend.confirm_fetch(m->node);
+      if (!frontend.ring().empty() && frontend.safe_p() == m->new_p) {
+        if (on_reconfigured) on_reconfigured(m->new_p);
+      }
+    }
+  }
+}
+
+}  // namespace roar::cluster

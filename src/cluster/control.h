@@ -1,0 +1,36 @@
+// Control-plane glue shared by the cluster harnesses.
+//
+// EmulatedCluster (virtual time, InProcNetwork) and TcpCluster (wall
+// clock, loopback TCP) run the identical membership/reconfiguration
+// choreography; these helpers keep that logic in one place so the two
+// harnesses differ only in transport and time source.
+#pragma once
+
+#include <functional>
+
+#include "cluster/frontend.h"
+#include "core/membership.h"
+
+namespace roar::cluster {
+
+// Pushes the authoritative range + partitioning level p to every node of
+// `ring` (as kRangePush messages from the membership address) and re-syncs
+// the front-end's ring mirror.
+void push_ranges(const core::Ring& ring, uint32_t p, net::Transport& net,
+                 Frontend& frontend);
+
+// Starts a reconfiguration to p_new (§4.5). Increases switch immediately;
+// decreases order a fetch from every live node and arm the front-end's
+// safety tracking. No-op when p_new equals the current safe p.
+void order_p_change(const core::Ring& ring, uint32_t p_new,
+                    net::Transport& net, Frontend& frontend);
+
+// Handles one message addressed to the membership server. On a
+// kFetchComplete that completes the reconfiguration (safe_p reached the
+// sender's new_p), invokes `on_reconfigured(new_p)` — harnesses use it to
+// republish ranges.
+void handle_membership_message(
+    const net::Bytes& payload, Frontend& frontend,
+    const std::function<void(uint32_t new_p)>& on_reconfigured);
+
+}  // namespace roar::cluster

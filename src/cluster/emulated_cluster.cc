@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/control.h"
 #include "common/logging.h"
 
 namespace roar::cluster {
@@ -56,17 +57,8 @@ std::vector<NodeId> EmulatedCluster::node_ids() const {
 }
 
 void EmulatedCluster::push_ranges() {
-  const core::Ring& ring = membership_.ring(0);
-  uint32_t p = frontend_->target_p();
-  for (const auto& n : ring.nodes()) {
-    Arc range = ring.range_of(n.id);
-    RangePushMsg msg;
-    msg.range_begin = range.begin();
-    msg.range_len = range.length();
-    msg.p = p;
-    net_.send(kMembershipAddr, node_address(n.id), msg.encode());
-  }
-  frontend_->sync_ring(ring);
+  cluster::push_ranges(membership_.ring(0), frontend_->target_p(), net_,
+                       *frontend_);
 }
 
 NodeId EmulatedCluster::add_node(double speed) {
@@ -121,50 +113,18 @@ double EmulatedCluster::balance_round() {
 }
 
 void EmulatedCluster::change_p(uint32_t p_new) {
-  uint32_t p_old = frontend_->safe_p();
-  if (p_new == p_old) return;
-  const core::Ring& ring = membership_.ring(0);
-  if (p_new > p_old) {
-    // Increase p: safe immediately; nodes drop surplus data lazily.
-    frontend_->set_target_p(p_new, {});
-    push_ranges();
-    return;
-  }
-  // Decrease p: order fetches, switch only on full confirmation.
-  std::vector<NodeId> confirmers;
-  for (const auto& n : ring.nodes()) {
-    if (!n.alive) continue;
-    confirmers.push_back(n.id);
-  }
-  frontend_->set_target_p(p_new, confirmers);
-  for (NodeId id : confirmers) {
-    Arc fetch =
-        core::ReplicationController::fetch_arc(ring, id, p_old, p_new);
-    FetchOrderMsg msg;
-    msg.arc_begin = fetch.begin();
-    msg.arc_len = fetch.length();
-    msg.new_p = p_new;
-    net_.send(kMembershipAddr, node_address(id), msg.encode());
-  }
+  order_p_change(membership_.ring(0), p_new, net_, *frontend_);
 }
 
 void EmulatedCluster::handle_membership_msg(net::Address from,
                                             net::Bytes payload) {
   (void)from;
-  auto type = peek_type(payload);
-  if (!type) return;
-  if (*type == MsgType::kFetchComplete) {
-    if (auto m = FetchCompleteMsg::decode(payload)) {
-      frontend_->confirm_fetch(m->node);
-      if (!frontend_->ring().empty() &&
-          frontend_->safe_p() == m->new_p) {
-        // Reconfiguration complete: sync everyone to the new p.
-        push_ranges();
-        ROAR_LOG(kInfo) << "cluster: reconfiguration to p=" << m->new_p
-                        << " complete at t=" << loop_.now();
-      }
-    }
-  }
+  handle_membership_message(payload, *frontend_, [this](uint32_t new_p) {
+    // Reconfiguration complete: sync everyone to the new p.
+    push_ranges();
+    ROAR_LOG(kInfo) << "cluster: reconfiguration to p=" << new_p
+                    << " complete at t=" << loop_.now();
+  });
 }
 
 uint32_t EmulatedCluster::run_queries(double rate_per_s, uint32_t count,

@@ -14,6 +14,7 @@
 #include "cluster/frontend.h"
 #include "cluster/node.h"
 #include "core/membership.h"
+#include "net/inproc.h"
 #include "sim/farm.h"
 
 namespace roar::cluster {

@@ -19,7 +19,7 @@ class Frontend::Estimator : public core::FinishEstimator {
   const Frontend& fe_;
 };
 
-Frontend::Frontend(net::InProcNetwork& net, FrontendParams params,
+Frontend::Frontend(net::Transport& net, FrontendParams params,
                    uint64_t dataset_size, uint64_t seed)
     : net_(net),
       params_(params),
@@ -35,7 +35,7 @@ void Frontend::start() {
 
 void Frontend::sync_ring(const core::Ring& authoritative) {
   ring_ = authoritative;
-  double now = net_.loop().now();
+  double now = net_.clock().now();
   for (const auto& n : ring_.nodes()) {
     auto& st = nodes_[n.id];
     st.alive = n.alive;
@@ -55,7 +55,7 @@ void Frontend::node_up(NodeId id, RingId position, double speed_hint) {
   }
   auto& st = nodes_[id];
   st.alive = true;
-  st.busy_until = net_.loop().now();
+  st.busy_until = net_.clock().now();
   if (!st.rate.has_value()) {
     st.rate = Ewma(params_.ewma_alpha);
     st.rate.add(params_.initial_rate * speed_hint);
@@ -93,7 +93,7 @@ double Frontend::estimated_rate(NodeId id) const {
 }
 
 double Frontend::predict(NodeId node, double share) const {
-  double now = net_.loop().now();
+  double now = net_.clock().now();
   auto it = nodes_.find(node);
   double busy = now, rate = params_.initial_rate;
   if (it != nodes_.end()) {
@@ -109,7 +109,7 @@ uint64_t Frontend::submit(QueryCallback cb) {
   uint64_t id = next_query_id_++;
   PendingQuery q;
   q.id = id;
-  q.submit_time = net_.loop().now();
+  q.submit_time = net_.clock().now();
   q.cb = std::move(cb);
 
   // The scheduling computation itself is measured in wall-clock time: this
@@ -176,11 +176,11 @@ void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
   auto& st = nodes_[sub.node];
   st.busy_until = predicted - 2 * net_.latency();
 
-  double timeout = (predicted - net_.loop().now()) * params_.timeout_factor +
+  double timeout = (predicted - net_.clock().now()) * params_.timeout_factor +
                    params_.timeout_margin_s;
   uint64_t qid = q.id;
   uint32_t pidx = static_cast<uint32_t>(q.parts.size());
-  part.timer_id = net_.loop().schedule_after(
+  part.timer_id = net_.clock().schedule_after(
       timeout, [this, qid, pidx] { on_timeout(qid, pidx); });
 
   q.parts.push_back(part);
@@ -216,7 +216,7 @@ void Frontend::on_reply(const SubQueryReplyMsg& m) {
 
   if (part.done) return;  // duplicate or post-timeout reply
   part.done = true;
-  net_.loop().cancel(part.timer_id);
+  net_.clock().cancel(part.timer_id);
   --q.outstanding;
   q.matches += m.matches;
   q.max_service = std::max(q.max_service, m.service_s);
@@ -246,9 +246,9 @@ void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
     part.expiries = 1;
     double predicted = predict(part.node, part.sub.share);
     double timeout =
-        (predicted - net_.loop().now()) * params_.timeout_factor +
+        (predicted - net_.clock().now()) * params_.timeout_factor +
         params_.timeout_margin_s;
-    part.timer_id = net_.loop().schedule_after(
+    part.timer_id = net_.clock().schedule_after(
         std::max(timeout, params_.timeout_margin_s),
         [this, query_id, part_index] { on_timeout(query_id, part_index); });
     return;
@@ -281,7 +281,7 @@ void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
 
 void Frontend::finish_if_done(PendingQuery& q) {
   if (q.outstanding > 0) return;
-  double now = net_.loop().now();
+  double now = net_.clock().now();
   double total = now - q.submit_time + params_.fixed_cost_s;
 
   QueryOutcome out;

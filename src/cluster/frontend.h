@@ -61,7 +61,7 @@ class Frontend {
  public:
   using QueryCallback = std::function<void(const QueryOutcome&)>;
 
-  Frontend(net::InProcNetwork& net, FrontendParams params,
+  Frontend(net::Transport& net, FrontendParams params,
            uint64_t dataset_size, uint64_t seed);
 
   void start();
@@ -132,7 +132,7 @@ class Frontend {
   void send_part(PendingQuery& q, const core::RoarSubQuery& sub);
   void finish_if_done(PendingQuery& q);
 
-  net::InProcNetwork& net_;
+  net::Transport& net_;
   FrontendParams params_;
   uint64_t dataset_size_;
   core::Ring ring_;

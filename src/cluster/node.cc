@@ -6,13 +6,13 @@
 
 namespace roar::cluster {
 
-NodeRuntime::NodeRuntime(net::InProcNetwork& net, NodeParams params,
+NodeRuntime::NodeRuntime(net::Transport& net, NodeParams params,
                          uint64_t dataset_size)
     : net_(net), params_(params), dataset_size_(dataset_size) {}
 
 void NodeRuntime::start() {
   alive_ = true;
-  busy_until_ = net_.loop().now();
+  busy_until_ = net_.clock().now();
   net_.bind(address(), [this](net::Address from, net::Bytes payload) {
     handle(from, std::move(payload));
   });
@@ -31,7 +31,7 @@ Arc NodeRuntime::stored_arc() const {
 }
 
 double NodeRuntime::enqueue_work(double seconds) {
-  double now = net_.loop().now();
+  double now = net_.clock().now();
   double start = std::max(now, busy_until_);
   busy_until_ = start + seconds;
   busy_seconds_ += seconds;
@@ -91,7 +91,7 @@ void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
   // real corpus at 43-node scale (the PPS example runs the real matcher).
   reply.matches = static_cast<uint64_t>(count / 10'000.0);
   reply.service_s = service;
-  net_.loop().schedule_at(finish, [this, from, reply] {
+  net_.clock().schedule_at(finish, [this, from, reply] {
     net_.send(address(), from, reply.encode());
   });
 }
@@ -110,7 +110,7 @@ void NodeRuntime::on_fetch_order(const FetchOrderMsg& m) {
                  params_.bytes_per_object;
   double secs = bytes / params_.fetch_bandwidth;
   uint32_t new_p = m.new_p;
-  net_.loop().schedule_after(secs, [this, new_p] {
+  net_.clock().schedule_after(secs, [this, new_p] {
     if (!alive_) return;
     p_ = new_p;
     FetchCompleteMsg done;

@@ -10,8 +10,7 @@
 
 #include "cluster/protocol.h"
 #include "core/reconfig.h"
-#include "net/event_loop.h"
-#include "net/inproc.h"
+#include "net/transport.h"
 
 namespace roar::cluster {
 
@@ -32,7 +31,7 @@ struct NodeParams {
 
 class NodeRuntime {
  public:
-  NodeRuntime(net::InProcNetwork& net, NodeParams params,
+  NodeRuntime(net::Transport& net, NodeParams params,
               uint64_t dataset_size);
 
   NodeId id() const { return params_.id; }
@@ -71,7 +70,7 @@ class NodeRuntime {
   // Enqueues `seconds` of work at the local pipeline; returns finish time.
   double enqueue_work(double seconds);
 
-  net::InProcNetwork& net_;
+  net::Transport& net_;
   NodeParams params_;
   uint64_t dataset_size_;
   bool alive_ = false;

@@ -1,0 +1,143 @@
+#include "cluster/tcp_cluster.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace roar::cluster {
+
+TcpCluster::TcpCluster(TcpClusterConfig config)
+    : config_(std::move(config)),
+      // Seeds mirror EmulatedCluster so the same `seed` yields the same
+      // membership positions and front-end decisions — the parity test
+      // depends on it.
+      membership_(core::MembershipConfig{}, config_.seed * 17 + 3) {
+  config_.frontend.p = config_.p;
+  config_.frontend.subquery_overhead_s = config_.node_proto.subquery_overhead_s;
+  config_.speeds.resize(config_.nodes, 1.0);
+
+  // Control endpoint: front-end + membership share one listener, as they
+  // share a process in the paper's deployment.
+  transports_.push_back(std::make_unique<net::TcpTransport>(driver_));
+  net::TcpTransport& control = *transports_.front();
+  control.set_latency_hint(config_.latency_hint_s);
+
+  frontend_ = std::make_unique<Frontend>(control, config_.frontend,
+                                         config_.dataset_size,
+                                         config_.seed * 101 + 5);
+  frontend_->start();
+  control.bind(kMembershipAddr,
+               [this](net::Address from, net::Bytes payload) {
+                 (void)from;
+                 handle_membership_message(
+                     payload, *frontend_,
+                     [this](uint32_t new_p) {
+                       push_ranges();
+                       ROAR_LOG(kInfo)
+                           << "tcp-cluster: reconfiguration to p=" << new_p
+                           << " complete";
+                     });
+               });
+
+  // One listener per storage node.
+  for (NodeId id = 0; id < config_.nodes; ++id) {
+    auto transport = std::make_unique<net::TcpTransport>(driver_);
+    transport->set_latency_hint(config_.latency_hint_s);
+    NodeParams np = config_.node_proto;
+    np.id = id;
+    np.speed = config_.speeds[id];
+    auto node = std::make_unique<NodeRuntime>(*transport, np,
+                                              config_.dataset_size);
+    node->start();
+    membership_.join(id, np.speed);
+    transports_.push_back(std::move(transport));
+    nodes_.push_back(std::move(node));
+  }
+
+  for (uint32_t i = 0; i < config_.initial_balance_steps; ++i) {
+    if (membership_.balance_step() == 0.0) break;
+  }
+  push_ranges();
+  // Drain the range pushes so every node knows its slice before queries;
+  // serving with empty ranges would silently corrupt outcomes, so a drain
+  // failure is fatal here.
+  bool ranged = driver_.run_until([this] {
+    for (const auto& n : nodes_) {
+      if (n->range().empty()) return false;
+    }
+    return true;
+  });
+  if (!ranged) {
+    throw std::runtime_error("TcpCluster: nodes never received ranges");
+  }
+}
+
+TcpCluster::~TcpCluster() = default;
+
+uint16_t TcpCluster::node_port(NodeId id) const {
+  return transports_.at(id + 1)->port();
+}
+
+void TcpCluster::push_ranges() {
+  cluster::push_ranges(membership_.ring(0), frontend_->target_p(),
+                       *transports_.front(), *frontend_);
+}
+
+void TcpCluster::kill_node(NodeId id) {
+  nodes_.at(id)->kill();
+  membership_.fail(id);
+}
+
+void TcpCluster::change_p(uint32_t p_new) {
+  order_p_change(membership_.ring(0), p_new, *transports_.front(),
+                 *frontend_);
+}
+
+QueryOutcome TcpCluster::run_query(double timeout_s) {
+  // Shared state, not stack references: on timeout the query stays
+  // pending inside the Frontend and its callback may still fire during a
+  // later poll, after this frame is gone.
+  auto out = std::make_shared<QueryOutcome>();
+  auto done = std::make_shared<bool>(false);
+  frontend_->submit([out, done](const QueryOutcome& o) {
+    *out = o;
+    *done = true;
+  });
+  driver_.run_until([&] { return *done; }, timeout_s);
+  return *out;  // id == 0 if the query never completed
+}
+
+std::vector<QueryOutcome> TcpCluster::run_queries(uint32_t count,
+                                                  double per_query_timeout_s) {
+  std::vector<QueryOutcome> outs;
+  outs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    outs.push_back(run_query(per_query_timeout_s));
+  }
+  return outs;
+}
+
+void TcpCluster::run_for(double duration_s) {
+  double until = driver_.clock().now() + duration_s;
+  while (driver_.clock().now() < until) driver_.poll(5);
+}
+
+uint64_t TcpCluster::messages_sent() const {
+  uint64_t total = 0;
+  for (const auto& t : transports_) total += t->messages_sent();
+  return total;
+}
+
+uint64_t TcpCluster::bytes_sent() const {
+  uint64_t total = 0;
+  for (const auto& t : transports_) total += t->bytes_sent();
+  return total;
+}
+
+uint64_t TcpCluster::messages_dropped() const {
+  uint64_t total = 0;
+  for (const auto& t : transports_) total += t->messages_dropped();
+  return total;
+}
+
+}  // namespace roar::cluster

@@ -1,0 +1,90 @@
+// The deployable ROAR cluster: front-end + membership + N storage nodes,
+// each endpoint on its own loopback TCP listener, exchanging byte-for-byte
+// the protocol the emulated cluster runs in virtual time.
+//
+// Single-threaded: every socket and timer is driven by one TcpDriver poll
+// loop, so the harness behaves like an event-driven deployment compressed
+// into one process. Node "matching work" follows the same Definition-8
+// cost model as the emulation (service time is modeled, then actually
+// elapses on the wall clock before the reply is sent), which is what makes
+// the InProc-vs-TCP parity test able to demand identical query outcomes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/control.h"
+#include "cluster/frontend.h"
+#include "cluster/node.h"
+#include "core/membership.h"
+#include "net/tcp_transport.h"
+
+namespace roar::cluster {
+
+struct TcpClusterConfig {
+  uint32_t nodes = 8;
+  // Per-node relative speeds; padded with 1.0 up to `nodes`.
+  std::vector<double> speeds;
+  uint64_t dataset_size = 100'000;
+  uint32_t p = 4;
+  FrontendParams frontend;  // p is overwritten from the field above
+  NodeParams node_proto;    // id/speed overwritten per node
+  uint64_t seed = 1;
+  uint32_t initial_balance_steps = 800;
+  // Latency hint fed to the delay estimator (loopback RTT scale).
+  double latency_hint_s = 100e-6;
+};
+
+class TcpCluster {
+ public:
+  explicit TcpCluster(TcpClusterConfig config);
+  ~TcpCluster();
+
+  net::TcpDriver& driver() { return driver_; }
+  Frontend& frontend() { return *frontend_; }
+  core::MembershipServer& membership() { return membership_; }
+
+  size_t node_count() const { return nodes_.size(); }
+  NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
+  uint16_t node_port(NodeId id) const;
+
+  // Pushes authoritative ranges + current p to every node over the sockets
+  // and re-syncs the front-end's ring mirror.
+  void push_ranges();
+
+  // Crash-stops a node: its endpoint unbinds, so frames addressed to it
+  // vanish; the front-end must discover the failure by timeout.
+  void kill_node(NodeId id);
+
+  // Reconfiguration (§4.5) over the wire: fetch orders out, completions
+  // back, ranges republished once safe.
+  void change_p(uint32_t p_new);
+  uint32_t safe_p() const { return frontend_->safe_p(); }
+
+  // Submits one query and polls sockets + wall-clock timers until it
+  // completes (or `timeout_s` passes — the outcome then has id == 0).
+  QueryOutcome run_query(double timeout_s = 30.0);
+  // `count` queries back-to-back (closed loop).
+  std::vector<QueryOutcome> run_queries(uint32_t count,
+                                        double per_query_timeout_s = 30.0);
+
+  // Polls for `duration_s` wall seconds (timers keep firing).
+  void run_for(double duration_s);
+
+  // Aggregate traffic accounting across every endpoint's transport.
+  uint64_t messages_sent() const;
+  uint64_t bytes_sent() const;
+  uint64_t messages_dropped() const;
+
+ private:
+  TcpClusterConfig config_;
+  net::TcpDriver driver_;
+  // transports_[0] hosts the front-end + membership + update-server
+  // addresses (one "control process"); transports_[i + 1] hosts node i.
+  std::vector<std::unique_ptr<net::TcpTransport>> transports_;
+  core::MembershipServer membership_;
+  std::unique_ptr<Frontend> frontend_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+};
+
+}  // namespace roar::cluster

@@ -14,23 +14,26 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/transport.h"
+
 namespace roar::net {
 
-class EventLoop {
+// The virtual-time Clock: time advances only by running scheduled events.
+class EventLoop : public Clock {
  public:
   using Callback = std::function<void()>;
 
-  double now() const { return now_; }
+  double now() const override { return now_; }
 
   // Schedules `fn` at absolute time `when` (>= now). Events at equal times
   // run in scheduling order (stable).
   uint64_t schedule_at(double when, Callback fn);
-  uint64_t schedule_after(double delay, Callback fn) {
+  uint64_t schedule_after(double delay, Callback fn) override {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
   // Cancels a scheduled event (no-op if already run or unknown).
-  void cancel(uint64_t id);
+  void cancel(uint64_t id) override;
 
   // Runs until the queue is empty or `deadline` is passed. Returns the
   // number of events executed.

@@ -16,10 +16,33 @@ Bytes frame(const Bytes& payload) {
   return out;
 }
 
+void FrameDecoder::fail() {
+  failed_ = true;
+  // A poisoned stream never recovers: release the buffer instead of
+  // holding (potentially many megabytes of) garbage until destruction.
+  buf_.clear();
+  buf_.shrink_to_fit();
+  consumed_ = 0;
+}
+
+bool FrameDecoder::check_front_header() {
+  if (buf_.size() - consumed_ < 4) return true;  // truncated: wait for more
+  uint32_t len;
+  std::memcpy(&len, buf_.data() + consumed_, 4);
+  if (len > kMaxFrameBytes) {
+    fail();
+    return false;
+  }
+  return true;
+}
+
 bool FrameDecoder::feed(const uint8_t* data, size_t n) {
   if (failed_) return false;
   buf_.insert(buf_.end(), data, data + n);
-  return true;
+  // Reject a corrupt front header as soon as it is readable, so a hostile
+  // length field cannot make us buffer up to kMaxFrameBytes of stream for
+  // a frame that will never be delivered.
+  return check_front_header();
 }
 
 std::optional<Bytes> FrameDecoder::next() {
@@ -29,7 +52,7 @@ std::optional<Bytes> FrameDecoder::next() {
   uint32_t len;
   std::memcpy(&len, buf_.data() + consumed_, 4);
   if (len > kMaxFrameBytes) {
-    failed_ = true;
+    fail();
     return std::nullopt;
   }
   if (avail < 4 + static_cast<size_t>(len)) return std::nullopt;
@@ -41,6 +64,9 @@ std::optional<Bytes> FrameDecoder::next() {
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
     consumed_ = 0;
   }
+  // The next frame's header (if fully buffered) must also be sane. A bad
+  // one poisons the decoder, but this completed frame is still delivered.
+  check_front_header();
   return out;
 }
 

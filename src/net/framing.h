@@ -23,8 +23,10 @@ Bytes frame(const Bytes& payload);
 
 class FrameDecoder {
  public:
-  // Appends raw stream bytes. Returns false (and enters the failed state)
-  // if a frame header exceeds kMaxFrameBytes.
+  // Appends raw stream bytes. The length header at the front of the buffer
+  // is validated eagerly: a corrupt header > kMaxFrameBytes fails the
+  // decoder immediately (before buffering a "frame" that will never
+  // complete) and releases everything buffered. Returns false once failed.
   bool feed(const uint8_t* data, size_t n);
   bool feed(const Bytes& b) { return feed(b.data(), b.size()); }
 
@@ -32,9 +34,13 @@ class FrameDecoder {
   std::optional<Bytes> next();
 
   bool failed() const { return failed_; }
-  size_t buffered_bytes() const { return buf_.size(); }
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
 
  private:
+  // Validates the header of the frame at the buffer front, if present.
+  bool check_front_header();
+  void fail();
+
   std::vector<uint8_t> buf_;
   size_t consumed_ = 0;  // bytes of buf_ already parsed away
   bool failed_ = false;

@@ -3,17 +3,22 @@
 namespace roar::net {
 
 void InProcNetwork::send(Address from, Address to, Bytes payload) {
+  size_t n = payload.size();
   ++messages_sent_;
-  bytes_sent_ += payload.size();
+  bytes_sent_ += n;
   if (loss_rate_ > 0 && rng_.next_double() < loss_rate_) {
     ++messages_dropped_;
+    bytes_dropped_ += n;
     return;
   }
   loop_.schedule_after(
-      latency_, [this, from, to, payload = std::move(payload)]() mutable {
+      latency_, [this, from, to, n, payload = std::move(payload)]() mutable {
         auto it = handlers_.find(to);
         if (it == handlers_.end()) {
-          ++messages_dropped_;  // dead destination
+          // Dead destination: account bytes the same way as loss drops so
+          // delivered traffic is always sent minus dropped.
+          ++messages_dropped_;
+          bytes_dropped_ += n;
           return;
         }
         it->second(from, std::move(payload));

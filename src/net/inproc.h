@@ -1,7 +1,7 @@
-// In-process message network over the virtual-time event loop.
+// In-process message transport over the virtual-time event loop.
 //
 // Every cluster component (node, front-end, membership server) is an
-// Endpoint with an address; send() delivers the payload to the remote
+// endpoint with an address; send() delivers the payload to the remote
 // handler after the configured latency. Datacenter RTTs are sub-millisecond
 // (§4.8.1), so the default one-way latency is 100 µs. Loss can be injected
 // for failure-path tests.
@@ -12,36 +12,34 @@
 
 #include "common/rng.h"
 #include "net/event_loop.h"
-#include "net/serialize.h"
+#include "net/transport.h"
 
 namespace roar::net {
 
-using Address = uint32_t;
-
-class InProcNetwork {
+class InProcNetwork : public Transport {
  public:
-  using Handler = std::function<void(Address from, Bytes payload)>;
-
   InProcNetwork(EventLoop& loop, double one_way_latency_s = 100e-6,
                 uint64_t seed = 7)
       : loop_(loop), latency_(one_way_latency_s), rng_(seed) {}
 
   // Registers (or replaces) the handler for `addr`.
-  void bind(Address addr, Handler handler) {
+  void bind(Address addr, Handler handler) override {
     handlers_[addr] = std::move(handler);
   }
-  void unbind(Address addr) { handlers_.erase(addr); }
+  void unbind(Address addr) override { handlers_.erase(addr); }
 
   // Sends to `to`; silently dropped if unbound (crashed node) or if the
   // loss injector fires — exactly how a datagram to a dead host behaves.
-  void send(Address from, Address to, Bytes payload);
+  void send(Address from, Address to, Bytes payload) override;
 
   void set_loss_rate(double p) { loss_rate_ = p; }
-  double latency() const { return latency_; }
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  double latency() const override { return latency_; }
+  uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t messages_dropped() const override { return messages_dropped_; }
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t bytes_dropped() const override { return bytes_dropped_; }
 
+  Clock& clock() override { return loop_; }
   EventLoop& loop() { return loop_; }
 
  private:
@@ -53,6 +51,7 @@ class InProcNetwork {
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t bytes_dropped_ = 0;
 };
 
 }  // namespace roar::net

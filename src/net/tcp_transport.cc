@@ -1,0 +1,197 @@
+#include "net/tcp_transport.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace roar::net {
+
+// -------------------------------------------------------------- WallClock
+
+uint64_t WallClock::schedule_after(double delay, Callback fn) {
+  uint64_t id = next_id_++;
+  queue_.push(Entry{now() + std::max(0.0, delay), next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void WallClock::cancel(uint64_t id) { callbacks_.erase(id); }
+
+int WallClock::next_timeout_ms(int cap_ms) const {
+  if (callbacks_.empty()) return cap_ms;
+  // The heap top may be a cancelled entry; treating it as live only makes
+  // the poll wake early, never late. Round up: truncating would ask epoll
+  // for a 0 ms wait during the final sub-millisecond before each firing,
+  // degenerating run_until into a busy spin.
+  double dt = queue_.empty() ? 0.0 : queue_.top().when - now();
+  int ms = static_cast<int>(std::ceil(dt * 1000.0));
+  return std::clamp(ms, 0, cap_ms);
+}
+
+size_t WallClock::fire_due() {
+  size_t fired = 0;
+  // `now()` is re-read each iteration so timers scheduled by a firing
+  // callback for a past/zero delay run in the same batch (matching
+  // EventLoop's run-everything-due semantics).
+  while (!queue_.empty() && queue_.top().when <= now()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+// -------------------------------------------------------------- TcpDriver
+
+void TcpDriver::add_route(Address addr, uint16_t port,
+                          const std::string& host) {
+  (void)host;  // loopback-only build; see header
+  routes_[addr] = port;
+}
+
+void TcpDriver::remove_route(Address addr) { routes_.erase(addr); }
+
+std::optional<uint16_t> TcpDriver::route(Address addr) const {
+  auto it = routes_.find(addr);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t TcpDriver::poll(int max_wait_ms) {
+  size_t handled = reactor_.poll(clock_.next_timeout_ms(max_wait_ms));
+  handled += clock_.fire_due();
+  return handled;
+}
+
+bool TcpDriver::run_until(const std::function<bool()>& pred,
+                          double timeout_s) {
+  double deadline = clock_.now() + timeout_s;
+  while (!pred()) {
+    poll(5);
+    if (clock_.now() > deadline) return pred();
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- TcpTransport
+
+namespace {
+constexpr size_t kEnvelopeBytes = 8;  // u32 from + u32 to
+constexpr size_t kFrameHeaderBytes = 4;
+}  // namespace
+
+TcpTransport::TcpTransport(TcpDriver& driver)
+    : driver_(driver),
+      listener_(std::make_unique<TcpListener>(
+          driver.reactor(), 0, [this](TcpConnection& conn) {
+            inbound_[conn.id()] = &conn;
+            conn.set_frame_handler([this](TcpConnection&, Bytes frame) {
+              on_incoming_frame(frame);
+            });
+            conn.set_close_handler([this](TcpConnection& c) {
+              inbound_.erase(c.id());
+            });
+          })) {}
+
+TcpTransport::~TcpTransport() {
+  // Close both directions: the outgoing cache AND accepted connections,
+  // whose handlers capture `this` — leaving them registered in the shared
+  // reactor would be a use-after-free on the next peer frame.
+  for (auto& [port, conn] : conns_) {
+    if (conn) {
+      conn->set_close_handler(nullptr);
+      conn->close();
+    }
+  }
+  auto inbound = std::move(inbound_);
+  for (auto& [id, conn] : inbound) {
+    if (conn) {
+      conn->set_close_handler(nullptr);
+      conn->set_frame_handler(nullptr);
+      conn->close();
+    }
+  }
+}
+
+uint16_t TcpTransport::port() const { return listener_->port(); }
+
+void TcpTransport::bind(Address addr, Handler handler) {
+  handlers_[addr] = std::move(handler);
+  driver_.add_route(addr, port());
+}
+
+void TcpTransport::unbind(Address addr) {
+  // The route stays published: the listener is still up, so peers' frames
+  // arrive and are dropped here — the same silent black-hole a crashed
+  // process on a live host presents, and the same accounting InProcNetwork
+  // applies to dead destinations.
+  handlers_.erase(addr);
+}
+
+void TcpTransport::on_incoming_frame(const Bytes& frame) {
+  Reader r(frame);
+  Address from = r.u32();
+  Address to = r.u32();
+  if (!r.ok()) return;  // malformed envelope: drop
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) {
+    ++messages_dropped_;
+    bytes_dropped_ += frame.size() - kEnvelopeBytes;
+    return;
+  }
+  Bytes payload(frame.begin() + kEnvelopeBytes, frame.end());
+  it->second(from, std::move(payload));
+}
+
+TcpConnection* TcpTransport::connection_to(uint16_t port) {
+  auto it = conns_.find(port);
+  if (it != conns_.end() && it->second && !it->second->closed()) {
+    return it->second;
+  }
+  // A dead cached connection was already evicted by its close handler, so
+  // a cache miss for a port we connected to before IS the reconnect case.
+  if (!ever_connected_.insert(port).second) ++reconnects_;
+  TcpConnection& conn = driver_.reactor().connect(port);
+  conn.set_close_handler([this, port](TcpConnection& c) {
+    auto cached = conns_.find(port);
+    if (cached != conns_.end() && cached->second == &c) conns_.erase(cached);
+  });
+  conns_[port] = &conn;
+  return &conn;
+}
+
+void TcpTransport::send(Address from, Address to, Bytes payload) {
+  size_t n = payload.size();
+  ++messages_sent_;
+  bytes_sent_ += n;
+
+  auto port = driver_.route(to);
+  if (!port) {
+    ++messages_dropped_;
+    bytes_dropped_ += n;
+    return;
+  }
+  TcpConnection* conn = connection_to(*port);
+  if (!conn || conn->closed()) {
+    ++messages_dropped_;
+    bytes_dropped_ += n;
+    return;
+  }
+
+  Writer w;
+  w.u32(from);
+  w.u32(to);
+  Bytes enveloped = w.take();
+  enveloped.reserve(kEnvelopeBytes + n);
+  enveloped.insert(enveloped.end(), payload.begin(), payload.end());
+  wire_bytes_sent_ += enveloped.size() + kFrameHeaderBytes;
+  conn->send(enveloped);
+}
+
+}  // namespace roar::net

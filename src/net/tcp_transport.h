@@ -1,0 +1,149 @@
+// The deployable Transport: cluster endpoints exchanging the identical
+// framed protocol bytes over real loopback TCP sockets (§4.8).
+//
+// Topology: every TcpTransport owns one listening socket and represents one
+// "process" (a node, or the front-end + membership pair). All transports of
+// a cluster share a TcpDriver — a single-threaded runtime bundling the
+// epoll reactor, a wall-clock timer heap, and the Address -> (host, port)
+// registry that stands in for DNS/config. send() resolves the destination
+// address through the registry and reuses a cached connection, reconnecting
+// transparently if the previous one died.
+//
+// Wire format per frame: [u32 from][u32 to][payload bytes]. The envelope
+// carries addresses because a single listener can host several logical
+// endpoints (the front-end and membership server share a port, as they
+// share a process in the paper's deployment).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace roar::net {
+
+// Wall-clock Clock. Timers are a lazily-cancelled binary heap, fired by
+// TcpDriver::poll between epoll batches; epoll timeouts are bounded by the
+// earliest pending timer so a due timer is never late by more than the
+// poll granularity.
+class WallClock : public Clock {
+ public:
+  WallClock() : t0_(std::chrono::steady_clock::now()) {}
+
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+  uint64_t schedule_after(double delay, Callback fn) override;
+  void cancel(uint64_t id) override;
+
+  // Milliseconds until the earliest live timer, clamped to [0, cap_ms];
+  // cap_ms when no timer is pending.
+  int next_timeout_ms(int cap_ms) const;
+  // Runs every timer due at the current wall time; returns count fired.
+  size_t fire_due();
+  size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    uint64_t seq;
+    uint64_t id;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  std::chrono::steady_clock::time_point t0_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<uint64_t, Callback> callbacks_;
+};
+
+// Shared single-threaded runtime for a set of TcpTransport endpoints.
+class TcpDriver {
+ public:
+  TcpReactor& reactor() { return reactor_; }
+  WallClock& clock() { return clock_; }
+
+  // Address registry. Host is implicit (loopback) in this build; the
+  // registry still speaks (host, port) pairs so a multi-host deployment
+  // only changes the connect path.
+  void add_route(Address addr, uint16_t port, const std::string& host = "");
+  void remove_route(Address addr);
+  std::optional<uint16_t> route(Address addr) const;
+
+  // One scheduling round: epoll (waiting at most `max_wait_ms`, less if a
+  // timer is due sooner), then due timers. Returns events handled.
+  size_t poll(int max_wait_ms = 10);
+  // Polls until pred() holds or `timeout_s` wall seconds pass.
+  bool run_until(const std::function<bool()>& pred, double timeout_s = 10.0);
+
+ private:
+  TcpReactor reactor_;
+  WallClock clock_;
+  std::unordered_map<Address, uint16_t> routes_;
+};
+
+class TcpTransport : public Transport {
+ public:
+  // Opens a listener on an ephemeral loopback port (query with port()).
+  explicit TcpTransport(TcpDriver& driver);
+  ~TcpTransport() override;
+
+  uint16_t port() const;
+
+  // Transport interface. bind() also publishes addr -> port() in the
+  // driver's registry so peers can reach the endpoint.
+  void bind(Address addr, Handler handler) override;
+  void unbind(Address addr) override;
+  void send(Address from, Address to, Bytes payload) override;
+
+  Clock& clock() override { return driver_.clock(); }
+
+  double latency() const override { return latency_; }
+  // Nominal one-way latency fed to the front-end's delay estimator
+  // (loopback is ~tens of µs; a datacenter deployment would set its RTT).
+  void set_latency_hint(double s) { latency_ = s; }
+
+  uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t messages_dropped() const override { return messages_dropped_; }
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t bytes_dropped() const override { return bytes_dropped_; }
+  // Actual on-the-wire volume including envelope + frame headers.
+  uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  void on_incoming_frame(const Bytes& frame);
+  // Cached connection to a peer port, (re)connecting as needed.
+  TcpConnection* connection_to(uint16_t port);
+
+  TcpDriver& driver_;
+  std::unique_ptr<TcpListener> listener_;
+  std::unordered_map<Address, Handler> handlers_;
+  std::unordered_map<uint16_t, TcpConnection*> conns_;  // by remote port
+  // Accepted connections: their frame handlers capture `this`, so the
+  // destructor must close them too, not just the outgoing cache.
+  std::unordered_map<uint64_t, TcpConnection*> inbound_;  // by conn id
+  std::unordered_set<uint16_t> ever_connected_;  // reconnect accounting
+  double latency_ = 50e-6;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_dropped_ = 0;
+  uint64_t wire_bytes_sent_ = 0;
+  uint64_t reconnects_ = 0;
+};
+
+}  // namespace roar::net

@@ -1,0 +1,81 @@
+// The message-transport abstraction the cluster layer is written against.
+//
+// Every ROAR component (front-end, node, membership, update server) is an
+// endpoint with a small integer Address; components exchange serialized
+// protocol messages through a Transport and schedule work on its Clock.
+// Two implementations exist:
+//
+//  * InProcNetwork (net/inproc.h) — virtual-time delivery on an EventLoop;
+//    deterministic, used for the Chapter 6/7 emulation experiments.
+//  * TcpTransport (net/tcp_transport.h) — real loopback TCP sockets on the
+//    epoll reactor with wall-clock timers; the deployable form (§4.8).
+//
+// The cluster code is identical over both: same bytes, same handlers, same
+// timer logic. That substitution is what the InProc-vs-TCP parity test
+// (tests/tcp_cluster_test.cc) checks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "net/serialize.h"
+
+namespace roar::net {
+
+using Address = uint32_t;
+
+// Timer facade bridging the virtual-time EventLoop and wall-clock epoll
+// polling. now() is seconds on the implementation's timebase; timer ids
+// are unique per clock and may be cancelled (no-op if already fired).
+class Clock {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~Clock() = default;
+
+  virtual double now() const = 0;
+  virtual uint64_t schedule_after(double delay, Callback fn) = 0;
+  virtual void cancel(uint64_t id) = 0;
+
+  // Schedules at an absolute time on this clock's timebase; times in the
+  // past run as soon as possible.
+  uint64_t schedule_at(double when, Callback fn) {
+    return schedule_after(std::max(0.0, when - now()), std::move(fn));
+  }
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(Address from, Bytes payload)>;
+
+  virtual ~Transport() = default;
+
+  // Registers (or replaces) the handler for `addr`.
+  virtual void bind(Address addr, Handler handler) = 0;
+  // Unbinds `addr`: messages already in flight and future sends to it are
+  // silently dropped, exactly how a datagram to a crashed host behaves.
+  virtual void unbind(Address addr) = 0;
+
+  // Sends `payload` from `from` to `to`. Delivery is asynchronous and
+  // unacknowledged at this layer; loss surfaces only in the drop counters.
+  virtual void send(Address from, Address to, Bytes payload) = 0;
+
+  // The clock cluster components must use for all timer work, so the same
+  // logic runs under virtual and wall-clock time.
+  virtual Clock& clock() = 0;
+
+  // Nominal one-way latency in seconds (used by delay estimators).
+  virtual double latency() const = 0;
+
+  // Accounting for the Table 6.2-style message-cost experiments. Sent
+  // counters cover every send() attempt (payload bytes, excluding any
+  // framing overhead); dropped counters are the subset that never reached
+  // a handler (loss injection, unbound destination, dead connection).
+  virtual uint64_t messages_sent() const = 0;
+  virtual uint64_t messages_dropped() const = 0;
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t bytes_dropped() const = 0;
+};
+
+}  // namespace roar::net

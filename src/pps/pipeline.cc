@@ -122,8 +122,11 @@ QueryStats MatchPipeline::run_realtime(
         if (io_s > 0) {
           std::this_thread::sleep_for(std::chrono::duration<double>(io_s));
         }
-        queue.push({b, e});
+        // Count the batch before publishing it: once pushed, a matcher may
+        // consume (and trace) it immediately, and traces must never show
+        // consumed > produced.
         produced.fetch_add(e - b, std::memory_order_relaxed);
+        queue.push({b, e});
       }
     }
     queue.close();

@@ -185,6 +185,8 @@ TEST(InProcTest, UnboundDestinationDropsSilently) {
   net.send(1, 99, {1, 2, 3});
   loop.run_all();
   EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 3u);
+  EXPECT_EQ(net.bytes_dropped(), 3u);
 }
 
 TEST(InProcTest, LossInjection) {
@@ -197,6 +199,12 @@ TEST(InProcTest, LossInjection) {
   loop.run_all();
   EXPECT_GT(received, 350);
   EXPECT_LT(received, 650);
+  // Delivered bytes are always sent minus dropped, whatever mix of loss
+  // injection and dead destinations produced the drops.
+  EXPECT_EQ(net.messages_sent(), 1000u);
+  EXPECT_EQ(net.messages_dropped(), 1000u - received);
+  EXPECT_EQ(net.bytes_sent() - net.bytes_dropped(),
+            static_cast<uint64_t>(received));
 }
 
 TEST(TcpTest, EchoRoundTrip) {

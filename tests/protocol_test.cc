@@ -1,0 +1,191 @@
+// Wire-protocol serialization coverage: every message in cluster/protocol.h
+// round-trips through serialize.h encoding AND length-prefixed framing, and
+// every strict truncation of every message is rejected cleanly (no partial
+// decode, no decoder corruption) — the guarantee a network-facing decoder
+// must give against fragmented or hostile streams.
+#include <gtest/gtest.h>
+
+#include "cluster/protocol.h"
+#include "common/rng.h"
+#include "net/framing.h"
+
+namespace roar::cluster {
+namespace {
+
+// All seven message types with non-default field values, as raw bytes.
+std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
+  std::vector<std::pair<std::string, net::Bytes>> out;
+
+  SubQueryMsg sq;
+  sq.query_id = 0x0123456789ABCDEFull;
+  sq.part_id = 7;
+  sq.point = RingId::from_double(0.625);
+  sq.window_begin = RingId::from_double(0.5);
+  sq.window_end = RingId::from_double(0.625);
+  sq.pq = 16;
+  sq.share = 0.0625;
+  out.emplace_back("SubQuery", sq.encode());
+
+  SubQueryReplyMsg rep;
+  rep.query_id = 99;
+  rep.part_id = 3;
+  rep.scanned = 1'000'000;
+  rep.matches = 41;
+  rep.service_s = 0.125;
+  out.emplace_back("SubQueryReply", rep.encode());
+
+  RangePushMsg rp;
+  rp.range_begin = RingId::from_double(0.99);
+  rp.range_len = UINT64_MAX / 3;
+  rp.p = 32;
+  rp.fixed = true;
+  out.emplace_back("RangePush", rp.encode());
+
+  FetchOrderMsg fo;
+  fo.arc_begin = RingId::from_double(0.1);
+  fo.arc_len = 12345678;
+  fo.new_p = 2;
+  out.emplace_back("FetchOrder", fo.encode());
+
+  FetchCompleteMsg fc;
+  fc.node = 42;
+  fc.new_p = 2;
+  out.emplace_back("FetchComplete", fc.encode());
+
+  ObjectUpdateMsg ou;
+  ou.object_id = RingId::from_double(0.75);
+  ou.payload_bytes = 700;
+  out.emplace_back("ObjectUpdate", ou.encode());
+
+  NodeStatsMsg ns;
+  ns.node = 17;
+  ns.busy_fraction = 0.875;
+  ns.observed_rate = 250'000.0;
+  out.emplace_back("NodeStats", ns.encode());
+
+  return out;
+}
+
+// Decodes `b` as whatever type its leading byte announces and re-encodes;
+// byte-identical re-encoding proves lossless field round-trips without
+// enumerating every field of every struct here.
+net::Bytes reencode(const net::Bytes& b) {
+  auto type = peek_type(b);
+  if (!type) return {};
+  switch (*type) {
+    case MsgType::kSubQuery:
+      if (auto m = SubQueryMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kSubQueryReply:
+      if (auto m = SubQueryReplyMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kRangePush:
+      if (auto m = RangePushMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kFetchOrder:
+      if (auto m = FetchOrderMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kFetchComplete:
+      if (auto m = FetchCompleteMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kObjectUpdate:
+      if (auto m = ObjectUpdateMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kNodeStats:
+      if (auto m = NodeStatsMsg::decode(b)) return m->encode();
+      break;
+  }
+  return {};
+}
+
+TEST(ProtocolCoverageTest, EveryMessageReencodesIdentically) {
+  for (const auto& [name, bytes] : sample_messages()) {
+    EXPECT_EQ(reencode(bytes), bytes) << name;
+  }
+}
+
+TEST(ProtocolCoverageTest, EveryMessageSurvivesFraming) {
+  // All messages through one frame stream, fed one byte at a time — the
+  // exact path TCP delivery takes under worst-case fragmentation.
+  auto samples = sample_messages();
+  net::Bytes stream;
+  for (const auto& [name, bytes] : samples) {
+    net::Bytes f = net::frame(bytes);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  net::FrameDecoder dec;
+  size_t received = 0;
+  for (uint8_t byte : stream) {
+    dec.feed(&byte, 1);
+    while (auto f = dec.next()) {
+      ASSERT_LT(received, samples.size());
+      EXPECT_EQ(*f, samples[received].second) << samples[received].first;
+      EXPECT_EQ(reencode(*f), *f);
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, samples.size());
+  EXPECT_FALSE(dec.failed());
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(ProtocolCoverageTest, EveryTruncationIsRejected) {
+  for (const auto& [name, bytes] : sample_messages()) {
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      net::Bytes prefix(bytes.begin(), bytes.begin() + len);
+      EXPECT_TRUE(reencode(prefix).empty())
+          << name << " truncated to " << len << " bytes decoded";
+    }
+  }
+}
+
+TEST(ProtocolCoverageTest, CorruptTailsNeverCrashAndNeverOverread) {
+  // Flipping bytes after the type tag must yield either a clean reject or
+  // a decode whose re-encoding is well-formed — never UB (run under
+  // sanitizers via the normal build flags).
+  Rng rng(123);
+  for (const auto& [name, bytes] : sample_messages()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      net::Bytes mutated = bytes;
+      size_t idx = 1 + rng.next_below(mutated.size() - 1);
+      mutated[idx] = static_cast<uint8_t>(rng.next_u64());
+      net::Bytes re = reencode(mutated);
+      if (!re.empty()) EXPECT_EQ(re.size(), bytes.size()) << name;
+    }
+  }
+}
+
+TEST(ProtocolCoverageTest, FrameDecoderReleasesBufferOnCorruptHeader) {
+  net::FrameDecoder dec;
+  // A valid frame, then a corrupt oversized length header.
+  net::Bytes good = net::frame({1, 2, 3});
+  dec.feed(good);
+  uint32_t huge = net::kMaxFrameBytes + 1;
+  uint8_t hdr[4];
+  memcpy(hdr, &huge, 4);
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(dec.feed(hdr, 4));  // rejected eagerly at feed time
+  EXPECT_TRUE(dec.failed());
+  EXPECT_EQ(dec.buffered_bytes(), 0u) << "poisoned stream must not buffer";
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.feed({9, 9, 9})) << "failed decoder stays failed";
+}
+
+TEST(ProtocolCoverageTest, FrameBeforeCorruptHeaderIsStillDelivered) {
+  net::FrameDecoder dec;
+  net::Bytes good = net::frame({42});
+  uint32_t huge = net::kMaxFrameBytes + 1;
+  net::Bytes stream = good;
+  stream.insert(stream.end(), reinterpret_cast<uint8_t*>(&huge),
+                reinterpret_cast<uint8_t*>(&huge) + 4);
+  dec.feed(stream);
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, (net::Bytes{42}));
+  EXPECT_TRUE(dec.failed());
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+}  // namespace
+}  // namespace roar::cluster

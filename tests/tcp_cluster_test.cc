@@ -1,0 +1,202 @@
+// End-to-end tests for the deployable TCP cluster, including the headline
+// parity check: the same seeded workload (with an induced node failure)
+// driven through EmulatedCluster/InProc virtual time and through
+// TcpCluster/loopback sockets must report identical query outcomes —
+// completion, matches, harvest — message for message.
+#include <gtest/gtest.h>
+
+#include "cluster/emulated_cluster.h"
+#include "cluster/tcp_cluster.h"
+
+namespace roar::cluster {
+namespace {
+
+// Shared workload shape. nodes > p leaves real replication slack
+// (ranges ~1/8 of the circle vs arcs of 1/p = 1/4), so §4.4 failure
+// splits always find covering neighbours and outcomes stay deterministic.
+constexpr uint32_t kNodes = 8;
+constexpr uint32_t kP = 4;
+constexpr uint64_t kDataset = 88'000;  // per-part counts away from the
+                                       // matches-model floor boundary
+constexpr uint64_t kSeed = 11;
+constexpr double kBaseRate = 1e6;  // metadata/s -> ~22 ms per sub-query
+constexpr uint32_t kPreKill = 4, kPostKill = 10;
+constexpr NodeId kVictim = 2;
+
+FrontendParams parity_frontend() {
+  FrontendParams fe;
+  fe.timeout_factor = 3.0;
+  fe.timeout_margin_s = 0.3;  // generous: wall-clock jitter must not split
+  // Prior matches the true node rate: otherwise the first nodes observed
+  // look far faster than the 250k default prior and the scheduler locks
+  // onto them, never exercising the rest of the ring.
+  fe.initial_rate = kBaseRate;
+  return fe;
+}
+
+TcpClusterConfig tcp_config(uint32_t nodes = kNodes, uint32_t p = kP,
+                            uint64_t dataset = kDataset) {
+  TcpClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.p = p;
+  cfg.dataset_size = dataset;
+  cfg.seed = kSeed;
+  cfg.frontend = parity_frontend();
+  cfg.node_proto.base_rate = kBaseRate;
+  return cfg;
+}
+
+ClusterConfig inproc_config() {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", kNodes, 1.0}};
+  cfg.dataset_size = kDataset;
+  cfg.p = kP;
+  cfg.seed = kSeed;
+  cfg.frontend = parity_frontend();
+  cfg.node_proto.base_rate = kBaseRate;
+  return cfg;
+}
+
+// After each query, both drivers idle long enough for the front-end's
+// queue projections (busy_until) to fall behind now: submit-time estimates
+// are then purely rate-based, which keeps the two time bases' scheduling
+// decisions bit-identical.
+constexpr double kSettleS = 0.05;
+
+QueryOutcome run_one_inproc(EmulatedCluster& c) {
+  QueryOutcome out;
+  bool done = false;
+  c.frontend().submit([&](const QueryOutcome& o) {
+    out = o;
+    done = true;
+  });
+  while (!done) c.loop().run_until(c.now() + 0.01);
+  c.loop().run_until(c.now() + kSettleS);
+  return out;
+}
+
+QueryOutcome run_one_tcp(TcpCluster& c) {
+  QueryOutcome out = c.run_query();
+  c.run_for(kSettleS);
+  return out;
+}
+
+// The seeded workload: kPreKill queries, crash one node, queries until the
+// front-end detects the failure by timeout (with 8 nodes and p = 4 not
+// every query touches the victim), then kPostKill more. Both worlds make
+// identical scheduling decisions, so the detection query index — and hence
+// the workload length — must come out the same; the size assertion in the
+// parity test checks exactly that.
+template <typename Cluster, typename RunOne>
+std::vector<QueryOutcome> drive_workload(Cluster& c, RunOne run_one) {
+  std::vector<QueryOutcome> outs;
+  for (uint32_t i = 0; i < kPreKill; ++i) outs.push_back(run_one(c));
+  c.kill_node(kVictim);
+  for (uint32_t i = 0; i < 30 && c.frontend().failures_detected() == 0; ++i) {
+    outs.push_back(run_one(c));
+  }
+  for (uint32_t i = 0; i < kPostKill; ++i) outs.push_back(run_one(c));
+  return outs;
+}
+
+TEST(TcpClusterTest, InProcAndTcpReportIdenticalOutcomes) {
+  EmulatedCluster inproc(inproc_config());
+  auto virt = drive_workload(inproc, run_one_inproc);
+
+  TcpCluster tcp(tcp_config());
+  auto wall = drive_workload(tcp, run_one_tcp);
+
+  ASSERT_EQ(virt.size(), wall.size());
+  for (size_t i = 0; i < virt.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ASSERT_NE(wall[i].id, 0u) << "TCP query timed out";
+    EXPECT_EQ(wall[i].complete, virt[i].complete);
+    EXPECT_EQ(wall[i].matches, virt[i].matches);
+    EXPECT_DOUBLE_EQ(wall[i].harvest, virt[i].harvest);
+    EXPECT_EQ(wall[i].parts_sent, virt[i].parts_sent);
+    EXPECT_EQ(wall[i].retries, virt[i].retries);
+  }
+
+  // Both substrates detected the induced failure by sub-query timeout.
+  EXPECT_GT(inproc.frontend().failures_detected(), 0u);
+  EXPECT_EQ(tcp.frontend().failures_detected(),
+            inproc.frontend().failures_detected());
+
+  // Byte-protocol parity: the two worlds exchanged the same messages and
+  // the same payload bytes (the Table 6.2-style accounting).
+  EXPECT_EQ(tcp.messages_sent(), inproc.network().messages_sent());
+  EXPECT_EQ(tcp.bytes_sent(), inproc.network().bytes_sent());
+}
+
+TEST(TcpClusterTest, QueriesCompleteOverLoopback) {
+  TcpCluster cluster(tcp_config(4, 4, 40'000));
+  auto outs = cluster.run_queries(10);
+  for (const auto& out : outs) {
+    ASSERT_NE(out.id, 0u);
+    EXPECT_TRUE(out.complete);
+    EXPECT_DOUBLE_EQ(out.harvest, 1.0);
+    EXPECT_EQ(out.parts_sent, 4u);
+  }
+  EXPECT_EQ(cluster.frontend().queries_completed(), 10u);
+  EXPECT_GT(cluster.messages_sent(), 0u);
+  EXPECT_GT(cluster.bytes_sent(), 0u);
+}
+
+TEST(TcpClusterTest, FailureDetectedByTimeoutAndMaskedBySplit) {
+  TcpCluster cluster(tcp_config(8, 4, 88'000));
+  auto warm = cluster.run_queries(3);
+  ASSERT_TRUE(warm.back().complete);
+
+  cluster.kill_node(1);
+  // With 8 nodes and p = 4, not every query touches the victim; run until
+  // one does and the timeout + §4.4 split path fires.
+  QueryOutcome detect;
+  bool found = false;
+  for (int i = 0; i < 20 && !found; ++i) {
+    detect = cluster.run_query();
+    ASSERT_NE(detect.id, 0u) << "query must complete despite the dead node";
+    found = detect.retries > 0;
+  }
+  ASSERT_TRUE(found) << "some query must hit the dead node and split";
+  EXPECT_TRUE(detect.complete);
+  EXPECT_DOUBLE_EQ(detect.harvest, 1.0);
+  EXPECT_GT(detect.parts_sent, 4u) << "failure split adds parts";
+  EXPECT_GT(cluster.frontend().failures_detected(), 0u);
+  EXPECT_GT(cluster.messages_dropped(), 0u)
+      << "frames to the crashed endpoint are black-holed";
+
+  // Later queries plan around the dead node.
+  QueryOutcome after = cluster.run_query();
+  ASSERT_NE(after.id, 0u);
+  EXPECT_TRUE(after.complete);
+}
+
+TEST(TcpClusterTest, PReconfigurationOverTheWire) {
+  auto cfg = tcp_config(4, 4, 40'000);
+  cfg.node_proto.fetch_bandwidth = 1e9;  // keep the wall-clock fetch short
+  TcpCluster cluster(cfg);
+
+  // Decrease p: fetch orders go out over TCP, completions come back, and
+  // safe_p flips only after every node confirmed.
+  cluster.change_p(2);
+  EXPECT_EQ(cluster.safe_p(), 4u);
+  EXPECT_EQ(cluster.frontend().target_p(), 2u);
+  ASSERT_TRUE(cluster.driver().run_until(
+      [&] { return cluster.safe_p() == 2; }, 15.0))
+      << "fetch completions over TCP must flip safe_p";
+
+  QueryOutcome out = cluster.run_query();
+  ASSERT_NE(out.id, 0u);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.parts_sent, 2u);
+
+  // Increase is immediate.
+  cluster.change_p(4);
+  EXPECT_EQ(cluster.safe_p(), 4u);
+  out = cluster.run_query();
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.parts_sent, 4u);
+}
+
+}  // namespace
+}  // namespace roar::cluster
