@@ -44,6 +44,22 @@ void order_p_change(const core::Ring& ring, uint32_t p_new,
   }
 }
 
+void reissue_fetch_orders(const core::Ring& ring, net::Transport& net,
+                          Frontend& frontend) {
+  const core::ReplicationController& repl = frontend.replication();
+  if (!repl.in_progress()) return;
+  uint32_t p_old = repl.safe_p(), p_new = repl.target_p();
+  for (NodeId id : repl.pending()) {
+    if (!ring.contains(id) || !ring.node(id).alive) continue;
+    Arc fetch = core::ReplicationController::fetch_arc(ring, id, p_old, p_new);
+    FetchOrderMsg msg;
+    msg.arc_begin = fetch.begin();
+    msg.arc_len = fetch.length();
+    msg.new_p = p_new;
+    net.send(kMembershipAddr, node_address(id), msg.encode());
+  }
+}
+
 void handle_membership_message(
     const net::Bytes& payload, Frontend& frontend,
     const std::function<void(uint32_t new_p)>& on_reconfigured) {

@@ -25,6 +25,16 @@ void push_ranges(const core::Ring& ring, uint32_t p, net::Transport& net,
 void order_p_change(const core::Ring& ring, uint32_t p_new,
                     net::Transport& net, Frontend& frontend);
 
+// Re-sends the outstanding fetch orders of an in-progress p decrease to
+// every pending confirmer still live on `ring`. Fetch orders are one-shot
+// datagrams: a partition or a crash-and-revive can black-hole the
+// original, wedging safe_p forever — harnesses call this after a heal or
+// a revival to let the reconfiguration make progress again. Duplicate
+// orders are harmless (the node re-fetches and re-confirms; confirming
+// twice is a no-op). Does nothing when no change is in progress.
+void reissue_fetch_orders(const core::Ring& ring, net::Transport& net,
+                          Frontend& frontend);
+
 // Handles one message addressed to the membership server. On a
 // kFetchComplete that completes the reconfiguration (safe_p reached the
 // sender's new_p), invokes `on_reconfigured(new_p)` — harnesses use it to

@@ -9,21 +9,30 @@ namespace roar::cluster {
 
 EmulatedCluster::EmulatedCluster(ClusterConfig config)
     : config_(std::move(config)),
-      net_(loop_, config_.latency_s, config_.seed * 31 + 7),
-      membership_(core::MembershipConfig{}, config_.seed * 17 + 3),
-      rng_(config_.seed) {
+      net_(loop_, config_.latency_s,
+           subseed(config_.seed, SeedStream::kNetwork)),
+      membership_(core::MembershipConfig{},
+                  subseed(config_.seed, SeedStream::kMembership)),
+      rng_(subseed(config_.seed, SeedStream::kWorkload)) {
   config_.frontend.p = config_.p;
   config_.frontend.subquery_overhead_s = config_.node_proto.subquery_overhead_s;
 
-  frontend_ = std::make_unique<Frontend>(net_, config_.frontend,
-                                         config_.dataset_size,
-                                         config_.seed * 101 + 5);
+  if (config_.enable_faults) {
+    faults_ = std::make_unique<net::FaultTransport>(
+        net_, subseed(config_.seed, SeedStream::kFaults));
+    faults_->set_default_faults(config_.default_faults);
+  }
+
+  frontend_ = std::make_unique<Frontend>(
+      transport(), config_.frontend, config_.dataset_size,
+      subseed(config_.seed, SeedStream::kFrontend));
   frontend_->start();
 
   // Membership handler: fetch confirmations flow through here.
-  net_.bind(kMembershipAddr, [this](net::Address from, net::Bytes payload) {
-    handle_membership_msg(from, std::move(payload));
-  });
+  transport().bind(kMembershipAddr,
+                   [this](net::Address from, net::Bytes payload) {
+                     handle_membership_msg(from, std::move(payload));
+                   });
 
   // Create and join all nodes.
   NodeId id = 0;
@@ -32,7 +41,7 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
       NodeParams np = config_.node_proto;
       np.id = id;
       np.speed = cls.speed;
-      auto node = std::make_unique<NodeRuntime>(net_, np,
+      auto node = std::make_unique<NodeRuntime>(transport(), np,
                                                 config_.dataset_size);
       node->start();
       membership_.join(id, cls.speed);
@@ -57,8 +66,21 @@ std::vector<NodeId> EmulatedCluster::node_ids() const {
 }
 
 void EmulatedCluster::push_ranges() {
-  cluster::push_ranges(membership_.ring(0), frontend_->target_p(), net_,
-                       *frontend_);
+  // Publish at safe_p: during a p decrease, nodes must keep serving (and
+  // claiming storage for) the old partitioning until every fetch lands —
+  // the completion callback republishes at the new p. Warming joiners
+  // appear down so the scheduler routes around their range (neighbours
+  // still hold the data; drops are lazy).
+  core::Ring view = membership_.ring(0);
+  for (NodeId id : warming_) {
+    if (view.contains(id)) view.set_alive(id, false);
+  }
+  cluster::push_ranges(view, frontend_->safe_p(), transport(), *frontend_);
+}
+
+void EmulatedCluster::reissue_fetch_orders() {
+  cluster::reissue_fetch_orders(membership_.ring(0), transport(),
+                                *frontend_);
 }
 
 NodeId EmulatedCluster::add_node(double speed) {
@@ -66,23 +88,32 @@ NodeId EmulatedCluster::add_node(double speed) {
   NodeParams np = config_.node_proto;
   np.id = id;
   np.speed = speed;
-  auto node = std::make_unique<NodeRuntime>(net_, np, config_.dataset_size);
+  auto node = std::make_unique<NodeRuntime>(transport(), np,
+                                            config_.dataset_size);
   node->start();
   nodes_.push_back(std::move(node));
   membership_.join(id, speed);
 
-  // The node serves only after downloading its stored arc (§4.3); the
-  // membership server marks it up (pushes ranges) when the load is done.
+  schedule_warmup_push(id);
+  return id;
+}
+
+// The node serves only after downloading its stored arc (§4.3); the
+// membership server marks it up (pushes ranges) when the load is done.
+void EmulatedCluster::schedule_warmup_push(NodeId id) {
   const core::Ring& ring = membership_.ring(0);
   Arc stored = core::stored_object_arc(ring, id, frontend_->target_p());
   double bytes = stored.fraction() *
                  static_cast<double>(config_.dataset_size) *
                  config_.node_proto.bytes_per_object;
   double warmup = bytes / config_.node_proto.fetch_bandwidth;
-  loop_.schedule_after(warmup, [this] { push_ranges(); });
+  warming_.insert(id);
+  loop_.schedule_after(warmup, [this, id] {
+    warming_.erase(id);
+    push_ranges();
+  });
   ROAR_LOG(kInfo) << "cluster: node " << id << " joining, warmup "
                   << warmup << "s";
-  return id;
 }
 
 void EmulatedCluster::kill_node(NodeId id) {
@@ -93,6 +124,40 @@ void EmulatedCluster::kill_node(NodeId id) {
   membership_.fail(id);
 }
 
+void EmulatedCluster::revive_node(NodeId id) {
+  NodeRuntime& node = *nodes_.at(id);
+  if (node.alive()) return;
+  // Still on its ring with its download finished: the node kept its data
+  // across the crash and can serve once ranges are republished. Removed
+  // by long-term cleanup (data merged into neighbours) or crashed before
+  // its warmup completed: it must (re)download before serving, like a
+  // fresh join (§4.3).
+  uint32_t member_ring = membership_.members().at(id).ring;
+  bool in_place = membership_.ring(member_ring).contains(id) &&
+                  warming_.count(id) == 0;
+  node.start();
+  membership_.revive(id);
+  if (in_place) {
+    push_ranges();
+    // The node may be a pending §4.5 confirmer whose fetch died with it.
+    reissue_fetch_orders();
+  } else {
+    schedule_warmup_push(id);
+  }
+  ROAR_LOG(kInfo) << "cluster: node " << id << " revived at t="
+                  << loop_.now() << (in_place ? " (in place)"
+                                              : " (rejoin, reloading)");
+}
+
+void EmulatedCluster::leave_node(NodeId id) {
+  NodeRuntime& node = *nodes_.at(id);
+  if (!node.alive()) return;
+  node.kill();
+  membership_.leave(id);
+  frontend_->node_removed(id);
+  push_ranges();
+}
+
 uint32_t EmulatedCluster::remove_dead_nodes() {
   std::vector<NodeId> dead;
   for (const auto& n : membership_.ring(0).nodes()) {
@@ -101,6 +166,10 @@ uint32_t EmulatedCluster::remove_dead_nodes() {
   for (NodeId id : dead) {
     membership_.remove_failed(id);
     frontend_->node_removed(id);
+    // A removed confirmer can never report its fetch; stop waiting on it
+    // so an in-progress p decrease cannot wedge forever (§4.9).
+    frontend_->abandon_fetch(id);
+    warming_.erase(id);
   }
   if (!dead.empty()) push_ranges();
   return static_cast<uint32_t>(dead.size());
@@ -113,7 +182,7 @@ double EmulatedCluster::balance_round() {
 }
 
 void EmulatedCluster::change_p(uint32_t p_new) {
-  order_p_change(membership_.ring(0), p_new, net_, *frontend_);
+  order_p_change(membership_.ring(0), p_new, transport(), *frontend_);
 }
 
 void EmulatedCluster::handle_membership_msg(net::Address from,
@@ -166,7 +235,8 @@ void EmulatedCluster::inject_updates(double rate_per_s, double duration_s) {
           ObjectUpdateMsg msg;
           msg.object_id = id;
           msg.payload_bytes = 700;
-          net_.send(kUpdateServerAddr, node_address(n.id), msg.encode());
+          transport().send(kUpdateServerAddr, node_address(n.id),
+                           msg.encode());
         }
       }
     });

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "cluster/frontend.h"
 #include "cluster/node.h"
 #include "core/membership.h"
+#include "net/fault_transport.h"
 #include "net/inproc.h"
 #include "sim/farm.h"
 
@@ -29,6 +31,11 @@ struct ClusterConfig {
   uint64_t seed = 1;
   // Membership balance iterations at startup (ranges ∝ speed).
   uint32_t initial_balance_steps = 800;
+  // When set, the whole cluster runs over a seeded FaultTransport
+  // decorating the InProcNetwork; default_faults seeds its baseline
+  // per-link model (partitions etc. are scripted later via faults()).
+  bool enable_faults = false;
+  net::FaultSpec default_faults{};
 };
 
 class EmulatedCluster {
@@ -37,6 +44,13 @@ class EmulatedCluster {
 
   net::EventLoop& loop() { return loop_; }
   net::InProcNetwork& network() { return net_; }
+  // The transport every component is wired to: the fault layer when
+  // enabled, otherwise the bare in-process network.
+  net::Transport& transport() {
+    return faults_ ? static_cast<net::Transport&>(*faults_) : net_;
+  }
+  // The fault-injection layer, or nullptr when enable_faults is unset.
+  net::FaultTransport* faults() { return faults_.get(); }
   Frontend& frontend() { return *frontend_; }
   core::MembershipServer& membership() { return membership_; }
 
@@ -44,9 +58,17 @@ class EmulatedCluster {
   NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
   std::vector<NodeId> node_ids() const;
 
-  // Pushes authoritative ranges + current p to every node and re-syncs the
-  // front-end's ring mirror. Called automatically after membership events.
+  // Pushes authoritative ranges + the current *safe* p to every node and
+  // re-syncs the front-end's ring mirror. Called automatically after
+  // membership events. Nodes still warming up (downloading their arc
+  // after a join or rejoin) are presented to the front-end as down until
+  // the load completes, so an interleaved push cannot put them in
+  // service early.
   void push_ranges();
+
+  // Re-sends outstanding §4.5 fetch orders (see cluster/control.h); the
+  // originals are one-shot datagrams a partition or crash can black-hole.
+  void reissue_fetch_orders();
 
   // --- membership operations -------------------------------------------
   // Joins a fresh node; it downloads its data for `warmup` simulated
@@ -55,6 +77,12 @@ class EmulatedCluster {
   // Crash-stops a node: it silently vanishes; the front-end must discover
   // it by timeout.
   void kill_node(NodeId id);
+  // Restarts a crashed node in place: it rebinds, resumes its old range
+  // (membership history, §4.9) and ranges are republished.
+  void revive_node(NodeId id);
+  // Graceful departure: the node stops serving, neighbours absorb its
+  // range, and the front-end forgets it immediately (no timeout needed).
+  void leave_node(NodeId id);
   // Background range balancing round (§4.6); returns range fraction moved.
   double balance_round();
   // Long-term failure handling (§4.9): drop crashed nodes from the ring so
@@ -84,14 +112,19 @@ class EmulatedCluster {
 
  private:
   void handle_membership_msg(net::Address from, net::Bytes payload);
+  void schedule_warmup_push(NodeId id);
   std::vector<double> speeds_from_classes() const;
 
   ClusterConfig config_;
   net::EventLoop loop_;
   net::InProcNetwork net_;
+  std::unique_ptr<net::FaultTransport> faults_;
   core::MembershipServer membership_;
   std::unique_ptr<Frontend> frontend_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  // Nodes whose §4.3 data download is still running; kept out of the
+  // front-end's mirror by push_ranges until the load completes.
+  std::set<NodeId> warming_;
   Rng rng_;
   double measure_start_ = 0.0;
 };

@@ -78,8 +78,14 @@ class Frontend {
   // Reconfiguration interface (§4.5).
   void set_target_p(uint32_t p_new, const std::vector<NodeId>& must_confirm);
   void confirm_fetch(NodeId node);
+  // Long-term failure handling: stop waiting on a confirmer that was
+  // removed from the ring (§4.9); see ReplicationController::abandon.
+  void abandon_fetch(NodeId node) { repl_.abandon(node); }
   uint32_t safe_p() const { return repl_.safe_p(); }
   uint32_t target_p() const { return repl_.target_p(); }
+  // Full reconfiguration state (pending confirmations etc.) for invariant
+  // checks; read-only.
+  const core::ReplicationController& replication() const { return repl_; }
 
   // Submits a query; `cb` fires when all sub-queries complete.
   uint64_t submit(QueryCallback cb);

@@ -1,0 +1,394 @@
+#include "cluster/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/query_planner.h"
+
+namespace roar::cluster {
+
+namespace {
+
+std::string time_tag(double at) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t=%.3f", at);
+  return buf;
+}
+
+using WindowKey = std::pair<uint64_t, uint64_t>;  // (begin.raw, end.raw)
+
+WindowKey window_key(RingId begin, RingId end) {
+  return {begin.raw(), end.raw()};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- checker
+
+InvariantChecker::InvariantChecker(EmulatedCluster& cluster, uint64_t seed)
+    : cluster_(cluster), rng_(seed) {}
+
+void InvariantChecker::fail(const std::string& context, std::string detail) {
+  violations_.push_back({cluster_.now(), context, std::move(detail)});
+}
+
+size_t InvariantChecker::check(const std::string& context) {
+  size_t before = violations_.size();
+  uint32_t p = cluster_.frontend().safe_p();
+  if (p >= 2) {
+    check_plan(context, p);       // the minimum legal partitioning
+    check_plan(context, 2 * p);   // any pq >= p must also be exact
+  }
+  check_reconfig(context);
+  check_accounting(context);
+  return violations_.size() - before;
+}
+
+void InvariantChecker::check_plan(const std::string& context, uint32_t pq) {
+  const core::Ring& ring = cluster_.membership().ring(0);
+  if (ring.empty() || pq < 2) return;
+  uint32_t p = cluster_.frontend().safe_p();
+  bool any_alive = false;
+  for (const auto& n : ring.nodes()) any_alive |= n.alive;
+  if (!any_alive) return;
+
+  core::QueryPlanner planner;
+  RingId start = rng_.next_ring_id();
+  auto plan = planner.plan(ring, start, pq, p, rng_);
+
+  // The pq equal responsibility windows the plan must realise exactly —
+  // failure splits copy the original window, so even a split plan groups
+  // back onto these keys.
+  std::map<WindowKey, uint32_t> expected;  // window -> sub-query index
+  for (uint32_t i = 0; i < pq; ++i) {
+    RingId wb = query_point(start, (i + pq - 1) % pq, pq);
+    RingId we = query_point(start, i, pq);
+    expected[window_key(wb, we)] = i;
+  }
+
+  std::map<WindowKey, std::vector<const core::RoarSubQuery*>> groups;
+  double share_sum = 0.0;
+  for (const auto& part : plan.parts) {
+    WindowKey key = window_key(part.window_begin, part.responsibility_end);
+    if (!expected.count(key)) {
+      fail(context, "pq=" + std::to_string(pq) +
+                        ": sub-query window is not one of the query's " +
+                        "equal arcs (split changed the window)");
+      continue;
+    }
+    groups[key].push_back(&part);
+    share_sum += part.share;
+  }
+  for (const auto& [key, idx] : expected) {
+    if (!groups.count(key)) {
+      fail(context, "pq=" + std::to_string(pq) + ": window " +
+                        std::to_string(idx) + " missing from plan");
+    }
+  }
+  if (share_sum < 1.0 - 1e-9 || share_sum > 1.0 + 1e-9) {
+    fail(context, "pq=" + std::to_string(pq) + ": plan shares sum to " +
+                      std::to_string(share_sum) + ", expected 1");
+  }
+
+  // §4.4 harvest bound: a window may be abandoned only when its owner is
+  // dead, so planned harvest >= 1 − dead_owner_windows/pq.
+  uint32_t dead_owner_windows = 0;
+  for (const auto& [key, idx] : expected) {
+    RingId end(key.second);
+    if (!ring.nodes()[ring.index_in_charge(end)].alive) ++dead_owner_windows;
+  }
+  double abandoned = 0.0;
+  for (const auto& part : plan.parts) {
+    if (part.node == core::kInvalidNode) abandoned += part.share;
+  }
+  double bound = 1.0 - static_cast<double>(dead_owner_windows) / pq;
+  if (1.0 - abandoned < bound - 1e-9) {
+    fail(context, "pq=" + std::to_string(pq) + ": planned harvest " +
+                      std::to_string(1.0 - abandoned) +
+                      " below the §4.4 bound " + std::to_string(bound));
+  }
+
+  // Exactly-one ownership + storage coverage over sampled objects.
+  for (uint32_t t = 0; t < object_samples_; ++t) {
+    RingId obj = rng_.next_ring_id();
+    uint32_t owners = 0, owner_i = 0;
+    for (uint32_t i = 0; i < pq; ++i) {
+      if (core::object_matched_by(obj, start, i, pq)) {
+        ++owners;
+        owner_i = i;
+      }
+    }
+    if (owners != 1) {
+      fail(context, "pq=" + std::to_string(pq) + ": object matched by " +
+                        std::to_string(owners) + " sub-queries");
+      continue;
+    }
+    RingId wb = query_point(start, (owner_i + pq - 1) % pq, pq);
+    RingId we = query_point(start, owner_i, pq);
+    auto git = groups.find(window_key(wb, we));
+    if (git == groups.end()) continue;  // already flagged as missing
+    const auto& parts = git->second;
+
+    Arc repl = core::replication_arc(obj, p);
+    if (parts.size() == 1 && parts[0]->node == core::kInvalidNode) {
+      // Abandoned window: legitimate only if its owner really is dead.
+      if (ring.nodes()[ring.index_in_charge(we)].alive) {
+        fail(context, "window abandoned although its owning node is alive");
+      }
+      continue;
+    }
+    bool stored = false;
+    for (const auto* part : parts) {
+      if (part->node == core::kInvalidNode) {
+        fail(context, "split window carries an unassigned part");
+        continue;
+      }
+      if (!ring.node(part->node).alive) {
+        fail(context, "sub-query assigned to dead node " +
+                          std::to_string(part->node));
+        continue;
+      }
+      stored |= ring.range_of(part->node).intersects(repl);
+    }
+    if (!stored) {
+      fail(context,
+           "pq=" + std::to_string(pq) +
+               ": no assigned node stores the object's replication arc");
+    }
+  }
+}
+
+void InvariantChecker::check_reconfig(const std::string& context) {
+  const core::ReplicationController& repl = cluster_.frontend().replication();
+  uint32_t safe = repl.safe_p(), target = repl.target_p();
+  if (repl.in_progress()) {
+    if (target >= safe) {
+      fail(context, "confirmations pending but target_p " +
+                        std::to_string(target) + " >= safe_p " +
+                        std::to_string(safe));
+    }
+  } else if (safe != target) {
+    fail(context, "no confirmations pending but safe_p " +
+                      std::to_string(safe) + " != target_p " +
+                      std::to_string(target));
+  }
+
+  // Node-level view: liveness agrees with the authoritative ring, and
+  // every live node that has received ranges serves at the old or new p.
+  const core::Ring& ring = cluster_.membership().ring(0);
+  net::FaultTransport* ft = cluster_.faults();
+  for (const auto& n : ring.nodes()) {
+    NodeRuntime& node = cluster_.node(n.id);
+    if (node.alive() != n.alive) {
+      fail(context, "node " + std::to_string(n.id) +
+                        " runtime/ring liveness mismatch");
+      continue;
+    }
+    if (!node.alive() || node.range().empty()) continue;
+    // A node the membership server cannot currently reach may hold stale
+    // state with no way to learn better; the heal path republishes ranges,
+    // so the assertion resumes once the cut ends.
+    if (ft && ft->link_cut(kMembershipAddr, node.address())) continue;
+    uint32_t np = node.current_p();
+    if (np != safe && np != target) {
+      fail(context, "node " + std::to_string(n.id) + " serves at p=" +
+                        std::to_string(np) + ", neither safe_p " +
+                        std::to_string(safe) + " nor target_p " +
+                        std::to_string(target));
+    }
+  }
+}
+
+void InvariantChecker::check_accounting(const std::string& context) {
+  net::Transport& t = cluster_.transport();
+  uint64_t sent = t.messages_sent();
+  if (sent < last_messages_sent_) {
+    fail(context, "messages_sent went backwards");
+  }
+  last_messages_sent_ = sent;
+
+  net::FaultTransport* ft = cluster_.faults();
+  if (ft) {
+    const auto& c = ft->counters();
+    uint64_t expect_inner =
+        ft->messages_sent() - c.messages_dropped + c.duplicates -
+        ft->in_flight();
+    uint64_t inner_sent = ft->inner()->messages_sent();
+    if (inner_sent != expect_inner) {
+      fail(context, "fault-layer conservation broken: inner sent " +
+                        std::to_string(inner_sent) + ", expected " +
+                        std::to_string(expect_inner));
+    }
+    if (ft->messages_dropped() > ft->messages_sent() + c.duplicates) {
+      fail(context, "dropped exceeds sent plus duplicates");
+    }
+  } else {
+    if (t.messages_dropped() > t.messages_sent()) {
+      fail(context, "dropped exceeds sent");
+    }
+    if (t.bytes_dropped() > t.bytes_sent()) {
+      fail(context, "dropped bytes exceed sent bytes");
+    }
+  }
+}
+
+// --------------------------------------------------------------- scenario
+
+Scenario::Scenario(EmulatedCluster& cluster, uint64_t seed)
+    : cluster_(cluster),
+      checker_(cluster, subseed(seed, SeedStream::kScenario)),
+      rng_(subseed(seed, SeedStream::kScenarioWorkload)) {}
+
+Scenario& Scenario::add(double at, std::string what,
+                        std::function<void()> apply) {
+  steps_.push_back({at, std::move(what), std::move(apply)});
+  return *this;
+}
+
+Scenario& Scenario::crash(double at, NodeId id) {
+  return add(at, "crash node " + std::to_string(id),
+             [this, id] { cluster_.kill_node(id); });
+}
+
+Scenario& Scenario::revive(double at, NodeId id) {
+  return add(at, "revive node " + std::to_string(id),
+             [this, id] { cluster_.revive_node(id); });
+}
+
+Scenario& Scenario::join(double at, double speed) {
+  return add(at, "join node (speed " + std::to_string(speed) + ")",
+             [this, speed] { cluster_.add_node(speed); });
+}
+
+Scenario& Scenario::leave(double at, NodeId id) {
+  return add(at, "leave node " + std::to_string(id),
+             [this, id] { cluster_.leave_node(id); });
+}
+
+Scenario& Scenario::remove_dead(double at) {
+  return add(at, "remove dead nodes",
+             [this] { cluster_.remove_dead_nodes(); });
+}
+
+Scenario& Scenario::balance(double at) {
+  return add(at, "balance round", [this] { cluster_.balance_round(); });
+}
+
+Scenario& Scenario::reconfigure(double at, uint32_t p_new) {
+  return add(at, "reconfigure p=" + std::to_string(p_new), [this, p_new] {
+    // Overlapping changes would leave nodes fetching for a superseded p;
+    // the membership server serialises reconfigurations, so do we.
+    if (!cluster_.frontend().replication().in_progress()) {
+      cluster_.change_p(p_new);
+    }
+  });
+}
+
+Scenario& Scenario::partition(double at, double duration,
+                              std::vector<NodeId> island) {
+  if (!cluster_.faults()) {
+    throw std::logic_error(
+        "Scenario::partition requires ClusterConfig::enable_faults");
+  }
+  std::string who;
+  for (NodeId id : island) {
+    if (!who.empty()) who += ",";
+    who += std::to_string(id);
+  }
+  auto pid = std::make_shared<uint64_t>(0);
+  add(at, "partition {" + who + "} from the rest", [this, island, pid] {
+    std::vector<net::Address> a, b;
+    for (NodeId id : island) a.push_back(node_address(id));
+    b = {kMembershipAddr, kFrontendAddr, kUpdateServerAddr};
+    for (NodeId id = 0; id < cluster_.node_count(); ++id) {
+      if (std::find(island.begin(), island.end(), id) == island.end()) {
+        b.push_back(node_address(id));
+      }
+    }
+    *pid = cluster_.faults()->partition(std::move(a), std::move(b));
+  });
+  add(at + duration, "heal partition {" + who + "}", [this, pid] {
+    if (*pid != 0) cluster_.faults()->heal(*pid);
+    // Republishing ranges re-syncs the front-end's liveness mirror, so
+    // nodes it declared dead during the cut serve again immediately; any
+    // fetch orders the cut black-holed are re-sent so an in-progress
+    // reconfiguration can complete.
+    cluster_.push_ranges();
+    cluster_.reissue_fetch_orders();
+  });
+  return *this;
+}
+
+Scenario& Scenario::burst(double at, double rate_per_s, uint32_t count) {
+  return add(
+      at,
+      "burst of " + std::to_string(count) + " queries at " +
+          std::to_string(rate_per_s) + "/s",
+      [this, rate_per_s, count] {
+        double t = cluster_.now();
+        for (uint32_t i = 0; i < count; ++i) {
+          t += rng_.next_exponential(rate_per_s);
+          cluster_.loop().schedule_at(t, [this] {
+            ++result_.queries_submitted;
+            cluster_.frontend().submit([this](const QueryOutcome& out) {
+              if (out.complete) {
+                ++result_.queries_completed;
+              } else {
+                ++result_.queries_partial;
+              }
+              result_.min_harvest =
+                  std::min(result_.min_harvest, out.harvest);
+            });
+          });
+        }
+      });
+}
+
+ScenarioResult Scenario::run(double duration) {
+  result_ = {};
+  double t0 = cluster_.now();
+  // Violations recorded by earlier run() calls (the checker accumulates)
+  // stay out of this run's result.
+  size_t violations_before = checker_.violations().size();
+  checker_.check("start");
+
+  std::stable_sort(steps_.begin(), steps_.end(),
+                   [](const Step& a, const Step& b) { return a.at < b.at; });
+  for (Step& step : steps_) {
+    cluster_.loop().schedule_at(t0 + step.at, [this, &step] {
+      step.apply();
+      result_.trace.push_back(time_tag(step.at) + " " + step.what);
+      ++result_.events_applied;
+    });
+    // The audit runs a settle window later: the event's control-plane
+    // messages (range pushes, fetch orders) need a network latency to
+    // land before node-level state is meaningful to assert on.
+    cluster_.loop().schedule_at(t0 + step.at + check_settle_s_,
+                                [this, &step] { checker_.check(step.what); });
+  }
+  cluster_.loop().run_until(t0 + duration);
+
+  // Drain window: queries submitted near the end of the run (or stalled
+  // behind timeout/split rounds) get a bounded grace period to resolve,
+  // so the result counters account for every submission.
+  double drain_deadline = t0 + duration + drain_s_;
+  while (result_.queries_completed + result_.queries_partial <
+             result_.queries_submitted &&
+         cluster_.now() < drain_deadline) {
+    cluster_.loop().run_until(
+        std::min(cluster_.now() + 1.0, drain_deadline));
+  }
+
+  checker_.check("end");
+  result_.messages_sent = cluster_.transport().messages_sent();
+  result_.messages_dropped = cluster_.transport().messages_dropped();
+  result_.violations.assign(
+      checker_.violations().begin() + violations_before,
+      checker_.violations().end());
+  return result_;
+}
+
+}  // namespace roar::cluster

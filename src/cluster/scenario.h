@@ -1,0 +1,140 @@
+// Declarative chaos scenarios against the emulated ROAR cluster, with
+// the paper's guarantees checked after every event.
+//
+// A Scenario scripts timed events — crash/revive a node, graceful leave,
+// membership join, bidirectional partition and heal, p→p′ reconfiguration,
+// query bursts, balancing rounds — onto the cluster's virtual-time loop.
+// Partition events require the cluster to be built with
+// ClusterConfig::enable_faults (the net::FaultTransport layer).
+//
+// After every applied event (and at start/end) the InvariantChecker
+// re-derives the §4.2–§4.5 guarantees from the authoritative state:
+//
+//  1. Coverage: planning at pq >= safe_p against the membership ring puts
+//     every sampled object in exactly one responsibility window, and the
+//     window's assigned node stores the object's replication arc.
+//  2. Failure splits (§4.4) preserve responsibility windows: the plan's
+//     distinct windows are exactly the pq equal arcs of the query, and a
+//     split pair jointly stores its window.
+//  3. Harvest bound (§4.4): windows are abandoned only when their owning
+//     node is dead, so planned harvest >= 1 − (dead-owner windows)/pq.
+//  4. Reconfiguration safety (§4.5): safe_p lags target_p only while
+//     confirmations are outstanding, and every live node serves at the
+//     old or the new p, never anything else.
+//  5. Message accounting: counters are monotone and conserved through the
+//     fault layer (sent − injected drops + duplicates − in flight ==
+//     inner transport's sends).
+//
+// Everything is seeded; a scenario's event trace and the cluster's
+// message counters are bit-for-bit reproducible from (config, seed) —
+// the property the chaos soak test replays to verify.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/emulated_cluster.h"
+
+namespace roar::cluster {
+
+struct InvariantViolation {
+  double at = 0.0;      // virtual time of the check
+  std::string context;  // the event after which the check ran
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(EmulatedCluster& cluster, uint64_t seed);
+
+  // Runs every check; returns the number of new violations recorded.
+  size_t check(const std::string& context);
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  // Objects sampled per planned probe (default 48).
+  void set_object_samples(uint32_t n) { object_samples_ = n; }
+
+ private:
+  void fail(const std::string& context, std::string detail);
+  void check_plan(const std::string& context, uint32_t pq);
+  void check_reconfig(const std::string& context);
+  void check_accounting(const std::string& context);
+
+  EmulatedCluster& cluster_;
+  Rng rng_;
+  uint32_t object_samples_ = 48;
+  std::vector<InvariantViolation> violations_;
+  uint64_t last_messages_sent_ = 0;
+};
+
+struct ScenarioResult {
+  std::vector<std::string> trace;  // "t=12.500 crash node 3" per event
+  uint32_t events_applied = 0;
+  uint32_t queries_submitted = 0;
+  uint32_t queries_completed = 0;
+  uint32_t queries_partial = 0;  // answered with harvest < 1
+  double min_harvest = 1.0;      // lowest harvest over all burst queries
+  uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;
+  std::vector<InvariantViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+class Scenario {
+ public:
+  // `seed` drives the checker's sampling and the burst arrival processes;
+  // the cluster's own randomness is seeded by its config.
+  Scenario(EmulatedCluster& cluster, uint64_t seed);
+
+  // All times are offsets (seconds of virtual time) from run()'s start.
+  Scenario& crash(double at, NodeId id);
+  Scenario& revive(double at, NodeId id);
+  Scenario& join(double at, double speed);
+  Scenario& leave(double at, NodeId id);
+  Scenario& remove_dead(double at);
+  Scenario& balance(double at);
+  // Orders a p→p_new reconfiguration (skipped, deterministically, if a
+  // previous change is still awaiting confirmations).
+  Scenario& reconfigure(double at, uint32_t p_new);
+  // Cuts the given nodes off from everything else (front-end, membership,
+  // update server and the remaining nodes) for `duration`, then heals and
+  // republishes ranges. Requires ClusterConfig::enable_faults.
+  Scenario& partition(double at, double duration, std::vector<NodeId> island);
+  // Poisson query burst: `count` queries at `rate_per_s` starting at `at`.
+  Scenario& burst(double at, double rate_per_s, uint32_t count);
+
+  // Schedules everything, runs the loop for `duration` virtual seconds
+  // (plus a drain window for still-outstanding queries), and returns the
+  // trace, workload outcome and invariant verdict. Intended to be called
+  // once per Scenario: the cluster keeps whatever state the run left it
+  // in, so build a fresh Scenario (and usually a fresh cluster) per run.
+  ScenarioResult run(double duration);
+
+  InvariantChecker& checker() { return checker_; }
+  // How long after each event the audit runs (control-plane pushes need a
+  // network latency to land; default 50 ms of virtual time).
+  void set_check_settle(double s) { check_settle_s_ = s; }
+  // Cap on the post-duration drain for still-outstanding queries.
+  void set_drain(double s) { drain_s_ = s; }
+
+ private:
+  struct Step {
+    double at;
+    std::string what;
+    std::function<void()> apply;
+  };
+  Scenario& add(double at, std::string what, std::function<void()> apply);
+
+  EmulatedCluster& cluster_;
+  InvariantChecker checker_;
+  Rng rng_;
+  double check_settle_s_ = 0.05;
+  double drain_s_ = 120.0;
+  std::vector<Step> steps_;
+  ScenarioResult result_;
+};
+
+}  // namespace roar::cluster

@@ -3,15 +3,17 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace roar::cluster {
 
 TcpCluster::TcpCluster(TcpClusterConfig config)
     : config_(std::move(config)),
-      // Seeds mirror EmulatedCluster so the same `seed` yields the same
-      // membership positions and front-end decisions — the parity test
-      // depends on it.
-      membership_(core::MembershipConfig{}, config_.seed * 17 + 3) {
+      // Seed streams are shared with EmulatedCluster (common/rng.h
+      // subseed) so the same `seed` yields the same membership positions
+      // and front-end decisions — the parity test depends on it.
+      membership_(core::MembershipConfig{},
+                  subseed(config_.seed, SeedStream::kMembership)) {
   config_.frontend.p = config_.p;
   config_.frontend.subquery_overhead_s = config_.node_proto.subquery_overhead_s;
   config_.speeds.resize(config_.nodes, 1.0);
@@ -22,9 +24,9 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   net::TcpTransport& control = *transports_.front();
   control.set_latency_hint(config_.latency_hint_s);
 
-  frontend_ = std::make_unique<Frontend>(control, config_.frontend,
-                                         config_.dataset_size,
-                                         config_.seed * 101 + 5);
+  frontend_ = std::make_unique<Frontend>(
+      control, config_.frontend, config_.dataset_size,
+      subseed(config_.seed, SeedStream::kFrontend));
   frontend_->start();
   control.bind(kMembershipAddr,
                [this](net::Address from, net::Bytes payload) {
@@ -79,7 +81,10 @@ uint16_t TcpCluster::node_port(NodeId id) const {
 }
 
 void TcpCluster::push_ranges() {
-  cluster::push_ranges(membership_.ring(0), frontend_->target_p(),
+  // safe_p, not target_p: mid-decrease the nodes keep the old
+  // partitioning until every fetch confirms (same rule as the emulated
+  // harness — the parity test depends on identical choreography).
+  cluster::push_ranges(membership_.ring(0), frontend_->safe_p(),
                        *transports_.front(), *frontend_);
 }
 

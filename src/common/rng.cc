@@ -25,6 +25,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+uint64_t subseed(uint64_t base, SeedStream stream) {
+  // Mix the stream tag in before running splitmix64 twice: adjacent base
+  // seeds and adjacent streams land in unrelated parts of the sequence.
+  uint64_t x = base ^ (static_cast<uint64_t>(stream) * 0xD1B54A32D192ED03ull);
+  splitmix64(x);
+  return splitmix64(x);
+}
+
 uint64_t Rng::next_u64() {
   uint64_t result = rotl(s_[1] * 5, 7) * 9;
   uint64_t t = s_[1] << 17;

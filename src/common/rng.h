@@ -55,6 +55,28 @@ class Rng {
   uint64_t s_[4];
 };
 
+// Named sub-streams of a harness seed. Every stochastic component of a
+// cluster harness (EmulatedCluster, TcpCluster, FaultTransport, the
+// scenario engine) derives its own seed as subseed(config.seed, stream),
+// so the same config seed yields bit-identical runs across harnesses —
+// the property the InProc-vs-TCP parity test and the chaos soak's
+// trace-reproducibility check both rely on.
+enum class SeedStream : uint64_t {
+  kNetwork = 1,     // InProcNetwork loss injector
+  kMembership = 2,  // MembershipServer policy rng
+  kFrontend = 3,    // Frontend sweep phases + split points
+  kWorkload = 4,    // harness query/update arrival processes
+  kFaults = 5,      // FaultTransport injection decisions
+  kScenario = 6,    // invariant-check sampling
+  // Scenario burst arrivals: distinct from kWorkload so a Scenario and
+  // its cluster's own workload generator never produce correlated
+  // arrival processes from the same base seed.
+  kScenarioWorkload = 7,
+};
+
+// Derives an independent, well-mixed child seed for `stream`.
+uint64_t subseed(uint64_t base, SeedStream stream);
+
 // Zipf-distributed ranks in [1, n] with exponent `s`, using the standard
 // inverse-CDF-over-precomputed-weights method. Used by the PPS corpus
 // generator for realistic keyword frequencies.

@@ -118,6 +118,18 @@ void MembershipServer::fail(NodeId id) {
   rec.up = false;
 }
 
+void MembershipServer::revive(NodeId id) {
+  auto& rec = members_.at(id);
+  if (rec.up) return;
+  if (rings_[rec.ring].contains(id)) {
+    rings_[rec.ring].set_alive(id, true);
+    rec.up = true;
+    ROAR_LOG(kInfo) << "membership: node " << id << " revived in place";
+  } else {
+    join(id, rec.speed);  // removed meanwhile: rejoin via history
+  }
+}
+
 void MembershipServer::remove_failed(NodeId id) {
   auto& rec = members_.at(id);
   rec.last_position = rings_[rec.ring].node(id).position;

@@ -65,6 +65,10 @@ class MembershipServer {
   void leave(NodeId id);
   // Crash: node marked dead but keeps its range until detected/cleaned.
   void fail(NodeId id);
+  // Crash recovery: a failed node still on its ring comes back up with
+  // its data intact and resumes its old range; a node already removed
+  // falls back to the history-aware join path.
+  void revive(NodeId id);
   // Long-term failure handling: drop the node from the ring entirely.
   void remove_failed(NodeId id);
 

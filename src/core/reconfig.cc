@@ -31,6 +31,14 @@ void ReplicationController::confirm(NodeId node) {
   if (pending_.empty()) safe_p_ = target_p_;
 }
 
+void ReplicationController::abandon(NodeId node) {
+  // An abandoned node holds no data anyone counts on for the new p (its
+  // range merged into neighbours that do confirm), so dropping it from
+  // the wait set preserves the §4.5 safety argument.
+  pending_.erase(node);
+  if (pending_.empty()) safe_p_ = target_p_;
+}
+
 Arc stored_object_arc(const Ring& ring, NodeId node, uint32_t p) {
   Arc range = ring.range_of(node);
   uint64_t repl = circle_fraction(p);

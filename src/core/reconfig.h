@@ -27,6 +27,9 @@ class ReplicationController {
   // The minimum pq that is currently guaranteed to reach every object.
   uint32_t safe_p() const { return safe_p_; }
   bool in_progress() const { return !pending_.empty(); }
+  // Nodes whose fetch confirmation is still outstanding; exposed so
+  // invariant checkers can audit mid-transition state.
+  const std::set<NodeId>& pending() const { return pending_; }
 
   // Starts a change to p_new. For decreases, `nodes` is the set that must
   // confirm their downloads before the new p becomes safe; for increases
@@ -35,6 +38,12 @@ class ReplicationController {
 
   // Node reports its extended-range download is complete.
   void confirm(NodeId node);
+
+  // Drops a node from the outstanding-confirmation set without a fetch —
+  // long-term failure handling (§4.9): a confirmer removed from the ring
+  // can never report, and must not wedge the reconfiguration forever.
+  // Completes the change if it was the last one outstanding.
+  void abandon(NodeId node);
 
   // The arc of object ids a node must newly fetch when p_old → p_new
   // (p_new < p_old): ids in [range_begin − 1/p_new, range_begin − 1/p_old).

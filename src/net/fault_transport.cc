@@ -1,0 +1,92 @@
+#include "net/fault_transport.h"
+
+#include <algorithm>
+
+namespace roar::net {
+
+uint64_t FaultTransport::partition(std::vector<Address> side_a,
+                                   std::vector<Address> side_b) {
+  Partition p;
+  p.id = next_partition_id_++;
+  p.a.insert(side_a.begin(), side_a.end());
+  p.b.insert(side_b.begin(), side_b.end());
+  partitions_.push_back(std::move(p));
+  return partitions_.back().id;
+}
+
+void FaultTransport::heal(uint64_t partition_id) {
+  partitions_.erase(
+      std::remove_if(partitions_.begin(), partitions_.end(),
+                     [partition_id](const Partition& p) {
+                       return p.id == partition_id;
+                     }),
+      partitions_.end());
+}
+
+bool FaultTransport::link_cut(Address from, Address to) const {
+  for (const auto& p : partitions_) {
+    bool fa = p.a.count(from) > 0, fb = p.b.count(from) > 0;
+    bool ta = p.a.count(to) > 0, tb = p.b.count(to) > 0;
+    if ((fa && tb) || (fb && ta)) return true;
+  }
+  return false;
+}
+
+const FaultSpec& FaultTransport::spec_for(Address from, Address to) const {
+  auto it = links_.find(link_key(from, to));
+  return it != links_.end() ? it->second : default_;
+}
+
+void FaultTransport::send(Address from, Address to, Bytes payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+
+  if (link_cut(from, to)) {
+    ++counters_.messages_dropped;
+    ++counters_.partition_drops;
+    counters_.bytes_dropped += payload.size();
+    return;
+  }
+
+  const FaultSpec& spec = spec_for(from, to);
+  if (spec.trivial()) {
+    // Transparent fast path: same call, same ordering as the bare
+    // transport, so a fault-free decorator is byte-identical to none.
+    inner_.send(from, to, std::move(payload));
+    return;
+  }
+
+  if (spec.drop > 0 && rng_.next_double() < spec.drop) {
+    ++counters_.messages_dropped;
+    counters_.bytes_dropped += payload.size();
+    return;
+  }
+  if (spec.duplicate > 0 && rng_.next_double() < spec.duplicate) {
+    ++counters_.duplicates;
+    forward(from, to, payload, spec);  // copy; delay re-sampled per copy
+  }
+  forward(from, to, std::move(payload), spec);
+}
+
+void FaultTransport::forward(Address from, Address to, Bytes payload,
+                             const FaultSpec& spec) {
+  double delay = spec.delay_s;
+  if (spec.jitter_s > 0) delay += rng_.next_double() * spec.jitter_s;
+  if (spec.reorder > 0 && rng_.next_double() < spec.reorder) {
+    delay += spec.reorder_delay_s;
+    ++counters_.reordered;
+  }
+  if (delay <= 0) {
+    inner_.send(from, to, std::move(payload));
+    return;
+  }
+  ++counters_.delayed;
+  ++in_flight_;
+  clock().schedule_after(
+      delay, [this, from, to, payload = std::move(payload)]() mutable {
+        --in_flight_;
+        inner_.send(from, to, std::move(payload));
+      });
+}
+
+}  // namespace roar::net

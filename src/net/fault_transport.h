@@ -1,0 +1,138 @@
+// Deterministic fault injection over any Transport.
+//
+// FaultTransport decorates a Transport and perturbs every send() with a
+// seeded per-link fault model: drop probability, extra latency (fixed +
+// uniform jitter), duplication, reordering (an extra delay applied to a
+// random subset, letting later messages overtake), and scheduled
+// bidirectional partitions between address sets. All randomness comes
+// from one Rng and all delays run on the inner transport's Clock, so a
+// run over the virtual-time InProcNetwork is bit-for-bit reproducible
+// from the seed — the substrate of the chaos scenario engine
+// (cluster/scenario.h).
+//
+// With no faults configured the decorator forwards synchronously and is
+// byte- and ordering-transparent: composing it over a transport changes
+// nothing, which tests/fault_transport_test.cc checks against the bare
+// network.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace roar::net {
+
+// Per-link (or default) fault model. Probabilities in [0, 1]; delays in
+// seconds of the inner clock's timebase.
+struct FaultSpec {
+  double drop = 0.0;            // per-message loss probability
+  double duplicate = 0.0;       // probability of delivering one extra copy
+  double delay_s = 0.0;         // fixed extra one-way delay
+  double jitter_s = 0.0;        // + uniform [0, jitter_s) per message
+  double reorder = 0.0;         // probability of an extra reorder delay
+  double reorder_delay_s = 0.0; // the overtaking window for reordered msgs
+
+  bool trivial() const {
+    return drop == 0.0 && duplicate == 0.0 && delay_s == 0.0 &&
+           jitter_s == 0.0 && reorder == 0.0;
+  }
+};
+
+class FaultTransport : public Transport {
+ public:
+  FaultTransport(Transport& inner, uint64_t seed)
+      : inner_(inner), rng_(seed) {}
+
+  // --- Transport interface (cluster code sees only this) ----------------
+  void bind(Address addr, Handler handler) override {
+    inner_.bind(addr, std::move(handler));
+  }
+  void unbind(Address addr) override { inner_.unbind(addr); }
+  void send(Address from, Address to, Bytes payload) override;
+  Clock& clock() override { return inner_.clock(); }
+  // Nominal latency includes the default injected delay so the front-end's
+  // delay estimators stay honest about the perturbed network.
+  double latency() const override {
+    return inner_.latency() + default_.delay_s + default_.jitter_s / 2;
+  }
+  // sent counts every send() attempt at this layer; dropped adds the
+  // injected losses to whatever the inner transport dropped downstream.
+  uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t messages_dropped() const override {
+    return counters_.messages_dropped + inner_.messages_dropped();
+  }
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t bytes_dropped() const override {
+    return counters_.bytes_dropped + inner_.bytes_dropped();
+  }
+  Transport* inner() override { return &inner_; }
+
+  // --- fault configuration ----------------------------------------------
+  void set_default_faults(const FaultSpec& spec) { default_ = spec; }
+  const FaultSpec& default_faults() const { return default_; }
+  // Directional from→to override; takes precedence over the default.
+  void set_link_faults(Address from, Address to, const FaultSpec& spec) {
+    links_[link_key(from, to)] = spec;
+  }
+  void clear_link_faults(Address from, Address to) {
+    links_.erase(link_key(from, to));
+  }
+
+  // --- partitions --------------------------------------------------------
+  // Cuts every link crossing between `side_a` and `side_b` in both
+  // directions (addresses in neither side are unaffected). Messages are
+  // checked at send() time: traffic already in flight when the partition
+  // starts still lands, like packets beyond the broken switch. Returns a
+  // handle for heal().
+  uint64_t partition(std::vector<Address> side_a, std::vector<Address> side_b);
+  void heal(uint64_t partition_id);
+  void heal_all() { partitions_.clear(); }
+  size_t active_partitions() const { return partitions_.size(); }
+  bool link_cut(Address from, Address to) const;
+
+  // --- fault accounting ---------------------------------------------------
+  // Injected-fault counters, disjoint from the inner transport's own drop
+  // accounting. The conservation identity the invariant checker enforces:
+  //   inner.messages_sent() == messages_sent() - counters().messages_dropped
+  //                            + counters().duplicates - in_flight()
+  struct Counters {
+    uint64_t messages_dropped = 0;  // loss faults + partition cuts
+    uint64_t bytes_dropped = 0;
+    uint64_t partition_drops = 0;   // subset of messages_dropped
+    uint64_t duplicates = 0;
+    uint64_t delayed = 0;
+    uint64_t reordered = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  // Messages accepted at this layer but still sitting in a delay timer.
+  uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  static uint64_t link_key(Address from, Address to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+  const FaultSpec& spec_for(Address from, Address to) const;
+  void forward(Address from, Address to, Bytes payload, const FaultSpec& spec);
+
+  struct Partition {
+    uint64_t id;
+    std::unordered_set<Address> a;
+    std::unordered_set<Address> b;
+  };
+
+  Transport& inner_;
+  Rng rng_;
+  FaultSpec default_;
+  std::unordered_map<uint64_t, FaultSpec> links_;
+  std::vector<Partition> partitions_;
+  uint64_t next_partition_id_ = 1;
+  Counters counters_;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t in_flight_ = 0;
+};
+
+}  // namespace roar::net

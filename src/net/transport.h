@@ -9,6 +9,9 @@
 //    deterministic, used for the Chapter 6/7 emulation experiments.
 //  * TcpTransport (net/tcp_transport.h) — real loopback TCP sockets on the
 //    epoll reactor with wall-clock timers; the deployable form (§4.8).
+//  * FaultTransport (net/fault_transport.h) — a seeded decorator over any
+//    Transport that injects per-link loss, latency, duplication,
+//    reordering and partitions; the chaos-testing substrate.
 //
 // The cluster code is identical over both: same bytes, same handlers, same
 // timer logic. That substitution is what the InProc-vs-TCP parity test
@@ -76,6 +79,11 @@ class Transport {
   virtual uint64_t messages_dropped() const = 0;
   virtual uint64_t bytes_sent() const = 0;
   virtual uint64_t bytes_dropped() const = 0;
+
+  // Decorator hook: the transport this one wraps, or nullptr for a
+  // terminal implementation. Lets harnesses and invariant checkers reach
+  // the base transport's counters through any fault-injection layers.
+  virtual Transport* inner() { return nullptr; }
 };
 
 }  // namespace roar::net

@@ -1,0 +1,142 @@
+// Chaos soak: seeded scenario-engine runs mixing crashes, revivals,
+// partitions, reconfigurations, joins and load bursts, with the
+// InvariantChecker auditing the paper's guarantees after every event.
+// Registered under the `chaos` ctest label (see CMakeLists.txt) with a
+// timeout, so CI can select it and a wedged scenario cannot hang tier-1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/scenario.h"
+
+namespace roar::cluster {
+namespace {
+
+ClusterConfig chaos_config(uint64_t seed, uint32_t nodes, uint32_t p) {
+  ClusterConfig cfg;
+  cfg.classes = {{"chaos", nodes, 1.0}};
+  cfg.dataset_size = 200'000;
+  cfg.p = p;
+  cfg.seed = seed;
+  cfg.enable_faults = true;
+  cfg.frontend.timeout_factor = 2.0;
+  cfg.frontend.timeout_margin_s = 0.1;
+  return cfg;
+}
+
+// One randomized scenario per seed: shape, event mix and timings all
+// derive from the seed, so a run is replayable bit-for-bit.
+ScenarioResult run_chaos(uint64_t seed) {
+  Rng rng(seed * 7919 + 1);
+  uint32_t nodes = 10 + static_cast<uint32_t>(rng.next_below(6));
+  uint32_t p = 3 + static_cast<uint32_t>(rng.next_below(3));
+  EmulatedCluster cluster(chaos_config(seed, nodes, p));
+  Scenario s(cluster, seed);
+  s.checker().set_object_samples(32);
+
+  s.burst(0.5, 15.0, 15);
+  std::vector<NodeId> crashed;
+  double t = 5.0;
+  for (int ev = 0; ev < 7; ++ev) {
+    switch (rng.next_below(6)) {
+      case 0: {  // crash a live-so-far node, at most a third of the ring
+        if (crashed.size() < nodes / 3) {
+          NodeId victim = static_cast<NodeId>(rng.next_below(nodes));
+          if (std::find(crashed.begin(), crashed.end(), victim) ==
+              crashed.end()) {
+            s.crash(t, victim);
+            crashed.push_back(victim);
+          }
+        }
+        break;
+      }
+      case 1:
+        if (!crashed.empty()) {
+          s.revive(t, crashed.back());
+          crashed.pop_back();
+        }
+        break;
+      case 2: {  // cut a 1-2 node island off for a few seconds
+        std::vector<NodeId> island{
+            static_cast<NodeId>(rng.next_below(nodes))};
+        if (rng.next_below(2) == 0) {
+          island.push_back(static_cast<NodeId>(rng.next_below(nodes)));
+        }
+        s.partition(t, 3.0 + rng.next_double() * 3.0, island);
+        break;
+      }
+      case 3:
+        s.reconfigure(t, 2 + static_cast<uint32_t>(rng.next_below(6)));
+        break;
+      case 4:
+        s.join(t, 0.5 + rng.next_double());
+        break;
+      case 5:
+        s.burst(t, 10.0, 10);
+        break;
+    }
+    t += 4.0 + rng.next_double() * 4.0;
+  }
+  s.remove_dead(t);
+  s.burst(t + 1.0, 10.0, 10);
+  return s.run(t + 40.0);
+}
+
+TEST(ChaosSoakTest, FiftySeedsSatisfyInvariantsAfterEveryEvent) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ScenarioResult res = run_chaos(seed);
+    for (const auto& v : res.violations) {
+      ADD_FAILURE() << "seed " << seed << " t=" << v.at << " after '"
+                    << v.context << "': " << v.detail;
+    }
+    EXPECT_GT(res.events_applied, 0u);
+    EXPECT_GT(res.queries_submitted, 0u);
+    // Every burst query must be answered (fully or partially) by the end
+    // of the drain window — the cluster never wedges a query forever.
+    EXPECT_EQ(res.queries_completed + res.queries_partial,
+              res.queries_submitted);
+  }
+}
+
+TEST(ChaosSoakTest, SameSeedReproducesTraceAndMessageCounts) {
+  ScenarioResult a = run_chaos(7);
+  ScenarioResult b = run_chaos(7);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events_applied, b.events_applied);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.queries_submitted, b.queries_submitted);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.queries_partial, b.queries_partial);
+  EXPECT_DOUBLE_EQ(a.min_harvest, b.min_harvest);
+}
+
+TEST(ChaosSoakTest, PartitionDuringReconfigurationRecoversAfterHeal) {
+  // Order a p decrease, then cut two nodes off while every node is
+  // fetching its extended arc. The fetch bandwidth is tuned so downloads
+  // outlast the cut: completions flow after the heal, safe_p flips, and
+  // the invariants hold at every step in between.
+  ClusterConfig cfg = chaos_config(99, 12, 6);
+  cfg.node_proto.fetch_bandwidth = 2e6;  // ~12s per fetch at this dataset
+  EmulatedCluster cluster(cfg);
+  Scenario s(cluster, 99);
+  s.burst(0.5, 20.0, 10)
+      .reconfigure(2.0, 3)
+      .partition(2.5, 5.0, {1, 2})
+      .burst(4.0, 20.0, 10)
+      .burst(20.0, 20.0, 10);
+  ScenarioResult res = s.run(60.0);
+  for (const auto& v : res.violations) {
+    ADD_FAILURE() << "t=" << v.at << " after '" << v.context
+                  << "': " << v.detail;
+  }
+  EXPECT_EQ(cluster.safe_p(), 3u)
+      << "fetch completions after the heal must finish the reconfiguration";
+  EXPECT_EQ(res.queries_completed + res.queries_partial,
+            res.queries_submitted);
+  EXPECT_GT(res.messages_dropped, 0u) << "the cut must black-hole traffic";
+}
+
+}  // namespace
+}  // namespace roar::cluster

@@ -1,0 +1,161 @@
+// FaultTransport contract: a zero-config decorator is byte-identical to
+// the bare transport (the composition guarantee the chaos layer rests
+// on); configured faults are seeded-deterministic, accounted exactly, and
+// partitions cut both directions until healed.
+#include <gtest/gtest.h>
+
+#include "cluster/emulated_cluster.h"
+#include "net/event_loop.h"
+#include "net/fault_transport.h"
+#include "net/inproc.h"
+
+namespace roar::net {
+namespace {
+
+struct Rig {
+  EventLoop loop;
+  InProcNetwork net{loop, 100e-6, 1};
+  FaultTransport ft{net, 42};
+  std::vector<uint8_t> received;  // first payload byte per delivery
+
+  explicit Rig(const FaultSpec& spec) {
+    ft.set_default_faults(spec);
+    ft.bind(2, [this](Address, Bytes b) {
+      received.push_back(b.empty() ? 0 : b[0]);
+    });
+  }
+
+  // run_all() parks the virtual clock at its safety deadline; tests that
+  // send in several phases drain with a bounded window instead.
+  void drain() { loop.run_until(loop.now() + 1.0); }
+};
+
+TEST(FaultTransportTest, ZeroConfigIsTransparentOverInProc) {
+  // The same seeded cluster workload over the bare InProcNetwork and over
+  // a fault-free FaultTransport must be indistinguishable: same outcomes,
+  // same message counts, no cluster/ code involved in the difference.
+  cluster::ClusterConfig plain;
+  plain.classes = {{"uniform", 8, 1.0}};
+  plain.dataset_size = 200'000;
+  plain.p = 4;
+  plain.seed = 9;
+  cluster::ClusterConfig decorated = plain;
+  decorated.enable_faults = true;
+
+  cluster::EmulatedCluster a(plain), b(decorated);
+  ASSERT_EQ(b.faults() != nullptr, true);
+  EXPECT_EQ(a.run_queries(20.0, 30), b.run_queries(20.0, 30));
+  EXPECT_EQ(a.delays().count(), b.delays().count());
+  EXPECT_DOUBLE_EQ(a.delays().mean(), b.delays().mean());
+  EXPECT_EQ(a.network().messages_sent(), b.network().messages_sent());
+  EXPECT_EQ(a.network().bytes_sent(), b.network().bytes_sent());
+  EXPECT_EQ(b.transport().messages_sent(), b.network().messages_sent());
+  EXPECT_EQ(b.faults()->counters().messages_dropped, 0u);
+}
+
+TEST(FaultTransportTest, DropsAreSeededDeterministicAndAccounted) {
+  FaultSpec spec;
+  spec.drop = 0.5;
+  size_t first_delivered = 0;
+  uint64_t first_dropped = 0;
+  for (int run = 0; run < 2; ++run) {
+    Rig rig(spec);
+    for (int i = 0; i < 1000; ++i) rig.ft.send(1, 2, {1, 2, 3});
+    rig.drain();
+    const auto& c = rig.ft.counters();
+    EXPECT_EQ(rig.ft.messages_sent(), 1000u);
+    EXPECT_GT(c.messages_dropped, 400u);
+    EXPECT_LT(c.messages_dropped, 600u);
+    EXPECT_EQ(c.bytes_dropped, 3 * c.messages_dropped);
+    EXPECT_EQ(rig.received.size(), 1000u - c.messages_dropped);
+    // Conservation through the layer.
+    EXPECT_EQ(rig.net.messages_sent(),
+              rig.ft.messages_sent() - c.messages_dropped);
+    EXPECT_EQ(rig.ft.in_flight(), 0u);
+    if (run == 0) {
+      first_delivered = rig.received.size();
+      first_dropped = c.messages_dropped;
+    } else {
+      EXPECT_EQ(rig.received.size(), first_delivered);
+      EXPECT_EQ(c.messages_dropped, first_dropped);
+    }
+  }
+}
+
+TEST(FaultTransportTest, DuplicatesDelayAndConservation) {
+  FaultSpec spec;
+  spec.duplicate = 0.3;
+  spec.delay_s = 0.01;
+  spec.jitter_s = 0.005;
+  Rig rig(spec);
+  for (int i = 0; i < 500; ++i) rig.ft.send(1, 2, {7});
+  EXPECT_GT(rig.ft.in_flight(), 0u) << "delayed copies pending";
+  rig.drain();
+  const auto& c = rig.ft.counters();
+  EXPECT_GT(c.duplicates, 0u);
+  EXPECT_EQ(rig.received.size(), 500u + c.duplicates);
+  EXPECT_EQ(rig.net.messages_sent(), rig.ft.messages_sent() + c.duplicates);
+  EXPECT_EQ(rig.ft.in_flight(), 0u);
+  EXPECT_GE(rig.loop.now(), 0.01) << "delivery waited out the extra delay";
+}
+
+TEST(FaultTransportTest, ReorderingLetsLaterMessagesOvertake) {
+  FaultSpec spec;
+  spec.delay_s = 0.001;
+  spec.reorder = 0.4;
+  spec.reorder_delay_s = 0.02;
+  Rig rig(spec);
+  for (uint8_t i = 0; i < 100; ++i) rig.ft.send(1, 2, {i});
+  rig.drain();
+  ASSERT_EQ(rig.received.size(), 100u);
+  EXPECT_GT(rig.ft.counters().reordered, 0u);
+  bool inverted = false;
+  for (size_t i = 1; i < rig.received.size(); ++i) {
+    inverted |= rig.received[i] < rig.received[i - 1];
+  }
+  EXPECT_TRUE(inverted) << "some message must arrive out of send order";
+}
+
+TEST(FaultTransportTest, PartitionCutsBothDirectionsUntilHealed) {
+  Rig rig(FaultSpec{});
+  int to_one = 0;
+  rig.ft.bind(1, [&](Address, Bytes) { ++to_one; });
+  uint64_t pid = rig.ft.partition({1}, {2, 3});
+  EXPECT_TRUE(rig.ft.link_cut(1, 2));
+  EXPECT_TRUE(rig.ft.link_cut(2, 1));
+  EXPECT_FALSE(rig.ft.link_cut(2, 3)) << "same side stays connected";
+  EXPECT_FALSE(rig.ft.link_cut(1, 9)) << "outsiders unaffected";
+
+  rig.ft.send(1, 2, {1});
+  rig.ft.send(2, 1, {2});
+  rig.drain();
+  EXPECT_TRUE(rig.received.empty());
+  EXPECT_EQ(to_one, 0);
+  EXPECT_EQ(rig.ft.counters().partition_drops, 2u);
+
+  rig.ft.heal(pid);
+  EXPECT_EQ(rig.ft.active_partitions(), 0u);
+  rig.ft.send(1, 2, {3});
+  rig.drain();
+  EXPECT_EQ(rig.received.size(), 1u);
+}
+
+TEST(FaultTransportTest, LinkOverridesBeatTheDefault) {
+  FaultSpec lossless;  // default: clean
+  Rig rig(lossless);
+  FaultSpec dead_link;
+  dead_link.drop = 1.0;
+  rig.ft.set_link_faults(1, 2, dead_link);
+  rig.ft.send(1, 2, {1});
+  rig.ft.send(3, 2, {2});  // other sources unaffected
+  rig.drain();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.received[0], 2);
+  rig.ft.clear_link_faults(1, 2);
+  rig.ft.send(1, 2, {4});
+  rig.drain();
+  EXPECT_EQ(rig.received.size(), 2u);
+}
+
+}  // namespace
+}  // namespace roar::net

@@ -4,6 +4,7 @@
 // correctness across parameterizations.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <tuple>
 
 #include "core/query_planner.h"
@@ -70,6 +71,78 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(8u, 16u, 43u, 128u),
                        ::testing::Values(2u, 4u, 8u),
                        ::testing::Values(1u, 2u, 3u)));
+
+// ------------------------ randomized coverage sweep (seeded, with deaths)
+
+// Fully randomized (n, p, pq >= p, liveness, start, objects) sweep of the
+// §4.2/§4.4 guarantees: the integer ownership predicate object_matched_by
+// yields exactly one owner per object, plans — including failure-split
+// plans — realise those windows without changing them, and whichever node
+// a window lands on stores the object's replication arc.
+TEST(RandomizedCoverageProperty, ExactOwnershipHoldsUnderRandomFailures) {
+  QueryPlanner planner;
+  uint64_t split_plans = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 7919);
+    uint32_t n = 5 + static_cast<uint32_t>(rng.next_below(60));
+    uint32_t p = 2 + static_cast<uint32_t>(rng.next_below(10));
+    uint32_t pq = p + static_cast<uint32_t>(rng.next_below(2 * p + 1));
+    Ring ring = random_ring(n, seed);
+    // Crash a random minority so §4.4 split plans are exercised.
+    uint32_t kills = static_cast<uint32_t>(rng.next_below(n / 4 + 1));
+    for (uint32_t k = 0; k < kills; ++k) {
+      ring.set_alive(ring.nodes()[rng.next_below(n)].id, false);
+    }
+    RingId start = rng.next_ring_id();
+    auto plan = planner.plan(ring, start, pq, p, rng);
+    for (const auto& part : plan.parts) split_plans += part.failure_split;
+
+    for (int trial = 0; trial < 40; ++trial) {
+      RingId obj = rng.next_ring_id();
+      // (a) replication_arc consistency: arc of length 1/p anchored at
+      // the object.
+      Arc repl = replication_arc(obj, p);
+      ASSERT_EQ(repl.begin(), obj);
+      ASSERT_EQ(repl.length(), circle_fraction(p));
+      ASSERT_TRUE(repl.contains(obj));
+
+      // (b) exactly one owning sub-query index.
+      int owners = 0;
+      for (uint32_t i = 0; i < pq; ++i) {
+        owners += core::object_matched_by(obj, start, i, pq);
+      }
+      ASSERT_EQ(owners, 1) << "n=" << n << " p=" << p << " pq=" << pq;
+
+      // (c) the plan's parts covering the object belong to exactly one
+      // responsibility window (splits share their original's window), and
+      // some assigned part stores the object's arc.
+      std::set<uint64_t> windows;
+      bool stored = false, abandoned = false;
+      for (const auto& part : plan.parts) {
+        uint64_t win =
+            part.window_begin.distance_to(part.responsibility_end);
+        uint64_t d = part.window_begin.distance_to(obj);
+        if (!(d > 0 && d <= win)) continue;
+        windows.insert(part.window_begin.raw());
+        if (part.node == kInvalidNode) {
+          abandoned = true;
+        } else {
+          ASSERT_TRUE(ring.node(part.node).alive);
+          stored |= ring.range_of(part.node).intersects(repl);
+        }
+      }
+      ASSERT_EQ(windows.size(), 1u)
+          << "n=" << n << " p=" << p << " pq=" << pq;
+      if (!abandoned) {
+        EXPECT_TRUE(stored)
+            << "n=" << n << " p=" << p << " pq=" << pq << " kills=" << kills;
+      }
+    }
+  }
+  EXPECT_GT(split_plans, 0u)
+      << "the sweep must exercise §4.4 failure-split plans";
+}
 
 // ------------------------------------------------------- scheduler optimum
 

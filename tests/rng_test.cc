@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 namespace roar {
 namespace {
@@ -88,6 +89,24 @@ TEST(RngTest, ForkIndependence) {
   Rng b = a.fork();
   // Forked stream should not replay the parent stream.
   EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, SubseedStreamsAreStableAndIndependent) {
+  // Same (base, stream) must always derive the same child seed — this is
+  // what makes harness runs replayable from one config seed.
+  EXPECT_EQ(subseed(11, SeedStream::kFrontend),
+            subseed(11, SeedStream::kFrontend));
+  // Distinct streams and distinct bases must land far apart.
+  std::set<uint64_t> derived;
+  for (uint64_t base : {1ull, 2ull, 3ull, 1000ull}) {
+    for (auto stream :
+         {SeedStream::kNetwork, SeedStream::kMembership,
+          SeedStream::kFrontend, SeedStream::kWorkload, SeedStream::kFaults,
+          SeedStream::kScenario, SeedStream::kScenarioWorkload}) {
+      derived.insert(subseed(base, stream));
+    }
+  }
+  EXPECT_EQ(derived.size(), 28u) << "collision across bases/streams";
 }
 
 TEST(RngTest, ShufflePreservesElements) {
