@@ -1,0 +1,151 @@
+// Common CLI + machine-readable output for the bench harnesses.
+//
+// Every bench keeps its human-readable gnuplot output (bench_util.h) and
+// additionally accepts:
+//
+//   --json <path>     write a BENCH_<name>.json record on exit
+//   --seed <n>        override the bench's default seed
+//   --duration <s>    override the bench's default per-run time budget
+//
+// The JSON record is the machine-readable contract the CI perf gate
+// consumes (see BENCHMARKS.md for the schema and bench/check_perf.py for
+// the consumer):
+//
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "seed": <n>,
+//     "duration_s": <s>,
+//     "metrics": { "<key>": <number>, ... }
+//   }
+//
+// Metrics are flat numeric key/values by design: the gate compares them
+// against committed baselines with a relative tolerance, nothing more.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace roar::bench {
+
+struct RunnerOptions {
+  std::string bench_name;
+  std::string json_path;  // empty = no JSON record
+  uint64_t seed = 0;
+  bool seed_set = false;
+  double duration_s = 0.0;
+  bool duration_set = false;
+
+  uint64_t seed_or(uint64_t fallback) const {
+    return seed_set ? seed : fallback;
+  }
+  double duration_or(double fallback) const {
+    return duration_set ? duration_s : fallback;
+  }
+
+  static RunnerOptions parse(const std::string& bench_name, int argc,
+                             char** argv) {
+    RunnerOptions opt;
+    opt.bench_name = bench_name;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next_value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: %s requires a value\n",
+                       bench_name.c_str(), flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--json") {
+        opt.json_path = next_value("--json");
+      } else if (arg == "--seed") {
+        opt.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        opt.seed_set = true;
+      } else if (arg == "--duration") {
+        opt.duration_s = std::strtod(next_value("--duration"), nullptr);
+        opt.duration_set = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::fprintf(stderr,
+                     "usage: %s [--json out.json] [--seed n] "
+                     "[--duration seconds]\n",
+                     bench_name.c_str());
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                     bench_name.c_str(), arg.c_str());
+        std::exit(2);
+      }
+    }
+    return opt;
+  }
+};
+
+// Collects metrics and writes the JSON record. Insertion order is
+// preserved so the file diffs cleanly when a bench adds a metric.
+class BenchReport {
+ public:
+  BenchReport(const RunnerOptions& opt, uint64_t seed_used,
+              double duration_used_s)
+      : opt_(opt), seed_(seed_used), duration_s_(duration_used_s) {}
+
+  void metric(const std::string& key, double value) {
+    for (auto& [k, v] : metrics_) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, value);
+  }
+
+  // p50/p99/mean of a latency sample set, in milliseconds, under
+  // <prefix>_p50_ms etc.
+  void latency_ms(const std::string& prefix, const SampleSet& samples) {
+    metric(prefix + "_mean_ms", samples.mean() * 1e3);
+    metric(prefix + "_p50_ms", samples.median() * 1e3);
+    metric(prefix + "_p99_ms", samples.percentile(0.99) * 1e3);
+  }
+
+  // Writes the record to --json (no-op without the flag). Returns false
+  // only on I/O failure.
+  bool write() const {
+    if (opt_.json_path.empty()) return true;
+    std::FILE* f = std::fopen(opt_.json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "%s: cannot write %s\n", opt_.bench_name.c_str(),
+                   opt_.json_path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", opt_.bench_name.c_str());
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed_));
+    std::fprintf(f, "  \"duration_s\": %.6g,\n", duration_s_);
+    std::fprintf(f, "  \"metrics\": {\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.10g%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", opt_.json_path.c_str());
+    return true;
+  }
+
+ private:
+  RunnerOptions opt_;
+  uint64_t seed_;
+  double duration_s_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace roar::bench

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Refreshes the committed perf-gate baselines from a local run.
+#
+# Run after a deliberate performance change, from the repo root, with a
+# release-mode build in ./build:
+#     cmake -B build -S . -G Ninja && cmake --build build -j
+#     bench/update_baselines.sh
+# then commit the bench/baselines/*.json diff together with the change
+# that justified it.
+#
+# Each baseline keeps a "gate" map naming the metrics the CI perf gate
+# enforces (see bench/check_perf.py). This script preserves the existing
+# gate map when refreshing numbers, so editing which metrics gate is a
+# deliberate, manual act.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINES=bench/baselines
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+declare -A RUNS=(
+  [tcp_loopback]="$BUILD_DIR/bench/bench_tcp_loopback --duration 2.0 --seed 3"
+  [fig5_5_threads]="$BUILD_DIR/bench/bench_fig5_5_threads --seed 7"
+)
+
+mkdir -p "$BASELINES"
+for name in "${!RUNS[@]}"; do
+  out="$TMP/BENCH_${name}.json"
+  echo ">> ${RUNS[$name]} --json $out"
+  ${RUNS[$name]} --json "$out"
+  dest="$BASELINES/BENCH_${name}.json"
+  if [ -f "$dest" ]; then
+    # Carry the gate map over from the committed baseline.
+    python3 - "$out" "$dest" <<'EOF'
+import json, sys
+new_path, old_path = sys.argv[1], sys.argv[2]
+new = json.load(open(new_path))
+old = json.load(open(old_path))
+new["gate"] = old.get("gate", {})
+json.dump(new, open(new_path, "w"), indent=2)
+open(new_path, "a").write("\n")
+EOF
+  fi
+  mv "$out" "$dest"
+  echo "   updated $dest"
+done
+
+echo
+echo "Baselines refreshed. Review and commit:"
+git --no-pager diff --stat -- "$BASELINES" || true

@@ -1,0 +1,82 @@
+#include "cluster/match_engine.h"
+
+#include <chrono>
+
+#include "common/rng.h"
+
+namespace roar::cluster {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+MatchEngine::MatchEngine(const MatchEngineConfig& config)
+    : key_(pps::SecretKey::from_seed(config.encoder_seed)),
+      encoder_(key_, pps::MetadataEncoderParams::keyword_only()),
+      store_(4096) {
+  pps::CorpusParams cp;
+  cp.content_keywords_per_file = 2;
+  cp.max_path_depth = 3;
+  pps::CorpusGenerator gen(cp, config.corpus_seed);
+  auto files = gen.generate(config.corpus_items);
+  Rng rng(config.corpus_seed);
+  store_.load(pps::encrypt_corpus(encoder_, files, rng));
+
+  std::vector<pps::Predicate> preds;
+  if (config.query_word_rank > 0) {
+    preds.push_back(pps::make_keyword_predicate(
+        encoder_, pps::CorpusGenerator::word(config.query_word_rank)));
+  } else {
+    preds.push_back(pps::make_keyword_predicate(encoder_, "zz_nomatch_0"));
+    preds.push_back(pps::make_keyword_predicate(encoder_, "zz_nomatch_1"));
+  }
+  query_.emplace(pps::Combiner::kAnd, std::move(preds));
+}
+
+MatchEngine::Result MatchEngine::run_slice(
+    const pps::MetadataStore::RangeSlice& slice,
+    pps::MultiPredicateQuery::Evaluation& eval) const {
+  Result res;
+  const auto& items = store_.items();
+  pps::MatchCost cost;
+  auto t0 = std::chrono::steady_clock::now();
+  for (auto [first, last] : slice.extents) {
+    for (size_t i = first; i < last; ++i) {
+      if (eval.match(items[i], &cost)) ++res.matches;
+    }
+  }
+  res.cpu_s = seconds_since(t0);
+  res.scanned = slice.count;
+  return res;
+}
+
+MatchEngine::Result MatchEngine::execute(const Window& window) const {
+  auto eval = query_->evaluate();
+  return run_slice(window.whole ? store_.slice_all() : store_.slice(window.arc),
+                   eval);
+}
+
+std::vector<MatchEngine::Result> MatchEngine::execute_batch(
+    const std::vector<Window>& windows) const {
+  std::vector<Result> out;
+  out.reserve(windows.size());
+  auto eval = query_->evaluate();  // shared ordering state: one sampling
+                                   // phase amortized over the batch
+  for (const auto& w : windows) {
+    out.push_back(
+        run_slice(w.whole ? store_.slice_all() : store_.slice(w.arc), eval));
+  }
+  return out;
+}
+
+uint64_t MatchEngine::full_store_matches() const {
+  Window whole;
+  whole.whole = true;
+  return execute(whole).matches;
+}
+
+}  // namespace roar::cluster

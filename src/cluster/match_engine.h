@@ -1,0 +1,82 @@
+// Real query execution for cluster nodes.
+//
+// The emulated cluster answers sub-queries with the Definition-8 analytic
+// cost model (count / rate). A MatchEngine replaces that model with the
+// genuine article: an encrypted pps corpus in a MetadataStore plus a
+// canned multi-predicate query, so a node serving a sub-query actually
+// scans the metadata whose ring ids fall in the sub-query's
+// responsibility window and reports the true match count and measured
+// CPU time. Combined with a core::WorkerPool this is the node-side
+// parallel execution engine: the scan runs off the event-loop thread.
+//
+// Thread safety: the store, encoder, and query are immutable after
+// construction; execute() builds per-call (or per-batch) evaluation
+// state, so any number of workers may call it concurrently.
+//
+// Because every responsibility window of a completed query partitions the
+// ring exactly (§4.2), the per-part match counts of one query always sum
+// to the full-store match count — which is what makes results identical
+// across worker-pool sizes and what the determinism test asserts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ring_id.h"
+#include "pps/corpus.h"
+#include "pps/predicates.h"
+#include "pps/store.h"
+
+namespace roar::cluster {
+
+struct MatchEngineConfig {
+  size_t corpus_items = 20'000;
+  uint64_t corpus_seed = 7;
+  uint64_t encoder_seed = 2026;
+  // Zipf rank of the queried keyword: low ranks are frequent words (many
+  // matches). 0 builds the §5.7 zero-match workload instead.
+  uint64_t query_word_rank = 8;
+};
+
+class MatchEngine {
+ public:
+  explicit MatchEngine(const MatchEngineConfig& config);
+
+  struct Window {
+    Arc arc;            // ids to match, (window_begin, window_end]
+    bool whole = false; // whole-store sub-query (single-part plans)
+  };
+
+  struct Result {
+    uint64_t scanned = 0;
+    uint64_t matches = 0;
+    double cpu_s = 0.0;  // measured wall time of the scan
+  };
+
+  // Scans one window. Thread-safe.
+  Result execute(const Window& window) const;
+
+  // Scans a batch sharing one evaluation (predicate-ordering state) —
+  // the amortization a node gets from draining several pending
+  // sub-queries per wakeup. Results align with `windows` by index.
+  std::vector<Result> execute_batch(const std::vector<Window>& windows) const;
+
+  size_t store_size() const { return store_.size(); }
+
+  // Match count over the whole store — the invariant total that every
+  // completed query's parts must sum to.
+  uint64_t full_store_matches() const;
+
+ private:
+  Result run_slice(const pps::MetadataStore::RangeSlice& slice,
+                   pps::MultiPredicateQuery::Evaluation& eval) const;
+
+  pps::SecretKey key_;
+  pps::MetadataEncoder encoder_;
+  pps::MetadataStore store_;
+  std::optional<pps::MultiPredicateQuery> query_;
+};
+
+}  // namespace roar::cluster

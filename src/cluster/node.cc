@@ -1,6 +1,8 @@
 #include "cluster/node.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -21,6 +23,20 @@ void NodeRuntime::start() {
 void NodeRuntime::kill() {
   alive_ = false;
   net_.unbind(address());
+  // Batched-but-unexecuted work vanishes with the crash; in-flight pool
+  // tasks finish on their lanes but their completions see alive_ == false
+  // and drop the reply.
+  pending_subs_.clear();
+}
+
+void NodeRuntime::set_executor(NodeExecutor exec) {
+  exec_ = std::move(exec);
+  if (exec_.batch_max == 0) exec_.batch_max = 1;
+}
+
+void NodeRuntime::set_match_engine(
+    std::shared_ptr<const MatchEngine> engine) {
+  engine_ = std::move(engine);
 }
 
 Arc NodeRuntime::stored_arc() const {
@@ -59,41 +75,158 @@ void NodeRuntime::handle(net::Address from, net::Bytes payload) {
   }
 }
 
-void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
+NodeRuntime::ResolvedSub NodeRuntime::resolve(net::Address from,
+                                              const SubQueryMsg& m) const {
   // Objects this node must match: the intersection of the sub-query's
   // responsibility window with what the node actually stores. For a normal
   // sub-query the window lies entirely in the stored arc; for a §4.4
   // failure-split half it is roughly half the window — each neighbour
   // matches only the objects it holds, which is what keeps split work (and
   // the front-end's share-based predictions) consistent.
+  ResolvedSub sub;
+  sub.from = from;
+  sub.reply.query_id = m.query_id;
+  sub.reply.part_id = m.part_id;
+
   uint64_t window = m.window_begin.distance_to(m.window_end);
   double window_frac;
   if (window == 0 && m.pq <= 1) {
     window_frac = 1.0;  // whole space
+    sub.window.whole = true;
   } else {
-    Arc window_arc(m.window_begin.advanced_raw(1), window);
+    sub.window.arc = Arc(m.window_begin.advanced_raw(1), window);
     Arc stored = stored_arc();
-    window_frac = static_cast<double>(
-                      window_arc.intersection_length(stored)) /
-                  18446744073709551616.0;
+    window_frac =
+        static_cast<double>(sub.window.arc.intersection_length(stored)) /
+        18446744073709551616.0;
   }
   double count = window_frac * static_cast<double>(dataset_size_);
-  double service = count / rate() + params_.subquery_overhead_s;
-  double finish = enqueue_work(service);
-  ++subqueries_served_;
-
-  SubQueryReplyMsg reply;
-  reply.query_id = m.query_id;
-  reply.part_id = m.part_id;
-  reply.scanned = static_cast<uint64_t>(count);
+  sub.reply.scanned = static_cast<uint64_t>(count);
   // Match count model: queries in the experiments are selective; a small
   // deterministic fraction keeps reply sizes realistic without carrying a
   // real corpus at 43-node scale (the PPS example runs the real matcher).
-  reply.matches = static_cast<uint64_t>(count / 10'000.0);
+  sub.reply.matches = static_cast<uint64_t>(count / 10'000.0);
+  sub.modeled_service_s = count / rate() + params_.subquery_overhead_s;
+  return sub;
+}
+
+void NodeRuntime::complete(const ResolvedSub& sub, uint64_t scanned,
+                           uint64_t matches, double service_s) {
+  busy_seconds_ += service_s;
+  ++subqueries_served_;
+  SubQueryReplyMsg reply = sub.reply;
+  reply.scanned = scanned;
+  reply.matches = matches;
+  reply.service_s = service_s;
+  net_.send(address(), sub.from, reply.encode());
+}
+
+void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
+  if (pooled()) {
+    // Batched path: queue, and drain once per loop wakeup. schedule_after(0)
+    // fires in the same poll round, after the whole read batch, so every
+    // sub-query that arrived together is drained together.
+    pending_subs_.emplace_back(from, m);
+    if (!drain_scheduled_) {
+      drain_scheduled_ = true;
+      net_.clock().schedule_after(0.0, [this] { drain_batch(); });
+    }
+    return;
+  }
+
+  if (engine_) {
+    // Inline real matching (workers = 0): the scan runs on the loop
+    // thread, the reply leaves immediately — results identical to the
+    // pooled path, only the concurrency differs.
+    ResolvedSub sub = resolve(from, m);
+    MatchEngine::Result r = engine_->execute(sub.window);
+    complete(sub, r.scanned, r.matches,
+             r.cpu_s + params_.subquery_overhead_s);
+    return;
+  }
+
+  // Original virtual-time model: service time accrues on the single
+  // modeled pipeline and the reply is scheduled at its finish time. This
+  // branch is byte-identical with the pre-engine node, which keeps the
+  // EmulatedCluster's virtual-time traces stable.
+  ResolvedSub sub = resolve(from, m);
+  double service = sub.modeled_service_s;
+  double finish = enqueue_work(service);
+  ++subqueries_served_;
+
+  SubQueryReplyMsg reply = sub.reply;
   reply.service_s = service;
-  net_.clock().schedule_at(finish, [this, from, reply] {
-    net_.send(address(), from, reply.encode());
+  net::Address dest = sub.from;
+  net_.clock().schedule_at(finish, [this, dest, reply] {
+    net_.send(address(), dest, reply.encode());
   });
+}
+
+void NodeRuntime::drain_batch() {
+  drain_scheduled_ = false;
+  if (!alive_ || pending_subs_.empty()) return;
+
+  size_t n = std::min(pending_subs_.size(), exec_.batch_max);
+  std::vector<ResolvedSub> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(resolve(pending_subs_[i].first, pending_subs_[i].second));
+  }
+  pending_subs_.erase(pending_subs_.begin(),
+                      pending_subs_.begin() + static_cast<ptrdiff_t>(n));
+  if (!pending_subs_.empty()) {
+    drain_scheduled_ = true;
+    net_.clock().schedule_after(0.0, [this] { drain_batch(); });
+  }
+  ++batches_drained_;
+  batched_subqueries_ += n;
+
+  if (engine_) {
+    // Real matching: split the batch over at most pool-size chunks; each
+    // chunk shares one evaluation (the amortized store/ordering work).
+    size_t lanes = std::min(exec_.pool->size(), batch.size());
+    std::vector<std::vector<ResolvedSub>> chunks(lanes);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      chunks[i % lanes].push_back(std::move(batch[i]));
+    }
+    for (auto& chunk : chunks) {
+      std::shared_ptr<const MatchEngine> engine = engine_;
+      double overhead = params_.subquery_overhead_s;
+      auto post = exec_.post;
+      exec_.pool->submit([this, engine, overhead, post,
+                          chunk = std::move(chunk)]() mutable {
+        std::vector<MatchEngine::Window> windows;
+        windows.reserve(chunk.size());
+        for (const auto& s : chunk) windows.push_back(s.window);
+        auto results = engine->execute_batch(windows);
+        post([this, chunk = std::move(chunk),
+              results = std::move(results), overhead] {
+          if (!alive_) return;  // crashed while the scan ran
+          for (size_t i = 0; i < chunk.size(); ++i) {
+            complete(chunk[i], results[i].scanned, results[i].matches,
+                     results[i].cpu_s + overhead);
+          }
+        });
+      });
+    }
+    return;
+  }
+
+  // Modeled matching on real lanes: each worker lane *occupies itself* for
+  // the modeled service time (this is Definition 8's constant-service-time
+  // pipeline, W lanes wide), then posts the completion. Reply content is
+  // identical to the inline path; only queueing changes.
+  for (auto& sub : batch) {
+    double service = sub.modeled_service_s;
+    auto post = exec_.post;
+    exec_.pool->submit([this, post, sub = std::move(sub), service] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(service));
+      post([this, sub, service] {
+        if (!alive_) return;
+        complete(sub, sub.reply.scanned, sub.reply.matches, service);
+      });
+    });
+  }
 }
 
 void NodeRuntime::on_range_push(const RangePushMsg& m) {

@@ -6,10 +6,26 @@
 // (which consume matching capacity, §7.3.4), maintains its range as pushed
 // by the membership server, and simulates the background download when the
 // replication level grows (§4.5).
+//
+// Execution engine (wall-clock deployments): set_executor() attaches a
+// core::WorkerPool and a loop-thread post function. Sub-queries arriving
+// in one event-loop round are then *batched* — drained up to
+// NodeExecutor::batch_max per wakeup — and executed on the pool (the real
+// pps match when a MatchEngine is attached, otherwise the modeled service
+// time actually elapsing on a worker lane). Completions are posted back
+// to the loop thread, which alone touches the transport and counters.
+// With no executor (or a size-0 pool) the node runs the original inline
+// virtual-time path byte-for-byte, which is what keeps the EmulatedCluster
+// deterministic.
 #pragma once
 
+#include <memory>
+#include <vector>
+
+#include "cluster/match_engine.h"
 #include "cluster/protocol.h"
 #include "core/reconfig.h"
+#include "core/worker_pool.h"
 #include "net/transport.h"
 
 namespace roar::cluster {
@@ -29,6 +45,20 @@ struct NodeParams {
   double bytes_per_object = 700.0;
 };
 
+// Off-loop execution wiring. `pool` stays owned by the harness and must
+// outlive the node's in-flight work (destroy pools before nodes).
+// `post` marshals a closure back to the event-loop thread (e.g.
+// TcpDriver::post); posted closures are the ONLY way pooled work touches
+// the node again.
+struct NodeExecutor {
+  core::WorkerPool* pool = nullptr;
+  std::function<void(std::function<void()>)> post;
+  // Max sub-queries drained per wakeup. Arrivals beyond it stay queued
+  // and the drain reschedules itself, so the loop thread never stalls on
+  // an unbounded batch.
+  size_t batch_max = 16;
+};
+
 class NodeRuntime {
  public:
   NodeRuntime(net::Transport& net, NodeParams params,
@@ -45,6 +75,13 @@ class NodeRuntime {
 
   void set_dataset_size(uint64_t d) { dataset_size_ = d; }
 
+  // Attaches the parallel execution engine. Pass a default-constructed
+  // NodeExecutor (or a size-0 pool) to restore inline execution.
+  void set_executor(NodeExecutor exec);
+  // Attaches real matching (shared, immutable). Without an engine the
+  // node uses the analytic service model.
+  void set_match_engine(std::shared_ptr<const MatchEngine> engine);
+
   // Matching rate in metadata/s.
   double rate() const { return params_.base_rate * params_.speed; }
 
@@ -55,17 +92,41 @@ class NodeRuntime {
   double busy_until() const { return busy_until_; }
   const Arc& range() const { return range_; }
   uint32_t current_p() const { return p_; }
+  // Batching diagnostics: drain wakeups and sub-queries they carried.
+  uint64_t batches_drained() const { return batches_drained_; }
+  uint64_t batched_subqueries() const { return batched_subqueries_; }
 
   // The object ids this node stores: its range extended 1/p backwards
   // (every object whose replication arc reaches the range).
   Arc stored_arc() const;
 
  private:
+  // One sub-query's work, fully resolved on the loop thread at drain time
+  // so worker lanes never read mutable node state (range_, p_, ...).
+  struct ResolvedSub {
+    net::Address from;
+    SubQueryReplyMsg reply;   // query/part ids prefilled
+    MatchEngine::Window window;
+    double modeled_service_s = 0.0;  // engine-less lanes sleep this
+  };
+
   void handle(net::Address from, net::Bytes payload);
   void on_subquery(net::Address from, const SubQueryMsg& m);
   void on_range_push(const RangePushMsg& m);
   void on_fetch_order(const FetchOrderMsg& m);
   void on_update(const ObjectUpdateMsg& m);
+
+  bool pooled() const {
+    return exec_.pool != nullptr && exec_.pool->size() > 0 &&
+           static_cast<bool>(exec_.post);
+  }
+  // Loop thread: takes up to batch_max pending sub-queries and submits
+  // them to the pool (engine batches share one evaluation).
+  void drain_batch();
+  ResolvedSub resolve(net::Address from, const SubQueryMsg& m) const;
+  // Loop thread: accounting + reply for one finished sub-query.
+  void complete(const ResolvedSub& sub, uint64_t scanned, uint64_t matches,
+                double service_s);
 
   // Enqueues `seconds` of work at the local pipeline; returns finish time.
   double enqueue_work(double seconds);
@@ -80,6 +141,13 @@ class NodeRuntime {
   double busy_seconds_ = 0.0;
   uint64_t subqueries_served_ = 0;
   uint64_t updates_applied_ = 0;
+
+  NodeExecutor exec_;
+  std::shared_ptr<const MatchEngine> engine_;
+  std::vector<std::pair<net::Address, SubQueryMsg>> pending_subs_;
+  bool drain_scheduled_ = false;
+  uint64_t batches_drained_ = 0;
+  uint64_t batched_subqueries_ = 0;
 };
 
 }  // namespace roar::cluster

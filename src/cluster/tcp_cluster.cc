@@ -41,6 +41,13 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
                      });
                });
 
+  // Real matching: one immutable engine shared by every node (each node
+  // scans only the slice a sub-query's window selects, so sharing the
+  // corpus changes nothing observable and saves N-1 encryptions).
+  if (config_.real_matching) {
+    engine_ = std::make_shared<const MatchEngine>(config_.engine);
+  }
+
   // One listener per storage node.
   for (NodeId id = 0; id < config_.nodes; ++id) {
     auto transport = std::make_unique<net::TcpTransport>(driver_);
@@ -50,6 +57,20 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
     np.speed = config_.speeds[id];
     auto node = std::make_unique<NodeRuntime>(*transport, np,
                                               config_.dataset_size);
+    if (engine_) node->set_match_engine(engine_);
+    if (config_.node_workers > 0) {
+      // One pool per node: a node's lanes model its own cores, so capacity
+      // scales per node exactly as the paper's thread sweeps do.
+      pools_.push_back(
+          std::make_unique<core::WorkerPool>(config_.node_workers));
+      NodeExecutor exec;
+      exec.pool = pools_.back().get();
+      exec.post = [this](std::function<void()> fn) {
+        driver_.post(std::move(fn));
+      };
+      exec.batch_max = config_.exec_batch_max;
+      node->set_executor(std::move(exec));
+    }
     node->start();
     membership_.join(id, np.speed);
     transports_.push_back(std::move(transport));
@@ -142,6 +163,30 @@ uint64_t TcpCluster::bytes_sent() const {
 uint64_t TcpCluster::messages_dropped() const {
   uint64_t total = 0;
   for (const auto& t : transports_) total += t->messages_dropped();
+  return total;
+}
+
+uint64_t TcpCluster::batches_drained() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->batches_drained();
+  return total;
+}
+
+uint64_t TcpCluster::batched_subqueries() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->batched_subqueries();
+  return total;
+}
+
+uint64_t TcpCluster::pool_tasks_executed() const {
+  uint64_t total = 0;
+  for (const auto& p : pools_) total += p->executed();
+  return total;
+}
+
+uint64_t TcpCluster::pool_tasks_stolen() const {
+  uint64_t total = 0;
+  for (const auto& p : pools_) total += p->stolen();
   return total;
 }
 

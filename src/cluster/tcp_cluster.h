@@ -33,6 +33,19 @@ struct TcpClusterConfig {
   uint32_t initial_balance_steps = 800;
   // Latency hint fed to the delay estimator (loopback RTT scale).
   double latency_hint_s = 100e-6;
+
+  // --- execution engine --------------------------------------------------
+  // Worker lanes per node (its core count). 0 = the original inline,
+  // single-pipeline node; N > 0 = an N-wide matching pipeline on a
+  // per-node core::WorkerPool, with sub-queries batched per loop wakeup
+  // and completions posted back to the driver thread.
+  uint32_t node_workers = 0;
+  // Max sub-queries a node drains into the pool per wakeup.
+  size_t exec_batch_max = 16;
+  // Give every node a real pps corpus + query (one shared immutable
+  // MatchEngine) instead of the analytic service model.
+  bool real_matching = false;
+  MatchEngineConfig engine;
 };
 
 class TcpCluster {
@@ -76,6 +89,14 @@ class TcpCluster {
   uint64_t bytes_sent() const;
   uint64_t messages_dropped() const;
 
+  // The shared real-matching engine, or nullptr in modeled mode.
+  const MatchEngine* engine() const { return engine_.get(); }
+  // Execution-engine diagnostics summed over nodes / pools.
+  uint64_t batches_drained() const;
+  uint64_t batched_subqueries() const;
+  uint64_t pool_tasks_executed() const;
+  uint64_t pool_tasks_stolen() const;
+
  private:
   TcpClusterConfig config_;
   net::TcpDriver driver_;
@@ -84,7 +105,13 @@ class TcpCluster {
   std::vector<std::unique_ptr<net::TcpTransport>> transports_;
   core::MembershipServer membership_;
   std::unique_ptr<Frontend> frontend_;
+  std::shared_ptr<const MatchEngine> engine_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  // Declared after nodes_ so pools are destroyed (drained and joined)
+  // first: in-flight tasks capture raw node pointers. Completions they
+  // posted may outlive the nodes unexecuted — the driver (destroyed last)
+  // drops them without running.
+  std::vector<std::unique_ptr<core::WorkerPool>> pools_;
 };
 
 }  // namespace roar::cluster

@@ -1,0 +1,143 @@
+#include "core/worker_pool.h"
+
+#include "common/logging.h"
+
+namespace roar::core {
+
+WorkerPool::WorkerPool(size_t workers) : queues_(workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  try {
+    drain();
+  } catch (const std::exception& e) {
+    ROAR_LOG(kWarn) << "worker-pool: task failed during shutdown: "
+                    << e.what();
+  } catch (...) {
+    ROAR_LOG(kWarn) << "worker-pool: task failed during shutdown";
+  }
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(Task task) {
+  size_t target;
+  {
+    std::lock_guard lock(mu_);
+    if (!threads_.empty() && !stopping_) {
+      target = next_worker_;
+      next_worker_ = (next_worker_ + 1) % queues_.size();
+      queues_[target].queue.push_back(std::move(task));
+      ++in_flight_;
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  task();  // inline mode (size 0, or shutdown already began)
+}
+
+void WorkerPool::submit_to(size_t worker, Task task) {
+  {
+    std::lock_guard lock(mu_);
+    if (!threads_.empty() && !stopping_) {
+      queues_[worker % queues_.size()].queue.push_back(std::move(task));
+      ++in_flight_;
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  task();
+}
+
+void WorkerPool::drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+uint64_t WorkerPool::executed() const {
+  std::lock_guard lock(mu_);
+  uint64_t total = 0;
+  for (const auto& w : queues_) total += w.executed;
+  return total;
+}
+
+uint64_t WorkerPool::stolen() const {
+  std::lock_guard lock(mu_);
+  return stolen_;
+}
+
+std::vector<uint64_t> WorkerPool::per_worker_executed() const {
+  std::lock_guard lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(queues_.size());
+  for (const auto& w : queues_) out.push_back(w.executed);
+  return out;
+}
+
+bool WorkerPool::queues_empty() const {
+  for (const auto& w : queues_) {
+    if (!w.queue.empty()) return false;
+  }
+  return true;
+}
+
+bool WorkerPool::take_task(size_t index, Task* out) {
+  auto& own = queues_[index].queue;
+  if (!own.empty()) {
+    *out = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  // Steal from the back of the first non-empty victim, scanning from the
+  // next worker so the victim choice rotates rather than always hitting
+  // worker 0.
+  for (size_t off = 1; off < queues_.size(); ++off) {
+    auto& victim = queues_[(index + off) % queues_.size()].queue;
+    if (!victim.empty()) {
+      *out = std::move(victim.back());
+      victim.pop_back();
+      ++stolen_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::worker_loop(size_t index) {
+  std::unique_lock lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queues_empty(); });
+    Task task;
+    if (!take_task(index, &task)) {
+      if (stopping_) return;  // all queues empty: shutdown complete
+      continue;
+    }
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    task = nullptr;  // release captures before reacquiring the lock
+    lock.lock();
+    if (err && !first_error_) first_error_ = err;
+    ++queues_[index].executed;
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace roar::core

@@ -1,0 +1,89 @@
+// Fixed-size work-stealing thread pool: the cluster's query-execution
+// engine substrate.
+//
+// Each worker owns a deque; submit() distributes round-robin (or to an
+// explicit worker with submit_to), workers pop their own queue from the
+// front and steal from a victim's back when idle. A pool of size 0 runs
+// every task inline on the caller's thread — that degenerate mode is what
+// keeps the virtual-time cluster emulation byte-identical when the
+// execution engine is plumbed through it.
+//
+// Synchronization is one pool-wide mutex: at the cluster's task rates
+// (thousands of sub-queries per second, each milliseconds long) queue
+// contention is irrelevant next to the work itself, and a single lock
+// makes the stealing and shutdown invariants easy to audit.
+//
+// Shutdown: the destructor (and drain()) completes every task already
+// submitted — including tasks submitted by running tasks — before
+// returning; workers are then joined. Tasks submitted after shutdown
+// began run inline. A task that throws does not kill its worker: the
+// first exception is captured and rethrown by the next drain() call
+// (the destructor swallows it after logging).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <utility>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace roar::core {
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  // 0 workers = inline execution (submit runs the task on the caller).
+  explicit WorkerPool(size_t workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  // Enqueues `task` (round-robin across workers). Inline when size()==0
+  // or after shutdown began; inline tasks propagate exceptions directly.
+  void submit(Task task);
+  // Targets a specific worker's queue; other workers may still steal it.
+  // Lets callers bias placement (and lets tests force stealing).
+  void submit_to(size_t worker, Task task);
+
+  // Blocks until every submitted task has finished. Rethrows the first
+  // exception captured from a pooled task since the previous drain.
+  void drain();
+
+  // Diagnostics. executed counts completed tasks; stolen counts tasks a
+  // worker took from another worker's queue.
+  uint64_t executed() const;
+  uint64_t stolen() const;
+  std::vector<uint64_t> per_worker_executed() const;
+
+ private:
+  void worker_loop(size_t index);
+  // Pops a runnable task for worker `index` (own front, else steal from a
+  // victim's back). Caller holds mu_.
+  bool take_task(size_t index, Task* out);
+  bool queues_empty() const;  // caller holds mu_
+
+  struct WorkerState {
+    std::deque<Task> queue;
+    uint64_t executed = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new task or shutdown
+  std::condition_variable idle_cv_;  // drain: in-flight reached zero
+  std::vector<WorkerState> queues_;
+  std::vector<std::thread> threads_;
+  size_t next_worker_ = 0;   // round-robin submit cursor
+  size_t in_flight_ = 0;     // queued + currently running
+  uint64_t stolen_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace roar::core

@@ -6,7 +6,9 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -15,6 +17,14 @@
 
 namespace roar::net {
 namespace {
+
+// Flush bounds. kFlushBudget caps the bytes one flush() call hands the
+// kernel so a single fat connection cannot starve the rest of the round;
+// kInlineFlushBytes is the queued-backlog level at which send() stops
+// waiting for the round's flush point and writes immediately.
+constexpr size_t kMaxIov = 64;
+constexpr size_t kFlushBudget = 256 * 1024;
+constexpr size_t kInlineFlushBytes = 1 << 20;
 
 void set_nonblocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -26,7 +36,9 @@ void set_nodelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-// Tags stored in epoll data: low bit distinguishes listeners.
+// Tags stored in epoll data: low bit distinguishes listeners; the wake
+// eventfd uses the reactor's own address (no listener or connection can
+// alias it).
 void* conn_tag(TcpConnection* c) { return c; }
 void* listener_tag(TcpListener* l) {
   return reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(l) | 1);
@@ -58,6 +70,8 @@ void TcpConnection::close() {
   reactor_.del_fd(fd_);
   ::close(fd_);
   fd_ = -1;
+  outq_.clear();
+  pending_bytes_ = 0;
   if (on_close_) on_close_(*this);
   reactor_.doomed_.push_back(id_);
 }
@@ -65,37 +79,64 @@ void TcpConnection::close() {
 void TcpConnection::send(const Bytes& payload) {
   if (fd_ < 0) return;
   Bytes framed = frame(payload);
-  out_.insert(out_.end(), framed.begin(), framed.end());
-  handle_writable();  // opportunistic flush
-}
-
-void TcpConnection::handle_writable() {
-  if (fd_ < 0) return;
-  while (out_off_ < out_.size()) {
-    ssize_t n = ::send(fd_, out_.data() + out_off_, out_.size() - out_off_,
-                       MSG_NOSIGNAL);
-    if (n > 0) {
-      out_off_ += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    close();
+  pending_bytes_ += framed.size();
+  outq_.push_back(std::move(framed));
+  if (pending_bytes_ >= kInlineFlushBytes) {
+    flush();  // bound memory under backpressure
     return;
   }
-  if (out_off_ == out_.size()) {
-    out_.clear();
-    out_off_ = 0;
-  } else if (out_off_ > (1u << 20)) {
-    out_.erase(out_.begin(), out_.begin() + static_cast<ptrdiff_t>(out_off_));
-    out_off_ = 0;
+  reactor_.mark_dirty(*this);
+}
+
+void TcpConnection::flush() {
+  if (fd_ < 0) return;
+  size_t written_this_call = 0;
+  while (!outq_.empty() && written_this_call < kFlushBudget) {
+    // Gather up to kMaxIov queued frames into one writev.
+    iovec iov[kMaxIov];
+    size_t n_iov = 0;
+    size_t off = out_off_;
+    for (const Bytes& f : outq_) {
+      if (n_iov == kMaxIov) break;
+      iov[n_iov].iov_base = const_cast<uint8_t*>(f.data() + off);
+      iov[n_iov].iov_len = f.size() - off;
+      ++n_iov;
+      off = 0;
+    }
+    ssize_t n = ::writev(fd_, iov, static_cast<int>(n_iov));
+    ++reactor_.flush_syscalls_;
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted: retry the same gather
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close();
+      return;
+    }
+    written_this_call += static_cast<size_t>(n);
+    pending_bytes_ -= static_cast<size_t>(n);
+    // Consume the written bytes frame by frame.
+    size_t remaining = static_cast<size_t>(n);
+    while (remaining > 0) {
+      size_t left_in_front = outq_.front().size() - out_off_;
+      if (remaining >= left_in_front) {
+        remaining -= left_in_front;
+        outq_.pop_front();
+        out_off_ = 0;
+        ++reactor_.frames_flushed_;
+      } else {
+        out_off_ += remaining;
+        remaining = 0;
+      }
+    }
   }
   update_interest();
 }
 
+void TcpConnection::handle_writable() { flush(); }
+
 void TcpConnection::update_interest() {
   if (fd_ < 0) return;
   uint32_t ev = EPOLLIN;
-  if (out_off_ < out_.size()) ev |= EPOLLOUT;
+  if (!outq_.empty()) ev |= EPOLLOUT;
   reactor_.mod_fd(fd_, ev, conn_tag(this));
 }
 
@@ -168,13 +209,46 @@ void TcpListener::handle_readable() {
 
 // ------------------------------------------------------------- TcpReactor
 
-TcpReactor::TcpReactor() : epoll_fd_(epoll_create1(0)) {
+TcpReactor::TcpReactor()
+    : epoll_fd_(epoll_create1(0)),
+      wake_fd_(eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
   if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  if (wake_fd_ < 0) throw std::runtime_error("eventfd failed");
+  add_fd(wake_fd_, EPOLLIN, this);
 }
 
 TcpReactor::~TcpReactor() {
   conns_.clear();
+  ::close(wake_fd_);
   ::close(epoll_fd_);
+}
+
+void TcpReactor::notify() {
+  uint64_t one = 1;
+  // Best-effort: if the counter is full the poller is already due to wake.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpReactor::mark_dirty(TcpConnection& c) {
+  if (c.dirty_) return;
+  c.dirty_ = true;
+  dirty_.push_back(c.id());
+}
+
+void TcpReactor::flush_dirty() {
+  if (dirty_.empty()) return;
+  // Swap out the list: flushing can re-dirty a connection (EAGAIN path
+  // keeps bytes queued) — those get EPOLLOUT interest instead of a
+  // respin here.
+  std::vector<uint64_t> batch;
+  batch.swap(dirty_);
+  for (uint64_t id : batch) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // closed and reaped meanwhile
+    TcpConnection& c = *it->second;
+    c.dirty_ = false;
+    if (!c.closed()) c.flush();
+  }
 }
 
 void TcpReactor::add_fd(int fd, uint32_t events, void* tag) {
@@ -222,11 +296,21 @@ TcpConnection& TcpReactor::connect(uint16_t port) {
 }
 
 size_t TcpReactor::poll(int timeout_ms) {
+  // Frames queued since the last round (timers, posted completions, user
+  // code between polls) must not wait out the epoll timeout.
+  flush_dirty();
   epoll_event events[64];
   int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
   size_t handled = 0;
   for (int i = 0; i < n; ++i) {
     void* tag = events[i].data.ptr;
+    if (tag == this) {
+      uint64_t drain;
+      while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+      }
+      ++handled;
+      continue;
+    }
     if (is_listener(tag)) {
       as_listener(tag)->handle_readable();
       ++handled;
@@ -247,7 +331,9 @@ size_t TcpReactor::poll(int timeout_ms) {
     if (events[i].events & EPOLLIN) conn->handle_readable();
     ++handled;
   }
-  // Reap closed connections after the event batch.
+  // One flush point per round: everything the handlers queued goes out
+  // gathered, then closed connections are reaped.
+  flush_dirty();
   for (uint64_t id : doomed_) conns_.erase(id);
   doomed_.clear();
   return handled;

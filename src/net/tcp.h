@@ -1,10 +1,17 @@
 // Loopback TCP transport: the deployable form of the cluster protocol.
 //
 // A compact epoll reactor with non-blocking sockets, the length-prefixed
-// framing of framing.h, and buffered partial writes. The emulated cluster
+// framing of framing.h, and gathered (writev) writes. The emulated cluster
 // runs on the virtual-time InProcNetwork for determinism; this transport
 // exists to demonstrate (and test) that the identical byte protocol works
 // over real sockets — see examples/tcp_transport_demo.cc.
+//
+// Write coalescing: send() only queues the framed message and marks the
+// connection dirty; the reactor gathers every frame queued on a connection
+// during a poll round into one writev() call (bounded by a flush budget),
+// so N sub-query replies cost one syscall instead of N. Connections whose
+// sockets push back (EAGAIN) fall back to EPOLLOUT-driven flushing, same
+// as before.
 //
 // §4.8.4 discusses TCP's min-RTO head-of-line blocking for small queries;
 // on loopback the kernel path is loss-free, so the demo focuses on framing
@@ -12,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,9 +46,19 @@ class TcpConnection {
   uint64_t id() const { return id_; }
   bool closed() const { return fd_ < 0; }
 
-  // Queues a framed message; flushes as the socket drains.
+  // Queues a framed message. The bytes leave the process at the next
+  // reactor flush point (end of the current poll round), coalesced with
+  // every other frame queued on this connection — unless the backlog
+  // exceeds the inline-flush threshold, in which case the queue is
+  // flushed immediately to bound memory.
   void send(const Bytes& payload);
+  // Writes as much of the queue as the socket accepts (writev, bounded by
+  // the per-call flush budget) and updates EPOLLOUT interest.
+  void flush();
   void close();
+
+  // Pending (queued, unsent) bytes — for tests and backpressure checks.
+  size_t pending_bytes() const { return pending_bytes_; }
 
   void set_frame_handler(FrameHandler h) { on_frame_ = std::move(h); }
   void set_close_handler(CloseHandler h) { on_close_ = std::move(h); }
@@ -56,8 +74,10 @@ class TcpConnection {
   int fd_;
   uint64_t id_;
   FrameDecoder decoder_;
-  std::vector<uint8_t> out_;  // unsent bytes
-  size_t out_off_ = 0;
+  std::deque<Bytes> outq_;   // framed, unsent messages
+  size_t out_off_ = 0;       // bytes of outq_.front() already written
+  size_t pending_bytes_ = 0; // total unsent bytes across outq_
+  bool dirty_ = false;       // queued for the reactor's next flush round
   FrameHandler on_frame_;
   CloseHandler on_close_;
 };
@@ -94,9 +114,25 @@ class TcpReactor {
   TcpConnection& connect(uint16_t port);
 
   // Processes ready events; returns number handled. timeout_ms = 0 polls.
+  // Dirty connections are flushed before blocking and again after the
+  // event batch, so frames queued between polls or by handlers leave in
+  // the same round.
   size_t poll(int timeout_ms);
   // Polls until `pred` returns true or `max_ms` elapses. Returns pred().
   bool poll_until(const std::function<bool()>& pred, int max_ms = 5000);
+
+  // Flushes every connection with queued frames (one writev each).
+  void flush_dirty();
+
+  // Thread-safe: makes a concurrent (or future) poll() return promptly.
+  // Used by WorkerPool completions to hand work back to the loop thread.
+  void notify();
+
+  // Gathered-write accounting: total writev/send syscalls issued and
+  // total frames they carried (frames_flushed / flush_syscalls > 1 means
+  // coalescing is happening).
+  uint64_t flush_syscalls() const { return flush_syscalls_; }
+  uint64_t frames_flushed() const { return frames_flushed_; }
 
   const std::unordered_map<uint64_t, std::unique_ptr<TcpConnection>>&
   connections() const {
@@ -111,12 +147,17 @@ class TcpReactor {
   void del_fd(int fd);
   TcpConnection& adopt(int fd);
   void destroy(TcpConnection& c);
+  void mark_dirty(TcpConnection& c);
 
   int epoll_fd_;
+  int wake_fd_;  // eventfd: cross-thread poll wakeup
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<TcpConnection>> conns_;
   std::vector<TcpListener*> listeners_;
   std::vector<uint64_t> doomed_;  // connections to destroy after poll
+  std::vector<uint64_t> dirty_;   // connections with frames to flush
+  uint64_t flush_syscalls_ = 0;
+  uint64_t frames_flushed_ = 0;
 };
 
 }  // namespace roar::net

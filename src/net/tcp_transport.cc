@@ -63,9 +63,37 @@ std::optional<uint16_t> TcpDriver::route(Address addr) const {
   return it->second;
 }
 
+void TcpDriver::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  reactor_.notify();
+}
+
+size_t TcpDriver::posted_pending() const {
+  std::lock_guard lock(posted_mu_);
+  return posted_.size();
+}
+
+size_t TcpDriver::run_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+  return batch.size();
+}
+
 size_t TcpDriver::poll(int max_wait_ms) {
-  size_t handled = reactor_.poll(clock_.next_timeout_ms(max_wait_ms));
+  int wait_ms = posted_pending() > 0 ? 0 : clock_.next_timeout_ms(max_wait_ms);
+  size_t handled = reactor_.poll(wait_ms);
   handled += clock_.fire_due();
+  handled += run_posted();
+  // Timers and posted completions send frames too; flush them in the same
+  // round so a reply never waits out the next epoll timeout.
+  reactor_.flush_dirty();
   return handled;
 }
 

@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -71,6 +72,12 @@ class WallClock : public Clock {
 };
 
 // Shared single-threaded runtime for a set of TcpTransport endpoints.
+//
+// All socket, timer, and handler work runs on the one thread that calls
+// poll(). The only cross-thread entry point is post(): worker threads
+// (core::WorkerPool) hand completions back to the loop thread with it —
+// the closure runs inside a later poll() round, after the epoll batch and
+// due timers, never concurrently with handlers.
 class TcpDriver {
  public:
   TcpReactor& reactor() { return reactor_; }
@@ -83,16 +90,30 @@ class TcpDriver {
   void remove_route(Address addr);
   std::optional<uint16_t> route(Address addr) const;
 
+  // Thread-safe. Queues `fn` to run on the loop thread at the next poll
+  // round and wakes a blocked poll() promptly (eventfd). This is the
+  // completion-handoff rule: off-loop work must never touch transports,
+  // clusters, or timers directly — it posts a closure instead.
+  void post(std::function<void()> fn);
+  // Posted closures waiting to run (diagnostics).
+  size_t posted_pending() const;
+
   // One scheduling round: epoll (waiting at most `max_wait_ms`, less if a
-  // timer is due sooner), then due timers. Returns events handled.
+  // timer is due sooner), then due timers, then posted closures, then a
+  // write flush so everything the round produced leaves the process.
+  // Returns events handled.
   size_t poll(int max_wait_ms = 10);
   // Polls until pred() holds or `timeout_s` wall seconds pass.
   bool run_until(const std::function<bool()>& pred, double timeout_s = 10.0);
 
  private:
+  size_t run_posted();
+
   TcpReactor reactor_;
   WallClock clock_;
   std::unordered_map<Address, uint16_t> routes_;
+  mutable std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
 };
 
 class TcpTransport : public Transport {
