@@ -1,56 +1,106 @@
-// Figure 7.4 — effect of object updates on query throughput: each update
-// is applied at every replica, so at low p (large r) a given update rate
-// steals more matching capacity (§7.3.4 "update overhead increases with r").
-#include "bench/cluster_bench_common.h"
+// Figure 7.4 — effect of index updates on query throughput, driven through
+// the REAL ingestion subsystem: every op flows client -> IngestRouter ->
+// per-shard LSN log -> UpdateMsg replication -> per-replica IngestLog ->
+// VersionedStore apply (+ the §7.3.4 capacity charge), while queries match
+// against the replicas' live snapshots. At low p (large r) each shard has
+// more replicas, so a given op rate steals more total matching capacity —
+// the paper's "update overhead increases with r".
+//
+// Build & run:  ./build/bench/bench_fig7_4_updates [--json out.json]
+//               [--seed n] [--duration ignored]
+#include "bench/bench_runner.h"
+#include "bench/bench_util.h"
+#include "cluster/emulated_cluster.h"
 
 using namespace roar;
 using namespace roar::bench;
 
 namespace {
 
-// Throughput with queries and updates genuinely interleaved: queries
-// arrive slightly above capacity while updates flow for the whole run.
-double contended_throughput(uint32_t p, double update_rate) {
-  auto cfg = hen_config(p);
-  cfg.node_proto.update_cost_s = 0.001;
+struct RunResult {
+  double throughput = 0.0;  // completed queries / s of virtual time
+  double ops_per_s = 0.0;   // router-accepted mutations / s
+  bool converged = false;
+  uint64_t syncs = 0;
+};
+
+// Queries arrive slightly above capacity while the ingest stream flows;
+// the run ends when the queries drain and every replica converges.
+RunResult contended_run(uint32_t p, double update_rate, uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.classes = {{"uniform", 12, 1.0}};
+  cfg.p = p;
+  cfg.seed = seed;
+  cfg.enable_ingest = true;
+  cfg.engine.corpus_items = 4'000;
+  cfg.dataset_size = 200'000;  // the analytic capacity model's scale
+  cfg.node_proto.update_cost_s = 0.005;
   cluster::EmulatedCluster c(cfg);
-  constexpr uint32_t kQueries = 120;
-  if (update_rate > 0) {
-    c.inject_updates(update_rate, 180.0);
-  }
+
+  constexpr uint32_t kQueries = 100;
   double t0 = c.now();
-  uint32_t done = c.run_queries(2.6, kQueries, 600.0);
+  if (update_rate > 0) {
+    uint32_t ops = static_cast<uint32_t>(update_rate * 12.0);
+    c.ingest_stream(update_rate, ops, /*delete_frac=*/0.2);
+  }
+  uint32_t done = c.run_queries(/*rate_per_s=*/20.0, kQueries, 600.0);
   double elapsed = c.now() - t0;
-  return elapsed > 0 ? done / elapsed : 0.0;
+
+  RunResult r;
+  r.throughput = elapsed > 0 ? done / elapsed : 0.0;
+  r.converged = c.run_until_ingest_converged(120.0);
+  double total = c.now() - t0;
+  r.ops_per_s = total > 0 ? c.ingest()->ops_accepted() / total : 0.0;
+  r.syncs = c.ingest()->syncs_served();
+  return r;
 }
 
 }  // namespace
 
-int main() {
-  header("Figure 7.4", "query throughput vs update rate (update = 1 ms/replica)");
-  columns({"updates_per_s", "thr_p5_r8.6", "thr_p22_r2"});
+int main(int argc, char** argv) {
+  RunnerOptions opt = RunnerOptions::parse("fig7_4_updates", argc, argv);
+  const uint64_t seed = opt.seed_or(9);
+  BenchReport report(opt, seed, 0);
 
-  double base_p5 = 0, base_p22 = 0, loss_p5 = 0, loss_p22 = 0;
-  for (double upd : {0.0, 500.0, 1000.0, 2000.0}) {
-    double t5 = contended_throughput(5, upd);
-    double t22 = contended_throughput(22, upd);
-    row({upd, t5, t22});
+  header("Figure 7.4",
+         "query throughput vs live-ingest rate (5 ms/op per replica)");
+  columns({"updates_per_s", "thr_p3_r4", "thr_p12_r1", "converged"});
+
+  double base_p3 = 0, base_p12 = 0, loss_p3 = 0, loss_p12 = 0;
+  bool all_converged = true;
+  for (double upd : {0.0, 60.0, 180.0}) {
+    RunResult r3 = contended_run(3, upd, seed);
+    RunResult r12 = contended_run(12, upd, seed);
+    all_converged &= r3.converged && r12.converged;
+    row({upd, r3.throughput, r12.throughput,
+         r3.converged && r12.converged ? 1.0 : 0.0});
     if (upd == 0.0) {
-      base_p5 = t5;
-      base_p22 = t22;
+      base_p3 = r3.throughput;
+      base_p12 = r12.throughput;
     }
-    if (upd == 2000.0) {
-      loss_p5 = 1 - t5 / base_p5;
-      loss_p22 = 1 - t22 / base_p22;
+    if (upd == 180.0) {
+      loss_p3 = 1 - r3.throughput / base_p3;
+      loss_p12 = 1 - r12.throughput / base_p12;
+      report.metric("thr_upd0_p3", base_p3);
+      report.metric("thr_upd180_p3", r3.throughput);
+      report.metric("thr_upd0_p12", base_p12);
+      report.metric("thr_upd180_p12", r12.throughput);
+      report.metric("loss_frac_p3", loss_p3);
+      report.metric("loss_frac_p12", loss_p12);
+      report.metric("ingest_ops_per_s", r3.ops_per_s);
+      report.metric("syncs_served", static_cast<double>(r3.syncs));
     }
   }
+  report.metric("all_converged", all_converged ? 1.0 : 0.0);
 
-  shape("updates reduce query throughput (p=5 loses " +
-            std::to_string(loss_p5 * 100) + "% at 2000 upd/s)",
-        loss_p5 > 0.05);
+  shape("every run ends with all replicas converged", all_converged);
+  shape("updates reduce query throughput (p=3 loses " +
+            std::to_string(loss_p3 * 100) + "% at 180 op/s)",
+        loss_p3 > 0.05);
   shape("the loss is larger at low p / high r (" +
-            std::to_string(loss_p5 * 100) + "% vs " +
-            std::to_string(loss_p22 * 100) + "%)",
-        loss_p5 > loss_p22);
+            std::to_string(loss_p3 * 100) + "% vs " +
+            std::to_string(loss_p12 * 100) + "%)",
+        loss_p3 > loss_p12);
+  if (!report.write()) return 1;
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "cluster/emulated_cluster.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "cluster/control.h"
 #include "common/logging.h"
@@ -28,6 +29,16 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
       subseed(config_.seed, SeedStream::kFrontend));
   frontend_->start();
 
+  if (config_.enable_ingest) {
+    engine_ = std::make_shared<const MatchEngine>(config_.engine);
+    ingest_router_ = std::make_unique<IngestRouter>(
+        transport(), config_.ingest, subseed(config_.seed, SeedStream::kIngest),
+        engine_, [this] { return membership_.ring(0); },
+        [this] { return frontend_->safe_p(); });
+    ingest_router_->start();
+    frontend_->set_ingest(ingest_router_.get());
+  }
+
   // Membership handler: fetch confirmations flow through here.
   transport().bind(kMembershipAddr,
                    [this](net::Address from, net::Bytes payload) {
@@ -43,6 +54,11 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
       np.speed = cls.speed;
       auto node = std::make_unique<NodeRuntime>(transport(), np,
                                                 config_.dataset_size);
+      if (config_.enable_ingest) {
+        node->set_match_engine(engine_);
+        node->set_modeled_timing(true);  // keep virtual time host-free
+        node->enable_ingest(config_.ingest, engine_);
+      }
       node->start();
       membership_.join(id, cls.speed);
       nodes_.push_back(std::move(node));
@@ -90,6 +106,11 @@ NodeId EmulatedCluster::add_node(double speed) {
   np.speed = speed;
   auto node = std::make_unique<NodeRuntime>(transport(), np,
                                             config_.dataset_size);
+  if (config_.enable_ingest) {
+    node->set_match_engine(engine_);
+    node->set_modeled_timing(true);
+    node->enable_ingest(config_.ingest, engine_);
+  }
   node->start();
   nodes_.push_back(std::move(node));
   membership_.join(id, speed);
@@ -241,6 +262,44 @@ void EmulatedCluster::inject_updates(double rate_per_s, double duration_s) {
       }
     });
   }
+}
+
+void EmulatedCluster::ingest_stream(double rate_per_s, uint32_t count,
+                                    double delete_frac) {
+  if (!ingest_router_) {
+    throw std::logic_error(
+        "EmulatedCluster::ingest_stream requires enable_ingest");
+  }
+  double t = loop_.now();
+  for (uint32_t i = 0; i < count; ++i) {
+    t += rng_.next_exponential(rate_per_s);
+    loop_.schedule_at(t, [this, delete_frac] {
+      issue_random_ingest_op(*ingest_router_, rng_, delete_frac);
+    });
+  }
+}
+
+std::vector<IngestReplicaView> EmulatedCluster::ingest_replicas() const {
+  return collect_ingest_replicas(nodes_);
+}
+
+bool EmulatedCluster::ingest_converged() const {
+  if (!ingest_router_) return true;
+  auto reps = ingest_replicas();
+  return ingest_convergence_report(*ingest_router_, reps,
+                                   /*probe_matches=*/false)
+      .empty();
+}
+
+bool EmulatedCluster::run_until_ingest_converged(double timeout_s) {
+  double deadline = loop_.now() + timeout_s;
+  // Advance before the first verdict: a just-revived or just-joined node
+  // is not a replica until its range push lands, so judging the quiescent
+  // state without running the loop would miss it entirely.
+  do {
+    loop_.run_until(std::min(loop_.now() + 0.25, deadline));
+  } while (!ingest_converged() && loop_.now() < deadline);
+  return ingest_converged();
 }
 
 std::vector<double> EmulatedCluster::node_busy_fractions() const {

@@ -36,6 +36,14 @@ struct ClusterConfig {
   // per-link model (partitions etc. are scripted later via faults()).
   bool enable_faults = false;
   net::FaultSpec default_faults{};
+  // Live ingestion: builds one shared MatchEngine (real corpus), gives
+  // every node an IngestLog + versioned store (with modeled timing, so
+  // virtual-time traces stay host-independent) and attaches an
+  // IngestRouter to the front-end at kUpdateServerAddr. Off by default:
+  // without it the cluster is byte-identical with the pre-ingest code.
+  bool enable_ingest = false;
+  MatchEngineConfig engine{};
+  IngestConfig ingest{};
 };
 
 class EmulatedCluster {
@@ -53,6 +61,11 @@ class EmulatedCluster {
   net::FaultTransport* faults() { return faults_.get(); }
   Frontend& frontend() { return *frontend_; }
   core::MembershipServer& membership() { return membership_; }
+  // The ingest router, or nullptr when enable_ingest is unset.
+  IngestRouter* ingest() { return ingest_router_.get(); }
+  const IngestRouter* ingest() const { return ingest_router_.get(); }
+  // The shared matching engine, or nullptr without ingestion.
+  const MatchEngine* engine() const { return engine_.get(); }
 
   size_t node_count() const { return nodes_.size(); }
   NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
@@ -100,8 +113,25 @@ class EmulatedCluster {
   uint32_t run_queries(double rate_per_s, uint32_t count,
                        double give_up_s = 600.0);
   // Object updates at Poisson rate for `duration_s` (§7.3.4); each update
-  // goes to every node storing the object's arc.
+  // goes to every node storing the object's arc. Legacy modeled-cost
+  // stream — real mutation goes through ingest_stream / the router.
   void inject_updates(double rate_per_s, double duration_s);
+
+  // --- live ingestion ------------------------------------------------------
+  // Schedules `count` real index mutations at Poisson rate: a mix of
+  // document adds (deterministic synthetic docs) and deletes of earlier
+  // adds. Requires enable_ingest. Ops route through the IngestRouter like
+  // any client's would.
+  void ingest_stream(double rate_per_s, uint32_t count,
+                     double delete_frac = 0.2);
+  // Current replica views (live nodes with ranges), for the convergence
+  // and safety reports.
+  std::vector<IngestReplicaView> ingest_replicas() const;
+  // True when every replica of every shard has caught up with the router.
+  bool ingest_converged() const;
+  // Runs the loop until ingest_converged() or `timeout_s` virtual seconds
+  // elapse; returns the converged verdict.
+  bool run_until_ingest_converged(double timeout_s = 60.0);
 
   // --- metrics -------------------------------------------------------------
   double now() const { return loop_.now(); }
@@ -121,6 +151,8 @@ class EmulatedCluster {
   std::unique_ptr<net::FaultTransport> faults_;
   core::MembershipServer membership_;
   std::unique_ptr<Frontend> frontend_;
+  std::shared_ptr<const MatchEngine> engine_;
+  std::unique_ptr<IngestRouter> ingest_router_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   // Nodes whose §4.3 data download is still running; kept out of the
   // front-end's mirror by push_ranges until the load completes.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "common/logging.h"
 
@@ -83,6 +84,20 @@ void Frontend::set_target_p(uint32_t p_new,
 
 void Frontend::confirm_fetch(NodeId node) {
   repl_.confirm(node);
+}
+
+RingId Frontend::add_document(const pps::FileInfo& doc) {
+  if (!ingest_) {
+    throw std::logic_error("Frontend::add_document: no ingest router");
+  }
+  return ingest_->add_document(doc);
+}
+
+bool Frontend::delete_document(RingId doc_id) {
+  if (!ingest_) {
+    throw std::logic_error("Frontend::delete_document: no ingest router");
+  }
+  return ingest_->delete_document(doc_id);
 }
 
 double Frontend::estimated_rate(NodeId id) const {

@@ -90,6 +90,17 @@ class Frontend {
   // Submits a query; `cb` fires when all sub-queries complete.
   uint64_t submit(QueryCallback cb);
 
+  // --- live ingestion (PAPER §7.4) ---------------------------------------
+  // The ingest router shares the front-end's process (it binds
+  // kUpdateServerAddr); harnesses attach it here so clients mutate the
+  // index through the same face they query it.
+  void set_ingest(IngestRouter* router) { ingest_ = router; }
+  IngestRouter* ingest() { return ingest_; }
+  const IngestRouter* ingest() const { return ingest_; }
+  // Client mutation entry points; require an attached router.
+  RingId add_document(const pps::FileInfo& doc);
+  bool delete_document(RingId doc_id);
+
   void set_dataset_size(uint64_t d) { dataset_size_ = d; }
 
   // Stats.
@@ -141,6 +152,7 @@ class Frontend {
   net::Transport& net_;
   FrontendParams params_;
   uint64_t dataset_size_;
+  IngestRouter* ingest_ = nullptr;
   core::Ring ring_;
   core::QueryPlanner planner_;
   core::ReplicationController repl_;

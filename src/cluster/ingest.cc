@@ -1,0 +1,519 @@
+#include "cluster/ingest.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace roar::cluster {
+
+// Shard boundaries: b(s) = ceil(s * 2^64 / shards). shard_of uses the
+// inverse fixed-point multiply, which lands ids exactly in [b(s), b(s+1)).
+static uint64_t shard_boundary(uint32_t shard, uint32_t shards) {
+  unsigned __int128 x = (static_cast<unsigned __int128>(shard) << 64);
+  return static_cast<uint64_t>((x + shards - 1) / shards);
+}
+
+uint32_t shard_of(RingId id, uint32_t shards) {
+  unsigned __int128 prod =
+      static_cast<unsigned __int128>(id.raw()) * shards;
+  return static_cast<uint32_t>(prod >> 64);
+}
+
+Arc shard_arc(uint32_t shard, uint32_t shards) {
+  if (shards <= 1) return Arc(RingId(0), UINT64_MAX);  // (near-)full circle
+  uint64_t begin = shard_boundary(shard, shards);
+  uint64_t end = shard + 1 == shards ? 0 : shard_boundary(shard + 1, shards);
+  return Arc(RingId(begin), end - begin);  // unsigned wrap at the seam
+}
+
+void issue_random_ingest_op(IngestRouter& router, Rng& rng,
+                            double delete_frac) {
+  auto live = router.live_docs();
+  if (!live.empty() && rng.next_double() < delete_frac) {
+    router.delete_document(live[rng.next_below(live.size())]);
+    return;
+  }
+  router.add_document(pps::CorpusGenerator::sample_document(rng.next_u64()));
+}
+
+// ------------------------------------------------------------------ router
+
+IngestRouter::IngestRouter(net::Transport& net, IngestConfig cfg,
+                           uint64_t seed,
+                           std::shared_ptr<const MatchEngine> engine,
+                           RingProvider ring, PProvider safe_p)
+    : net_(net),
+      cfg_(cfg),
+      engine_(std::move(engine)),
+      ring_(std::move(ring)),
+      safe_p_(std::move(safe_p)),
+      rng_(seed),
+      shards_(cfg_.shards == 0 ? 1 : cfg_.shards),
+      ref_(engine_->base_store()) {
+  if (cfg_.shards == 0) cfg_.shards = 1;
+}
+
+void IngestRouter::start() {
+  net_.bind(kUpdateServerAddr,
+            [this](net::Address from, net::Bytes payload) {
+              (void)from;
+              handle(from, std::move(payload));
+            });
+}
+
+void IngestRouter::handle(net::Address from, net::Bytes payload) {
+  (void)from;
+  auto type = peek_type(payload);
+  if (!type) return;
+  switch (*type) {
+    case MsgType::kUpdateAck:
+      if (auto m = UpdateAckMsg::decode(payload)) on_ack(*m);
+      break;
+    case MsgType::kSyncReq:
+      if (auto m = SyncReqMsg::decode(payload)) on_sync_req(*m);
+      break;
+    default:
+      break;
+  }
+}
+
+RingId IngestRouter::add_document(const pps::FileInfo& doc) {
+  UpdateMsg op;
+  op.op = UpdateMsg::kAdd;
+  op.doc_id = rng_.next_ring_id();
+  op.enc_seed = rng_.next_u64();
+  op.path = doc.path;
+  op.keywords = doc.content_keywords;
+  op.size_bytes = doc.size_bytes;
+  op.mtime = doc.mtime;
+  RingId id = op.doc_id;
+  commit(std::move(op));
+  return id;
+}
+
+bool IngestRouter::delete_document(RingId doc_id) {
+  Shard& sh = shards_[shard_of(doc_id, cfg_.shards)];
+  bool ingested = sh.live_adds.count(doc_id.raw()) > 0;
+  bool in_base = !sh.deleted_base.count(doc_id.raw()) &&
+                 engine_->base_store()->slice(Arc(doc_id, 1)).count > 0;
+  if (!ingested && !in_base) return false;
+  UpdateMsg op;
+  op.op = UpdateMsg::kDelete;
+  op.doc_id = doc_id;
+  commit(std::move(op));
+  return true;
+}
+
+void IngestRouter::commit(UpdateMsg op) {
+  uint32_t shard = shard_of(op.doc_id, cfg_.shards);
+  Shard& sh = shards_[shard];
+  op.shard = shard;
+  op.lsn = sh.next_lsn++;
+  ++ops_accepted_;
+
+  // Catalog of live state, for full-segment transfers.
+  if (op.op == UpdateMsg::kAdd) {
+    sh.live_adds[op.doc_id.raw()] = op;
+  } else if (sh.live_adds.erase(op.doc_id.raw()) == 0) {
+    sh.deleted_base.insert(op.doc_id.raw());
+  }
+
+  sh.log.push_back(op);
+  while (sh.log.size() > cfg_.log_retain) {
+    sh.log.pop_front();
+    ++sh.log_head;
+  }
+
+  apply_to_reference(op);
+
+  for (NodeId id : replicas_of(shard)) {
+    net_.send(kUpdateServerAddr, node_address(id), op.encode());
+    ++updates_sent_;
+  }
+}
+
+void IngestRouter::apply_to_reference(const UpdateMsg& op) {
+  if (op.op == UpdateMsg::kAdd) {
+    pps::FileInfo doc;
+    doc.path = op.path;
+    doc.content_keywords = op.keywords;
+    doc.size_bytes = op.size_bytes;
+    doc.mtime = op.mtime;
+    ref_.add(engine_->encrypt_document(doc, op.doc_id, op.enc_seed));
+    ref_.maybe_compact(cfg_.compact_overlay);
+  } else {
+    ref_.remove(op.doc_id);
+    ref_.maybe_compact(cfg_.compact_overlay);
+  }
+}
+
+std::vector<NodeId> IngestRouter::replicas_of(uint32_t shard) const {
+  Arc arc = shard_arc(shard, cfg_.shards);
+  core::Ring ring = ring_();
+  uint32_t p = safe_p_();
+  std::vector<NodeId> out;
+  for (const auto& n : ring.nodes()) {
+    if (!n.alive) continue;
+    if (core::stored_object_arc(ring, n.id, p).intersects(arc)) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+uint64_t IngestRouter::issued_lsn(uint32_t shard) const {
+  return shards_.at(shard).next_lsn - 1;
+}
+
+uint64_t IngestRouter::acked_lsn(uint32_t shard, NodeId node) const {
+  auto it = acked_.find({shard, node});
+  return it == acked_.end() ? 0 : it->second;
+}
+
+uint64_t IngestRouter::watermark(uint32_t shard) const {
+  std::vector<NodeId> reps = replicas_of(shard);
+  if (reps.empty()) return issued_lsn(shard);
+  uint64_t low = UINT64_MAX;
+  for (NodeId id : reps) low = std::min(low, acked_lsn(shard, id));
+  return low;
+}
+
+std::vector<RingId> IngestRouter::live_docs() const {
+  std::vector<RingId> out;
+  for (const auto& sh : shards_) {
+    for (const auto& [raw, op] : sh.live_adds) out.push_back(RingId(raw));
+  }
+  return out;
+}
+
+void IngestRouter::on_ack(const UpdateAckMsg& m) {
+  if (m.shard >= cfg_.shards) return;
+  uint64_t& slot = acked_[{m.shard, m.node}];
+  slot = std::max(slot, m.applied_lsn);
+}
+
+void IngestRouter::on_sync_req(const SyncReqMsg& m) {
+  if (m.shard >= cfg_.shards) return;
+  ++syncs_served_;
+  const Shard& sh = shards_[m.shard];
+  uint64_t issued = sh.next_lsn - 1;
+  if (m.have_lsn >= issued) return;  // nothing new; silence is fine, the
+                                     // requester asks again next interval
+
+  SyncDataMsg reply;
+  reply.shard = m.shard;
+  reply.issued_lsn = issued;
+  if (m.have_lsn + 1 >= sh.log_head) {
+    // Close enough: the contiguous log suffix after the requester's LSN.
+    for (const auto& op : sh.log) {
+      if (op.lsn > m.have_lsn) reply.ops.push_back(op);
+    }
+  } else {
+    // Too far behind (log trimmed): authoritative live state for the
+    // shard — adds of every live ingested doc plus deletes of every
+    // removed boot-corpus doc. The receiver reconciles its local shard
+    // state against it (see IngestLog::apply_full_segment).
+    reply.full_segment = 1;
+    for (const auto& [raw, op] : sh.live_adds) reply.ops.push_back(op);
+    for (uint64_t raw : sh.deleted_base) {
+      UpdateMsg del;
+      del.shard = m.shard;
+      del.op = UpdateMsg::kDelete;
+      del.doc_id = RingId(raw);
+      reply.ops.push_back(del);
+    }
+    ++full_segments_sent_;
+  }
+  net_.send(kUpdateServerAddr, node_address(m.node), reply.encode());
+}
+
+// ----------------------------------------------------------------- replica
+
+IngestLog::IngestLog(net::Transport& net, NodeId node, IngestConfig cfg,
+                     std::shared_ptr<const MatchEngine> engine)
+    : net_(net),
+      node_(node),
+      cfg_(cfg),
+      engine_(std::move(engine)),
+      store_(engine_->base_store()) {
+  if (cfg_.shards == 0) cfg_.shards = 1;
+}
+
+IngestLog::~IngestLog() { on_kill(); }
+
+void IngestLog::on_start() {
+  if (running_) return;
+  running_ = true;
+  timer_id_ = net_.clock().schedule_after(cfg_.sync_interval_s,
+                                          [this] { sync_tick(); });
+}
+
+void IngestLog::on_kill() {
+  if (!running_) return;
+  running_ = false;
+  net_.clock().cancel(timer_id_);
+}
+
+void IngestLog::apply(const UpdateMsg& m) {
+  if (m.op == UpdateMsg::kAdd) {
+    pps::FileInfo doc;
+    doc.path = m.path;
+    doc.content_keywords = m.keywords;
+    doc.size_bytes = m.size_bytes;
+    doc.mtime = m.mtime;
+    store_.add(engine_->encrypt_document(doc, m.doc_id, m.enc_seed));
+  } else {
+    store_.remove(m.doc_id);
+  }
+  // Both branches: a delete-only stream grows the tombstone list (and
+  // the per-op copy-on-write cost) just like adds grow the delta.
+  store_.maybe_compact(cfg_.compact_overlay);
+  if (hooks_.charge) hooks_.charge();
+  ++ops_applied_;
+}
+
+void IngestLog::on_update(const UpdateMsg& m) {
+  if (m.shard >= cfg_.shards) return;
+  ShardState& st = shards_[m.shard];
+  if (m.lsn <= st.applied) {
+    ++duplicates_dropped_;
+    return;
+  }
+  if (m.lsn == st.applied + 1) {
+    apply(m);
+    st.applied = m.lsn;
+    drain_and_ack(m.shard);
+    return;
+  }
+  // Gap: a predecessor was lost or is still in flight. Buffer, and ask
+  // the router once per gap episode (the periodic sync covers the rest).
+  bool first_gap = st.pending.empty();
+  st.pending[m.lsn] = m;
+  ++gaps_buffered_;
+  if (first_gap) request_sync(m.shard);
+}
+
+void IngestLog::apply_full_segment(const SyncDataMsg& m) {
+  // Authoritative restart for the shard. The local shard state cannot be
+  // rebuilt by "clear overlay + replay": compaction may have folded
+  // ingested docs into the replica's base segment, where no overlay
+  // reset reaches them. Instead, RECONCILE against the segment: the
+  // authoritative live set is (boot corpus ∩ shard − segment deletes) ∪
+  // segment adds, and the boot corpus is always available as the
+  // engine's immutable base store.
+  Arc arc = shard_arc(m.shard, cfg_.shards);
+  std::set<uint64_t> segment_adds;
+  for (const auto& op : m.ops) {
+    if (op.op == UpdateMsg::kAdd) segment_adds.insert(op.doc_id.raw());
+  }
+
+  auto present = [this](RingId id) {
+    auto snap = store_.snapshot();
+    if (snap->is_dead(id)) return false;
+    Arc point(id, 1);
+    return (snap->base && snap->base->slice(point).count > 0) ||
+           (snap->delta && snap->delta->slice(point).count > 0);
+  };
+  auto in_boot = [this](RingId id) {
+    return engine_->base_store()->slice(Arc(id, 1)).count > 0;
+  };
+
+  // 1) Remove stale ingested docs: live locally, not in the segment's
+  // adds, not boot-corpus — e.g. a compacted-in doc whose delete the
+  // replica missed while it was down.
+  auto snap = store_.snapshot();
+  std::vector<uint64_t> local;
+  auto collect = [&](const std::shared_ptr<const pps::MetadataStore>& s) {
+    if (!s) return;
+    auto slice = s->slice(arc);
+    for (auto [first, last] : slice.extents) {
+      for (size_t i = first; i < last; ++i) {
+        const RingId id = s->items()[i].id;
+        if (!snap->is_dead(id)) local.push_back(id.raw());
+      }
+    }
+  };
+  collect(snap->base);
+  collect(snap->delta);
+  for (uint64_t raw : local) {
+    RingId id(raw);
+    if (!segment_adds.count(raw) && !in_boot(id)) {
+      UpdateMsg del;
+      del.shard = m.shard;
+      del.op = UpdateMsg::kDelete;
+      del.doc_id = id;
+      apply(del);
+    }
+  }
+
+  // 2) Apply the segment: deletes idempotently, adds only where absent
+  // (a compacted-in doc is already present in the base — re-adding it
+  // would double-count it).
+  for (const auto& op : m.ops) {
+    if (op.op == UpdateMsg::kDelete) {
+      if (present(op.doc_id)) apply(op);
+    } else if (!present(op.doc_id)) {
+      apply(op);
+    }
+  }
+  ++full_segments_applied_;
+}
+
+void IngestLog::on_sync_data(const SyncDataMsg& m) {
+  if (m.shard >= cfg_.shards) return;
+  ShardState& st = shards_[m.shard];
+  if (m.full_segment) {
+    // Staleness guard: a duplicated or reordered segment built before
+    // ops we have since applied would reconcile us BACKWARDS — and with
+    // the LSN already past its issued_lsn, anti-entropy would never
+    // notice the divergence. Drop it; a fresher reply is on its way.
+    if (m.issued_lsn < st.applied) {
+      ++stale_syncs_dropped_;
+      return;
+    }
+    apply_full_segment(m);
+    // Op LSNs in a full segment are not sequenced — the watermark jumps
+    // straight to issued_lsn.
+    st.applied = std::max(st.applied, m.issued_lsn);
+  } else {
+    for (const auto& op : m.ops) {
+      if (op.lsn <= st.applied) {
+        ++duplicates_dropped_;
+      } else if (op.lsn == st.applied + 1) {
+        apply(op);
+        st.applied = op.lsn;
+      } else {
+        st.pending[op.lsn] = op;
+      }
+    }
+  }
+  drain_and_ack(m.shard);
+}
+
+void IngestLog::drain_and_ack(uint32_t shard) {
+  ShardState& st = shards_[shard];
+  // Buffered ops made contiguous by what just applied.
+  while (!st.pending.empty()) {
+    auto it = st.pending.begin();
+    if (it->first <= st.applied) {
+      ++duplicates_dropped_;
+      st.pending.erase(it);
+    } else if (it->first == st.applied + 1) {
+      apply(it->second);
+      st.applied = it->first;
+      st.pending.erase(it);
+    } else {
+      break;
+    }
+  }
+  UpdateAckMsg ack;
+  ack.node = node_;
+  ack.shard = shard;
+  ack.applied_lsn = st.applied;
+  net_.send(node_address(node_), kUpdateServerAddr, ack.encode());
+}
+
+void IngestLog::request_sync(uint32_t shard) {
+  SyncReqMsg req;
+  req.node = node_;
+  req.shard = shard;
+  req.have_lsn = applied_lsn(shard);
+  net_.send(node_address(node_), kUpdateServerAddr, req.encode());
+  ++syncs_requested_;
+}
+
+void IngestLog::sync_tick() {
+  if (!running_) return;
+  bool alive = !hooks_.alive || hooks_.alive();
+  Arc stored = hooks_.stored_arc ? hooks_.stored_arc() : Arc();
+  if (alive && !stored.empty()) {
+    for (uint32_t s = 0; s < cfg_.shards; ++s) {
+      if (shard_arc(s, cfg_.shards).intersects(stored)) request_sync(s);
+    }
+  }
+  timer_id_ = net_.clock().schedule_after(cfg_.sync_interval_s,
+                                          [this] { sync_tick(); });
+}
+
+uint64_t IngestLog::applied_lsn(uint32_t shard) const {
+  auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.applied;
+}
+
+std::map<uint32_t, uint64_t> IngestLog::applied() const {
+  std::map<uint32_t, uint64_t> out;
+  for (const auto& [shard, st] : shards_) out[shard] = st.applied;
+  return out;
+}
+
+// ------------------------------------------------------------- invariants
+
+std::vector<std::string> ingest_safety_report(
+    const IngestRouter& router,
+    std::span<const IngestReplicaView> replicas) {
+  std::vector<std::string> out;
+  for (uint32_t s = 0; s < router.shards(); ++s) {
+    uint64_t issued = router.issued_lsn(s);
+    for (const auto& rep : replicas) {
+      if (!rep.log) continue;
+      uint64_t applied = rep.log->applied_lsn(s);
+      if (applied > issued) {
+        out.push_back("node " + std::to_string(rep.node) + " shard " +
+                      std::to_string(s) + " applied LSN " +
+                      std::to_string(applied) + " exceeds issued " +
+                      std::to_string(issued));
+      }
+      uint64_t acked = router.acked_lsn(s, rep.node);
+      if (acked > applied) {
+        out.push_back("node " + std::to_string(rep.node) + " shard " +
+                      std::to_string(s) + " acked " + std::to_string(acked) +
+                      " beyond its applied LSN " + std::to_string(applied));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ingest_convergence_report(
+    const IngestRouter& router,
+    std::span<const IngestReplicaView> replicas, bool probe_matches) {
+  std::vector<std::string> out;
+  auto ref_snap = router.reference().snapshot();
+  for (uint32_t s = 0; s < router.shards(); ++s) {
+    uint64_t issued = router.issued_lsn(s);
+    Arc arc = shard_arc(s, router.shards());
+    MatchEngine::Window window;
+    window.arc = arc;
+    MatchEngine::Result ref{};
+    bool ref_done = false;
+    for (const auto& rep : replicas) {
+      if (!rep.log || !rep.stored.intersects(arc)) continue;
+      uint64_t applied = rep.log->applied_lsn(s);
+      if (applied != issued) {
+        out.push_back("node " + std::to_string(rep.node) + " shard " +
+                      std::to_string(s) + " applied LSN " +
+                      std::to_string(applied) + " != issued " +
+                      std::to_string(issued));
+        continue;
+      }
+      if (!probe_matches) continue;
+      if (!ref_done) {
+        ref = router.engine().execute(window, *ref_snap);
+        ref_done = true;
+      }
+      MatchEngine::Result got =
+          router.engine().execute(window, *rep.log->snapshot());
+      if (got.scanned != ref.scanned || got.matches != ref.matches) {
+        out.push_back(
+            "node " + std::to_string(rep.node) + " shard " +
+            std::to_string(s) + " probe (" + std::to_string(got.scanned) +
+            " scanned, " + std::to_string(got.matches) +
+            " matches) != reference (" + std::to_string(ref.scanned) + ", " +
+            std::to_string(ref.matches) + ")");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace roar::cluster

@@ -16,15 +16,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 MatchEngine::MatchEngine(const MatchEngineConfig& config)
     : key_(pps::SecretKey::from_seed(config.encoder_seed)),
-      encoder_(key_, pps::MetadataEncoderParams::keyword_only()),
-      store_(4096) {
+      encoder_(key_, pps::MetadataEncoderParams::keyword_only()) {
   pps::CorpusParams cp;
   cp.content_keywords_per_file = 2;
   cp.max_path_depth = 3;
   pps::CorpusGenerator gen(cp, config.corpus_seed);
   auto files = gen.generate(config.corpus_items);
   Rng rng(config.corpus_seed);
-  store_.load(pps::encrypt_corpus(encoder_, files, rng));
+  auto store = std::make_shared<pps::MetadataStore>(4096);
+  store->load(pps::encrypt_corpus(encoder_, files, rng));
+  base_ = std::move(store);
 
   std::vector<pps::Predicate> preds;
   if (config.query_word_rank > 0) {
@@ -37,27 +38,71 @@ MatchEngine::MatchEngine(const MatchEngineConfig& config)
   query_.emplace(pps::Combiner::kAnd, std::move(preds));
 }
 
+pps::EncryptedFileMetadata MatchEngine::encrypt_document(
+    const pps::FileInfo& doc, RingId id, uint64_t enc_seed) const {
+  Rng rng(enc_seed);
+  pps::EncryptedFileMetadata m = encoder_.encrypt(doc, rng);
+  m.id = id;
+  return m;
+}
+
 MatchEngine::Result MatchEngine::run_slice(
+    const pps::MetadataStore& store,
     const pps::MetadataStore::RangeSlice& slice,
+    const pps::StoreSnapshot* skip_dead,
     pps::MultiPredicateQuery::Evaluation& eval) const {
   Result res;
-  const auto& items = store_.items();
+  const auto& items = store.items();
   pps::MatchCost cost;
   auto t0 = std::chrono::steady_clock::now();
   for (auto [first, last] : slice.extents) {
     for (size_t i = first; i < last; ++i) {
+      if (skip_dead && skip_dead->is_dead(items[i].id)) continue;
+      ++res.scanned;
       if (eval.match(items[i], &cost)) ++res.matches;
     }
   }
   res.cpu_s = seconds_since(t0);
-  res.scanned = slice.count;
+  if (!skip_dead) res.scanned = slice.count;
+  return res;
+}
+
+MatchEngine::Result MatchEngine::run_window(
+    const Window& window, const pps::StoreSnapshot* snap,
+    pps::MultiPredicateQuery::Evaluation& eval) const {
+  if (!snap) {
+    return run_slice(*base_,
+                     window.whole ? base_->slice_all()
+                                  : base_->slice(window.arc),
+                     nullptr, eval);
+  }
+  // Versioned view: the base segment, then the delta segment, both minus
+  // tombstones. Adding cpu times keeps the measurement honest for the
+  // speed estimator.
+  Result res;
+  auto scan = [&](const std::shared_ptr<const pps::MetadataStore>& store) {
+    if (!store || store->size() == 0) return;
+    Result part = run_slice(
+        *store, window.whole ? store->slice_all() : store->slice(window.arc),
+        snap, eval);
+    res.scanned += part.scanned;
+    res.matches += part.matches;
+    res.cpu_s += part.cpu_s;
+  };
+  scan(snap->base);
+  scan(snap->delta);
   return res;
 }
 
 MatchEngine::Result MatchEngine::execute(const Window& window) const {
   auto eval = query_->evaluate();
-  return run_slice(window.whole ? store_.slice_all() : store_.slice(window.arc),
-                   eval);
+  return run_window(window, nullptr, eval);
+}
+
+MatchEngine::Result MatchEngine::execute(
+    const Window& window, const pps::StoreSnapshot& snap) const {
+  auto eval = query_->evaluate();
+  return run_window(window, &snap, eval);
 }
 
 std::vector<MatchEngine::Result> MatchEngine::execute_batch(
@@ -67,8 +112,22 @@ std::vector<MatchEngine::Result> MatchEngine::execute_batch(
   auto eval = query_->evaluate();  // shared ordering state: one sampling
                                    // phase amortized over the batch
   for (const auto& w : windows) {
-    out.push_back(
-        run_slice(w.whole ? store_.slice_all() : store_.slice(w.arc), eval));
+    out.push_back(run_window(w, nullptr, eval));
+  }
+  return out;
+}
+
+std::vector<MatchEngine::Result> MatchEngine::execute_batch(
+    const std::vector<Window>& windows,
+    const std::vector<std::shared_ptr<const pps::StoreSnapshot>>& snaps)
+    const {
+  std::vector<Result> out;
+  out.reserve(windows.size());
+  auto eval = query_->evaluate();
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const pps::StoreSnapshot* snap =
+        i < snaps.size() ? snaps[i].get() : nullptr;
+    out.push_back(run_window(windows[i], snap, eval));
   }
   return out;
 }
@@ -77,6 +136,13 @@ uint64_t MatchEngine::full_store_matches() const {
   Window whole;
   whole.whole = true;
   return execute(whole).matches;
+}
+
+uint64_t MatchEngine::full_store_matches(
+    const pps::StoreSnapshot& snap) const {
+  Window whole;
+  whole.whole = true;
+  return execute(whole, snap).matches;
 }
 
 }  // namespace roar::cluster

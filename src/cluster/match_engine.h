@@ -9,9 +9,18 @@
 // CPU time. Combined with a core::WorkerPool this is the node-side
 // parallel execution engine: the scan runs off the event-loop thread.
 //
-// Thread safety: the store, encoder, and query are immutable after
-// construction; execute() builds per-call (or per-batch) evaluation
-// state, so any number of workers may call it concurrently.
+// Live ingestion: the boot corpus is one immutable base store shared by
+// every replica; each replica layers its own pps::VersionedStore over it
+// (see cluster/ingest.h). execute() then takes the replica's pinned
+// StoreSnapshot and scans base + delta segments, skipping tombstoned ids
+// — results depend only on the snapshot's live content, never on overlay
+// layout or compaction state.
+//
+// Thread safety: the engine itself (store, encoder, query) is immutable
+// after construction; execute() builds per-call (or per-batch) evaluation
+// state, so any number of workers may call it concurrently. Snapshots are
+// immutable too — pin one per batch on the loop thread and hand it to the
+// lanes.
 //
 // Because every responsibility window of a completed query partitions the
 // ring exactly (§4.2), the per-part match counts of one query always sum
@@ -28,6 +37,7 @@
 #include "pps/corpus.h"
 #include "pps/predicates.h"
 #include "pps/store.h"
+#include "pps/versioned_store.h"
 
 namespace roar::cluster {
 
@@ -55,27 +65,57 @@ class MatchEngine {
     double cpu_s = 0.0;  // measured wall time of the scan
   };
 
-  // Scans one window. Thread-safe.
+  // Scans one window of the boot corpus. Thread-safe.
   Result execute(const Window& window) const;
+
+  // Scans one window of a replica's versioned view: base + delta, minus
+  // tombstones. `scanned` counts live documents only, so two replicas at
+  // the same version report identical results regardless of compaction.
+  Result execute(const Window& window, const pps::StoreSnapshot& snap) const;
 
   // Scans a batch sharing one evaluation (predicate-ordering state) —
   // the amortization a node gets from draining several pending
   // sub-queries per wakeup. Results align with `windows` by index.
+  // `snaps` (when given) aligns by index too; a null entry means the boot
+  // corpus.
   std::vector<Result> execute_batch(const std::vector<Window>& windows) const;
+  std::vector<Result> execute_batch(
+      const std::vector<Window>& windows,
+      const std::vector<std::shared_ptr<const pps::StoreSnapshot>>& snaps)
+      const;
 
-  size_t store_size() const { return store_.size(); }
+  size_t store_size() const { return base_->size(); }
+
+  // The immutable boot corpus, shared as the base layer of every
+  // replica's VersionedStore.
+  std::shared_ptr<const pps::MetadataStore> base_store() const {
+    return base_;
+  }
+
+  // Encrypts one ingested document under this engine's key with a
+  // deterministic randomness stream, so every replica producing metadata
+  // for (doc, id, enc_seed) produces identical bytes.
+  pps::EncryptedFileMetadata encrypt_document(const pps::FileInfo& doc,
+                                              RingId id,
+                                              uint64_t enc_seed) const;
 
   // Match count over the whole store — the invariant total that every
   // completed query's parts must sum to.
   uint64_t full_store_matches() const;
+  // Same, over a versioned view.
+  uint64_t full_store_matches(const pps::StoreSnapshot& snap) const;
 
  private:
-  Result run_slice(const pps::MetadataStore::RangeSlice& slice,
+  Result run_slice(const pps::MetadataStore& store,
+                   const pps::MetadataStore::RangeSlice& slice,
+                   const pps::StoreSnapshot* skip_dead,
                    pps::MultiPredicateQuery::Evaluation& eval) const;
+  Result run_window(const Window& window, const pps::StoreSnapshot* snap,
+                    pps::MultiPredicateQuery::Evaluation& eval) const;
 
   pps::SecretKey key_;
   pps::MetadataEncoder encoder_;
-  pps::MetadataStore store_;
+  std::shared_ptr<const pps::MetadataStore> base_;
   std::optional<pps::MultiPredicateQuery> query_;
 };
 

@@ -18,6 +18,7 @@ void NodeRuntime::start() {
   net_.bind(address(), [this](net::Address from, net::Bytes payload) {
     handle(from, std::move(payload));
   });
+  if (ingest_) ingest_->on_start();  // resume the anti-entropy sessions
 }
 
 void NodeRuntime::kill() {
@@ -27,6 +28,9 @@ void NodeRuntime::kill() {
   // tasks finish on their lanes but their completions see alive_ == false
   // and drop the reply.
   pending_subs_.clear();
+  // The ingest log and its store survive (they are the node's disk); only
+  // the sync timer stops until a revival restarts it.
+  if (ingest_) ingest_->on_kill();
 }
 
 void NodeRuntime::set_executor(NodeExecutor exec) {
@@ -37,6 +41,22 @@ void NodeRuntime::set_executor(NodeExecutor exec) {
 void NodeRuntime::set_match_engine(
     std::shared_ptr<const MatchEngine> engine) {
   engine_ = std::move(engine);
+}
+
+void NodeRuntime::enable_ingest(IngestConfig cfg,
+                                std::shared_ptr<const MatchEngine> engine) {
+  ingest_ = std::make_unique<IngestLog>(net_, params_.id, cfg,
+                                        std::move(engine));
+  IngestLog::Hooks hooks;
+  hooks.stored_arc = [this] { return stored_arc(); };
+  // §7.3.4: each applied update consumes matching capacity on the node's
+  // modeled pipeline.
+  hooks.charge = [this] {
+    enqueue_work(params_.update_cost_s);
+    ++updates_applied_;
+  };
+  hooks.alive = [this] { return alive_; };
+  ingest_->set_hooks(std::move(hooks));
 }
 
 Arc NodeRuntime::stored_arc() const {
@@ -69,6 +89,14 @@ void NodeRuntime::handle(net::Address from, net::Bytes payload) {
       break;
     case MsgType::kObjectUpdate:
       if (auto m = ObjectUpdateMsg::decode(payload)) on_update(*m);
+      break;
+    case MsgType::kUpdate:
+      if (!ingest_) break;
+      if (auto m = UpdateMsg::decode(payload)) ingest_->on_update(*m);
+      break;
+    case MsgType::kSyncData:
+      if (!ingest_) break;
+      if (auto m = SyncDataMsg::decode(payload)) ingest_->on_sync_data(*m);
       break;
     default:
       break;
@@ -107,6 +135,9 @@ NodeRuntime::ResolvedSub NodeRuntime::resolve(net::Address from,
   // real corpus at 43-node scale (the PPS example runs the real matcher).
   sub.reply.matches = static_cast<uint64_t>(count / 10'000.0);
   sub.modeled_service_s = count / rate() + params_.subquery_overhead_s;
+  // Ingesting nodes match against their own versioned view; pinning the
+  // snapshot here (loop thread) is the executor-safe swap point.
+  if (engine_ && ingest_) sub.snap = ingest_->snapshot();
   return sub;
 }
 
@@ -136,10 +167,18 @@ void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
 
   if (engine_) {
     // Inline real matching (workers = 0): the scan runs on the loop
-    // thread, the reply leaves immediately — results identical to the
-    // pooled path, only the concurrency differs.
+    // thread — results identical to the pooled path, only the
+    // concurrency differs.
     ResolvedSub sub = resolve(from, m);
-    MatchEngine::Result r = engine_->execute(sub.window);
+    MatchEngine::Result r = sub.snap ? engine_->execute(sub.window, *sub.snap)
+                                     : engine_->execute(sub.window);
+    if (modeled_timing_) {
+      // Virtual-time deployments: real counts, analytic timing — the
+      // reply departs at the modeled pipeline's finish, so traces stay
+      // independent of the host's actual scan speed.
+      reply_modeled(sub, r.scanned, r.matches);
+      return;
+    }
     complete(sub, r.scanned, r.matches,
              r.cpu_s + params_.subquery_overhead_s);
     return;
@@ -150,11 +189,18 @@ void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
   // branch is byte-identical with the pre-engine node, which keeps the
   // EmulatedCluster's virtual-time traces stable.
   ResolvedSub sub = resolve(from, m);
+  reply_modeled(sub, sub.reply.scanned, sub.reply.matches);
+}
+
+void NodeRuntime::reply_modeled(const ResolvedSub& sub, uint64_t scanned,
+                                uint64_t matches) {
   double service = sub.modeled_service_s;
   double finish = enqueue_work(service);
   ++subqueries_served_;
 
   SubQueryReplyMsg reply = sub.reply;
+  reply.scanned = scanned;
+  reply.matches = matches;
   reply.service_s = service;
   net::Address dest = sub.from;
   net_.clock().schedule_at(finish, [this, dest, reply] {
@@ -196,9 +242,14 @@ void NodeRuntime::drain_batch() {
       exec_.pool->submit([this, engine, overhead, post,
                           chunk = std::move(chunk)]() mutable {
         std::vector<MatchEngine::Window> windows;
+        std::vector<std::shared_ptr<const pps::StoreSnapshot>> snaps;
         windows.reserve(chunk.size());
-        for (const auto& s : chunk) windows.push_back(s.window);
-        auto results = engine->execute_batch(windows);
+        snaps.reserve(chunk.size());
+        for (const auto& s : chunk) {
+          windows.push_back(s.window);
+          snaps.push_back(s.snap);  // null = boot corpus
+        }
+        auto results = engine->execute_batch(windows, snaps);
         post([this, chunk = std::move(chunk),
               results = std::move(results), overhead] {
           if (!alive_) return;  // crashed while the scan ran
@@ -251,6 +302,16 @@ void NodeRuntime::on_fetch_order(const FetchOrderMsg& m) {
     done.new_p = new_p;
     net_.send(address(), kMembershipAddr, done.encode());
   });
+}
+
+std::vector<IngestReplicaView> collect_ingest_replicas(
+    std::span<const std::unique_ptr<NodeRuntime>> nodes) {
+  std::vector<IngestReplicaView> out;
+  for (const auto& n : nodes) {
+    if (!n->alive() || !n->ingest() || n->range().empty()) continue;
+    out.push_back({n->id(), n->ingest(), n->stored_arc()});
+  }
+  return out;
 }
 
 void NodeRuntime::on_update(const ObjectUpdateMsg& m) {

@@ -20,8 +20,10 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "cluster/ingest.h"
 #include "cluster/match_engine.h"
 #include "cluster/protocol.h"
 #include "core/reconfig.h"
@@ -29,11 +31,6 @@
 #include "net/transport.h"
 
 namespace roar::cluster {
-
-inline net::Address node_address(NodeId id) { return 100 + id; }
-inline constexpr net::Address kMembershipAddr = 0;
-inline constexpr net::Address kFrontendAddr = 1;
-inline constexpr net::Address kUpdateServerAddr = 2;
 
 struct NodeParams {
   NodeId id = 0;
@@ -81,6 +78,19 @@ class NodeRuntime {
   // Attaches real matching (shared, immutable). Without an engine the
   // node uses the analytic service model.
   void set_match_engine(std::shared_ptr<const MatchEngine> engine);
+  // Live ingestion: gives the node its own IngestLog (a per-replica
+  // versioned store over the engine's shared base corpus + the
+  // anti-entropy SyncSession). Requires set_match_engine with the same
+  // engine; call before start().
+  void enable_ingest(IngestConfig cfg,
+                     std::shared_ptr<const MatchEngine> engine);
+  IngestLog* ingest() { return ingest_.get(); }
+  const IngestLog* ingest() const { return ingest_.get(); }
+  // Deterministic timing for engine-backed matching: replies carry REAL
+  // scanned/match counts but are scheduled at the ANALYTIC service-model
+  // finish time. This is how the virtual-time EmulatedCluster runs real
+  // matching without its traces depending on wall-clock scan speed.
+  void set_modeled_timing(bool on) { modeled_timing_ = on; }
 
   // Matching rate in metadata/s.
   double rate() const { return params_.base_rate * params_.speed; }
@@ -108,6 +118,10 @@ class NodeRuntime {
     SubQueryReplyMsg reply;   // query/part ids prefilled
     MatchEngine::Window window;
     double modeled_service_s = 0.0;  // engine-less lanes sleep this
+    // Versioned view pinned at resolve time (loop thread), so every
+    // sub-query of one batch matches ONE consistent snapshot no matter
+    // how many ingest ops land while lanes scan. Null without ingest.
+    std::shared_ptr<const pps::StoreSnapshot> snap;
   };
 
   void handle(net::Address from, net::Bytes payload);
@@ -127,6 +141,11 @@ class NodeRuntime {
   // Loop thread: accounting + reply for one finished sub-query.
   void complete(const ResolvedSub& sub, uint64_t scanned, uint64_t matches,
                 double service_s);
+  // Virtual-time reply: occupies the modeled pipeline for the analytic
+  // service time and schedules the reply at its finish. Shared by the
+  // engine-less path and the modeled-timing engine path.
+  void reply_modeled(const ResolvedSub& sub, uint64_t scanned,
+                     uint64_t matches);
 
   // Enqueues `seconds` of work at the local pipeline; returns finish time.
   double enqueue_work(double seconds);
@@ -144,10 +163,18 @@ class NodeRuntime {
 
   NodeExecutor exec_;
   std::shared_ptr<const MatchEngine> engine_;
+  std::unique_ptr<IngestLog> ingest_;
+  bool modeled_timing_ = false;
   std::vector<std::pair<net::Address, SubQueryMsg>> pending_subs_;
   bool drain_scheduled_ = false;
   uint64_t batches_drained_ = 0;
   uint64_t batched_subqueries_ = 0;
 };
+
+// The replica views (live, ranged, ingest-enabled nodes) the
+// convergence/safety reports take. Shared by both harnesses so their
+// replica-eligibility rule cannot drift apart.
+std::vector<IngestReplicaView> collect_ingest_replicas(
+    std::span<const std::unique_ptr<NodeRuntime>> nodes);
 
 }  // namespace roar::cluster

@@ -20,7 +20,7 @@ std::optional<net::Reader> reader_for(const net::Bytes& b, MsgType expect) {
 std::optional<MsgType> peek_type(const net::Bytes& b) {
   if (b.empty()) return std::nullopt;
   uint8_t t = b[0];
-  if (t < 1 || t > 7) return std::nullopt;
+  if (t < 1 || t > 11) return std::nullopt;
   return static_cast<MsgType>(t);
 }
 
@@ -145,6 +145,117 @@ std::optional<ObjectUpdateMsg> ObjectUpdateMsg::decode(const net::Bytes& b) {
   m.object_id = r->ring_id();
   m.payload_bytes = r->u32();
   if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes UpdateMsg::encode() const {
+  auto w = with_type(MsgType::kUpdate);
+  w.u32(shard);
+  w.u64(lsn);
+  w.u8(op);
+  w.ring_id(doc_id);
+  w.u64(enc_seed);
+  w.str(path);
+  w.u32(static_cast<uint32_t>(keywords.size()));
+  for (const auto& kw : keywords) w.str(kw);
+  w.u64(static_cast<uint64_t>(size_bytes));
+  w.u64(static_cast<uint64_t>(mtime));
+  return w.take();
+}
+
+std::optional<UpdateMsg> UpdateMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kUpdate);
+  if (!r) return std::nullopt;
+  UpdateMsg m;
+  m.shard = r->u32();
+  m.lsn = r->u64();
+  m.op = r->u8();
+  m.doc_id = r->ring_id();
+  m.enc_seed = r->u64();
+  m.path = r->str();
+  uint32_t n = r->u32();
+  // Each keyword costs at least its 4-byte length prefix; a count the
+  // remaining bytes cannot possibly carry is hostile input, rejected
+  // before any allocation (the mutation fuzz drives this path).
+  if (!r->ok() || static_cast<uint64_t>(n) * 4 > r->remaining()) {
+    return std::nullopt;
+  }
+  m.keywords.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) m.keywords.push_back(r->str());
+  m.size_bytes = static_cast<int64_t>(r->u64());
+  m.mtime = static_cast<int64_t>(r->u64());
+  if (!r->ok() || m.op > UpdateMsg::kDelete) return std::nullopt;
+  return m;
+}
+
+net::Bytes UpdateAckMsg::encode() const {
+  auto w = with_type(MsgType::kUpdateAck);
+  w.u32(node);
+  w.u32(shard);
+  w.u64(applied_lsn);
+  return w.take();
+}
+
+std::optional<UpdateAckMsg> UpdateAckMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kUpdateAck);
+  if (!r) return std::nullopt;
+  UpdateAckMsg m;
+  m.node = r->u32();
+  m.shard = r->u32();
+  m.applied_lsn = r->u64();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes SyncReqMsg::encode() const {
+  auto w = with_type(MsgType::kSyncReq);
+  w.u32(node);
+  w.u32(shard);
+  w.u64(have_lsn);
+  return w.take();
+}
+
+std::optional<SyncReqMsg> SyncReqMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kSyncReq);
+  if (!r) return std::nullopt;
+  SyncReqMsg m;
+  m.node = r->u32();
+  m.shard = r->u32();
+  m.have_lsn = r->u64();
+  if (!r->ok()) return std::nullopt;
+  return m;
+}
+
+net::Bytes SyncDataMsg::encode() const {
+  auto w = with_type(MsgType::kSyncData);
+  w.u32(shard);
+  w.u8(full_segment);
+  w.u64(issued_lsn);
+  w.u32(static_cast<uint32_t>(ops.size()));
+  for (const auto& op : ops) w.bytes(op.encode());
+  return w.take();
+}
+
+std::optional<SyncDataMsg> SyncDataMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kSyncData);
+  if (!r) return std::nullopt;
+  SyncDataMsg m;
+  m.shard = r->u32();
+  m.full_segment = r->u8();
+  m.issued_lsn = r->u64();
+  uint32_t n = r->u32();
+  if (!r->ok() || static_cast<uint64_t>(n) * 4 > r->remaining()) {
+    return std::nullopt;
+  }
+  m.ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    net::Bytes raw = r->bytes();
+    if (!r->ok()) return std::nullopt;
+    auto op = UpdateMsg::decode(raw);
+    if (!op) return std::nullopt;  // nested op must itself be well-formed
+    m.ops.push_back(std::move(*op));
+  }
+  if (!r->ok() || m.full_segment > 1) return std::nullopt;
   return m;
 }
 

@@ -9,13 +9,23 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/ring_id.h"
 #include "net/serialize.h"
+#include "net/transport.h"
 
 namespace roar::cluster {
 
 using NodeId = uint32_t;
+
+// Well-known endpoint addresses of a ROAR deployment. The ingest router
+// serves the historical "update server" role, so it owns that address.
+inline net::Address node_address(NodeId id) { return 100 + id; }
+inline constexpr net::Address kMembershipAddr = 0;
+inline constexpr net::Address kFrontendAddr = 1;
+inline constexpr net::Address kUpdateServerAddr = 2;
 
 enum class MsgType : uint8_t {
   kSubQuery = 1,
@@ -23,8 +33,12 @@ enum class MsgType : uint8_t {
   kRangePush = 3,      // membership -> node: your range is [..]
   kFetchOrder = 4,     // membership -> node: download arc for new p
   kFetchComplete = 5,  // node -> membership
-  kObjectUpdate = 6,   // update server -> node
+  kObjectUpdate = 6,   // update server -> node (modeled-cost legacy path)
   kNodeStats = 7,      // node -> membership (load report)
+  kUpdate = 8,         // ingest router -> replica: one logged ingest op
+  kUpdateAck = 9,      // replica -> router: applied-LSN watermark
+  kSyncReq = 10,       // replica -> router: anti-entropy catch-up request
+  kSyncData = 11,      // router -> replica: ops since LSN / full segment
 };
 
 struct SubQueryMsg {
@@ -93,6 +107,69 @@ struct NodeStatsMsg {
 
   net::Bytes encode() const;
   static std::optional<NodeStatsMsg> decode(const net::Bytes& b);
+};
+
+// One logged index mutation, replicated by the ingest router to every
+// replica of the owning shard. (shard, lsn) totally orders the shard's
+// history; `enc_seed` makes every replica's encryption of an added
+// document byte-identical (each seeds its encoder Rng with it), which is
+// what makes replica match results byte-comparable.
+struct UpdateMsg {
+  uint32_t shard = 0;
+  uint64_t lsn = 0;
+  uint8_t op = 0;  // 0 = add document, 1 = delete document
+  RingId doc_id;
+  uint64_t enc_seed = 0;  // deterministic encryption stream (add only)
+  std::string path;
+  std::vector<std::string> keywords;
+  int64_t size_bytes = 0;
+  int64_t mtime = 0;
+
+  static constexpr uint8_t kAdd = 0;
+  static constexpr uint8_t kDelete = 1;
+
+  net::Bytes encode() const;
+  static std::optional<UpdateMsg> decode(const net::Bytes& b);
+};
+
+// Replica -> router: "my contiguously applied LSN for `shard` is
+// `applied_lsn`". The router's per-replica watermarks come from these.
+struct UpdateAckMsg {
+  NodeId node = 0;
+  uint32_t shard = 0;
+  uint64_t applied_lsn = 0;
+
+  net::Bytes encode() const;
+  static std::optional<UpdateAckMsg> decode(const net::Bytes& b);
+};
+
+// Replica -> router: anti-entropy. "Send me everything for `shard` after
+// `have_lsn`." Sent periodically and whenever a gap is detected.
+struct SyncReqMsg {
+  NodeId node = 0;
+  uint32_t shard = 0;
+  uint64_t have_lsn = 0;
+
+  net::Bytes encode() const;
+  static std::optional<SyncReqMsg> decode(const net::Bytes& b);
+};
+
+// Router -> replica: catch-up payload. Incremental (`full_segment` == 0:
+// ops are the contiguous log suffix after the requested LSN) or a full
+// segment (`full_segment` == 1: `ops` describe the shard's authoritative
+// live state and the receiver reconciles its local state against them —
+// sent when the requested LSN predates the router's retained log).
+// `issued_lsn` is the router's
+// latest LSN for the shard; after applying, the replica's watermark is
+// exactly that.
+struct SyncDataMsg {
+  uint32_t shard = 0;
+  uint8_t full_segment = 0;
+  uint64_t issued_lsn = 0;
+  std::vector<UpdateMsg> ops;
+
+  net::Bytes encode() const;
+  static std::optional<SyncDataMsg> decode(const net::Bytes& b);
 };
 
 // Reads the leading type byte without consuming the payload.

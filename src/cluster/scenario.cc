@@ -44,6 +44,43 @@ size_t InvariantChecker::check(const std::string& context) {
   }
   check_reconfig(context);
   check_accounting(context);
+  check_ingest_safety(context);
+  return violations_.size() - before;
+}
+
+void InvariantChecker::check_ingest_safety(const std::string& context) {
+  const IngestRouter* router = cluster_.ingest();
+  if (!router) return;
+  auto replicas = cluster_.ingest_replicas();
+  for (auto& detail : ingest_safety_report(*router, replicas)) {
+    fail(context, "ingest: " + std::move(detail));
+  }
+  // Applied LSNs only move forward (full-segment resets jump them to the
+  // issued LSN, which is itself monotone).
+  for (const auto& rep : replicas) {
+    for (const auto& [shard, applied] : rep.log->applied()) {
+      uint64_t& seen = last_applied_[{shard, rep.node}];
+      if (applied < seen) {
+        fail(context, "ingest: node " + std::to_string(rep.node) +
+                          " shard " + std::to_string(shard) +
+                          " applied LSN went backwards (" +
+                          std::to_string(seen) + " -> " +
+                          std::to_string(applied) + ")");
+      }
+      seen = std::max(seen, applied);
+    }
+  }
+}
+
+size_t InvariantChecker::check_ingest_converged(const std::string& context) {
+  const IngestRouter* router = cluster_.ingest();
+  if (!router) return 0;
+  size_t before = violations_.size();
+  auto replicas = cluster_.ingest_replicas();
+  for (auto& detail : ingest_convergence_report(*router, replicas,
+                                                /*probe_matches=*/true)) {
+    fail(context, "ingest convergence: " + std::move(detail));
+  }
   return violations_.size() - before;
 }
 
@@ -347,6 +384,28 @@ Scenario& Scenario::burst(double at, double rate_per_s, uint32_t count) {
       });
 }
 
+Scenario& Scenario::ingest(double at, double rate_per_s, uint32_t count,
+                           double delete_frac) {
+  if (!cluster_.ingest()) {
+    throw std::logic_error(
+        "Scenario::ingest requires ClusterConfig::enable_ingest");
+  }
+  return add(
+      at,
+      "ingest " + std::to_string(count) + " ops at " +
+          std::to_string(rate_per_s) + "/s",
+      [this, rate_per_s, count, delete_frac] {
+        double t = cluster_.now();
+        for (uint32_t i = 0; i < count; ++i) {
+          t += rng_.next_exponential(rate_per_s);
+          cluster_.loop().schedule_at(t, [this, delete_frac] {
+            ++result_.ingest_ops;
+            issue_random_ingest_op(*cluster_.ingest(), rng_, delete_frac);
+          });
+        }
+      });
+}
+
 ScenarioResult Scenario::run(double duration) {
   result_ = {};
   double t0 = cluster_.now();
@@ -372,17 +431,26 @@ ScenarioResult Scenario::run(double duration) {
   cluster_.loop().run_until(t0 + duration);
 
   // Drain window: queries submitted near the end of the run (or stalled
-  // behind timeout/split rounds) get a bounded grace period to resolve,
-  // so the result counters account for every submission.
+  // behind timeout/split rounds) get a bounded grace period to resolve —
+  // and, with ingestion, the replicas' SyncSessions get time to converge
+  // on the router's final LSNs — so the result accounts for everything.
   double drain_deadline = t0 + duration + drain_s_;
-  while (result_.queries_completed + result_.queries_partial <
-             result_.queries_submitted &&
-         cluster_.now() < drain_deadline) {
+  auto drained = [this] {
+    return result_.queries_completed + result_.queries_partial >=
+               result_.queries_submitted &&
+           cluster_.ingest_converged();
+  };
+  // do-while: advance at least once, so an event applied at the very end
+  // (e.g. a revival whose range push is still in flight) is visible to
+  // the convergence verdict before we judge it.
+  do {
     cluster_.loop().run_until(
         std::min(cluster_.now() + 1.0, drain_deadline));
-  }
+  } while (!drained() && cluster_.now() < drain_deadline);
 
   checker_.check("end");
+  result_.ingest_converged = cluster_.ingest_converged();
+  checker_.check_ingest_converged("end");
   result_.messages_sent = cluster_.transport().messages_sent();
   result_.messages_dropped = cluster_.transport().messages_dropped();
   result_.violations.assign(

@@ -24,6 +24,13 @@
 //  5. Message accounting: counters are monotone and conserved through the
 //     fault layer (sent − injected drops + duplicates − in flight ==
 //     inner transport's sends).
+//  6. Ingest safety (clusters built with enable_ingest): at every check,
+//     no replica's applied LSN exceeds the router's issued LSN, no acked
+//     watermark exceeds its replica's applied LSN, and applied LSNs are
+//     monotone per (shard, node). At the END of a run (after the drain
+//     window) the full convergence invariant holds: every live replica of
+//     every shard sits at the router's issued LSN and returns match
+//     results identical to the router's reference state.
 //
 // Everything is seeded; a scenario's event trace and the cluster's
 // message counters are bit-for-bit reproducible from (config, seed) —
@@ -31,7 +38,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/emulated_cluster.h"
@@ -50,6 +59,10 @@ class InvariantChecker {
 
   // Runs every check; returns the number of new violations recorded.
   size_t check(const std::string& context);
+  // Quiescent-state ingest convergence (identical applied LSNs AND
+  // identical per-shard match results); meaningful only once the workload
+  // drained. No-op without ingestion. Returns new violations.
+  size_t check_ingest_converged(const std::string& context);
   const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }
@@ -61,12 +74,15 @@ class InvariantChecker {
   void check_plan(const std::string& context, uint32_t pq);
   void check_reconfig(const std::string& context);
   void check_accounting(const std::string& context);
+  void check_ingest_safety(const std::string& context);
 
   EmulatedCluster& cluster_;
   Rng rng_;
   uint32_t object_samples_ = 48;
   std::vector<InvariantViolation> violations_;
   uint64_t last_messages_sent_ = 0;
+  // Per-(shard, node) applied-LSN high-water marks for monotonicity.
+  std::map<std::pair<uint32_t, NodeId>, uint64_t> last_applied_;
 };
 
 struct ScenarioResult {
@@ -76,6 +92,8 @@ struct ScenarioResult {
   uint32_t queries_completed = 0;
   uint32_t queries_partial = 0;  // answered with harvest < 1
   double min_harvest = 1.0;      // lowest harvest over all burst queries
+  uint32_t ingest_ops = 0;       // index mutations the scenario issued
+  bool ingest_converged = true;  // replicas caught up by the end of drain
   uint64_t messages_sent = 0;
   uint64_t messages_dropped = 0;
   std::vector<InvariantViolation> violations;
@@ -105,6 +123,11 @@ class Scenario {
   Scenario& partition(double at, double duration, std::vector<NodeId> island);
   // Poisson query burst: `count` queries at `rate_per_s` starting at `at`.
   Scenario& burst(double at, double rate_per_s, uint32_t count);
+  // Poisson index-mutation burst: `count` ops at `rate_per_s` starting at
+  // `at` — adds of synthetic documents mixed with deletes of earlier adds
+  // (`delete_frac`). Requires ClusterConfig::enable_ingest.
+  Scenario& ingest(double at, double rate_per_s, uint32_t count,
+                   double delete_frac = 0.2);
 
   // Schedules everything, runs the loop for `duration` virtual seconds
   // (plus a drain window for still-outstanding queries), and returns the

@@ -44,8 +44,17 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   // Real matching: one immutable engine shared by every node (each node
   // scans only the slice a sub-query's window selects, so sharing the
   // corpus changes nothing observable and saves N-1 encryptions).
+  if (config_.enable_ingest) config_.real_matching = true;
   if (config_.real_matching) {
     engine_ = std::make_shared<const MatchEngine>(config_.engine);
+  }
+  if (config_.enable_ingest) {
+    ingest_router_ = std::make_unique<IngestRouter>(
+        control, config_.ingest, subseed(config_.seed, SeedStream::kIngest),
+        engine_, [this] { return membership_.ring(0); },
+        [this] { return frontend_->safe_p(); });
+    ingest_router_->start();
+    frontend_->set_ingest(ingest_router_.get());
   }
 
   // One listener per storage node.
@@ -58,6 +67,7 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
     auto node = std::make_unique<NodeRuntime>(*transport, np,
                                               config_.dataset_size);
     if (engine_) node->set_match_engine(engine_);
+    if (config_.enable_ingest) node->enable_ingest(config_.ingest, engine_);
     if (config_.node_workers > 0) {
       // One pool per node: a node's lanes model its own cores, so capacity
       // scales per node exactly as the paper's thread sweeps do.
@@ -114,6 +124,14 @@ void TcpCluster::kill_node(NodeId id) {
   membership_.fail(id);
 }
 
+void TcpCluster::revive_node(NodeId id) {
+  NodeRuntime& node = *nodes_.at(id);
+  if (node.alive()) return;
+  node.start();
+  membership_.revive(id);
+  push_ranges();
+}
+
 void TcpCluster::change_p(uint32_t p_new) {
   order_p_change(membership_.ring(0), p_new, *transports_.front(),
                  *frontend_);
@@ -164,6 +182,28 @@ uint64_t TcpCluster::messages_dropped() const {
   uint64_t total = 0;
   for (const auto& t : transports_) total += t->messages_dropped();
   return total;
+}
+
+std::vector<IngestReplicaView> TcpCluster::ingest_replicas() const {
+  return collect_ingest_replicas(nodes_);
+}
+
+bool TcpCluster::ingest_converged() const {
+  if (!ingest_router_) return true;
+  auto reps = ingest_replicas();
+  return ingest_convergence_report(*ingest_router_, reps,
+                                   /*probe_matches=*/false)
+      .empty();
+}
+
+bool TcpCluster::run_until_ingest_converged(double timeout_s) {
+  double until = driver_.clock().now() + timeout_s;
+  // Poll before the first verdict so pending range pushes land (a
+  // revived node is invisible to the replica set until they do).
+  do {
+    driver_.poll(5);
+  } while (!ingest_converged() && driver_.clock().now() < until);
+  return ingest_converged();
 }
 
 uint64_t TcpCluster::batches_drained() const {

@@ -46,6 +46,13 @@ struct TcpClusterConfig {
   // MatchEngine) instead of the analytic service model.
   bool real_matching = false;
   MatchEngineConfig engine;
+
+  // --- live ingestion ----------------------------------------------------
+  // Per-node IngestLog + versioned store and an IngestRouter on the
+  // control endpoint. Implies real_matching (ingestion mutates the real
+  // corpus, not the analytic model).
+  bool enable_ingest = false;
+  IngestConfig ingest;
 };
 
 class TcpCluster {
@@ -68,6 +75,10 @@ class TcpCluster {
   // Crash-stops a node: its endpoint unbinds, so frames addressed to it
   // vanish; the front-end must discover the failure by timeout.
   void kill_node(NodeId id);
+  // Restarts a crashed node in place (it kept its data and its ingest
+  // log); ranges are republished and the node's SyncSessions resume,
+  // catching its index up with everything it missed.
+  void revive_node(NodeId id);
 
   // Reconfiguration (§4.5) over the wire: fetch orders out, completions
   // back, ranges republished once safe.
@@ -91,6 +102,15 @@ class TcpCluster {
 
   // The shared real-matching engine, or nullptr in modeled mode.
   const MatchEngine* engine() const { return engine_.get(); }
+
+  // The ingest router, or nullptr when enable_ingest is unset.
+  IngestRouter* ingest() { return ingest_router_.get(); }
+  const IngestRouter* ingest() const { return ingest_router_.get(); }
+  // Current replica views / convergence verdict (see cluster/ingest.h).
+  std::vector<IngestReplicaView> ingest_replicas() const;
+  bool ingest_converged() const;
+  // Polls sockets + timers until converged or timeout; returns verdict.
+  bool run_until_ingest_converged(double timeout_s = 20.0);
   // Execution-engine diagnostics summed over nodes / pools.
   uint64_t batches_drained() const;
   uint64_t batched_subqueries() const;
@@ -106,6 +126,7 @@ class TcpCluster {
   core::MembershipServer membership_;
   std::unique_ptr<Frontend> frontend_;
   std::shared_ptr<const MatchEngine> engine_;
+  std::unique_ptr<IngestRouter> ingest_router_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   // Declared after nodes_ so pools are destroyed (drained and joined)
   // first: in-flight tasks capture raw node pointers. Completions they

@@ -72,6 +72,7 @@ enum class SeedStream : uint64_t {
   // its cluster's own workload generator never produce correlated
   // arrival processes from the same base seed.
   kScenarioWorkload = 7,
+  kIngest = 8,  // ingest router: document id + encryption-seed draws
 };
 
 // Derives an independent, well-mixed child seed for `stream`.

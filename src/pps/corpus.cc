@@ -15,6 +15,17 @@ std::string CorpusGenerator::word(uint64_t rank) {
   return "w" + std::to_string(rank);
 }
 
+FileInfo CorpusGenerator::sample_document(uint64_t key) {
+  FileInfo f;
+  f.path = "ingest/doc" + std::to_string(key) + ".txt";
+  // Two keywords in the frequent band: key-dependent so different docs
+  // differ, low-ranked so a rank-8 engine query sees some of them.
+  f.content_keywords = {word(1 + key % 16), word(1 + (key / 16) % 64)};
+  f.size_bytes = static_cast<int64_t>(512 + key % 4096);
+  f.mtime = static_cast<int64_t>(1'400'000'000 + key % 100'000'000);
+  return f;
+}
+
 FileInfo CorpusGenerator::next_file() {
   FileInfo f;
 

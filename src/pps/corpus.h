@@ -33,6 +33,12 @@ class CorpusGenerator {
   // The word with the given Zipf rank (rank 1 = most frequent).
   static std::string word(uint64_t rank);
 
+  // A deterministic synthetic document for live-ingest workloads: the
+  // same key yields the same file everywhere (tests drive identical op
+  // streams through different harnesses and compare results). Keywords
+  // are low Zipf ranks, so ingested docs move real match counts.
+  static FileInfo sample_document(uint64_t key);
+
   FileInfo next_file();
   std::vector<FileInfo> generate(size_t count);
 

@@ -1,0 +1,101 @@
+#include "pps/versioned_store.h"
+
+#include <algorithm>
+
+namespace roar::pps {
+
+bool StoreSnapshot::is_dead(RingId id) const {
+  if (!dead) return false;
+  return std::binary_search(dead->begin(), dead->end(), id.raw());
+}
+
+size_t StoreSnapshot::live_size() const {
+  // Every tombstone names exactly one stored doc (or none, for a delete
+  // that raced ahead of its add); count only the ones that do.
+  size_t stored = (base ? base->size() : 0) + (delta ? delta->size() : 0);
+  size_t tombstoned = 0;
+  if (dead) {
+    for (uint64_t raw : *dead) {
+      RingId id(raw);
+      Arc point(id, 1);
+      bool present = (base && base->slice(point).count > 0) ||
+                     (delta && delta->slice(point).count > 0);
+      if (present) ++tombstoned;
+    }
+  }
+  return stored - tombstoned;
+}
+
+VersionedStore::VersionedStore(std::shared_ptr<const MetadataStore> base) {
+  auto snap = std::make_shared<StoreSnapshot>();
+  snap->base = std::move(base);
+  snap->delta = std::make_shared<const MetadataStore>(256);
+  snap->dead = std::make_shared<const std::vector<uint64_t>>();
+  snap->version = 0;
+  snap_ = std::move(snap);
+}
+
+std::shared_ptr<const StoreSnapshot> VersionedStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+void VersionedStore::publish(
+    std::shared_ptr<const MetadataStore> base,
+    std::shared_ptr<const MetadataStore> delta,
+    std::shared_ptr<const std::vector<uint64_t>> dead) {
+  auto next = std::make_shared<StoreSnapshot>();
+  next->base = std::move(base);
+  next->delta = std::move(delta);
+  next->dead = std::move(dead);
+  std::lock_guard<std::mutex> lock(mu_);
+  next->version = snap_->version + 1;
+  snap_ = std::move(next);
+}
+
+void VersionedStore::add(EncryptedFileMetadata item) {
+  auto cur = snapshot();
+  auto delta = std::make_shared<MetadataStore>(*cur->delta);  // COW copy
+  delta->insert(std::move(item));
+  ++adds_;
+  publish(cur->base, std::move(delta), cur->dead);
+}
+
+void VersionedStore::remove(RingId id) {
+  auto cur = snapshot();
+  auto dead = std::make_shared<std::vector<uint64_t>>(*cur->dead);
+  auto pos = std::lower_bound(dead->begin(), dead->end(), id.raw());
+  if (pos != dead->end() && *pos == id.raw()) return;  // duplicate delete
+  dead->insert(pos, id.raw());
+  ++removes_;
+  publish(cur->base, cur->delta, std::move(dead));
+}
+
+bool VersionedStore::maybe_compact(size_t overlay_limit) {
+  auto cur = snapshot();
+  if (cur->delta->size() + cur->dead->size() <= overlay_limit) return false;
+  compact();
+  return true;
+}
+
+void VersionedStore::compact() {
+  auto cur = snapshot();
+  std::vector<EncryptedFileMetadata> merged;
+  merged.reserve((cur->base ? cur->base->size() : 0) + cur->delta->size());
+  auto keep_live = [&](const MetadataStore& store) {
+    for (const auto& item : store.items()) {
+      if (!cur->is_dead(item.id)) merged.push_back(item);
+    }
+  };
+  if (cur->base) keep_live(*cur->base);
+  keep_live(*cur->delta);
+  // Preserve the base's block granularity so slice extents stay cheap.
+  size_t blocks = 1024;
+  auto base = std::make_shared<MetadataStore>(blocks);
+  base->load(std::move(merged));
+  ++compactions_;
+  publish(std::move(base), std::make_shared<const MetadataStore>(256),
+          std::make_shared<const std::vector<uint64_t>>());
+}
+
+}  // namespace roar::pps

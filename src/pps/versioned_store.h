@@ -1,0 +1,89 @@
+// Versioned mutable metadata store for live index ingestion.
+//
+// The boot-time corpus stays in one immutable MetadataStore shared by every
+// replica (the "base"). Mutations land in a copy-on-write overlay: added
+// documents in a small second MetadataStore (the "delta" segment), deleted
+// document ids in a sorted tombstone list. Publishing a mutation builds a
+// fresh immutable StoreSnapshot and swaps one shared_ptr — readers that
+// grabbed the previous snapshot keep scanning a consistent view for as long
+// as they hold it, which is what lets MatchEngine worker lanes run while
+// updates apply on the loop thread (same pattern as ndn-dpdk's versioned
+// data-plane tables: writers publish, readers pin a version).
+//
+// Threading contract: mutations (add/remove/compact) are single-writer —
+// the owning node's event-loop thread. snapshot() is safe from any thread
+// and is the ONLY read entry point; never cache the raw stores across
+// mutations. A snapshot outliving a compaction stays valid (it owns
+// shared_ptrs to the segments it was built from).
+//
+// Cost model: every mutation copies the overlay segment it touches (the
+// delta store for adds, the tombstone list for removes), so per-op cost
+// is O(overlay size) — deliberately bounded by the compaction threshold
+// (IngestConfig::compact_overlay), which callers invoke via
+// maybe_compact after every applied op. A chunked-immutable-delta design
+// would amortize this further if ingest rates ever outgrow the bound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "pps/store.h"
+
+namespace roar::pps {
+
+// One immutable, internally consistent view of base + overlay.
+struct StoreSnapshot {
+  std::shared_ptr<const MetadataStore> base;
+  std::shared_ptr<const MetadataStore> delta;      // docs added since base
+  std::shared_ptr<const std::vector<uint64_t>> dead;  // sorted raw ids
+  uint64_t version = 0;  // bumped once per published mutation
+
+  bool is_dead(RingId id) const;
+  // Live documents currently visible: base + delta minus tombstones.
+  size_t live_size() const;
+};
+
+class VersionedStore {
+ public:
+  // An empty base is legal (a store that starts blank and only ingests).
+  explicit VersionedStore(std::shared_ptr<const MetadataStore> base);
+
+  // Safe from any thread; the returned snapshot never changes.
+  std::shared_ptr<const StoreSnapshot> snapshot() const;
+  uint64_t version() const { return snapshot()->version; }
+  size_t live_size() const { return snapshot()->live_size(); }
+
+  // --- mutations (single writer: the owning loop thread) -----------------
+  // Adds a document. Ids are expected unique (they are uniform random
+  // 64-bit draws, §4.1); adding an id present in the tombstone list does
+  // NOT resurrect it — delete wins, matching the router's catalog rule.
+  void add(EncryptedFileMetadata item);
+  // Deletes by id (from base or delta). Unknown ids still record a
+  // tombstone: a delete racing ahead of its add must not be lost.
+  void remove(RingId id);
+
+  // Folds delta + tombstones into a fresh base once the overlay exceeds
+  // `overlay_limit` entries; probing results are unchanged by design (the
+  // snapshot-equivalence test asserts it). Returns true if it compacted.
+  bool maybe_compact(size_t overlay_limit);
+  void compact();
+
+  uint64_t adds() const { return adds_; }
+  uint64_t removes() const { return removes_; }
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  void publish(std::shared_ptr<const MetadataStore> base,
+               std::shared_ptr<const MetadataStore> delta,
+               std::shared_ptr<const std::vector<uint64_t>> dead);
+
+  mutable std::mutex mu_;  // guards snap_ swap/copy only
+  std::shared_ptr<const StoreSnapshot> snap_;
+  uint64_t adds_ = 0;
+  uint64_t removes_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace roar::pps

@@ -1,0 +1,139 @@
+// Ingest chaos soak: 20 seeded random scenarios interleaving a live
+// index-mutation stream with crashes, revivals, partitions, joins,
+// reconfigurations and query bursts. The InvariantChecker audits the
+// paper's guarantees plus ingest safety after every event, and the run
+// must END converged: every live replica of every shard at the router's
+// issued LSN with identical match results (checked probe-for-probe).
+// Registered under the `chaos` ctest label (nightly tier), like the
+// original soak in chaos_test.cc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/scenario.h"
+
+namespace roar::cluster {
+namespace {
+
+ClusterConfig ingest_chaos_config(uint64_t seed, uint32_t nodes,
+                                  uint32_t p) {
+  ClusterConfig cfg;
+  cfg.classes = {{"chaos", nodes, 1.0}};
+  cfg.p = p;
+  cfg.seed = seed;
+  cfg.enable_faults = true;
+  cfg.enable_ingest = true;
+  cfg.engine.corpus_items = 1'000;
+  cfg.dataset_size = cfg.engine.corpus_items;
+  cfg.node_proto.base_rate = 200'000.0;
+  cfg.frontend.initial_rate = 200'000.0;
+  cfg.frontend.timeout_factor = 2.0;
+  cfg.frontend.timeout_margin_s = 0.1;
+  // Small retained log so catch-ups exercise full-segment transfers too.
+  cfg.ingest.log_retain = 64;
+  return cfg;
+}
+
+ScenarioResult run_ingest_chaos(uint64_t seed) {
+  Rng rng(seed * 6007 + 3);
+  uint32_t nodes = 8 + static_cast<uint32_t>(rng.next_below(5));
+  uint32_t p = 3 + static_cast<uint32_t>(rng.next_below(3));
+  EmulatedCluster cluster(ingest_chaos_config(seed, nodes, p));
+  // Lossy, duplicating, reordering links between every replica and the
+  // ingest router: the update/ack/sync traffic must survive them (gap
+  // buffering, duplicate drop, stale-segment guard, anti-entropy repair).
+  // Scoped to the ingest links because the membership control plane's
+  // one-shot range pushes are, by design, repaired only by the scripted
+  // heal/republish events — not by random-loss recovery.
+  net::FaultSpec lossy;
+  lossy.drop = 0.02;
+  lossy.duplicate = 0.03;
+  lossy.reorder = 0.08;
+  lossy.reorder_delay_s = 0.2;
+  for (NodeId id = 0; id < nodes; ++id) {
+    cluster.faults()->set_link_faults(kUpdateServerAddr, node_address(id),
+                                      lossy);
+    cluster.faults()->set_link_faults(node_address(id), kUpdateServerAddr,
+                                      lossy);
+  }
+  Scenario s(cluster, seed);
+  s.checker().set_object_samples(24);
+
+  // A continuous mutation stream underneath everything else.
+  s.ingest(0.5, 40.0, 250, 0.25);
+  s.burst(1.0, 10.0, 10);
+  std::vector<NodeId> crashed;
+  double t = 3.0;
+  for (int ev = 0; ev < 6; ++ev) {
+    switch (rng.next_below(6)) {
+      case 0: {
+        if (crashed.size() < nodes / 3) {
+          NodeId victim = static_cast<NodeId>(rng.next_below(nodes));
+          if (std::find(crashed.begin(), crashed.end(), victim) ==
+              crashed.end()) {
+            s.crash(t, victim);
+            crashed.push_back(victim);
+          }
+        }
+        break;
+      }
+      case 1:
+        if (!crashed.empty()) {
+          s.revive(t, crashed.back());
+          crashed.pop_back();
+        }
+        break;
+      case 2: {
+        std::vector<NodeId> island{
+            static_cast<NodeId>(rng.next_below(nodes))};
+        s.partition(t, 2.0 + rng.next_double() * 2.0, island);
+        break;
+      }
+      case 3:
+        s.reconfigure(t, 2 + static_cast<uint32_t>(rng.next_below(5)));
+        break;
+      case 4:
+        s.join(t, 0.5 + rng.next_double());
+        break;
+      case 5:
+        s.ingest(t, 50.0, 50, 0.3);
+        break;
+    }
+    t += 3.0 + rng.next_double() * 3.0;
+  }
+  // Revive everyone still down so the convergence invariant covers the
+  // whole ring at the end.
+  for (NodeId id : crashed) s.revive(t, id);
+  s.burst(t + 1.0, 10.0, 10);
+  return s.run(t + 20.0);
+}
+
+TEST(IngestChaosSoakTest, TwentySeedsConvergeWithInvariantsIntact) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ScenarioResult res = run_ingest_chaos(seed);
+    for (const auto& v : res.violations) {
+      ADD_FAILURE() << "seed " << seed << " t=" << v.at << " after '"
+                    << v.context << "': " << v.detail;
+    }
+    EXPECT_GT(res.events_applied, 0u);
+    EXPECT_GE(res.ingest_ops, 250u);  // base stream; bursts may add more
+    EXPECT_TRUE(res.ingest_converged) << "seed " << seed;
+    EXPECT_EQ(res.queries_completed + res.queries_partial,
+              res.queries_submitted);
+  }
+}
+
+TEST(IngestChaosSoakTest, SameSeedReproducesTraceAndOpCounts) {
+  ScenarioResult a = run_ingest_chaos(4);
+  ScenarioResult b = run_ingest_chaos(4);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.ingest_ops, b.ingest_ops);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.queries_submitted, b.queries_submitted);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+}
+
+}  // namespace
+}  // namespace roar::cluster

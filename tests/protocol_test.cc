@@ -12,7 +12,7 @@
 namespace roar::cluster {
 namespace {
 
-// All seven message types with non-default field values, as raw bytes.
+// All eleven message types with non-default field values, as raw bytes.
 std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   std::vector<std::pair<std::string, net::Bytes>> out;
 
@@ -63,6 +63,44 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   ns.observed_rate = 250'000.0;
   out.emplace_back("NodeStats", ns.encode());
 
+  UpdateMsg up;
+  up.shard = 5;
+  up.lsn = 0xFEDCBA9876543210ull;
+  up.op = UpdateMsg::kAdd;
+  up.doc_id = RingId::from_double(0.375);
+  up.enc_seed = 0xA5A5A5A5A5A5A5A5ull;
+  up.path = "home/projects/roar/notes.txt";
+  up.keywords = {"w8", "w91", "zz_nomatch_0"};
+  up.size_bytes = -1;  // sign round-trip
+  up.mtime = 1'600'000'000;
+  out.emplace_back("Update", up.encode());
+
+  UpdateMsg del;
+  del.shard = 0;
+  del.lsn = 1;
+  del.op = UpdateMsg::kDelete;
+  del.doc_id = RingId::from_double(0.5);
+  out.emplace_back("UpdateDelete", del.encode());
+
+  UpdateAckMsg ua;
+  ua.node = 9;
+  ua.shard = 5;
+  ua.applied_lsn = 123456789;
+  out.emplace_back("UpdateAck", ua.encode());
+
+  SyncReqMsg sr;
+  sr.node = 3;
+  sr.shard = 7;
+  sr.have_lsn = 42;
+  out.emplace_back("SyncReq", sr.encode());
+
+  SyncDataMsg sd;
+  sd.shard = 7;
+  sd.full_segment = 1;
+  sd.issued_lsn = 99;
+  sd.ops = {up, del};
+  out.emplace_back("SyncData", sd.encode());
+
   return out;
 }
 
@@ -93,6 +131,18 @@ net::Bytes reencode(const net::Bytes& b) {
       break;
     case MsgType::kNodeStats:
       if (auto m = NodeStatsMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kUpdate:
+      if (auto m = UpdateMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kUpdateAck:
+      if (auto m = UpdateAckMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kSyncReq:
+      if (auto m = SyncReqMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kSyncData:
+      if (auto m = SyncDataMsg::decode(b)) return m->encode();
       break;
   }
   return {};
@@ -142,15 +192,25 @@ TEST(ProtocolCoverageTest, EveryTruncationIsRejected) {
 TEST(ProtocolCoverageTest, CorruptTailsNeverCrashAndNeverOverread) {
   // Flipping bytes after the type tag must yield either a clean reject or
   // a decode whose re-encoding is well-formed — never UB (run under
-  // sanitizers via the normal build flags).
+  // sanitizers via the normal build flags). Fixed-layout messages must
+  // re-encode at the original size; messages carrying strings (a flipped
+  // length prefix legally reframes the tail) must instead re-encode to a
+  // decoding fixed point.
   Rng rng(123);
   for (const auto& [name, bytes] : sample_messages()) {
+    bool variable = name == "Update" || name == "UpdateDelete" ||
+                    name == "SyncData";
     for (int trial = 0; trial < 200; ++trial) {
       net::Bytes mutated = bytes;
       size_t idx = 1 + rng.next_below(mutated.size() - 1);
       mutated[idx] = static_cast<uint8_t>(rng.next_u64());
       net::Bytes re = reencode(mutated);
-      if (!re.empty()) EXPECT_EQ(re.size(), bytes.size()) << name;
+      if (re.empty()) continue;
+      if (variable) {
+        EXPECT_EQ(reencode(re), re) << name;
+      } else {
+        EXPECT_EQ(re.size(), bytes.size()) << name;
+      }
     }
   }
 }
@@ -170,6 +230,10 @@ TEST(ProtocolCoverageTest, RandomMutationFuzzNeverCrashesAnyDecoder) {
     (void)FetchCompleteMsg::decode(b);
     (void)ObjectUpdateMsg::decode(b);
     (void)NodeStatsMsg::decode(b);
+    (void)UpdateMsg::decode(b);
+    (void)UpdateAckMsg::decode(b);
+    (void)SyncReqMsg::decode(b);
+    (void)SyncDataMsg::decode(b);
   };
   for (const auto& [name, bytes] : sample_messages()) {
     SCOPED_TRACE(name);
