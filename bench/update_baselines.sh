@@ -24,6 +24,7 @@ declare -A RUNS=(
   [tcp_loopback]="$BUILD_DIR/bench/bench_tcp_loopback --duration 2.0 --seed 3"
   [fig5_5_threads]="$BUILD_DIR/bench/bench_fig5_5_threads --seed 7"
   [fig7_4_updates]="$BUILD_DIR/bench/bench_fig7_4_updates --seed 9"
+  [fig7_5_dynamic_p]="$BUILD_DIR/bench/bench_fig7_5_dynamic_p --seed 9"
 )
 
 mkdir -p "$BASELINES"

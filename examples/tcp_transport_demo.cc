@@ -66,7 +66,7 @@ int main() {
   TcpTransport frontend(driver);
   uint32_t replies = 0;
   uint64_t total_scanned = 0;
-  frontend.bind(kFrontendAddr, [&](Address from, Bytes payload) {
+  frontend.bind(frontend_address(0), [&](Address from, Bytes payload) {
     auto reply = SubQueryReplyMsg::decode(payload);
     if (!reply) return;
     ++replies;
@@ -89,7 +89,7 @@ int main() {
     msg.window_end = msg.point;
     msg.pq = kNodes;
     msg.share = 1.0 / kNodes;
-    frontend.send(kFrontendAddr, node_address(i), msg.encode());
+    frontend.send(frontend_address(0), node_address(i), msg.encode());
   }
 
   bool ok = driver.run_until([&] { return replies == kNodes; }, 5.0);

@@ -1,78 +1,292 @@
 #include "cluster/control.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace roar::cluster {
 
-void push_ranges(const core::Ring& ring, uint32_t p, net::Transport& net,
-                 Frontend& frontend) {
-  for (const auto& n : ring.nodes()) {
-    Arc range = ring.range_of(n.id);
-    RangePushMsg msg;
-    msg.range_begin = range.begin();
-    msg.range_len = range.length();
-    msg.p = p;
-    net.send(kMembershipAddr, node_address(n.id), msg.encode());
+ControlPlane::ControlPlane(net::Transport& net,
+                           core::MembershipServer& membership,
+                           ControlPlaneParams params)
+    : net_(net),
+      membership_(membership),
+      params_(params),
+      repl_(params.initial_p),
+      storage_p_(params.initial_p) {
+  view_.target_p = view_.safe_p = view_.storage_p = params.initial_p;
+  if (params_.adaptive) {
+    adaptive_.emplace(params_.adaptive_params);
   }
-  frontend.sync_ring(ring);
 }
 
-void order_p_change(const core::Ring& ring, uint32_t p_new,
-                    net::Transport& net, Frontend& frontend) {
-  uint32_t p_old = frontend.safe_p();
-  if (p_new == p_old) return;
-  if (p_new > p_old) {
-    // Increase p: safe immediately; nodes drop surplus data lazily.
-    frontend.set_target_p(p_new, {});
-    push_ranges(ring, frontend.target_p(), net, frontend);
+void ControlPlane::start() {
+  net_.bind(kMembershipAddr, [this](net::Address from, net::Bytes payload) {
+    handle(from, std::move(payload));
+  });
+  if (params_.retransmit_interval_s > 0) {
+    net_.clock().schedule_after(params_.retransmit_interval_s,
+                                [this] { retransmit_tick(); });
+  }
+  if (adaptive_) {
+    net_.clock().schedule_after(params_.adaptive_interval_s,
+                                [this] { adaptive_tick(); });
+  }
+}
+
+void ControlPlane::subscribe_node(NodeId id) {
+  subs_[node_address(id)] = {false, false, 0};
+}
+
+void ControlPlane::subscribe_frontend(net::Address addr) {
+  subs_[addr] = {true, false, 0};
+}
+
+void ControlPlane::unsubscribe(net::Address addr) {
+  subs_.erase(addr);
+  maybe_clear_drop_gate();  // a departed front-end leaves the gate
+}
+
+void ControlPlane::set_frontend_down(net::Address addr, bool down) {
+  auto it = subs_.find(addr);
+  if (it == subs_.end()) return;
+  it->second.down = down;
+  // A crashed front-end cannot hold surplus drops hostage: it re-syncs
+  // through kViewPull before serving again, so it never plans at a p the
+  // nodes stopped storing for.
+  if (down) maybe_clear_drop_gate();
+}
+
+void ControlPlane::set_warming(NodeId id, bool warming) {
+  if (warming) {
+    warming_.insert(id);
+  } else {
+    warming_.erase(id);
+  }
+}
+
+core::ClusterView ControlPlane::capture(uint64_t epoch) const {
+  return core::ClusterView::capture(epoch, membership_.ring(0), repl_,
+                                    storage_p_, warming_);
+}
+
+void ControlPlane::publish() {
+  core::ClusterView next = capture(view_.epoch + 1);
+  if (next.same_state(view_)) return;  // nothing to tell anyone
+  ViewDeltaMsg msg;
+  msg.delta = core::view_diff(view_, next);
+  view_ = std::move(next);
+  delta_log_.push_back(msg);
+  while (delta_log_.size() > params_.delta_log_retain) {
+    delta_log_.pop_front();
+  }
+  broadcast(msg);
+}
+
+void ControlPlane::resync(bool everyone) {
+  ViewDeltaMsg msg;
+  msg.delta = core::view_full_delta(view_);
+  net::Bytes payload = msg.encode();  // shared by every recipient
+  for (const auto& [addr, sub] : subs_) {
+    if (sub.down) continue;
+    if (!everyone && sub.acked >= view_.epoch) continue;
+    net_.send(kMembershipAddr, addr, payload);
+  }
+}
+
+void ControlPlane::broadcast(const ViewDeltaMsg& msg) {
+  net::Bytes payload = msg.encode();  // one serialization per epoch step
+  for (const auto& [addr, sub] : subs_) {
+    if (sub.down) continue;
+    net_.send(kMembershipAddr, addr, payload);
+  }
+}
+
+void ControlPlane::send_full(net::Address to) {
+  ViewDeltaMsg msg;
+  msg.delta = core::view_full_delta(view_);
+  net_.send(kMembershipAddr, to, msg.encode());
+}
+
+void ControlPlane::commit_change(uint32_t p_new) {
+  storage_p_ = p_new;
+  ++p_changes_;
+  publish();
+  if (on_reconfigured) on_reconfigured(p_new);
+}
+
+void ControlPlane::order_p_change(uint32_t p_new) {
+  if (p_new == 0) return;
+  if (reconfig_busy()) {
+    ROAR_LOG(kInfo) << "control: p change to " << p_new
+                    << " ignored, reconfiguration in flight";
     return;
   }
-  // Decrease p: order fetches, switch only on full confirmation.
+  uint32_t p_old = repl_.safe_p();
+  if (p_new == p_old) return;
+  if (p_new > p_old) {
+    // Increase: safe immediately (arcs only shrink), but nodes may drop
+    // surplus data only once every live front-end acknowledged the raise.
+    repl_.begin_change(p_new, {});
+    bool any_frontend = false;
+    for (const auto& [addr, sub] : subs_) {
+      any_frontend |= sub.is_frontend && !sub.down;
+    }
+    publish();
+    if (any_frontend) {
+      drop_gate_ = {p_new, view_.epoch};
+    } else {
+      commit_change(p_new);
+    }
+    return;
+  }
+  // Decrease: every live node must fetch its extended arc and confirm
+  // before the new, smaller p becomes safe. The pending set travels in
+  // the view — receiving the epoch IS the fetch order.
   std::vector<NodeId> confirmers;
-  for (const auto& n : ring.nodes()) {
-    if (!n.alive) continue;
-    confirmers.push_back(n.id);
+  for (const auto& n : membership_.ring(0).nodes()) {
+    if (n.alive) confirmers.push_back(n.id);
   }
-  frontend.set_target_p(p_new, confirmers);
-  for (NodeId id : confirmers) {
-    Arc fetch = core::ReplicationController::fetch_arc(ring, id, p_old, p_new);
-    FetchOrderMsg msg;
-    msg.arc_begin = fetch.begin();
-    msg.arc_len = fetch.length();
-    msg.new_p = p_new;
-    net.send(kMembershipAddr, node_address(id), msg.encode());
-  }
-}
-
-void reissue_fetch_orders(const core::Ring& ring, net::Transport& net,
-                          Frontend& frontend) {
-  const core::ReplicationController& repl = frontend.replication();
-  if (!repl.in_progress()) return;
-  uint32_t p_old = repl.safe_p(), p_new = repl.target_p();
-  for (NodeId id : repl.pending()) {
-    if (!ring.contains(id) || !ring.node(id).alive) continue;
-    Arc fetch = core::ReplicationController::fetch_arc(ring, id, p_old, p_new);
-    FetchOrderMsg msg;
-    msg.arc_begin = fetch.begin();
-    msg.arc_len = fetch.length();
-    msg.new_p = p_new;
-    net.send(kMembershipAddr, node_address(id), msg.encode());
+  repl_.begin_change(p_new, confirmers);
+  if (!repl_.in_progress()) {
+    // Zero live confirmers (everything crashed): the change completes
+    // vacuously inside the controller, so commit — otherwise storage_p
+    // would sit above safe_p forever with no gate pending.
+    commit_change(repl_.safe_p());
+  } else {
+    publish();
   }
 }
 
-void handle_membership_message(
-    const net::Bytes& payload, Frontend& frontend,
-    const std::function<void(uint32_t new_p)>& on_reconfigured) {
+void ControlPlane::abandon_fetch(NodeId id) {
+  if (!repl_.in_progress()) return;
+  bool was_pending = repl_.pending().count(id) > 0;
+  repl_.abandon(id);
+  if (!was_pending) return;
+  if (!repl_.in_progress()) {
+    commit_change(repl_.safe_p());
+  } else {
+    publish();
+  }
+}
+
+uint64_t ControlPlane::acked_epoch(net::Address addr) const {
+  auto it = subs_.find(addr);
+  return it != subs_.end() ? it->second.acked : 0;
+}
+
+void ControlPlane::handle(net::Address from, net::Bytes payload) {
+  (void)from;
   auto type = peek_type(payload);
   if (!type) return;
-  if (*type == MsgType::kFetchComplete) {
-    if (auto m = FetchCompleteMsg::decode(payload)) {
-      frontend.confirm_fetch(m->node);
-      if (!frontend.ring().empty() && frontend.safe_p() == m->new_p) {
-        if (on_reconfigured) on_reconfigured(m->new_p);
+  switch (*type) {
+    case MsgType::kFetchComplete:
+      if (auto m = FetchCompleteMsg::decode(payload)) on_fetch_complete(*m);
+      break;
+    case MsgType::kViewAck:
+      if (auto m = ViewAckMsg::decode(payload)) on_view_ack(*m);
+      break;
+    case MsgType::kViewPull:
+      if (auto m = ViewPullMsg::decode(payload)) on_view_pull(*m);
+      break;
+    case MsgType::kNodeStats:
+      if (auto m = NodeStatsMsg::decode(payload)) on_node_stats(*m);
+      break;
+    default:
+      break;
+  }
+}
+
+void ControlPlane::on_fetch_complete(const FetchCompleteMsg& m) {
+  if (!repl_.in_progress() || m.new_p != repl_.target_p()) return;
+  if (repl_.pending().count(m.node) == 0) return;  // duplicate confirm
+  repl_.confirm(m.node);
+  if (!repl_.in_progress()) {
+    // Last confirmation: the smaller p is now safe everywhere.
+    commit_change(repl_.safe_p());
+  } else {
+    publish();  // pending set shrank; nodes track it through the view
+  }
+}
+
+void ControlPlane::on_view_ack(const ViewAckMsg& m) {
+  auto it = subs_.find(m.subscriber);
+  if (it == subs_.end()) return;
+  it->second.acked = std::max(it->second.acked, m.epoch);
+  if (adaptive_ && it->second.is_frontend) {
+    adaptive_->observe_latency(m.subscriber, net_.clock().now(), m.p99_s,
+                               m.completed);
+  }
+  maybe_clear_drop_gate();
+}
+
+void ControlPlane::maybe_clear_drop_gate() {
+  if (!drop_gate_) return;
+  for (const auto& [addr, sub] : subs_) {
+    if (!sub.is_frontend || sub.down) continue;
+    if (sub.acked < drop_gate_->second) return;
+  }
+  uint32_t p_new = drop_gate_->first;
+  drop_gate_.reset();
+  ROAR_LOG(kInfo) << "control: drop gate cleared, storage_p=" << p_new;
+  commit_change(p_new);
+}
+
+void ControlPlane::on_view_pull(const ViewPullMsg& m) {
+  if (subs_.find(m.subscriber) == subs_.end()) return;
+  if (m.have_epoch >= view_.epoch) {
+    // Current (or claims to be from the future): refresh with the full
+    // view anyway — a revived subscriber re-runs its reconciliation off
+    // this, e.g. re-deriving an in-flight fetch order it lost.
+    send_full(m.subscriber);
+    return;
+  }
+  uint64_t oldest = view_.epoch - delta_log_.size() + 1;
+  if (!delta_log_.empty() && m.have_epoch + 1 >= oldest) {
+    for (const auto& d : delta_log_) {
+      if (d.delta.epoch > m.have_epoch) {
+        net_.send(kMembershipAddr, m.subscriber, d.encode());
       }
     }
+  } else {
+    send_full(m.subscriber);
   }
+}
+
+void ControlPlane::on_node_stats(const NodeStatsMsg& m) {
+  if (adaptive_) {
+    adaptive_->observe_load(m.node, net_.clock().now(), m.busy_fraction);
+  }
+}
+
+void ControlPlane::retransmit_tick() {
+  resync(/*everyone=*/false);
+  // Nudge pending confirmers: a node whose kFetchComplete was lost (or
+  // that never saw the ordering epoch) re-derives its duty from the full
+  // view and re-reports. Idempotent on both ends.
+  if (repl_.in_progress()) {
+    for (NodeId id : repl_.pending()) {
+      const core::ViewMember* member = view_.find(id);
+      if (member && member->alive) send_full(node_address(id));
+    }
+  }
+  net_.clock().schedule_after(params_.retransmit_interval_s,
+                              [this] { retransmit_tick(); });
+}
+
+void ControlPlane::adaptive_tick() {
+  double now = net_.clock().now();
+  if (!reconfig_busy()) {
+    uint32_t p_new = adaptive_->decide(now, repl_.target_p());
+    if (p_new != 0 && p_new != repl_.target_p()) {
+      ROAR_LOG(kInfo) << "control: adaptive p " << repl_.target_p() << " -> "
+                      << p_new << " (p99=" << adaptive_->last_p99_s()
+                      << "s, busy=" << adaptive_->last_busy() << ")";
+      order_p_change(p_new);
+    }
+  }
+  net_.clock().schedule_after(params_.adaptive_interval_s,
+                              [this] { adaptive_tick(); });
 }
 
 }  // namespace roar::cluster

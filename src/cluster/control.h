@@ -1,46 +1,162 @@
-// Control-plane glue shared by the cluster harnesses.
+// The ROAR control plane (§4.5, §4.8–§4.9): single writer of the
+// epoch-versioned ClusterView, distributed to every node and front-end
+// over the wire.
 //
-// EmulatedCluster (virtual time, InProcNetwork) and TcpCluster (wall
-// clock, loopback TCP) run the identical membership/reconfiguration
-// choreography; these helpers keep that logic in one place so the two
-// harnesses differ only in transport and time source.
+// The ControlPlane owns the §4.5 ReplicationController and publishes the
+// membership server's state as ViewDelta broadcasts. Subscribers ack each
+// applied epoch (kViewAck) and pull on gaps (kViewPull); a periodic
+// retransmission tick re-sends the current view to any subscriber whose
+// watermark lags, so partitioned or revived subscribers converge without
+// bespoke recovery paths. This retires the old one-shot kFetchOrder
+// re-issue dance: a node that missed the delta ordering its fetch simply
+// receives the epoch again and derives the order from the view.
+//
+// Reconfiguration choreography over views:
+//
+//  * decrease p (r grows): pending confirmers ride in the view; each node
+//    that finds itself pending starts its background download and reports
+//    kFetchComplete. safe_p (and storage_p) flip only when the last
+//    confirmation lands — until then every published view keeps the old
+//    safe level, so front-ends never partition a query below it.
+//  * increase p (r shrinks): safe_p rises immediately, but storage_p —
+//    the level nodes store at — rises only once every live front-end has
+//    acked the raising epoch (the drop gate). A front-end still planning
+//    at the old p therefore always finds the old replication arcs on
+//    disk: "no query is ever partitioned with an unsafe p" holds
+//    end-to-end, not just inside one process.
+//
+// The adaptive-p controller (core/adaptive_p.h) plugs in here: the
+// control plane feeds it the kNodeStats load reports and the front-ends'
+// piggybacked latency digests, ticks it on a fixed cadence, and gates its
+// decisions through the same §4.5 safety machinery as manual changes.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <map>
+#include <optional>
+#include <set>
 
-#include "cluster/frontend.h"
+#include "cluster/protocol.h"
+#include "core/adaptive_p.h"
+#include "core/cluster_view.h"
 #include "core/membership.h"
 
 namespace roar::cluster {
 
-// Pushes the authoritative range + partitioning level p to every node of
-// `ring` (as kRangePush messages from the membership address) and re-syncs
-// the front-end's ring mirror.
-void push_ranges(const core::Ring& ring, uint32_t p, net::Transport& net,
-                 Frontend& frontend);
+struct ControlPlaneParams {
+  uint32_t initial_p = 8;
+  // Laggard-resync cadence; also nudges pending §4.5 confirmers whose
+  // completion may have been lost. 0 disables the timer (tests only).
+  double retransmit_interval_s = 0.5;
+  // Incremental deltas retained for kViewPull suffix replies; pulls from
+  // further behind get a full snapshot.
+  size_t delta_log_retain = 64;
+  // Closed-loop p control (off by default).
+  bool adaptive = false;
+  core::AdaptivePParams adaptive_params;
+  double adaptive_interval_s = 4.0;
+};
 
-// Starts a reconfiguration to p_new (§4.5). Increases switch immediately;
-// decreases order a fetch from every live node and arm the front-end's
-// safety tracking. No-op when p_new equals the current safe p.
-void order_p_change(const core::Ring& ring, uint32_t p_new,
-                    net::Transport& net, Frontend& frontend);
+class ControlPlane {
+ public:
+  ControlPlane(net::Transport& net, core::MembershipServer& membership,
+               ControlPlaneParams params);
 
-// Re-sends the outstanding fetch orders of an in-progress p decrease to
-// every pending confirmer still live on `ring`. Fetch orders are one-shot
-// datagrams: a partition or a crash-and-revive can black-hole the
-// original, wedging safe_p forever — harnesses call this after a heal or
-// a revival to let the reconfiguration make progress again. Duplicate
-// orders are harmless (the node re-fetches and re-confirms; confirming
-// twice is a no-op). Does nothing when no change is in progress.
-void reissue_fetch_orders(const core::Ring& ring, net::Transport& net,
-                          Frontend& frontend);
+  // Binds kMembershipAddr and arms the periodic timers.
+  void start();
 
-// Handles one message addressed to the membership server. On a
-// kFetchComplete that completes the reconfiguration (safe_p reached the
-// sender's new_p), invokes `on_reconfigured(new_p)` — harnesses use it to
-// republish ranges.
-void handle_membership_message(
-    const net::Bytes& payload, Frontend& frontend,
-    const std::function<void(uint32_t new_p)>& on_reconfigured);
+  // --- subscribers -------------------------------------------------------
+  void subscribe_node(NodeId id);
+  void subscribe_frontend(net::Address addr);
+  // Departed subscribers (graceful leave, long-term removal) stop
+  // receiving broadcasts and retransmissions.
+  void unsubscribe(net::Address addr);
+  // Harness notice that a front-end crashed/revived. Crashed front-ends
+  // leave the drop gate (they re-sync through kViewPull on restart) and
+  // are skipped by retransmission.
+  void set_frontend_down(net::Address addr, bool down);
+  // Nodes still downloading their arc (§4.3) are published as down.
+  void set_warming(NodeId id, bool warming);
+  bool is_warming(NodeId id) const { return warming_.count(id) > 0; }
+
+  // --- publication -------------------------------------------------------
+  // Captures the current membership + reconfiguration state; if anything
+  // changed, bumps the epoch and broadcasts the delta. Call after every
+  // membership mutation (the harnesses do).
+  void publish();
+  // Re-sends the current view: to every subscriber when `everyone`, else
+  // only to those whose ack watermark lags. The heal path uses this for
+  // promptness; the retransmit timer provides the same as a backstop.
+  void resync(bool everyone);
+
+  // --- reconfiguration (§4.5) -------------------------------------------
+  void order_p_change(uint32_t p_new);
+  // Long-term failure handling: a confirmer removed from the ring can
+  // never report; stop waiting on it (completes the change if last).
+  void abandon_fetch(NodeId id);
+  // A change is in flight: confirmations pending (decrease) or the drop
+  // gate waiting on front-end acks (increase).
+  bool reconfig_busy() const {
+    return repl_.in_progress() || drop_gate_.has_value();
+  }
+  bool drop_gate_pending() const { return drop_gate_.has_value(); }
+
+  // --- introspection -----------------------------------------------------
+  const core::ClusterView& view() const { return view_; }
+  const core::ReplicationController& replication() const { return repl_; }
+  uint64_t epoch() const { return view_.epoch; }
+  uint32_t safe_p() const { return repl_.safe_p(); }
+  uint32_t target_p() const { return repl_.target_p(); }
+  uint32_t storage_p() const { return storage_p_; }
+  // Committed p changes (a decrease counts when the last fetch confirms,
+  // an increase when the drop gate clears).
+  uint32_t p_changes_committed() const { return p_changes_; }
+  // Last acked epoch of a subscriber (0 if never heard from).
+  uint64_t acked_epoch(net::Address addr) const;
+  const core::AdaptivePController* adaptive() const {
+    return adaptive_ ? &*adaptive_ : nullptr;
+  }
+
+  // Invoked when a reconfiguration commits (safe_p reached target on a
+  // decrease; drop gate cleared on an increase). Harnesses log here.
+  std::function<void(uint32_t new_p)> on_reconfigured;
+
+ private:
+  struct Subscriber {
+    bool is_frontend = false;
+    bool down = false;
+    uint64_t acked = 0;
+  };
+
+  void handle(net::Address from, net::Bytes payload);
+  void on_fetch_complete(const FetchCompleteMsg& m);
+  void on_view_ack(const ViewAckMsg& m);
+  void on_view_pull(const ViewPullMsg& m);
+  void on_node_stats(const NodeStatsMsg& m);
+  void maybe_clear_drop_gate();
+  // Every committed change runs exactly this: storage level, counter,
+  // view epoch, notification.
+  void commit_change(uint32_t p_new);
+  void send_full(net::Address to);
+  void broadcast(const ViewDeltaMsg& msg);
+  void retransmit_tick();
+  void adaptive_tick();
+  core::ClusterView capture(uint64_t epoch) const;
+
+  net::Transport& net_;
+  core::MembershipServer& membership_;
+  ControlPlaneParams params_;
+  core::ReplicationController repl_;
+  uint32_t storage_p_;
+  // An increase waiting for every live front-end to ack (p_new, epoch).
+  std::optional<std::pair<uint32_t, uint64_t>> drop_gate_;
+  core::ClusterView view_;  // last published
+  std::map<net::Address, Subscriber> subs_;
+  std::deque<ViewDeltaMsg> delta_log_;  // epochs (epoch - size, epoch]
+  std::set<NodeId> warming_;
+  uint32_t p_changes_ = 0;
+  std::optional<core::AdaptivePController> adaptive_;
+};
 
 }  // namespace roar::cluster

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "cluster/control.h"
 #include "common/logging.h"
 
 namespace roar::cluster {
@@ -17,6 +16,15 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
       rng_(subseed(config_.seed, SeedStream::kWorkload)) {
   config_.frontend.p = config_.p;
   config_.frontend.subquery_overhead_s = config_.node_proto.subquery_overhead_s;
+  if (config_.frontends == 0) config_.frontends = 1;
+  if (config_.adaptive_p) {
+    if (config_.node_proto.stats_interval_s <= 0) {
+      config_.node_proto.stats_interval_s = 1.0;
+    }
+    if (config_.frontend.digest_interval_s <= 0) {
+      config_.frontend.digest_interval_s = 1.0;
+    }
+  }
 
   if (config_.enable_faults) {
     faults_ = std::make_unique<net::FaultTransport>(
@@ -24,44 +32,43 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
     faults_->set_default_faults(config_.default_faults);
   }
 
-  frontend_ = std::make_unique<Frontend>(
-      transport(), config_.frontend, config_.dataset_size,
-      subseed(config_.seed, SeedStream::kFrontend));
-  frontend_->start();
+  ControlPlaneParams cp;
+  cp.initial_p = config_.p;
+  cp.retransmit_interval_s = config_.control_retransmit_s;
+  cp.adaptive = config_.adaptive_p;
+  cp.adaptive_params = config_.adaptive;
+  cp.adaptive_interval_s = config_.adaptive_interval_s;
+  control_ = std::make_unique<ControlPlane>(transport(), membership_, cp);
+  control_->on_reconfigured = [this](uint32_t new_p) {
+    ROAR_LOG(kInfo) << "cluster: reconfiguration to p=" << new_p
+                    << " complete at t=" << loop_.now();
+  };
+  control_->start();
+
+  for (uint32_t i = 0; i < config_.frontends; ++i) {
+    frontends_.push_back(std::make_unique<Frontend>(
+        transport(), i, config_.frontend, config_.dataset_size,
+        frontend_seed(config_.seed, i)));
+    control_->subscribe_frontend(frontends_.back()->address());
+    frontends_.back()->start();
+  }
 
   if (config_.enable_ingest) {
     engine_ = std::make_shared<const MatchEngine>(config_.engine);
     ingest_router_ = std::make_unique<IngestRouter>(
         transport(), config_.ingest, subseed(config_.seed, SeedStream::kIngest),
         engine_, [this] { return membership_.ring(0); },
-        [this] { return frontend_->safe_p(); });
+        [this] { return control_->storage_p(); });
     ingest_router_->start();
-    frontend_->set_ingest(ingest_router_.get());
+    for (auto& fe : frontends_) fe->set_ingest(ingest_router_.get());
   }
-
-  // Membership handler: fetch confirmations flow through here.
-  transport().bind(kMembershipAddr,
-                   [this](net::Address from, net::Bytes payload) {
-                     handle_membership_msg(from, std::move(payload));
-                   });
 
   // Create and join all nodes.
   NodeId id = 0;
   for (const auto& cls : config_.classes) {
     for (uint32_t i = 0; i < cls.count; ++i) {
-      NodeParams np = config_.node_proto;
-      np.id = id;
-      np.speed = cls.speed;
-      auto node = std::make_unique<NodeRuntime>(transport(), np,
-                                                config_.dataset_size);
-      if (config_.enable_ingest) {
-        node->set_match_engine(engine_);
-        node->set_modeled_timing(true);  // keep virtual time host-free
-        node->enable_ingest(config_.ingest, engine_);
-      }
-      node->start();
+      make_node(id, cls.speed);
       membership_.join(id, cls.speed);
-      nodes_.push_back(std::move(node));
       ++id;
     }
   }
@@ -69,8 +76,28 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
   for (uint32_t i = 0; i < config_.initial_balance_steps; ++i) {
     if (membership_.balance_step() == 0.0) break;
   }
-  push_ranges();
+  publish_view();
+  // Deliver the first view epoch (and its acks) so every component is
+  // ranged and ready before the constructor returns — the synchronous
+  // guarantee the direct-call control glue used to give for free.
+  loop_.run_until(loop_.now() + 10 * config_.latency_s);
   measure_start_ = loop_.now();
+}
+
+void EmulatedCluster::make_node(NodeId id, double speed) {
+  NodeParams np = config_.node_proto;
+  np.id = id;
+  np.speed = speed;
+  auto node =
+      std::make_unique<NodeRuntime>(transport(), np, config_.dataset_size);
+  if (config_.enable_ingest) {
+    node->set_match_engine(engine_);
+    node->set_modeled_timing(true);  // keep virtual time host-free
+    node->enable_ingest(config_.ingest, engine_);
+  }
+  control_->subscribe_node(id);
+  node->start();
+  nodes_.push_back(std::move(node));
 }
 
 std::vector<NodeId> EmulatedCluster::node_ids() const {
@@ -81,57 +108,43 @@ std::vector<NodeId> EmulatedCluster::node_ids() const {
   return out;
 }
 
-void EmulatedCluster::push_ranges() {
-  // Publish at safe_p: during a p decrease, nodes must keep serving (and
-  // claiming storage for) the old partitioning until every fetch lands —
-  // the completion callback republishes at the new p. Warming joiners
-  // appear down so the scheduler routes around their range (neighbours
-  // still hold the data; drops are lazy).
-  core::Ring view = membership_.ring(0);
-  for (NodeId id : warming_) {
-    if (view.contains(id)) view.set_alive(id, false);
-  }
-  cluster::push_ranges(view, frontend_->safe_p(), transport(), *frontend_);
-}
-
-void EmulatedCluster::reissue_fetch_orders() {
-  cluster::reissue_fetch_orders(membership_.ring(0), transport(),
-                                *frontend_);
+void EmulatedCluster::publish_view() {
+  // The broadcast inside publish() reaches everyone; genuinely lagging
+  // subscribers are covered by the control plane's retransmit tick (and
+  // the heal/revive paths' explicit resync), so no immediate resync —
+  // right after an epoch bump nobody can have acked yet and a resync
+  // here would just duplicate every delta as a full snapshot.
+  control_->publish();
 }
 
 NodeId EmulatedCluster::add_node(double speed) {
   NodeId id = static_cast<NodeId>(nodes_.size());
-  NodeParams np = config_.node_proto;
-  np.id = id;
-  np.speed = speed;
-  auto node = std::make_unique<NodeRuntime>(transport(), np,
-                                            config_.dataset_size);
-  if (config_.enable_ingest) {
-    node->set_match_engine(engine_);
-    node->set_modeled_timing(true);
-    node->enable_ingest(config_.ingest, engine_);
-  }
-  node->start();
-  nodes_.push_back(std::move(node));
+  make_node(id, speed);
   membership_.join(id, speed);
-
   schedule_warmup_push(id);
   return id;
 }
 
 // The node serves only after downloading its stored arc (§4.3); the
-// membership server marks it up (pushes ranges) when the load is done.
+// control plane marks it warming (published as down) until the load is
+// done, then publishes it into service.
 void EmulatedCluster::schedule_warmup_push(NodeId id) {
   const core::Ring& ring = membership_.ring(0);
-  Arc stored = core::stored_object_arc(ring, id, frontend_->target_p());
+  // Size the download by the SMALLEST p (largest stored arcs) the node
+  // may have to serve: the gated storage level it stores at on arrival,
+  // or the target of an in-progress decrease whose bigger arcs it will
+  // own the moment the change commits.
+  uint32_t p_load = std::min(control_->storage_p(), control_->target_p());
+  Arc stored = core::stored_object_arc(ring, id, p_load);
   double bytes = stored.fraction() *
                  static_cast<double>(config_.dataset_size) *
                  config_.node_proto.bytes_per_object;
   double warmup = bytes / config_.node_proto.fetch_bandwidth;
-  warming_.insert(id);
+  control_->set_warming(id, true);
+  publish_view();
   loop_.schedule_after(warmup, [this, id] {
-    warming_.erase(id);
-    push_ranges();
+    control_->set_warming(id, false);
+    publish_view();
   });
   ROAR_LOG(kInfo) << "cluster: node " << id << " joining, warmup "
                   << warmup << "s";
@@ -139,9 +152,9 @@ void EmulatedCluster::schedule_warmup_push(NodeId id) {
 
 void EmulatedCluster::kill_node(NodeId id) {
   nodes_.at(id)->kill();
-  // Membership will learn and clean up; the front-end must *discover* the
-  // failure through timeouts (the realistic path). We only update the
-  // authoritative record here.
+  // Membership will learn and clean up; the front-ends must *discover*
+  // the failure through timeouts (the realistic path) — a crash publishes
+  // no view. We only update the authoritative record here.
   membership_.fail(id);
 }
 
@@ -149,19 +162,26 @@ void EmulatedCluster::revive_node(NodeId id) {
   NodeRuntime& node = *nodes_.at(id);
   if (node.alive()) return;
   // Still on its ring with its download finished: the node kept its data
-  // across the crash and can serve once ranges are republished. Removed
-  // by long-term cleanup (data merged into neighbours) or crashed before
-  // its warmup completed: it must (re)download before serving, like a
-  // fresh join (§4.3).
+  // across the crash and can serve once the view republishes. Removed by
+  // long-term cleanup (data merged into neighbours) or crashed before its
+  // warmup completed: it must (re)download before serving, like a fresh
+  // join (§4.3). Either way node.start() pulls the current view, which
+  // re-derives any §4.5 fetch duty the crash destroyed — the epoch
+  // broadcast subsumes the old fetch-order re-issue dance.
   uint32_t member_ring = membership_.members().at(id).ring;
   bool in_place = membership_.ring(member_ring).contains(id) &&
-                  warming_.count(id) == 0;
+                  !control_->is_warming(id);
+  // Long-term cleanup unsubscribed the node; a revival is a rejoin for
+  // the view protocol either way (subscribe is idempotent).
+  control_->subscribe_node(id);
   node.start();
   membership_.revive(id);
   if (in_place) {
-    push_ranges();
-    // The node may be a pending §4.5 confirmer whose fetch died with it.
-    reissue_fetch_orders();
+    publish_view();
+    // The crash never bumped the epoch (front-ends discovered it by
+    // timeout), so a revival may be a no-op diff: force a full resync so
+    // every mirror resurrects the node's liveness now.
+    control_->resync(/*everyone=*/true);
   } else {
     schedule_warmup_push(id);
   }
@@ -175,8 +195,8 @@ void EmulatedCluster::leave_node(NodeId id) {
   if (!node.alive()) return;
   node.kill();
   membership_.leave(id);
-  frontend_->node_removed(id);
-  push_ranges();
+  control_->unsubscribe(node_address(id));
+  publish_view();
 }
 
 uint32_t EmulatedCluster::remove_dead_nodes() {
@@ -185,36 +205,48 @@ uint32_t EmulatedCluster::remove_dead_nodes() {
     if (!n.alive) dead.push_back(n.id);
   }
   for (NodeId id : dead) {
-    membership_.remove_failed(id);
-    frontend_->node_removed(id);
     // A removed confirmer can never report its fetch; stop waiting on it
     // so an in-progress p decrease cannot wedge forever (§4.9).
-    frontend_->abandon_fetch(id);
-    warming_.erase(id);
+    control_->abandon_fetch(id);
+    control_->set_warming(id, false);
+    control_->unsubscribe(node_address(id));
+    membership_.remove_failed(id);
   }
-  if (!dead.empty()) push_ranges();
+  if (!dead.empty()) publish_view();
   return static_cast<uint32_t>(dead.size());
+}
+
+void EmulatedCluster::kill_frontend(uint32_t i) {
+  Frontend& fe = *frontends_.at(i);
+  if (!fe.alive()) return;
+  fe.stop();
+  control_->set_frontend_down(fe.address(), true);
+  ROAR_LOG(kInfo) << "cluster: frontend " << i << " crashed at t="
+                  << loop_.now();
+}
+
+void EmulatedCluster::revive_frontend(uint32_t i) {
+  Frontend& fe = *frontends_.at(i);
+  if (fe.alive()) return;
+  control_->set_frontend_down(fe.address(), false);
+  fe.start();  // pulls the current view; serves once it applies
+  ROAR_LOG(kInfo) << "cluster: frontend " << i << " revived at t="
+                  << loop_.now();
 }
 
 double EmulatedCluster::balance_round() {
   double moved = membership_.balance_step();
-  if (moved > 0) push_ranges();
+  if (moved > 0) publish_view();
   return moved;
 }
 
 void EmulatedCluster::change_p(uint32_t p_new) {
-  order_p_change(membership_.ring(0), p_new, transport(), *frontend_);
+  control_->order_p_change(p_new);
 }
 
-void EmulatedCluster::handle_membership_msg(net::Address from,
-                                            net::Bytes payload) {
-  (void)from;
-  handle_membership_message(payload, *frontend_, [this](uint32_t new_p) {
-    // Reconfiguration complete: sync everyone to the new p.
-    push_ranges();
-    ROAR_LOG(kInfo) << "cluster: reconfiguration to p=" << new_p
-                    << " complete at t=" << loop_.now();
-  });
+uint64_t EmulatedCluster::submit_query(Frontend::QueryCallback cb) {
+  return pick_ready_frontend(frontends_, next_frontend_)
+      .submit(std::move(cb));
 }
 
 uint32_t EmulatedCluster::run_queries(double rate_per_s, uint32_t count,
@@ -225,7 +257,7 @@ uint32_t EmulatedCluster::run_queries(double rate_per_s, uint32_t count,
   for (uint32_t i = 0; i < count; ++i) {
     t += rng_.next_exponential(rate_per_s);
     loop_.schedule_at(t, [this, &completed, &finished] {
-      frontend_->submit([&completed, &finished](const QueryOutcome& out) {
+      submit_query([&completed, &finished](const QueryOutcome& out) {
         ++finished;
         if (out.complete) ++completed;
       });
@@ -249,7 +281,7 @@ void EmulatedCluster::inject_updates(double rate_per_s, double duration_s) {
     RingId id = rng_.next_ring_id();
     loop_.schedule_at(t, [this, id] {
       const core::Ring& ring = membership_.ring(0);
-      uint32_t p = frontend_->safe_p();
+      uint32_t p = control_->storage_p();
       for (const auto& n : ring.nodes()) {
         if (!n.alive) continue;
         if (core::stored_object_arc(ring, n.id, p).contains(id)) {

@@ -1,17 +1,25 @@
-// The emulated ROAR deployment: N node runtimes + front-end + membership
-// glued over the in-process network on one virtual-time event loop.
+// The emulated ROAR deployment: N node runtimes + F front-ends + the
+// control plane glued over the in-process network on one virtual-time
+// event loop.
 //
 // This is the Chapter 7 substrate: the same control-plane code paths a
-// physical deployment runs (joins, range pushes, reconfiguration fetch
-// orders and confirmations, failure detection by timeout, §4.4 splits),
-// with node matching rates taken from the PPS measurements. See DESIGN.md
-// for the substitution argument.
+// physical deployment runs (joins, view-epoch broadcasts, reconfiguration
+// fetch duties and confirmations, failure detection by timeout, §4.4
+// splits), with node matching rates taken from the PPS measurements. See
+// DESIGN.md for the substitution argument.
+//
+// Control state flows exclusively through the epoch-versioned ClusterView
+// (core/cluster_view.h): the harness mutates the membership server, then
+// calls publish_view(); the ControlPlane diffs, broadcasts, and every
+// front-end and node converges through the delta/ack/pull protocol —
+// identical over InProc virtual time and the TCP transport.
 #pragma once
 
 #include <memory>
 #include <set>
 #include <vector>
 
+#include "cluster/control.h"
 #include "cluster/frontend.h"
 #include "cluster/node.h"
 #include "core/membership.h"
@@ -25,6 +33,9 @@ struct ClusterConfig {
   std::vector<sim::ServerClass> classes = sim::hen_testbed();
   uint64_t dataset_size = 5'000'000;  // metadata (the paper's 5M headline)
   uint32_t p = 8;
+  // Front-end instances (§4.8/§4.9 scale-out). Each has its own address,
+  // scheduler RNG stream and EWMA estimator state.
+  uint32_t frontends = 1;
   FrontendParams frontend;  // p is overwritten from the field above
   NodeParams node_proto;    // id/speed overwritten per node
   double latency_s = 100e-6;
@@ -44,6 +55,14 @@ struct ClusterConfig {
   bool enable_ingest = false;
   MatchEngineConfig engine{};
   IngestConfig ingest{};
+  // Closed-loop p control: the ControlPlane ticks an AdaptivePController
+  // fed by node load reports and front-end latency digests. Enabling it
+  // defaults stats_interval_s / digest_interval_s to 1 s if unset.
+  bool adaptive_p = false;
+  core::AdaptivePParams adaptive{};
+  double adaptive_interval_s = 4.0;
+  // Laggard-resync cadence of the control plane.
+  double control_retransmit_s = 0.5;
 };
 
 class EmulatedCluster {
@@ -59,7 +78,14 @@ class EmulatedCluster {
   }
   // The fault-injection layer, or nullptr when enable_faults is unset.
   net::FaultTransport* faults() { return faults_.get(); }
-  Frontend& frontend() { return *frontend_; }
+  ControlPlane& control() { return *control_; }
+  const ControlPlane& control() const { return *control_; }
+  Frontend& frontend() { return *frontends_.front(); }  // instance 0
+  Frontend& frontend(uint32_t i) { return *frontends_.at(i); }
+  const Frontend& frontend(uint32_t i) const { return *frontends_.at(i); }
+  uint32_t frontend_count() const {
+    return static_cast<uint32_t>(frontends_.size());
+  }
   core::MembershipServer& membership() { return membership_; }
   // The ingest router, or nullptr when enable_ingest is unset.
   IngestRouter* ingest() { return ingest_router_.get(); }
@@ -71,47 +97,55 @@ class EmulatedCluster {
   NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
   std::vector<NodeId> node_ids() const;
 
-  // Pushes authoritative ranges + the current *safe* p to every node and
-  // re-syncs the front-end's ring mirror. Called automatically after
-  // membership events. Nodes still warming up (downloading their arc
-  // after a join or rejoin) are presented to the front-end as down until
-  // the load completes, so an interleaved push cannot put them in
-  // service early.
-  void push_ranges();
-
-  // Re-sends outstanding §4.5 fetch orders (see cluster/control.h); the
-  // originals are one-shot datagrams a partition or crash can black-hole.
-  void reissue_fetch_orders();
+  // Publishes the current membership + reconfiguration state as a new
+  // view epoch (no-op when nothing changed). Laggards converge through
+  // the control plane's retransmit tick; the heal and revive paths call
+  // control().resync() explicitly for promptness. Called automatically
+  // after membership events.
+  void publish_view();
 
   // --- membership operations -------------------------------------------
   // Joins a fresh node; it downloads its data for `warmup` simulated
   // seconds (derived from range size and fetch bandwidth) before serving.
   NodeId add_node(double speed);
-  // Crash-stops a node: it silently vanishes; the front-end must discover
-  // it by timeout.
+  // Crash-stops a node: it silently vanishes; the front-ends must
+  // discover it by timeout (no view is published for a crash).
   void kill_node(NodeId id);
-  // Restarts a crashed node in place: it rebinds, resumes its old range
-  // (membership history, §4.9) and ranges are republished.
+  // Restarts a crashed node in place: it rebinds, pulls the current view
+  // (resuming any §4.5 duty it lost) and resumes its old range
+  // (membership history, §4.9).
   void revive_node(NodeId id);
   // Graceful departure: the node stops serving, neighbours absorb its
-  // range, and the front-end forgets it immediately (no timeout needed).
+  // range, and the front-ends forget it with the next view epoch.
   void leave_node(NodeId id);
   // Background range balancing round (§4.6); returns range fraction moved.
   double balance_round();
   // Long-term failure handling (§4.9): drop crashed nodes from the ring so
-  // their ranges merge into live successors, and republish ranges. Returns
-  // the number of nodes removed.
+  // their ranges merge into live successors, and publish. Returns the
+  // number of nodes removed.
   uint32_t remove_dead_nodes();
+
+  // --- front-end lifecycle (§4.8 scale-out) ------------------------------
+  // Crash-stops front-end `i`: its pending queries fail, its address
+  // unbinds, and the control plane stops waiting on its acks.
+  void kill_frontend(uint32_t i);
+  // Restarts it; it pulls the current view and refuses queries until the
+  // view applies.
+  void revive_frontend(uint32_t i);
 
   // --- reconfiguration (§4.5) -------------------------------------------
   void change_p(uint32_t p_new);
-  uint32_t safe_p() const { return frontend_->safe_p(); }
+  uint32_t safe_p() const { return control_->safe_p(); }
+  uint32_t target_p() const { return control_->target_p(); }
 
   // --- workload -----------------------------------------------------------
-  // Open-loop Poisson queries; runs the loop until all complete or
-  // `give_up_s` of virtual time passes. Returns completed count.
+  // Open-loop Poisson queries, round-robined over the front-ends; runs
+  // the loop until all complete or `give_up_s` of virtual time passes.
+  // Returns completed count.
   uint32_t run_queries(double rate_per_s, uint32_t count,
                        double give_up_s = 600.0);
+  // Submits one query on the next front-end (round-robin).
+  uint64_t submit_query(Frontend::QueryCallback cb);
   // Object updates at Poisson rate for `duration_s` (§7.3.4); each update
   // goes to every node storing the object's arc. Legacy modeled-cost
   // stream — real mutation goes through ingest_stream / the router.
@@ -138,26 +172,25 @@ class EmulatedCluster {
   std::vector<double> node_busy_fractions() const;
   // Energy over the elapsed virtual time with a linear power model.
   double energy_joules(double idle_w = 200.0, double peak_w = 285.0) const;
-  const SampleSet& delays() const { return frontend_->delays(); }
+  // Instance-0 delays, for the single-front-end experiments.
+  const SampleSet& delays() const { return frontends_.front()->delays(); }
 
  private:
-  void handle_membership_msg(net::Address from, net::Bytes payload);
+  void make_node(NodeId id, double speed);
   void schedule_warmup_push(NodeId id);
-  std::vector<double> speeds_from_classes() const;
 
   ClusterConfig config_;
   net::EventLoop loop_;
   net::InProcNetwork net_;
   std::unique_ptr<net::FaultTransport> faults_;
   core::MembershipServer membership_;
-  std::unique_ptr<Frontend> frontend_;
+  std::unique_ptr<ControlPlane> control_;
+  std::vector<std::unique_ptr<Frontend>> frontends_;
   std::shared_ptr<const MatchEngine> engine_;
   std::unique_ptr<IngestRouter> ingest_router_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
-  // Nodes whose §4.3 data download is still running; kept out of the
-  // front-end's mirror by push_ranges until the load completes.
-  std::set<NodeId> warming_;
   Rng rng_;
+  uint32_t next_frontend_ = 0;  // round-robin submit cursor
   double measure_start_ = 0.0;
 };
 

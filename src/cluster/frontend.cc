@@ -8,6 +8,27 @@
 
 namespace roar::cluster {
 
+uint64_t frontend_seed(uint64_t cluster_seed, uint32_t index) {
+  uint64_t base = subseed(cluster_seed, SeedStream::kFrontend);
+  return index == 0 ? base : subseed(base, static_cast<uint64_t>(index));
+}
+
+Frontend& pick_ready_frontend(
+    const std::vector<std::unique_ptr<Frontend>>& frontends,
+    uint32_t& cursor) {
+  size_t f = frontends.size();
+  for (size_t k = 0; k < f; ++k) {
+    size_t cand = (cursor + k) % f;
+    if (frontends[cand]->ready()) {
+      cursor = static_cast<uint32_t>((cand + 1) % f);
+      return *frontends[cand];
+    }
+  }
+  Frontend& fe = *frontends[cursor % f];
+  cursor = static_cast<uint32_t>((cursor + 1) % f);
+  return fe;
+}
+
 // Finish estimator over the front-end's EWMA rates and queue projections.
 class Frontend::Estimator : public core::FinishEstimator {
  public:
@@ -20,22 +41,77 @@ class Frontend::Estimator : public core::FinishEstimator {
   const Frontend& fe_;
 };
 
-Frontend::Frontend(net::Transport& net, FrontendParams params,
-                   uint64_t dataset_size, uint64_t seed)
+Frontend::Frontend(net::Transport& net, uint32_t index,
+                   FrontendParams params, uint64_t dataset_size,
+                   uint64_t seed)
     : net_(net),
+      index_(index),
       params_(params),
       dataset_size_(dataset_size),
-      repl_(params.p),
-      rng_(seed) {}
-
-void Frontend::start() {
-  net_.bind(kFrontendAddr, [this](net::Address from, net::Bytes payload) {
-    handle(from, std::move(payload));
-  });
+      rng_(seed) {
+  if (index >= kMaxFrontends) {
+    throw std::out_of_range("Frontend: index collides with node addresses");
+  }
 }
 
-void Frontend::sync_ring(const core::Ring& authoritative) {
-  ring_ = authoritative;
+void Frontend::start() {
+  alive_ = true;
+  synced_ = false;
+  ++life_;
+  net_.bind(address(), [this](net::Address from, net::Bytes payload) {
+    handle(from, std::move(payload));
+  });
+  if (view_epoch() > 0) {
+    // Restart after a crash: our view is stale by an unknown number of
+    // epochs. Pull before serving (ready() stays false until the first
+    // applied view of this life... the pull's full-snapshot reply).
+    ViewPullMsg pull;
+    pull.subscriber = address();
+    pull.have_epoch = view_epoch();
+    net_.send(address(), kMembershipAddr, pull.encode());
+  }
+  if (params_.digest_interval_s > 0) {
+    uint64_t life = life_;
+    net_.clock().schedule_after(params_.digest_interval_s,
+                                [this, life] { send_digest(life); });
+  }
+}
+
+void Frontend::stop() {
+  if (!alive_) return;
+  alive_ = false;
+  ++life_;  // kills digest/timeout timer chains from this life
+  // Pre-crash completions must not surface as a fresh latency digest
+  // after a revival — the controller would read minutes-old overload as
+  // a current contract breach.
+  digest_window_.clear();
+  net_.unbind(address());
+  // In-flight queries die with the process; their clients observe the
+  // loss as a failed, zero-harvest outcome.
+  std::vector<uint64_t> ids;
+  for (const auto& [id, q] : pending_) ids.push_back(id);
+  for (uint64_t id : ids) fail_query(id);
+}
+
+void Frontend::fail_query(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingQuery& q = it->second;
+  for (const auto& part : q.parts) {
+    if (!part.done) net_.clock().cancel(part.timer_id);
+  }
+  QueryOutcome out;
+  out.id = id;
+  out.complete = false;
+  out.harvest = 0.0;
+  auto cb = std::move(q.cb);
+  pending_.erase(it);
+  if (cb) cb(out);
+}
+
+void Frontend::sync_from_view() {
+  const core::ClusterView& v = sub_.view();
+  ring_ = v.to_ring();
   double now = net_.clock().now();
   for (const auto& n : ring_.nodes()) {
     auto& st = nodes_[n.id];
@@ -46,44 +122,63 @@ void Frontend::sync_ring(const core::Ring& authoritative) {
       st.busy_until = now;
     }
   }
+  // Members removed from the view release their estimator state.
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (!ring_.contains(it->first)) {
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
-void Frontend::node_up(NodeId id, RingId position, double speed_hint) {
-  if (!ring_.contains(id)) {
-    ring_.add_node(id, position, speed_hint);
-  } else {
-    ring_.set_alive(id, true);
+void Frontend::send_ack() {
+  // Plain watermark: completed == 0 keeps it out of the latency signal.
+  ViewAckMsg ack;
+  ack.subscriber = address();
+  ack.epoch = view_epoch();
+  net_.send(address(), kMembershipAddr, ack.encode());
+}
+
+void Frontend::send_digest(uint64_t life) {
+  if (life != life_ || !alive_) return;
+  ViewAckMsg ack;
+  ack.subscriber = address();
+  ack.epoch = view_epoch();
+  if (!digest_window_.empty()) {
+    ack.completed = digest_window_.count();
+    ack.p99_s = digest_window_.percentile(0.99);
+    ack.mean_s = digest_window_.mean();
   }
-  auto& st = nodes_[id];
-  st.alive = true;
-  st.busy_until = net_.clock().now();
-  if (!st.rate.has_value()) {
-    st.rate = Ewma(params_.ewma_alpha);
-    st.rate.add(params_.initial_rate * speed_hint);
+  digest_window_.clear();
+  net_.send(address(), kMembershipAddr, ack.encode());
+  net_.clock().schedule_after(params_.digest_interval_s,
+                              [this, life] { send_digest(life); });
+}
+
+void Frontend::on_view_delta(const ViewDeltaMsg& m) {
+  switch (sub_.apply(m.delta)) {
+    case core::ViewSubscription::Apply::kApplied:
+      synced_ = true;
+      sync_from_view();
+      send_ack();
+      break;
+    case core::ViewSubscription::Apply::kStale:
+      send_ack();  // refresh the control plane's watermark anyway
+      break;
+    case core::ViewSubscription::Apply::kGap: {
+      ViewPullMsg pull;
+      pull.subscriber = address();
+      pull.have_epoch = view_epoch();
+      net_.send(address(), kMembershipAddr, pull.encode());
+      break;
+    }
   }
 }
 
 void Frontend::node_down(NodeId id) {
   if (ring_.contains(id)) ring_.set_alive(id, false);
   nodes_[id].alive = false;
-}
-
-void Frontend::node_removed(NodeId id) {
-  if (ring_.contains(id)) ring_.remove_node(id);
-  nodes_.erase(id);
-}
-
-void Frontend::node_moved(NodeId id, RingId position) {
-  if (ring_.contains(id)) ring_.set_position(id, position);
-}
-
-void Frontend::set_target_p(uint32_t p_new,
-                            const std::vector<NodeId>& must_confirm) {
-  repl_.begin_change(p_new, must_confirm);
-}
-
-void Frontend::confirm_fetch(NodeId node) {
-  repl_.confirm(node);
 }
 
 RingId Frontend::add_document(const pps::FileInfo& doc) {
@@ -122,6 +217,17 @@ double Frontend::predict(NodeId node, double share) const {
 
 uint64_t Frontend::submit(QueryCallback cb) {
   uint64_t id = next_query_id_++;
+  if (!ready() || ring_.empty()) {
+    // No view yet (fresh or just-revived front-end) or nothing to plan
+    // against: refuse rather than guess — planning off a stale view is
+    // exactly what the ready gate exists to prevent.
+    QueryOutcome out;
+    out.id = id;
+    out.complete = false;
+    out.harvest = 0.0;
+    if (cb) cb(out);
+    return id;
+  }
   PendingQuery q;
   q.id = id;
   q.submit_time = net_.clock().now();
@@ -131,19 +237,17 @@ uint64_t Frontend::submit(QueryCallback cb) {
   // is the Fig 7.12 quantity (it is real CPU work the front-end does).
   auto wall0 = std::chrono::steady_clock::now();
   Estimator est(*this);
+  uint32_t p = safe_p();
   uint32_t pq = std::max(
-      repl_.safe_p(),
-      static_cast<uint32_t>(repl_.safe_p() * params_.pq_factor + 0.5));
+      p, static_cast<uint32_t>(p * params_.pq_factor + 0.5));
   auto sched =
       core::SweepScheduler::schedule(ring_, pq, est, rng_.next_ring_id());
-  auto plan = planner_.plan(ring_, sched.best_start, pq, repl_.safe_p(),
-                            rng_);
+  auto plan = planner_.plan(ring_, sched.best_start, pq, p, rng_);
   if (params_.range_adjustment) {
-    core::adjust_ranges(&plan, ring_, repl_.safe_p(), est);
+    core::adjust_ranges(&plan, ring_, p, est);
   }
   if (params_.max_splits > 0) {
-    core::split_slowest(&plan, ring_, repl_.safe_p(), est,
-                        params_.max_splits);
+    core::split_slowest(&plan, ring_, p, est, params_.max_splits);
   }
   q.schedule_wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
@@ -183,7 +287,7 @@ void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
   msg.point = sub.point;
   msg.window_begin = sub.window_begin;
   msg.window_end = sub.responsibility_end;
-  msg.pq = repl_.safe_p();
+  msg.pq = safe_p();
   msg.share = sub.share;
 
   // Update the queue projection for this node.
@@ -200,7 +304,7 @@ void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
 
   q.parts.push_back(part);
   ++q.outstanding;
-  net_.send(kFrontendAddr, node_address(sub.node), msg.encode());
+  net_.send(address(), node_address(sub.node), msg.encode());
 }
 
 void Frontend::handle(net::Address from, net::Bytes payload) {
@@ -209,6 +313,8 @@ void Frontend::handle(net::Address from, net::Bytes payload) {
   if (!type) return;
   if (*type == MsgType::kSubQueryReply) {
     if (auto m = SubQueryReplyMsg::decode(payload)) on_reply(*m);
+  } else if (*type == MsgType::kViewDelta) {
+    if (auto m = ViewDeltaMsg::decode(payload)) on_view_delta(*m);
   }
 }
 
@@ -274,8 +380,8 @@ void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
   ++failures_detected_;
   NodeId dead = part.node;
   node_down(dead);
-  ROAR_LOG(kInfo) << "frontend: node " << dead << " timed out on query "
-                  << query_id;
+  ROAR_LOG(kInfo) << "frontend " << index_ << ": node " << dead
+                  << " timed out on query " << query_id;
 
   part.done = true;
   --q.outstanding;
@@ -284,7 +390,7 @@ void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
   // Split the unfinished sub-query across the failed node's neighbourhood
   // and reschedule (§4.4).
   std::vector<core::RoarSubQuery> splits;
-  if (planner_.split_around_failure(ring_, part.sub, repl_.safe_p(), rng_,
+  if (planner_.split_around_failure(ring_, part.sub, safe_p(), rng_,
                                     &splits)) {
     for (const auto& sub : splits) send_part(q, sub);
   } else {
@@ -315,6 +421,7 @@ void Frontend::finish_if_done(PendingQuery& q) {
                params_.fixed_cost_s);
 
   delays_.add(total);
+  digest_window_.add(total);
   ++completed_;
   auto cb = std::move(q.cb);
   pending_.erase(q.id);

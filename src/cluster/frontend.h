@@ -1,27 +1,41 @@
-// The ROAR front-end server (§4.8) in the emulated cluster.
+// A ROAR front-end server (§4.8) — one of possibly many (§4.9).
 //
 // Receives client queries, picks the start id with the Algorithm-1 sweep
 // against its per-node speed (EWMA of observed rates) and queue estimates,
 // partitions the query with the §4.2 planner, sends sub-queries, detects
 // failures with per-sub-query timers (splitting the unfinished sub-query
 // across the dead node's neighbourhood, §4.4/§4.8), and assembles replies.
-// It also owns the safe-p bookkeeping during reconfigurations (§4.5) and
-// the per-query delay breakdown of Fig 7.11.
+//
+// Control state is not owned here: each front-end consumes the epoch-
+// versioned ClusterView published by the ControlPlane (kViewDelta in,
+// kViewAck out, kViewPull on gaps or restart). The ring mirror, safe p and
+// target p are all derived from the subscribed view; the front-end layers
+// only its own short-term liveness knowledge (timeout discoveries, reply
+// resurrections) on top, until the next epoch resets the mirror. A front-
+// end refuses queries until its first view applies (ready()) — a revived
+// front-end must re-sync before it may plan, which is what keeps a stale
+// planner from ever using an unsafe p.
+//
+// Every front-end instance has its own address (frontend_address(i)), its
+// own scheduler RNG stream and its own EWMA estimator state, so N of them
+// serve concurrently against the same view.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/node.h"
 #include "common/stats.h"
-#include "core/reconfig.h"
+#include "core/cluster_view.h"
 #include "core/scheduler.h"
 
 namespace roar::cluster {
 
 struct FrontendParams {
-  uint32_t p = 8;
+  uint32_t p = 8;  // mirror level before the first view arrives
   double pq_factor = 1.0;
   // Per-query fixed cost at the front-end (result assembly etc.); the
   // LM/LC variants of §7.2 differ here.
@@ -34,6 +48,9 @@ struct FrontendParams {
   double ewma_alpha = 0.2;
   double initial_rate = 250'000.0;  // metadata/s prior before observations
   double subquery_overhead_s = 0.004;  // matches NodeParams for estimates
+  // Periodic latency digest to the control plane (piggybacked on
+  // kViewAck); 0 disables. The adaptive-p controller needs this on.
+  double digest_interval_s = 0.0;
 };
 
 struct QueryBreakdown {
@@ -57,41 +74,65 @@ struct QueryOutcome {
   QueryBreakdown breakdown;
 };
 
+// Seed derivation for front-end instance `index` of a cluster seeded with
+// `cluster_seed`. Shared by both harnesses — the InProc-vs-TCP parity
+// tests depend on their front-ends drawing identical random sequences.
+// Instance 0 keeps the historical single-front-end stream.
+uint64_t frontend_seed(uint64_t cluster_seed, uint32_t index);
+
+class Frontend;
+
+// The harnesses' client-side balancer rule, shared so the two cannot
+// drift (parity depends on identical front-end selection): round-robin
+// from `cursor`, skipping instances that are down or still syncing their
+// view. Advances `cursor` past the pick; with nothing ready, returns the
+// cursor's instance (whose submit refuses instantly).
+Frontend& pick_ready_frontend(
+    const std::vector<std::unique_ptr<Frontend>>& frontends,
+    uint32_t& cursor);
+
 class Frontend {
  public:
   using QueryCallback = std::function<void(const QueryOutcome&)>;
 
-  Frontend(net::Transport& net, FrontendParams params,
+  Frontend(net::Transport& net, uint32_t index, FrontendParams params,
            uint64_t dataset_size, uint64_t seed);
 
+  uint32_t index() const { return index_; }
+  net::Address address() const { return frontend_address(index_); }
+
+  // Binds the instance address; on a restart after stop() also pulls the
+  // current view from the control plane (the revive path).
   void start();
+  // Crash-stops the front-end: unbinds, fails every pending query (its
+  // clients see the loss) and forgets readiness until the next view.
+  void stop();
+  bool alive() const { return alive_; }
+  // Has applied a view in THIS life and may serve. False between start()
+  // and the first applied view — submit() fails queries instantly during
+  // that window, so a revived front-end can never plan off the stale view
+  // it kept across the crash.
+  bool ready() const { return alive_ && synced_; }
 
-  // Ring mirror management (driven by the membership service).
-  // Replaces the whole mirror with the authoritative ring (positions,
-  // speeds, liveness) while preserving accumulated per-node statistics.
-  void sync_ring(const core::Ring& authoritative);
-  void node_up(NodeId id, RingId position, double speed_hint);
+  // --- subscribed control state -----------------------------------------
+  uint64_t view_epoch() const { return sub_.epoch(); }
+  uint32_t safe_p() const {
+    return view_epoch() > 0 ? sub_.view().safe_p : params_.p;
+  }
+  uint32_t target_p() const {
+    return view_epoch() > 0 ? sub_.view().target_p : params_.p;
+  }
+
+  // Local liveness knowledge (timeout discovery, reply resurrection) —
+  // layered over the view until the next epoch replaces the mirror.
+  // Member removal is view-driven only (sync_from_view).
   void node_down(NodeId id);
-  void node_removed(NodeId id);
-  void node_moved(NodeId id, RingId position);
-
-  // Reconfiguration interface (§4.5).
-  void set_target_p(uint32_t p_new, const std::vector<NodeId>& must_confirm);
-  void confirm_fetch(NodeId node);
-  // Long-term failure handling: stop waiting on a confirmer that was
-  // removed from the ring (§4.9); see ReplicationController::abandon.
-  void abandon_fetch(NodeId node) { repl_.abandon(node); }
-  uint32_t safe_p() const { return repl_.safe_p(); }
-  uint32_t target_p() const { return repl_.target_p(); }
-  // Full reconfiguration state (pending confirmations etc.) for invariant
-  // checks; read-only.
-  const core::ReplicationController& replication() const { return repl_; }
 
   // Submits a query; `cb` fires when all sub-queries complete.
   uint64_t submit(QueryCallback cb);
 
   // --- live ingestion (PAPER §7.4) ---------------------------------------
-  // The ingest router shares the front-end's process (it binds
+  // The ingest router shares the control process (it binds
   // kUpdateServerAddr); harnesses attach it here so clients mutate the
   // index through the same face they query it.
   void set_ingest(IngestRouter* router) { ingest_ = router; }
@@ -144,19 +185,29 @@ class Frontend {
   class Estimator;
 
   void handle(net::Address from, net::Bytes payload);
+  void on_view_delta(const ViewDeltaMsg& m);
+  void sync_from_view();
+  void send_ack();
+  void send_digest(uint64_t generation);
   void on_reply(const SubQueryReplyMsg& m);
   void on_timeout(uint64_t query_id, uint32_t part_index);
   void send_part(PendingQuery& q, const core::RoarSubQuery& sub);
   void finish_if_done(PendingQuery& q);
+  void fail_query(uint64_t id);
 
   net::Transport& net_;
+  uint32_t index_;
   FrontendParams params_;
   uint64_t dataset_size_;
   IngestRouter* ingest_ = nullptr;
-  core::Ring ring_;
+  core::ViewSubscription sub_;
+  core::Ring ring_;  // mirror: view ring + local liveness deltas
   core::QueryPlanner planner_;
-  core::ReplicationController repl_;
   Rng rng_;
+  bool alive_ = false;
+  bool synced_ = false;  // a view applied since the last start()
+  // Invalidates timer chains from a previous life on stop()/start().
+  uint64_t life_ = 0;
 
   struct NodeState {
     Ewma rate;
@@ -169,6 +220,7 @@ class Frontend {
   std::map<uint64_t, PendingQuery> pending_;
   SampleSet delays_;
   SampleSet schedule_times_;
+  SampleSet digest_window_;  // completions since the last digest
   uint64_t completed_ = 0;
   uint64_t failures_detected_ = 0;
 };

@@ -14,23 +14,56 @@ NodeRuntime::NodeRuntime(net::Transport& net, NodeParams params,
 
 void NodeRuntime::start() {
   alive_ = true;
+  ++life_;
   busy_until_ = net_.clock().now();
   net_.bind(address(), [this](net::Address from, net::Bytes payload) {
     handle(from, std::move(payload));
   });
+  if (sub_.epoch() > 0) {
+    // Restart after a crash: the view is stale by an unknown number of
+    // epochs, and any in-flight §4.5 duty died with the process. Pull the
+    // current view; applying it re-derives both.
+    ViewPullMsg pull;
+    pull.subscriber = address();
+    pull.have_epoch = sub_.epoch();
+    net_.send(address(), kMembershipAddr, pull.encode());
+  }
+  if (params_.stats_interval_s > 0) {
+    stats_busy_mark_ = busy_seconds_;
+    uint64_t life = life_;
+    net_.clock().schedule_after(params_.stats_interval_s,
+                                [this, life] { stats_tick(life); });
+  }
   if (ingest_) ingest_->on_start();  // resume the anti-entropy sessions
 }
 
 void NodeRuntime::kill() {
   alive_ = false;
+  ++life_;  // kills the stats timer chain of this life
   net_.unbind(address());
   // Batched-but-unexecuted work vanishes with the crash; in-flight pool
   // tasks finish on their lanes but their completions see alive_ == false
-  // and drop the reply.
+  // and drop the reply. An in-flight §4.5 download dies too — but data
+  // already fetched (fetch_done_for_p_) survives on disk.
   pending_subs_.clear();
+  fetch_running_for_p_ = 0;
+  ++fetch_gen_;
   // The ingest log and its store survive (they are the node's disk); only
   // the sync timer stops until a revival restarts it.
   if (ingest_) ingest_->on_kill();
+}
+
+void NodeRuntime::stats_tick(uint64_t life) {
+  if (life != life_ || !alive_) return;
+  NodeStatsMsg msg;
+  msg.node = params_.id;
+  msg.busy_fraction = std::min(
+      1.0, (busy_seconds_ - stats_busy_mark_) / params_.stats_interval_s);
+  msg.observed_rate = rate();
+  stats_busy_mark_ = busy_seconds_;
+  net_.send(address(), kMembershipAddr, msg.encode());
+  net_.clock().schedule_after(params_.stats_interval_s,
+                              [this, life] { stats_tick(life); });
 }
 
 void NodeRuntime::set_executor(NodeExecutor exec) {
@@ -81,11 +114,8 @@ void NodeRuntime::handle(net::Address from, net::Bytes payload) {
     case MsgType::kSubQuery:
       if (auto m = SubQueryMsg::decode(payload)) on_subquery(from, *m);
       break;
-    case MsgType::kRangePush:
-      if (auto m = RangePushMsg::decode(payload)) on_range_push(*m);
-      break;
-    case MsgType::kFetchOrder:
-      if (auto m = FetchOrderMsg::decode(payload)) on_fetch_order(*m);
+    case MsgType::kViewDelta:
+      if (auto m = ViewDeltaMsg::decode(payload)) on_view_delta(*m);
       break;
     case MsgType::kObjectUpdate:
       if (auto m = ObjectUpdateMsg::decode(payload)) on_update(*m);
@@ -280,28 +310,98 @@ void NodeRuntime::drain_batch() {
   }
 }
 
-void NodeRuntime::on_range_push(const RangePushMsg& m) {
-  range_ = Arc(m.range_begin, m.range_len);
-  p_ = m.p;
+void NodeRuntime::on_view_delta(const ViewDeltaMsg& m) {
+  switch (sub_.apply(m.delta)) {
+    case core::ViewSubscription::Apply::kApplied:
+      reconcile_view();
+      break;
+    case core::ViewSubscription::Apply::kStale:
+      break;
+    case core::ViewSubscription::Apply::kGap: {
+      ViewPullMsg pull;
+      pull.subscriber = address();
+      pull.have_epoch = sub_.epoch();
+      net_.send(address(), kMembershipAddr, pull.encode());
+      return;  // ack once the pulled epochs apply
+    }
+  }
+  ViewAckMsg ack;
+  ack.subscriber = address();
+  ack.epoch = sub_.epoch();
+  net_.send(address(), kMembershipAddr, ack.encode());
 }
 
-void NodeRuntime::on_fetch_order(const FetchOrderMsg& m) {
+void NodeRuntime::reconcile_view() {
+  const core::ClusterView& v = sub_.view();
+  core::Ring ring = v.to_ring();
+  if (!ring.contains(params_.id)) {
+    range_ = Arc();
+    p_ = v.storage_p;
+    return;
+  }
+  range_ = ring.range_of(params_.id);
+  // Store at the published level. During an in-progress decrease a node
+  // that already finished its own fetch holds the larger arcs and keeps
+  // claiming them (p_ = target), regardless of the view's lagging safe
+  // level.
+  p_ = v.storage_p;
+  if (v.in_progress() && fetch_done_for_p_ == v.target_p) {
+    p_ = v.target_p;
+  }
+  // Storing above a previously fetched level drops that level's surplus
+  // arcs: the downloaded data is gone, and a future decrease back to the
+  // same p must re-download rather than instantly re-confirm off the
+  // stale credit.
+  if (fetch_done_for_p_ != 0 && p_ > fetch_done_for_p_) {
+    fetch_done_for_p_ = 0;
+  }
+  if (v.in_progress() && v.pending_contains(params_.id)) {
+    if (fetch_done_for_p_ == v.target_p) {
+      // Data already on disk (e.g. the confirmation was lost, or we
+      // crashed after the download finished): just re-report.
+      send_fetch_complete(v.target_p);
+    } else if (fetch_running_for_p_ != v.target_p) {
+      begin_fetch(ring, v.safe_p, v.target_p);
+    }
+  } else if (!v.in_progress()) {
+    // Any straggling download is superseded; its timer must not complete
+    // a later attempt.
+    if (fetch_running_for_p_ != 0) ++fetch_gen_;
+    fetch_running_for_p_ = 0;
+  }
+}
+
+void NodeRuntime::begin_fetch(const core::Ring& ring, uint32_t p_old,
+                              uint32_t p_new) {
   // Download the new objects from the backend filestore at fetch
   // bandwidth; confirm when done. Downloads do not consume matching
   // capacity (the paper's background replication).
-  double frac = static_cast<double>(m.arc_len) / 18446744073709551616.0;
+  Arc fetch =
+      core::ReplicationController::fetch_arc(ring, params_.id, p_old, p_new);
+  double frac =
+      static_cast<double>(fetch.length()) / 18446744073709551616.0;
   double bytes = frac * static_cast<double>(dataset_size_) *
                  params_.bytes_per_object;
   double secs = bytes / params_.fetch_bandwidth;
-  uint32_t new_p = m.new_p;
-  net_.clock().schedule_after(secs, [this, new_p] {
-    if (!alive_) return;
-    p_ = new_p;
-    FetchCompleteMsg done;
-    done.node = params_.id;
-    done.new_p = new_p;
-    net_.send(address(), kMembershipAddr, done.encode());
+  fetch_running_for_p_ = p_new;
+  uint64_t gen = ++fetch_gen_;
+  net_.clock().schedule_after(secs, [this, p_new, gen] {
+    // The generation guard rejects orphaned timers from attempts that a
+    // crash or supersession abandoned — even when a NEW attempt for the
+    // same p is in flight (its own, later timer will complete it).
+    if (!alive_ || gen != fetch_gen_) return;
+    fetch_running_for_p_ = 0;
+    fetch_done_for_p_ = p_new;
+    p_ = p_new;
+    send_fetch_complete(p_new);
   });
+}
+
+void NodeRuntime::send_fetch_complete(uint32_t new_p) {
+  FetchCompleteMsg done;
+  done.node = params_.id;
+  done.new_p = new_p;
+  net_.send(address(), kMembershipAddr, done.encode());
 }
 
 std::vector<IngestReplicaView> collect_ingest_replicas(

@@ -3,9 +3,15 @@
 // Serves sub-queries over its slice of the metadata (FIFO, one logical
 // matching pipeline per node — Definition 8's constant-service-time model,
 // with rates taken from the PPS measurements), applies object updates
-// (which consume matching capacity, §7.3.4), maintains its range as pushed
-// by the membership server, and simulates the background download when the
-// replication level grows (§4.5).
+// (which consume matching capacity, §7.3.4), and derives its range, its
+// storage level and its §4.5 duties from the epoch-versioned ClusterView
+// the control plane broadcasts: on every applied view the node recomputes
+// its range from the ring, stores at the view's storage_p, and — if it
+// finds itself in the pending-confirmer set of an in-progress p decrease —
+// starts (or re-reports) the background download of its extended arc.
+// Receiving an epoch again is therefore always safe and always sufficient:
+// retransmission replaces every bespoke recovery path the old one-shot
+// range-push/fetch-order messages needed.
 //
 // Execution engine (wall-clock deployments): set_executor() attaches a
 // core::WorkerPool and a loop-thread post function. Sub-queries arriving
@@ -26,6 +32,7 @@
 #include "cluster/ingest.h"
 #include "cluster/match_engine.h"
 #include "cluster/protocol.h"
+#include "core/cluster_view.h"
 #include "core/reconfig.h"
 #include "core/worker_pool.h"
 #include "net/transport.h"
@@ -40,6 +47,9 @@ struct NodeParams {
   double update_cost_s = 0.003;  // per stored object update (§7.3.4)
   double fetch_bandwidth = 50e6;  // bytes/s from the backend filestore
   double bytes_per_object = 700.0;
+  // Periodic kNodeStats load report to the control plane; 0 disables.
+  // The adaptive-p controller's node-side signal.
+  double stats_interval_s = 0.0;
 };
 
 // Off-loop execution wiring. `pool` stays owned by the harness and must
@@ -102,6 +112,8 @@ class NodeRuntime {
   double busy_until() const { return busy_until_; }
   const Arc& range() const { return range_; }
   uint32_t current_p() const { return p_; }
+  // The node's replicated control state.
+  uint64_t view_epoch() const { return sub_.epoch(); }
   // Batching diagnostics: drain wakeups and sub-queries they carried.
   uint64_t batches_drained() const { return batches_drained_; }
   uint64_t batched_subqueries() const { return batched_subqueries_; }
@@ -126,8 +138,13 @@ class NodeRuntime {
 
   void handle(net::Address from, net::Bytes payload);
   void on_subquery(net::Address from, const SubQueryMsg& m);
-  void on_range_push(const RangePushMsg& m);
-  void on_fetch_order(const FetchOrderMsg& m);
+  void on_view_delta(const ViewDeltaMsg& m);
+  // Re-derives range, storage p and §4.5 fetch duties from the current
+  // view. Idempotent: re-applied epochs re-trigger it harmlessly.
+  void reconcile_view();
+  void begin_fetch(const core::Ring& ring, uint32_t p_old, uint32_t p_new);
+  void send_fetch_complete(uint32_t new_p);
+  void stats_tick(uint64_t life);
   void on_update(const ObjectUpdateMsg& m);
 
   bool pooled() const {
@@ -154,8 +171,21 @@ class NodeRuntime {
   NodeParams params_;
   uint64_t dataset_size_;
   bool alive_ = false;
+  core::ViewSubscription sub_;
   Arc range_;
   uint32_t p_ = 1;
+  // §4.5 download bookkeeping. `running` marks an in-flight fetch (reset
+  // by a crash: the download dies with the process); `done` marks data
+  // already on disk (survives crashes — a revived node re-reports instead
+  // of re-fetching). `gen` invalidates completion timers of abandoned
+  // attempts — a re-started fetch for the SAME target p must not be
+  // completed early by its predecessor's timer.
+  uint32_t fetch_running_for_p_ = 0;
+  uint32_t fetch_done_for_p_ = 0;
+  uint64_t fetch_gen_ = 0;
+  // Invalidates timer chains from a previous life on kill()/start().
+  uint64_t life_ = 0;
+  double stats_busy_mark_ = 0.0;
   double busy_until_ = 0.0;
   double busy_seconds_ = 0.0;
   uint64_t subqueries_served_ = 0;

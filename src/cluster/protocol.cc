@@ -20,7 +20,8 @@ std::optional<net::Reader> reader_for(const net::Bytes& b, MsgType expect) {
 std::optional<MsgType> peek_type(const net::Bytes& b) {
   if (b.empty()) return std::nullopt;
   uint8_t t = b[0];
-  if (t < 1 || t > 11) return std::nullopt;
+  // 3 and 4 are the retired kRangePush/kFetchOrder slots.
+  if (t < 1 || t > 14 || t == 3 || t == 4) return std::nullopt;
   return static_cast<MsgType>(t);
 }
 
@@ -74,42 +75,106 @@ std::optional<SubQueryReplyMsg> SubQueryReplyMsg::decode(const net::Bytes& b) {
   return m;
 }
 
-net::Bytes RangePushMsg::encode() const {
-  auto w = with_type(MsgType::kRangePush);
-  w.ring_id(range_begin);
-  w.u64(range_len);
-  w.u32(p);
-  w.u8(fixed ? 1 : 0);
+net::Bytes ViewDeltaMsg::encode() const {
+  auto w = with_type(MsgType::kViewDelta);
+  w.u64(delta.epoch);
+  w.u8(delta.full ? 1 : 0);
+  w.u32(delta.target_p);
+  w.u32(delta.safe_p);
+  w.u32(delta.storage_p);
+  w.u32(static_cast<uint32_t>(delta.upserts.size()));
+  for (const auto& m : delta.upserts) {
+    w.u32(m.id);
+    w.ring_id(m.position);
+    w.f64(m.speed);
+    w.u8(m.alive ? 1 : 0);
+  }
+  w.u32(static_cast<uint32_t>(delta.removes.size()));
+  for (NodeId id : delta.removes) w.u32(id);
+  w.u32(static_cast<uint32_t>(delta.pending.size()));
+  for (NodeId id : delta.pending) w.u32(id);
   return w.take();
 }
 
-std::optional<RangePushMsg> RangePushMsg::decode(const net::Bytes& b) {
-  auto r = reader_for(b, MsgType::kRangePush);
+std::optional<ViewDeltaMsg> ViewDeltaMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kViewDelta);
   if (!r) return std::nullopt;
-  RangePushMsg m;
-  m.range_begin = r->ring_id();
-  m.range_len = r->u64();
-  m.p = r->u32();
-  m.fixed = r->u8() != 0;
+  ViewDeltaMsg m;
+  m.delta.epoch = r->u64();
+  m.delta.full = r->u8() != 0;
+  m.delta.target_p = r->u32();
+  m.delta.safe_p = r->u32();
+  m.delta.storage_p = r->u32();
+  // Hostile-count guards: each member costs 21 bytes, each id 4 — a count
+  // the remaining bytes cannot carry is rejected before any allocation.
+  uint32_t n = r->u32();
+  if (!r->ok() || static_cast<uint64_t>(n) * 21 > r->remaining()) {
+    return std::nullopt;
+  }
+  m.delta.upserts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    core::ViewMember vm;
+    vm.id = r->u32();
+    vm.position = r->ring_id();
+    vm.speed = r->f64();
+    vm.alive = r->u8() != 0;
+    m.delta.upserts.push_back(vm);
+  }
+  n = r->u32();
+  if (!r->ok() || static_cast<uint64_t>(n) * 4 > r->remaining()) {
+    return std::nullopt;
+  }
+  m.delta.removes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) m.delta.removes.push_back(r->u32());
+  n = r->u32();
+  if (!r->ok() || static_cast<uint64_t>(n) * 4 > r->remaining()) {
+    return std::nullopt;
+  }
+  m.delta.pending.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) m.delta.pending.push_back(r->u32());
+  if (!r->ok()) return std::nullopt;
+  // A full snapshot replaces the member set wholesale; carrying removals
+  // too would be ambiguous, so such a message is malformed by definition.
+  if (m.delta.full && !m.delta.removes.empty()) return std::nullopt;
+  return m;
+}
+
+net::Bytes ViewAckMsg::encode() const {
+  auto w = with_type(MsgType::kViewAck);
+  w.u32(subscriber);
+  w.u64(epoch);
+  w.u64(completed);
+  w.f64(p99_s);
+  w.f64(mean_s);
+  return w.take();
+}
+
+std::optional<ViewAckMsg> ViewAckMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kViewAck);
+  if (!r) return std::nullopt;
+  ViewAckMsg m;
+  m.subscriber = r->u32();
+  m.epoch = r->u64();
+  m.completed = r->u64();
+  m.p99_s = r->f64();
+  m.mean_s = r->f64();
   if (!r->ok()) return std::nullopt;
   return m;
 }
 
-net::Bytes FetchOrderMsg::encode() const {
-  auto w = with_type(MsgType::kFetchOrder);
-  w.ring_id(arc_begin);
-  w.u64(arc_len);
-  w.u32(new_p);
+net::Bytes ViewPullMsg::encode() const {
+  auto w = with_type(MsgType::kViewPull);
+  w.u32(subscriber);
+  w.u64(have_epoch);
   return w.take();
 }
 
-std::optional<FetchOrderMsg> FetchOrderMsg::decode(const net::Bytes& b) {
-  auto r = reader_for(b, MsgType::kFetchOrder);
+std::optional<ViewPullMsg> ViewPullMsg::decode(const net::Bytes& b) {
+  auto r = reader_for(b, MsgType::kViewPull);
   if (!r) return std::nullopt;
-  FetchOrderMsg m;
-  m.arc_begin = r->ring_id();
-  m.arc_len = r->u64();
-  m.new_p = r->u32();
+  ViewPullMsg m;
+  m.subscriber = r->u32();
+  m.have_epoch = r->u64();
   if (!r->ok()) return std::nullopt;
   return m;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/ring_id.h"
+#include "core/cluster_view.h"
 #include "net/serialize.h"
 #include "net/transport.h"
 
@@ -20,25 +21,32 @@ namespace roar::cluster {
 
 using NodeId = uint32_t;
 
-// Well-known endpoint addresses of a ROAR deployment. The ingest router
-// serves the historical "update server" role, so it owns that address.
+// Well-known endpoint addresses of a ROAR deployment. Front-ends are
+// per-instance (§4.8: many front-ends serve one membership view); the
+// ingest router serves the historical "update server" role, so it owns
+// that address.
 inline net::Address node_address(NodeId id) { return 100 + id; }
+inline net::Address frontend_address(uint32_t i) { return 10 + i; }
 inline constexpr net::Address kMembershipAddr = 0;
-inline constexpr net::Address kFrontendAddr = 1;
 inline constexpr net::Address kUpdateServerAddr = 2;
+inline constexpr uint32_t kMaxFrontends = 90;  // 10..99, below the nodes
 
 enum class MsgType : uint8_t {
   kSubQuery = 1,
   kSubQueryReply = 2,
-  kRangePush = 3,      // membership -> node: your range is [..]
-  kFetchOrder = 4,     // membership -> node: download arc for new p
-  kFetchComplete = 5,  // node -> membership
+  // 3 (kRangePush) and 4 (kFetchOrder) are retired: ranges and §4.5
+  // fetch orders are now derived from kViewDelta broadcasts. The values
+  // stay reserved so captured traces remain unambiguous.
+  kFetchComplete = 5,  // node -> control plane: §4.5 download done
   kObjectUpdate = 6,   // update server -> node (modeled-cost legacy path)
-  kNodeStats = 7,      // node -> membership (load report)
+  kNodeStats = 7,      // node -> control plane (periodic load report)
   kUpdate = 8,         // ingest router -> replica: one logged ingest op
   kUpdateAck = 9,      // replica -> router: applied-LSN watermark
   kSyncReq = 10,       // replica -> router: anti-entropy catch-up request
   kSyncData = 11,      // router -> replica: ops since LSN / full segment
+  kViewDelta = 12,     // control plane -> subscriber: one view epoch step
+  kViewAck = 13,       // subscriber -> control plane: epoch watermark
+  kViewPull = 14,      // subscriber -> control plane: catch-up request
 };
 
 struct SubQueryMsg {
@@ -65,23 +73,47 @@ struct SubQueryReplyMsg {
   static std::optional<SubQueryReplyMsg> decode(const net::Bytes& b);
 };
 
-struct RangePushMsg {
-  RingId range_begin;
-  uint64_t range_len = 0;
-  uint32_t p = 1;          // current partitioning level
-  bool fixed = false;      // administrator-pinned range (§4.9)
+// One epoch step of the control state (core/cluster_view.h), broadcast by
+// the ControlPlane to every subscriber (nodes and front-ends). Incremental
+// deltas apply against epoch-1; full snapshots replace the subscriber's
+// state and may re-apply the current epoch (idempotent — this is what
+// retransmission and revival catch-up lean on).
+struct ViewDeltaMsg {
+  core::ViewDelta delta;
 
   net::Bytes encode() const;
-  static std::optional<RangePushMsg> decode(const net::Bytes& b);
+  static std::optional<ViewDeltaMsg> decode(const net::Bytes& b);
 };
 
-struct FetchOrderMsg {
-  RingId arc_begin;
-  uint64_t arc_len = 0;
-  uint32_t new_p = 1;
+// Subscriber -> control plane: "I have applied `epoch`". The control
+// plane's per-subscriber watermarks come from these; they gate surplus
+// drops after a p increase and steer laggard retransmission. Front-ends
+// piggyback their periodic latency digest (zeros from storage nodes) —
+// the adaptive-p controller's query-side signal.
+struct ViewAckMsg {
+  net::Address subscriber = 0;
+  uint64_t epoch = 0;
+  // Latency digest over the front-end's current window. `completed` is
+  // the window's query count — 0 marks a plain watermark ack (or an
+  // empty window), which carries no latency signal and must not steer
+  // the controller.
+  uint64_t completed = 0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
 
   net::Bytes encode() const;
-  static std::optional<FetchOrderMsg> decode(const net::Bytes& b);
+  static std::optional<ViewAckMsg> decode(const net::Bytes& b);
+};
+
+// Subscriber -> control plane: "send me everything after `have_epoch`".
+// Sent on a detected gap and on restart after a crash; answered with the
+// retained delta suffix or a full snapshot.
+struct ViewPullMsg {
+  net::Address subscriber = 0;
+  uint64_t have_epoch = 0;
+
+  net::Bytes encode() const;
+  static std::optional<ViewPullMsg> decode(const net::Bytes& b);
 };
 
 struct FetchCompleteMsg {

@@ -37,14 +37,90 @@ void InvariantChecker::fail(const std::string& context, std::string detail) {
 
 size_t InvariantChecker::check(const std::string& context) {
   size_t before = violations_.size();
-  uint32_t p = cluster_.frontend().safe_p();
+  uint32_t p = cluster_.control().safe_p();
   if (p >= 2) {
     check_plan(context, p);       // the minimum legal partitioning
     check_plan(context, 2 * p);   // any pq >= p must also be exact
   }
   check_reconfig(context);
+  check_view(context);
   check_accounting(context);
   check_ingest_safety(context);
+  return violations_.size() - before;
+}
+
+void InvariantChecker::check_view(const std::string& context) {
+  const ControlPlane& control = cluster_.control();
+  uint64_t epoch = control.epoch();
+  if (epoch < last_control_epoch_) {
+    fail(context, "control epoch went backwards");
+  }
+  last_control_epoch_ = std::max(last_control_epoch_, epoch);
+
+  // storage_p lags safe_p exactly while the drop gate holds front-end
+  // acks hostage; at every other moment the levels agree.
+  uint32_t storage = control.storage_p(), safe = control.safe_p();
+  if (control.drop_gate_pending()) {
+    if (storage >= safe) {
+      fail(context, "drop gate pending but storage_p " +
+                        std::to_string(storage) + " >= safe_p " +
+                        std::to_string(safe));
+    }
+  } else if (storage != safe) {
+    fail(context, "no drop gate but storage_p " + std::to_string(storage) +
+                      " != safe_p " + std::to_string(safe));
+  }
+
+  // The highest level any live node actually stores at: a front-end
+  // planning below it would partition queries the nodes no longer hold
+  // replication arcs for.
+  uint32_t max_node_p = 0;
+  for (const auto& n : cluster_.membership().ring(0).nodes()) {
+    NodeRuntime& node = cluster_.node(n.id);
+    if (!node.alive() || node.range().empty()) continue;
+    max_node_p = std::max(max_node_p, node.current_p());
+  }
+
+  for (uint32_t i = 0; i < cluster_.frontend_count(); ++i) {
+    const Frontend& fe = cluster_.frontend(i);
+    uint64_t fe_epoch = fe.view_epoch();
+    if (fe_epoch > epoch) {
+      fail(context, "frontend " + std::to_string(i) +
+                        " view epoch ahead of the control plane");
+    }
+    uint64_t& seen = last_frontend_epoch_[i];
+    if (fe_epoch < seen) {
+      fail(context, "frontend " + std::to_string(i) +
+                        " view epoch went backwards");
+    }
+    seen = std::max(seen, fe_epoch);
+    if (!fe.ready()) continue;  // refuses queries: cannot plan unsafely
+    if (max_node_p > 0 && fe.safe_p() < max_node_p) {
+      fail(context, "frontend " + std::to_string(i) + " plans at p=" +
+                        std::to_string(fe.safe_p()) +
+                        " while some node stores at p=" +
+                        std::to_string(max_node_p) + " (unsafe p)");
+    }
+  }
+}
+
+size_t InvariantChecker::check_view_converged(const std::string& context) {
+  size_t before = violations_.size();
+  const ControlPlane& control = cluster_.control();
+  net::FaultTransport* ft = cluster_.faults();
+  for (uint32_t i = 0; i < cluster_.frontend_count(); ++i) {
+    const Frontend& fe = cluster_.frontend(i);
+    if (!fe.alive()) continue;  // crashed and never revived
+    // A front-end still cut off from the control plane cannot have
+    // converged; the heal path (or the retransmit tick) resyncs it.
+    if (ft && ft->link_cut(kMembershipAddr, fe.address())) continue;
+    if (fe.view_epoch() != control.epoch()) {
+      fail(context, "frontend " + std::to_string(i) + " ended on epoch " +
+                        std::to_string(fe.view_epoch()) +
+                        ", control plane on " +
+                        std::to_string(control.epoch()));
+    }
+  }
   return violations_.size() - before;
 }
 
@@ -87,7 +163,7 @@ size_t InvariantChecker::check_ingest_converged(const std::string& context) {
 void InvariantChecker::check_plan(const std::string& context, uint32_t pq) {
   const core::Ring& ring = cluster_.membership().ring(0);
   if (ring.empty() || pq < 2) return;
-  uint32_t p = cluster_.frontend().safe_p();
+  uint32_t p = cluster_.control().safe_p();
   bool any_alive = false;
   for (const auto& n : ring.nodes()) any_alive |= n.alive;
   if (!any_alive) return;
@@ -199,8 +275,9 @@ void InvariantChecker::check_plan(const std::string& context, uint32_t pq) {
 }
 
 void InvariantChecker::check_reconfig(const std::string& context) {
-  const core::ReplicationController& repl = cluster_.frontend().replication();
+  const core::ReplicationController& repl = cluster_.control().replication();
   uint32_t safe = repl.safe_p(), target = repl.target_p();
+  uint32_t storage = cluster_.control().storage_p();
   if (repl.in_progress()) {
     if (target >= safe) {
       fail(context, "confirmations pending but target_p " +
@@ -214,7 +291,9 @@ void InvariantChecker::check_reconfig(const std::string& context) {
   }
 
   // Node-level view: liveness agrees with the authoritative ring, and
-  // every live node that has received ranges serves at the old or new p.
+  // every live node that has received ranges stores at the old level, the
+  // new level (its own fetch already done), or the drop-gated storage
+  // level — never anything else.
   const core::Ring& ring = cluster_.membership().ring(0);
   net::FaultTransport* ft = cluster_.faults();
   for (const auto& n : ring.nodes()) {
@@ -225,16 +304,17 @@ void InvariantChecker::check_reconfig(const std::string& context) {
       continue;
     }
     if (!node.alive() || node.range().empty()) continue;
-    // A node the membership server cannot currently reach may hold stale
-    // state with no way to learn better; the heal path republishes ranges,
+    // A node the control plane cannot currently reach may hold stale
+    // state with no way to learn better; the heal path resyncs the view,
     // so the assertion resumes once the cut ends.
     if (ft && ft->link_cut(kMembershipAddr, node.address())) continue;
     uint32_t np = node.current_p();
-    if (np != safe && np != target) {
+    if (np != safe && np != target && np != storage) {
       fail(context, "node " + std::to_string(n.id) + " serves at p=" +
-                        std::to_string(np) + ", neither safe_p " +
-                        std::to_string(safe) + " nor target_p " +
-                        std::to_string(target));
+                        std::to_string(np) + ", none of safe_p " +
+                        std::to_string(safe) + ", target_p " +
+                        std::to_string(target) + ", storage_p " +
+                        std::to_string(storage));
     }
   }
 }
@@ -295,6 +375,16 @@ Scenario& Scenario::revive(double at, NodeId id) {
              [this, id] { cluster_.revive_node(id); });
 }
 
+Scenario& Scenario::crash_frontend(double at, uint32_t index) {
+  return add(at, "crash frontend " + std::to_string(index),
+             [this, index] { cluster_.kill_frontend(index); });
+}
+
+Scenario& Scenario::revive_frontend(double at, uint32_t index) {
+  return add(at, "revive frontend " + std::to_string(index),
+             [this, index] { cluster_.revive_frontend(index); });
+}
+
 Scenario& Scenario::join(double at, double speed) {
   return add(at, "join node (speed " + std::to_string(speed) + ")",
              [this, speed] { cluster_.add_node(speed); });
@@ -317,8 +407,8 @@ Scenario& Scenario::balance(double at) {
 Scenario& Scenario::reconfigure(double at, uint32_t p_new) {
   return add(at, "reconfigure p=" + std::to_string(p_new), [this, p_new] {
     // Overlapping changes would leave nodes fetching for a superseded p;
-    // the membership server serialises reconfigurations, so do we.
-    if (!cluster_.frontend().replication().in_progress()) {
+    // the control plane serialises reconfigurations, so do we.
+    if (!cluster_.control().reconfig_busy()) {
       cluster_.change_p(p_new);
     }
   });
@@ -339,7 +429,10 @@ Scenario& Scenario::partition(double at, double duration,
   add(at, "partition {" + who + "} from the rest", [this, island, pid] {
     std::vector<net::Address> a, b;
     for (NodeId id : island) a.push_back(node_address(id));
-    b = {kMembershipAddr, kFrontendAddr, kUpdateServerAddr};
+    b = {kMembershipAddr, kUpdateServerAddr};
+    for (uint32_t i = 0; i < cluster_.frontend_count(); ++i) {
+      b.push_back(frontend_address(i));
+    }
     for (NodeId id = 0; id < cluster_.node_count(); ++id) {
       if (std::find(island.begin(), island.end(), id) == island.end()) {
         b.push_back(node_address(id));
@@ -349,12 +442,13 @@ Scenario& Scenario::partition(double at, double duration,
   });
   add(at + duration, "heal partition {" + who + "}", [this, pid] {
     if (*pid != 0) cluster_.faults()->heal(*pid);
-    // Republishing ranges re-syncs the front-end's liveness mirror, so
-    // nodes it declared dead during the cut serve again immediately; any
-    // fetch orders the cut black-holed are re-sent so an in-progress
-    // reconfiguration can complete.
-    cluster_.push_ranges();
-    cluster_.reissue_fetch_orders();
+    // Resync the view: every subscriber the cut starved receives the
+    // current epoch again and re-derives its state — including any §4.5
+    // fetch duty whose ordering delta the cut black-holed, which is how
+    // an in-progress reconfiguration always completes after a heal. The
+    // full resync also refreshes the front-ends' liveness mirrors, so
+    // nodes they declared dead during the cut serve again immediately.
+    cluster_.control().resync(/*everyone=*/true);
   });
   return *this;
 }
@@ -370,7 +464,7 @@ Scenario& Scenario::burst(double at, double rate_per_s, uint32_t count) {
           t += rng_.next_exponential(rate_per_s);
           cluster_.loop().schedule_at(t, [this] {
             ++result_.queries_submitted;
-            cluster_.frontend().submit([this](const QueryOutcome& out) {
+            cluster_.submit_query([this](const QueryOutcome& out) {
               if (out.complete) {
                 ++result_.queries_completed;
               } else {
@@ -451,6 +545,7 @@ ScenarioResult Scenario::run(double duration) {
   checker_.check("end");
   result_.ingest_converged = cluster_.ingest_converged();
   checker_.check_ingest_converged("end");
+  checker_.check_view_converged("end");
   result_.messages_sent = cluster_.transport().messages_sent();
   result_.messages_dropped = cluster_.transport().messages_dropped();
   result_.violations.assign(

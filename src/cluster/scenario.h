@@ -1,11 +1,12 @@
 // Declarative chaos scenarios against the emulated ROAR cluster, with
 // the paper's guarantees checked after every event.
 //
-// A Scenario scripts timed events — crash/revive a node, graceful leave,
-// membership join, bidirectional partition and heal, p→p′ reconfiguration,
-// query bursts, balancing rounds — onto the cluster's virtual-time loop.
-// Partition events require the cluster to be built with
-// ClusterConfig::enable_faults (the net::FaultTransport layer).
+// A Scenario scripts timed events — crash/revive a node or a front-end,
+// graceful leave, membership join, bidirectional partition and heal,
+// p→p′ reconfiguration, query bursts, balancing rounds — onto the
+// cluster's virtual-time loop. Partition events require the cluster to be
+// built with ClusterConfig::enable_faults (the net::FaultTransport
+// layer).
 //
 // After every applied event (and at start/end) the InvariantChecker
 // re-derives the §4.2–§4.5 guarantees from the authoritative state:
@@ -24,7 +25,14 @@
 //  5. Message accounting: counters are monotone and conserved through the
 //     fault layer (sent − injected drops + duplicates − in flight ==
 //     inner transport's sends).
-//  6. Ingest safety (clusters built with enable_ingest): at every check,
+//  6. View-epoch safety: every front-end's view epoch is monotone and
+//     never ahead of the control plane's; no ready front-end ever plans
+//     at a p smaller than what some live node stores at ("no query is
+//     ever partitioned with an unsafe p" — the drop gate's guarantee);
+//     storage_p lags safe_p only while the drop gate is pending. At the
+//     END of a run every live, reachable front-end has converged to the
+//     control plane's epoch.
+//  7. Ingest safety (clusters built with enable_ingest): at every check,
 //     no replica's applied LSN exceeds the router's issued LSN, no acked
 //     watermark exceeds its replica's applied LSN, and applied LSNs are
 //     monotone per (shard, node). At the END of a run (after the drain
@@ -63,6 +71,9 @@ class InvariantChecker {
   // identical per-shard match results); meaningful only once the workload
   // drained. No-op without ingestion. Returns new violations.
   size_t check_ingest_converged(const std::string& context);
+  // Quiescent-state view convergence: every live front-end sits on the
+  // control plane's epoch. Returns new violations.
+  size_t check_view_converged(const std::string& context);
   const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }
@@ -73,6 +84,7 @@ class InvariantChecker {
   void fail(const std::string& context, std::string detail);
   void check_plan(const std::string& context, uint32_t pq);
   void check_reconfig(const std::string& context);
+  void check_view(const std::string& context);
   void check_accounting(const std::string& context);
   void check_ingest_safety(const std::string& context);
 
@@ -81,6 +93,8 @@ class InvariantChecker {
   uint32_t object_samples_ = 48;
   std::vector<InvariantViolation> violations_;
   uint64_t last_messages_sent_ = 0;
+  uint64_t last_control_epoch_ = 0;
+  std::map<uint32_t, uint64_t> last_frontend_epoch_;
   // Per-(shard, node) applied-LSN high-water marks for monotonicity.
   std::map<std::pair<uint32_t, NodeId>, uint64_t> last_applied_;
 };
@@ -110,6 +124,10 @@ class Scenario {
   // All times are offsets (seconds of virtual time) from run()'s start.
   Scenario& crash(double at, NodeId id);
   Scenario& revive(double at, NodeId id);
+  // Front-end lifecycle (§4.8 scale-out): its pending queries fail at the
+  // crash; it refuses new ones until a revival re-syncs its view.
+  Scenario& crash_frontend(double at, uint32_t index);
+  Scenario& revive_frontend(double at, uint32_t index);
   Scenario& join(double at, double speed);
   Scenario& leave(double at, NodeId id);
   Scenario& remove_dead(double at);

@@ -17,29 +17,31 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   config_.frontend.p = config_.p;
   config_.frontend.subquery_overhead_s = config_.node_proto.subquery_overhead_s;
   config_.speeds.resize(config_.nodes, 1.0);
+  if (config_.frontends == 0) config_.frontends = 1;
 
-  // Control endpoint: front-end + membership share one listener, as they
-  // share a process in the paper's deployment.
+  // Control endpoint: control plane + front-ends share one listener, as
+  // they share a process in the paper's deployment.
   transports_.push_back(std::make_unique<net::TcpTransport>(driver_));
   net::TcpTransport& control = *transports_.front();
   control.set_latency_hint(config_.latency_hint_s);
 
-  frontend_ = std::make_unique<Frontend>(
-      control, config_.frontend, config_.dataset_size,
-      subseed(config_.seed, SeedStream::kFrontend));
-  frontend_->start();
-  control.bind(kMembershipAddr,
-               [this](net::Address from, net::Bytes payload) {
-                 (void)from;
-                 handle_membership_message(
-                     payload, *frontend_,
-                     [this](uint32_t new_p) {
-                       push_ranges();
-                       ROAR_LOG(kInfo)
-                           << "tcp-cluster: reconfiguration to p=" << new_p
-                           << " complete";
-                     });
-               });
+  ControlPlaneParams cp;
+  cp.initial_p = config_.p;
+  cp.retransmit_interval_s = config_.control_retransmit_s;
+  control_ = std::make_unique<ControlPlane>(control, membership_, cp);
+  control_->on_reconfigured = [](uint32_t new_p) {
+    ROAR_LOG(kInfo) << "tcp-cluster: reconfiguration to p=" << new_p
+                    << " complete";
+  };
+  control_->start();
+
+  for (uint32_t i = 0; i < config_.frontends; ++i) {
+    frontends_.push_back(std::make_unique<Frontend>(
+        control, i, config_.frontend, config_.dataset_size,
+        frontend_seed(config_.seed, i)));
+    control_->subscribe_frontend(frontends_.back()->address());
+    frontends_.back()->start();
+  }
 
   // Real matching: one immutable engine shared by every node (each node
   // scans only the slice a sub-query's window selects, so sharing the
@@ -52,9 +54,9 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
     ingest_router_ = std::make_unique<IngestRouter>(
         control, config_.ingest, subseed(config_.seed, SeedStream::kIngest),
         engine_, [this] { return membership_.ring(0); },
-        [this] { return frontend_->safe_p(); });
+        [this] { return control_->storage_p(); });
     ingest_router_->start();
-    frontend_->set_ingest(ingest_router_.get());
+    for (auto& fe : frontends_) fe->set_ingest(ingest_router_.get());
   }
 
   // One listener per storage node.
@@ -81,6 +83,7 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
       exec.batch_max = config_.exec_batch_max;
       node->set_executor(std::move(exec));
     }
+    control_->subscribe_node(id);
     node->start();
     membership_.join(id, np.speed);
     transports_.push_back(std::move(transport));
@@ -90,18 +93,21 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   for (uint32_t i = 0; i < config_.initial_balance_steps; ++i) {
     if (membership_.balance_step() == 0.0) break;
   }
-  push_ranges();
-  // Drain the range pushes so every node knows its slice before queries;
-  // serving with empty ranges would silently corrupt outcomes, so a drain
-  // failure is fatal here.
-  bool ranged = driver_.run_until([this] {
+  publish_view();
+  // Drain the first view epoch so every node knows its slice and every
+  // front-end is ready before queries; serving with empty ranges would
+  // silently corrupt outcomes, so a drain failure is fatal here.
+  bool synced = driver_.run_until([this] {
     for (const auto& n : nodes_) {
       if (n->range().empty()) return false;
     }
+    for (const auto& fe : frontends_) {
+      if (!fe->ready()) return false;
+    }
     return true;
   });
-  if (!ranged) {
-    throw std::runtime_error("TcpCluster: nodes never received ranges");
+  if (!synced) {
+    throw std::runtime_error("TcpCluster: initial view never delivered");
   }
 }
 
@@ -111,12 +117,10 @@ uint16_t TcpCluster::node_port(NodeId id) const {
   return transports_.at(id + 1)->port();
 }
 
-void TcpCluster::push_ranges() {
-  // safe_p, not target_p: mid-decrease the nodes keep the old
-  // partitioning until every fetch confirms (same rule as the emulated
-  // harness — the parity test depends on identical choreography).
-  cluster::push_ranges(membership_.ring(0), frontend_->safe_p(),
-                       *transports_.front(), *frontend_);
+void TcpCluster::publish_view() {
+  // Same rule as EmulatedCluster::publish_view: the broadcast covers
+  // everyone; laggards are the retransmit tick's job.
+  control_->publish();
 }
 
 void TcpCluster::kill_node(NodeId id) {
@@ -127,14 +131,17 @@ void TcpCluster::kill_node(NodeId id) {
 void TcpCluster::revive_node(NodeId id) {
   NodeRuntime& node = *nodes_.at(id);
   if (node.alive()) return;
-  node.start();
+  node.start();  // pulls the current view over the socket
   membership_.revive(id);
-  push_ranges();
+  publish_view();
+  // The crash never bumped the epoch; force a full resync so the
+  // front-ends' mirrors resurrect the node's liveness (same choreography
+  // as the emulated harness).
+  control_->resync(/*everyone=*/true);
 }
 
 void TcpCluster::change_p(uint32_t p_new) {
-  order_p_change(membership_.ring(0), p_new, *transports_.front(),
-                 *frontend_);
+  control_->order_p_change(p_new);
 }
 
 QueryOutcome TcpCluster::run_query(double timeout_s) {
@@ -143,7 +150,8 @@ QueryOutcome TcpCluster::run_query(double timeout_s) {
   // later poll, after this frame is gone.
   auto out = std::make_shared<QueryOutcome>();
   auto done = std::make_shared<bool>(false);
-  frontend_->submit([out, done](const QueryOutcome& o) {
+  Frontend& fe = pick_ready_frontend(frontends_, next_frontend_);
+  fe.submit([out, done](const QueryOutcome& o) {
     *out = o;
     *done = true;
   });

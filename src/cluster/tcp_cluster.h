@@ -1,6 +1,7 @@
-// The deployable ROAR cluster: front-end + membership + N storage nodes,
-// each endpoint on its own loopback TCP listener, exchanging byte-for-byte
-// the protocol the emulated cluster runs in virtual time.
+// The deployable ROAR cluster: F front-ends + control plane + N storage
+// nodes, each endpoint on its own loopback TCP listener, exchanging
+// byte-for-byte the protocol the emulated cluster runs in virtual time —
+// including the epoch-versioned ClusterView delta/ack/pull choreography.
 //
 // Single-threaded: every socket and timer is driven by one TcpDriver poll
 // loop, so the harness behaves like an event-driven deployment compressed
@@ -27,12 +28,17 @@ struct TcpClusterConfig {
   std::vector<double> speeds;
   uint64_t dataset_size = 100'000;
   uint32_t p = 4;
+  // Front-end instances, all hosted on the control listener (they share
+  // the control process, as in the paper's deployment).
+  uint32_t frontends = 1;
   FrontendParams frontend;  // p is overwritten from the field above
   NodeParams node_proto;    // id/speed overwritten per node
   uint64_t seed = 1;
   uint32_t initial_balance_steps = 800;
   // Latency hint fed to the delay estimator (loopback RTT scale).
   double latency_hint_s = 100e-6;
+  // Laggard-resync cadence of the control plane.
+  double control_retransmit_s = 0.5;
 
   // --- execution engine --------------------------------------------------
   // Worker lanes per node (its core count). 0 = the original inline,
@@ -61,32 +67,40 @@ class TcpCluster {
   ~TcpCluster();
 
   net::TcpDriver& driver() { return driver_; }
-  Frontend& frontend() { return *frontend_; }
+  ControlPlane& control() { return *control_; }
+  Frontend& frontend() { return *frontends_.front(); }
+  Frontend& frontend(uint32_t i) { return *frontends_.at(i); }
+  uint32_t frontend_count() const {
+    return static_cast<uint32_t>(frontends_.size());
+  }
   core::MembershipServer& membership() { return membership_; }
 
   size_t node_count() const { return nodes_.size(); }
   NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
   uint16_t node_port(NodeId id) const;
 
-  // Pushes authoritative ranges + current p to every node over the sockets
-  // and re-syncs the front-end's ring mirror.
-  void push_ranges();
+  // Publishes the current membership + reconfiguration state over the
+  // sockets (no-op when nothing changed); laggards converge through the
+  // control plane's retransmit tick.
+  void publish_view();
 
   // Crash-stops a node: its endpoint unbinds, so frames addressed to it
-  // vanish; the front-end must discover the failure by timeout.
+  // vanish; the front-ends must discover the failure by timeout.
   void kill_node(NodeId id);
   // Restarts a crashed node in place (it kept its data and its ingest
-  // log); ranges are republished and the node's SyncSessions resume,
-  // catching its index up with everything it missed.
+  // log); it pulls the current view — resuming any §4.5 duty it lost —
+  // and its SyncSessions catch its index up with everything it missed.
   void revive_node(NodeId id);
 
-  // Reconfiguration (§4.5) over the wire: fetch orders out, completions
-  // back, ranges republished once safe.
+  // Reconfiguration (§4.5) over the wire: view epochs out, completions
+  // back, storage levels gated exactly as in the emulation.
   void change_p(uint32_t p_new);
-  uint32_t safe_p() const { return frontend_->safe_p(); }
+  uint32_t safe_p() const { return control_->safe_p(); }
+  uint32_t target_p() const { return control_->target_p(); }
 
-  // Submits one query and polls sockets + wall-clock timers until it
-  // completes (or `timeout_s` passes — the outcome then has id == 0).
+  // Submits one query (front-ends round-robin) and polls sockets +
+  // wall-clock timers until it completes (or `timeout_s` passes — the
+  // outcome then has id == 0).
   QueryOutcome run_query(double timeout_s = 30.0);
   // `count` queries back-to-back (closed loop).
   std::vector<QueryOutcome> run_queries(uint32_t count,
@@ -120,11 +134,12 @@ class TcpCluster {
  private:
   TcpClusterConfig config_;
   net::TcpDriver driver_;
-  // transports_[0] hosts the front-end + membership + update-server
-  // addresses (one "control process"); transports_[i + 1] hosts node i.
+  // transports_[0] hosts the control plane + all front-ends + the update
+  // server (one "control process"); transports_[i + 1] hosts node i.
   std::vector<std::unique_ptr<net::TcpTransport>> transports_;
   core::MembershipServer membership_;
-  std::unique_ptr<Frontend> frontend_;
+  std::unique_ptr<ControlPlane> control_;
+  std::vector<std::unique_ptr<Frontend>> frontends_;
   std::shared_ptr<const MatchEngine> engine_;
   std::unique_ptr<IngestRouter> ingest_router_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
@@ -133,6 +148,7 @@ class TcpCluster {
   // posted may outlive the nodes unexecuted — the driver (destroyed last)
   // drops them without running.
   std::vector<std::unique_ptr<core::WorkerPool>> pools_;
+  uint32_t next_frontend_ = 0;  // round-robin submit cursor
 };
 
 }  // namespace roar::cluster

@@ -26,9 +26,13 @@ Rng::Rng(uint64_t seed) {
 }
 
 uint64_t subseed(uint64_t base, SeedStream stream) {
+  return subseed(base, static_cast<uint64_t>(stream));
+}
+
+uint64_t subseed(uint64_t base, uint64_t salt) {
   // Mix the stream tag in before running splitmix64 twice: adjacent base
   // seeds and adjacent streams land in unrelated parts of the sequence.
-  uint64_t x = base ^ (static_cast<uint64_t>(stream) * 0xD1B54A32D192ED03ull);
+  uint64_t x = base ^ (salt * 0xD1B54A32D192ED03ull);
   splitmix64(x);
   return splitmix64(x);
 }

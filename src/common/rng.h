@@ -78,6 +78,12 @@ enum class SeedStream : uint64_t {
 // Derives an independent, well-mixed child seed for `stream`.
 uint64_t subseed(uint64_t base, SeedStream stream);
 
+// Raw-salt variant for per-instance streams (e.g. front-end i of N derives
+// subseed(subseed(seed, kFrontend), i)). Instance 0 of a family should use
+// the enum stream directly so single-instance runs keep their historical
+// sequences.
+uint64_t subseed(uint64_t base, uint64_t salt);
+
 // Zipf-distributed ranks in [1, n] with exponent `s`, using the standard
 // inverse-CDF-over-precomputed-weights method. Used by the PPS corpus
 // generator for realistic keyword frequencies.

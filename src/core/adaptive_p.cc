@@ -1,0 +1,77 @@
+#include "core/adaptive_p.h"
+
+#include <algorithm>
+
+namespace roar::core {
+
+AdaptivePController::AdaptivePController(AdaptivePParams params)
+    : params_(params) {}
+
+void AdaptivePController::observe_latency(uint64_t source, double now,
+                                          double p99_s, uint64_t completed) {
+  if (completed == 0) return;  // no queries finished: no latency signal
+  latency_[source] = {now, p99_s};
+}
+
+void AdaptivePController::observe_load(uint32_t node, double now,
+                                       double busy_fraction) {
+  load_[node] = {now, busy_fraction};
+}
+
+uint32_t AdaptivePController::decide(double now, uint32_t current_p) {
+  // The contract is judged on the worst front-end: one overloaded
+  // front-end's clients breach the p99 target no matter how the others do.
+  double p99 = 0.0;
+  bool have_latency = false;
+  for (const auto& [src, obs] : latency_) {
+    if (now - obs.at > params_.observation_ttl_s) continue;
+    p99 = std::max(p99, obs.p99_s);
+    have_latency = true;
+  }
+  double busy_sum = 0.0;
+  uint32_t busy_n = 0;
+  for (const auto& [node, obs] : load_) {
+    if (now - obs.at > params_.observation_ttl_s) continue;
+    busy_sum += obs.busy;
+    ++busy_n;
+  }
+  double busy = busy_n > 0 ? busy_sum / busy_n : 0.0;
+  last_p99_ = have_latency ? p99 : 0.0;
+  last_busy_ = busy;
+
+  if (!have_latency) {
+    // Blind: no fresh digest from any front-end. Hold, and restart the
+    // hysteresis windows so stale streaks cannot trigger on reconnect.
+    high_ticks_ = low_ticks_ = 0;
+    return 0;
+  }
+
+  if (p99 > params_.target_p99_s) {
+    ++high_ticks_;
+    low_ticks_ = 0;
+  } else if (p99 < params_.low_water * params_.target_p99_s &&
+             busy < params_.busy_low) {
+    ++low_ticks_;
+    high_ticks_ = 0;
+  } else {
+    high_ticks_ = low_ticks_ = 0;  // dead band: contract met, keep p
+  }
+
+  if (now - last_change_at_ < params_.min_dwell_s) return 0;
+
+  if (high_ticks_ >= params_.hysteresis_ticks && current_p < params_.p_max) {
+    high_ticks_ = low_ticks_ = 0;
+    last_change_at_ = now;
+    ++raises_;
+    return std::min(current_p * 2, params_.p_max);
+  }
+  if (low_ticks_ >= params_.hysteresis_ticks && current_p > params_.p_min) {
+    high_ticks_ = low_ticks_ = 0;
+    last_change_at_ = now;
+    ++lowers_;
+    return std::max(current_p / 2, params_.p_min);
+  }
+  return 0;
+}
+
+}  // namespace roar::core

@@ -1,0 +1,96 @@
+// Closed-loop online p selection (§4.5, §7.3.5 in spirit).
+//
+// ROAR's operators exploit the p/r flexibility by changing p while the
+// system runs: higher p cuts per-query latency (smaller per-node shares)
+// at the cost of per-sub-query overhead; lower p reclaims that overhead
+// when latency headroom allows. This controller closes the loop without
+// knowledge of future load: it watches the front-ends' latency digests
+// and the nodes' load reports and steps p to hold an explicit latency
+// contract,
+//
+//   p99 <= target_p99_s,
+//
+// raising p when the contract is breached and lowering it only when
+// latency sits well under the contract AND the cluster is lightly loaded.
+// The load condition is the anti-oscillation half of the law: right after
+// a raise under load, latency drops below the low-water mark — without
+// the busy check the controller would immediately step back down and
+// oscillate forever.
+//
+// Safety is not this class's job: the ControlPlane gates every decision
+// through the §4.5 ReplicationController (no new change while a previous
+// one is still confirming, no unsafe pq ever reaches a front-end).
+//
+// Pure policy, no I/O: observations in, decisions out — deterministic
+// given the observation stream, which keeps adaptive runs seed-replayable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace roar::core {
+
+struct AdaptivePParams {
+  // The latency contract: hold p99 at or under this.
+  double target_p99_s = 1.0;
+  // Lower p only when p99 < low_water * target ...
+  double low_water = 0.5;
+  // ... and the mean node busy-fraction is under this.
+  double busy_low = 0.5;
+  uint32_t p_min = 2;
+  uint32_t p_max = 64;
+  // Consecutive decision ticks a condition must hold before acting.
+  uint32_t hysteresis_ticks = 2;
+  // Minimum time between two p changes.
+  double min_dwell_s = 10.0;
+  // Observations older than this are ignored (a crashed front-end's last
+  // digest must not steer the controller forever).
+  double observation_ttl_s = 8.0;
+};
+
+class AdaptivePController {
+ public:
+  explicit AdaptivePController(AdaptivePParams params);
+
+  // A front-end's periodic latency digest. `source` identifies the
+  // front-end (its address); `p99_s` covers its recent window; `completed`
+  // is the window's query count (0-query windows carry no latency signal
+  // and are skipped).
+  void observe_latency(uint64_t source, double now, double p99_s,
+                       uint64_t completed);
+  // A node's periodic load report.
+  void observe_load(uint32_t node, double now, double busy_fraction);
+
+  // One control tick. Returns the new target p, or 0 to hold. The caller
+  // is expected to tick at a fixed cadence; hysteresis counts these calls.
+  uint32_t decide(double now, uint32_t current_p);
+
+  // Telemetry for benches, tests and the example.
+  uint32_t raises() const { return raises_; }
+  uint32_t lowers() const { return lowers_; }
+  double last_p99_s() const { return last_p99_; }
+  double last_busy() const { return last_busy_; }
+
+ private:
+  struct LatencyObs {
+    double at = 0.0;
+    double p99_s = 0.0;
+  };
+  struct LoadObs {
+    double at = 0.0;
+    double busy = 0.0;
+  };
+
+  AdaptivePParams params_;
+  std::map<uint64_t, LatencyObs> latency_;
+  std::map<uint32_t, LoadObs> load_;
+  uint32_t high_ticks_ = 0;
+  uint32_t low_ticks_ = 0;
+  double last_change_at_ = -1e18;
+  uint32_t raises_ = 0;
+  uint32_t lowers_ = 0;
+  double last_p99_ = 0.0;
+  double last_busy_ = 0.0;
+};
+
+}  // namespace roar::core

@@ -1,0 +1,146 @@
+#include "core/cluster_view.h"
+
+#include <algorithm>
+
+namespace roar::core {
+
+bool ClusterView::pending_contains(NodeId id) const {
+  return std::find(pending.begin(), pending.end(), id) != pending.end();
+}
+
+const ViewMember* ClusterView::find(NodeId id) const {
+  for (const auto& m : members) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+Ring ClusterView::to_ring() const {
+  Ring ring;
+  for (const auto& m : members) {
+    ring.add_node(m.id, m.position, m.speed);
+    if (!m.alive) ring.set_alive(m.id, false);
+  }
+  return ring;
+}
+
+bool ClusterView::same_state(const ClusterView& other) const {
+  return target_p == other.target_p && safe_p == other.safe_p &&
+         storage_p == other.storage_p && members == other.members &&
+         pending == other.pending;
+}
+
+ClusterView ClusterView::capture(uint64_t epoch, const Ring& ring,
+                                 const ReplicationController& repl,
+                                 uint32_t storage_p,
+                                 const std::set<NodeId>& warming) {
+  ClusterView v;
+  v.epoch = epoch;
+  v.target_p = repl.target_p();
+  v.safe_p = repl.safe_p();
+  v.storage_p = storage_p;
+  for (const auto& n : ring.nodes()) {
+    v.members.push_back(
+        {n.id, n.position, n.speed, n.alive && warming.count(n.id) == 0});
+  }
+  std::sort(v.members.begin(), v.members.end(),
+            [](const ViewMember& a, const ViewMember& b) {
+              return a.id < b.id;
+            });
+  v.pending.assign(repl.pending().begin(), repl.pending().end());
+  return v;
+}
+
+ViewDelta view_diff(const ClusterView& prev, const ClusterView& next) {
+  ViewDelta d;
+  d.epoch = next.epoch;
+  d.full = false;
+  d.target_p = next.target_p;
+  d.safe_p = next.safe_p;
+  d.storage_p = next.storage_p;
+  // Both member lists are canonically id-sorted: one merge pass.
+  size_t i = 0, j = 0;
+  while (i < prev.members.size() || j < next.members.size()) {
+    if (i < prev.members.size() &&
+        (j == next.members.size() ||
+         prev.members[i].id < next.members[j].id)) {
+      d.removes.push_back(prev.members[i].id);
+      ++i;
+    } else if (j < next.members.size() &&
+               (i == prev.members.size() ||
+                next.members[j].id < prev.members[i].id)) {
+      d.upserts.push_back(next.members[j]);
+      ++j;
+    } else {
+      if (!(prev.members[i] == next.members[j])) {
+        d.upserts.push_back(next.members[j]);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  d.pending = next.pending;
+  return d;
+}
+
+ViewDelta view_full_delta(const ClusterView& view) {
+  ViewDelta d;
+  d.epoch = view.epoch;
+  d.full = true;
+  d.target_p = view.target_p;
+  d.safe_p = view.safe_p;
+  d.storage_p = view.storage_p;
+  d.upserts = view.members;
+  d.pending = view.pending;
+  return d;
+}
+
+ViewSubscription::Apply ViewSubscription::apply(const ViewDelta& d) {
+  if (d.full) {
+    // A full snapshot at our epoch or later always applies: re-applying
+    // the current epoch is how a revived subscriber (or a retransmission)
+    // re-triggers its reconciliation idempotently.
+    if (d.epoch < view_.epoch) return Apply::kStale;
+    view_.epoch = d.epoch;
+    view_.target_p = d.target_p;
+    view_.safe_p = d.safe_p;
+    view_.storage_p = d.storage_p;
+    view_.members = d.upserts;
+    std::sort(view_.members.begin(), view_.members.end(),
+              [](const ViewMember& a, const ViewMember& b) {
+                return a.id < b.id;
+              });
+    view_.pending = d.pending;
+    return Apply::kApplied;
+  }
+  if (d.epoch <= view_.epoch) return Apply::kStale;
+  if (d.epoch != view_.epoch + 1) return Apply::kGap;
+  view_.epoch = d.epoch;
+  view_.target_p = d.target_p;
+  view_.safe_p = d.safe_p;
+  view_.storage_p = d.storage_p;
+  for (const auto& up : d.upserts) {
+    auto it = std::lower_bound(view_.members.begin(), view_.members.end(),
+                               up.id,
+                               [](const ViewMember& m, NodeId id) {
+                                 return m.id < id;
+                               });
+    if (it != view_.members.end() && it->id == up.id) {
+      *it = up;
+    } else {
+      view_.members.insert(it, up);
+    }
+  }
+  for (NodeId id : d.removes) {
+    auto it = std::lower_bound(view_.members.begin(), view_.members.end(),
+                               id,
+                               [](const ViewMember& m, NodeId want) {
+                                 return m.id < want;
+                               });
+    if (it != view_.members.end() && it->id == id) view_.members.erase(it);
+  }
+  view_.pending = d.pending;
+  return Apply::kApplied;
+}
+
+}  // namespace roar::core

@@ -1,0 +1,118 @@
+// The epoch-versioned control-plane state of a ROAR cluster (§4.8–§4.9).
+//
+// A ClusterView is an immutable snapshot of everything a front-end or a
+// storage node needs to know about the deployment: the ring (members with
+// positions, speeds, liveness), the partitioning levels, and any §4.5
+// reconfiguration still in flight. Views are totally ordered by `epoch`;
+// the ControlPlane (cluster/control.h) is the single writer, everyone
+// else replicates the view through ViewDelta messages and keeps a
+// ViewSubscription.
+//
+// Three partitioning levels travel together:
+//
+//   target_p  — the administrator/controller's configured p.
+//   safe_p    — the minimum pq guaranteed to reach every object; lags
+//               target_p during a decrease until every node confirmed its
+//               §4.5 fetch.
+//   storage_p — the level nodes must keep storing at. Lags safe_p during
+//               an *increase* until every live front-end has acknowledged
+//               the raise: a front-end still planning at the old (smaller)
+//               p needs the old (larger) replication arcs on disk, so
+//               nodes may only drop surplus data once no front-end can
+//               still plan against it. This asymmetry (fetch-gated
+//               decreases, ack-gated drops on increases) is what makes
+//               "no query is ever partitioned with an unsafe p" a global
+//               invariant rather than a single-process accident.
+//
+// Deltas are incremental (member upserts/removes against epoch-1) or full
+// (complete member list, replacing the subscriber's state); both carry the
+// p levels and the pending-confirmer set verbatim since those are tiny.
+// A subscriber that sees a gap pulls; the control plane answers with the
+// retained delta suffix or a full snapshot.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/reconfig.h"
+#include "core/ring.h"
+
+namespace roar::core {
+
+struct ViewMember {
+  NodeId id = kInvalidNode;
+  RingId position;
+  double speed = 1.0;
+  bool alive = true;
+
+  bool operator==(const ViewMember&) const = default;
+};
+
+struct ClusterView {
+  uint64_t epoch = 0;
+  uint32_t target_p = 1;
+  uint32_t safe_p = 1;
+  uint32_t storage_p = 1;
+  std::vector<ViewMember> members;  // sorted by id (canonical form)
+  std::vector<NodeId> pending;      // §4.5 confirmers still outstanding
+
+  bool in_progress() const { return !pending.empty(); }
+  bool pending_contains(NodeId id) const;
+  const ViewMember* find(NodeId id) const;
+
+  // Materializes the ring this view describes (positions + liveness).
+  Ring to_ring() const;
+
+  // Same control state? (epoch excluded — this is what makes publishing
+  // an unchanged view a no-op.)
+  bool same_state(const ClusterView& other) const;
+
+  // Builds the canonical view of `ring` + reconfiguration state at
+  // `epoch`. Nodes in `warming` are presented as down: they are still
+  // downloading their arc (§4.3) and must not be scheduled onto.
+  static ClusterView capture(uint64_t epoch, const Ring& ring,
+                             const ReplicationController& repl,
+                             uint32_t storage_p,
+                             const std::set<NodeId>& warming);
+};
+
+// One epoch step of the view, as broadcast on the wire (the serialized
+// form lives in cluster/protocol.h).
+struct ViewDelta {
+  uint64_t epoch = 0;
+  bool full = false;  // true: `upserts` is the complete member list
+  uint32_t target_p = 1;
+  uint32_t safe_p = 1;
+  uint32_t storage_p = 1;
+  std::vector<ViewMember> upserts;
+  std::vector<NodeId> removes;  // empty when full
+  std::vector<NodeId> pending;
+};
+
+// The incremental delta turning `prev` into `next` (epoch taken from
+// `next`). Members are compared field-wise; unchanged members are omitted.
+ViewDelta view_diff(const ClusterView& prev, const ClusterView& next);
+
+// A full-snapshot delta carrying `view` verbatim.
+ViewDelta view_full_delta(const ClusterView& view);
+
+// Subscriber-side replica of the control state.
+class ViewSubscription {
+ public:
+  enum class Apply {
+    kApplied,  // state advanced (or a full snapshot re-applied)
+    kStale,    // delta for an epoch we already have; ignored
+    kGap,      // missed epochs: caller must pull from the control plane
+  };
+
+  Apply apply(const ViewDelta& d);
+
+  const ClusterView& view() const { return view_; }
+  uint64_t epoch() const { return view_.epoch; }
+
+ private:
+  ClusterView view_;
+};
+
+}  // namespace roar::core

@@ -17,6 +17,7 @@ ClusterConfig chaos_config(uint64_t seed, uint32_t nodes, uint32_t p) {
   cfg.classes = {{"chaos", nodes, 1.0}};
   cfg.dataset_size = 200'000;
   cfg.p = p;
+  cfg.frontends = 2;  // the soak round-robins queries over both
   cfg.seed = seed;
   cfg.enable_faults = true;
   cfg.frontend.timeout_factor = 2.0;
@@ -37,8 +38,9 @@ ScenarioResult run_chaos(uint64_t seed) {
   s.burst(0.5, 15.0, 15);
   std::vector<NodeId> crashed;
   double t = 5.0;
+  bool fe_down = false;
   for (int ev = 0; ev < 7; ++ev) {
-    switch (rng.next_below(6)) {
+    switch (rng.next_below(8)) {
       case 0: {  // crash a live-so-far node, at most a third of the ring
         if (crashed.size() < nodes / 3) {
           NodeId victim = static_cast<NodeId>(rng.next_below(nodes));
@@ -74,9 +76,22 @@ ScenarioResult run_chaos(uint64_t seed) {
       case 5:
         s.burst(t, 10.0, 10);
         break;
+      case 6:  // crash the second front-end (instance 0 keeps serving)
+        if (!fe_down) {
+          s.crash_frontend(t, 1);
+          fe_down = true;
+        }
+        break;
+      case 7:
+        if (fe_down) {
+          s.revive_frontend(t, 1);
+          fe_down = false;
+        }
+        break;
     }
     t += 4.0 + rng.next_double() * 4.0;
   }
+  if (fe_down) s.revive_frontend(t, 1);
   s.remove_dead(t);
   s.burst(t + 1.0, 10.0, 10);
   return s.run(t + 40.0);
@@ -110,6 +125,35 @@ TEST(ChaosSoakTest, SameSeedReproducesTraceAndMessageCounts) {
   EXPECT_EQ(a.queries_completed, b.queries_completed);
   EXPECT_EQ(a.queries_partial, b.queries_partial);
   EXPECT_DOUBLE_EQ(a.min_harvest, b.min_harvest);
+}
+
+TEST(ChaosSoakTest, FrontendCrashDuringReconfigurationConverges) {
+  // A front-end dies in the middle of a p decrease (fetches still in
+  // flight), queries keep flowing through the survivor, the decrease
+  // completes, and the revived front-end re-syncs to the final epoch —
+  // audited after every event, including the unsafe-p and epoch-
+  // convergence invariants.
+  ClusterConfig cfg = chaos_config(123, 12, 6);
+  cfg.node_proto.fetch_bandwidth = 2e6;  // downloads outlast the crash
+  EmulatedCluster cluster(cfg);
+  Scenario s(cluster, 123);
+  s.burst(0.5, 20.0, 15)
+      .reconfigure(2.0, 3)       // p 6 -> 3: every node fetches
+      .crash_frontend(3.0, 1)    // front-end dies mid-reconfiguration
+      .burst(4.0, 20.0, 15)      // survivor keeps serving
+      .revive_frontend(25.0, 1)  // back after the decrease completed
+      .burst(30.0, 20.0, 15);
+  ScenarioResult res = s.run(60.0);
+  for (const auto& v : res.violations) {
+    ADD_FAILURE() << "t=" << v.at << " after '" << v.context
+                  << "': " << v.detail;
+  }
+  EXPECT_EQ(cluster.safe_p(), 3u);
+  EXPECT_TRUE(cluster.frontend(1).ready());
+  EXPECT_EQ(cluster.frontend(1).view_epoch(), cluster.control().epoch())
+      << "revived front-end must converge to the final epoch";
+  EXPECT_EQ(res.queries_completed + res.queries_partial,
+            res.queries_submitted);
 }
 
 TEST(ChaosSoakTest, PartitionDuringReconfigurationRecoversAfterHeal) {

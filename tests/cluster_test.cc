@@ -41,22 +41,41 @@ TEST(ProtocolTest, AllMessagesRoundTrip) {
   ASSERT_TRUE(rep2.has_value());
   EXPECT_EQ(rep2->scanned, 12345u);
 
-  RangePushMsg rp;
-  rp.range_begin = RingId::from_double(0.1);
-  rp.range_len = 999;
-  rp.p = 16;
-  rp.fixed = true;
-  auto rp2 = RangePushMsg::decode(rp.encode());
-  ASSERT_TRUE(rp2.has_value());
-  EXPECT_TRUE(rp2->fixed);
+  ViewDeltaMsg vd;
+  vd.delta.epoch = 7;
+  vd.delta.full = false;
+  vd.delta.target_p = 4;
+  vd.delta.safe_p = 8;
+  vd.delta.storage_p = 8;
+  vd.delta.upserts = {{3, RingId::from_double(0.25), 1.5, true},
+                      {9, RingId::from_double(0.75), 0.5, false}};
+  vd.delta.removes = {4};
+  vd.delta.pending = {3, 9};
+  auto vd2 = ViewDeltaMsg::decode(vd.encode());
+  ASSERT_TRUE(vd2.has_value());
+  EXPECT_EQ(vd2->delta.epoch, 7u);
+  EXPECT_EQ(vd2->delta.upserts.size(), 2u);
+  EXPECT_EQ(vd2->delta.upserts[1].id, 9u);
+  EXPECT_FALSE(vd2->delta.upserts[1].alive);
+  EXPECT_EQ(vd2->delta.removes, std::vector<NodeId>{4});
+  EXPECT_EQ(vd2->delta.pending, (std::vector<NodeId>{3, 9}));
 
-  FetchOrderMsg fo;
-  fo.arc_begin = RingId::from_double(0.7);
-  fo.arc_len = 1234;
-  fo.new_p = 4;
-  auto fo2 = FetchOrderMsg::decode(fo.encode());
-  ASSERT_TRUE(fo2.has_value());
-  EXPECT_EQ(fo2->new_p, 4u);
+  ViewAckMsg va;
+  va.subscriber = frontend_address(1);
+  va.epoch = 7;
+  va.completed = 42;
+  va.p99_s = 0.125;
+  auto va2 = ViewAckMsg::decode(va.encode());
+  ASSERT_TRUE(va2.has_value());
+  EXPECT_EQ(va2->subscriber, frontend_address(1));
+  EXPECT_EQ(va2->completed, 42u);
+
+  ViewPullMsg vp;
+  vp.subscriber = node_address(3);
+  vp.have_epoch = 6;
+  auto vp2 = ViewPullMsg::decode(vp.encode());
+  ASSERT_TRUE(vp2.has_value());
+  EXPECT_EQ(vp2->have_epoch, 6u);
 
   FetchCompleteMsg fc;
   fc.node = 9;
@@ -136,7 +155,7 @@ TEST(ClusterTest, DecreasePWaitsForFetches) {
   cluster.change_p(3);
   // Not yet safe: downloads in progress.
   EXPECT_EQ(cluster.safe_p(), 6u);
-  EXPECT_EQ(cluster.frontend().target_p(), 3u);
+  EXPECT_EQ(cluster.target_p(), 3u);
   // Queries keep working during the transition at the old p.
   uint32_t done = cluster.run_queries(10.0, 20);
   EXPECT_EQ(done, 20u);
@@ -145,6 +164,68 @@ TEST(ClusterTest, DecreasePWaitsForFetches) {
   EXPECT_EQ(cluster.safe_p(), 3u);
   done = cluster.run_queries(10.0, 20);
   EXPECT_EQ(done, 20u);
+}
+
+TEST(ClusterTest, RepeatedDecreaseAfterIncreaseRedownloads) {
+  // p 6->3 completes (every node fetches its extended arc); p 3->6 drops
+  // the surplus again; a second 6->3 must re-download. A node must never
+  // instantly re-confirm off the stale credit of the first decrease —
+  // that would flip safe_p onto arcs nobody holds.
+  EmulatedCluster c(small_config(6, 12));
+  c.change_p(3);
+  c.loop().run_until(c.now() + 300.0);
+  ASSERT_EQ(c.safe_p(), 3u);
+
+  c.change_p(6);  // increase: safe at once, drop gate clears in ~ms
+  c.loop().run_until(c.now() + 1.0);
+  ASSERT_EQ(c.safe_p(), 6u);
+  ASSERT_FALSE(c.control().reconfig_busy());
+
+  c.change_p(3);
+  // Far less than the ~2.3 s modeled download: still unsafe.
+  c.loop().run_until(c.now() + 0.5);
+  EXPECT_EQ(c.safe_p(), 6u)
+      << "second decrease must wait on fresh downloads";
+  c.loop().run_until(c.now() + 300.0);
+  EXPECT_EQ(c.safe_p(), 3u);
+}
+
+TEST(ClusterTest, CrashDuringFetchDoesNotConfirmOffTheStaleTimer) {
+  // A node crashes mid-§4.5-download and revives: its revival pull
+  // re-derives the fetch duty and restarts the download from scratch.
+  // The ORIGINAL attempt's completion timer is still in the clock; it
+  // must not complete the restarted fetch early — that would flip
+  // safe_p before the re-download finished.
+  auto cfg = small_config(6, 12);
+  cfg.node_proto.fetch_bandwidth = 4e6;  // 1/6 of 1M objs -> ~29.2 s
+  EmulatedCluster c(cfg);
+  double t0 = c.now();
+  c.change_p(3);  // every node fetches for ~29.2 s
+  c.loop().run_until(t0 + 5.0);
+  c.kill_node(2);
+  c.loop().run_until(t0 + 8.0);
+  c.revive_node(2);  // in place: re-derives the fetch, done ~t0+37
+  // All other nodes confirm ~t0+29; node 2's stale timer would fire
+  // there too. With the generation guard, safe_p must still be 6.
+  c.loop().run_until(t0 + 33.0);
+  EXPECT_EQ(c.safe_p(), 6u)
+      << "restarted fetch must not be completed by the stale timer";
+  c.loop().run_until(t0 + 45.0);
+  EXPECT_EQ(c.safe_p(), 3u);
+}
+
+TEST(ClusterTest, DecreaseWithNoLiveConfirmersCommitsVacuously) {
+  // Every node dead when a decrease is ordered: there is nobody to fetch,
+  // the §4.5 controller completes the change immediately, and the control
+  // plane must commit it — storage_p follows safe_p with no gate pending.
+  EmulatedCluster c(small_config(4, 4));
+  for (NodeId id = 0; id < 4; ++id) c.kill_node(id);
+  uint32_t before = c.control().p_changes_committed();
+  c.change_p(2);
+  EXPECT_EQ(c.safe_p(), 2u);
+  EXPECT_EQ(c.control().storage_p(), 2u);
+  EXPECT_FALSE(c.control().reconfig_busy());
+  EXPECT_EQ(c.control().p_changes_committed(), before + 1);
 }
 
 TEST(ClusterTest, UpdatesConsumeCapacity) {
@@ -192,6 +273,9 @@ TEST(ClusterTest, InPlaceReviveRestoresFullHarvest) {
   ASSERT_FALSE(degraded.complete);
 
   c.revive_node(1);
+  // The revival's view epoch reaches the front-end a network latency
+  // later (the control plane is distributed now, not a direct call).
+  c.loop().run_until(c.now() + 0.01);
   QueryOutcome recovered;
   c.frontend().submit([&](const QueryOutcome& o) { recovered = o; });
   c.loop().run_until(c.now() + 120.0);
@@ -208,8 +292,13 @@ TEST(ClusterTest, ReviveAfterCleanupReloadsLikeAFreshJoin) {
   c.kill_node(2);
   c.run_queries(10.0, 20);  // discovery by timeout
   c.remove_dead_nodes();
+  c.loop().run_until(c.now() + 0.01);  // deliver the removal epoch
   c.revive_node(2);
-  EXPECT_FALSE(c.frontend().ring().contains(2))
+  c.loop().run_until(c.now() + 0.01);  // deliver the rejoin epoch
+  // The rejoining node is published as a (dead) member while its §4.3
+  // download runs: it must stay out of service until its data loads.
+  const core::Ring& mirror = c.frontend().ring();
+  EXPECT_TRUE(!mirror.contains(2) || !mirror.node(2).alive)
       << "rejoining node must stay out of service until its data loads";
   c.loop().run_until(c.now() + 120.0);  // warmup passes
   c.run_queries(20.0, 60);

@@ -1,0 +1,259 @@
+// Unit coverage for the epoch-versioned control state: view capture,
+// diffing, subscription apply rules (incremental / full / stale / gap),
+// and the adaptive-p control law (hysteresis, dead band, dwell, the
+// anti-oscillation busy check).
+#include <gtest/gtest.h>
+
+#include "core/adaptive_p.h"
+#include "core/cluster_view.h"
+
+namespace roar::core {
+namespace {
+
+Ring three_node_ring() {
+  Ring ring;
+  ring.add_node(0, RingId::from_double(0.2), 1.0);
+  ring.add_node(1, RingId::from_double(0.6), 2.0);
+  ring.add_node(2, RingId::from_double(0.9), 0.5);
+  return ring;
+}
+
+TEST(ClusterViewTest, CaptureIsCanonicalAndRoundTripsToRing) {
+  Ring ring = three_node_ring();
+  ring.set_alive(2, false);
+  ReplicationController repl(8);
+  ClusterView v = ClusterView::capture(5, ring, repl, 8, {});
+  EXPECT_EQ(v.epoch, 5u);
+  EXPECT_EQ(v.safe_p, 8u);
+  EXPECT_EQ(v.storage_p, 8u);
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.members[0].id, 0u);  // sorted by id
+  EXPECT_EQ(v.members[2].id, 2u);
+  EXPECT_FALSE(v.members[2].alive);
+
+  Ring back = v.to_ring();
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_FALSE(back.node(2).alive);
+  EXPECT_EQ(back.range_of(1).length(), ring.range_of(1).length());
+}
+
+TEST(ClusterViewTest, WarmingMembersArePublishedDown) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(4);
+  ClusterView v = ClusterView::capture(1, ring, repl, 4, {1});
+  EXPECT_TRUE(v.members[0].alive);
+  EXPECT_FALSE(v.members[1].alive) << "warming node must be presented down";
+}
+
+TEST(ClusterViewTest, DiffCarriesOnlyChangedMembers) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  ClusterView a = ClusterView::capture(1, ring, repl, 8, {});
+  ring.set_alive(1, false);
+  ring.add_node(7, RingId::from_double(0.4), 1.0);
+  ring.remove_node(0);
+  ClusterView b = ClusterView::capture(2, ring, repl, 8, {});
+
+  ViewDelta d = view_diff(a, b);
+  EXPECT_EQ(d.epoch, 2u);
+  EXPECT_FALSE(d.full);
+  ASSERT_EQ(d.upserts.size(), 2u);  // node 1 (liveness) + node 7 (new)
+  EXPECT_EQ(d.upserts[0].id, 1u);
+  EXPECT_EQ(d.upserts[1].id, 7u);
+  EXPECT_EQ(d.removes, std::vector<NodeId>{0});
+}
+
+TEST(ClusterViewTest, SubscriptionAppliesIncrementalChain) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  ClusterView a = ClusterView::capture(1, ring, repl, 8, {});
+  ring.set_alive(0, false);
+  ClusterView b = ClusterView::capture(2, ring, repl, 8, {});
+
+  ViewSubscription sub;
+  EXPECT_EQ(sub.apply(view_diff(ClusterView{}, a)),
+            ViewSubscription::Apply::kApplied);
+  EXPECT_EQ(sub.apply(view_diff(a, b)), ViewSubscription::Apply::kApplied);
+  EXPECT_EQ(sub.epoch(), 2u);
+  EXPECT_TRUE(sub.view().same_state(b));
+}
+
+TEST(ClusterViewTest, SubscriptionDetectsGapsAndIgnoresStale) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  ClusterView a = ClusterView::capture(1, ring, repl, 8, {});
+  ring.set_alive(0, false);
+  ClusterView b = ClusterView::capture(2, ring, repl, 8, {});
+  ring.set_alive(0, true);
+  ClusterView c = ClusterView::capture(3, ring, repl, 8, {});
+
+  ViewSubscription sub;
+  ASSERT_EQ(sub.apply(view_diff(ClusterView{}, a)),
+            ViewSubscription::Apply::kApplied);
+  // Epoch 3 arrives before epoch 2: gap — the subscriber must pull.
+  EXPECT_EQ(sub.apply(view_diff(b, c)), ViewSubscription::Apply::kGap);
+  EXPECT_EQ(sub.epoch(), 1u) << "gap must not corrupt the local view";
+  // A duplicate of epoch 1 is stale and ignored.
+  EXPECT_EQ(sub.apply(view_diff(ClusterView{}, a)),
+            ViewSubscription::Apply::kStale);
+  // The suffix in order applies cleanly.
+  EXPECT_EQ(sub.apply(view_diff(a, b)), ViewSubscription::Apply::kApplied);
+  EXPECT_EQ(sub.apply(view_diff(b, c)), ViewSubscription::Apply::kApplied);
+  EXPECT_TRUE(sub.view().same_state(c));
+}
+
+TEST(ClusterViewTest, FullSnapshotReappliesAtSameEpoch) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  ClusterView a = ClusterView::capture(4, ring, repl, 8, {});
+  ViewSubscription sub;
+  EXPECT_EQ(sub.apply(view_full_delta(a)),
+            ViewSubscription::Apply::kApplied);
+  // Re-applying the current epoch (retransmission, revival refresh) is
+  // idempotent and reports kApplied so reconciliation re-runs.
+  EXPECT_EQ(sub.apply(view_full_delta(a)),
+            ViewSubscription::Apply::kApplied);
+  EXPECT_TRUE(sub.view().same_state(a));
+  // An older full snapshot is stale.
+  ClusterView old = a;
+  old.epoch = 3;
+  EXPECT_EQ(sub.apply(view_full_delta(old)),
+            ViewSubscription::Apply::kStale);
+}
+
+TEST(ClusterViewTest, FullSnapshotJumpsGapsAndDropsDepartedMembers) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  ClusterView a = ClusterView::capture(1, ring, repl, 8, {});
+  ring.remove_node(2);
+  ClusterView far = ClusterView::capture(40, ring, repl, 8, {});
+
+  ViewSubscription sub;
+  ASSERT_EQ(sub.apply(view_diff(ClusterView{}, a)),
+            ViewSubscription::Apply::kApplied);
+  EXPECT_EQ(sub.apply(view_full_delta(far)),
+            ViewSubscription::Apply::kApplied);
+  EXPECT_EQ(sub.epoch(), 40u);
+  EXPECT_EQ(sub.view().members.size(), 2u)
+      << "full snapshot must drop members it does not list";
+}
+
+// ---------------------------------------------------------------- adaptive
+
+AdaptivePParams test_params() {
+  AdaptivePParams p;
+  p.target_p99_s = 1.0;
+  p.low_water = 0.5;
+  p.busy_low = 0.5;
+  p.p_min = 2;
+  p.p_max = 32;
+  p.hysteresis_ticks = 2;
+  p.min_dwell_s = 10.0;
+  p.observation_ttl_s = 8.0;
+  return p;
+}
+
+TEST(AdaptivePTest, SteadyLoadInDeadBandNeverOscillates) {
+  AdaptivePController ctl(test_params());
+  // p99 comfortably between low water (0.5) and the target (1.0): the
+  // controller must hold p forever — no oscillation under steady load.
+  uint32_t p = 8;
+  for (int tick = 0; tick < 50; ++tick) {
+    double now = tick * 4.0;
+    ctl.observe_latency(1, now, 0.8, 100 + tick);
+    ctl.observe_load(0, now, 0.4);
+    EXPECT_EQ(ctl.decide(now, p), 0u) << "tick " << tick;
+  }
+  EXPECT_EQ(ctl.raises(), 0u);
+  EXPECT_EQ(ctl.lowers(), 0u);
+}
+
+TEST(AdaptivePTest, RaiseNeedsConsecutiveBreaches) {
+  AdaptivePController ctl(test_params());
+  ctl.observe_latency(1, 0.0, 2.0, 10);
+  EXPECT_EQ(ctl.decide(0.0, 8), 0u) << "one breach must not trigger";
+  // A dip resets the streak.
+  ctl.observe_latency(1, 4.0, 0.8, 20);
+  EXPECT_EQ(ctl.decide(4.0, 8), 0u);
+  ctl.observe_latency(1, 8.0, 2.0, 30);
+  EXPECT_EQ(ctl.decide(8.0, 8), 0u);
+  ctl.observe_latency(1, 12.0, 2.0, 40);
+  EXPECT_EQ(ctl.decide(12.0, 8), 16u) << "two consecutive breaches raise";
+  EXPECT_EQ(ctl.raises(), 1u);
+}
+
+TEST(AdaptivePTest, LowLatencyAloneDoesNotLowerUnderLoad) {
+  AdaptivePController ctl(test_params());
+  // The anti-oscillation half of the law: right after a raise under load,
+  // latency drops below low water while the nodes stay busy. Lowering now
+  // would undo the raise and oscillate — the busy check forbids it.
+  for (int tick = 0; tick < 10; ++tick) {
+    double now = tick * 4.0;
+    ctl.observe_latency(1, now, 0.3, 10 + tick);
+    ctl.observe_load(0, now, 0.9);  // saturated
+    EXPECT_EQ(ctl.decide(now, 16), 0u);
+  }
+  EXPECT_EQ(ctl.lowers(), 0u);
+}
+
+TEST(AdaptivePTest, LowersWhenIdleAndRespectsDwellAndBounds) {
+  AdaptivePParams params = test_params();
+  AdaptivePController ctl(params);
+  uint32_t p = 8;
+  uint32_t changes = 0;
+  double last_change = -1e18;
+  for (int tick = 0; tick < 20; ++tick) {
+    double now = tick * 4.0;
+    ctl.observe_latency(1, now, 0.2, 10 + tick);
+    ctl.observe_load(0, now, 0.1);  // idle
+    uint32_t next = ctl.decide(now, p);
+    if (next != 0) {
+      EXPECT_GE(now - last_change, params.min_dwell_s) << "dwell violated";
+      EXPECT_EQ(next, p / 2);
+      p = next;
+      last_change = now;
+      ++changes;
+    }
+  }
+  EXPECT_GE(changes, 2u);
+  EXPECT_GE(p, params.p_min);
+  // At the floor, idle ticks stop producing decisions.
+  for (int tick = 20; tick < 30; ++tick) {
+    double now = tick * 4.0;
+    ctl.observe_latency(1, now, 0.2, 100 + tick);
+    ctl.observe_load(0, now, 0.1);
+    uint32_t next = ctl.decide(now, p);
+    if (next != 0) p = next;
+  }
+  EXPECT_GE(p, params.p_min);
+}
+
+TEST(AdaptivePTest, WorstFrontendGovernsAndStaleDigestsExpire) {
+  AdaptivePController ctl(test_params());
+  // Front-end 2 breaches while front-end 1 is healthy: the contract is
+  // judged on the worst reporter.
+  ctl.observe_latency(1, 0.0, 0.3, 10);
+  ctl.observe_latency(2, 0.0, 3.0, 10);
+  ctl.observe_load(0, 0.0, 0.4);
+  EXPECT_EQ(ctl.decide(0.0, 8), 0u);  // first breach tick
+  ctl.observe_latency(1, 4.0, 0.3, 20);
+  ctl.observe_latency(2, 4.0, 3.0, 20);
+  EXPECT_EQ(ctl.decide(4.0, 8), 16u);
+  // Front-end 2 crashes; its last digest must stop steering decisions
+  // once the TTL passes (otherwise a dead front-end raises p forever).
+  double later = 30.0;
+  ctl.observe_latency(1, later, 0.3, 30);
+  ctl.observe_latency(1, later + 4, 0.3, 40);
+  EXPECT_EQ(ctl.decide(later + 4, 16), 0u)
+      << "stale breach digest must have expired";
+}
+
+TEST(AdaptivePTest, NoFreshDigestsMeansHold) {
+  AdaptivePController ctl(test_params());
+  ctl.observe_load(0, 0.0, 0.05);
+  EXPECT_EQ(ctl.decide(0.0, 8), 0u)
+      << "without any latency signal the controller must not move p";
+}
+
+}  // namespace
+}  // namespace roar::core

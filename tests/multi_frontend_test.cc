@@ -1,0 +1,309 @@
+// Multi-front-end scale-out (§4.8–§4.9) over the epoch-versioned control
+// plane:
+//  - adding an idle second front-end must not perturb query execution
+//    (1-vs-2 front-end determinism on EmulatedCluster),
+//  - the same seeded 2-front-end workload must report identical outcomes
+//    over InProc virtual time and loopback TCP (parity),
+//  - a front-end crash fails its in-flight queries, the survivors keep
+//    serving, and a revival re-syncs through kViewPull before serving,
+//  - a partition that black-holes the view epoch ordering a p decrease
+//    must still unwedge after the heal (epoch retransmission subsumes the
+//    retired fetch-order re-issue dance),
+//  - the closed-loop adaptive-p controller holds its latency contract
+//    under a 4x load ramp: raises p on the ramp, lowers it on the way
+//    down, never lets a query use an unsafe p (InvariantChecker-audited),
+//    ends with every front-end on the same epoch, and reproduces its
+//    trace bit-for-bit from the seed.
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.h"
+#include "cluster/tcp_cluster.h"
+
+namespace roar::cluster {
+namespace {
+
+ClusterConfig base_config(uint32_t frontends, uint64_t seed = 11) {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", 12, 1.0}};
+  cfg.dataset_size = 1'000'000;
+  cfg.p = 4;
+  cfg.frontends = frontends;
+  cfg.seed = seed;
+  return cfg;
+}
+
+QueryOutcome run_one(EmulatedCluster& c, Frontend& fe) {
+  QueryOutcome out;
+  bool done = false;
+  fe.submit([&](const QueryOutcome& o) {
+    out = o;
+    done = true;
+  });
+  while (!done) c.loop().run_until(c.now() + 0.01);
+  c.loop().run_until(c.now() + 0.05);
+  return out;
+}
+
+TEST(MultiFrontendTest, IdleSecondFrontendDoesNotPerturbQueries) {
+  EmulatedCluster one(base_config(1));
+  EmulatedCluster two(base_config(2));
+  for (int i = 0; i < 12; ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    QueryOutcome a = run_one(one, one.frontend(0));
+    QueryOutcome b = run_one(two, two.frontend(0));
+    EXPECT_EQ(a.complete, b.complete);
+    EXPECT_EQ(a.matches, b.matches);
+    EXPECT_EQ(a.parts_sent, b.parts_sent);
+    EXPECT_DOUBLE_EQ(a.breakdown.total_s, b.breakdown.total_s);
+  }
+}
+
+TEST(MultiFrontendTest, TwoFrontendsShareTheRingConcurrently) {
+  EmulatedCluster c(base_config(2));
+  uint32_t done = c.run_queries(20.0, 60);
+  EXPECT_EQ(done, 60u);
+  EXPECT_GT(c.frontend(0).queries_completed(), 0u);
+  EXPECT_GT(c.frontend(1).queries_completed(), 0u);
+  EXPECT_EQ(c.frontend(0).queries_completed() +
+                c.frontend(1).queries_completed(),
+            60u);
+  // Both mirrors sit on the control plane's epoch.
+  EXPECT_EQ(c.frontend(0).view_epoch(), c.control().epoch());
+  EXPECT_EQ(c.frontend(1).view_epoch(), c.control().epoch());
+}
+
+TEST(MultiFrontendTest, EmulatedAndTcpTwoFrontendRunsMatch) {
+  // Same shape as the headline parity test, but with two front-ends
+  // round-robining the closed-loop workload. kBaseRate-scale node rates
+  // keep scheduling decisions identical across the two time bases.
+  ClusterConfig emu_cfg = base_config(2);
+  emu_cfg.dataset_size = 88'000;
+  emu_cfg.node_proto.base_rate = 1e6;
+  emu_cfg.frontend.initial_rate = 1e6;
+  emu_cfg.frontend.timeout_margin_s = 0.3;
+  EmulatedCluster emu(emu_cfg);
+
+  TcpClusterConfig tcp_cfg;
+  tcp_cfg.nodes = 12;
+  tcp_cfg.p = 4;
+  tcp_cfg.frontends = 2;
+  tcp_cfg.dataset_size = 88'000;
+  tcp_cfg.seed = 11;
+  tcp_cfg.node_proto.base_rate = 1e6;
+  tcp_cfg.frontend.initial_rate = 1e6;
+  tcp_cfg.frontend.timeout_margin_s = 0.3;
+  TcpCluster tcp(tcp_cfg);
+
+  for (int i = 0; i < 10; ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    QueryOutcome v = run_one(emu, emu.frontend(i % 2));
+    QueryOutcome w = tcp.run_query();
+    tcp.run_for(0.05);
+    ASSERT_NE(w.id, 0u) << "TCP query timed out";
+    EXPECT_EQ(w.complete, v.complete);
+    EXPECT_EQ(w.matches, v.matches);
+    EXPECT_EQ(w.parts_sent, v.parts_sent);
+    EXPECT_DOUBLE_EQ(w.harvest, v.harvest);
+  }
+  EXPECT_EQ(tcp.frontend(0).queries_completed(),
+            emu.frontend(0).queries_completed());
+  EXPECT_EQ(tcp.frontend(1).queries_completed(),
+            emu.frontend(1).queries_completed());
+}
+
+TEST(MultiFrontendTest, FrontendCrashFailsInFlightAndRevivalResyncs) {
+  EmulatedCluster c(base_config(2));
+  // Give front-end 1 an in-flight query, then crash it mid-service.
+  QueryOutcome lost;
+  bool lost_done = false;
+  c.frontend(1).submit([&](const QueryOutcome& o) {
+    lost = o;
+    lost_done = true;
+  });
+  c.loop().run_until(c.now() + 0.01);  // sub-queries in flight
+  c.kill_frontend(1);
+  ASSERT_TRUE(lost_done) << "crash must fail the in-flight query";
+  EXPECT_FALSE(lost.complete);
+  EXPECT_DOUBLE_EQ(lost.harvest, 0.0);
+
+  // A query handed to the dead front-end fails instantly...
+  QueryOutcome refused;
+  c.frontend(1).submit([&](const QueryOutcome& o) { refused = o; });
+  EXPECT_FALSE(refused.complete);
+  // ...while the survivor keeps serving.
+  QueryOutcome served = run_one(c, c.frontend(0));
+  EXPECT_TRUE(served.complete);
+
+  // Epoch churn while front-end 1 is down (a node leaves).
+  c.leave_node(11);
+  c.loop().run_until(c.now() + 0.05);
+
+  c.revive_frontend(1);
+  EXPECT_FALSE(c.frontend(1).ready())
+      << "revived front-end must not serve before its view re-syncs";
+  c.loop().run_until(c.now() + 0.05);
+  EXPECT_TRUE(c.frontend(1).ready());
+  EXPECT_EQ(c.frontend(1).view_epoch(), c.control().epoch());
+  QueryOutcome back = run_one(c, c.frontend(1));
+  EXPECT_TRUE(back.complete);
+}
+
+TEST(MultiFrontendTest, PartitionBeforePDecreaseStillUnwedges) {
+  // Regression for the retired reissue_fetch_orders path: nodes 1 and 2
+  // are cut off BEFORE the reconfiguration is ordered, so the view epoch
+  // carrying their fetch duty is black-holed by the partition. The heal's
+  // resync (and the periodic retransmit tick) must deliver the epoch
+  // late, the downloads run, and safe_p still flips — no wedge.
+  ClusterConfig cfg = base_config(2, /*seed=*/31);
+  cfg.p = 6;
+  cfg.enable_faults = true;
+  cfg.frontend.timeout_factor = 2.0;
+  cfg.frontend.timeout_margin_s = 0.1;
+  cfg.node_proto.fetch_bandwidth = 10e6;  // downloads take ~2s
+  EmulatedCluster cluster(cfg);
+  Scenario s(cluster, 31);
+  s.partition(1.0, 6.0, {1, 2})
+      .reconfigure(2.0, 3)  // ordered while {1,2} are unreachable
+      .burst(3.0, 10.0, 10)
+      .burst(12.0, 10.0, 10);
+  ScenarioResult res = s.run(40.0);
+  for (const auto& v : res.violations) {
+    ADD_FAILURE() << "t=" << v.at << " after '" << v.context
+                  << "': " << v.detail;
+  }
+  EXPECT_EQ(cluster.safe_p(), 3u)
+      << "the reconfiguration must complete after the heal";
+  EXPECT_EQ(res.queries_completed + res.queries_partial,
+            res.queries_submitted);
+  EXPECT_GT(res.messages_dropped, 0u) << "the cut must black-hole traffic";
+}
+
+TEST(MultiFrontendTest, DropGateHoldsStorageUntilEveryFrontendAcks) {
+  // The unsafe-p machinery end to end: front-end 1 is cut off from the
+  // control plane, then p is raised. safe_p rises at once, but the nodes
+  // must keep storing at the old level (storage_p) until the cut front-
+  // end — which may still be planning queries at the old p — acks the
+  // raising epoch. Queries from BOTH front-ends stay complete throughout.
+  ClusterConfig cfg = base_config(2, /*seed=*/41);
+  cfg.enable_faults = true;
+  EmulatedCluster c(cfg);
+  InvariantChecker checker(c, 41);
+
+  uint64_t cut = c.faults()->partition({frontend_address(1)},
+                                       {kMembershipAddr});
+  c.change_p(8);
+  c.loop().run_until(c.now() + 0.1);
+  checker.check("increase ordered while frontend 1 is cut");
+  EXPECT_EQ(c.safe_p(), 8u);
+  EXPECT_TRUE(c.control().drop_gate_pending());
+  EXPECT_EQ(c.control().storage_p(), 4u)
+      << "nodes must not drop surplus data before every front-end acked";
+  EXPECT_EQ(c.frontend(0).safe_p(), 8u);
+  EXPECT_EQ(c.frontend(1).safe_p(), 4u) << "cut front-end plans at old p";
+
+  // Both front-ends keep serving complete queries: the fresh one at p=8,
+  // the stale one at p=4 against nodes still holding the p=4 arcs.
+  QueryOutcome fresh = run_one(c, c.frontend(0));
+  EXPECT_TRUE(fresh.complete);
+  EXPECT_EQ(fresh.parts_sent, 8u);
+  QueryOutcome stale = run_one(c, c.frontend(1));
+  EXPECT_TRUE(stale.complete);
+  EXPECT_EQ(stale.parts_sent, 4u);
+  checker.check("queries during the gate");
+
+  // Heal: the retransmit tick resyncs front-end 1, its ack clears the
+  // gate, and the storage level finally rises everywhere.
+  c.faults()->heal(cut);
+  c.loop().run_until(c.now() + 1.5);
+  checker.check("healed");
+  EXPECT_FALSE(c.control().drop_gate_pending());
+  EXPECT_EQ(c.control().storage_p(), 8u);
+  EXPECT_EQ(c.frontend(1).safe_p(), 8u);
+  for (const auto& v : checker.violations()) {
+    ADD_FAILURE() << "t=" << v.at << " after '" << v.context
+                  << "': " << v.detail;
+  }
+}
+
+// ------------------------------------------------------------- adaptive p
+
+ClusterConfig adaptive_config(uint64_t seed) {
+  ClusterConfig cfg = base_config(2, seed);
+  cfg.adaptive_p = true;
+  cfg.adaptive.target_p99_s = 1.6;
+  cfg.adaptive.low_water = 0.45;
+  cfg.adaptive.busy_low = 0.5;
+  cfg.adaptive.p_min = 2;
+  cfg.adaptive.p_max = 32;
+  cfg.adaptive.hysteresis_ticks = 2;
+  cfg.adaptive.min_dwell_s = 8.0;
+  cfg.adaptive_interval_s = 4.0;
+  return cfg;
+}
+
+struct AdaptiveRun {
+  ScenarioResult result;
+  uint32_t raises = 0;
+  uint32_t lowers = 0;
+  uint32_t p_changes = 0;
+  uint32_t final_p = 0;
+  uint64_t control_epoch = 0;
+  bool frontends_converged = false;
+};
+
+// A 4x offered-load ramp: light load, then 4x for 100 s, then light
+// again. The controller must raise p to hold the latency contract on the
+// ramp and reclaim the overhead (lower p) once the load recedes.
+AdaptiveRun run_adaptive_ramp(uint64_t seed) {
+  EmulatedCluster cluster(adaptive_config(seed));
+  Scenario s(cluster, seed);
+  s.burst(1.0, 0.5, 30)     // ~60 s of light load at p=4
+      .burst(62.0, 2.0, 200)  // 4x ramp: ~100 s of breach-level load
+      .burst(165.0, 0.5, 30);  // ramp down: light again
+  AdaptiveRun out;
+  out.result = s.run(230.0);
+  const core::AdaptivePController* ctl = cluster.control().adaptive();
+  out.raises = ctl->raises();
+  out.lowers = ctl->lowers();
+  out.p_changes = cluster.control().p_changes_committed();
+  out.final_p = cluster.control().safe_p();
+  out.control_epoch = cluster.control().epoch();
+  out.frontends_converged = true;
+  for (uint32_t i = 0; i < cluster.frontend_count(); ++i) {
+    out.frontends_converged &=
+        cluster.frontend(i).view_epoch() == cluster.control().epoch();
+  }
+  return out;
+}
+
+TEST(AdaptivePClusterTest, LoadRampRaisesThenLowersPUnderInvariants) {
+  AdaptiveRun run = run_adaptive_ramp(17);
+  for (const auto& v : run.result.violations) {
+    ADD_FAILURE() << "t=" << v.at << " after '" << v.context
+                  << "': " << v.detail;
+  }
+  EXPECT_GE(run.raises, 1u) << "the 4x ramp must breach the contract";
+  EXPECT_GE(run.lowers, 1u) << "the ramp-down must reclaim overhead";
+  EXPECT_GE(run.p_changes, 2u);
+  EXPECT_TRUE(run.frontends_converged)
+      << "all front-ends must end on the control plane's epoch";
+  EXPECT_EQ(run.result.queries_completed + run.result.queries_partial,
+            run.result.queries_submitted);
+}
+
+TEST(AdaptivePClusterTest, AdaptiveRunIsSeedReproducible) {
+  AdaptiveRun a = run_adaptive_ramp(17);
+  AdaptiveRun b = run_adaptive_ramp(17);
+  EXPECT_EQ(a.result.trace, b.result.trace);
+  EXPECT_EQ(a.result.messages_sent, b.result.messages_sent);
+  EXPECT_EQ(a.result.queries_completed, b.result.queries_completed);
+  EXPECT_EQ(a.result.queries_partial, b.result.queries_partial);
+  EXPECT_EQ(a.raises, b.raises);
+  EXPECT_EQ(a.lowers, b.lowers);
+  EXPECT_EQ(a.p_changes, b.p_changes);
+  EXPECT_EQ(a.final_p, b.final_p);
+  EXPECT_EQ(a.control_epoch, b.control_epoch);
+}
+
+}  // namespace
+}  // namespace roar::cluster

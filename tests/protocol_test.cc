@@ -12,7 +12,7 @@
 namespace roar::cluster {
 namespace {
 
-// All eleven message types with non-default field values, as raw bytes.
+// Every live message type with non-default field values, as raw bytes.
 std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   std::vector<std::pair<std::string, net::Bytes>> out;
 
@@ -34,18 +34,40 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   rep.service_s = 0.125;
   out.emplace_back("SubQueryReply", rep.encode());
 
-  RangePushMsg rp;
-  rp.range_begin = RingId::from_double(0.99);
-  rp.range_len = UINT64_MAX / 3;
-  rp.p = 32;
-  rp.fixed = true;
-  out.emplace_back("RangePush", rp.encode());
+  ViewDeltaMsg vd;
+  vd.delta.epoch = 0xDEADBEEFCAFEull;
+  vd.delta.full = false;
+  vd.delta.target_p = 4;
+  vd.delta.safe_p = 8;
+  vd.delta.storage_p = 8;
+  vd.delta.upserts = {{7, RingId::from_double(0.125), 1.75, true},
+                      {21, RingId::from_double(0.875), 0.5, false}};
+  vd.delta.removes = {3, 4};
+  vd.delta.pending = {7, 21};
+  out.emplace_back("ViewDelta", vd.encode());
 
-  FetchOrderMsg fo;
-  fo.arc_begin = RingId::from_double(0.1);
-  fo.arc_len = 12345678;
-  fo.new_p = 2;
-  out.emplace_back("FetchOrder", fo.encode());
+  ViewDeltaMsg vf;
+  vf.delta.epoch = 99;
+  vf.delta.full = true;  // full snapshots must carry no removes
+  vf.delta.target_p = 16;
+  vf.delta.safe_p = 16;
+  vf.delta.storage_p = 8;
+  vf.delta.upserts = {{0, RingId::from_double(0.5), 1.0, true}};
+  vf.delta.pending = {};
+  out.emplace_back("ViewFull", vf.encode());
+
+  ViewAckMsg va;
+  va.subscriber = frontend_address(2);
+  va.epoch = 0xDEADBEEFCAFEull;
+  va.completed = 123456;
+  va.p99_s = 0.875;
+  va.mean_s = 0.25;
+  out.emplace_back("ViewAck", va.encode());
+
+  ViewPullMsg vp;
+  vp.subscriber = node_address(17);
+  vp.have_epoch = 41;
+  out.emplace_back("ViewPull", vp.encode());
 
   FetchCompleteMsg fc;
   fc.node = 42;
@@ -117,11 +139,14 @@ net::Bytes reencode(const net::Bytes& b) {
     case MsgType::kSubQueryReply:
       if (auto m = SubQueryReplyMsg::decode(b)) return m->encode();
       break;
-    case MsgType::kRangePush:
-      if (auto m = RangePushMsg::decode(b)) return m->encode();
+    case MsgType::kViewDelta:
+      if (auto m = ViewDeltaMsg::decode(b)) return m->encode();
       break;
-    case MsgType::kFetchOrder:
-      if (auto m = FetchOrderMsg::decode(b)) return m->encode();
+    case MsgType::kViewAck:
+      if (auto m = ViewAckMsg::decode(b)) return m->encode();
+      break;
+    case MsgType::kViewPull:
+      if (auto m = ViewPullMsg::decode(b)) return m->encode();
       break;
     case MsgType::kFetchComplete:
       if (auto m = FetchCompleteMsg::decode(b)) return m->encode();
@@ -198,8 +223,12 @@ TEST(ProtocolCoverageTest, CorruptTailsNeverCrashAndNeverOverread) {
   // decoding fixed point.
   Rng rng(123);
   for (const auto& [name, bytes] : sample_messages()) {
+    // Count-bearing and string-bearing messages legally reframe their
+    // tail under a flipped length prefix: they must re-encode to a
+    // decoding fixed point rather than the original size.
     bool variable = name == "Update" || name == "UpdateDelete" ||
-                    name == "SyncData";
+                    name == "SyncData" || name == "ViewDelta" ||
+                    name == "ViewFull";
     for (int trial = 0; trial < 200; ++trial) {
       net::Bytes mutated = bytes;
       size_t idx = 1 + rng.next_below(mutated.size() - 1);
@@ -225,8 +254,9 @@ TEST(ProtocolCoverageTest, RandomMutationFuzzNeverCrashesAnyDecoder) {
     (void)peek_type(b);
     (void)SubQueryMsg::decode(b);
     (void)SubQueryReplyMsg::decode(b);
-    (void)RangePushMsg::decode(b);
-    (void)FetchOrderMsg::decode(b);
+    (void)ViewDeltaMsg::decode(b);
+    (void)ViewAckMsg::decode(b);
+    (void)ViewPullMsg::decode(b);
     (void)FetchCompleteMsg::decode(b);
     (void)ObjectUpdateMsg::decode(b);
     (void)NodeStatsMsg::decode(b);

@@ -176,23 +176,34 @@ TEST(TcpClusterTest, PReconfigurationOverTheWire) {
   cfg.node_proto.fetch_bandwidth = 1e9;  // keep the wall-clock fetch short
   TcpCluster cluster(cfg);
 
-  // Decrease p: fetch orders go out over TCP, completions come back, and
-  // safe_p flips only after every node confirmed.
+  // Decrease p: the ordering view epoch goes out over TCP, completions
+  // come back, and safe_p flips only after every node confirmed.
   cluster.change_p(2);
   EXPECT_EQ(cluster.safe_p(), 4u);
-  EXPECT_EQ(cluster.frontend().target_p(), 2u);
+  EXPECT_EQ(cluster.target_p(), 2u);
   ASSERT_TRUE(cluster.driver().run_until(
       [&] { return cluster.safe_p() == 2; }, 15.0))
       << "fetch completions over TCP must flip safe_p";
+  // The front-end keeps planning (safely) at the old p until the
+  // completion epoch reaches its mirror over the socket.
+  ASSERT_TRUE(cluster.driver().run_until(
+      [&] { return cluster.frontend().safe_p() == 2; }, 15.0))
+      << "the completion epoch must reach the front-end's mirror";
 
   QueryOutcome out = cluster.run_query();
   ASSERT_NE(out.id, 0u);
   EXPECT_TRUE(out.complete);
   EXPECT_EQ(out.parts_sent, 2u);
 
-  // Increase is immediate.
+  // Increase is immediately safe at the control plane; nodes may only
+  // drop surplus data once every front-end acked the raise (drop gate).
   cluster.change_p(4);
   EXPECT_EQ(cluster.safe_p(), 4u);
+  ASSERT_TRUE(cluster.driver().run_until(
+      [&] { return cluster.frontend().safe_p() == 4; }, 15.0));
+  ASSERT_TRUE(cluster.driver().run_until(
+      [&] { return !cluster.control().drop_gate_pending(); }, 15.0))
+      << "front-end acks over TCP must clear the drop gate";
   out = cluster.run_query();
   EXPECT_TRUE(out.complete);
   EXPECT_EQ(out.parts_sent, 4u);
