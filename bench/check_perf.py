@@ -16,6 +16,13 @@ Baseline files are plain bench records plus a "gate" map:
 "higher" = the metric must not drop below baseline*(1-tol);
 "lower"  = the metric must not rise above baseline*(1+tol).
 
+A gate value may also be an object for per-metric settings:
+    "gate": { "ring_full_events": {"direction": "lower", "slack": 100},
+              "alloc_per_query":  {"direction": "lower", "tolerance": 1.0} }
+"tolerance" overrides the global --tolerance for that metric;
+"slack" widens the bound by an absolute amount (floor - slack or
+ceiling + slack), which keeps near-zero counters gateable.
+
 Refresh baselines with bench/update_baselines.sh after a deliberate
 performance change.
 
@@ -40,7 +47,13 @@ def compare(result, baseline, tolerance):
     gates = baseline.get("gate", {})
     base_metrics = baseline.get("metrics", {})
     cur_metrics = result.get("metrics", {})
-    for metric, direction in gates.items():
+    for metric, gate in gates.items():
+        if isinstance(gate, dict):
+            direction = gate.get("direction")
+            tol = gate.get("tolerance", tolerance)
+            slack = gate.get("slack", 0.0)
+        else:
+            direction, tol, slack = gate, tolerance, 0.0
         base = base_metrics.get(metric)
         cur = cur_metrics.get(metric)
         if base is None:
@@ -50,11 +63,11 @@ def compare(result, baseline, tolerance):
             yield metric, cur, base, direction, False, "missing in result"
             continue
         if direction == "higher":
-            floor = base * (1.0 - tolerance)
+            floor = base * (1.0 - tol) - slack
             ok = cur >= floor
             note = f"floor {floor:.6g}"
         elif direction == "lower":
-            ceil = base * (1.0 + tolerance)
+            ceil = base * (1.0 + tol) + slack
             ok = cur <= ceil
             note = f"ceiling {ceil:.6g}"
         else:

@@ -35,7 +35,7 @@ int main() {
     TcpTransport& transport = *t;
     Address self = node_address(i);
     transport.bind(self, [&transport, &driver, self, i](Address from,
-                                                        Bytes payload) {
+                                                        Payload payload) {
       auto msg = SubQueryMsg::decode(payload);
       if (!msg) return;  // defensive: drop malformed messages
       uint64_t window = msg->window_begin.distance_to(msg->window_end);
@@ -66,7 +66,7 @@ int main() {
   TcpTransport frontend(driver);
   uint32_t replies = 0;
   uint64_t total_scanned = 0;
-  frontend.bind(frontend_address(0), [&](Address from, Bytes payload) {
+  frontend.bind(frontend_address(0), [&](Address from, Payload payload) {
     auto reply = SubQueryReplyMsg::decode(payload);
     if (!reply) return;
     ++replies;

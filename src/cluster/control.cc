@@ -21,8 +21,8 @@ ControlPlane::ControlPlane(net::Transport& net,
 }
 
 void ControlPlane::start() {
-  net_.bind(kMembershipAddr, [this](net::Address from, net::Bytes payload) {
-    handle(from, std::move(payload));
+  net_.bind(kMembershipAddr, [this](net::Address from, net::Payload payload) {
+    handle(from, payload);
   });
   if (params_.retransmit_interval_s > 0) {
     net_.clock().schedule_after(params_.retransmit_interval_s,
@@ -175,7 +175,7 @@ uint64_t ControlPlane::acked_epoch(net::Address addr) const {
   return it != subs_.end() ? it->second.acked : 0;
 }
 
-void ControlPlane::handle(net::Address from, net::Bytes payload) {
+void ControlPlane::handle(net::Address from, net::ByteView payload) {
   (void)from;
   auto type = peek_type(payload);
   if (!type) return;

@@ -129,7 +129,7 @@ class ControlPlane {
     uint64_t acked = 0;
   };
 
-  void handle(net::Address from, net::Bytes payload);
+  void handle(net::Address from, net::ByteView payload);
   void on_fetch_complete(const FetchCompleteMsg& m);
   void on_view_ack(const ViewAckMsg& m);
   void on_view_pull(const ViewPullMsg& m);

@@ -58,8 +58,8 @@ void Frontend::start() {
   alive_ = true;
   synced_ = false;
   ++life_;
-  net_.bind(address(), [this](net::Address from, net::Bytes payload) {
-    handle(from, std::move(payload));
+  net_.bind(address(), [this](net::Address from, net::Payload payload) {
+    handle(from, payload);
   });
   if (view_epoch() > 0) {
     // Restart after a crash: our view is stale by an unknown number of
@@ -307,7 +307,7 @@ void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
   net_.send(address(), node_address(sub.node), msg.encode());
 }
 
-void Frontend::handle(net::Address from, net::Bytes payload) {
+void Frontend::handle(net::Address from, net::ByteView payload) {
   (void)from;
   auto type = peek_type(payload);
   if (!type) return;

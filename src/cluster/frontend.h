@@ -184,7 +184,7 @@ class Frontend {
 
   class Estimator;
 
-  void handle(net::Address from, net::Bytes payload);
+  void handle(net::Address from, net::ByteView payload);
   void on_view_delta(const ViewDeltaMsg& m);
   void sync_from_view();
   void send_ack();

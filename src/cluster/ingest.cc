@@ -55,13 +55,13 @@ IngestRouter::IngestRouter(net::Transport& net, IngestConfig cfg,
 
 void IngestRouter::start() {
   net_.bind(kUpdateServerAddr,
-            [this](net::Address from, net::Bytes payload) {
+            [this](net::Address from, net::Payload payload) {
               (void)from;
-              handle(from, std::move(payload));
+              handle(from, payload);
             });
 }
 
-void IngestRouter::handle(net::Address from, net::Bytes payload) {
+void IngestRouter::handle(net::Address from, net::ByteView payload) {
   (void)from;
   auto type = peek_type(payload);
   if (!type) return;

@@ -150,7 +150,7 @@ class IngestRouter {
     std::set<uint64_t> deleted_base;
   };
 
-  void handle(net::Address from, net::Bytes payload);
+  void handle(net::Address from, net::ByteView payload);
   void on_ack(const UpdateAckMsg& m);
   void on_sync_req(const SyncReqMsg& m);
   // Assigns the LSN, catalogs, trims the log, applies to the reference

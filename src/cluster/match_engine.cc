@@ -1,5 +1,6 @@
 #include "cluster/match_engine.h"
 
+#include <array>
 #include <chrono>
 
 #include "common/rng.h"
@@ -55,13 +56,27 @@ MatchEngine::Result MatchEngine::run_slice(
   const auto& items = store.items();
   pps::MatchCost cost;
   auto t0 = std::chrono::steady_clock::now();
+  // Live items accumulate into fixed-size batches for the evaluation's
+  // batched (AES-NI multi-block) path; results are order-independent so
+  // batching across extent boundaries is safe.
+  constexpr size_t kBatch = 64;
+  std::array<const pps::EncryptedFileMetadata*, kBatch> batch;
+  std::array<uint8_t, kBatch> verdicts;
+  size_t nb = 0;
+  auto flush = [&] {
+    eval.match_batch({batch.data(), nb}, verdicts.data(), &cost);
+    for (size_t k = 0; k < nb; ++k) res.matches += verdicts[k];
+    nb = 0;
+  };
   for (auto [first, last] : slice.extents) {
     for (size_t i = first; i < last; ++i) {
       if (skip_dead && skip_dead->is_dead(items[i].id)) continue;
       ++res.scanned;
-      if (eval.match(items[i], &cost)) ++res.matches;
+      batch[nb++] = &items[i];
+      if (nb == kBatch) flush();
     }
   }
+  if (nb > 0) flush();
   res.cpu_s = seconds_since(t0);
   if (!skip_dead) res.scanned = slice.count;
   return res;

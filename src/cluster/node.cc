@@ -16,8 +16,8 @@ void NodeRuntime::start() {
   alive_ = true;
   ++life_;
   busy_until_ = net_.clock().now();
-  net_.bind(address(), [this](net::Address from, net::Bytes payload) {
-    handle(from, std::move(payload));
+  net_.bind(address(), [this](net::Address from, net::Payload payload) {
+    handle(from, payload);
   });
   if (sub_.epoch() > 0) {
     // Restart after a crash: the view is stale by an unknown number of
@@ -107,7 +107,7 @@ double NodeRuntime::enqueue_work(double seconds) {
   return busy_until_;
 }
 
-void NodeRuntime::handle(net::Address from, net::Bytes payload) {
+void NodeRuntime::handle(net::Address from, net::ByteView payload) {
   auto type = peek_type(payload);
   if (!type) return;  // malformed: drop, as a defensive server must
   switch (*type) {
@@ -336,10 +336,12 @@ void NodeRuntime::reconcile_view() {
   core::Ring ring = v.to_ring();
   if (!ring.contains(params_.id)) {
     range_ = Arc();
+    has_range_.store(false, std::memory_order_release);
     p_ = v.storage_p;
     return;
   }
   range_ = ring.range_of(params_.id);
+  has_range_.store(!range_.empty(), std::memory_order_release);
   // Store at the published level. During an in-progress decrease a node
   // that already finished its own fetch holds the larger arcs and keeps
   // claiming them (p_ = target), regardless of the view's lagging safe

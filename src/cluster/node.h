@@ -25,6 +25,7 @@
 // deterministic.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -111,6 +112,11 @@ class NodeRuntime {
   uint64_t updates_applied() const { return updates_applied_; }
   double busy_until() const { return busy_until_; }
   const Arc& range() const { return range_; }
+  // Cross-thread-safe "has a nonempty range" flag for harness readiness
+  // checks (range() itself may only be read on the node's shard thread).
+  bool has_range() const {
+    return has_range_.load(std::memory_order_acquire);
+  }
   uint32_t current_p() const { return p_; }
   // The node's replicated control state.
   uint64_t view_epoch() const { return sub_.epoch(); }
@@ -136,7 +142,7 @@ class NodeRuntime {
     std::shared_ptr<const pps::StoreSnapshot> snap;
   };
 
-  void handle(net::Address from, net::Bytes payload);
+  void handle(net::Address from, net::ByteView payload);
   void on_subquery(net::Address from, const SubQueryMsg& m);
   void on_view_delta(const ViewDeltaMsg& m);
   // Re-derives range, storage p and §4.5 fetch duties from the current
@@ -173,6 +179,7 @@ class NodeRuntime {
   bool alive_ = false;
   core::ViewSubscription sub_;
   Arc range_;
+  std::atomic<bool> has_range_{false};
   uint32_t p_ = 1;
   // §4.5 download bookkeeping. `running` marks an in-flight fetch (reset
   // by a crash: the download dies with the process); `done` marks data

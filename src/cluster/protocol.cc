@@ -9,7 +9,7 @@ net::Writer with_type(MsgType t) {
   return w;
 }
 
-std::optional<net::Reader> reader_for(const net::Bytes& b, MsgType expect) {
+std::optional<net::Reader> reader_for(net::ByteView b, MsgType expect) {
   if (b.empty() || b[0] != static_cast<uint8_t>(expect)) return std::nullopt;
   net::Reader r(b.data() + 1, b.size() - 1);
   return r;
@@ -17,7 +17,7 @@ std::optional<net::Reader> reader_for(const net::Bytes& b, MsgType expect) {
 
 }  // namespace
 
-std::optional<MsgType> peek_type(const net::Bytes& b) {
+std::optional<MsgType> peek_type(net::ByteView b) {
   if (b.empty()) return std::nullopt;
   uint8_t t = b[0];
   // 3 and 4 are the retired kRangePush/kFetchOrder slots.
@@ -37,7 +37,7 @@ net::Bytes SubQueryMsg::encode() const {
   return w.take();
 }
 
-std::optional<SubQueryMsg> SubQueryMsg::decode(const net::Bytes& b) {
+std::optional<SubQueryMsg> SubQueryMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kSubQuery);
   if (!r) return std::nullopt;
   SubQueryMsg m;
@@ -62,7 +62,7 @@ net::Bytes SubQueryReplyMsg::encode() const {
   return w.take();
 }
 
-std::optional<SubQueryReplyMsg> SubQueryReplyMsg::decode(const net::Bytes& b) {
+std::optional<SubQueryReplyMsg> SubQueryReplyMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kSubQueryReply);
   if (!r) return std::nullopt;
   SubQueryReplyMsg m;
@@ -96,7 +96,7 @@ net::Bytes ViewDeltaMsg::encode() const {
   return w.take();
 }
 
-std::optional<ViewDeltaMsg> ViewDeltaMsg::decode(const net::Bytes& b) {
+std::optional<ViewDeltaMsg> ViewDeltaMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kViewDelta);
   if (!r) return std::nullopt;
   ViewDeltaMsg m;
@@ -149,7 +149,7 @@ net::Bytes ViewAckMsg::encode() const {
   return w.take();
 }
 
-std::optional<ViewAckMsg> ViewAckMsg::decode(const net::Bytes& b) {
+std::optional<ViewAckMsg> ViewAckMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kViewAck);
   if (!r) return std::nullopt;
   ViewAckMsg m;
@@ -169,7 +169,7 @@ net::Bytes ViewPullMsg::encode() const {
   return w.take();
 }
 
-std::optional<ViewPullMsg> ViewPullMsg::decode(const net::Bytes& b) {
+std::optional<ViewPullMsg> ViewPullMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kViewPull);
   if (!r) return std::nullopt;
   ViewPullMsg m;
@@ -186,7 +186,7 @@ net::Bytes FetchCompleteMsg::encode() const {
   return w.take();
 }
 
-std::optional<FetchCompleteMsg> FetchCompleteMsg::decode(const net::Bytes& b) {
+std::optional<FetchCompleteMsg> FetchCompleteMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kFetchComplete);
   if (!r) return std::nullopt;
   FetchCompleteMsg m;
@@ -203,7 +203,7 @@ net::Bytes ObjectUpdateMsg::encode() const {
   return w.take();
 }
 
-std::optional<ObjectUpdateMsg> ObjectUpdateMsg::decode(const net::Bytes& b) {
+std::optional<ObjectUpdateMsg> ObjectUpdateMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kObjectUpdate);
   if (!r) return std::nullopt;
   ObjectUpdateMsg m;
@@ -228,7 +228,7 @@ net::Bytes UpdateMsg::encode() const {
   return w.take();
 }
 
-std::optional<UpdateMsg> UpdateMsg::decode(const net::Bytes& b) {
+std::optional<UpdateMsg> UpdateMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kUpdate);
   if (!r) return std::nullopt;
   UpdateMsg m;
@@ -261,7 +261,7 @@ net::Bytes UpdateAckMsg::encode() const {
   return w.take();
 }
 
-std::optional<UpdateAckMsg> UpdateAckMsg::decode(const net::Bytes& b) {
+std::optional<UpdateAckMsg> UpdateAckMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kUpdateAck);
   if (!r) return std::nullopt;
   UpdateAckMsg m;
@@ -280,7 +280,7 @@ net::Bytes SyncReqMsg::encode() const {
   return w.take();
 }
 
-std::optional<SyncReqMsg> SyncReqMsg::decode(const net::Bytes& b) {
+std::optional<SyncReqMsg> SyncReqMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kSyncReq);
   if (!r) return std::nullopt;
   SyncReqMsg m;
@@ -301,7 +301,7 @@ net::Bytes SyncDataMsg::encode() const {
   return w.take();
 }
 
-std::optional<SyncDataMsg> SyncDataMsg::decode(const net::Bytes& b) {
+std::optional<SyncDataMsg> SyncDataMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kSyncData);
   if (!r) return std::nullopt;
   SyncDataMsg m;
@@ -332,7 +332,7 @@ net::Bytes NodeStatsMsg::encode() const {
   return w.take();
 }
 
-std::optional<NodeStatsMsg> NodeStatsMsg::decode(const net::Bytes& b) {
+std::optional<NodeStatsMsg> NodeStatsMsg::decode(net::ByteView b) {
   auto r = reader_for(b, MsgType::kNodeStats);
   if (!r) return std::nullopt;
   NodeStatsMsg m;

@@ -59,7 +59,7 @@ struct SubQueryMsg {
   double share = 0.0;
 
   net::Bytes encode() const;
-  static std::optional<SubQueryMsg> decode(const net::Bytes& b);
+  static std::optional<SubQueryMsg> decode(net::ByteView b);
 };
 
 struct SubQueryReplyMsg {
@@ -70,7 +70,7 @@ struct SubQueryReplyMsg {
   double service_s = 0.0;  // pure processing time (for speed estimation)
 
   net::Bytes encode() const;
-  static std::optional<SubQueryReplyMsg> decode(const net::Bytes& b);
+  static std::optional<SubQueryReplyMsg> decode(net::ByteView b);
 };
 
 // One epoch step of the control state (core/cluster_view.h), broadcast by
@@ -82,7 +82,7 @@ struct ViewDeltaMsg {
   core::ViewDelta delta;
 
   net::Bytes encode() const;
-  static std::optional<ViewDeltaMsg> decode(const net::Bytes& b);
+  static std::optional<ViewDeltaMsg> decode(net::ByteView b);
 };
 
 // Subscriber -> control plane: "I have applied `epoch`". The control
@@ -102,7 +102,7 @@ struct ViewAckMsg {
   double mean_s = 0.0;
 
   net::Bytes encode() const;
-  static std::optional<ViewAckMsg> decode(const net::Bytes& b);
+  static std::optional<ViewAckMsg> decode(net::ByteView b);
 };
 
 // Subscriber -> control plane: "send me everything after `have_epoch`".
@@ -113,7 +113,7 @@ struct ViewPullMsg {
   uint64_t have_epoch = 0;
 
   net::Bytes encode() const;
-  static std::optional<ViewPullMsg> decode(const net::Bytes& b);
+  static std::optional<ViewPullMsg> decode(net::ByteView b);
 };
 
 struct FetchCompleteMsg {
@@ -121,7 +121,7 @@ struct FetchCompleteMsg {
   uint32_t new_p = 1;
 
   net::Bytes encode() const;
-  static std::optional<FetchCompleteMsg> decode(const net::Bytes& b);
+  static std::optional<FetchCompleteMsg> decode(net::ByteView b);
 };
 
 struct ObjectUpdateMsg {
@@ -129,7 +129,7 @@ struct ObjectUpdateMsg {
   uint32_t payload_bytes = 0;
 
   net::Bytes encode() const;
-  static std::optional<ObjectUpdateMsg> decode(const net::Bytes& b);
+  static std::optional<ObjectUpdateMsg> decode(net::ByteView b);
 };
 
 struct NodeStatsMsg {
@@ -138,7 +138,7 @@ struct NodeStatsMsg {
   double observed_rate = 0.0;  // metadata/s
 
   net::Bytes encode() const;
-  static std::optional<NodeStatsMsg> decode(const net::Bytes& b);
+  static std::optional<NodeStatsMsg> decode(net::ByteView b);
 };
 
 // One logged index mutation, replicated by the ingest router to every
@@ -161,7 +161,7 @@ struct UpdateMsg {
   static constexpr uint8_t kDelete = 1;
 
   net::Bytes encode() const;
-  static std::optional<UpdateMsg> decode(const net::Bytes& b);
+  static std::optional<UpdateMsg> decode(net::ByteView b);
 };
 
 // Replica -> router: "my contiguously applied LSN for `shard` is
@@ -172,7 +172,7 @@ struct UpdateAckMsg {
   uint64_t applied_lsn = 0;
 
   net::Bytes encode() const;
-  static std::optional<UpdateAckMsg> decode(const net::Bytes& b);
+  static std::optional<UpdateAckMsg> decode(net::ByteView b);
 };
 
 // Replica -> router: anti-entropy. "Send me everything for `shard` after
@@ -183,7 +183,7 @@ struct SyncReqMsg {
   uint64_t have_lsn = 0;
 
   net::Bytes encode() const;
-  static std::optional<SyncReqMsg> decode(const net::Bytes& b);
+  static std::optional<SyncReqMsg> decode(net::ByteView b);
 };
 
 // Router -> replica: catch-up payload. Incremental (`full_segment` == 0:
@@ -201,10 +201,10 @@ struct SyncDataMsg {
   std::vector<UpdateMsg> ops;
 
   net::Bytes encode() const;
-  static std::optional<SyncDataMsg> decode(const net::Bytes& b);
+  static std::optional<SyncDataMsg> decode(net::ByteView b);
 };
 
 // Reads the leading type byte without consuming the payload.
-std::optional<MsgType> peek_type(const net::Bytes& b);
+std::optional<MsgType> peek_type(net::ByteView b);
 
 }  // namespace roar::cluster

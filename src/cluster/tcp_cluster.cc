@@ -9,6 +9,7 @@ namespace roar::cluster {
 
 TcpCluster::TcpCluster(TcpClusterConfig config)
     : config_(std::move(config)),
+      driver_(config_.reactor_shards == 0 ? 1 : config_.reactor_shards),
       // Seed streams are shared with EmulatedCluster (common/rng.h
       // subseed) so the same `seed` yields the same membership positions
       // and front-end decisions — the parity test depends on it.
@@ -59,9 +60,13 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
     for (auto& fe : frontends_) fe->set_ingest(ingest_router_.get());
   }
 
-  // One listener per storage node.
+  // One listener per storage node, spread round-robin over the reactor
+  // shards. Everything below runs before driver_.start(), so registering
+  // listeners with not-yet-running shard loops is single-threaded.
   for (NodeId id = 0; id < config_.nodes; ++id) {
-    auto transport = std::make_unique<net::TcpTransport>(driver_);
+    uint32_t shard = static_cast<uint32_t>(id % driver_.shards());
+    node_shards_.push_back(shard);
+    auto transport = std::make_unique<net::TcpTransport>(driver_, shard);
     transport->set_latency_hint(config_.latency_hint_s);
     NodeParams np = config_.node_proto;
     np.id = id;
@@ -77,8 +82,10 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
           std::make_unique<core::WorkerPool>(config_.node_workers));
       NodeExecutor exec;
       exec.pool = pools_.back().get();
-      exec.post = [this](std::function<void()> fn) {
-        driver_.post(std::move(fn));
+      // Completions must land on the shard thread that owns this node's
+      // transport and state, not on shard 0.
+      exec.post = [this, shard](std::function<void()> fn) {
+        driver_.post_to(shard, std::move(fn));
       };
       exec.batch_max = config_.exec_batch_max;
       node->set_executor(std::move(exec));
@@ -94,12 +101,16 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
     if (membership_.balance_step() == 0.0) break;
   }
   publish_view();
+  // Everything is registered; spin up the shard threads (no-op with one
+  // shard) before the first drain.
+  driver_.start();
   // Drain the first view epoch so every node knows its slice and every
   // front-end is ready before queries; serving with empty ranges would
-  // silently corrupt outcomes, so a drain failure is fatal here.
+  // silently corrupt outcomes, so a drain failure is fatal here. Nodes on
+  // other shards are checked through their atomic readiness flag.
   bool synced = driver_.run_until([this] {
     for (const auto& n : nodes_) {
-      if (n->range().empty()) return false;
+      if (!n->has_range()) return false;
     }
     for (const auto& fe : frontends_) {
       if (!fe->ready()) return false;
@@ -111,7 +122,18 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   }
 }
 
-TcpCluster::~TcpCluster() = default;
+TcpCluster::~TcpCluster() {
+  // Join the shard threads before any member (nodes, transports, pools)
+  // destructs: a live shard loop may be mid-handler inside a node.
+  driver_.stop();
+}
+
+void TcpCluster::on_node_shard(NodeId id,
+                               const std::function<void()>& fn) const {
+  // run_on mutates the target shard's mailbox; logically const here.
+  auto& driver = const_cast<net::TcpDriver&>(driver_);
+  driver.run_on(node_shards_.at(id), fn);
+}
 
 uint16_t TcpCluster::node_port(NodeId id) const {
   return transports_.at(id + 1)->port();
@@ -124,14 +146,17 @@ void TcpCluster::publish_view() {
 }
 
 void TcpCluster::kill_node(NodeId id) {
-  nodes_.at(id)->kill();
+  on_node_shard(id, [&] { nodes_.at(id)->kill(); });
   membership_.fail(id);
 }
 
 void TcpCluster::revive_node(NodeId id) {
   NodeRuntime& node = *nodes_.at(id);
-  if (node.alive()) return;
-  node.start();  // pulls the current view over the socket
+  bool alive = false;
+  on_node_shard(id, [&] { alive = node.alive(); });
+  if (alive) return;
+  // pulls the current view over the socket
+  on_node_shard(id, [&] { node.start(); });
   membership_.revive(id);
   publish_view();
   // The crash never bumped the epoch; force a full resync so the
@@ -193,7 +218,17 @@ uint64_t TcpCluster::messages_dropped() const {
 }
 
 std::vector<IngestReplicaView> TcpCluster::ingest_replicas() const {
-  return collect_ingest_replicas(nodes_);
+  // Snapshot each node's replica view on its own shard thread (inline
+  // with one shard), so versioned-store state is never read concurrently
+  // with its owner.
+  std::vector<IngestReplicaView> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    on_node_shard(id, [&] {
+      auto one = collect_ingest_replicas({&nodes_[id], 1});
+      out.insert(out.end(), one.begin(), one.end());
+    });
+  }
+  return out;
 }
 
 bool TcpCluster::ingest_converged() const {
@@ -216,13 +251,17 @@ bool TcpCluster::run_until_ingest_converged(double timeout_s) {
 
 uint64_t TcpCluster::batches_drained() const {
   uint64_t total = 0;
-  for (const auto& n : nodes_) total += n->batches_drained();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    on_node_shard(id, [&] { total += nodes_[id]->batches_drained(); });
+  }
   return total;
 }
 
 uint64_t TcpCluster::batched_subqueries() const {
   uint64_t total = 0;
-  for (const auto& n : nodes_) total += n->batched_subqueries();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    on_node_shard(id, [&] { total += nodes_[id]->batched_subqueries(); });
+  }
   return total;
 }
 
@@ -235,6 +274,18 @@ uint64_t TcpCluster::pool_tasks_executed() const {
 uint64_t TcpCluster::pool_tasks_stolen() const {
   uint64_t total = 0;
   for (const auto& p : pools_) total += p->stolen();
+  return total;
+}
+
+uint64_t TcpCluster::pool_ring_full_events() const {
+  uint64_t total = 0;
+  for (const auto& p : pools_) total += p->ring_full_events();
+  return total;
+}
+
+uint64_t TcpCluster::pool_express_submits() const {
+  uint64_t total = 0;
+  for (const auto& p : pools_) total += p->express_submits();
   return total;
 }
 

@@ -41,10 +41,16 @@ struct TcpClusterConfig {
   double control_retransmit_s = 0.5;
 
   // --- execution engine --------------------------------------------------
+  // Reactor shards in the TcpDriver. 1 = the original single-threaded
+  // harness (shard 0, caller-driven). N > 1 spreads node endpoints across
+  // N event loops (node i on shard i % N, each with its own epoll, clock
+  // and mailbox); the control endpoint and the front-ends stay on the
+  // caller-driven shard 0, so the harness API remains single-threaded.
+  uint32_t reactor_shards = 1;
   // Worker lanes per node (its core count). 0 = the original inline,
   // single-pipeline node; N > 0 = an N-wide matching pipeline on a
   // per-node core::WorkerPool, with sub-queries batched per loop wakeup
-  // and completions posted back to the driver thread.
+  // and completions posted back to the node's shard thread.
   uint32_t node_workers = 0;
   // Max sub-queries a node drains into the pool per wakeup.
   size_t exec_batch_max = 16;
@@ -76,8 +82,12 @@ class TcpCluster {
   core::MembershipServer& membership() { return membership_; }
 
   size_t node_count() const { return nodes_.size(); }
+  // Direct node access is only race-free with reactor_shards == 1 (or
+  // after the driver's shard threads stopped); sharded harnesses go
+  // through the marshaled accessors below or driver().run_on.
   NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
   uint16_t node_port(NodeId id) const;
+  uint32_t node_shard(NodeId id) const { return node_shards_.at(id); }
 
   // Publishes the current membership + reconfiguration state over the
   // sockets (no-op when nothing changed); laggards converge through the
@@ -130,6 +140,10 @@ class TcpCluster {
   uint64_t batched_subqueries() const;
   uint64_t pool_tasks_executed() const;
   uint64_t pool_tasks_stolen() const;
+  // Backpressure diagnostics: submissions that overflowed a worker's
+  // express ring (fell back to the locked deque), and express-lane hits.
+  uint64_t pool_ring_full_events() const;
+  uint64_t pool_express_submits() const;
 
  private:
   TcpClusterConfig config_;
@@ -148,7 +162,12 @@ class TcpCluster {
   // posted may outlive the nodes unexecuted — the driver (destroyed last)
   // drops them without running.
   std::vector<std::unique_ptr<core::WorkerPool>> pools_;
+  std::vector<uint32_t> node_shards_;  // node id -> reactor shard
   uint32_t next_frontend_ = 0;  // round-robin submit cursor
+
+  // Runs `fn` on node `id`'s shard thread (inline when that shard is the
+  // caller-driven one), so cross-thread reads of node state are safe.
+  void on_node_shard(NodeId id, const std::function<void()>& fn) const;
 };
 
 }  // namespace roar::cluster

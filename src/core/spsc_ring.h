@@ -1,0 +1,88 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// The handoff primitive of the zero-copy datapath: reactor shards push
+// work to WorkerPool lanes and lanes push completions back through these
+// rings, with the eventfd/condvar machinery demoted to a sleep/wake
+// fallback. Capacity is fixed at construction (rounded up to a power of
+// two) in the spirit of explicit, bounded buffer sizing: a full ring is a
+// backpressure signal the caller must handle (overflow queue or inline
+// execution), never silent unbounded growth.
+//
+// Memory ordering is the classic Lamport queue with index caching: the
+// producer owns tail_, the consumer owns head_, each publishes with a
+// release store and reads the other side with an acquire load only when
+// its cached copy says the ring looks full/empty. One cache line per
+// index avoids false sharing between the two threads.
+//
+// Thread contract: try_push from exactly one thread at a time, try_pop
+// from exactly one thread at a time (the two may differ and overlap).
+// size() is approximate unless called from one of the two owning threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace roar::core {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to the next power of two, minimum 2.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false (and leaves `v` unmoved) when full.
+  bool try_push(T&& v) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  // Approximate between threads; exact from either owning thread.
+  size_t size() const {
+    size_t tail = tail_.load(std::memory_order_acquire);
+    size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  alignas(64) std::atomic<size_t> tail_{0};  // producer-owned write index
+  alignas(64) size_t head_cache_ = 0;        // producer's view of head_
+  alignas(64) std::atomic<size_t> head_{0};  // consumer-owned read index
+  alignas(64) size_t tail_cache_ = 0;        // consumer's view of tail_
+};
+
+}  // namespace roar::core

@@ -1,10 +1,23 @@
 #include "core/worker_pool.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 
 namespace roar::core {
 
-WorkerPool::WorkerPool(size_t workers) : queues_(workers) {
+namespace {
+constexpr size_t kExpressSlots = 256;
+// Bounded park: the sleep/wake handshake is flag-based and deliberately
+// lock-light, so a theoretically-lost wakeup only costs one tick.
+constexpr auto kParkTick = std::chrono::milliseconds(50);
+}  // namespace
+
+WorkerPool::WorkerPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerState>(kExpressSlots));
+  }
   threads_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -20,123 +33,211 @@ WorkerPool::~WorkerPool() {
   } catch (...) {
     ROAR_LOG(kWarn) << "worker-pool: task failed during shutdown";
   }
-  {
-    std::lock_guard lock(mu_);
-    stopping_ = true;
+  stopping_.store(true, std::memory_order_seq_cst);
+  for (auto& w : workers_) {
+    // Lock + notify so a worker between its work re-check and its wait
+    // cannot miss the stop signal.
+    std::lock_guard lock(w->mu);
+    w->cv.notify_all();
   }
-  work_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
 void WorkerPool::submit(Task task) {
-  size_t target;
-  {
-    std::lock_guard lock(mu_);
-    if (!threads_.empty() && !stopping_) {
-      target = next_worker_;
-      next_worker_ = (next_worker_ + 1) % queues_.size();
-      queues_[target].queue.push_back(std::move(task));
-      ++in_flight_;
-      work_cv_.notify_one();
+  if (threads_.empty() || stopping_.load(std::memory_order_acquire)) {
+    task();  // inline mode (size 0, or shutdown already began)
+    return;
+  }
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  size_t target =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  WorkerState& w = *workers_[target];
+
+  // Express lane: lock-free when this thread owns (or can claim) the
+  // target's ring.
+  std::thread::id self = std::this_thread::get_id();
+  std::thread::id owner = w.express_owner.load(std::memory_order_relaxed);
+  bool can_express = owner == self;
+  if (!can_express && owner == std::thread::id{}) {
+    can_express = w.express_owner.compare_exchange_strong(
+        owner, self, std::memory_order_acq_rel);
+  }
+  if (can_express) {
+    if (w.express.try_push(std::move(task))) {
+      express_submits_.fetch_add(1, std::memory_order_relaxed);
+      wake(w);
       return;
     }
+    // Ring full: spill to the deque (never block, never drop).
+    ring_full_.fetch_add(1, std::memory_order_relaxed);
   }
-  task();  // inline mode (size 0, or shutdown already began)
+  {
+    std::lock_guard lock(w.mu);
+    w.deque.push_back(std::move(task));
+    w.deque_len.store(w.deque.size(), std::memory_order_relaxed);
+  }
+  wake_for_deque(target);
 }
 
 void WorkerPool::submit_to(size_t worker, Task task) {
-  {
-    std::lock_guard lock(mu_);
-    if (!threads_.empty() && !stopping_) {
-      queues_[worker % queues_.size()].queue.push_back(std::move(task));
-      ++in_flight_;
-      work_cv_.notify_one();
-      return;
-    }
+  if (threads_.empty() || stopping_.load(std::memory_order_acquire)) {
+    task();
+    return;
   }
-  task();
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  size_t target = worker % workers_.size();
+  WorkerState& w = *workers_[target];
+  {
+    std::lock_guard lock(w.mu);
+    w.deque.push_back(std::move(task));
+    w.deque_len.store(w.deque.size(), std::memory_order_relaxed);
+  }
+  wake_for_deque(target);
 }
 
 void WorkerPool::drain() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_seq_cst) == 0;
+  });
+  lock.unlock();
+  std::lock_guard err_lock(error_mu_);
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
-    lock.unlock();
     std::rethrow_exception(err);
   }
 }
 
 uint64_t WorkerPool::executed() const {
-  std::lock_guard lock(mu_);
   uint64_t total = 0;
-  for (const auto& w : queues_) total += w.executed;
+  for (const auto& w : workers_) {
+    total += w->executed.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 uint64_t WorkerPool::stolen() const {
-  std::lock_guard lock(mu_);
-  return stolen_;
+  return stolen_.load(std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> WorkerPool::per_worker_executed() const {
-  std::lock_guard lock(mu_);
   std::vector<uint64_t> out;
-  out.reserve(queues_.size());
-  for (const auto& w : queues_) out.push_back(w.executed);
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    out.push_back(w->executed.load(std::memory_order_relaxed));
+  }
   return out;
 }
 
-bool WorkerPool::queues_empty() const {
-  for (const auto& w : queues_) {
-    if (!w.queue.empty()) return false;
-  }
-  return true;
-}
-
-bool WorkerPool::take_task(size_t index, Task* out) {
-  auto& own = queues_[index].queue;
-  if (!own.empty()) {
-    *out = std::move(own.front());
-    own.pop_front();
-    return true;
-  }
-  // Steal from the back of the first non-empty victim, scanning from the
-  // next worker so the victim choice rotates rather than always hitting
-  // worker 0.
-  for (size_t off = 1; off < queues_.size(); ++off) {
-    auto& victim = queues_[(index + off) % queues_.size()].queue;
-    if (!victim.empty()) {
-      *out = std::move(victim.back());
-      victim.pop_back();
-      ++stolen_;
-      return true;
-    }
+bool WorkerPool::any_work(size_t index) const {
+  const WorkerState& me = *workers_[index];
+  if (me.express.size() > 0) return true;
+  for (const auto& w : workers_) {
+    if (w->deque_len.load(std::memory_order_relaxed) > 0) return true;
   }
   return false;
 }
 
+void WorkerPool::wake(WorkerState& w) {
+  if (w.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(w.mu);
+    w.cv.notify_one();
+  }
+}
+
+void WorkerPool::wake_for_deque(size_t target) {
+  WorkerState& w = *workers_[target];
+  if (w.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(w.mu);
+    w.cv.notify_one();
+    return;
+  }
+  // Target is busy; a parked peer can steal the task instead of letting
+  // it wait behind the target's backlog.
+  for (const auto& peer : workers_) {
+    if (peer.get() != &w &&
+        peer->sleeping.load(std::memory_order_seq_cst)) {
+      std::lock_guard lock(peer->mu);
+      peer->cv.notify_one();
+      return;
+    }
+  }
+}
+
+void WorkerPool::finish_one() {
+  if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    std::lock_guard lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
 void WorkerPool::worker_loop(size_t index) {
-  std::unique_lock lock(mu_);
-  while (true) {
-    work_cv_.wait(lock, [&] { return stopping_ || !queues_empty(); });
+  WorkerState& me = *workers_[index];
+  for (;;) {
     Task task;
-    if (!take_task(index, &task)) {
-      if (stopping_) return;  // all queues empty: shutdown complete
+    bool got = false;
+    bool stole = false;
+    // Own express lane first (hot path), then own deque, then steal from
+    // a victim's back — scanning from the next worker so the victim
+    // choice rotates rather than always hitting worker 0.
+    if (me.express.try_pop(task)) {
+      got = true;
+    }
+    if (!got && me.deque_len.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard lock(me.mu);
+      if (!me.deque.empty()) {
+        task = std::move(me.deque.front());
+        me.deque.pop_front();
+        me.deque_len.store(me.deque.size(), std::memory_order_relaxed);
+        got = true;
+      }
+    }
+    if (!got) {
+      for (size_t off = 1; off < workers_.size() && !got; ++off) {
+        WorkerState& victim = *workers_[(index + off) % workers_.size()];
+        if (victim.deque_len.load(std::memory_order_relaxed) == 0) continue;
+        std::lock_guard lock(victim.mu);
+        if (!victim.deque.empty()) {
+          task = std::move(victim.deque.back());
+          victim.deque.pop_back();
+          victim.deque_len.store(victim.deque.size(),
+                                 std::memory_order_relaxed);
+          got = true;
+          stole = true;
+        }
+      }
+    }
+
+    if (got) {
+      std::exception_ptr err;
+      try {
+        task();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      task = nullptr;  // release captures before any bookkeeping
+      if (err) {
+        std::lock_guard lock(error_mu_);
+        if (!first_error_) first_error_ = err;
+      }
+      me.executed.fetch_add(1, std::memory_order_relaxed);
+      if (stole) stolen_.fetch_add(1, std::memory_order_relaxed);
+      finish_one();
       continue;
     }
-    lock.unlock();
-    std::exception_ptr err;
-    try {
-      task();
-    } catch (...) {
-      err = std::current_exception();
+
+    if (stopping_.load(std::memory_order_acquire)) return;
+
+    // Park. The flag is raised before the final work re-check so a
+    // producer either sees sleeping==true (and notifies under our mutex)
+    // or we see its push; the bounded wait covers the residual
+    // flag-vs-ring ordering race.
+    std::unique_lock lock(me.mu);
+    me.sleeping.store(true, std::memory_order_seq_cst);
+    if (!any_work(index) && !stopping_.load(std::memory_order_seq_cst)) {
+      me.cv.wait_for(lock, kParkTick);
     }
-    task = nullptr;  // release captures before reacquiring the lock
-    lock.lock();
-    if (err && !first_error_) first_error_ = err;
-    ++queues_[index].executed;
-    if (--in_flight_ == 0) idle_cv_.notify_all();
+    me.sleeping.store(false, std::memory_order_seq_cst);
   }
 }
 

@@ -1,17 +1,22 @@
 // Fixed-size work-stealing thread pool: the cluster's query-execution
 // engine substrate.
 //
-// Each worker owns a deque; submit() distributes round-robin (or to an
-// explicit worker with submit_to), workers pop their own queue from the
-// front and steal from a victim's back when idle. A pool of size 0 runs
-// every task inline on the caller's thread — that degenerate mode is what
-// keeps the virtual-time cluster emulation byte-identical when the
-// execution engine is plumbed through it.
+// Each worker owns two queues. The express lane is a bounded lock-free
+// SPSC ring claimed by the first thread that submits round-robin work to
+// the worker (in the cluster that is the reactor shard driving the node),
+// so the steady-state submit path is an atomic push — no mutex, no
+// syscall. The deque is the mutex-guarded overflow and stealing lane:
+// submit_to targets it directly, express-ring overflow spills into it,
+// and idle workers steal from its back. A pool of size 0 runs every task
+// inline on the caller's thread — that degenerate mode is what keeps the
+// virtual-time cluster emulation byte-identical when the execution engine
+// is plumbed through it.
 //
-// Synchronization is one pool-wide mutex: at the cluster's task rates
-// (thousands of sub-queries per second, each milliseconds long) queue
-// contention is irrelevant next to the work itself, and a single lock
-// makes the stealing and shutdown invariants easy to audit.
+// Synchronization is per-worker (one mutex + condvar each) plus a few
+// pool-wide atomics; there is no pool-wide lock on the submit or
+// execution path. Sleeping workers re-check for work after raising their
+// sleeping flag and park with a bounded wait, so a wakeup lost to the
+// flag race costs one timeout tick of latency, never a hang.
 //
 // Shutdown: the destructor (and drain()) completes every task already
 // submitted — including tasks submitted by running tasks — before
@@ -21,15 +26,18 @@
 // (the destructor swallows it after logging).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <utility>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "core/spsc_ring.h"
 
 namespace roar::core {
 
@@ -45,10 +53,12 @@ class WorkerPool {
 
   size_t size() const { return threads_.size(); }
 
-  // Enqueues `task` (round-robin across workers). Inline when size()==0
-  // or after shutdown began; inline tasks propagate exceptions directly.
+  // Enqueues `task` (round-robin across workers; express ring when this
+  // thread owns the target's ring, deque otherwise). Inline when
+  // size()==0 or after shutdown began; inline tasks propagate exceptions
+  // directly.
   void submit(Task task);
-  // Targets a specific worker's queue; other workers may still steal it.
+  // Targets a specific worker's deque; other workers may still steal it.
   // Lets callers bias placement (and lets tests force stealing).
   void submit_to(size_t worker, Task task);
 
@@ -57,33 +67,61 @@ class WorkerPool {
   void drain();
 
   // Diagnostics. executed counts completed tasks; stolen counts tasks a
-  // worker took from another worker's queue.
+  // worker took from another worker's deque (express lanes are private
+  // and never stolen from).
   uint64_t executed() const;
   uint64_t stolen() const;
   std::vector<uint64_t> per_worker_executed() const;
+  // Submissions that went through an express ring vs. total.
+  uint64_t express_submits() const {
+    return express_submits_.load(std::memory_order_relaxed);
+  }
+  // Express pushes that found the ring full and spilled to the deque —
+  // the backpressure signal the loopback bench gates on.
+  uint64_t ring_full_events() const {
+    return ring_full_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void worker_loop(size_t index);
-  // Pops a runnable task for worker `index` (own front, else steal from a
-  // victim's back). Caller holds mu_.
-  bool take_task(size_t index, Task* out);
-  bool queues_empty() const;  // caller holds mu_
-
   struct WorkerState {
-    std::deque<Task> queue;
-    uint64_t executed = 0;
+    explicit WorkerState(size_t ring_slots) : express(ring_slots) {}
+
+    SpscRing<Task> express;
+    // The single producer allowed to push to `express`; claimed by CAS on
+    // first round-robin submit. Everyone else uses the deque.
+    std::atomic<std::thread::id> express_owner{};
+    std::mutex mu;
+    std::deque<Task> deque;  // guarded by mu
+    // deque.size() mirror, readable without the lock (steal scan, sleep
+    // check).
+    std::atomic<size_t> deque_len{0};
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+    std::atomic<uint64_t> executed{0};
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: new task or shutdown
-  std::condition_variable idle_cv_;  // drain: in-flight reached zero
-  std::vector<WorkerState> queues_;
+  void worker_loop(size_t index);
+  // True if any queue anywhere is non-empty (approximate: lock-free
+  // reads; the bounded sleep covers the race).
+  bool any_work(size_t index) const;
+  void wake(WorkerState& w);
+  // Wakes the target if parked, else any parked worker (deque pushes are
+  // stealable, so an idle peer can serve them).
+  void wake_for_deque(size_t target);
+  void finish_one();
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<std::thread> threads_;
-  size_t next_worker_ = 0;   // round-robin submit cursor
-  size_t in_flight_ = 0;     // queued + currently running
-  uint64_t stolen_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  std::atomic<size_t> next_worker_{0};  // round-robin submit cursor
+  std::atomic<size_t> in_flight_{0};    // queued + currently running
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> stolen_{0};
+  std::atomic<uint64_t> express_submits_{0};
+  std::atomic<uint64_t> ring_full_{0};
+  mutable std::mutex idle_mu_;
+  std::condition_variable idle_cv_;  // drain: in-flight reached zero
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;  // guarded by error_mu_
 };
 
 }  // namespace roar::core

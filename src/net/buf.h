@@ -1,0 +1,227 @@
+// Pooled frame buffers for the zero-copy datapath.
+//
+// Two recycling layers, both bounded:
+//
+//  * BufPool — refcounted fixed-size RX slabs. TcpConnection reads socket
+//    bytes straight into a slab; FrameDecoder hands out Payload views into
+//    it; the slab returns to the pool when the last view drops. acquire()
+//    never blocks: an empty freelist falls back to a fresh heap slab, and
+//    a slab released when the freelist is full is simply freed, so the
+//    pool bounds retained memory without ever bounding correctness.
+//
+//  * A thread-local Bytes freelist (acquire_bytes / recycle_bytes) that
+//    recycles TX/encode vectors: serialize.h Writers start from it and the
+//    TCP flush path returns fully-written frame buffers to it, making the
+//    steady-state send path allocation-free.
+//
+// Payload is the receive-side view handed to Transport handlers: either a
+// (refcounted) window into an RX slab or an owned vector (InProc delivery,
+// slab-straddling frames). Handlers that need the bytes beyond the
+// callback copy them out with to_bytes().
+//
+// Stats are process-wide relaxed atomics; the loopback bench derives its
+// alloc_per_query gate from the `fresh` counters (pool misses), which a
+// warmed-up datapath must keep near zero.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/serialize.h"
+
+namespace roar::net {
+
+class BufPool;
+
+namespace detail {
+
+// One refcounted slab. The shared Core pointer (not a raw BufPool*) lets
+// outstanding slabs outlive their pool: release after pool destruction
+// frees instead of recycling.
+struct Slab;
+struct PoolCore {
+  explicit PoolCore(size_t slab_size, size_t max_free)
+      : slab_bytes(slab_size), max_free(max_free) {}
+  ~PoolCore();
+
+  const size_t slab_bytes;
+  const size_t max_free;
+  std::mutex mu;
+  std::vector<Slab*> free_list;  // guarded by mu
+  bool closed = false;           // guarded by mu
+
+  std::atomic<uint64_t> fresh{0};   // heap-allocated slabs (pool misses)
+  std::atomic<uint64_t> reused{0};  // freelist hits
+};
+
+struct Slab {
+  explicit Slab(std::shared_ptr<PoolCore> c)
+      : core(std::move(c)), data(core->slab_bytes) {}
+
+  std::atomic<uint32_t> refs{1};
+  std::shared_ptr<PoolCore> core;
+  std::vector<uint8_t> data;
+};
+
+void release_slab(Slab* s);
+
+}  // namespace detail
+
+// Shared handle to one slab; copying bumps the refcount.
+class BufRef {
+ public:
+  BufRef() = default;
+  // Adopts an existing reference (does not bump).
+  static BufRef adopt(detail::Slab* s) { return BufRef(s); }
+
+  BufRef(const BufRef& o) : slab_(o.slab_) {
+    if (slab_) slab_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  BufRef(BufRef&& o) noexcept : slab_(o.slab_) { o.slab_ = nullptr; }
+  BufRef& operator=(const BufRef& o) {
+    if (this != &o) {
+      BufRef tmp(o);
+      std::swap(slab_, tmp.slab_);
+    }
+    return *this;
+  }
+  BufRef& operator=(BufRef&& o) noexcept {
+    if (this != &o) {
+      reset();
+      slab_ = o.slab_;
+      o.slab_ = nullptr;
+    }
+    return *this;
+  }
+  ~BufRef() { reset(); }
+
+  void reset() {
+    if (slab_ == nullptr) return;
+    if (slab_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      detail::release_slab(slab_);
+    }
+    slab_ = nullptr;
+  }
+
+  explicit operator bool() const { return slab_ != nullptr; }
+  uint8_t* data() { return slab_->data.data(); }
+  const uint8_t* data() const { return slab_->data.data(); }
+  size_t capacity() const { return slab_ ? slab_->data.size() : 0; }
+  uint32_t use_count() const {
+    return slab_ ? slab_->refs.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  explicit BufRef(detail::Slab* s) : slab_(s) {}
+  detail::Slab* slab_ = nullptr;
+};
+
+class BufPool {
+ public:
+  struct Stats {
+    uint64_t fresh = 0;   // slabs heap-allocated (freelist empty)
+    uint64_t reused = 0;  // slabs served from the freelist
+  };
+
+  explicit BufPool(size_t slab_bytes = 64 * 1024, size_t max_free = 32)
+      : core_(std::make_shared<detail::PoolCore>(slab_bytes, max_free)) {}
+  ~BufPool();
+  BufPool(const BufPool&) = delete;
+  BufPool& operator=(const BufPool&) = delete;
+
+  // Never blocks, never fails: falls back to a fresh heap slab when the
+  // freelist is empty.
+  BufRef acquire();
+
+  size_t slab_bytes() const { return core_->slab_bytes; }
+  size_t free_count() const;
+  Stats stats() const {
+    return Stats{core_->fresh.load(std::memory_order_relaxed),
+                 core_->reused.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::shared_ptr<detail::PoolCore> core_;
+};
+
+// Thread-local recycled Bytes for the TX/encode path. acquire_bytes()
+// returns an empty vector, with retained capacity when the calling
+// thread's freelist has one. recycle_bytes() keeps up to a small bounded
+// stack per thread and drops oversized buffers.
+Bytes acquire_bytes();
+void recycle_bytes(Bytes&& b);
+
+struct ByteFreelistStats {
+  uint64_t fresh = 0;   // acquire_bytes misses (no retained capacity)
+  uint64_t reused = 0;  // acquire_bytes hits
+};
+ByteFreelistStats byte_freelist_stats();
+
+// The receive-side message view handed to Transport handlers. Move-only:
+// a copy would defeat the zero-copy path, so retaining bytes is explicit
+// via to_bytes().
+class Payload {
+ public:
+  Payload() = default;
+  // View into a pooled RX slab; keeps the slab alive.
+  Payload(BufRef buf, const uint8_t* data, size_t size)
+      : buf_(std::move(buf)), data_(data), size_(size) {}
+  // Owning form (InProc delivery, slab-straddling frames). `offset` skips
+  // leading header bytes without copying.
+  explicit Payload(Bytes own, size_t offset = 0)
+      : own_(std::move(own)),
+        data_(own_.data() + offset),
+        size_(own_.size() - offset) {}
+
+  Payload(Payload&& o) noexcept
+      : buf_(std::move(o.buf_)),
+        own_(std::move(o.own_)),
+        data_(o.data_),
+        size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    if (this != &o) {
+      release();
+      buf_ = std::move(o.buf_);
+      own_ = std::move(o.own_);
+      data_ = o.data_;
+      size_ = o.size_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  ~Payload() { release(); }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  ByteView view() const { return ByteView(data_, size_); }
+  operator ByteView() const { return view(); }
+
+  // Drops the first n bytes from the view (envelope stripping).
+  void advance(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  // Explicit copy for handlers that keep the bytes past the callback.
+  Bytes to_bytes() const { return Bytes(data_, data_ + size_); }
+
+ private:
+  void release();
+
+  BufRef buf_;
+  Bytes own_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace roar::net

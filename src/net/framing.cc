@@ -1,11 +1,22 @@
 #include "net/framing.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace roar::net {
+namespace {
+
+uint32_t read_len_le(const uint8_t* p) {
+  uint32_t len;
+  std::memcpy(&len, p, 4);
+  return len;
+}
+
+}  // namespace
 
 Bytes frame(const Bytes& payload) {
-  Bytes out;
+  Bytes out = acquire_bytes();
   out.reserve(payload.size() + 4);
   uint32_t n = static_cast<uint32_t>(payload.size());
   out.push_back(static_cast<uint8_t>(n));
@@ -18,18 +29,20 @@ Bytes frame(const Bytes& payload) {
 
 void FrameDecoder::fail() {
   failed_ = true;
-  // A poisoned stream never recovers: release the buffer instead of
+  // A poisoned stream never recovers: release the buffers instead of
   // holding (potentially many megabytes of) garbage until destruction.
   buf_.clear();
   buf_.shrink_to_fit();
   consumed_ = 0;
+  cur_.reset();
+  parse_ = end_ = 0;
+  spill_.clear();
+  spill_.shrink_to_fit();
 }
 
 bool FrameDecoder::check_front_header() {
   if (buf_.size() - consumed_ < 4) return true;  // truncated: wait for more
-  uint32_t len;
-  std::memcpy(&len, buf_.data() + consumed_, 4);
-  if (len > kMaxFrameBytes) {
+  if (read_len_le(buf_.data() + consumed_) > kMaxFrameBytes) {
     fail();
     return false;
   }
@@ -49,8 +62,7 @@ std::optional<Bytes> FrameDecoder::next() {
   if (failed_) return std::nullopt;
   size_t avail = buf_.size() - consumed_;
   if (avail < 4) return std::nullopt;
-  uint32_t len;
-  std::memcpy(&len, buf_.data() + consumed_, 4);
+  uint32_t len = read_len_le(buf_.data() + consumed_);
   if (len > kMaxFrameBytes) {
     fail();
     return std::nullopt;
@@ -67,6 +79,62 @@ std::optional<Bytes> FrameDecoder::next() {
   // The next frame's header (if fully buffered) must also be sane. A bad
   // one poisons the decoder, but this completed frame is still delivered.
   check_front_header();
+  return out;
+}
+
+std::span<uint8_t> FrameDecoder::rx_space(BufPool& pool, size_t min_bytes) {
+  if (cur_ && cur_.capacity() - end_ >= min_bytes) {
+    return {cur_.data() + end_, cur_.capacity() - end_};
+  }
+  // Slab full (or none yet): unparsed partial-frame bytes move to the
+  // spill buffer; any already-delivered views keep the old slab alive by
+  // refcount, so dropping our reference is safe.
+  if (end_ > parse_) {
+    spill_.insert(spill_.end(), cur_.data() + parse_, cur_.data() + end_);
+  }
+  cur_ = pool.acquire();
+  parse_ = end_ = 0;
+  return {cur_.data(), cur_.capacity()};
+}
+
+std::optional<Payload> FrameDecoder::next_view() {
+  if (failed_) return std::nullopt;
+  // A frame that started in a previous slab completes through the spill
+  // buffer: pull exactly the missing bytes, leave the rest in the slab.
+  if (!spill_.empty()) {
+    if (spill_.size() < 4) {
+      size_t take = std::min<size_t>(4 - spill_.size(), end_ - parse_);
+      spill_.insert(spill_.end(), cur_.data() + parse_,
+                    cur_.data() + parse_ + take);
+      parse_ += take;
+      if (spill_.size() < 4) return std::nullopt;
+    }
+    uint32_t len = read_len_le(spill_.data());
+    if (len > kMaxFrameBytes) {
+      fail();
+      return std::nullopt;
+    }
+    size_t total = 4 + static_cast<size_t>(len);
+    if (spill_.size() < total) {
+      size_t take = std::min(total - spill_.size(), end_ - parse_);
+      spill_.insert(spill_.end(), cur_.data() + parse_,
+                    cur_.data() + parse_ + take);
+      parse_ += take;
+      if (spill_.size() < total) return std::nullopt;
+    }
+    Bytes out = std::exchange(spill_, acquire_bytes());
+    return Payload(std::move(out), 4);
+  }
+  size_t avail = end_ - parse_;
+  if (avail < 4) return std::nullopt;
+  uint32_t len = read_len_le(cur_.data() + parse_);
+  if (len > kMaxFrameBytes) {
+    fail();
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return std::nullopt;
+  Payload out(cur_, cur_.data() + parse_ + 4, len);
+  parse_ += 4 + len;
   return out;
 }
 

@@ -5,13 +5,25 @@
 // The decoder is incremental: feed() accepts arbitrary fragmentation
 // (single bytes, coalesced frames, split headers) and emits complete
 // frames in order — the property the framing test fuzzes.
+//
+// Two modes, one instance uses exactly one:
+//
+//  * Copy mode (feed / next) — the original API: bytes are buffered into
+//    an owned vector and frames are copied out. Tests and tools keep it.
+//  * Slab mode (rx_space / commit / next_view) — the zero-copy RX path:
+//    the socket reads straight into a pooled slab and complete frames
+//    come back as Payload views into it, no copy. Only a frame that
+//    straddles a slab boundary (or exceeds one slab) is copied into an
+//    owned spill buffer and delivered as an owning Payload.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "net/buf.h"
 #include "net/serialize.h"
 
 namespace roar::net {
@@ -33,6 +45,19 @@ class FrameDecoder {
   // Pops the next complete frame, if any.
   std::optional<Bytes> next();
 
+  // --- slab mode -------------------------------------------------------
+  // Writable space for the next socket read: the tail of the current slab
+  // when it still has >= min_bytes free, else a fresh slab from `pool`
+  // (unparsed partial-frame bytes migrate to the spill buffer first, so
+  // nothing is lost — and outstanding Payload views keep the old slab
+  // alive on their own).
+  std::span<uint8_t> rx_space(BufPool& pool, size_t min_bytes);
+  // Marks n bytes of the last rx_space() as received.
+  void commit(size_t n) { end_ += n; }
+  // Pops the next complete frame as a view into the slab (or an owning
+  // Payload for spilled frames). Same validation rules as next().
+  std::optional<Payload> next_view();
+
   bool failed() const { return failed_; }
   size_t buffered_bytes() const { return buf_.size() - consumed_; }
 
@@ -41,9 +66,16 @@ class FrameDecoder {
   bool check_front_header();
   void fail();
 
+  // Copy mode.
   std::vector<uint8_t> buf_;
   size_t consumed_ = 0;  // bytes of buf_ already parsed away
   bool failed_ = false;
+
+  // Slab mode.
+  BufRef cur_;        // slab currently receiving bytes
+  size_t parse_ = 0;  // next unparsed offset in cur_
+  size_t end_ = 0;    // end of committed bytes in cur_
+  Bytes spill_;       // partial frame carried across slab boundaries
 };
 
 }  // namespace roar::net

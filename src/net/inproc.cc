@@ -21,7 +21,7 @@ void InProcNetwork::send(Address from, Address to, Bytes payload) {
           bytes_dropped_ += n;
           return;
         }
-        it->second(from, std::move(payload));
+        it->second(from, Payload(std::move(payload)));
       });
 }
 

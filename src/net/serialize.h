@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,9 +19,29 @@
 namespace roar::net {
 
 using Bytes = std::vector<uint8_t>;
+// Read-only view over wire bytes; constructs implicitly from Bytes and
+// net::Payload (net/buf.h), so decoders written against it serve both the
+// owned and the zero-copy receive paths.
+using ByteView = std::span<const uint8_t>;
+
+// Thread-local recycled TX/encode vectors (defined in net/buf.cc; see
+// net/buf.h for the stats). Writers start from the freelist and the TCP
+// flush path feeds it, so steady-state encoding reuses capacity instead
+// of allocating.
+Bytes acquire_bytes();
+void recycle_bytes(Bytes&& b);
 
 class Writer {
  public:
+  Writer() : buf_(acquire_bytes()) {}
+  ~Writer() { recycle_bytes(std::move(buf_)); }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+  // Movable so factory helpers can return a Writer; the moved-from buffer
+  // is empty, making the destructor's recycle a no-op.
+  Writer(Writer&&) noexcept = default;
+  Writer& operator=(Writer&&) noexcept = default;
+
   void u8(uint8_t v) { buf_.push_back(v); }
   void u16(uint16_t v) { append(&v, 2); }
   void u32(uint32_t v) { append(&v, 4); }
@@ -49,7 +70,8 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const Bytes& buf) : p_(buf.data()), end_(buf.data() + buf.size()) {}
+  explicit Reader(ByteView buf)
+      : p_(buf.data()), end_(buf.data() + buf.size()) {}
   Reader(const uint8_t* p, size_t n) : p_(p), end_(p + n) {}
 
   bool ok() const { return ok_; }

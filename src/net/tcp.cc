@@ -25,6 +25,9 @@ namespace {
 constexpr size_t kMaxIov = 64;
 constexpr size_t kFlushBudget = 256 * 1024;
 constexpr size_t kInlineFlushBytes = 1 << 20;
+// Minimum slab tail a recv is offered; below this the decoder rolls to a
+// fresh slab so reads stay in large chunks.
+constexpr size_t kMinRxSpace = 2048;
 
 void set_nonblocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -77,8 +80,14 @@ void TcpConnection::close() {
 }
 
 void TcpConnection::send(const Bytes& payload) {
-  if (fd_ < 0) return;
-  Bytes framed = frame(payload);
+  send_framed(frame(payload));
+}
+
+void TcpConnection::send_framed(Bytes framed) {
+  if (fd_ < 0) {
+    recycle_bytes(std::move(framed));
+    return;
+  }
   pending_bytes_ += framed.size();
   outq_.push_back(std::move(framed));
   if (pending_bytes_ >= kInlineFlushBytes) {
@@ -104,7 +113,7 @@ void TcpConnection::flush() {
       off = 0;
     }
     ssize_t n = ::writev(fd_, iov, static_cast<int>(n_iov));
-    ++reactor_.flush_syscalls_;
+    reactor_.flush_syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (n < 0) {
       if (errno == EINTR) continue;  // interrupted: retry the same gather
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -113,15 +122,17 @@ void TcpConnection::flush() {
     }
     written_this_call += static_cast<size_t>(n);
     pending_bytes_ -= static_cast<size_t>(n);
-    // Consume the written bytes frame by frame.
+    // Consume the written bytes frame by frame; fully-written buffers go
+    // back to the thread-local freelist for the next encode.
     size_t remaining = static_cast<size_t>(n);
     while (remaining > 0) {
       size_t left_in_front = outq_.front().size() - out_off_;
       if (remaining >= left_in_front) {
         remaining -= left_in_front;
+        recycle_bytes(std::move(outq_.front()));
         outq_.pop_front();
         out_off_ = 0;
-        ++reactor_.frames_flushed_;
+        reactor_.frames_flushed_.fetch_add(1, std::memory_order_relaxed);
       } else {
         out_off_ += remaining;
         remaining = 0;
@@ -141,22 +152,28 @@ void TcpConnection::update_interest() {
 }
 
 void TcpConnection::handle_readable() {
-  uint8_t buf[16384];
+  // Run-to-completion burst RX: read into the decoder's slab, then
+  // dispatch every frame that burst completed before the next syscall.
   while (fd_ >= 0) {
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    auto space = decoder_.rx_space(reactor_.buf_pool_, kMinRxSpace);
+    ssize_t n = ::recv(fd_, space.data(), space.size(), 0);
     if (n > 0) {
-      decoder_.feed(buf, static_cast<size_t>(n));
+      decoder_.commit(static_cast<size_t>(n));
+      while (auto p = decoder_.next_view()) {
+        if (on_payload_) on_payload_(*this, std::move(*p));
+        if (fd_ < 0) return;  // handler closed us
+      }
+      if (decoder_.failed()) {
+        close();
+        return;
+      }
+      if (static_cast<size_t>(n) < space.size()) break;  // socket drained
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     close();  // peer closed or error
     return;
   }
-  while (auto f = decoder_.next()) {
-    if (on_frame_) on_frame_(*this, std::move(*f));
-    if (fd_ < 0) return;  // handler closed us
-  }
-  if (decoder_.failed()) close();
 }
 
 // ------------------------------------------------------------ TcpListener
@@ -224,6 +241,13 @@ TcpReactor::~TcpReactor() {
 }
 
 void TcpReactor::notify() {
+  // seq_cst pairs with the poller's sleeping_ store before its pending
+  // re-check: either we see sleeping_ and write the eventfd, or the
+  // poller sees our work before parking.
+  if (!sleeping_.load(std::memory_order_seq_cst)) {
+    wakeups_elided_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   uint64_t one = 1;
   // Best-effort: if the counter is full the poller is already due to wake.
   [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
@@ -295,12 +319,20 @@ TcpConnection& TcpReactor::connect(uint16_t port) {
   return adopt(fd);
 }
 
-size_t TcpReactor::poll(int timeout_ms) {
+size_t TcpReactor::poll(int timeout_ms, const std::function<bool()>& has_work) {
   // Frames queued since the last round (timers, posted completions, user
   // code between polls) must not wait out the epoll timeout.
   flush_dirty();
+  if (timeout_ms > 0) {
+    sleeping_.store(true, std::memory_order_seq_cst);
+    // Re-check after raising the flag: a producer that pushed before our
+    // store saw sleeping_ == false and skipped the eventfd — its work
+    // must degrade this wait to a poll.
+    if (has_work && has_work()) timeout_ms = 0;
+  }
   epoll_event events[64];
   int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  sleeping_.store(false, std::memory_order_relaxed);
   size_t handled = 0;
   for (int i = 0; i < n; ++i) {
     void* tag = events[i].data.ptr;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <future>
 
 #include "common/logging.h"
 
@@ -47,64 +48,216 @@ size_t WallClock::fire_due() {
   return fired;
 }
 
+// ---------------------------------------------------------------- Mailbox
+
+namespace {
+
+std::atomic<uint64_t> g_mailbox_ids{1};
+
+// Per-thread cache: mailbox id -> that thread's producer ring. Keyed by a
+// process-unique id (never an address) so an entry can never alias a
+// later mailbox; entries for dead mailboxes are simply never hit again.
+thread_local std::unordered_map<uint64_t, void*> t_mail_rings;
+
+}  // namespace
+
+Mailbox::Mailbox(size_t ring_capacity)
+    : ring_capacity_(ring_capacity),
+      id_(g_mailbox_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+Mailbox::~Mailbox() {
+  // Best effort: drop this thread's own cache entry. Other threads' stale
+  // entries are harmless (the id is never reused) and bounded by the
+  // number of mailboxes the thread ever pushed to.
+  t_mail_rings.erase(id_);
+}
+
+Mailbox::Ring* Mailbox::ring_for_this_thread() {
+  auto it = t_mail_rings.find(id_);
+  if (it != t_mail_rings.end()) return static_cast<Ring*>(it->second);
+  auto ring = std::make_unique<Ring>(ring_capacity_);
+  Ring* raw = ring.get();
+  {
+    std::lock_guard lock(rings_mu_);
+    rings_.push_back(std::move(ring));
+  }
+  t_mail_rings.emplace(id_, raw);
+  return raw;
+}
+
+void Mailbox::push(std::function<void()> fn) {
+  Ring* ring = ring_for_this_thread();
+  if (!ring->try_push(std::move(fn))) {
+    // try_push leaves `fn` untouched on failure; spill to the locked
+    // overflow rather than blocking or dropping.
+    {
+      std::lock_guard lock(overflow_mu_);
+      overflow_.push_back(std::move(fn));
+    }
+    ring_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // seq_cst, and strictly after the closure is enqueued: pairs with the
+  // poller's sleeping-flag store so either this producer sees the poller
+  // parked (and writes the eventfd) or the poller sees pending() > 0.
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+size_t Mailbox::drain(std::vector<std::function<void()>>& out) {
+  size_t n = 0;
+  {
+    std::lock_guard lock(rings_mu_);
+    for (auto& ring : rings_) {
+      std::function<void()> fn;
+      while (ring->try_pop(fn)) {
+        out.push_back(std::move(fn));
+        ++n;
+      }
+    }
+  }
+  {
+    std::lock_guard lock(overflow_mu_);
+    for (auto& fn : overflow_) {
+      out.push_back(std::move(fn));
+      ++n;
+    }
+    overflow_.clear();
+  }
+  if (n > 0) pending_.fetch_sub(n, std::memory_order_seq_cst);
+  return n;
+}
+
 // -------------------------------------------------------------- TcpDriver
+
+TcpDriver::TcpDriver(size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TcpDriver::~TcpDriver() { stop(); }
 
 void TcpDriver::add_route(Address addr, uint16_t port,
                           const std::string& host) {
   (void)host;  // loopback-only build; see header
+  std::lock_guard lock(routes_mu_);
   routes_[addr] = port;
 }
 
-void TcpDriver::remove_route(Address addr) { routes_.erase(addr); }
+void TcpDriver::remove_route(Address addr) {
+  std::lock_guard lock(routes_mu_);
+  routes_.erase(addr);
+}
 
 std::optional<uint16_t> TcpDriver::route(Address addr) const {
+  std::lock_guard lock(routes_mu_);
   auto it = routes_.find(addr);
   if (it == routes_.end()) return std::nullopt;
   return it->second;
 }
 
-void TcpDriver::post(std::function<void()> fn) {
-  {
-    std::lock_guard lock(posted_mu_);
-    posted_.push_back(std::move(fn));
-  }
-  reactor_.notify();
+void TcpDriver::post_to(size_t shard, std::function<void()> fn) {
+  Shard& sh = *shards_[shard];
+  sh.mail.push(std::move(fn));
+  sh.reactor.notify();
 }
 
-size_t TcpDriver::posted_pending() const {
-  std::lock_guard lock(posted_mu_);
-  return posted_.size();
+void TcpDriver::run_on(size_t shard, std::function<void()> fn) {
+  Shard& sh = *shards_[shard];
+  // Inline when the shard has no loop thread (shard 0, or not started:
+  // the caller is then the only thread allowed to touch it) or when we
+  // are already on that thread (posting would deadlock the wait).
+  if (!sh.thread.joinable() ||
+      std::this_thread::get_id() == sh.thread.get_id()) {
+    fn();
+    return;
+  }
+  std::promise<void> done;
+  auto fut = done.get_future();
+  post_to(shard, [&fn, &done] {
+    try {
+      fn();
+    } catch (...) {
+      done.set_exception(std::current_exception());
+      return;
+    }
+    done.set_value();
+  });
+  fut.get();
 }
 
-size_t TcpDriver::run_posted() {
-  std::vector<std::function<void()>> batch;
-  {
-    std::lock_guard lock(posted_mu_);
-    batch.swap(posted_);
+void TcpDriver::start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    sh.stop.store(false, std::memory_order_relaxed);
+    sh.thread = std::thread([this, &sh] { shard_loop(sh); });
   }
-  for (auto& fn : batch) fn();
-  return batch.size();
+}
+
+void TcpDriver::stop() {
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    sh.stop.store(true, std::memory_order_release);
+    sh.reactor.notify();
+  }
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    if (shards_[i]->thread.joinable()) shards_[i]->thread.join();
+  }
+  started_.store(false, std::memory_order_release);
+}
+
+size_t TcpDriver::poll_shard(Shard& sh, int max_wait_ms) {
+  int wait_ms =
+      sh.mail.pending() > 0 ? 0 : sh.clock.next_timeout_ms(max_wait_ms);
+  size_t handled =
+      sh.reactor.poll(wait_ms, [&sh] { return sh.mail.pending() > 0; });
+  handled += sh.clock.fire_due();
+  sh.scratch.clear();
+  sh.mail.drain(sh.scratch);
+  for (auto& fn : sh.scratch) fn();
+  handled += sh.scratch.size();
+  // Timers and posted completions send frames too; flush them in the same
+  // round so a reply never waits out the next epoll timeout.
+  sh.reactor.flush_dirty();
+  return handled;
+}
+
+void TcpDriver::shard_loop(Shard& sh) {
+  while (!sh.stop.load(std::memory_order_acquire)) {
+    poll_shard(sh, 10);
+  }
+  // Final non-blocking round so closures posted just before the stop flag
+  // was raised still run and the frames they queued are flushed.
+  poll_shard(sh, 0);
 }
 
 size_t TcpDriver::poll(int max_wait_ms) {
-  int wait_ms = posted_pending() > 0 ? 0 : clock_.next_timeout_ms(max_wait_ms);
-  size_t handled = reactor_.poll(wait_ms);
-  handled += clock_.fire_due();
-  handled += run_posted();
-  // Timers and posted completions send frames too; flush them in the same
-  // round so a reply never waits out the next epoll timeout.
-  reactor_.flush_dirty();
-  return handled;
+  return poll_shard(*shards_[0], max_wait_ms);
 }
 
 bool TcpDriver::run_until(const std::function<bool()>& pred,
                           double timeout_s) {
-  double deadline = clock_.now() + timeout_s;
+  WallClock& clock = shards_[0]->clock;
+  double deadline = clock.now() + timeout_s;
   while (!pred()) {
     poll(5);
-    if (clock_.now() > deadline) return pred();
+    if (clock.now() > deadline) return pred();
   }
   return true;
+}
+
+uint64_t TcpDriver::ring_full_events() const {
+  uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->mail.ring_full_events();
+  return total;
+}
+
+uint64_t TcpDriver::wakeups_elided() const {
+  uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->reactor.wakeups_elided();
+  return total;
 }
 
 // ----------------------------------------------------------- TcpTransport
@@ -112,19 +265,26 @@ bool TcpDriver::run_until(const std::function<bool()>& pred,
 namespace {
 constexpr size_t kEnvelopeBytes = 8;  // u32 from + u32 to
 constexpr size_t kFrameHeaderBytes = 4;
+
+void append_u32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
 }  // namespace
 
-TcpTransport::TcpTransport(TcpDriver& driver)
+TcpTransport::TcpTransport(TcpDriver& driver, size_t shard)
     : driver_(driver),
+      shard_(shard),
       listener_(std::make_unique<TcpListener>(
-          driver.reactor(), 0, [this](TcpConnection& conn) {
+          driver.reactor(shard), 0, [this](TcpConnection& conn) {
             inbound_[conn.id()] = &conn;
-            conn.set_frame_handler([this](TcpConnection&, Bytes frame) {
-              on_incoming_frame(frame);
+            conn.set_payload_handler([this](TcpConnection&, Payload frame) {
+              on_incoming_frame(std::move(frame));
             });
-            conn.set_close_handler([this](TcpConnection& c) {
-              inbound_.erase(c.id());
-            });
+            conn.set_close_handler(
+                [this](TcpConnection& c) { inbound_.erase(c.id()); });
           })) {}
 
 TcpTransport::~TcpTransport() {
@@ -141,7 +301,7 @@ TcpTransport::~TcpTransport() {
   for (auto& [id, conn] : inbound) {
     if (conn) {
       conn->set_close_handler(nullptr);
-      conn->set_frame_handler(nullptr);
+      conn->set_payload_handler(nullptr);
       conn->close();
     }
   }
@@ -162,19 +322,22 @@ void TcpTransport::unbind(Address addr) {
   handlers_.erase(addr);
 }
 
-void TcpTransport::on_incoming_frame(const Bytes& frame) {
+void TcpTransport::on_incoming_frame(Payload frame) {
   Reader r(frame);
   Address from = r.u32();
   Address to = r.u32();
   if (!r.ok()) return;  // malformed envelope: drop
   auto it = handlers_.find(to);
   if (it == handlers_.end()) {
-    ++messages_dropped_;
-    bytes_dropped_ += frame.size() - kEnvelopeBytes;
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(frame.size() - kEnvelopeBytes,
+                             std::memory_order_relaxed);
     return;
   }
-  Bytes payload(frame.begin() + kEnvelopeBytes, frame.end());
-  it->second(from, std::move(payload));
+  // Strip the envelope in place: the handler sees the payload bytes still
+  // backed by the RX slab (or spill buffer) — no copy on this path.
+  frame.advance(kEnvelopeBytes);
+  it->second(from, std::move(frame));
 }
 
 TcpConnection* TcpTransport::connection_to(uint16_t port) {
@@ -184,8 +347,10 @@ TcpConnection* TcpTransport::connection_to(uint16_t port) {
   }
   // A dead cached connection was already evicted by its close handler, so
   // a cache miss for a port we connected to before IS the reconnect case.
-  if (!ever_connected_.insert(port).second) ++reconnects_;
-  TcpConnection& conn = driver_.reactor().connect(port);
+  if (!ever_connected_.insert(port).second) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  TcpConnection& conn = driver_.reactor(shard_).connect(port);
   conn.set_close_handler([this, port](TcpConnection& c) {
     auto cached = conns_.find(port);
     if (cached != conns_.end() && cached->second == &c) conns_.erase(cached);
@@ -196,30 +361,36 @@ TcpConnection* TcpTransport::connection_to(uint16_t port) {
 
 void TcpTransport::send(Address from, Address to, Bytes payload) {
   size_t n = payload.size();
-  ++messages_sent_;
-  bytes_sent_ += n;
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(n, std::memory_order_relaxed);
 
   auto port = driver_.route(to);
   if (!port) {
-    ++messages_dropped_;
-    bytes_dropped_ += n;
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(n, std::memory_order_relaxed);
+    recycle_bytes(std::move(payload));
     return;
   }
   TcpConnection* conn = connection_to(*port);
   if (!conn || conn->closed()) {
-    ++messages_dropped_;
-    bytes_dropped_ += n;
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(n, std::memory_order_relaxed);
+    recycle_bytes(std::move(payload));
     return;
   }
 
-  Writer w;
-  w.u32(from);
-  w.u32(to);
-  Bytes enveloped = w.take();
-  enveloped.reserve(kEnvelopeBytes + n);
-  enveloped.insert(enveloped.end(), payload.begin(), payload.end());
-  wire_bytes_sent_ += enveloped.size() + kFrameHeaderBytes;
-  conn->send(enveloped);
+  // One owned buffer, written once: [u32 len][u32 from][u32 to][payload].
+  // No intermediate envelope vector; the buffer is recycled to the
+  // thread-local freelist by the reactor's flush once written.
+  Bytes framed = acquire_bytes();
+  framed.reserve(kFrameHeaderBytes + kEnvelopeBytes + n);
+  append_u32(framed, static_cast<uint32_t>(kEnvelopeBytes + n));
+  append_u32(framed, from);
+  append_u32(framed, to);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  recycle_bytes(std::move(payload));
+  wire_bytes_sent_.fetch_add(framed.size(), std::memory_order_relaxed);
+  conn->send_framed(std::move(framed));
 }
 
 }  // namespace roar::net

@@ -3,11 +3,21 @@
 //
 // Topology: every TcpTransport owns one listening socket and represents one
 // "process" (a node, or the front-end + membership pair). All transports of
-// a cluster share a TcpDriver — a single-threaded runtime bundling the
-// epoll reactor, a wall-clock timer heap, and the Address -> (host, port)
-// registry that stands in for DNS/config. send() resolves the destination
-// address through the registry and reuses a cached connection, reconnecting
-// transparently if the previous one died.
+// a cluster share a TcpDriver, which runs N reactor shards. Each shard
+// bundles an epoll reactor, a wall-clock timer heap, a BufPool RX arena
+// and a Mailbox of cross-thread closures. Shard 0 is caller-driven —
+// poll()/run_until() execute it on the calling thread, exactly the
+// single-threaded behaviour a one-shard driver has always had; shards
+// 1..N-1 each run their own thread after start().
+//
+// Sharding model: a transport is pinned to one shard at construction
+// (per-node connection pinning — its listener, accepted sockets, outgoing
+// sockets, timers and handlers all live on that shard). Cross-shard
+// traffic flows over the sockets themselves, so no data structure is
+// shared between shards except the route registry (mutex) and the
+// mailboxes (SPSC rings). The threading contract for everything owned by
+// a shard: touch it only from that shard's thread, from before start(),
+// or through post_to()/run_on().
 //
 // Wire format per frame: [u32 from][u32 to][payload bytes]. The envelope
 // carries addresses because a single listener can host several logical
@@ -15,16 +25,19 @@
 // share a process in the paper's deployment).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/spsc_ring.h"
 #include "net/tcp.h"
 #include "net/transport.h"
 
@@ -33,7 +46,8 @@ namespace roar::net {
 // Wall-clock Clock. Timers are a lazily-cancelled binary heap, fired by
 // TcpDriver::poll between epoll batches; epoll timeouts are bounded by the
 // earliest pending timer so a due timer is never late by more than the
-// poll granularity.
+// poll granularity. Single-shard-thread use only: cross-thread schedule
+// goes through TcpDriver::post_to.
 class WallClock : public Clock {
  public:
   WallClock() : t0_(std::chrono::steady_clock::now()) {}
@@ -71,86 +85,175 @@ class WallClock : public Clock {
   std::unordered_map<uint64_t, Callback> callbacks_;
 };
 
-// Shared single-threaded runtime for a set of TcpTransport endpoints.
-//
-// All socket, timer, and handler work runs on the one thread that calls
-// poll(). The only cross-thread entry point is post(): worker threads
-// (core::WorkerPool) hand completions back to the loop thread with it —
-// the closure runs inside a later poll() round, after the epoll batch and
-// due timers, never concurrently with handlers.
+// Cross-thread closure queue into one reactor shard. Each producer thread
+// gets its own bounded SPSC ring (registered on first push); a full ring
+// overflows to a mutex-guarded vector rather than blocking or dropping,
+// and the overflow count is exported as the ring_full_events backpressure
+// signal. The consumer (the shard's loop) drains every ring plus the
+// overflow each round. The eventfd wakeup lives in TcpReactor::notify —
+// this class only tracks the pending count the poller's sleep check needs.
+class Mailbox {
+ public:
+  explicit Mailbox(size_t ring_capacity = 512);
+  ~Mailbox();
+
+  // Any thread. Never blocks, never drops.
+  void push(std::function<void()> fn);
+  // Consumer only: appends everything pending to `out`, returns count.
+  size_t drain(std::vector<std::function<void()>>& out);
+
+  // seq_cst so it pairs with the poller's sleeping-flag handshake.
+  size_t pending() const {
+    return pending_.load(std::memory_order_seq_cst);
+  }
+  uint64_t ring_full_events() const {
+    return ring_full_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Ring = core::SpscRing<std::function<void()>>;
+  Ring* ring_for_this_thread();
+
+  const size_t ring_capacity_;
+  const uint64_t id_;  // process-unique, keys the thread-local ring cache
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // guarded by rings_mu_
+  std::mutex overflow_mu_;
+  std::vector<std::function<void()>> overflow_;  // guarded by overflow_mu_
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> ring_full_{0};
+};
+
+// Shared runtime for a set of TcpTransport endpoints; see the file
+// comment for the sharding and threading model.
 class TcpDriver {
  public:
-  TcpReactor& reactor() { return reactor_; }
-  WallClock& clock() { return clock_; }
+  explicit TcpDriver(size_t shards = 1);
+  ~TcpDriver();
+  TcpDriver(const TcpDriver&) = delete;
+  TcpDriver& operator=(const TcpDriver&) = delete;
 
-  // Address registry. Host is implicit (loopback) in this build; the
-  // registry still speaks (host, port) pairs so a multi-host deployment
-  // only changes the connect path.
+  size_t shards() const { return shards_.size(); }
+  TcpReactor& reactor(size_t shard = 0) { return shards_[shard]->reactor; }
+  WallClock& clock(size_t shard = 0) { return shards_[shard]->clock; }
+
+  // Address registry (thread-safe). Host is implicit (loopback) in this
+  // build; the registry still speaks (host, port) pairs so a multi-host
+  // deployment only changes the connect path.
   void add_route(Address addr, uint16_t port, const std::string& host = "");
   void remove_route(Address addr);
   std::optional<uint16_t> route(Address addr) const;
 
-  // Thread-safe. Queues `fn` to run on the loop thread at the next poll
-  // round and wakes a blocked poll() promptly (eventfd). This is the
+  // Thread-safe. Queues `fn` to run on the shard's loop thread at its
+  // next poll round and wakes a parked poller promptly. This is the
   // completion-handoff rule: off-loop work must never touch transports,
   // clusters, or timers directly — it posts a closure instead.
-  void post(std::function<void()> fn);
-  // Posted closures waiting to run (diagnostics).
-  size_t posted_pending() const;
+  void post_to(size_t shard, std::function<void()> fn);
+  void post(std::function<void()> fn) { post_to(0, std::move(fn)); }
+  // Runs `fn` on the shard's loop and waits for it. Inline when called
+  // from that shard's own thread (or when the shard has no thread — not
+  // started, or shard 0, whose loop is the caller by contract).
+  void run_on(size_t shard, std::function<void()> fn);
+  // Posted closures waiting on shard 0 (diagnostics).
+  size_t posted_pending() const { return shards_[0]->mail.pending(); }
 
-  // One scheduling round: epoll (waiting at most `max_wait_ms`, less if a
-  // timer is due sooner), then due timers, then posted closures, then a
-  // write flush so everything the round produced leaves the process.
-  // Returns events handled.
+  // Launches loop threads for shards 1..N-1 (no-op when N == 1 or already
+  // started). Call after every endpoint is constructed: construction
+  // touches shard reactors and is not synchronized against running loops.
+  void start();
+  // Joins shard threads; after this the shards are safe to touch from the
+  // caller again. Idempotent; also run by the destructor.
+  void stop();
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  // One shard-0 scheduling round: epoll (waiting at most `max_wait_ms`,
+  // less if a timer is due sooner), then due timers, then mailbox
+  // closures, then a write flush so everything the round produced leaves
+  // the process. Returns events handled.
   size_t poll(int max_wait_ms = 10);
-  // Polls until pred() holds or `timeout_s` wall seconds pass.
+  // Polls shard 0 until pred() holds or `timeout_s` wall seconds pass.
   bool run_until(const std::function<bool()>& pred, double timeout_s = 10.0);
 
- private:
-  size_t run_posted();
+  // Backpressure/efficiency counters summed over shards.
+  uint64_t ring_full_events() const;
+  uint64_t wakeups_elided() const;
 
-  TcpReactor reactor_;
-  WallClock clock_;
-  std::unordered_map<Address, uint16_t> routes_;
-  mutable std::mutex posted_mu_;
-  std::vector<std::function<void()>> posted_;
+ private:
+  struct Shard {
+    TcpReactor reactor;
+    WallClock clock;
+    Mailbox mail;
+    std::thread thread;              // shards >= 1 while started
+    std::atomic<bool> stop{false};
+    // Loop-thread-only drain scratch, reused to keep the steady state
+    // allocation-free.
+    std::vector<std::function<void()>> scratch;
+  };
+
+  size_t poll_shard(Shard& sh, int max_wait_ms);
+  void shard_loop(Shard& sh);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex routes_mu_;
+  std::unordered_map<Address, uint16_t> routes_;  // guarded by routes_mu_
+  std::atomic<bool> started_{false};
 };
 
 class TcpTransport : public Transport {
  public:
   // Opens a listener on an ephemeral loopback port (query with port()).
-  explicit TcpTransport(TcpDriver& driver);
+  // The transport is pinned to `shard`: all its socket, timer and handler
+  // work runs on that shard's loop.
+  explicit TcpTransport(TcpDriver& driver, size_t shard = 0);
   ~TcpTransport() override;
 
   uint16_t port() const;
+  size_t shard() const { return shard_; }
 
   // Transport interface. bind() also publishes addr -> port() in the
-  // driver's registry so peers can reach the endpoint.
+  // driver's registry so peers can reach the endpoint. bind/unbind/send
+  // follow the shard threading contract (shard thread, pre-start, or via
+  // post_to/run_on).
   void bind(Address addr, Handler handler) override;
   void unbind(Address addr) override;
   void send(Address from, Address to, Bytes payload) override;
 
-  Clock& clock() override { return driver_.clock(); }
+  Clock& clock() override { return driver_.clock(shard_); }
 
   double latency() const override { return latency_; }
   // Nominal one-way latency fed to the front-end's delay estimator
   // (loopback is ~tens of µs; a datacenter deployment would set its RTT).
   void set_latency_hint(double s) { latency_ = s; }
 
-  uint64_t messages_sent() const override { return messages_sent_; }
-  uint64_t messages_dropped() const override { return messages_dropped_; }
-  uint64_t bytes_sent() const override { return bytes_sent_; }
-  uint64_t bytes_dropped() const override { return bytes_dropped_; }
+  // Counter reads are thread-safe (relaxed atomics): benches and tests
+  // sample them while shard loops run.
+  uint64_t messages_sent() const override {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_dropped() const override {
+    return messages_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_sent() const override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_dropped() const override {
+    return bytes_dropped_.load(std::memory_order_relaxed);
+  }
   // Actual on-the-wire volume including envelope + frame headers.
-  uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
-  uint64_t reconnects() const { return reconnects_; }
+  uint64_t wire_bytes_sent() const {
+    return wire_bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void on_incoming_frame(const Bytes& frame);
+  void on_incoming_frame(Payload frame);
   // Cached connection to a peer port, (re)connecting as needed.
   TcpConnection* connection_to(uint16_t port);
 
   TcpDriver& driver_;
+  const size_t shard_;
   std::unique_ptr<TcpListener> listener_;
   std::unordered_map<Address, Handler> handlers_;
   std::unordered_map<uint16_t, TcpConnection*> conns_;  // by remote port
@@ -159,12 +262,12 @@ class TcpTransport : public Transport {
   std::unordered_map<uint64_t, TcpConnection*> inbound_;  // by conn id
   std::unordered_set<uint16_t> ever_connected_;  // reconnect accounting
   double latency_ = 50e-6;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
-  uint64_t bytes_dropped_ = 0;
-  uint64_t wire_bytes_sent_ = 0;
-  uint64_t reconnects_ = 0;
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_dropped_{0};
+  std::atomic<uint64_t> wire_bytes_sent_{0};
+  std::atomic<uint64_t> reconnects_{0};
 };
 
 }  // namespace roar::net

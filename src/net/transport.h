@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "net/buf.h"
 #include "net/serialize.h"
 
 namespace roar::net {
@@ -50,7 +51,11 @@ class Clock {
 
 class Transport {
  public:
-  using Handler = std::function<void(Address from, Bytes payload)>;
+  // Receive callback. The Payload is a view (possibly into a pooled RX
+  // slab) valid for the duration of the call and owned by the handler if
+  // it moves it; decoders take it implicitly as a ByteView, and handlers
+  // that keep bytes past the callback copy them out with to_bytes().
+  using Handler = std::function<void(Address from, Payload payload)>;
 
   virtual ~Transport() = default;
 

@@ -1,9 +1,63 @@
 #include "pps/aes128.h"
 
+#include <atomic>
 #include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ROAR_AES_X86 1
+#include <immintrin.h>
+#endif
 
 namespace roar::pps {
 namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+#ifdef ROAR_AES_X86
+// Hardware path. Compiled with a per-function target attribute so the
+// rest of the build needs no -maes; only reachable after the runtime
+// CPUID check in Aes128::accelerated().
+
+__attribute__((target("aes,sse2"))) void encrypt_blocks_ni(
+    const std::array<std::array<uint8_t, 16>, 11>& rks, const AesBlock* in,
+    AesBlock* out, size_t n) {
+  __m128i rk[11];
+  for (int r = 0; r < 11; ++r) {
+    rk[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rks[r].data()));
+  }
+  size_t i = 0;
+  // 8-wide interleave: aesenc has multi-cycle latency but single-cycle
+  // throughput, so running 8 independent blocks through each round keeps
+  // the unit saturated instead of latency-bound.
+  for (; i + 8 <= n; i += 8) {
+    __m128i b[8];
+    for (int j = 0; j < 8; ++j) {
+      b[j] = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in[i + j].data())),
+          rk[0]);
+    }
+    for (int r = 1; r < 10; ++r) {
+      for (int j = 0; j < 8; ++j) b[j] = _mm_aesenc_si128(b[j], rk[r]);
+    }
+    for (int j = 0; j < 8; ++j) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out[i + j].data()),
+                       _mm_aesenclast_si128(b[j], rk[10]));
+    }
+  }
+  for (; i < n; ++i) {
+    __m128i b = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in[i].data())),
+        rk[0]);
+    for (int r = 1; r < 10; ++r) b = _mm_aesenc_si128(b, rk[r]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out[i].data()),
+                     _mm_aesenclast_si128(b, rk[10]));
+  }
+}
+
+bool cpu_has_aes() { return __builtin_cpu_supports("aes") != 0; }
+#else
+bool cpu_has_aes() { return false; }
+#endif
 
 // S-box and inverse, generated from the AES definition (multiplicative
 // inverse in GF(2^8) followed by the affine transform).
@@ -76,7 +130,38 @@ Aes128::Aes128(const AesKey& key) {
   }
 }
 
+bool Aes128::accelerated() {
+  static const bool has_hw = cpu_has_aes();
+  return has_hw && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void Aes128::set_force_scalar(bool v) {
+  g_force_scalar.store(v, std::memory_order_relaxed);
+}
+
+void Aes128::encrypt_blocks(const AesBlock* in, AesBlock* out,
+                            size_t n) const {
+#ifdef ROAR_AES_X86
+  if (accelerated()) {
+    encrypt_blocks_ni(round_keys_, in, out, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) out[i] = encrypt_block_scalar(in[i]);
+}
+
 AesBlock Aes128::encrypt_block(const AesBlock& in) const {
+#ifdef ROAR_AES_X86
+  if (accelerated()) {
+    AesBlock out;
+    encrypt_blocks_ni(round_keys_, &in, &out, 1);
+    return out;
+  }
+#endif
+  return encrypt_block_scalar(in);
+}
+
+AesBlock Aes128::encrypt_block_scalar(const AesBlock& in) const {
   const SBoxes& sb = sboxes();
   AesBlock s = in;
   auto add_rk = [&](int r) {

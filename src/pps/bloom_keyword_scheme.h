@@ -7,6 +7,16 @@
 // computes the r codewords for the query trapdoor and tests bits, exiting
 // on the first zero (the paper's average r/2 hashes on a non-match).
 //
+// The per-document codeword PRF is AES-128 (§5.6: AES serves as the
+// symmetric primitive) keyed by the trapdoor part, applied to the
+// document nonce and probe index: y_i = AES_{x_i}(rnd ‖ i). Keying by the
+// secret trapdoor part (rather than by the public nonce) gives the
+// cleaner PRF assumption, and it makes the server's hot loop a pure AES
+// workload: a PreparedTrapdoor expands the r key schedules once per
+// query, and match_batch streams the per-document blocks through the
+// multi-block AES kernel (AES-NI interleaved when available) with
+// survivor compaction reproducing the probe-by-probe early exit.
+//
 // Paper parameters: r = 17 hash functions and ~25 bits per element give a
 // 1-in-100,000 false-positive rate; 50 keywords → ~130 B filters.
 #pragma once
@@ -14,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "pps/aes128.h"
 #include "pps/scheme.h"
 
 namespace roar::pps {
@@ -32,6 +43,11 @@ class BloomKeywordScheme {
  public:
   struct Trapdoor {
     std::vector<Sha1Digest> parts;  // r PRF values, one per hash function
+  };
+  // A trapdoor with its r AES key schedules expanded — build once per
+  // query (prepare()), reuse across every document matched against it.
+  struct PreparedTrapdoor {
+    std::vector<Aes128> ciphers;  // one per trapdoor part
   };
   struct EncryptedMetadata {
     Nonce rnd;
@@ -54,12 +70,24 @@ class BloomKeywordScheme {
   EncryptedMetadata encrypt_metadata(std::span<const std::string> words,
                                      Rng& rng) const;
 
+  PreparedTrapdoor prepare(const Trapdoor& q) const;
+
   bool match(const EncryptedMetadata& m, const Trapdoor& q,
              MatchCost* cost = nullptr) const;
+  bool match(const EncryptedMetadata& m, const PreparedTrapdoor& q,
+             MatchCost* cost = nullptr) const;
+  // Matches `q` against every document in `items`, writing 0/1 per item.
+  // Probe-major with survivor compaction: probe i runs for every item
+  // still alive, through one multi-block AES call — so the PRF-call count
+  // (and `cost`) is identical to item-by-item match() with its early
+  // exit, but the AES unit sees batches instead of single blocks.
+  void match_batch(std::span<const EncryptedMetadata* const> items,
+                   const PreparedTrapdoor& q, uint8_t* results,
+                   MatchCost* cost = nullptr) const;
   static bool cover(const Trapdoor& a, const Trapdoor& b);
 
  private:
-  uint32_t codeword_position(const EncryptedMetadata& m, const Sha1Digest& x,
+  uint32_t codeword_position(const Nonce& rnd, const Aes128& cipher,
                              uint32_t i) const;
   void set_word(EncryptedMetadata& m, const Trapdoor& t) const;
 

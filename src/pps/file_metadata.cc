@@ -1,5 +1,8 @@
 #include "pps/file_metadata.h"
 
+#include <algorithm>
+#include <array>
+
 namespace roar::pps {
 namespace {
 
@@ -117,6 +120,21 @@ BloomKeywordScheme::Trapdoor MetadataEncoder::mtime_range_query(
     int64_t lb, int64_t ub) const {
   return keyword_.encrypt_query("mt" +
                                 range_query_word(lb, ub, mtime_partitions_));
+}
+
+void MetadataEncoder::match_batch(
+    std::span<const EncryptedFileMetadata* const> items,
+    const BloomKeywordScheme::PreparedTrapdoor& q, uint8_t* results,
+    MatchCost* cost) const {
+  // Chunked so the pointer indirection stays on the stack; 128 blocks is
+  // plenty to keep the 8-wide AES kernel saturated.
+  constexpr size_t kChunk = 128;
+  std::array<const BloomKeywordScheme::EncryptedMetadata*, kChunk> encs;
+  for (size_t off = 0; off < items.size(); off += kChunk) {
+    size_t n = std::min(kChunk, items.size() - off);
+    for (size_t k = 0; k < n; ++k) encs[k] = &items[off + k]->enc;
+    keyword_.match_batch({encs.data(), n}, q, results + off, cost);
+  }
 }
 
 }  // namespace roar::pps

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,25 @@ class MetadataEncoder {
              MatchCost* cost = nullptr) const {
     return keyword_.match(m.enc, q, cost);
   }
+
+  // Expand a trapdoor's AES key schedules once; reuse across documents.
+  BloomKeywordScheme::PreparedTrapdoor prepare(
+      const BloomKeywordScheme::Trapdoor& q) const {
+    return keyword_.prepare(q);
+  }
+
+  bool match(const EncryptedFileMetadata& m,
+             const BloomKeywordScheme::PreparedTrapdoor& q,
+             MatchCost* cost = nullptr) const {
+    return keyword_.match(m.enc, q, cost);
+  }
+
+  // Batched match: writes 0/1 per item. Same outcomes and PRF-call counts
+  // as item-by-item match(), but codewords flow through the multi-block
+  // AES kernel (see BloomKeywordScheme::match_batch).
+  void match_batch(std::span<const EncryptedFileMetadata* const> items,
+                   const BloomKeywordScheme::PreparedTrapdoor& q,
+                   uint8_t* results, MatchCost* cost = nullptr) const;
 
  private:
   MetadataEncoderParams params_;

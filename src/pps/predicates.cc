@@ -69,50 +69,106 @@ bool MultiPredicateQuery::Evaluation::match(const EncryptedFileMetadata& m,
   return false;
 }
 
+void MultiPredicateQuery::Evaluation::match_batch(
+    std::span<const EncryptedFileMetadata* const> items, uint8_t* results,
+    MatchCost* cost) {
+  size_t n = items.size();
+  size_t start = 0;
+  // Sampling phase stays item-by-item so the selectivity counts (and the
+  // ordering decision, which may land mid-batch) are exactly what the
+  // sequential path would compute.
+  while (start < n && !ordered_) {
+    results[start] = match(*items[start], cost) ? 1 : 0;
+    ++start;
+  }
+  if (start == n) return;
+  const auto& preds = query_.predicates();
+  const bool is_and = query_.combiner() == Combiner::kAnd;
+  std::fill(results + start, results + n, is_and ? uint8_t{1} : uint8_t{0});
+  // Predicate-major over the undecided items: each predicate sees one
+  // compacted batch of survivors, so per-item evaluations (and cost) are
+  // identical to the sequential short-circuit.
+  std::vector<const EncryptedFileMetadata*> live(items.begin() + start,
+                                                 items.end());
+  std::vector<size_t> live_idx(n - start);
+  std::iota(live_idx.begin(), live_idx.end(), start);
+  std::vector<uint8_t> sub;
+  for (size_t i : order_) {
+    if (live.empty()) break;
+    sub.assign(live.size(), 0);
+    preds[i].match_batch({live.data(), live.size()}, sub.data(), cost);
+    size_t kept = 0;
+    for (size_t k = 0; k < live.size(); ++k) {
+      bool r = sub[k] != 0;
+      if (is_and ? !r : r) {
+        // Decided: AND fails on the first false, OR succeeds on the first
+        // true. Drop the item from later predicates.
+        results[live_idx[k]] = is_and ? 0 : 1;
+      } else {
+        live[kept] = live[k];
+        live_idx[kept] = live_idx[k];
+        ++kept;
+      }
+    }
+    live.resize(kept);
+    live_idx.resize(kept);
+  }
+}
+
 std::vector<size_t> MultiPredicateQuery::Evaluation::current_order() const {
   return order_;
 }
 
+namespace {
+
+// Shared shape of every builder: expand the trapdoor's key schedules once
+// and capture them in both the scalar and the batch closure.
+Predicate make_prepared_predicate(const MetadataEncoder& enc,
+                                  std::string label,
+                                  BloomKeywordScheme::Trapdoor trapdoor) {
+  auto prepared =
+      std::make_shared<const BloomKeywordScheme::PreparedTrapdoor>(
+          enc.prepare(trapdoor));
+  return Predicate(
+      std::move(label),
+      [&enc, prepared](const EncryptedFileMetadata& m, MatchCost* cost) {
+        return enc.match(m, *prepared, cost);
+      },
+      [&enc, prepared](std::span<const EncryptedFileMetadata* const> items,
+                       uint8_t* results, MatchCost* cost) {
+        enc.match_batch(items, *prepared, results, cost);
+      });
+}
+
+}  // namespace
+
 Predicate make_keyword_predicate(const MetadataEncoder& enc,
                                  std::string_view word) {
-  auto trapdoor = enc.keyword_query(word);
-  return Predicate(
-      "kw=" + std::string(word),
-      [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
-        return enc.match(m, trapdoor, cost);
-      });
+  return make_prepared_predicate(enc, "kw=" + std::string(word),
+                                 enc.keyword_query(word));
 }
 
 Predicate make_size_predicate(const MetadataEncoder& enc, IneqType type,
                               int64_t value) {
-  auto trapdoor = enc.size_query(type, value);
   std::string label = std::string("size") +
                       (type == IneqType::kGreater ? ">" : "<") +
                       std::to_string(value);
-  return Predicate(
-      label, [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
-        return enc.match(m, trapdoor, cost);
-      });
+  return make_prepared_predicate(enc, std::move(label),
+                                 enc.size_query(type, value));
 }
 
 Predicate make_mtime_predicate(const MetadataEncoder& enc, int64_t lb,
                                int64_t ub) {
-  auto trapdoor = enc.mtime_range_query(lb, ub);
-  return Predicate(
-      "mtime[" + std::to_string(lb) + "," + std::to_string(ub) + "]",
-      [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
-        return enc.match(m, trapdoor, cost);
-      });
+  return make_prepared_predicate(
+      enc, "mtime[" + std::to_string(lb) + "," + std::to_string(ub) + "]",
+      enc.mtime_range_query(lb, ub));
 }
 
 Predicate make_ranked_predicate(const MetadataEncoder& enc,
                                 std::string_view word, uint32_t bucket) {
-  auto trapdoor = enc.ranked_keyword_query(word, bucket);
-  return Predicate(
-      "top" + std::to_string(bucket) + "|" + std::string(word),
-      [&enc, trapdoor](const EncryptedFileMetadata& m, MatchCost* cost) {
-        return enc.match(m, trapdoor, cost);
-      });
+  return make_prepared_predicate(
+      enc, "top" + std::to_string(bucket) + "|" + std::string(word),
+      enc.ranked_keyword_query(word, bucket));
 }
 
 }  // namespace roar::pps

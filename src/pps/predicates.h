@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,18 +25,37 @@ class Predicate {
  public:
   using MatchFn =
       std::function<bool(const EncryptedFileMetadata&, MatchCost*)>;
+  // Batched form: writes 0/1 per item. Must produce the same outcomes and
+  // cost accounting as item-by-item MatchFn calls.
+  using BatchFn = std::function<void(
+      std::span<const EncryptedFileMetadata* const>, uint8_t*, MatchCost*)>;
 
-  Predicate(std::string label, MatchFn fn)
-      : label_(std::move(label)), fn_(std::move(fn)) {}
+  Predicate(std::string label, MatchFn fn, BatchFn batch = nullptr)
+      : label_(std::move(label)),
+        fn_(std::move(fn)),
+        batch_(std::move(batch)) {}
 
   const std::string& label() const { return label_; }
   bool match(const EncryptedFileMetadata& m, MatchCost* cost) const {
     return fn_(m, cost);
   }
+  bool has_batch() const { return static_cast<bool>(batch_); }
+  // Falls back to item-by-item matching when no batch fn was supplied.
+  void match_batch(std::span<const EncryptedFileMetadata* const> items,
+                   uint8_t* results, MatchCost* cost) const {
+    if (batch_) {
+      batch_(items, results, cost);
+      return;
+    }
+    for (size_t k = 0; k < items.size(); ++k) {
+      results[k] = fn_(*items[k], cost) ? 1 : 0;
+    }
+  }
 
  private:
   std::string label_;
   MatchFn fn_;
+  BatchFn batch_;
 };
 
 enum class Combiner { kAnd, kOr };
@@ -67,6 +87,14 @@ class MultiPredicateQuery {
 
     // Returns whether metadata matches. Also advances selectivity sampling.
     bool match(const EncryptedFileMetadata& m, MatchCost* cost);
+
+    // Batched evaluation: writes 0/1 per item. Identical outcomes and
+    // predicate-evaluation counts to calling match() per item in order —
+    // the sampling phase runs item-by-item (so the ordering decision sees
+    // the same counts), then the ordered phase runs predicate-major with
+    // survivor compaction, feeding each predicate's batch kernel.
+    void match_batch(std::span<const EncryptedFileMetadata* const> items,
+                     uint8_t* results, MatchCost* cost);
 
     // Predicate order currently in force (indexes into the query), for
     // tests and the §5.7.1 bench.

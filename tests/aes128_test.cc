@@ -95,5 +95,47 @@ TEST(Aes128Test, DifferentKeysDifferentCiphertexts) {
   EXPECT_NE(a.encrypt_block(pt), b.encrypt_block(pt));
 }
 
+TEST(Aes128Test, EncryptBlocksMatchesSingleBlockAllSizes) {
+  Aes128 aes(key_from({0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+                       10, 11, 12}));
+  // Exercise the 8-wide main loop, the tail, and both combined: sizes
+  // around the interleave width.
+  for (size_t n : {size_t{1}, size_t{3}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{16}, size_t{23}, size_t{64}}) {
+    std::vector<AesBlock> in(n), out(n), expect(n);
+    uint8_t x = 1;
+    for (auto& blk : in) {
+      for (auto& b : blk) b = x = static_cast<uint8_t>(x * 37 + 11);
+    }
+    for (size_t i = 0; i < n; ++i) expect[i] = aes.encrypt_block(in[i]);
+    aes.encrypt_blocks(in.data(), out.data(), n);
+    EXPECT_EQ(out, expect) << "n=" << n;
+    // In-place form.
+    std::vector<AesBlock> inplace = in;
+    aes.encrypt_blocks(inplace.data(), inplace.data(), n);
+    EXPECT_EQ(inplace, expect) << "in-place n=" << n;
+  }
+}
+
+TEST(Aes128Test, HardwareAndScalarPathsAgree) {
+  if (!Aes128::accelerated()) {
+    GTEST_SKIP() << "no AES-NI on this machine; scalar path is the only one";
+  }
+  Aes128 aes(key_from({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                       0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}));
+  std::vector<AesBlock> in(19);
+  uint8_t x = 5;
+  for (auto& blk : in) {
+    for (auto& b : blk) b = x = static_cast<uint8_t>(x * 13 + 3);
+  }
+  std::vector<AesBlock> hw(in.size()), scalar(in.size());
+  aes.encrypt_blocks(in.data(), hw.data(), in.size());
+  Aes128::set_force_scalar(true);
+  ASSERT_FALSE(Aes128::accelerated());
+  aes.encrypt_blocks(in.data(), scalar.data(), in.size());
+  Aes128::set_force_scalar(false);
+  EXPECT_EQ(hw, scalar) << "AES-NI and portable paths must be byte-identical";
+}
+
 }  // namespace
 }  // namespace roar::pps

@@ -36,33 +36,45 @@ TcpClusterConfig real_matching_config(uint32_t workers) {
   return cfg;
 }
 
-TEST(ExecDeterminism, RealMatchResultsIndependentOfPoolSize) {
+TEST(ExecDeterminism, RealMatchResultsIndependentOfPoolSizeAndShards) {
   constexpr uint32_t kQueries = 8;
-  std::vector<uint64_t> matches_by_pool[2];
+  // The full grid the datapath must be invisible across: inline vs
+  // 4-lane pools, single-threaded vs 4-shard reactors.
+  struct Grid {
+    uint32_t workers;
+    uint32_t shards;
+  };
+  const Grid grid[] = {{0, 1}, {0, 4}, {4, 1}, {4, 4}};
+  std::vector<std::vector<uint64_t>> matches_by_cfg;
   uint64_t expected = 0;
-  int idx = 0;
-  for (uint32_t workers : {0u, 4u}) {
-    TcpCluster cluster(real_matching_config(workers));
+  for (const Grid& g : grid) {
+    auto cfg = real_matching_config(g.workers);
+    cfg.reactor_shards = g.shards;
+    TcpCluster cluster(cfg);
     ASSERT_NE(cluster.engine(), nullptr);
     expected = cluster.engine()->full_store_matches();
     ASSERT_GT(expected, 0u) << "query must match something to be a test";
     auto outcomes = cluster.run_queries(kQueries);
+    matches_by_cfg.emplace_back();
     for (const auto& out : outcomes) {
-      ASSERT_NE(out.id, 0u) << "query timed out at workers=" << workers;
+      ASSERT_NE(out.id, 0u) << "query timed out at workers=" << g.workers
+                            << " shards=" << g.shards;
       EXPECT_TRUE(out.complete);
       EXPECT_DOUBLE_EQ(out.harvest, 1.0);
       // Exact coverage: the responsibility windows partition the ring, so
       // the parts' match counts sum to the whole store's match count.
-      EXPECT_EQ(out.matches, expected) << "workers=" << workers;
-      matches_by_pool[idx].push_back(out.matches);
+      EXPECT_EQ(out.matches, expected)
+          << "workers=" << g.workers << " shards=" << g.shards;
+      matches_by_cfg.back().push_back(out.matches);
     }
-    if (workers > 0) {
+    if (g.workers > 0) {
       EXPECT_GT(cluster.pool_tasks_executed(), 0u)
           << "pooled run never used its lanes";
     }
-    ++idx;
   }
-  EXPECT_EQ(matches_by_pool[0], matches_by_pool[1]);
+  for (size_t i = 1; i < matches_by_cfg.size(); ++i) {
+    EXPECT_EQ(matches_by_cfg[0], matches_by_cfg[i]) << "grid point " << i;
+  }
 }
 
 ClusterConfig emulated_config() {

@@ -20,8 +20,9 @@ struct Rig {
 
   explicit Rig(const FaultSpec& spec) {
     ft.set_default_faults(spec);
-    ft.bind(2, [this](Address, Bytes b) {
-      received.push_back(b.empty() ? 0 : b[0]);
+    ft.bind(2, [this](Address, Payload b) {
+      ByteView v = b;
+      received.push_back(v.empty() ? 0 : v[0]);
     });
   }
 
@@ -119,7 +120,7 @@ TEST(FaultTransportTest, ReorderingLetsLaterMessagesOvertake) {
 TEST(FaultTransportTest, PartitionCutsBothDirectionsUntilHealed) {
   Rig rig(FaultSpec{});
   int to_one = 0;
-  rig.ft.bind(1, [&](Address, Bytes) { ++to_one; });
+  rig.ft.bind(1, [&](Address, Payload) { ++to_one; });
   uint64_t pid = rig.ft.partition({1}, {2, 3});
   EXPECT_TRUE(rig.ft.link_cut(1, 2));
   EXPECT_TRUE(rig.ft.link_cut(2, 1));

@@ -169,9 +169,9 @@ TEST(InProcTest, DeliversAfterLatency) {
   EventLoop loop;
   InProcNetwork net(loop, 0.001);
   double delivered_at = -1;
-  net.bind(2, [&](Address from, Bytes b) {
+  net.bind(2, [&](Address from, Payload b) {
     EXPECT_EQ(from, 1u);
-    EXPECT_EQ(b, (Bytes{42}));
+    EXPECT_EQ(b.to_bytes(), (Bytes{42}));
     delivered_at = loop.now();
   });
   net.send(1, 2, {42});
@@ -194,7 +194,7 @@ TEST(InProcTest, LossInjection) {
   InProcNetwork net(loop, 1e-4, 3);
   net.set_loss_rate(0.5);
   int received = 0;
-  net.bind(2, [&](Address, Bytes) { ++received; });
+  net.bind(2, [&](Address, Payload) { ++received; });
   for (int i = 0; i < 1000; ++i) net.send(1, 2, {1});
   loop.run_all();
   EXPECT_GT(received, 350);
@@ -211,16 +211,17 @@ TEST(TcpTest, EchoRoundTrip) {
   TcpReactor reactor;
   std::vector<Bytes> server_got;
   TcpListener listener(reactor, 0, [&](TcpConnection& conn) {
-    conn.set_frame_handler([&](TcpConnection& c, Bytes f) {
-      server_got.push_back(f);
-      c.send(f);  // echo
+    conn.set_payload_handler([&](TcpConnection& c, Payload f) {
+      Bytes copy = f.to_bytes();
+      c.send(copy);  // echo
+      server_got.push_back(std::move(copy));
     });
   });
 
   std::vector<Bytes> client_got;
   TcpConnection& client = reactor.connect(listener.port());
-  client.set_frame_handler(
-      [&](TcpConnection&, Bytes f) { client_got.push_back(f); });
+  client.set_payload_handler(
+      [&](TcpConnection&, Payload f) { client_got.push_back(f.to_bytes()); });
 
   client.send({1, 2, 3});
   client.send({4, 5});
@@ -238,8 +239,8 @@ TEST(TcpTest, LargeFrameSurvives) {
 
   Bytes received;
   TcpListener listener(reactor, 0, [&](TcpConnection& conn) {
-    conn.set_frame_handler(
-        [&](TcpConnection&, Bytes f) { received = std::move(f); });
+    conn.set_payload_handler(
+        [&](TcpConnection&, Payload f) { received = f.to_bytes(); });
   });
   TcpConnection& client = reactor.connect(listener.port());
   client.send(big);
@@ -251,16 +252,16 @@ TEST(TcpTest, ManyConcurrentClients) {
   TcpReactor reactor;
   int frames = 0;
   TcpListener listener(reactor, 0, [&](TcpConnection& conn) {
-    conn.set_frame_handler([&](TcpConnection& c, Bytes f) {
+    conn.set_payload_handler([&](TcpConnection& c, Payload f) {
       ++frames;
-      c.send(f);
+      c.send(f.to_bytes());
     });
   });
   std::vector<TcpConnection*> clients;
   int replies = 0;
   for (int i = 0; i < 10; ++i) {
     TcpConnection& c = reactor.connect(listener.port());
-    c.set_frame_handler([&](TcpConnection&, Bytes) { ++replies; });
+    c.set_payload_handler([&](TcpConnection&, Payload) { ++replies; });
     clients.push_back(&c);
   }
   for (auto* c : clients) {
