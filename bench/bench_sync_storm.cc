@@ -1,0 +1,160 @@
+// Sync storm — query p99 while full-segment resyncs are in flight.
+//
+// The scenario the write-path flow control exists for: several replicas
+// revive far behind the retained log and all pull full-segment state
+// transfers at once, over token-bucket-shaped links, while the cluster
+// keeps serving queries. Chunked, credit-clocked sync plus the AIMD
+// replication window spread the per-op apply charge (§7.3.4) instead of
+// stalling a node for a whole segment, so the query p99 during the storm
+// must stay within 50% of the quiescent p99 — the gated contract.
+//
+// Deterministic: virtual-time EmulatedCluster, seeded workload, shaped
+// links with no randomness in the bucket — identical numbers every run.
+//
+// Build & run:  ./build/bench/bench_sync_storm [--json out.json] [--seed n]
+#include <algorithm>
+
+#include "bench/bench_runner.h"
+#include "bench/bench_util.h"
+#include "cluster/emulated_cluster.h"
+
+using namespace roar;
+using namespace roar::bench;
+
+namespace {
+
+// Open-loop Poisson query stream capturing per-query end-to-end latency.
+SampleSet run_measured_queries(cluster::EmulatedCluster& c, Rng& rng,
+                               double rate_per_s, uint32_t count,
+                               double give_up_s = 120.0) {
+  SampleSet lat;
+  uint32_t finished = 0;
+  double t = c.now();
+  for (uint32_t i = 0; i < count; ++i) {
+    t += rng.next_exponential(rate_per_s);
+    c.loop().schedule_at(t, [&c, &lat, &finished] {
+      c.submit_query([&lat, &finished](const cluster::QueryOutcome& out) {
+        ++finished;
+        if (out.complete) lat.add(out.breakdown.total_s);
+      });
+    });
+  }
+  double deadline = t + give_up_s;
+  while (finished < count && c.now() < deadline) {
+    c.loop().run_until(std::min(c.now() + 0.5, deadline));
+  }
+  return lat;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunnerOptions opt = RunnerOptions::parse("sync_storm", argc, argv);
+  const uint64_t seed = opt.seed_or(17);
+  BenchReport report(opt, seed, 0);
+
+  header("Sync storm",
+         "query p99 during concurrent full-segment resyncs vs quiescent");
+
+  cluster::ClusterConfig cfg;
+  cfg.classes = {{"uniform", 10, 1.0}};
+  cfg.p = 3;
+  cfg.seed = seed;
+  cfg.enable_ingest = true;
+  cfg.enable_faults = true;
+  cfg.engine.corpus_items = 2'000;
+  cfg.dataset_size = 100'000;
+  cfg.node_proto.update_cost_s = 0.005;  // §7.3.4: applies steal capacity
+  // Small retained log (per shard): the revived replicas are guaranteed
+  // past it and must take the full-segment path.
+  cfg.ingest.log_retain = 32;
+  // Small paced chunks: each chunk charges 4 x 5 ms of apply cost at
+  // receipt, then the replica waits 150 ms before pulling the next —
+  // background resync capped near 13% of a node's matching capacity.
+  cfg.ingest.sync_chunk_ops = 4;
+  cfg.ingest.sync_credit_delay_s = 0.15;
+  cluster::EmulatedCluster c(cfg);
+
+  // Bounded-bandwidth ingest links (deterministic token-bucket shaper):
+  // resync traffic is paced like a real backbone would pace it.
+  net::FaultSpec shaped;
+  shaped.rate_Bps = 200'000.0;
+  shaped.burst_bytes = 32'000.0;
+  shaped.queue_bytes = 128'000.0;
+  for (cluster::NodeId id = 0; id < 10; ++id) {
+    c.faults()->set_link_faults(cluster::kUpdateServerAddr,
+                                cluster::node_address(id), shaped);
+    c.faults()->set_link_faults(cluster::node_address(id),
+                                cluster::kUpdateServerAddr, shaped);
+  }
+
+  Rng rng(seed * 101 + 5);
+  // Below the cluster's query capacity, so the measured p99 reflects
+  // per-query interference from the write path, not a standing queue.
+  constexpr uint32_t kQueries = 80;
+  constexpr double kQueryRate = 6.0;
+
+  // Warm corpus, then measure the quiescent baseline.
+  c.ingest_stream(/*rate_per_s=*/200.0, /*count=*/400, /*delete_frac=*/0.2);
+  bool warm_converged = c.run_until_ingest_converged(120.0);
+  SampleSet quiescent = run_measured_queries(c, rng, kQueryRate, kQueries);
+
+  // The storm: three replicas miss a burst of ops far past log_retain,
+  // then all revive at once and pull full segments while queries flow.
+  c.kill_node(1);
+  c.kill_node(4);
+  c.kill_node(7);
+  c.ingest_stream(/*rate_per_s=*/300.0, /*count=*/600, /*delete_frac=*/0.2);
+  c.loop().run_until(c.now() + 3.0);
+  c.revive_node(1);
+  c.revive_node(4);
+  c.revive_node(7);
+  SampleSet storm = run_measured_queries(c, rng, kQueryRate, kQueries);
+  bool converged = c.run_until_ingest_converged(300.0);
+
+  double q_p99 = quiescent.percentile(0.99);
+  double s_p99 = storm.percentile(0.99);
+  double ratio = q_p99 > 0 ? s_p99 / q_p99 : 0.0;
+  size_t hwm = 0;
+  for (const auto& rep : c.ingest_replicas()) {
+    hwm = std::max(hwm, rep.log->pending_hwm());
+  }
+  const auto& fc = c.faults()->counters();
+
+  columns({"phase", "queries", "p50_ms", "p99_ms"});
+  row({0, static_cast<double>(quiescent.count()), quiescent.median() * 1e3,
+       q_p99 * 1e3});
+  row({1, static_cast<double>(storm.count()), storm.median() * 1e3,
+       s_p99 * 1e3});
+
+  report.latency_ms("quiescent", quiescent);
+  report.latency_ms("storm", storm);
+  report.metric("storm_p99_over_quiescent_p99", ratio);
+  report.metric("queries_quiescent", static_cast<double>(quiescent.count()));
+  report.metric("queries_storm", static_cast<double>(storm.count()));
+  report.metric("all_converged",
+                warm_converged && converged ? 1.0 : 0.0);
+  report.metric("full_segments_sent",
+                static_cast<double>(c.ingest()->full_segments_sent()));
+  report.metric("sync_chunks_sent",
+                static_cast<double>(c.ingest()->sync_chunks_sent()));
+  report.metric("retransmits",
+                static_cast<double>(c.ingest()->retransmits()));
+  report.metric("pending_hwm_max", static_cast<double>(hwm));
+  report.metric("link_shaped_msgs", static_cast<double>(fc.shaped));
+
+  shape("every replica converges after the storm",
+        warm_converged && converged);
+  shape("resyncs took the chunked full-segment path",
+        c.ingest()->full_segments_sent() > 0 &&
+            c.ingest()->sync_chunks_sent() >
+                c.ingest()->full_segments_sent());
+  shape("storm p99 within 50% of quiescent p99 (ratio " +
+            std::to_string(ratio) + ")",
+        ratio <= 1.5);
+  shape("out-of-order buffers stayed within pending_cap",
+        hwm <= cfg.ingest.pending_cap);
+
+  if (!report.write()) return 1;
+  return 0;
+}

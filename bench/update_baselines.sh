@@ -25,6 +25,7 @@ declare -A RUNS=(
   [fig5_5_threads]="$BUILD_DIR/bench/bench_fig5_5_threads --seed 7"
   [fig7_4_updates]="$BUILD_DIR/bench/bench_fig7_4_updates --seed 9"
   [fig7_5_dynamic_p]="$BUILD_DIR/bench/bench_fig7_5_dynamic_p --seed 9"
+  [sync_storm]="$BUILD_DIR/bench/bench_sync_storm --seed 17"
 )
 
 mkdir -p "$BASELINES"

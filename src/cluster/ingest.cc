@@ -53,6 +53,10 @@ IngestRouter::IngestRouter(net::Transport& net, IngestConfig cfg,
   if (cfg_.shards == 0) cfg_.shards = 1;
 }
 
+IngestRouter::~IngestRouter() {
+  if (retransmit_armed_) net_.clock().cancel(retransmit_timer_);
+}
+
 void IngestRouter::start() {
   net_.bind(kUpdateServerAddr,
             [this](net::Address from, net::Payload payload) {
@@ -126,10 +130,114 @@ void IngestRouter::commit(UpdateMsg op) {
 
   apply_to_reference(op);
 
-  for (NodeId id : replicas_of(shard)) {
-    net_.send(kUpdateServerAddr, node_address(id), op.encode());
-    ++updates_sent_;
+  uint64_t lsn = op.lsn;
+  for (NodeId id : replicas_of(shard)) offer(id, shard, lsn);
+}
+
+// --------------------------------------------------------- flow control
+
+IngestRouter::Peer& IngestRouter::peer(NodeId id) {
+  auto [it, fresh] = peers_.try_emplace(id);
+  if (fresh) it->second.cwnd = std::max(1.0, cfg_.window_initial);
+  return it->second;
+}
+
+IngestRouter::FlowStats IngestRouter::flow(NodeId node) const {
+  auto it = peers_.find(node);
+  if (it == peers_.end()) {
+    return {std::max(1.0, cfg_.window_initial), 0, 0};
   }
+  return {it->second.cwnd, it->second.outstanding.size(),
+          it->second.queue.size()};
+}
+
+void IngestRouter::offer(NodeId to, uint32_t shard, uint64_t lsn) {
+  Peer& p = peer(to);
+  if (p.outstanding.size() < static_cast<size_t>(p.cwnd)) {
+    if (send_logged(to, shard, lsn)) {
+      OutOp out;
+      out.sent_at = net_.clock().now();
+      out.rto_s = cfg_.rto_initial_s;
+      p.outstanding[{shard, lsn}] = out;
+      arm_retransmit();
+    } else {
+      ++flow_abandoned_;  // trimmed already; anti-entropy's problem
+    }
+  } else {
+    p.queue.emplace_back(shard, lsn);
+  }
+}
+
+bool IngestRouter::send_logged(NodeId to, uint32_t shard, uint64_t lsn) {
+  const Shard& sh = shards_[shard];
+  if (lsn < sh.log_head || lsn >= sh.log_head + sh.log.size()) return false;
+  const UpdateMsg& op = sh.log[lsn - sh.log_head];
+  net_.send(kUpdateServerAddr, node_address(to), op.encode());
+  ++updates_sent_;
+  return true;
+}
+
+void IngestRouter::pump(NodeId id, Peer& p) {
+  while (!p.queue.empty() &&
+         p.outstanding.size() < static_cast<size_t>(p.cwnd)) {
+    auto [shard, lsn] = p.queue.front();
+    p.queue.pop_front();
+    if (lsn <= acked_lsn(shard, id)) continue;  // acked while queued
+    if (send_logged(id, shard, lsn)) {
+      OutOp out;
+      out.sent_at = net_.clock().now();
+      out.rto_s = cfg_.rto_initial_s;
+      p.outstanding[{shard, lsn}] = out;
+    } else {
+      ++flow_abandoned_;
+    }
+  }
+  if (!p.outstanding.empty()) arm_retransmit();
+}
+
+void IngestRouter::arm_retransmit() {
+  if (retransmit_armed_) return;
+  retransmit_armed_ = true;
+  retransmit_timer_ = net_.clock().schedule_after(
+      cfg_.retransmit_tick_s, [this] { retransmit_scan(); });
+}
+
+void IngestRouter::retransmit_scan() {
+  retransmit_armed_ = false;
+  double now = net_.clock().now();
+  bool any_outstanding = false;
+  for (auto& [id, p] : peers_) {
+    bool lost = false;
+    for (auto it = p.outstanding.begin(); it != p.outstanding.end();) {
+      OutOp& out = it->second;
+      if (now - out.sent_at < out.rto_s) {
+        ++it;
+        continue;
+      }
+      lost = true;
+      auto [shard, lsn] = it->first;
+      if (out.retries >= cfg_.retransmit_max ||
+          !send_logged(id, shard, lsn)) {
+        ++flow_abandoned_;  // retry budget spent or log trimmed
+        it = p.outstanding.erase(it);
+        continue;
+      }
+      ++retransmits_;
+      ++out.retries;
+      out.sent_at = now;
+      out.rto_s = std::min(cfg_.rto_max_s, out.rto_s * cfg_.rto_backoff);
+      ++it;
+    }
+    if (lost) {
+      // One multiplicative decrease per peer per scan, however many ops
+      // timed out together — a loss EVENT, not a per-packet penalty.
+      ++loss_events_;
+      p.cwnd = std::max(1.0, p.cwnd * cfg_.window_beta);
+    }
+    pump(id, p);
+    any_outstanding = any_outstanding || !p.outstanding.empty();
+  }
+  if (any_outstanding) arm_retransmit();
 }
 
 void IngestRouter::apply_to_reference(const UpdateMsg& op) {
@@ -190,6 +298,26 @@ void IngestRouter::on_ack(const UpdateAckMsg& m) {
   if (m.shard >= cfg_.shards) return;
   uint64_t& slot = acked_[{m.shard, m.node}];
   slot = std::max(slot, m.applied_lsn);
+
+  // Credit return: the watermark clears every outstanding op it covers in
+  // one sweep ((shard, lsn) keys are ordered, so the covered range is a
+  // contiguous prefix of the shard's entries).
+  Peer& p = peer(m.node);
+  size_t cleared = 0;
+  auto it = p.outstanding.lower_bound({m.shard, 0});
+  while (it != p.outstanding.end() && it->first.first == m.shard &&
+         it->first.second <= m.applied_lsn) {
+    it = p.outstanding.erase(it);
+    ++cleared;
+  }
+  if (cleared > 0) {
+    // Additive increase, ack-paced: +window_additive per full window's
+    // worth of clean credit returns.
+    p.cwnd = std::min(cfg_.window_max,
+                      p.cwnd + cfg_.window_additive * cleared /
+                                   std::max(1.0, p.cwnd));
+  }
+  pump(m.node, p);
 }
 
 void IngestRouter::on_sync_req(const SyncReqMsg& m) {
@@ -200,30 +328,66 @@ void IngestRouter::on_sync_req(const SyncReqMsg& m) {
   if (m.have_lsn >= issued) return;  // nothing new; silence is fine, the
                                      // requester asks again next interval
 
+  // Chunk budget: at most sync_chunk_ops ops, stop growing past
+  // sync_chunk_bytes of encoded payload; always at least one op so every
+  // reply makes progress. The receiver credit-clocks the stream — each
+  // applied chunk triggers the request for the next.
+  size_t budget_ops = std::max<size_t>(1, cfg_.sync_chunk_ops);
+  auto budget_full = [&](const SyncDataMsg& r, size_t bytes) {
+    return r.ops.size() >= budget_ops ||
+           (!r.ops.empty() && bytes >= cfg_.sync_chunk_bytes);
+  };
+
   SyncDataMsg reply;
   reply.shard = m.shard;
   reply.issued_lsn = issued;
+  size_t bytes = 0;
   if (m.have_lsn + 1 >= sh.log_head) {
-    // Close enough: the contiguous log suffix after the requester's LSN.
+    // Close enough: a contiguous log-suffix chunk after the requester's
+    // LSN. The receiver re-requests while its applied LSN trails
+    // issued_lsn, so the stream continues without a full round of the
+    // sync interval per chunk.
     for (const auto& op : sh.log) {
-      if (op.lsn > m.have_lsn) reply.ops.push_back(op);
+      if (op.lsn <= m.have_lsn) continue;
+      if (budget_full(reply, bytes)) break;
+      reply.ops.push_back(op);
+      bytes += op.encode().size();
     }
   } else {
     // Too far behind (log trimmed): authoritative live state for the
     // shard — adds of every live ingested doc plus deletes of every
-    // removed boot-corpus doc. The receiver reconciles its local shard
-    // state against it (see IngestLog::apply_full_segment).
+    // removed boot-corpus doc, streamed in deterministic order (adds by
+    // doc id, then base deletes by doc id) as credit-clocked chunks. The
+    // generation stamp is issued_lsn: any commit changes it, which
+    // restarts a stale stream from offset 0. The receiver reconciles
+    // only once all total_ops chunks arrive (IngestLog::on_sync_data).
     reply.full_segment = 1;
-    for (const auto& [raw, op] : sh.live_adds) reply.ops.push_back(op);
+    reply.total_ops = sh.live_adds.size() + sh.deleted_base.size();
+    uint64_t start =
+        m.segment_lsn == issued
+            ? std::min<uint64_t>(m.chunk_offset, reply.total_ops)
+            : 0;
+    reply.chunk_offset = start;
+    if (start == 0) ++full_segments_sent_;
+    uint64_t pos = 0;
+    for (const auto& [raw, op] : sh.live_adds) {
+      if (pos++ < start) continue;
+      if (budget_full(reply, bytes)) break;
+      reply.ops.push_back(op);
+      bytes += op.encode().size();
+    }
     for (uint64_t raw : sh.deleted_base) {
+      if (pos++ < start) continue;
+      if (budget_full(reply, bytes)) break;
       UpdateMsg del;
       del.shard = m.shard;
       del.op = UpdateMsg::kDelete;
       del.doc_id = RingId(raw);
       reply.ops.push_back(del);
+      bytes += del.encode().size();
     }
-    ++full_segments_sent_;
   }
+  ++sync_chunks_sent_;
   net_.send(kUpdateServerAddr, node_address(m.node), reply.encode());
 }
 
@@ -254,7 +418,7 @@ void IngestLog::on_kill() {
   net_.clock().cancel(timer_id_);
 }
 
-void IngestLog::apply(const UpdateMsg& m) {
+void IngestLog::apply(const UpdateMsg& m, bool charge) {
   if (m.op == UpdateMsg::kAdd) {
     pps::FileInfo doc;
     doc.path = m.path;
@@ -268,7 +432,7 @@ void IngestLog::apply(const UpdateMsg& m) {
   // Both branches: a delete-only stream grows the tombstone list (and
   // the per-op copy-on-write cost) just like adds grow the delta.
   store_.maybe_compact(cfg_.compact_overlay);
-  if (hooks_.charge) hooks_.charge();
+  if (charge && hooks_.charge) hooks_.charge();
   ++ops_applied_;
 }
 
@@ -288,12 +452,37 @@ void IngestLog::on_update(const UpdateMsg& m) {
   // Gap: a predecessor was lost or is still in flight. Buffer, and ask
   // the router once per gap episode (the periodic sync covers the rest).
   bool first_gap = st.pending.empty();
-  st.pending[m.lsn] = m;
-  ++gaps_buffered_;
+  buffer_pending(st, m, true);
   if (first_gap) request_sync(m.shard);
 }
 
-void IngestLog::apply_full_segment(const SyncDataMsg& m) {
+void IngestLog::buffer_pending(ShardState& st, const UpdateMsg& m,
+                               bool count_gap) {
+  if (st.pending.count(m.lsn)) {
+    ++duplicates_dropped_;
+    return;
+  }
+  st.pending[m.lsn] = m;
+  if (count_gap) ++gaps_buffered_;
+  size_t cap = std::max<size_t>(1, cfg_.pending_cap);
+  if (st.pending.size() > cap) {
+    // At the cap, drop the LARGEST buffered LSN (possibly the one just
+    // inserted): it is the farthest from becoming contiguous, and resync
+    // re-fetches it anyway. The buffer never exceeds pending_cap — the
+    // bounded-memory invariant ingest_safety_report enforces.
+    st.pending.erase(std::prev(st.pending.end()));
+    ++pending_evictions_;
+  }
+  pending_hwm_ = std::max(pending_hwm_, st.pending.size());
+}
+
+size_t IngestLog::pending_size(uint32_t shard) const {
+  auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.pending.size();
+}
+
+void IngestLog::apply_full_segment(uint32_t shard,
+                                   std::span<const UpdateMsg> ops) {
   // Authoritative restart for the shard. The local shard state cannot be
   // rebuilt by "clear overlay + replay": compaction may have folded
   // ingested docs into the replica's base segment, where no overlay
@@ -301,9 +490,9 @@ void IngestLog::apply_full_segment(const SyncDataMsg& m) {
   // authoritative live set is (boot corpus ∩ shard − segment deletes) ∪
   // segment adds, and the boot corpus is always available as the
   // engine's immutable base store.
-  Arc arc = shard_arc(m.shard, cfg_.shards);
+  Arc arc = shard_arc(shard, cfg_.shards);
   std::set<uint64_t> segment_adds;
-  for (const auto& op : m.ops) {
+  for (const auto& op : ops) {
     if (op.op == UpdateMsg::kAdd) segment_adds.insert(op.doc_id.raw());
   }
 
@@ -339,7 +528,7 @@ void IngestLog::apply_full_segment(const SyncDataMsg& m) {
     RingId id(raw);
     if (!segment_adds.count(raw) && !in_boot(id)) {
       UpdateMsg del;
-      del.shard = m.shard;
+      del.shard = shard;
       del.op = UpdateMsg::kDelete;
       del.doc_id = id;
       apply(del);
@@ -348,12 +537,12 @@ void IngestLog::apply_full_segment(const SyncDataMsg& m) {
 
   // 2) Apply the segment: deletes idempotently, adds only where absent
   // (a compacted-in doc is already present in the base — re-adding it
-  // would double-count it).
-  for (const auto& op : m.ops) {
+  // would double-count it). Charges were prepaid at chunk receipt.
+  for (const auto& op : ops) {
     if (op.op == UpdateMsg::kDelete) {
-      if (present(op.doc_id)) apply(op);
+      if (present(op.doc_id)) apply(op, /*charge=*/false);
     } else if (!present(op.doc_id)) {
-      apply(op);
+      apply(op, /*charge=*/false);
     }
   }
   ++full_segments_applied_;
@@ -369,12 +558,66 @@ void IngestLog::on_sync_data(const SyncDataMsg& m) {
     // notice the divergence. Drop it; a fresher reply is on its way.
     if (m.issued_lsn < st.applied) {
       ++stale_syncs_dropped_;
+      if (st.full_active && st.full_gen <= st.applied) {
+        // The stream we were accumulating is itself stale — abandon it
+        // rather than re-requesting chunks of a dead generation.
+        st.full_active = false;
+        st.full_buf.clear();
+        kick_full_wait();
+      }
       return;
     }
-    apply_full_segment(m);
+    // Chunked accumulation, pinned to the generation stamp (issued_lsn):
+    // chunks append strictly in order; anything else — a duplicate, a
+    // reorder, a chunk of a superseded generation — is dropped, and the
+    // resume fields in the next SYNC_REQ re-fetch from the right offset.
+    if (!st.full_active || st.full_gen != m.issued_lsn) {
+      if (m.chunk_offset != 0) {
+        ++sync_chunks_dropped_;  // mid-stream chunk of a stream we are
+        return;                  // not accumulating
+      }
+      if (full_stream_busy(m.shard)) {
+        // Per-replica credit: one full-segment stream at a time, so the
+        // pacing delay bounds the NODE's resync duty cycle no matter how
+        // many shards need catching up. Defer this shard; it restarts
+        // when the active stream finishes (or at the next sync tick).
+        ++sync_chunks_dropped_;
+        full_wait_.insert(m.shard);
+        return;
+      }
+      full_wait_.erase(m.shard);
+      st.full_active = true;
+      st.full_gen = m.issued_lsn;
+      st.full_total = m.total_ops;
+      st.full_buf.clear();
+    } else if (m.chunk_offset != st.full_buf.size() ||
+               m.total_ops != st.full_total) {
+      ++sync_chunks_dropped_;
+      return;
+    }
+    st.full_buf.insert(st.full_buf.end(), m.ops.begin(), m.ops.end());
+    ++full_chunks_received_;
+    // Pay the per-op capacity charge NOW, as the chunk is decoded and
+    // staged — the whole point of chunking is that the §7.3.4 apply cost
+    // lands spread across the paced transfer instead of bursting onto
+    // the query pipeline when the segment completes.
+    if (hooks_.charge) {
+      for (size_t i = 0; i < m.ops.size(); ++i) hooks_.charge();
+    }
+    if (st.full_buf.size() < st.full_total) {
+      // Credit return: pull the next chunk after the pacing delay instead
+      // of waiting a full sync interval per chunk.
+      schedule_chunk_request(m.shard);
+      return;
+    }
+    std::vector<UpdateMsg> ops = std::move(st.full_buf);
+    st.full_active = false;
+    st.full_buf.clear();
+    apply_full_segment(m.shard, ops);
     // Op LSNs in a full segment are not sequenced — the watermark jumps
-    // straight to issued_lsn.
-    st.applied = std::max(st.applied, m.issued_lsn);
+    // straight to the segment's generation.
+    st.applied = std::max(st.applied, st.full_gen);
+    kick_full_wait();
   } else {
     for (const auto& op : m.ops) {
       if (op.lsn <= st.applied) {
@@ -383,11 +626,47 @@ void IngestLog::on_sync_data(const SyncDataMsg& m) {
         apply(op);
         st.applied = op.lsn;
       } else {
-        st.pending[op.lsn] = op;
+        buffer_pending(st, op, false);
       }
     }
   }
   drain_and_ack(m.shard);
+  // Credit return for an incremental stream: still behind the router with
+  // nothing buffered to bridge the gap — pull the next chunk after the
+  // pacing delay instead of waiting out the sync interval.
+  if (!m.full_segment && st.pending.empty() && st.applied < m.issued_lsn) {
+    schedule_chunk_request(m.shard);
+  }
+}
+
+bool IngestLog::full_stream_busy(uint32_t shard) const {
+  for (const auto& [s, st] : shards_) {
+    if (s != shard && st.full_active) return true;
+  }
+  return false;
+}
+
+void IngestLog::kick_full_wait() {
+  if (full_wait_.empty()) return;
+  uint32_t next = *full_wait_.begin();
+  full_wait_.erase(full_wait_.begin());
+  // A plain SYNC_REQ after the pacing delay: if the shard caught up via
+  // incremental ops in the meantime the router simply has nothing for it.
+  schedule_chunk_request(next);
+}
+
+void IngestLog::schedule_chunk_request(uint32_t shard) {
+  if (cfg_.sync_credit_delay_s <= 0) {
+    request_sync(shard);
+    return;
+  }
+  net_.clock().schedule_after(cfg_.sync_credit_delay_s, [this, shard] {
+    if (!running_) return;
+    if (hooks_.alive && !hooks_.alive()) return;
+    // A stale extra request is harmless: the router answers only when the
+    // requester is behind, and mis-offset chunks are dropped on arrival.
+    request_sync(shard);
+  });
 }
 
 void IngestLog::drain_and_ack(uint32_t shard) {
@@ -406,6 +685,13 @@ void IngestLog::drain_and_ack(uint32_t shard) {
       break;
     }
   }
+  if (st.full_active && st.full_gen <= st.applied) {
+    // Updates overtook the full-segment stream's generation: reconciling
+    // it now would be a no-op at best. Drop the accumulation.
+    st.full_active = false;
+    st.full_buf.clear();
+    kick_full_wait();
+  }
   UpdateAckMsg ack;
   ack.node = node_;
   ack.shard = shard;
@@ -418,6 +704,14 @@ void IngestLog::request_sync(uint32_t shard) {
   req.node = node_;
   req.shard = shard;
   req.have_lsn = applied_lsn(shard);
+  auto it = shards_.find(shard);
+  if (it != shards_.end() && it->second.full_active) {
+    // Resume the in-progress full-segment stream: the router serves from
+    // chunk_offset iff segment_lsn still matches its issued LSN,
+    // otherwise it restarts the stream at offset 0.
+    req.segment_lsn = it->second.full_gen;
+    req.chunk_offset = it->second.full_buf.size();
+  }
   net_.send(node_address(node_), kUpdateServerAddr, req.encode());
   ++syncs_requested_;
 }
@@ -469,6 +763,33 @@ std::vector<std::string> ingest_safety_report(
                       std::to_string(s) + " acked " + std::to_string(acked) +
                       " beyond its applied LSN " + std::to_string(applied));
       }
+    }
+  }
+  // Flow-control bounds, checkable at ANY instant: the AIMD window stays
+  // in [1, window_max], in-flight never exceeds the window ceiling, and
+  // the out-of-order buffer never exceeds its cap (the bounded-memory
+  // guarantee the pending_cap bugfix exists for).
+  const IngestConfig& cfg = router.config();
+  for (const auto& rep : replicas) {
+    if (!rep.log) continue;
+    auto f = router.flow(rep.node);
+    if (f.cwnd < 1.0 || f.cwnd > cfg.window_max + 1e-9) {
+      out.push_back("node " + std::to_string(rep.node) + " cwnd " +
+                    std::to_string(f.cwnd) + " outside [1, " +
+                    std::to_string(cfg.window_max) + "]");
+    }
+    size_t ceiling = static_cast<size_t>(cfg.window_max) + 1;
+    if (f.in_flight > ceiling) {
+      out.push_back("node " + std::to_string(rep.node) + " in-flight " +
+                    std::to_string(f.in_flight) + " exceeds window ceiling " +
+                    std::to_string(ceiling));
+    }
+    size_t cap = std::max<size_t>(1, cfg.pending_cap);
+    if (rep.log->pending_hwm() > cap) {
+      out.push_back("node " + std::to_string(rep.node) +
+                    " pending high-water mark " +
+                    std::to_string(rep.log->pending_hwm()) +
+                    " exceeds pending_cap " + std::to_string(cap));
     }
   }
   return out;

@@ -75,6 +75,42 @@ struct IngestConfig {
   // VersionedStore overlay entries before the node folds delta +
   // tombstones into a fresh base segment.
   size_t compact_overlay = 512;
+
+  // --- flow control (windowed, credit-based write path) -------------------
+  // Replication window: outstanding unacked UPDATEs per destination node
+  // are capped by an AIMD congestion window in [1, window_max]. Additive
+  // increase per clean credit return (≈ +window_additive per window's
+  // worth of acks), multiplicative decrease by window_beta on a
+  // retransmit timeout. Ops beyond the window queue at the router and
+  // drain as UPDATE_ACK watermarks return credit.
+  double window_initial = 4.0;
+  double window_max = 64.0;
+  double window_additive = 1.0;
+  double window_beta = 0.5;
+  // Per-op retransmit: an unacked UPDATE is resent after its RTO
+  // (doubling from rto_initial_s up to rto_max_s) at most retransmit_max
+  // times, then abandoned to anti-entropy. The scan timer runs every
+  // retransmit_tick_s while anything is outstanding.
+  double rto_initial_s = 0.05;
+  double rto_backoff = 2.0;
+  double rto_max_s = 1.0;
+  uint32_t retransmit_max = 6;
+  double retransmit_tick_s = 0.025;
+  // Sync chunk budget: one SYNC_DATA reply carries at most sync_chunk_ops
+  // ops and stops growing once sync_chunk_bytes of encoded op payload is
+  // reached (at least one op always ships). Keeps every frame far below
+  // net::kMaxFrameBytes and lets the receiver credit-clock the stream.
+  size_t sync_chunk_ops = 64;
+  size_t sync_chunk_bytes = 256 * 1024;
+  // Credit pacing: after applying one sync chunk the replica waits this
+  // long before requesting the next, bounding the rate at which a
+  // background resync steals matching capacity (§7.3.4) from queries.
+  // 0 = pull the next chunk immediately.
+  double sync_credit_delay_s = 0.02;
+  // Out-of-order buffer cap per (shard, replica): at the cap the largest
+  // buffered LSN is evicted (counted in pending_evictions) and the gap
+  // healed by resync instead of unbounded buffering.
+  size_t pending_cap = 128;
 };
 
 // Shard geometry. shard_of(id) is the s with shard_arc(s).contains(id);
@@ -105,6 +141,7 @@ class IngestRouter {
   IngestRouter(net::Transport& net, IngestConfig cfg, uint64_t seed,
                std::shared_ptr<const MatchEngine> engine, RingProvider ring,
                PProvider safe_p);
+  ~IngestRouter();
 
   // Binds kUpdateServerAddr (acks and sync requests arrive there).
   void start();
@@ -133,11 +170,26 @@ class IngestRouter {
   // Ids of currently live (added and not deleted) ingested documents.
   std::vector<RingId> live_docs() const;
 
+  // --- flow-control observability ----------------------------------------
+  // Congestion state of the replication stream to one destination node.
+  struct FlowStats {
+    double cwnd = 0.0;     // AIMD window, in [1, window_max]
+    size_t in_flight = 0;  // sent, unacked, not yet abandoned
+    size_t queued = 0;     // committed ops waiting for window credit
+  };
+  FlowStats flow(NodeId node) const;
+
   // --- counters ----------------------------------------------------------
   uint64_t ops_accepted() const { return ops_accepted_; }
   uint64_t updates_sent() const { return updates_sent_; }
   uint64_t syncs_served() const { return syncs_served_; }
   uint64_t full_segments_sent() const { return full_segments_sent_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t loss_events() const { return loss_events_; }
+  // Ops the flow layer gave up on (retry budget spent or log trimmed);
+  // anti-entropy heals them.
+  uint64_t flow_abandoned() const { return flow_abandoned_; }
+  uint64_t sync_chunks_sent() const { return sync_chunks_sent_; }
 
  private:
   struct Shard {
@@ -150,6 +202,20 @@ class IngestRouter {
     std::set<uint64_t> deleted_base;
   };
 
+  // One in-flight UPDATE to one destination.
+  struct OutOp {
+    double sent_at = 0.0;
+    double rto_s = 0.0;
+    uint32_t retries = 0;
+  };
+  // Per-destination congestion state. `outstanding` is keyed (shard, lsn)
+  // so an UPDATE_ACK's watermark clears every covered entry in one sweep.
+  struct Peer {
+    double cwnd = 1.0;
+    std::map<std::pair<uint32_t, uint64_t>, OutOp> outstanding;
+    std::deque<std::pair<uint32_t, uint64_t>> queue;
+  };
+
   void handle(net::Address from, net::ByteView payload);
   void on_ack(const UpdateAckMsg& m);
   void on_sync_req(const SyncReqMsg& m);
@@ -158,6 +224,16 @@ class IngestRouter {
   void commit(UpdateMsg op);
   void apply_to_reference(const UpdateMsg& op);
   std::vector<NodeId> replicas_of(uint32_t shard) const;
+  // --- flow control -------------------------------------------------------
+  Peer& peer(NodeId id);
+  // Window-gated replication of one committed op to one destination.
+  void offer(NodeId to, uint32_t shard, uint64_t lsn);
+  // Sends from the retained log; false when the LSN was trimmed away.
+  bool send_logged(NodeId to, uint32_t shard, uint64_t lsn);
+  // Drains the peer's queue into the (possibly re-grown) window.
+  void pump(NodeId id, Peer& p);
+  void arm_retransmit();
+  void retransmit_scan();
 
   net::Transport& net_;
   IngestConfig cfg_;
@@ -168,10 +244,17 @@ class IngestRouter {
   std::vector<Shard> shards_;
   pps::VersionedStore ref_;
   std::map<std::pair<uint32_t, NodeId>, uint64_t> acked_;
+  std::map<NodeId, Peer> peers_;
+  uint64_t retransmit_timer_ = 0;
+  bool retransmit_armed_ = false;
   uint64_t ops_accepted_ = 0;
   uint64_t updates_sent_ = 0;
   uint64_t syncs_served_ = 0;
   uint64_t full_segments_sent_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t loss_events_ = 0;
+  uint64_t flow_abandoned_ = 0;
+  uint64_t sync_chunks_sent_ = 0;
 };
 
 // ----------------------------------------------------------------- replica
@@ -220,21 +303,52 @@ class IngestLog {
   uint64_t syncs_requested() const { return syncs_requested_; }
   uint64_t full_segments_applied() const { return full_segments_applied_; }
   uint64_t stale_syncs_dropped() const { return stale_syncs_dropped_; }
+  // Out-of-order buffer accounting: evictions past pending_cap, and the
+  // buffer-size high-water mark (always <= pending_cap — the bounded-
+  // buffer invariant the chaos soak asserts).
+  uint64_t pending_evictions() const { return pending_evictions_; }
+  size_t pending_hwm() const { return pending_hwm_; }
+  size_t pending_size(uint32_t shard) const;
+  // Chunked full-segment transfer accounting.
+  uint64_t full_chunks_received() const { return full_chunks_received_; }
+  uint64_t sync_chunks_dropped() const { return sync_chunks_dropped_; }
 
  private:
   struct ShardState {
     uint64_t applied = 0;
-    std::map<uint64_t, UpdateMsg> pending;  // out-of-order buffer
+    std::map<uint64_t, UpdateMsg> pending;  // out-of-order buffer (capped)
+    // Chunked full-segment accumulation. A stream is pinned to the
+    // generation (`full_gen` = the segment's issued LSN); chunks append
+    // in order and the segment reconciles only once complete.
+    bool full_active = false;
+    uint64_t full_gen = 0;
+    uint64_t full_total = 0;
+    std::vector<UpdateMsg> full_buf;
   };
 
-  void apply(const UpdateMsg& m);
+  // `charge` = false applies an op whose capacity cost was already paid
+  // at chunk receipt (full-segment streams charge per chunk so the cost
+  // is spread across the paced transfer, not burst at reconcile time).
+  void apply(const UpdateMsg& m, bool charge = true);
   // Reconciles local shard state with an authoritative full segment
   // (compaction-safe: works even when ingested docs were folded into the
   // replica's base segment).
-  void apply_full_segment(const SyncDataMsg& m);
+  void apply_full_segment(uint32_t shard, std::span<const UpdateMsg> ops);
+  // Capped out-of-order insert; evicts the largest LSN past pending_cap.
+  void buffer_pending(ShardState& st, const UpdateMsg& m, bool count_gap);
   // Applies buffered ops that became contiguous; acks the new watermark.
   void drain_and_ack(uint32_t shard);
+  // Carries the chunk-resume fields when a full-segment stream is active.
   void request_sync(uint32_t shard);
+  // Credit return for a chunked stream: re-requests after
+  // sync_credit_delay_s (immediately when the delay is 0).
+  void schedule_chunk_request(uint32_t shard);
+  // True when a full-segment stream other than `shard`'s is mid-flight.
+  // Full transfers are serialized PER REPLICA: the pacing budget bounds
+  // the node's total resync capacity, not one shard's share of it.
+  bool full_stream_busy(uint32_t shard) const;
+  // Starts the next queued full-segment catch-up, if any.
+  void kick_full_wait();
   void sync_tick();
 
   net::Transport& net_;
@@ -252,6 +366,13 @@ class IngestLog {
   uint64_t syncs_requested_ = 0;
   uint64_t full_segments_applied_ = 0;
   uint64_t stale_syncs_dropped_ = 0;
+  uint64_t pending_evictions_ = 0;
+  size_t pending_hwm_ = 0;
+  uint64_t full_chunks_received_ = 0;
+  uint64_t sync_chunks_dropped_ = 0;
+  // Shards whose full-segment catch-up is deferred behind the one
+  // active stream (per-replica serialization).
+  std::set<uint32_t> full_wait_;
 };
 
 // ------------------------------------------------------------- invariants

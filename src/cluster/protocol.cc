@@ -1,5 +1,8 @@
 #include "cluster/protocol.h"
 
+#include "common/logging.h"
+#include "net/framing.h"
+
 namespace roar::cluster {
 namespace {
 
@@ -277,6 +280,8 @@ net::Bytes SyncReqMsg::encode() const {
   w.u32(node);
   w.u32(shard);
   w.u64(have_lsn);
+  w.u64(segment_lsn);
+  w.u64(chunk_offset);
   return w.take();
 }
 
@@ -287,6 +292,8 @@ std::optional<SyncReqMsg> SyncReqMsg::decode(net::ByteView b) {
   m.node = r->u32();
   m.shard = r->u32();
   m.have_lsn = r->u64();
+  m.segment_lsn = r->u64();
+  m.chunk_offset = r->u64();
   if (!r->ok()) return std::nullopt;
   return m;
 }
@@ -296,9 +303,21 @@ net::Bytes SyncDataMsg::encode() const {
   w.u32(shard);
   w.u8(full_segment);
   w.u64(issued_lsn);
+  w.u64(chunk_offset);
+  w.u64(total_ops);
   w.u32(static_cast<uint32_t>(ops.size()));
   for (const auto& op : ops) w.bytes(op.encode());
-  return w.take();
+  net::Bytes out = w.take();
+  // Size guard: the sender's chunk budget (IngestConfig::sync_chunk_bytes)
+  // must keep every SYNC_DATA frame far below the transport frame cap —
+  // a frame at the cap would wedge the peer's decoder. Trip loudly here
+  // rather than ship an undecodable frame.
+  if (out.size() > net::kMaxFrameBytes) {
+    ROAR_LOG(kError) << "SyncDataMsg encodes to " << out.size()
+                     << " bytes, above the " << net::kMaxFrameBytes
+                     << "-byte frame cap; chunking is broken";
+  }
+  return out;
 }
 
 std::optional<SyncDataMsg> SyncDataMsg::decode(net::ByteView b) {
@@ -308,6 +327,8 @@ std::optional<SyncDataMsg> SyncDataMsg::decode(net::ByteView b) {
   m.shard = r->u32();
   m.full_segment = r->u8();
   m.issued_lsn = r->u64();
+  m.chunk_offset = r->u64();
+  m.total_ops = r->u64();
   uint32_t n = r->u32();
   if (!r->ok() || static_cast<uint64_t>(n) * 4 > r->remaining()) {
     return std::nullopt;
@@ -321,6 +342,16 @@ std::optional<SyncDataMsg> SyncDataMsg::decode(net::ByteView b) {
     m.ops.push_back(std::move(*op));
   }
   if (!r->ok() || m.full_segment > 1) return std::nullopt;
+  // Chunk-geometry guards: a full-segment chunk must fit inside its
+  // declared segment; incremental chunks carry no chunk geometry.
+  if (m.full_segment) {
+    if (m.chunk_offset > m.total_ops ||
+        m.ops.size() > m.total_ops - m.chunk_offset) {
+      return std::nullopt;
+    }
+  } else if (m.chunk_offset != 0 || m.total_ops != 0) {
+    return std::nullopt;
+  }
   return m;
 }
 

@@ -176,28 +176,43 @@ struct UpdateAckMsg {
 };
 
 // Replica -> router: anti-entropy. "Send me everything for `shard` after
-// `have_lsn`." Sent periodically and whenever a gap is detected.
+// `have_lsn`." Sent periodically and whenever a gap is detected. A reply
+// never exceeds one chunk (IngestConfig::sync_chunk_{ops,bytes}); the
+// requester clocks the rest of the stream itself: each applied chunk is
+// the credit that releases the next request. Mid full-segment transfer
+// the request pins the segment generation it is accumulating
+// (`segment_lsn` = the generation's issued LSN, `chunk_offset` = the next
+// op index it needs); both stay 0 on a fresh request.
 struct SyncReqMsg {
   NodeId node = 0;
   uint32_t shard = 0;
   uint64_t have_lsn = 0;
+  uint64_t segment_lsn = 0;   // full-segment generation being resumed
+  uint64_t chunk_offset = 0;  // next op index of that segment
 
   net::Bytes encode() const;
   static std::optional<SyncReqMsg> decode(net::ByteView b);
 };
 
-// Router -> replica: catch-up payload. Incremental (`full_segment` == 0:
-// ops are the contiguous log suffix after the requested LSN) or a full
+// Router -> replica: one catch-up chunk, never larger than the chunk
+// budget (IngestConfig::sync_chunk_{ops,bytes}). Incremental
+// (`full_segment` == 0: ops are a contiguous log suffix after the
+// requested LSN) or one slice of a full
 // segment (`full_segment` == 1: `ops` describe the shard's authoritative
 // live state and the receiver reconciles its local state against them —
 // sent when the requested LSN predates the router's retained log).
-// `issued_lsn` is the router's
-// latest LSN for the shard; after applying, the replica's watermark is
-// exactly that.
+// `issued_lsn` is the router's latest LSN for the shard and doubles as
+// the full segment's generation stamp: the receiver accumulates chunks
+// only while it matches, and reconciles (jumping its watermark to
+// `issued_lsn`) once all `total_ops` arrived. Incremental chunks leave
+// chunk_offset/total_ops zero; the receiver re-requests while its
+// applied LSN still trails `issued_lsn`.
 struct SyncDataMsg {
   uint32_t shard = 0;
   uint8_t full_segment = 0;
   uint64_t issued_lsn = 0;
+  uint64_t chunk_offset = 0;  // full segments: first op slot of this chunk
+  uint64_t total_ops = 0;     // full segments: segment size in ops
   std::vector<UpdateMsg> ops;
 
   net::Bytes encode() const;

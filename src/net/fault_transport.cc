@@ -76,6 +76,37 @@ void FaultTransport::forward(Address from, Address to, Bytes payload,
     delay += spec.reorder_delay_s;
     ++counters_.reordered;
   }
+  if (spec.rate_Bps > 0) {
+    // Deterministic token bucket: no randomness, so delivery (and drop)
+    // times depend only on the send schedule and the link config.
+    Bucket& b = buckets_[link_key(from, to)];
+    double now = clock().now();
+    if (!b.primed) {
+      b.tokens = spec.burst_bytes;  // a fresh link starts with a full burst
+      b.primed = true;
+    } else {
+      b.tokens = std::min(spec.burst_bytes,
+                          b.tokens + (now - b.last) * spec.rate_Bps);
+    }
+    b.last = now;
+    double size = static_cast<double>(payload.size());
+    if (size > b.tokens + spec.queue_bytes) {
+      // Bucket empty and the shaper queue (negative-token region) cannot
+      // absorb it either: tail drop. Note a frame larger than
+      // burst + queue can NEVER pass — the policer argument for chunking.
+      ++counters_.messages_dropped;
+      ++counters_.policed_drops;
+      counters_.bytes_dropped += payload.size();
+      return;
+    }
+    b.tokens -= size;
+    if (b.tokens < 0) {
+      // Queued: delivered when its last byte's token accrues. Deficits
+      // grow monotonically between refills, so link order is preserved.
+      delay += -b.tokens / spec.rate_Bps;
+      ++counters_.shaped;
+    }
+  }
   if (delay <= 0) {
     inner_.send(from, to, std::move(payload));
     return;

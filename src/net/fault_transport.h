@@ -3,7 +3,9 @@
 // FaultTransport decorates a Transport and perturbs every send() with a
 // seeded per-link fault model: drop probability, extra latency (fixed +
 // uniform jitter), duplication, reordering (an extra delay applied to a
-// random subset, letting later messages overtake), and scheduled
+// random subset, letting later messages overtake), deterministic
+// token-bucket rate limiting (rate + burst + bounded shaper queue per
+// link), and scheduled
 // bidirectional partitions between address sets. All randomness comes
 // from one Rng and all delays run on the inner transport's Clock, so a
 // run over the virtual-time InProcNetwork is bit-for-bit reproducible
@@ -35,9 +37,22 @@ struct FaultSpec {
   double reorder = 0.0;         // probability of an extra reorder delay
   double reorder_delay_s = 0.0; // the overtaking window for reordered msgs
 
+  // Token-bucket rate limit (0 rate = unlimited). Each message consumes
+  // payload-size tokens; tokens accrue at rate_Bps up to burst_bytes.
+  // With queue_bytes == 0 the link is a policer: a message the bucket
+  // cannot cover is dropped. Otherwise it shapes: up to queue_bytes of
+  // deficit queues (delivered when its tokens accrue, preserving link
+  // order — the Spang et al. explicitly-sized buffer), and beyond that
+  // the tail drops. Fully deterministic: no randomness is consumed, so
+  // delivery times depend only on the send schedule and the link config,
+  // never on the fault seed.
+  double rate_Bps = 0.0;    // bytes per second of inner-clock time
+  double burst_bytes = 0.0; // bucket depth
+  double queue_bytes = 0.0; // shaper queue bound (0 = pure policer)
+
   bool trivial() const {
     return drop == 0.0 && duplicate == 0.0 && delay_s == 0.0 &&
-           jitter_s == 0.0 && reorder == 0.0;
+           jitter_s == 0.0 && reorder == 0.0 && rate_Bps == 0.0;
   }
 };
 
@@ -99,12 +114,14 @@ class FaultTransport : public Transport {
   //   inner.messages_sent() == messages_sent() - counters().messages_dropped
   //                            + counters().duplicates - in_flight()
   struct Counters {
-    uint64_t messages_dropped = 0;  // loss faults + partition cuts
+    uint64_t messages_dropped = 0;  // loss faults + partition cuts + policed
     uint64_t bytes_dropped = 0;
     uint64_t partition_drops = 0;   // subset of messages_dropped
+    uint64_t policed_drops = 0;     // subset: token bucket + queue overflow
     uint64_t duplicates = 0;
     uint64_t delayed = 0;
     uint64_t reordered = 0;
+    uint64_t shaped = 0;            // messages delayed by an empty bucket
   };
   const Counters& counters() const { return counters_; }
   // Messages accepted at this layer but still sitting in a delay timer.
@@ -123,10 +140,20 @@ class FaultTransport : public Transport {
     std::unordered_set<Address> b;
   };
 
+  // Token-bucket state, lazily created per rate-limited link. `tokens`
+  // may run negative: the magnitude is the shaper queue's byte depth
+  // (bytes accepted but still waiting for their tokens to accrue).
+  struct Bucket {
+    double tokens = 0.0;
+    double last = 0.0;
+    bool primed = false;  // tokens start at burst on first use
+  };
+
   Transport& inner_;
   Rng rng_;
   FaultSpec default_;
   std::unordered_map<uint64_t, FaultSpec> links_;
+  std::unordered_map<uint64_t, Bucket> buckets_;
   std::vector<Partition> partitions_;
   uint64_t next_partition_id_ = 1;
   Counters counters_;

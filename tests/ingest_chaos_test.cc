@@ -124,6 +124,61 @@ TEST(IngestChaosSoakTest, TwentySeedsConvergeWithInvariantsIntact) {
   }
 }
 
+// Flow-control soak: router<->replica links are token-bucket POLICED
+// (rate + burst + bounded queue) on top of loss/duplication/reordering.
+// The windowed write path plus chunked sync must still converge every
+// replica, and the out-of-order buffer must respect its cap — the
+// safety report audits the window/cap bounds after every event, and the
+// final state is checked replica-by-replica here.
+TEST(IngestChaosSoakTest, PolicedLinksConvergeWithBoundedPendingBuffer) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto cfg = ingest_chaos_config(seed, /*nodes=*/8, /*p=*/3);
+    cfg.ingest.pending_cap = 32;
+    // Keep every sync chunk far below the link's burst + queue, so the
+    // policer shapes the stream instead of starving it.
+    cfg.ingest.sync_chunk_ops = 16;
+    cfg.ingest.sync_chunk_bytes = 2048;
+    EmulatedCluster cluster(cfg);
+    net::FaultSpec policed;
+    policed.drop = 0.02;
+    policed.duplicate = 0.02;
+    policed.reorder = 0.05;
+    policed.reorder_delay_s = 0.1;
+    policed.rate_Bps = 15'000.0;
+    policed.burst_bytes = 2'000.0;
+    policed.queue_bytes = 16'000.0;
+    for (NodeId id = 0; id < 8; ++id) {
+      cluster.faults()->set_link_faults(kUpdateServerAddr,
+                                       node_address(id), policed);
+      cluster.faults()->set_link_faults(node_address(id),
+                                       kUpdateServerAddr, policed);
+    }
+    Scenario s(cluster, seed);
+    s.checker().set_object_samples(16);
+    s.ingest(0.5, 40.0, 200, 0.25);
+    s.burst(1.0, 10.0, 10);
+    s.crash(3.0, 2);
+    s.partition(5.0, 2.0, {4});
+    s.revive(8.0, 2);
+    s.burst(10.0, 10.0, 10);
+    ScenarioResult res = s.run(40.0);
+    for (const auto& v : res.violations) {
+      ADD_FAILURE() << "seed " << seed << " t=" << v.at << " after '"
+                    << v.context << "': " << v.detail;
+    }
+    EXPECT_TRUE(res.ingest_converged);
+    EXPECT_GE(res.ingest_ops, 200u);
+    const auto& fc = cluster.faults()->counters();
+    EXPECT_GT(fc.policed_drops + fc.shaped, 0u)
+        << "the rate limit must actually bite";
+    for (const auto& rep : cluster.ingest_replicas()) {
+      EXPECT_LE(rep.log->pending_hwm(), cfg.ingest.pending_cap)
+          << "node " << rep.node;
+    }
+  }
+}
+
 TEST(IngestChaosSoakTest, SameSeedReproducesTraceAndOpCounts) {
   ScenarioResult a = run_ingest_chaos(4);
   ScenarioResult b = run_ingest_chaos(4);

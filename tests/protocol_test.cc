@@ -114,14 +114,25 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   sr.node = 3;
   sr.shard = 7;
   sr.have_lsn = 42;
+  sr.segment_lsn = 99;
+  sr.chunk_offset = 4;
   out.emplace_back("SyncReq", sr.encode());
 
   SyncDataMsg sd;
   sd.shard = 7;
   sd.full_segment = 1;
   sd.issued_lsn = 99;
+  sd.chunk_offset = 4;
+  sd.total_ops = 6;
   sd.ops = {up, del};
   out.emplace_back("SyncData", sd.encode());
+
+  SyncDataMsg sinc;  // incremental chunk: no chunk geometry
+  sinc.shard = 2;
+  sinc.full_segment = 0;
+  sinc.issued_lsn = 17;
+  sinc.ops = {up};
+  out.emplace_back("SyncDataIncremental", sinc.encode());
 
   return out;
 }
@@ -227,8 +238,8 @@ TEST(ProtocolCoverageTest, CorruptTailsNeverCrashAndNeverOverread) {
     // tail under a flipped length prefix: they must re-encode to a
     // decoding fixed point rather than the original size.
     bool variable = name == "Update" || name == "UpdateDelete" ||
-                    name == "SyncData" || name == "ViewDelta" ||
-                    name == "ViewFull";
+                    name == "SyncData" || name == "SyncDataIncremental" ||
+                    name == "ViewDelta" || name == "ViewFull";
     for (int trial = 0; trial < 200; ++trial) {
       net::Bytes mutated = bytes;
       size_t idx = 1 + rng.next_below(mutated.size() - 1);
