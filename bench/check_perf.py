@@ -75,15 +75,36 @@ def compare(result, baseline, tolerance):
         yield metric, cur, base, direction, ok, note
 
 
+def fmt(value):
+    return "n/a" if value is None else f"{value:.6g}"
+
+
+def write_summary(path, rows):
+    """Appends a baseline-vs-current markdown table (GITHUB_STEP_SUMMARY)."""
+    with open(path, "a") as f:
+        f.write("### Perf gate\n\n")
+        f.write("| bench | metric | current | baseline | gate | status |\n")
+        f.write("|---|---|---|---|---|---|\n")
+        for name, metric, cur, base, direction, ok, note in rows:
+            status = "✅" if ok else "❌ FAIL"
+            f.write(f"| {name} | {metric} | {fmt(cur)} | {fmt(base)} "
+                    f"| {direction} ({note}) | {status} |\n")
+        f.write("\n")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("results", nargs="+", help="BENCH_<name>.json files")
     ap.add_argument("--baseline-dir", default="bench/baselines")
     ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                     help="relative regression tolerance (default 0.25)")
+    ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="append a markdown comparison table to this file "
+                         "(defaults to $GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args()
 
     failures = 0
+    summary_rows = []
     for result_path in args.results:
         result = load(result_path)
         name = result.get("bench")
@@ -105,14 +126,16 @@ def main():
                 result, baseline, args.tolerance):
             gated += 1
             status = "ok  " if ok else "FAIL"
-            cur_s = "n/a" if cur is None else f"{cur:.6g}"
-            base_s = "n/a" if base is None else f"{base:.6g}"
-            print(f"  {status} {metric}: {cur_s} vs baseline {base_s} "
+            print(f"  {status} {metric}: {fmt(cur)} vs baseline {fmt(base)} "
                   f"({direction}, {note})")
+            summary_rows.append((name, metric, cur, base, direction, ok,
+                                 note))
             if not ok:
                 failures += 1
         if gated == 0:
             print(f"  (baseline gates no metrics — nothing enforced)")
+    if args.summary and summary_rows:
+        write_summary(args.summary, summary_rows)
     if failures:
         print(f"\nperf gate: {failures} failure(s)")
         return 1

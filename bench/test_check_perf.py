@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Self-test for the CI perf gate (bench/check_perf.py).
+
+Covers the gate grammar (string vs object form, direction, tolerance,
+slack), the failure modes the gate must catch loudly (missing metric,
+missing baseline, bad direction), and the markdown summary writer.
+
+Stdlib unittest so the lint job needs no third-party deps:
+    python3 -m unittest discover -s bench -p 'test_*.py'
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_perf  # noqa: E402
+
+
+def run_compare(cur_metrics, baseline, tolerance=0.25):
+    result = {"bench": "t", "metrics": cur_metrics}
+    return list(check_perf.compare(result, baseline, tolerance))
+
+
+class CompareGrammarTest(unittest.TestCase):
+    def test_string_gate_uses_global_tolerance(self):
+        base = {"metrics": {"qps": 100.0}, "gate": {"qps": "higher"}}
+        # floor = 100 * (1 - 0.25) = 75
+        (row,) = run_compare({"qps": 75.0}, base)
+        self.assertTrue(row[4], row)
+        (row,) = run_compare({"qps": 74.9}, base)
+        self.assertFalse(row[4], row)
+
+    def test_lower_direction_bounds_above(self):
+        base = {"metrics": {"lat": 10.0}, "gate": {"lat": "lower"}}
+        (row,) = run_compare({"lat": 12.5}, base)
+        self.assertTrue(row[4])
+        (row,) = run_compare({"lat": 12.6}, base)
+        self.assertFalse(row[4])
+
+    def test_object_gate_tolerance_overrides_global(self):
+        base = {
+            "metrics": {"qps": 100.0},
+            "gate": {"qps": {"direction": "higher", "tolerance": 0.5}},
+        }
+        (row,) = run_compare({"qps": 50.0}, base, tolerance=0.0)
+        self.assertTrue(row[4])
+
+    def test_slack_widens_bound_absolutely(self):
+        # Near-zero counters gate through slack, not relative tolerance.
+        base = {
+            "metrics": {"violations": 0.0},
+            "gate": {"violations": {"direction": "lower", "tolerance": 0.0,
+                                    "slack": 2.0}},
+        }
+        (row,) = run_compare({"violations": 2.0}, base)
+        self.assertTrue(row[4])
+        (row,) = run_compare({"violations": 3.0}, base)
+        self.assertFalse(row[4])
+
+    def test_zero_slack_zero_tolerance_is_exact(self):
+        base = {
+            "metrics": {"violations": 0.0},
+            "gate": {"violations": {"direction": "lower", "tolerance": 0.0,
+                                    "slack": 0.0}},
+        }
+        (row,) = run_compare({"violations": 0.0}, base)
+        self.assertTrue(row[4])
+        (row,) = run_compare({"violations": 1.0}, base)
+        self.assertFalse(row[4])
+
+    def test_bad_direction_fails_closed(self):
+        base = {"metrics": {"qps": 1.0}, "gate": {"qps": "sideways"}}
+        (row,) = run_compare({"qps": 1.0}, base)
+        self.assertFalse(row[4])
+        self.assertIn("bad direction", row[5])
+
+    def test_ungated_metrics_are_ignored(self):
+        base = {"metrics": {"a": 1.0, "b": 2.0}, "gate": {"a": "higher"}}
+        rows = run_compare({"a": 1.0, "b": 999.0}, base)
+        self.assertEqual(len(rows), 1)
+        self.assertEqual(rows[0][0], "a")
+
+
+class CompareFailureModeTest(unittest.TestCase):
+    def test_metric_missing_in_result_fails(self):
+        base = {"metrics": {"qps": 100.0}, "gate": {"qps": "higher"}}
+        (row,) = run_compare({}, base)
+        self.assertFalse(row[4])
+        self.assertEqual(row[5], "missing in result")
+
+    def test_metric_missing_in_baseline_fails(self):
+        base = {"metrics": {}, "gate": {"qps": "higher"}}
+        (row,) = run_compare({"qps": 100.0}, base)
+        self.assertFalse(row[4])
+        self.assertEqual(row[5], "missing in baseline")
+
+
+class MainEndToEndTest(unittest.TestCase):
+    """Drives check_perf.py as CI does: argv in, exit code out."""
+
+    def run_gate(self, result, baseline_files, extra_args=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline_dir = os.path.join(tmp, "baselines")
+            os.mkdir(baseline_dir)
+            for name, content in baseline_files.items():
+                with open(os.path.join(baseline_dir, name), "w") as f:
+                    json.dump(content, f)
+            result_path = os.path.join(tmp, "result.json")
+            with open(result_path, "w") as f:
+                json.dump(result, f)
+            proc = subprocess.run(
+                [sys.executable, check_perf.__file__, result_path,
+                 "--baseline-dir", baseline_dir, *extra_args],
+                capture_output=True, text=True,
+                env={**os.environ, "GITHUB_STEP_SUMMARY": ""})
+            return proc
+
+    def test_missing_baseline_file_fails_the_gate(self):
+        proc = self.run_gate({"bench": "x", "metrics": {"qps": 1.0}}, {})
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no baseline", proc.stdout)
+
+    def test_passing_run_exits_zero(self):
+        baseline = {"bench": "x", "metrics": {"qps": 100.0},
+                    "gate": {"qps": "higher"}}
+        proc = self.run_gate({"bench": "x", "metrics": {"qps": 101.0}},
+                             {"BENCH_x.json": baseline})
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("all gated metrics within tolerance", proc.stdout)
+
+    def test_regression_exits_nonzero(self):
+        baseline = {"bench": "x", "metrics": {"qps": 100.0},
+                    "gate": {"qps": "higher"}}
+        proc = self.run_gate({"bench": "x", "metrics": {"qps": 10.0}},
+                             {"BENCH_x.json": baseline})
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("FAIL qps", proc.stdout)
+
+    def test_summary_table_written(self):
+        baseline = {"bench": "x", "metrics": {"qps": 100.0},
+                    "gate": {"qps": "higher"}}
+        with tempfile.NamedTemporaryFile("r", suffix=".md",
+                                         delete=False) as f:
+            summary_path = f.name
+        try:
+            proc = self.run_gate({"bench": "x", "metrics": {"qps": 101.0}},
+                                 {"BENCH_x.json": baseline},
+                                 extra_args=["--summary", summary_path])
+            self.assertEqual(proc.returncode, 0)
+            with open(summary_path) as f:
+                text = f.read()
+            self.assertIn("| bench | metric |", text)
+            self.assertIn("| x | qps | 101 | 100 |", text)
+            self.assertIn("✅", text)
+        finally:
+            os.unlink(summary_path)
+
+
+if __name__ == "__main__":
+    unittest.main()

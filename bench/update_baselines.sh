@@ -26,6 +26,7 @@ declare -A RUNS=(
   [fig7_4_updates]="$BUILD_DIR/bench/bench_fig7_4_updates --seed 9"
   [fig7_5_dynamic_p]="$BUILD_DIR/bench/bench_fig7_5_dynamic_p --seed 9"
   [sync_storm]="$BUILD_DIR/bench/bench_sync_storm --seed 17"
+  [overload]="$BUILD_DIR/bench/bench_overload --seed 37"
 )
 
 mkdir -p "$BASELINES"

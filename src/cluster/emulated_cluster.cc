@@ -7,6 +7,27 @@
 
 namespace roar::cluster {
 
+namespace {
+
+// Analytic saturation throughput of a config: per query, every node
+// contributes dataset/agg_rate busy seconds of scanning (balanced shares)
+// plus its slice of the p sub-query overheads.
+double rated_capacity(const ClusterConfig& c) {
+  double agg_rate = 0.0;
+  uint32_t n_nodes = 0;
+  for (const auto& cls : c.classes) {
+    agg_rate += cls.count * cls.speed * c.node_proto.base_rate;
+    n_nodes += cls.count;
+  }
+  if (agg_rate <= 0 || n_nodes == 0) return 0.0;
+  double scan_s = static_cast<double>(c.dataset_size) / agg_rate;
+  double overhead_s =
+      c.node_proto.subquery_overhead_s * c.p / std::max(1u, n_nodes);
+  return 1.0 / (scan_s + overhead_s);
+}
+
+}  // namespace
+
 EmulatedCluster::EmulatedCluster(ClusterConfig config)
     : config_(std::move(config)),
       net_(loop_, config_.latency_s,
@@ -23,6 +44,30 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
     }
     if (config_.frontend.digest_interval_s <= 0) {
       config_.frontend.digest_interval_s = 1.0;
+    }
+  }
+  if (config_.slo.enabled) {
+    // One contract spec feeds everything: the admission controller every
+    // frontend runs, the Spang bounds every node enforces, and (with
+    // adaptive_p) the latency target the p controller holds.
+    uint32_t n_nodes = 0;
+    for (const auto& cls : config_.classes) n_nodes += cls.count;
+    double cap_qps = rated_capacity(config_);
+    double per_node_subq =
+        cap_qps * config_.p / std::max(1u, n_nodes);
+    core::ResolvedSlo r = core::resolve_slo(config_.slo, cap_qps,
+                                            per_node_subq,
+                                            config_.frontends);
+    config_.frontend.slo_enabled = true;
+    config_.frontend.admission = r.admission;
+    if (config_.node_proto.max_backlog_s <= 0) {
+      config_.node_proto.max_backlog_s = r.node_max_backlog_s;
+    }
+    if (config_.node_proto.exec_queue_cap == 0) {
+      config_.node_proto.exec_queue_cap = r.node_exec_queue_cap;
+    }
+    if (config_.adaptive_p) {
+      config_.adaptive.target_p99_s = r.target_p99_s;
     }
   }
 
@@ -249,6 +294,12 @@ uint64_t EmulatedCluster::submit_query(Frontend::QueryCallback cb) {
       .submit(std::move(cb));
 }
 
+uint64_t EmulatedCluster::submit_query(const QueryRequest& req,
+                                       Frontend::QueryCallback cb) {
+  return pick_ready_frontend(frontends_, next_frontend_)
+      .submit(req, std::move(cb));
+}
+
 uint32_t EmulatedCluster::run_queries(double rate_per_s, uint32_t count,
                                       double give_up_s) {
   uint32_t completed = 0;
@@ -332,6 +383,22 @@ bool EmulatedCluster::run_until_ingest_converged(double timeout_s) {
     loop_.run_until(std::min(loop_.now() + 0.25, deadline));
   } while (!ingest_converged() && loop_.now() < deadline);
   return ingest_converged();
+}
+
+double EmulatedCluster::rated_capacity_qps() const {
+  return rated_capacity(config_);
+}
+
+uint64_t EmulatedCluster::admission_shed_total() const {
+  uint64_t n = 0;
+  for (const auto& fe : frontends_) n += fe->shed_count();
+  return n;
+}
+
+uint64_t EmulatedCluster::node_shed_total() const {
+  uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->subs_shed();
+  return n;
 }
 
 std::vector<double> EmulatedCluster::node_busy_fractions() const {

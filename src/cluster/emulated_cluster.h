@@ -63,6 +63,12 @@ struct ClusterConfig {
   double adaptive_interval_s = 4.0;
   // Laggard-resync cadence of the control plane.
   double control_retransmit_s = 0.5;
+  // Overload control (core/slo.h): per-class contracts feeding frontend
+  // admission/shedding, Spang-sized queue bounds on frontends and nodes,
+  // and (with adaptive_p) the controller's p99 target — all from this one
+  // spec. Caps left 0 are derived from the cluster's capacity; see
+  // rated_capacity_qps().
+  core::SloSpec slo;
 };
 
 class EmulatedCluster {
@@ -146,6 +152,8 @@ class EmulatedCluster {
                        double give_up_s = 600.0);
   // Submits one query on the next front-end (round-robin).
   uint64_t submit_query(Frontend::QueryCallback cb);
+  // Classed submission (the workload engine's entry point).
+  uint64_t submit_query(const QueryRequest& req, Frontend::QueryCallback cb);
   // Object updates at Poisson rate for `duration_s` (§7.3.4); each update
   // goes to every node storing the object's arc. Legacy modeled-cost
   // stream — real mutation goes through ingest_stream / the router.
@@ -169,6 +177,13 @@ class EmulatedCluster {
 
   // --- metrics -------------------------------------------------------------
   double now() const { return loop_.now(); }
+  // Analytic saturation throughput: aggregate matching rate over the
+  // per-query scan work. The workload engine and bench_overload express
+  // offered load as multiples of this; the SLO cap derivation uses it.
+  double rated_capacity_qps() const;
+  // Aggregate overload-control counters across frontends / nodes.
+  uint64_t admission_shed_total() const;
+  uint64_t node_shed_total() const;
   std::vector<double> node_busy_fractions() const;
   // Energy over the elapsed virtual time with a linear power model.
   double energy_joules(double idle_w = 200.0, double peak_w = 285.0) const;

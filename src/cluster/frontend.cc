@@ -52,6 +52,10 @@ Frontend::Frontend(net::Transport& net, uint32_t index,
   if (index >= kMaxFrontends) {
     throw std::out_of_range("Frontend: index collides with node addresses");
   }
+  if (params_.slo_enabled) {
+    admission_ =
+        std::make_unique<core::AdmissionController>(params_.admission);
+  }
 }
 
 void Frontend::start() {
@@ -104,6 +108,7 @@ void Frontend::fail_query(uint64_t id) {
   out.id = id;
   out.complete = false;
   out.harvest = 0.0;
+  out.klass = q.klass;
   auto cb = std::move(q.cb);
   pending_.erase(it);
   if (cb) cb(out);
@@ -216,6 +221,10 @@ double Frontend::predict(NodeId node, double share) const {
 }
 
 uint64_t Frontend::submit(QueryCallback cb) {
+  return submit(QueryRequest{}, std::move(cb));
+}
+
+uint64_t Frontend::submit(const QueryRequest& req, QueryCallback cb) {
   uint64_t id = next_query_id_++;
   if (!ready() || ring_.empty()) {
     // No view yet (fresh or just-revived front-end) or nothing to plan
@@ -225,12 +234,28 @@ uint64_t Frontend::submit(QueryCallback cb) {
     out.id = id;
     out.complete = false;
     out.harvest = 0.0;
+    out.klass = req.klass;
+    if (cb) cb(out);
+    return id;
+  }
+  // Admission runs BEFORE the sweep/planner: a shed query costs one
+  // occupancy comparison, not a schedule. The refusal is the contract's
+  // max_shed budget being spent to keep admitted queries inside their p99.
+  if (admission_ && !admission_->admit(req.klass, pending_.size())) {
+    QueryOutcome out;
+    out.id = id;
+    out.complete = false;
+    out.harvest = 0.0;
+    out.klass = req.klass;
+    out.shed = true;
     if (cb) cb(out);
     return id;
   }
   PendingQuery q;
   q.id = id;
   q.submit_time = net_.clock().now();
+  q.klass = req.klass;
+  q.extra_cost_s = req.extra_cost_s;
   q.cb = std::move(cb);
 
   // The scheduling computation itself is measured in wall-clock time: this
@@ -240,6 +265,12 @@ uint64_t Frontend::submit(QueryCallback cb) {
   uint32_t p = safe_p();
   uint32_t pq = std::max(
       p, static_cast<uint32_t>(p * params_.pq_factor + 0.5));
+  if (params_.slo_enabled && req.klass != core::QueryClass::kInteractive) {
+    // Contract-fed scheduling: only the tight-latency class fans out wider
+    // than p. Batch/scavenger latitude is the contract's, not the
+    // scheduler's.
+    pq = p;
+  }
   auto sched =
       core::SweepScheduler::schedule(ring_, pq, est, rng_.next_ring_id());
   auto plan = planner_.plan(ring_, sched.best_start, pq, p, rng_);
@@ -255,6 +286,7 @@ uint64_t Frontend::submit(QueryCallback cb) {
   schedule_times_.add(q.schedule_wall_s);
 
   auto [it, inserted] = pending_.emplace(id, std::move(q));
+  queue_hwm_ = std::max(queue_hwm_, pending_.size());
   PendingQuery& stored = it->second;
   for (const auto& part : plan.parts) {
     if (part.node == core::kInvalidNode) {
@@ -269,6 +301,7 @@ uint64_t Frontend::submit(QueryCallback cb) {
     QueryOutcome out;
     out.id = id;
     out.complete = false;
+    out.klass = stored.klass;
     auto cb2 = std::move(stored.cb);
     pending_.erase(id);
     if (cb2) cb2(out);
@@ -289,6 +322,7 @@ void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
   msg.window_end = sub.responsibility_end;
   msg.pq = safe_p();
   msg.share = sub.share;
+  msg.klass = static_cast<uint8_t>(q.klass);
 
   // Update the queue projection for this node.
   double predicted = predict(sub.node, sub.share);
@@ -339,6 +373,21 @@ void Frontend::on_reply(const SubQueryReplyMsg& m) {
   part.done = true;
   net_.clock().cancel(part.timer_id);
   --q.outstanding;
+
+  if (m.shed) {
+    // The node refused this sub-query at its queue bound. Its window goes
+    // unsearched — a harvest loss identical in kind to a §4.4 abandoned
+    // window — but the query finishes NOW instead of waiting out a
+    // timeout, and the node stays alive in the mirror (the reply proved
+    // it). No rate observation: a refusal says nothing about speed.
+    ++q.parts_shed;
+    ++parts_shed_;
+    q.full_coverage = false;
+    q.missing_share += part.sub.share;
+    finish_if_done(q);
+    return;
+  }
+
   q.matches += m.matches;
   q.max_service = std::max(q.max_service, m.service_s);
 
@@ -403,7 +452,10 @@ void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
 void Frontend::finish_if_done(PendingQuery& q) {
   if (q.outstanding > 0) return;
   double now = net_.clock().now();
-  double total = now - q.submit_time + params_.fixed_cost_s;
+  // extra_cost_s is the client-side cost the workload engine attributes
+  // to this query (user-metadata cache-miss I/O): it is part of what the
+  // user waits for, so it is part of the contract-visible latency.
+  double total = now - q.submit_time + params_.fixed_cost_s + q.extra_cost_s;
 
   QueryOutcome out;
   out.id = q.id;
@@ -412,6 +464,8 @@ void Frontend::finish_if_done(PendingQuery& q) {
   out.matches = q.matches;
   out.parts_sent = static_cast<uint32_t>(q.parts.size());
   out.retries = q.retries;
+  out.klass = q.klass;
+  out.parts_shed = q.parts_shed;
   out.breakdown.schedule_s = q.schedule_wall_s;
   out.breakdown.network_s = 2 * net_.latency();
   out.breakdown.service_s = q.max_service;

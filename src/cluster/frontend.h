@@ -31,6 +31,7 @@
 #include "common/stats.h"
 #include "core/cluster_view.h"
 #include "core/scheduler.h"
+#include "core/slo.h"
 
 namespace roar::cluster {
 
@@ -51,6 +52,13 @@ struct FrontendParams {
   // Periodic latency digest to the control plane (piggybacked on
   // kViewAck); 0 disables. The adaptive-p controller needs this on.
   double digest_interval_s = 0.0;
+  // Overload control: when enabled, every submit passes the admission
+  // controller BEFORE any scheduling/planning work, the in-flight map is
+  // hard-capped at admission.inflight_cap, and only interactive queries
+  // get the pq_factor partitioning boost (batch/scavenger plan at safe_p
+  // — the contract says they can wait, so they should not fan out wider).
+  bool slo_enabled = false;
+  core::AdmissionParams admission;
 };
 
 struct QueryBreakdown {
@@ -71,7 +79,23 @@ struct QueryOutcome {
   uint64_t matches = 0;
   uint32_t parts_sent = 0;
   uint32_t retries = 0;
+  core::QueryClass klass = core::QueryClass::kInteractive;
+  // Refused by the frontend admission controller: the outcome fired
+  // immediately, before any planning, with harvest 0.
+  bool shed = false;
+  // Sub-queries refused at a node's queue bound (harvest loss, not
+  // failure: the node proved alive by replying).
+  uint32_t parts_shed = 0;
   QueryBreakdown breakdown;
+};
+
+// A classed query submission. The plain submit(cb) overload is equivalent
+// to the default request (interactive, user 0, no extra cost).
+struct QueryRequest {
+  core::QueryClass klass = core::QueryClass::kInteractive;
+  uint64_t user = 0;          // accounting only (workload engine's id)
+  double extra_cost_s = 0.0;  // e.g. user-metadata cache-miss I/O; added
+                              // to the reported end-to-end latency
 };
 
 // Seed derivation for front-end instance `index` of a cluster seeded with
@@ -130,6 +154,10 @@ class Frontend {
 
   // Submits a query; `cb` fires when all sub-queries complete.
   uint64_t submit(QueryCallback cb);
+  // Classed submission. With slo_enabled the admission controller may
+  // refuse it before any planning work — `cb` then fires immediately with
+  // shed == true and harvest 0 (the "reject cheap and early" path).
+  uint64_t submit(const QueryRequest& req, QueryCallback cb);
 
   // --- live ingestion (PAPER §7.4) ---------------------------------------
   // The ingest router shares the control process (it binds
@@ -149,6 +177,18 @@ class Frontend {
   const SampleSet& schedule_times() const { return schedule_times_; }
   uint64_t queries_completed() const { return completed_; }
   uint64_t failures_detected() const { return failures_detected_; }
+  // Overload-control stats. queue_hwm is the in-flight map's high-water
+  // mark; with slo_enabled the admission cap guarantees hwm ≤ inflight_cap
+  // (the scenario safety report audits exactly that). shed_count counts
+  // admission refusals; parts_shed counts node-side queue refusals.
+  size_t queue_hwm() const { return queue_hwm_; }
+  uint64_t shed_count() const {
+    return admission_ ? admission_->total_shed() : 0;
+  }
+  uint64_t parts_shed() const { return parts_shed_; }
+  const core::AdmissionController* admission() const {
+    return admission_.get();
+  }
   double estimated_rate(NodeId id) const;
   const core::Ring& ring() const { return ring_; }
 
@@ -174,6 +214,9 @@ class Frontend {
     uint32_t retries = 0;
     uint64_t matches = 0;
     double max_service = 0.0;
+    core::QueryClass klass = core::QueryClass::kInteractive;
+    double extra_cost_s = 0.0;
+    uint32_t parts_shed = 0;
     // False if any responsibility window could not be assigned to a live
     // node (harvest < 100%): the query is answered but reported partial.
     bool full_coverage = true;
@@ -218,6 +261,9 @@ class Frontend {
 
   uint64_t next_query_id_ = 1;
   std::map<uint64_t, PendingQuery> pending_;
+  std::unique_ptr<core::AdmissionController> admission_;
+  size_t queue_hwm_ = 0;
+  uint64_t parts_shed_ = 0;
   SampleSet delays_;
   SampleSet schedule_times_;
   SampleSet digest_window_;  // completions since the last digest

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "core/slo.h"
 
 namespace roar::cluster {
 
@@ -182,17 +183,63 @@ void NodeRuntime::complete(const ResolvedSub& sub, uint64_t scanned,
   net_.send(address(), sub.from, reply.encode());
 }
 
+void NodeRuntime::shed_reply(net::Address from, const SubQueryMsg& m) {
+  ++subs_shed_;
+  SubQueryReplyMsg reply;
+  reply.query_id = m.query_id;
+  reply.part_id = m.part_id;
+  reply.shed = 1;
+  net_.send(address(), from, reply.encode());
+}
+
+bool NodeRuntime::exec_queue_refuses(const SubQueryMsg& m) {
+  size_t cap = params_.exec_queue_cap;
+  if (cap == 0) return false;
+  auto limit = static_cast<size_t>(static_cast<double>(cap) *
+                                   core::class_bound_frac(m.klass));
+  if (pending_subs_.size() < std::max<size_t>(1, limit)) return false;
+  // At this class's share of the cap. A higher-priority arrival may still
+  // displace the newest strictly-lower-priority queued sub (drop-tail by
+  // class); net occupancy is unchanged, so the hard cap keeps holding.
+  auto victim = std::find_if(
+      pending_subs_.rbegin(), pending_subs_.rend(),
+      [&](const auto& e) { return e.second.klass > m.klass; });
+  if (victim == pending_subs_.rend()) return true;
+  shed_reply(victim->first, victim->second);
+  pending_subs_.erase(std::next(victim).base());
+  return false;
+}
+
 void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
   if (pooled()) {
+    if (exec_queue_refuses(m)) {
+      shed_reply(from, m);
+      return;
+    }
     // Batched path: queue, and drain once per loop wakeup. schedule_after(0)
     // fires in the same poll round, after the whole read batch, so every
     // sub-query that arrived together is drained together.
     pending_subs_.emplace_back(from, m);
+    exec_queue_hwm_ = std::max(exec_queue_hwm_, pending_subs_.size());
     if (!drain_scheduled_) {
       drain_scheduled_ = true;
       net_.clock().schedule_after(0.0, [this] { drain_batch(); });
     }
     return;
+  }
+
+  if (params_.max_backlog_s > 0) {
+    // Virtual-time queue bound: the modeled pipeline's reservation is the
+    // queue. Refusing here is what keeps an open-loop overload from
+    // growing busy_until_ without bound — the death-by-timeout spiral the
+    // unbounded node fell into.
+    double backlog =
+        std::max(0.0, busy_until_ - net_.clock().now());
+    if (backlog > params_.max_backlog_s * core::class_bound_frac(m.klass)) {
+      shed_reply(from, m);
+      return;
+    }
+    backlog_hwm_s_ = std::max(backlog_hwm_s_, backlog);
   }
 
   if (engine_) {

@@ -51,6 +51,16 @@ struct NodeParams {
   // Periodic kNodeStats load report to the control plane; 0 disables.
   // The adaptive-p controller's node-side signal.
   double stats_interval_s = 0.0;
+  // --- overload control (core/slo.h; 0 = unbounded legacy behaviour) ----
+  // Drop-tail cap on the pooled executor submit queue (pending_subs_),
+  // Spang-sized by the harness. Arrivals beyond a class's share of the cap
+  // are refused with a shed reply; a higher-priority arrival at the cap
+  // displaces the newest lower-priority queued sub instead.
+  size_t exec_queue_cap = 0;
+  // Bound, in seconds, on the modeled pipeline's backlog (busy_until_ −
+  // now) — the virtual-time analogue of the executor queue cap. Same
+  // per-class shares.
+  double max_backlog_s = 0.0;
 };
 
 // Off-loop execution wiring. `pool` stays owned by the harness and must
@@ -123,6 +133,15 @@ class NodeRuntime {
   // Batching diagnostics: drain wakeups and sub-queries they carried.
   uint64_t batches_drained() const { return batches_drained_; }
   uint64_t batched_subqueries() const { return batched_subqueries_; }
+  // Overload-control stats. With exec_queue_cap > 0 the drop-tail law
+  // guarantees exec_queue_hwm ≤ exec_queue_cap; with max_backlog_s > 0 it
+  // guarantees backlog_hwm_s ≤ max_backlog_s (both recorded at admission,
+  // both audited by the scenario safety report).
+  uint64_t subs_shed() const { return subs_shed_; }
+  size_t exec_queue_hwm() const { return exec_queue_hwm_; }
+  double backlog_hwm_s() const { return backlog_hwm_s_; }
+  size_t exec_queue_cap() const { return params_.exec_queue_cap; }
+  double max_backlog_s() const { return params_.max_backlog_s; }
 
   // The object ids this node stores: its range extended 1/p backwards
   // (every object whose replication arc reaches the range).
@@ -144,6 +163,13 @@ class NodeRuntime {
 
   void handle(net::Address from, net::ByteView payload);
   void on_subquery(net::Address from, const SubQueryMsg& m);
+  // Refuses one sub-query at a queue bound: immediate shed reply (proves
+  // liveness, books the harvest loss at the front-end now instead of
+  // after a timeout).
+  void shed_reply(net::Address from, const SubQueryMsg& m);
+  // True if the bounded executor queue cannot take `m` (after trying to
+  // displace a newer, lower-priority entry).
+  bool exec_queue_refuses(const SubQueryMsg& m);
   void on_view_delta(const ViewDeltaMsg& m);
   // Re-derives range, storage p and §4.5 fetch duties from the current
   // view. Idempotent: re-applied epochs re-trigger it harmlessly.
@@ -206,6 +232,9 @@ class NodeRuntime {
   bool drain_scheduled_ = false;
   uint64_t batches_drained_ = 0;
   uint64_t batched_subqueries_ = 0;
+  uint64_t subs_shed_ = 0;
+  size_t exec_queue_hwm_ = 0;
+  double backlog_hwm_s_ = 0.0;
 };
 
 // The replica views (live, ranged, ingest-enabled nodes) the

@@ -37,6 +37,7 @@ net::Bytes SubQueryMsg::encode() const {
   w.ring_id(window_end);
   w.u32(pq);
   w.f64(share);
+  w.u8(klass);
   return w.take();
 }
 
@@ -51,6 +52,7 @@ std::optional<SubQueryMsg> SubQueryMsg::decode(net::ByteView b) {
   m.window_end = r->ring_id();
   m.pq = r->u32();
   m.share = r->f64();
+  m.klass = r->u8();
   if (!r->ok()) return std::nullopt;
   return m;
 }
@@ -62,6 +64,7 @@ net::Bytes SubQueryReplyMsg::encode() const {
   w.u64(scanned);
   w.u64(matches);
   w.f64(service_s);
+  w.u8(shed);
   return w.take();
 }
 
@@ -74,6 +77,7 @@ std::optional<SubQueryReplyMsg> SubQueryReplyMsg::decode(net::ByteView b) {
   m.scanned = r->u64();
   m.matches = r->u64();
   m.service_s = r->f64();
+  m.shed = r->u8();
   if (!r->ok()) return std::nullopt;
   return m;
 }

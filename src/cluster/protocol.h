@@ -57,6 +57,9 @@ struct SubQueryMsg {
   RingId window_end;
   uint32_t pq = 1;
   double share = 0.0;
+  // core::QueryClass of the parent query: nodes shed lower-priority
+  // classes first when their execution queues hit their Spang bounds.
+  uint8_t klass = 0;
 
   net::Bytes encode() const;
   static std::optional<SubQueryMsg> decode(net::ByteView b);
@@ -68,6 +71,10 @@ struct SubQueryReplyMsg {
   uint64_t scanned = 0;   // metadata matched against the query
   uint64_t matches = 0;
   double service_s = 0.0;  // pure processing time (for speed estimation)
+  // 1 = the node refused this sub-query at its queue bound. The reply
+  // still proves liveness; the front-end books the window as uncovered
+  // (harvest loss) instead of waiting out a timeout.
+  uint8_t shed = 0;
 
   net::Bytes encode() const;
   static std::optional<SubQueryReplyMsg> decode(net::ByteView b);

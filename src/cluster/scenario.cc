@@ -46,7 +46,51 @@ size_t InvariantChecker::check(const std::string& context) {
   check_view(context);
   check_accounting(context);
   check_ingest_safety(context);
+  check_queues(context);
   return violations_.size() - before;
+}
+
+void InvariantChecker::check_queues(const std::string& context) {
+  for (NodeId id : cluster_.node_ids()) {
+    const NodeRuntime& node = cluster_.node(id);
+    size_t cap = node.exec_queue_cap();
+    if (cap > 0 && node.exec_queue_hwm() > cap) {
+      fail(context, "node " + std::to_string(id) + " exec queue hwm " +
+                        std::to_string(node.exec_queue_hwm()) +
+                        " exceeds cap " + std::to_string(cap));
+    }
+    double bound = node.max_backlog_s();
+    // The hwm is recorded only at admitted arrivals, so it can never
+    // legally exceed the loosest per-class bound (the scavenger share is
+    // the widest gate any admitted sub-query passed).
+    if (bound > 0 && node.backlog_hwm_s() > bound + 1e-9) {
+      fail(context, "node " + std::to_string(id) + " backlog hwm " +
+                        std::to_string(node.backlog_hwm_s()) +
+                        "s exceeds bound " + std::to_string(bound) + "s");
+    }
+  }
+  for (uint32_t i = 0; i < cluster_.frontend_count(); ++i) {
+    const Frontend& fe = cluster_.frontend(i);
+    const core::AdmissionController* adm = fe.admission();
+    if (!adm) continue;
+    size_t cap = adm->params().inflight_cap;
+    if (fe.queue_hwm() > cap) {
+      fail(context, "frontend " + std::to_string(i) + " in-flight hwm " +
+                        std::to_string(fe.queue_hwm()) + " exceeds cap " +
+                        std::to_string(cap));
+    }
+    for (size_t k = 0; k < core::kQueryClasses; ++k) {
+      auto c = static_cast<core::QueryClass>(k);
+      const auto& st = adm->stats(c);
+      if (st.offered != st.admitted + st.shed) {
+        fail(context, "frontend " + std::to_string(i) + " class " +
+                          core::class_name(c) + " admission leak: offered " +
+                          std::to_string(st.offered) + " != admitted " +
+                          std::to_string(st.admitted) + " + shed " +
+                          std::to_string(st.shed));
+      }
+    }
+  }
 }
 
 void InvariantChecker::check_view(const std::string& context) {

@@ -87,6 +87,11 @@ class InvariantChecker {
   void check_view(const std::string& context);
   void check_accounting(const std::string& context);
   void check_ingest_safety(const std::string& context);
+  // Overload-control audit: every bounded queue's high-water mark must
+  // respect its cap (shedding keeps queues bounded, it never merely
+  // reorders the overflow), and per-class admission accounting must
+  // conserve queries (offered == admitted + shed).
+  void check_queues(const std::string& context);
 
   EmulatedCluster& cluster_;
   Rng rng_;

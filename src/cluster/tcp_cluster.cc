@@ -1,5 +1,6 @@
 #include "cluster/tcp_cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -19,6 +20,31 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   config_.frontend.subquery_overhead_s = config_.node_proto.subquery_overhead_s;
   config_.speeds.resize(config_.nodes, 1.0);
   if (config_.frontends == 0) config_.frontends = 1;
+  if (config_.slo.enabled) {
+    // Same derivation as EmulatedCluster (core::resolve_slo): the
+    // contract spec sizes the admission cap and the node queue bounds.
+    double agg_rate = 0.0;
+    for (double s : config_.speeds) {
+      agg_rate += s * config_.node_proto.base_rate;
+    }
+    double cap_qps =
+        agg_rate > 0
+            ? 1.0 / (static_cast<double>(config_.dataset_size) / agg_rate +
+                     config_.node_proto.subquery_overhead_s * config_.p /
+                         std::max(1u, config_.nodes))
+            : 0.0;
+    double per_node_subq = cap_qps * config_.p / std::max(1u, config_.nodes);
+    core::ResolvedSlo r = core::resolve_slo(
+        config_.slo, cap_qps, per_node_subq, config_.frontends);
+    config_.frontend.slo_enabled = true;
+    config_.frontend.admission = r.admission;
+    if (config_.node_proto.exec_queue_cap == 0) {
+      config_.node_proto.exec_queue_cap = r.node_exec_queue_cap;
+    }
+    if (config_.node_proto.max_backlog_s <= 0) {
+      config_.node_proto.max_backlog_s = r.node_max_backlog_s;
+    }
+  }
 
   // Control endpoint: control plane + front-ends share one listener, as
   // they share a process in the paper's deployment.
@@ -167,6 +193,12 @@ void TcpCluster::revive_node(NodeId id) {
 
 void TcpCluster::change_p(uint32_t p_new) {
   control_->order_p_change(p_new);
+}
+
+uint64_t TcpCluster::submit_query(const QueryRequest& req,
+                                  Frontend::QueryCallback cb) {
+  return pick_ready_frontend(frontends_, next_frontend_)
+      .submit(req, std::move(cb));
 }
 
 QueryOutcome TcpCluster::run_query(double timeout_s) {

@@ -65,6 +65,13 @@ struct TcpClusterConfig {
   // corpus, not the analytic model).
   bool enable_ingest = false;
   IngestConfig ingest;
+
+  // --- overload control ----------------------------------------------------
+  // Same contract spec as ClusterConfig::slo, resolved through the same
+  // core::resolve_slo rule so the two harnesses cannot drift: frontend
+  // admission + Spang-bounded executor queues (pooled nodes) and backlog
+  // bounds (inline nodes).
+  core::SloSpec slo;
 };
 
 class TcpCluster {
@@ -108,6 +115,10 @@ class TcpCluster {
   uint32_t safe_p() const { return control_->safe_p(); }
   uint32_t target_p() const { return control_->target_p(); }
 
+  // Non-blocking classed submission on the next ready front-end; the
+  // callback fires from the poll loop (run_for / run_query drive it).
+  // The workload engine's entry point.
+  uint64_t submit_query(const QueryRequest& req, Frontend::QueryCallback cb);
   // Submits one query (front-ends round-robin) and polls sockets +
   // wall-clock timers until it completes (or `timeout_s` passes — the
   // outcome then has id == 0).

@@ -1,0 +1,262 @@
+#include "cluster/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roar::cluster {
+
+namespace {
+
+// Salts under the kWorkloadEngine stream: 0 is the arrival generator
+// itself (taken via the enum so single-engine runs keep the canonical
+// sequence), 1 the storm process, 2 the template-store ids.
+constexpr uint64_t kStormSalt = 1;
+constexpr uint64_t kTemplateSalt = 2;
+
+}  // namespace
+
+struct WorkloadEngine::Gen {
+  Rng rng;
+  double t = 0.0;  // generator-relative time of the last arrival
+  std::unique_ptr<pps::UserMetadataCache> cache;
+
+  explicit Gen(uint64_t seed) : rng(seed) {}
+};
+
+WorkloadEngine::WorkloadEngine(net::Clock& clock, WorkloadConfig config,
+                               SubmitFn submit, core::SloContract contract)
+    : clock_(clock),
+      config_(std::move(config)),
+      submit_(std::move(submit)),
+      contract_(contract),
+      user_zipf_(std::max<uint64_t>(1, config_.users), config_.user_zipf_s),
+      term_zipf_(std::max<uint64_t>(1, config_.query_terms),
+                 config_.term_zipf_s),
+      alive_(std::make_shared<bool>(true)) {
+  // Thinning envelope: the rate can never exceed base × the diurnal peak
+  // × every crowd multiplier compounded (crowds may overlap).
+  double diurnal_peak = 1.0;
+  for (double m : config_.diurnal) diurnal_peak = std::max(diurnal_peak, m);
+  double crowd_peak = 1.0;
+  for (const auto& c : config_.flash_crowds) {
+    crowd_peak *= std::max(1.0, c.multiplier);
+  }
+  peak_rate_ = config_.base_rate_per_s * diurnal_peak * crowd_peak;
+
+  if (config_.cache_capacity_bytes > 0) {
+    // One template store stands in for every user's on-disk metadata: the
+    // cache charges per-user residency and miss I/O from its byte size,
+    // which is all the §5.6.1 model consumes.
+    template_store_ = std::make_unique<pps::MetadataStore>();
+    std::vector<pps::EncryptedFileMetadata> items;
+    Rng ids(subseed(subseed(config_.seed, SeedStream::kWorkloadEngine),
+                    kTemplateSalt));
+    // 127 filter words ≈ 1 KB per metadata item.
+    constexpr size_t kWords = 127;
+    pps::EncryptedFileMetadata proto;
+    proto.enc.bits.assign(kWords, 0);
+    size_t item_bytes = proto.byte_size();
+    size_t n = std::max<uint64_t>(
+        1, config_.user_metadata_bytes / std::max<size_t>(1, item_bytes));
+    items.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      pps::EncryptedFileMetadata m = proto;
+      m.id = RingId(ids.next_u64());
+      items.push_back(std::move(m));
+    }
+    template_store_->load(std::move(items));
+  }
+
+  storm_rng_ = std::make_unique<Rng>(
+      subseed(subseed(config_.seed, SeedStream::kWorkloadEngine), kStormSalt));
+}
+
+WorkloadEngine::~WorkloadEngine() { *alive_ = false; }
+
+double WorkloadEngine::diurnal_multiplier(double t) const {
+  if (config_.diurnal.empty()) return 1.0;
+  size_t n = config_.diurnal.size();
+  if (n == 1) return config_.diurnal.front();
+  double period = config_.diurnal_period_s > 0 ? config_.diurnal_period_s
+                                               : 86'400.0;
+  double phase = std::fmod(t, period) / period;  // [0, 1)
+  if (phase < 0) phase += 1.0;
+  // Piecewise linear through n points spread uniformly, wrapping back to
+  // the first point at the period boundary.
+  double x = phase * static_cast<double>(n);
+  size_t i = static_cast<size_t>(x) % n;
+  double frac = x - std::floor(x);
+  double a = config_.diurnal[i];
+  double b = config_.diurnal[(i + 1) % n];
+  return a + (b - a) * frac;
+}
+
+double WorkloadEngine::rate_at(double t) const {
+  double r = config_.base_rate_per_s * diurnal_multiplier(t);
+  for (const auto& c : config_.flash_crowds) {
+    if (t >= c.at && t < c.at + c.duration_s) r *= c.multiplier;
+  }
+  return r;
+}
+
+std::unique_ptr<WorkloadEngine::Gen> WorkloadEngine::make_gen() const {
+  auto g = std::make_unique<Gen>(
+      subseed(config_.seed, SeedStream::kWorkloadEngine));
+  if (config_.cache_capacity_bytes > 0) {
+    g->cache = std::make_unique<pps::UserMetadataCache>(
+        config_.cache_capacity_bytes);
+  }
+  return g;
+}
+
+bool WorkloadEngine::next_arrival(Gen& g, Arrival* out) const {
+  if (peak_rate_ <= 0.0) return false;
+  // Lewis-Shedler: candidate gaps at the peak rate, accepted with
+  // probability rate(t)/peak. Rejected candidates still consume rng draws
+  // — that is what makes the sequence identical across replays.
+  while (true) {
+    g.t += g.rng.next_exponential(peak_rate_);
+    if (g.t >= config_.duration_s) return false;
+    if (g.rng.next_double() * peak_rate_ <= rate_at(g.t)) break;
+  }
+  out->at = g.t;
+  out->user = user_zipf_.next(g.rng) - 1;  // ranks are 1-based
+  out->term_rank = term_zipf_.next(g.rng);
+  double u = g.rng.next_double();
+  if (u < config_.interactive_frac) {
+    out->klass = core::QueryClass::kInteractive;
+  } else if (u < config_.interactive_frac + config_.batch_frac) {
+    out->klass = core::QueryClass::kBatch;
+  } else {
+    out->klass = core::QueryClass::kScavenger;
+  }
+  out->cache_hit = false;
+  out->io_cost_s = 0.0;
+  if (g.cache) {
+    if (!g.cache->has_user(out->user)) {
+      g.cache->register_user(out->user, template_store_.get());
+    }
+    auto acc = g.cache->access(out->user, config_.io, config_.miss_mode);
+    out->cache_hit = acc.mode == pps::SourceMode::kMemory;
+    out->io_cost_s = acc.io_seconds;
+  }
+  return true;
+}
+
+void WorkloadEngine::start() {
+  live_ = make_gen();
+  start_t_ = clock_.now();
+  if (config_.record_arrivals) recorded_.clear();
+  schedule_next();
+  for (size_t i = 0; i < config_.ingest_storms.size(); ++i) {
+    const IngestStorm& s = config_.ingest_storms[i];
+    if (s.rate_per_s <= 0 || s.duration_s <= 0) continue;
+    schedule_storm(i, start_t_ + s.at, start_t_ + s.at + s.duration_s);
+  }
+}
+
+void WorkloadEngine::schedule_next() {
+  Arrival a;
+  if (!next_arrival(*live_, &a)) {
+    finished_generating_ = true;
+    return;
+  }
+  auto alive = alive_;
+  clock_.schedule_at(start_t_ + a.at, [this, alive, a] {
+    if (!*alive) return;
+    submit_arrival(a);
+    schedule_next();
+  });
+}
+
+void WorkloadEngine::submit_arrival(const Arrival& a) {
+  ++totals_[core::class_index(a.klass)].offered;
+  if (config_.record_arrivals) recorded_.push_back(a);
+  QueryRequest req;
+  req.klass = a.klass;
+  req.user = a.user;
+  req.extra_cost_s = a.io_cost_s;
+  ++outstanding_;
+  auto alive = alive_;
+  core::QueryClass klass = a.klass;
+  submit_(req, [this, alive, klass](const QueryOutcome& o) {
+    if (!*alive) return;
+    --outstanding_;
+    ClassTotals& t = totals_[core::class_index(klass)];
+    if (o.shed) {
+      ++t.shed;
+      return;
+    }
+    if (o.id == 0 || (!o.complete && o.harvest <= 0.0)) {
+      ++t.failed;
+      return;
+    }
+    ++t.completed;
+    t.latency.add(o.breakdown.total_s);
+    if (o.breakdown.total_s <= contract_.of(klass).target_p99_s) ++t.in_slo;
+    if (o.harvest < 1.0) ++t.degraded;
+  });
+}
+
+void WorkloadEngine::schedule_storm(size_t i, double at, double until) {
+  auto alive = alive_;
+  clock_.schedule_at(at, [this, alive, i, until] {
+    if (!*alive) return;
+    if (ingest_op_) {
+      bool is_delete =
+          storm_rng_->next_double() < config_.storm_delete_frac;
+      ingest_op_(is_delete);
+      ++ingest_ops_;
+    }
+    double next = clock_.now() + storm_rng_->next_exponential(
+                                     config_.ingest_storms[i].rate_per_s);
+    if (next < until) schedule_storm(i, next, until);
+  });
+}
+
+std::vector<Arrival> WorkloadEngine::pregenerate(size_t max_n) const {
+  std::vector<Arrival> out;
+  auto g = make_gen();
+  Arrival a;
+  while (out.size() < max_n && next_arrival(*g, &a)) out.push_back(a);
+  return out;
+}
+
+uint64_t WorkloadEngine::total_offered() const {
+  uint64_t n = 0;
+  for (const auto& t : totals_) n += t.offered;
+  return n;
+}
+
+uint64_t WorkloadEngine::total_completed() const {
+  uint64_t n = 0;
+  for (const auto& t : totals_) n += t.completed;
+  return n;
+}
+
+double WorkloadEngine::shed_frac(core::QueryClass c) const {
+  const ClassTotals& t = totals_[core::class_index(c)];
+  return t.offered ? static_cast<double>(t.shed) /
+                         static_cast<double>(t.offered)
+                   : 0.0;
+}
+
+double WorkloadEngine::violation_frac(core::QueryClass c) const {
+  const ClassTotals& t = totals_[core::class_index(c)];
+  if (t.offered == 0) return 0.0;
+  // Controlled shedding within the contract's max_shed allowance is not a
+  // violation — that is the contract's whole point. Only the excess
+  // counts, alongside served-but-late and failed queries.
+  auto allowed_shed = static_cast<uint64_t>(
+      contract_.of(c).max_shed * static_cast<double>(t.offered));
+  uint64_t violations = (t.completed - t.in_slo) + t.failed +
+                        (t.shed > allowed_shed ? t.shed - allowed_shed : 0);
+  return static_cast<double>(violations) / static_cast<double>(t.offered);
+}
+
+pps::CacheStats WorkloadEngine::cache_stats() const {
+  if (live_ && live_->cache) return live_->cache->stats();
+  return {};
+}
+
+}  // namespace roar::cluster

@@ -73,6 +73,10 @@ enum class SeedStream : uint64_t {
   // arrival processes from the same base seed.
   kScenarioWorkload = 7,
   kIngest = 8,  // ingest router: document id + encryption-seed draws
+  // WorkloadEngine (cluster/workload.h): user/term Zipf draws, class mix,
+  // thinning acceptance. Distinct from kWorkload / kScenarioWorkload so
+  // attaching an engine never perturbs a harness's own arrival streams.
+  kWorkloadEngine = 9,
 };
 
 // Derives an independent, well-mixed child seed for `stream`.

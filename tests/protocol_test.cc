@@ -24,6 +24,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   sq.window_end = RingId::from_double(0.625);
   sq.pq = 16;
   sq.share = 0.0625;
+  sq.klass = 2;
   out.emplace_back("SubQuery", sq.encode());
 
   SubQueryReplyMsg rep;
@@ -32,6 +33,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   rep.scanned = 1'000'000;
   rep.matches = 41;
   rep.service_s = 0.125;
+  rep.shed = 1;
   out.emplace_back("SubQueryReply", rep.encode());
 
   ViewDeltaMsg vd;

@@ -1,0 +1,317 @@
+// Workload engine + overload control: generator determinism, open-loop
+// reproducibility across harnesses, the admission controller's unit law,
+// and a flash-crowd scenario where the invariants must hold while the
+// shedder is actively refusing work.
+#include "cluster/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/emulated_cluster.h"
+#include "cluster/scenario.h"
+#include "cluster/tcp_cluster.h"
+#include "core/slo.h"
+
+namespace roar::cluster {
+namespace {
+
+WorkloadConfig small_workload() {
+  WorkloadConfig w;
+  w.users = 10'000;
+  w.query_terms = 1'000;
+  w.base_rate_per_s = 200.0;
+  w.duration_s = 2.0;
+  w.cache_capacity_bytes = 64 * 64 * 1024;  // ~64 users resident
+  w.seed = 21;
+  return w;
+}
+
+// A null submit hook: every query completes instantly and in SLO, so
+// generator-only tests never need a cluster.
+WorkloadEngine::SubmitFn accept_all() {
+  return [](const QueryRequest&, Frontend::QueryCallback cb) -> uint64_t {
+    QueryOutcome out;
+    out.id = 1;
+    out.complete = true;
+    cb(out);
+    return 1;
+  };
+}
+
+// --- generator determinism ------------------------------------------------
+
+TEST(WorkloadGenTest, PregenerateIsDeterministicPerSeed) {
+  net::EventLoop loop;
+  WorkloadEngine a(loop, small_workload(), accept_all());
+  WorkloadEngine b(loop, small_workload(), accept_all());
+  auto wa = a.pregenerate(200);
+  auto wb = b.pregenerate(200);
+  ASSERT_EQ(wa.size(), wb.size());
+  ASSERT_FALSE(wa.empty());
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(wa[i].at, wb[i].at);
+    EXPECT_EQ(wa[i].user, wb[i].user);
+    EXPECT_EQ(wa[i].term_rank, wb[i].term_rank);
+    EXPECT_EQ(wa[i].klass, wb[i].klass);
+    EXPECT_EQ(wa[i].cache_hit, wb[i].cache_hit);
+    EXPECT_DOUBLE_EQ(wa[i].io_cost_s, wb[i].io_cost_s);
+  }
+
+  WorkloadConfig other = small_workload();
+  other.seed = 22;
+  WorkloadEngine c(loop, other, accept_all());
+  auto wc = c.pregenerate(200);
+  ASSERT_FALSE(wc.empty());
+  bool differs = wa.size() != wc.size();
+  for (size_t i = 0; !differs && i < std::min(wa.size(), wc.size()); ++i) {
+    differs = wa[i].user != wc[i].user || wa[i].at != wc[i].at;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical arrivals";
+}
+
+TEST(WorkloadGenTest, UserPopularityIsZipfSkewed) {
+  net::EventLoop loop;
+  WorkloadConfig w = small_workload();
+  w.duration_s = 60.0;
+  WorkloadEngine eng(loop, w, accept_all());
+  auto arrivals = eng.pregenerate(5'000);
+  ASSERT_GE(arrivals.size(), 1'000u);
+  std::map<uint64_t, uint64_t> counts;
+  uint64_t head = 0;  // draws landing in the top-100 users
+  for (const auto& a : arrivals) {
+    ASSERT_LT(a.user, w.users);
+    ASSERT_GE(a.term_rank, 1u);
+    ASSERT_LE(a.term_rank, w.query_terms);
+    ++counts[a.user];
+    if (a.user < 100) ++head;
+  }
+  // Zipf(0.9) over 10k users puts far more than the uniform 1% of mass on
+  // the top-100; uniform would give ~1%, the skew gives tens of percent.
+  EXPECT_GT(static_cast<double>(head) / arrivals.size(), 0.10);
+  // And the single most popular user dominates any mid-tail user.
+  EXPECT_GT(counts[0], counts.count(5'000) ? counts[5'000] : 0);
+}
+
+TEST(WorkloadGenTest, RateEnvelopeFollowsDiurnalAndCrowds) {
+  net::EventLoop loop;
+  WorkloadConfig w = small_workload();
+  w.base_rate_per_s = 100.0;
+  w.diurnal = {0.5, 1.5};  // trough at phase 0, peak mid-period
+  w.diurnal_period_s = 100.0;
+  w.flash_crowds.push_back({10.0, 5.0, 4.0});
+  WorkloadEngine eng(loop, w, accept_all());
+  EXPECT_DOUBLE_EQ(eng.rate_at(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(eng.rate_at(50.0), 150.0);   // diurnal peak
+  EXPECT_GT(eng.rate_at(12.0), 4 * 50.0);       // crowd multiplies
+  EXPECT_LT(eng.rate_at(16.0), 100.0);          // crowd over
+}
+
+TEST(WorkloadGenTest, CacheMissesChargeIoAndHitsAreFree) {
+  net::EventLoop loop;
+  WorkloadConfig w = small_workload();
+  w.users = 16;  // small population: every user becomes resident fast
+  w.cache_capacity_bytes = 32 * 1024 * 1024;
+  WorkloadEngine eng(loop, w, accept_all());
+  auto arrivals = eng.pregenerate(300);
+  ASSERT_FALSE(arrivals.empty());
+  uint64_t hits = 0, misses = 0;
+  for (const auto& a : arrivals) {
+    if (a.cache_hit) {
+      ++hits;
+      EXPECT_DOUBLE_EQ(a.io_cost_s, 0.0);
+    } else {
+      ++misses;
+      EXPECT_GT(a.io_cost_s, 0.0);
+    }
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+  EXPECT_LE(misses, w.users);  // with room for all, each user misses once
+}
+
+// --- open-loop reproducibility across harnesses ---------------------------
+
+TEST(WorkloadParityTest, LiveRunMatchesPregenerateOnEmulatedCluster) {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", 8, 1.0}};
+  cfg.dataset_size = 200'000;
+  cfg.p = 4;
+  cfg.seed = 11;
+  EmulatedCluster c(cfg);
+
+  WorkloadConfig w = small_workload();
+  w.record_arrivals = true;
+  WorkloadEngine eng(
+      c.loop(), w,
+      [&](const QueryRequest& req, Frontend::QueryCallback cb) {
+        return c.submit_query(req, std::move(cb));
+      });
+  auto expected = eng.pregenerate(100'000);
+  eng.start();
+  c.loop().run_until(c.now() + w.duration_s + 60.0);
+  EXPECT_TRUE(eng.done());
+
+  const auto& got = eng.arrivals();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].at, expected[i].at);
+    EXPECT_EQ(got[i].user, expected[i].user);
+    EXPECT_EQ(got[i].klass, expected[i].klass);
+    EXPECT_EQ(got[i].cache_hit, expected[i].cache_hit);
+  }
+  EXPECT_EQ(eng.total_offered(), got.size());
+  uint64_t failed = 0;
+  for (auto klass : {core::QueryClass::kInteractive, core::QueryClass::kBatch,
+                     core::QueryClass::kScavenger}) {
+    failed += eng.totals(klass).failed;
+  }
+  EXPECT_EQ(eng.total_completed() + failed, got.size());
+}
+
+TEST(WorkloadParityTest, TcpHarnessSubmitsTheSameArrivalSequence) {
+  // The TCP harness runs on the wall clock, so keep the window short; the
+  // arrival *sequence* (times, users, classes, cache decisions) must be
+  // byte-identical with the emulated harness's for the same config.
+  WorkloadConfig w = small_workload();
+  w.base_rate_per_s = 120.0;
+  w.duration_s = 0.4;
+  w.record_arrivals = true;
+
+  net::EventLoop loop;
+  WorkloadEngine reference(loop, w, accept_all());
+  auto expected = reference.pregenerate(100'000);
+  ASSERT_FALSE(expected.empty());
+
+  TcpClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.p = 2;
+  cfg.dataset_size = 50'000;
+  cfg.seed = 11;
+  TcpCluster c(cfg);
+  WorkloadEngine eng(
+      c.driver().clock(), w,
+      [&](const QueryRequest& req, Frontend::QueryCallback cb) {
+        return c.submit_query(req, std::move(cb));
+      });
+  eng.start();
+  for (int i = 0; i < 400 && !eng.done(); ++i) c.run_for(0.05);
+  EXPECT_TRUE(eng.done());
+
+  const auto& got = eng.arrivals();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].at, expected[i].at);
+    EXPECT_EQ(got[i].user, expected[i].user);
+    EXPECT_EQ(got[i].term_rank, expected[i].term_rank);
+    EXPECT_EQ(got[i].klass, expected[i].klass);
+    EXPECT_EQ(got[i].cache_hit, expected[i].cache_hit);
+  }
+}
+
+// --- admission controller unit law ----------------------------------------
+
+TEST(AdmissionControllerTest, ThresholdsFollowClassPriority) {
+  core::AdmissionParams p;
+  p.inflight_cap = 100;
+  core::AdmissionController adm(p);
+  EXPECT_EQ(adm.threshold(core::QueryClass::kInteractive), 100u);
+  EXPECT_EQ(adm.threshold(core::QueryClass::kBatch), 65u);
+  EXPECT_EQ(adm.threshold(core::QueryClass::kScavenger), 35u);
+}
+
+TEST(AdmissionControllerTest, AdmitsBelowAndShedsAtTheCap) {
+  core::AdmissionParams p;
+  p.inflight_cap = 10;
+  core::AdmissionController adm(p);
+  EXPECT_TRUE(adm.admit(core::QueryClass::kInteractive, 9));
+  EXPECT_FALSE(adm.admit(core::QueryClass::kInteractive, 10));
+  EXPECT_TRUE(adm.shedding(core::QueryClass::kInteractive));
+  // Scavengers lose their share long before interactive queries do.
+  EXPECT_FALSE(adm.admit(core::QueryClass::kScavenger, 4));
+  EXPECT_TRUE(adm.admit(core::QueryClass::kBatch, 4));
+}
+
+TEST(AdmissionControllerTest, HysteresisHoldsUntilQueueDrains) {
+  core::AdmissionParams p;
+  p.inflight_cap = 100;
+  p.resume_frac = 0.75;
+  core::AdmissionController adm(p);
+  EXPECT_FALSE(adm.admit(core::QueryClass::kInteractive, 100));  // trips
+  // One slot under the threshold is not a recovery: still shedding.
+  EXPECT_FALSE(adm.admit(core::QueryClass::kInteractive, 99));
+  EXPECT_FALSE(adm.admit(core::QueryClass::kInteractive, 75));
+  // Below resume_frac × threshold the class resumes.
+  EXPECT_TRUE(adm.admit(core::QueryClass::kInteractive, 74));
+  EXPECT_FALSE(adm.shedding(core::QueryClass::kInteractive));
+}
+
+TEST(AdmissionControllerTest, StatsConserveOfferedQueries) {
+  core::AdmissionParams p;
+  p.inflight_cap = 4;
+  core::AdmissionController adm(p);
+  for (size_t inflight : {0u, 2u, 4u, 5u, 1u, 0u}) {
+    adm.admit(core::QueryClass::kBatch, inflight);
+  }
+  const auto& st = adm.stats(core::QueryClass::kBatch);
+  EXPECT_EQ(st.offered, 6u);
+  EXPECT_EQ(st.offered, st.admitted + st.shed);
+  EXPECT_EQ(adm.total_offered(), 6u);
+}
+
+// --- flash crowd: shedding active, invariants intact ----------------------
+
+TEST(WorkloadOverloadTest, FlashCrowdShedsWithoutViolatingInvariants) {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", 8, 1.0}};
+  cfg.dataset_size = 2'000'000;
+  cfg.p = 4;
+  cfg.seed = 13;
+  cfg.slo.enabled = true;
+  EmulatedCluster c(cfg);
+  ASSERT_NE(c.frontend(0).admission(), nullptr);
+  double rated = c.rated_capacity_qps();
+  ASSERT_GT(rated, 0.0);
+
+  WorkloadConfig w;
+  w.users = 50'000;
+  w.base_rate_per_s = 0.5 * rated;
+  w.duration_s = 8.0;
+  // A ×10 crowd mid-window: far past saturation, so the admission
+  // controller must shed or the in-flight queue would grow unboundedly.
+  w.flash_crowds.push_back({2.0, 3.0, 10.0});
+  w.seed = 23;
+  WorkloadEngine eng(
+      c.loop(), w,
+      [&](const QueryRequest& req, Frontend::QueryCallback cb) {
+        return c.submit_query(req, std::move(cb));
+      });
+  InvariantChecker checker(c, 99);
+  eng.start();
+  c.loop().run_until(c.now() + 4.0);
+  checker.check("mid-crowd");
+  c.loop().run_until(c.now() + w.duration_s + 120.0);
+  EXPECT_TRUE(eng.done());
+  checker.check("after-crowd");
+
+  EXPECT_GT(c.admission_shed_total(), 0u) << "crowd never tripped the shedder";
+  for (const auto& v : checker.violations()) {
+    ADD_FAILURE() << v.context << ": " << v.detail;
+  }
+  // The hard cap held: the in-flight high-water mark never passed the
+  // admission bound.
+  const Frontend& fe = c.frontend(0);
+  EXPECT_LE(fe.queue_hwm(), fe.admission()->params().inflight_cap);
+  // Conservation end-to-end: everything offered was answered one way or
+  // another once the loop drained.
+  uint64_t accounted = 0;
+  for (auto klass : {core::QueryClass::kInteractive, core::QueryClass::kBatch,
+                     core::QueryClass::kScavenger}) {
+    const ClassTotals& t = eng.totals(klass);
+    accounted += t.completed + t.shed + t.failed;
+  }
+  EXPECT_EQ(accounted, eng.total_offered());
+}
+
+}  // namespace
+}  // namespace roar::cluster
