@@ -3,9 +3,13 @@
 // Every bench keeps its human-readable gnuplot output (bench_util.h) and
 // additionally accepts:
 //
-//   --json <path>     write a BENCH_<name>.json record on exit
-//   --seed <n>        override the bench's default seed
-//   --duration <s>    override the bench's default per-run time budget
+//   --json <path>         write a BENCH_<name>.json record on exit
+//   --seed <n>            override the bench's default seed
+//   --duration <s>        override the bench's default per-run time budget
+//   --trace-out <path>    write the bench's assembled span trees as text
+//   --metrics-out <path>  write the metrics-registry exposition as text
+//
+// Flags accept both "--flag value" and "--flag=value" spellings.
 //
 // The JSON record is the machine-readable contract the CI perf gate
 // consumes (see BENCHMARKS.md for the schema and bench/check_perf.py for
@@ -31,13 +35,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 
 namespace roar::bench {
 
 struct RunnerOptions {
   std::string bench_name;
-  std::string json_path;  // empty = no JSON record
+  std::string json_path;         // empty = no JSON record
+  std::string trace_out_path;    // empty = no span-tree dump
+  std::string metrics_out_path;  // empty = no metrics exposition dump
   uint64_t seed = 0;
   bool seed_set = false;
   double duration_s = 0.0;
@@ -56,7 +63,19 @@ struct RunnerOptions {
     opt.bench_name = bench_name;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
-      auto next_value = [&](const char* flag) -> const char* {
+      // Split "--flag=value" so both spellings hit the same handlers.
+      std::string inline_value;
+      bool has_inline = false;
+      if (arg.rfind("--", 0) == 0) {
+        size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+          inline_value = arg.substr(eq + 1);
+          arg.erase(eq);
+          has_inline = true;
+        }
+      }
+      auto next_value = [&](const char* flag) -> std::string {
+        if (has_inline) return inline_value;
         if (i + 1 >= argc) {
           std::fprintf(stderr, "%s: %s requires a value\n",
                        bench_name.c_str(), flag);
@@ -66,16 +85,21 @@ struct RunnerOptions {
       };
       if (arg == "--json") {
         opt.json_path = next_value("--json");
+      } else if (arg == "--trace-out") {
+        opt.trace_out_path = next_value("--trace-out");
+      } else if (arg == "--metrics-out") {
+        opt.metrics_out_path = next_value("--metrics-out");
       } else if (arg == "--seed") {
-        opt.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        opt.seed = std::strtoull(next_value("--seed").c_str(), nullptr, 10);
         opt.seed_set = true;
       } else if (arg == "--duration") {
-        opt.duration_s = std::strtod(next_value("--duration"), nullptr);
+        opt.duration_s = std::strtod(next_value("--duration").c_str(), nullptr);
         opt.duration_set = true;
       } else if (arg == "--help" || arg == "-h") {
         std::fprintf(stderr,
                      "usage: %s [--json out.json] [--seed n] "
-                     "[--duration seconds]\n",
+                     "[--duration seconds] [--trace-out spans.txt] "
+                     "[--metrics-out metrics.txt]\n",
                      bench_name.c_str());
         std::exit(0);
       } else {
@@ -114,6 +138,26 @@ class BenchReport {
     metric(prefix + "_p99_ms", samples.percentile(0.99) * 1e3);
   }
 
+  // Same keys, sourced from a registry histogram — the path for benches
+  // that no longer keep raw samples (~9% bucket resolution is plenty for
+  // the gate's 25% tolerance).
+  void latency_ms(const std::string& prefix, const Histogram& hist) {
+    metric(prefix + "_mean_ms", hist.mean() * 1e3);
+    metric(prefix + "_p50_ms", hist.percentile(0.50) * 1e3);
+    metric(prefix + "_p99_ms", hist.percentile(0.99) * 1e3);
+  }
+
+  // Embeds a full registry snapshot into the record: every series becomes
+  // a metric under its registry name ("frontend.shed", "pool.tasks_stolen",
+  // ...). The gate only compares keys listed in the committed baseline, so
+  // embedding is additive — it gives CI artifacts the whole metrics plane
+  // without widening the gate.
+  void embed_registry(const MetricsRegistry& registry) {
+    for (const auto& [name, value] : registry.snapshot().values) {
+      metric(name, value);
+    }
+  }
+
   // Writes the record to --json (no-op without the flag). Returns false
   // only on I/O failure.
   bool write() const {
@@ -147,5 +191,23 @@ class BenchReport {
   double duration_s_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
+
+// Writes `text` to `path` for the --trace-out / --metrics-out flags.
+// Empty path is a no-op success; failures are reported but non-fatal by
+// convention (observability output never fails a bench run).
+inline bool write_text_out(const std::string& bench_name,
+                           const std::string& path, const std::string& text) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name.c_str(),
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+  return true;
+}
 
 }  // namespace roar::bench

@@ -13,10 +13,14 @@
 //
 // Build & run:  ./build/bench/bench_tcp_loopback [--json out.json]
 //               [--seed n] [--duration per-run-seconds]
+//               [--trace-out spans.txt] [--metrics-out metrics.txt]
+#include <algorithm>
+
 #include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "cluster/tcp_cluster.h"
-#include "common/stats.h"
+#include "common/metrics.h"
+#include "core/tracer.h"
 #include "net/buf.h"
 
 using namespace roar;
@@ -83,9 +87,12 @@ double frames_per_writev(TcpCluster& cluster) {
   return syscalls > 0 ? frames / syscalls : 0.0;
 }
 
+// Latency quantiles come from the cluster's own frontend.latency_s
+// registry histogram (log-bucketed, ~9% resolution) instead of a raw
+// SampleSet — the bench only reports mean/p50/p99, never raw samples.
 struct RunResult {
   double qps = 0.0;
-  SampleSet latency;
+  uint32_t submitted = 0;
   uint32_t completed = 0;
 };
 
@@ -101,10 +108,9 @@ RunResult run_windowed(TcpCluster& cluster, double duration_s,
   std::function<void()> submit_next = [&] {
     if (driver.clock().now() >= stop_at) return;
     ++outstanding;
-    double start = driver.clock().now();
-    cluster.frontend().submit([&, start](const QueryOutcome& out) {
+    ++res.submitted;
+    cluster.frontend().submit([&](const QueryOutcome& out) {
       --outstanding;
-      res.latency.add(driver.clock().now() - start);
       if (out.complete) ++res.completed;
       submit_next();
     });
@@ -115,8 +121,12 @@ RunResult run_windowed(TcpCluster& cluster, double duration_s,
       duration_s + 60.0);
 
   double elapsed = driver.clock().now() - t0;
-  res.qps = elapsed > 0 ? res.latency.count() / elapsed : 0.0;
+  res.qps = elapsed > 0 ? res.submitted / elapsed : 0.0;
   return res;
+}
+
+const Histogram& latency_hist(TcpCluster& cluster) {
+  return cluster.metrics().histogram("frontend.latency_s");
 }
 
 }  // namespace
@@ -144,18 +154,19 @@ int main(int argc, char** argv) {
     TcpCluster cluster(bench_config(seed, workers, /*real_matching=*/false));
     uint64_t bytes_fresh0 = net::byte_freelist_stats().fresh;
     RunResult r = run_windowed(cluster, duration, kWindow);
-    row({static_cast<double>(workers), r.qps, r.latency.mean() * 1e3,
-         r.latency.median() * 1e3, r.latency.percentile(0.99) * 1e3,
+    const Histogram& lat = latency_hist(cluster);
+    row({static_cast<double>(workers), r.qps, lat.mean() * 1e3,
+         lat.percentile(0.50) * 1e3, lat.percentile(0.99) * 1e3,
          static_cast<double>(r.completed)});
     if (workers == 0) {
       qps_inline = r.qps;
       report.metric("queries_per_s_inline", r.qps);
-      report.latency_ms("inline", r.latency);
+      report.latency_ms("inline", lat);
     }
     if (workers == 16) {
       qps_best = r.qps;
       report.metric("queries_per_s", r.qps);
-      report.latency_ms("latency", r.latency);
+      report.latency_ms("latency", lat);
       report.metric("complete", r.completed);
       report.metric("bytes_per_query",
                     r.completed > 0 ? static_cast<double>(
@@ -178,6 +189,14 @@ int main(int argc, char** argv) {
                     static_cast<double>(cluster.driver().wakeups_elided()));
       report.metric("express_submits",
                     static_cast<double>(cluster.pool_express_submits()));
+      // The 16-worker run's whole metrics plane rides along in the JSON
+      // record, and the observability flags dump it (plus the assembled
+      // span trees still in the trace rings) as text.
+      report.embed_registry(cluster.metrics());
+      write_text_out(opt.bench_name, opt.metrics_out_path,
+                     cluster.metrics().to_text());
+      write_text_out(opt.bench_name, opt.trace_out_path,
+                     core::SpanAssembler::render_all(cluster.trace_events()));
       blank();
       note("traffic at 16 workers: " +
            std::to_string(cluster.messages_sent()) + " msgs, " +
@@ -203,21 +222,44 @@ int main(int argc, char** argv) {
     uint32_t workers;
     uint32_t shards;
   };
+  double real_traced_qps = 0.0;
   for (RealPoint pt : {RealPoint{0, 1}, RealPoint{4, 1}, RealPoint{4, 2}}) {
     TcpCluster cluster(
         bench_config(seed, pt.workers, /*real_matching=*/true, pt.shards));
     RunResult r = run_windowed(cluster, duration, /*window=*/8);
+    const Histogram& lat = latency_hist(cluster);
     row({static_cast<double>(pt.workers), static_cast<double>(pt.shards),
-         r.qps, r.latency.mean() * 1e3, r.latency.median() * 1e3,
-         r.latency.percentile(0.99) * 1e3,
-         static_cast<double>(r.completed)});
+         r.qps, lat.mean() * 1e3, lat.percentile(0.50) * 1e3,
+         lat.percentile(0.99) * 1e3, static_cast<double>(r.completed)});
     if (pt.workers == 0) {
       report.metric("real_queries_per_s_inline", r.qps);
     } else if (pt.shards == 1) {
+      real_traced_qps = r.qps;
       report.metric("real_queries_per_s", r.qps);
     } else {
       report.metric("real_queries_per_s_sharded", r.qps);
     }
+  }
+
+  // ---- tracing-overhead gate --------------------------------------------
+  // The same 4-worker real-matching run with trace-event recording off.
+  // Tracing is always-on in the harness, so this is the honest measurement
+  // of what that costs; CI gates tracing_overhead_pct (lower is better).
+  {
+    TcpCluster cluster(
+        bench_config(seed, 4, /*real_matching=*/true, /*reactor_shards=*/1));
+    cluster.tracer().set_enabled(false);
+    RunResult r = run_windowed(cluster, duration, /*window=*/8);
+    report.metric("real_queries_per_s_untraced", r.qps);
+    double overhead_pct =
+        r.qps > 0 ? std::max(0.0, (r.qps - real_traced_qps) / r.qps * 100.0)
+                  : 0.0;
+    report.metric("tracing_overhead_pct", overhead_pct);
+    blank();
+    note("tracing overhead (real matching, 4 workers): traced " +
+         std::to_string(real_traced_qps) + " q/s vs untraced " +
+         std::to_string(r.qps) + " q/s = " + std::to_string(overhead_pct) +
+         "%");
   }
 
   blank();

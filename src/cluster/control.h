@@ -114,6 +114,18 @@ class ControlPlane {
   uint32_t p_changes_committed() const { return p_changes_; }
   // Last acked epoch of a subscriber (0 if never heard from).
   uint64_t acked_epoch(net::Address addr) const;
+  // Worst view-convergence lag: epoch() − min acked epoch over
+  // subscribers not marked down (0 = everyone caught up). The metrics
+  // plane's control.epoch_lag gauge.
+  uint64_t max_epoch_lag() const {
+    uint64_t lag = 0;
+    for (const auto& [addr, sub] : subs_) {
+      if (sub.down) continue;
+      uint64_t d = view_.epoch > sub.acked ? view_.epoch - sub.acked : 0;
+      if (d > lag) lag = d;
+    }
+    return lag;
+  }
   const core::AdaptivePController* adaptive() const {
     return adaptive_ ? &*adaptive_ : nullptr;
   }

@@ -95,6 +95,9 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
         transport(), i, config_.frontend, config_.dataset_size,
         frontend_seed(config_.seed, i)));
     control_->subscribe_frontend(frontends_.back()->address());
+    frontends_.back()->set_tracer(&tracer_, 0);
+    frontends_.back()->set_latency_histogram(
+        &metrics_.histogram("frontend.latency_s"));
     frontends_.back()->start();
   }
 
@@ -104,9 +107,16 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
         transport(), config_.ingest, subseed(config_.seed, SeedStream::kIngest),
         engine_, [this] { return membership_.ring(0); },
         [this] { return control_->storage_p(); });
+    ingest_router_->set_tracer(&tracer_, 0);
     ingest_router_->start();
     for (auto& fe : frontends_) fe->set_ingest(ingest_router_.get());
   }
+
+  register_gauges();
+  tracer_.set_dump_renderer([this](uint64_t id, const std::string& reason) {
+    return core::render_flight_dump(tracer_.collect(), id, reason,
+                                    metrics_.to_text());
+  });
 
   // Create and join all nodes.
   NodeId id = 0;
@@ -129,12 +139,125 @@ EmulatedCluster::EmulatedCluster(ClusterConfig config)
   measure_start_ = loop_.now();
 }
 
+// One registry absorbs every component's scattered counters as lazy
+// gauges: nothing is sampled until snapshot(), so registration costs
+// nothing on the hot path and newly added nodes are picked up for free
+// (the callbacks iterate the live component lists).
+void EmulatedCluster::register_gauges() {
+  metrics_.gauge_fn("frontend.completed", [this] {
+    uint64_t n = 0;
+    for (const auto& fe : frontends_) n += fe->queries_completed();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("frontend.failures_detected", [this] {
+    uint64_t n = 0;
+    for (const auto& fe : frontends_) n += fe->failures_detected();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("frontend.shed", [this] {
+    return static_cast<double>(admission_shed_total());
+  });
+  metrics_.gauge_fn("frontend.parts_shed", [this] {
+    uint64_t n = 0;
+    for (const auto& fe : frontends_) n += fe->parts_shed();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("frontend.queue_hwm", [this] {
+    size_t m = 0;
+    for (const auto& fe : frontends_) m = std::max(m, fe->queue_hwm());
+    return static_cast<double>(m);
+  });
+  metrics_.gauge_fn("node.subqueries", [this] {
+    uint64_t n = 0;
+    for (const auto& nd : nodes_) n += nd->subqueries_served();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("node.updates_applied", [this] {
+    uint64_t n = 0;
+    for (const auto& nd : nodes_) n += nd->updates_applied();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("node.shed", [this] {
+    return static_cast<double>(node_shed_total());
+  });
+  metrics_.gauge_fn("node.exec_queue_hwm", [this] {
+    size_t m = 0;
+    for (const auto& nd : nodes_) m = std::max(m, nd->exec_queue_hwm());
+    return static_cast<double>(m);
+  });
+  metrics_.gauge_fn("node.backlog_hwm_s", [this] {
+    double m = 0;
+    for (const auto& nd : nodes_) m = std::max(m, nd->backlog_hwm_s());
+    return m;
+  });
+  metrics_.gauge_fn("net.messages_sent", [this] {
+    return static_cast<double>(transport().messages_sent());
+  });
+  metrics_.gauge_fn("net.messages_dropped", [this] {
+    return static_cast<double>(transport().messages_dropped());
+  });
+  metrics_.gauge_fn("net.bytes_sent", [this] {
+    return static_cast<double>(transport().bytes_sent());
+  });
+  metrics_.gauge_fn("control.epoch", [this] {
+    return static_cast<double>(control_->epoch());
+  });
+  metrics_.gauge_fn("control.epoch_lag", [this] {
+    return static_cast<double>(control_->max_epoch_lag());
+  });
+  metrics_.gauge_fn("control.p_changes_committed", [this] {
+    return static_cast<double>(control_->p_changes_committed());
+  });
+  metrics_.gauge_fn("trace.events", [this] {
+    return static_cast<double>(tracer_.events_recorded());
+  });
+  metrics_.gauge_fn("trace.anomalies", [this] {
+    return static_cast<double>(tracer_.anomalies_seen());
+  });
+  if (ingest_router_) {
+    IngestRouter* r = ingest_router_.get();
+    metrics_.gauge_fn("ingest.ops_accepted", [r] {
+      return static_cast<double>(r->ops_accepted());
+    });
+    metrics_.gauge_fn("ingest.updates_sent", [r] {
+      return static_cast<double>(r->updates_sent());
+    });
+    metrics_.gauge_fn("ingest.retransmits", [r] {
+      return static_cast<double>(r->retransmits());
+    });
+    metrics_.gauge_fn("ingest.loss_events", [r] {
+      return static_cast<double>(r->loss_events());
+    });
+    metrics_.gauge_fn("ingest.flow_abandoned", [r] {
+      return static_cast<double>(r->flow_abandoned());
+    });
+    metrics_.gauge_fn("ingest.syncs_served", [r] {
+      return static_cast<double>(r->syncs_served());
+    });
+    metrics_.gauge_fn("ingest.sync_chunks_sent", [r] {
+      return static_cast<double>(r->sync_chunks_sent());
+    });
+    metrics_.gauge_fn("ingest.full_segments_sent", [r] {
+      return static_cast<double>(r->full_segments_sent());
+    });
+    metrics_.gauge_fn("ingest.ops_applied", [this] {
+      uint64_t n = 0;
+      for (const auto& nd : nodes_) {
+        if (nd->ingest()) n += nd->ingest()->ops_applied();
+      }
+      return static_cast<double>(n);
+    });
+  }
+}
+
 void EmulatedCluster::make_node(NodeId id, double speed) {
   NodeParams np = config_.node_proto;
   np.id = id;
   np.speed = speed;
   auto node =
       std::make_unique<NodeRuntime>(transport(), np, config_.dataset_size);
+  node->set_tracer(&tracer_, 0);
+  node->set_service_histogram(&metrics_.histogram("node.service_s"));
   if (config_.enable_ingest) {
     node->set_match_engine(engine_);
     node->set_modeled_timing(true);  // keep virtual time host-free

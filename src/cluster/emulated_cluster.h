@@ -22,7 +22,9 @@
 #include "cluster/control.h"
 #include "cluster/frontend.h"
 #include "cluster/node.h"
+#include "common/metrics.h"
 #include "core/membership.h"
+#include "core/tracer.h"
 #include "net/fault_transport.h"
 #include "net/inproc.h"
 #include "sim/farm.h"
@@ -102,6 +104,21 @@ class EmulatedCluster {
   size_t node_count() const { return nodes_.size(); }
   NodeRuntime& node(NodeId id) { return *nodes_.at(id); }
   std::vector<NodeId> node_ids() const;
+
+  // --- observability ------------------------------------------------------
+  // The unified metrics plane: every component's counters exposed through
+  // one registry (lazy gauges evaluated at snapshot), plus the hot-path
+  // latency/service histograms the frontends and nodes feed directly.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  // The cluster tracer (one virtual-time ring; the whole harness is
+  // single-threaded, so ring reads are always safe here).
+  core::Tracer& tracer() { return tracer_; }
+  const core::Tracer& tracer() const { return tracer_; }
+  // Merged, time-sorted trace events from every component.
+  std::vector<core::TraceEvent> trace_events() const {
+    return tracer_.collect();
+  }
 
   // Publishes the current membership + reconfiguration state as a new
   // view epoch (no-op when nothing changed). Laggards converge through
@@ -193,10 +210,15 @@ class EmulatedCluster {
  private:
   void make_node(NodeId id, double speed);
   void schedule_warmup_push(NodeId id);
+  void register_gauges();
 
   ClusterConfig config_;
   net::EventLoop loop_;
   net::InProcNetwork net_;
+  // Observability plane. Declared before the components that record into
+  // it, so it is destroyed after them.
+  MetricsRegistry metrics_;
+  core::Tracer tracer_;
   std::unique_ptr<net::FaultTransport> faults_;
   core::MembershipServer membership_;
   std::unique_ptr<ControlPlane> control_;

@@ -97,6 +97,13 @@ void Frontend::stop() {
   for (uint64_t id : ids) fail_query(id);
 }
 
+void Frontend::trace_event(uint64_t trace, core::TraceStage stage,
+                           uint32_t part, double dur, uint32_t aux) {
+  if (!tracer_) return;
+  tracer_->record(trace_shard_, trace, stage, index_, part,
+                  net_.clock().now(), dur, aux);
+}
+
 void Frontend::fail_query(uint64_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
@@ -104,11 +111,13 @@ void Frontend::fail_query(uint64_t id) {
   for (const auto& part : q.parts) {
     if (!part.done) net_.clock().cancel(part.timer_id);
   }
+  trace_event(q.trace, core::TraceStage::kQueryFail);
   QueryOutcome out;
   out.id = id;
   out.complete = false;
   out.harvest = 0.0;
   out.klass = q.klass;
+  out.trace = q.trace;
   auto cb = std::move(q.cb);
   pending_.erase(it);
   if (cb) cb(out);
@@ -226,15 +235,19 @@ uint64_t Frontend::submit(QueryCallback cb) {
 
 uint64_t Frontend::submit(const QueryRequest& req, QueryCallback cb) {
   uint64_t id = next_query_id_++;
+  uint64_t trace = core::query_trace_id(index_, id);
+  TraceIdScope log_scope(trace);
   if (!ready() || ring_.empty()) {
     // No view yet (fresh or just-revived front-end) or nothing to plan
     // against: refuse rather than guess — planning off a stale view is
     // exactly what the ready gate exists to prevent.
+    trace_event(trace, core::TraceStage::kQueryFail);
     QueryOutcome out;
     out.id = id;
     out.complete = false;
     out.harvest = 0.0;
     out.klass = req.klass;
+    out.trace = trace;
     if (cb) cb(out);
     return id;
   }
@@ -242,18 +255,22 @@ uint64_t Frontend::submit(const QueryRequest& req, QueryCallback cb) {
   // occupancy comparison, not a schedule. The refusal is the contract's
   // max_shed budget being spent to keep admitted queries inside their p99.
   if (admission_ && !admission_->admit(req.klass, pending_.size())) {
+    trace_event(trace, core::TraceStage::kAdmitShed);
     QueryOutcome out;
     out.id = id;
     out.complete = false;
     out.harvest = 0.0;
     out.klass = req.klass;
     out.shed = true;
+    out.trace = trace;
     if (cb) cb(out);
     return id;
   }
   PendingQuery q;
   q.id = id;
+  q.trace = trace;
   q.submit_time = net_.clock().now();
+  trace_event(trace, core::TraceStage::kSubmit);
   q.klass = req.klass;
   q.extra_cost_s = req.extra_cost_s;
   q.cb = std::move(cb);
@@ -284,6 +301,7 @@ uint64_t Frontend::submit(const QueryRequest& req, QueryCallback cb) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
   schedule_times_.add(q.schedule_wall_s);
+  trace_event(trace, core::TraceStage::kPlanned, 0, q.schedule_wall_s);
 
   auto [it, inserted] = pending_.emplace(id, std::move(q));
   queue_hwm_ = std::max(queue_hwm_, pending_.size());
@@ -298,10 +316,12 @@ uint64_t Frontend::submit(const QueryRequest& req, QueryCallback cb) {
   }
   if (stored.outstanding == 0) {
     // Nothing could be sent (e.g. all nodes dead): fail immediately.
+    trace_event(trace, core::TraceStage::kQueryFail);
     QueryOutcome out;
     out.id = id;
     out.complete = false;
     out.klass = stored.klass;
+    out.trace = trace;
     auto cb2 = std::move(stored.cb);
     pending_.erase(id);
     if (cb2) cb2(out);
@@ -317,6 +337,7 @@ void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
   SubQueryMsg msg;
   msg.query_id = q.id;
   msg.part_id = static_cast<uint32_t>(q.parts.size());
+  msg.trace = q.trace;
   msg.point = sub.point;
   msg.window_begin = sub.window_begin;
   msg.window_end = sub.responsibility_end;
@@ -338,6 +359,7 @@ void Frontend::send_part(PendingQuery& q, const core::RoarSubQuery& sub) {
 
   q.parts.push_back(part);
   ++q.outstanding;
+  trace_event(q.trace, core::TraceStage::kDispatch, pidx, 0.0, sub.node);
   net_.send(address(), node_address(sub.node), msg.encode());
 }
 
@@ -373,6 +395,9 @@ void Frontend::on_reply(const SubQueryReplyMsg& m) {
   part.done = true;
   net_.clock().cancel(part.timer_id);
   --q.outstanding;
+  TraceIdScope log_scope(q.trace);
+  trace_event(q.trace, core::TraceStage::kReplyRecv, m.part_id, m.service_s,
+              m.shed);
 
   if (m.shed) {
     // The node refused this sub-query at its queue bound. Its window goes
@@ -408,12 +433,14 @@ void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
   PendingPart& part = q.parts[part_index];
   if (part.done) return;
 
+  TraceIdScope log_scope(q.trace);
   if (part.expiries == 0) {
     // Second chance: re-arm from the *current* queue projection — if the
     // node is alive but swamped (e.g. absorbing a mass failure's load),
     // the refreshed prediction reflects the backlog and the timer now
     // covers it.
     part.expiries = 1;
+    trace_event(q.trace, core::TraceStage::kPartTimeout, part_index);
     double predicted = predict(part.node, part.sub.share);
     double timeout =
         (predicted - net_.clock().now()) * params_.timeout_factor +
@@ -429,8 +456,19 @@ void Frontend::on_timeout(uint64_t query_id, uint32_t part_index) {
   ++failures_detected_;
   NodeId dead = part.node;
   node_down(dead);
-  ROAR_LOG(kInfo) << "frontend " << index_ << ": node " << dead
-                  << " timed out on query " << query_id;
+  ROAR_LOG_TAG(kInfo, "frontend")
+      << "frontend " << index_ << ": node " << dead << " timed out on query "
+      << query_id;
+  trace_event(q.trace, core::TraceStage::kFailure, part_index, 0.0, dead);
+  if (tracer_) {
+    // The flight-recorder hook for the timeout path: dump the recent
+    // timeline around the query that just lost a node.
+    tracer_->anomaly(q.trace,
+                     "query timeout: node " + std::to_string(dead) +
+                         " declared dead on query " +
+                         std::to_string(query_id),
+                     net_.clock().now());
+  }
 
   part.done = true;
   --q.outstanding;
@@ -457,8 +495,12 @@ void Frontend::finish_if_done(PendingQuery& q) {
   // user waits for, so it is part of the contract-visible latency.
   double total = now - q.submit_time + params_.fixed_cost_s + q.extra_cost_s;
 
+  trace_event(q.trace, core::TraceStage::kQueryDone, 0, total);
+  if (latency_hist_) latency_hist_->record(total);
+
   QueryOutcome out;
   out.id = q.id;
+  out.trace = q.trace;
   out.complete = q.full_coverage;
   out.harvest = std::max(0.0, 1.0 - q.missing_share);
   out.matches = q.matches;

@@ -28,10 +28,12 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "core/cluster_view.h"
 #include "core/scheduler.h"
 #include "core/slo.h"
+#include "core/tracer.h"
 
 namespace roar::cluster {
 
@@ -86,6 +88,9 @@ struct QueryOutcome {
   // Sub-queries refused at a node's queue bound (harvest loss, not
   // failure: the node proved alive by replying).
   uint32_t parts_shed = 0;
+  // End-to-end trace id (core/tracer.h) — the key into the assembled
+  // span tree and the flight recorder.
+  uint64_t trace = 0;
   QueryBreakdown breakdown;
 };
 
@@ -172,6 +177,17 @@ class Frontend {
 
   void set_dataset_size(uint64_t d) { dataset_size_ = d; }
 
+  // --- observability -----------------------------------------------------
+  // Attaches the cluster tracer; `shard` is the trace ring this front-end
+  // writes (its owning reactor shard — 0 under both harnesses today).
+  void set_tracer(core::Tracer* tracer, size_t shard) {
+    tracer_ = tracer;
+    trace_shard_ = shard;
+  }
+  // Optional registry histogram fed the end-to-end latency of every
+  // completed query (the hot-path histogram demonstration).
+  void set_latency_histogram(Histogram* h) { latency_hist_ = h; }
+
   // Stats.
   const SampleSet& delays() const { return delays_; }
   const SampleSet& schedule_times() const { return schedule_times_; }
@@ -208,6 +224,7 @@ class Frontend {
   };
   struct PendingQuery {
     uint64_t id;
+    uint64_t trace = 0;
     double submit_time;
     double schedule_wall_s = 0.0;
     uint32_t outstanding = 0;
@@ -237,6 +254,8 @@ class Frontend {
   void send_part(PendingQuery& q, const core::RoarSubQuery& sub);
   void finish_if_done(PendingQuery& q);
   void fail_query(uint64_t id);
+  void trace_event(uint64_t trace, core::TraceStage stage, uint32_t part = 0,
+                   double dur = 0.0, uint32_t aux = 0);
 
   net::Transport& net_;
   uint32_t index_;
@@ -269,6 +288,9 @@ class Frontend {
   SampleSet digest_window_;  // completions since the last digest
   uint64_t completed_ = 0;
   uint64_t failures_detected_ = 0;
+  core::Tracer* tracer_ = nullptr;
+  size_t trace_shard_ = 0;
+  Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace roar::cluster

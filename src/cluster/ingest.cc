@@ -65,6 +65,13 @@ void IngestRouter::start() {
             });
 }
 
+void IngestRouter::trace_event(uint64_t trace, core::TraceStage stage,
+                               uint32_t actor, uint32_t part, uint32_t aux) {
+  if (!tracer_) return;
+  tracer_->record(trace_shard_, trace, stage, actor, part,
+                  net_.clock().now(), 0.0, aux);
+}
+
 void IngestRouter::handle(net::Address from, net::ByteView payload) {
   (void)from;
   auto type = peek_type(payload);
@@ -113,7 +120,13 @@ void IngestRouter::commit(UpdateMsg op) {
   Shard& sh = shards_[shard];
   op.shard = shard;
   op.lsn = sh.next_lsn++;
+  // Deterministic end-to-end trace id, carried on every UPDATE carrying
+  // this op (first send, retransmits, sync chunks, full segments).
+  op.trace = core::ingest_trace_id(shard, op.lsn);
   ++ops_accepted_;
+  TraceIdScope log_scope(op.trace);
+  trace_event(op.trace, core::TraceStage::kUpdateIssued, shard, shard,
+              op.op);
 
   // Catalog of live state, for full-segment transfers.
   if (op.op == UpdateMsg::kAdd) {
@@ -341,6 +354,7 @@ void IngestRouter::on_sync_req(const SyncReqMsg& m) {
   SyncDataMsg reply;
   reply.shard = m.shard;
   reply.issued_lsn = issued;
+  reply.trace = m.trace;  // echo the clocking request's sync trace id
   size_t bytes = 0;
   if (m.have_lsn + 1 >= sh.log_head) {
     // Close enough: a contiguous log-suffix chunk after the requester's
@@ -388,6 +402,8 @@ void IngestRouter::on_sync_req(const SyncReqMsg& m) {
     }
   }
   ++sync_chunks_sent_;
+  trace_event(m.trace, core::TraceStage::kSyncChunk, m.node, m.shard,
+              static_cast<uint32_t>(reply.ops.size()));
   net_.send(kUpdateServerAddr, node_address(m.node), reply.encode());
 }
 
@@ -418,7 +434,17 @@ void IngestLog::on_kill() {
   net_.clock().cancel(timer_id_);
 }
 
+void IngestLog::trace_event(uint64_t trace, core::TraceStage stage,
+                            uint32_t part, uint32_t aux) {
+  if (!tracer_) return;
+  tracer_->record(trace_shard_, trace, stage, node_, part,
+                  net_.clock().now(), 0.0, aux);
+}
+
 void IngestLog::apply(const UpdateMsg& m, bool charge) {
+  TraceIdScope log_scope(m.trace);
+  trace_event(m.trace, core::TraceStage::kUpdateApplied, m.shard,
+              static_cast<uint32_t>(m.op));
   if (m.op == UpdateMsg::kAdd) {
     pps::FileInfo doc;
     doc.path = m.path;
@@ -703,7 +729,9 @@ void IngestLog::request_sync(uint32_t shard) {
   SyncReqMsg req;
   req.node = node_;
   req.shard = shard;
+  req.trace = core::sync_trace_id(node_, shard);
   req.have_lsn = applied_lsn(shard);
+  trace_event(req.trace, core::TraceStage::kSyncReq, shard);
   auto it = shards_.find(shard);
   if (it != shards_.end() && it->second.full_active) {
     // Resume the in-progress full-segment stream: the router serves from

@@ -58,6 +58,7 @@
 #include "cluster/protocol.h"
 #include "common/rng.h"
 #include "core/reconfig.h"
+#include "core/tracer.h"
 #include "net/transport.h"
 #include "pps/versioned_store.h"
 
@@ -179,6 +180,17 @@ class IngestRouter {
   };
   FlowStats flow(NodeId node) const;
 
+  // --- observability -----------------------------------------------------
+  // Attaches the cluster tracer; `shard` is the trace ring the router
+  // writes (it shares the control process's loop — shard 0 under both
+  // harnesses). Each committed op gets ingest_trace_id(shard, lsn) and a
+  // kUpdateIssued span; each served sync chunk gets a kSyncChunk span on
+  // the clocking request's sync_trace_id.
+  void set_tracer(core::Tracer* tracer, size_t trace_shard) {
+    tracer_ = tracer;
+    trace_shard_ = trace_shard;
+  }
+
   // --- counters ----------------------------------------------------------
   uint64_t ops_accepted() const { return ops_accepted_; }
   uint64_t updates_sent() const { return updates_sent_; }
@@ -235,11 +247,16 @@ class IngestRouter {
   void arm_retransmit();
   void retransmit_scan();
 
+  void trace_event(uint64_t trace, core::TraceStage stage, uint32_t actor,
+                   uint32_t part, uint32_t aux = 0);
+
   net::Transport& net_;
   IngestConfig cfg_;
   std::shared_ptr<const MatchEngine> engine_;
   RingProvider ring_;
   PProvider safe_p_;
+  core::Tracer* tracer_ = nullptr;
+  size_t trace_shard_ = 0;
   Rng rng_;
   std::vector<Shard> shards_;
   pps::VersionedStore ref_;
@@ -286,6 +303,15 @@ class IngestLog {
   // Message entry points (loop thread).
   void on_update(const UpdateMsg& m);
   void on_sync_data(const SyncDataMsg& m);
+
+  // Attaches the cluster tracer; `shard` is the trace ring this replica
+  // writes — its owning node's reactor shard (NodeRuntime::set_tracer
+  // forwards here). Applied ops record kUpdateApplied on the op's trace
+  // id; sync requests record kSyncReq on sync_trace_id(node, shard).
+  void set_tracer(core::Tracer* tracer, size_t trace_shard) {
+    tracer_ = tracer;
+    trace_shard_ = trace_shard;
+  }
 
   // The versioned view sub-query resolution pins per batch.
   std::shared_ptr<const pps::StoreSnapshot> snapshot() const {
@@ -351,6 +377,9 @@ class IngestLog {
   void kick_full_wait();
   void sync_tick();
 
+  void trace_event(uint64_t trace, core::TraceStage stage, uint32_t part,
+                   uint32_t aux = 0);
+
   net::Transport& net_;
   NodeId node_;
   IngestConfig cfg_;
@@ -358,6 +387,8 @@ class IngestLog {
   Hooks hooks_;
   pps::VersionedStore store_;
   std::map<uint32_t, ShardState> shards_;
+  core::Tracer* tracer_ = nullptr;
+  size_t trace_shard_ = 0;
   uint64_t timer_id_ = 0;
   bool running_ = false;
   uint64_t ops_applied_ = 0;

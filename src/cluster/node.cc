@@ -91,6 +91,13 @@ void NodeRuntime::enable_ingest(IngestConfig cfg,
   };
   hooks.alive = [this] { return alive_; };
   ingest_->set_hooks(std::move(hooks));
+  if (tracer_) ingest_->set_tracer(tracer_, trace_shard_);
+}
+
+void NodeRuntime::trace_event(uint64_t trace, core::TraceStage stage,
+                              uint32_t part, double at, double dur) {
+  if (!tracer_) return;
+  tracer_->record(trace_shard_, trace, stage, params_.id, part, at, dur);
 }
 
 Arc NodeRuntime::stored_arc() const {
@@ -146,6 +153,7 @@ NodeRuntime::ResolvedSub NodeRuntime::resolve(net::Address from,
   sub.from = from;
   sub.reply.query_id = m.query_id;
   sub.reply.part_id = m.part_id;
+  sub.reply.trace = m.trace;
 
   uint64_t window = m.window_begin.distance_to(m.window_end);
   double window_frac;
@@ -180,14 +188,21 @@ void NodeRuntime::complete(const ResolvedSub& sub, uint64_t scanned,
   reply.scanned = scanned;
   reply.matches = matches;
   reply.service_s = service_s;
+  TraceIdScope log_scope(reply.trace);
+  trace_event(reply.trace, core::TraceStage::kNodeDone, reply.part_id,
+              net_.clock().now(), service_s);
+  if (service_hist_) service_hist_->record(service_s);
   net_.send(address(), sub.from, reply.encode());
 }
 
 void NodeRuntime::shed_reply(net::Address from, const SubQueryMsg& m) {
   ++subs_shed_;
+  trace_event(m.trace, core::TraceStage::kNodeShed, m.part_id,
+              net_.clock().now());
   SubQueryReplyMsg reply;
   reply.query_id = m.query_id;
   reply.part_id = m.part_id;
+  reply.trace = m.trace;
   reply.shed = 1;
   net_.send(address(), from, reply.encode());
 }
@@ -211,6 +226,9 @@ bool NodeRuntime::exec_queue_refuses(const SubQueryMsg& m) {
 }
 
 void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
+  TraceIdScope log_scope(m.trace);
+  trace_event(m.trace, core::TraceStage::kNodeRecv, m.part_id,
+              net_.clock().now());
   if (pooled()) {
     if (exec_queue_refuses(m)) {
       shed_reply(from, m);
@@ -247,6 +265,10 @@ void NodeRuntime::on_subquery(net::Address from, const SubQueryMsg& m) {
     // thread — results identical to the pooled path, only the
     // concurrency differs.
     ResolvedSub sub = resolve(from, m);
+    if (!modeled_timing_) {
+      trace_event(m.trace, core::TraceStage::kNodeExec, m.part_id,
+                  net_.clock().now());
+    }
     MatchEngine::Result r = sub.snap ? engine_->execute(sub.window, *sub.snap)
                                      : engine_->execute(sub.window);
     if (modeled_timing_) {
@@ -274,6 +296,13 @@ void NodeRuntime::reply_modeled(const ResolvedSub& sub, uint64_t scanned,
   double service = sub.modeled_service_s;
   double finish = enqueue_work(service);
   ++subqueries_served_;
+  // Span endpoints at the MODELED times: the sub-query "executes" from
+  // finish-service to finish on the virtual pipeline.
+  trace_event(sub.reply.trace, core::TraceStage::kNodeExec,
+              sub.reply.part_id, finish - service);
+  trace_event(sub.reply.trace, core::TraceStage::kNodeDone,
+              sub.reply.part_id, finish, service);
+  if (service_hist_) service_hist_->record(service);
 
   SubQueryReplyMsg reply = sub.reply;
   reply.scanned = scanned;
@@ -292,8 +321,12 @@ void NodeRuntime::drain_batch() {
   size_t n = std::min(pending_subs_.size(), exec_.batch_max);
   std::vector<ResolvedSub> batch;
   batch.reserve(n);
+  double drain_at = net_.clock().now();
   for (size_t i = 0; i < n; ++i) {
     batch.push_back(resolve(pending_subs_[i].first, pending_subs_[i].second));
+    // Queue exit: the sub-query leaves the executor queue for a lane now.
+    trace_event(batch.back().reply.trace, core::TraceStage::kNodeExec,
+                batch.back().reply.part_id, drain_at);
   }
   pending_subs_.erase(pending_subs_.begin(),
                       pending_subs_.begin() + static_cast<ptrdiff_t>(n));

@@ -33,7 +33,9 @@
 #include "cluster/ingest.h"
 #include "cluster/match_engine.h"
 #include "cluster/protocol.h"
+#include "common/metrics.h"
 #include "core/cluster_view.h"
+#include "core/tracer.h"
 #include "core/reconfig.h"
 #include "core/worker_pool.h"
 #include "net/transport.h"
@@ -112,6 +114,18 @@ class NodeRuntime {
   // finish time. This is how the virtual-time EmulatedCluster runs real
   // matching without its traces depending on wall-clock scan speed.
   void set_modeled_timing(bool on) { modeled_timing_ = on; }
+
+  // --- observability -----------------------------------------------------
+  // Attaches the cluster tracer; `shard` is the trace ring this node
+  // writes — its owning reactor shard, so ring writes stay on the loop
+  // thread (worker lanes never record; completions do, after the post).
+  void set_tracer(core::Tracer* tracer, size_t shard) {
+    tracer_ = tracer;
+    trace_shard_ = shard;
+    if (ingest_) ingest_->set_tracer(tracer, shard);
+  }
+  // Optional registry histogram fed every sub-query's service time.
+  void set_service_histogram(Histogram* h) { service_hist_ = h; }
 
   // Matching rate in metadata/s.
   double rate() const { return params_.base_rate * params_.speed; }
@@ -199,6 +213,11 @@ class NodeRuntime {
   // Enqueues `seconds` of work at the local pipeline; returns finish time.
   double enqueue_work(double seconds);
 
+  // Records a node-side span event at an explicit timestamp (reply_modeled
+  // stamps virtual-future exec/done times).
+  void trace_event(uint64_t trace, core::TraceStage stage, uint32_t part,
+                   double at, double dur = 0.0);
+
   net::Transport& net_;
   NodeParams params_;
   uint64_t dataset_size_;
@@ -235,6 +254,9 @@ class NodeRuntime {
   uint64_t subs_shed_ = 0;
   size_t exec_queue_hwm_ = 0;
   double backlog_hwm_s_ = 0.0;
+  core::Tracer* tracer_ = nullptr;
+  size_t trace_shard_ = 0;
+  Histogram* service_hist_ = nullptr;
 };
 
 // The replica views (live, ranged, ingest-enabled nodes) the

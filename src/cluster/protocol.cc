@@ -32,6 +32,7 @@ net::Bytes SubQueryMsg::encode() const {
   auto w = with_type(MsgType::kSubQuery);
   w.u64(query_id);
   w.u32(part_id);
+  w.u64(trace);
   w.ring_id(point);
   w.ring_id(window_begin);
   w.ring_id(window_end);
@@ -47,6 +48,7 @@ std::optional<SubQueryMsg> SubQueryMsg::decode(net::ByteView b) {
   SubQueryMsg m;
   m.query_id = r->u64();
   m.part_id = r->u32();
+  m.trace = r->u64();
   m.point = r->ring_id();
   m.window_begin = r->ring_id();
   m.window_end = r->ring_id();
@@ -61,6 +63,7 @@ net::Bytes SubQueryReplyMsg::encode() const {
   auto w = with_type(MsgType::kSubQueryReply);
   w.u64(query_id);
   w.u32(part_id);
+  w.u64(trace);
   w.u64(scanned);
   w.u64(matches);
   w.f64(service_s);
@@ -74,6 +77,7 @@ std::optional<SubQueryReplyMsg> SubQueryReplyMsg::decode(net::ByteView b) {
   SubQueryReplyMsg m;
   m.query_id = r->u64();
   m.part_id = r->u32();
+  m.trace = r->u64();
   m.scanned = r->u64();
   m.matches = r->u64();
   m.service_s = r->f64();
@@ -232,6 +236,7 @@ net::Bytes UpdateMsg::encode() const {
   for (const auto& kw : keywords) w.str(kw);
   w.u64(static_cast<uint64_t>(size_bytes));
   w.u64(static_cast<uint64_t>(mtime));
+  w.u64(trace);
   return w.take();
 }
 
@@ -256,6 +261,7 @@ std::optional<UpdateMsg> UpdateMsg::decode(net::ByteView b) {
   for (uint32_t i = 0; i < n; ++i) m.keywords.push_back(r->str());
   m.size_bytes = static_cast<int64_t>(r->u64());
   m.mtime = static_cast<int64_t>(r->u64());
+  m.trace = r->u64();
   if (!r->ok() || m.op > UpdateMsg::kDelete) return std::nullopt;
   return m;
 }
@@ -286,6 +292,7 @@ net::Bytes SyncReqMsg::encode() const {
   w.u64(have_lsn);
   w.u64(segment_lsn);
   w.u64(chunk_offset);
+  w.u64(trace);
   return w.take();
 }
 
@@ -298,6 +305,7 @@ std::optional<SyncReqMsg> SyncReqMsg::decode(net::ByteView b) {
   m.have_lsn = r->u64();
   m.segment_lsn = r->u64();
   m.chunk_offset = r->u64();
+  m.trace = r->u64();
   if (!r->ok()) return std::nullopt;
   return m;
 }
@@ -309,6 +317,7 @@ net::Bytes SyncDataMsg::encode() const {
   w.u64(issued_lsn);
   w.u64(chunk_offset);
   w.u64(total_ops);
+  w.u64(trace);
   w.u32(static_cast<uint32_t>(ops.size()));
   for (const auto& op : ops) w.bytes(op.encode());
   net::Bytes out = w.take();
@@ -333,6 +342,7 @@ std::optional<SyncDataMsg> SyncDataMsg::decode(net::ByteView b) {
   m.issued_lsn = r->u64();
   m.chunk_offset = r->u64();
   m.total_ops = r->u64();
+  m.trace = r->u64();
   uint32_t n = r->u32();
   if (!r->ok() || static_cast<uint64_t>(n) * 4 > r->remaining()) {
     return std::nullopt;

@@ -52,6 +52,9 @@ enum class MsgType : uint8_t {
 struct SubQueryMsg {
   uint64_t query_id = 0;
   uint32_t part_id = 0;
+  // End-to-end trace id (core/tracer.h): stamped by the front-end,
+  // echoed on the reply, so node-side spans join the query's tree.
+  uint64_t trace = 0;
   RingId point;
   RingId window_begin;
   RingId window_end;
@@ -68,6 +71,7 @@ struct SubQueryMsg {
 struct SubQueryReplyMsg {
   uint64_t query_id = 0;
   uint32_t part_id = 0;
+  uint64_t trace = 0;  // echoed from the sub-query
   uint64_t scanned = 0;   // metadata matched against the query
   uint64_t matches = 0;
   double service_s = 0.0;  // pure processing time (for speed estimation)
@@ -163,6 +167,9 @@ struct UpdateMsg {
   std::vector<std::string> keywords;
   int64_t size_bytes = 0;
   int64_t mtime = 0;
+  // Ingest trace id (core/tracer.h: shard + LSN), stamped at commit and
+  // carried through replication and anti-entropy alike.
+  uint64_t trace = 0;
 
   static constexpr uint8_t kAdd = 0;
   static constexpr uint8_t kDelete = 1;
@@ -196,6 +203,7 @@ struct SyncReqMsg {
   uint64_t have_lsn = 0;
   uint64_t segment_lsn = 0;   // full-segment generation being resumed
   uint64_t chunk_offset = 0;  // next op index of that segment
+  uint64_t trace = 0;         // sync-stream trace id (node + shard)
 
   net::Bytes encode() const;
   static std::optional<SyncReqMsg> decode(net::ByteView b);
@@ -220,6 +228,7 @@ struct SyncDataMsg {
   uint64_t issued_lsn = 0;
   uint64_t chunk_offset = 0;  // full segments: first op slot of this chunk
   uint64_t total_ops = 0;     // full segments: segment size in ops
+  uint64_t trace = 0;         // echoed from the clocking SyncReqMsg
   std::vector<UpdateMsg> ops;
 
   net::Bytes encode() const;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -32,6 +35,10 @@ InvariantChecker::InvariantChecker(EmulatedCluster& cluster, uint64_t seed)
     : cluster_(cluster), rng_(seed) {}
 
 void InvariantChecker::fail(const std::string& context, std::string detail) {
+  // Every invariant trip is a flight-recorder anomaly: the tracer renders
+  // the recent event timeline + metrics snapshot while the offending
+  // state is still current (trace id 0 = whole-cluster trip).
+  cluster_.tracer().anomaly(0, context + ": " + detail, cluster_.now());
   violations_.push_back({cluster_.now(), context, std::move(detail)});
 }
 
@@ -550,6 +557,7 @@ ScenarioResult Scenario::run(double duration) {
   // Violations recorded by earlier run() calls (the checker accumulates)
   // stay out of this run's result.
   size_t violations_before = checker_.violations().size();
+  size_t dumps_before = cluster_.tracer().dump_count();
   checker_.check("start");
 
   std::stable_sort(steps_.begin(), steps_.end(),
@@ -595,6 +603,29 @@ ScenarioResult Scenario::run(double duration) {
   result_.violations.assign(
       checker_.violations().begin() + violations_before,
       checker_.violations().end());
+
+  // Flight-recorder capture: dumps recorded during this run ride in the
+  // result, and land as files when ROAR_FLIGHT_DUMP_DIR is set (the CI
+  // chaos soak uploads that directory as an artifact on failure).
+  auto dumps = cluster_.tracer().dumps();
+  if (dumps.size() > dumps_before) {
+    result_.flight_dumps.assign(dumps.begin() + dumps_before, dumps.end());
+  }
+  if (const char* dir = std::getenv("ROAR_FLIGHT_DUMP_DIR");
+      dir != nullptr && *dir != '\0' && !result_.flight_dumps.empty()) {
+    for (size_t i = 0; i < result_.flight_dumps.size(); ++i) {
+      const auto& d = result_.flight_dumps[i];
+      std::ostringstream name;
+      name << dir << "/flight_dump_" << dumps_before + i << ".txt";
+      std::ofstream out(name.str());
+      if (out) {
+        out << "reason: " << d.reason << "\n"
+            << "trace: " << d.trace_id << "\n"
+            << "at: " << d.at << "\n\n"
+            << d.rendered;
+      }
+    }
+  }
   return result_;
 }
 

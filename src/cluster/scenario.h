@@ -116,6 +116,10 @@ struct ScenarioResult {
   uint64_t messages_sent = 0;
   uint64_t messages_dropped = 0;
   std::vector<InvariantViolation> violations;
+  // Flight-recorder dumps captured during this run (invariant trips and
+  // query timeouts); also written to $ROAR_FLIGHT_DUMP_DIR when set, so
+  // CI can upload them as artifacts on failure.
+  std::vector<core::Tracer::FlightDump> flight_dumps;
 
   bool ok() const { return violations.empty(); }
 };

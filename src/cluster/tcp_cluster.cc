@@ -11,6 +11,7 @@ namespace roar::cluster {
 TcpCluster::TcpCluster(TcpClusterConfig config)
     : config_(std::move(config)),
       driver_(config_.reactor_shards == 0 ? 1 : config_.reactor_shards),
+      tracer_(driver_.shards()),
       // Seed streams are shared with EmulatedCluster (common/rng.h
       // subseed) so the same `seed` yields the same membership positions
       // and front-end decisions — the parity test depends on it.
@@ -67,6 +68,9 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
         control, i, config_.frontend, config_.dataset_size,
         frontend_seed(config_.seed, i)));
     control_->subscribe_frontend(frontends_.back()->address());
+    frontends_.back()->set_tracer(&tracer_, 0);
+    frontends_.back()->set_latency_histogram(
+        &metrics_.histogram("frontend.latency_s"));
     frontends_.back()->start();
   }
 
@@ -82,6 +86,7 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
         control, config_.ingest, subseed(config_.seed, SeedStream::kIngest),
         engine_, [this] { return membership_.ring(0); },
         [this] { return control_->storage_p(); });
+    ingest_router_->set_tracer(&tracer_, 0);
     ingest_router_->start();
     for (auto& fe : frontends_) fe->set_ingest(ingest_router_.get());
   }
@@ -99,6 +104,10 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
     np.speed = config_.speeds[id];
     auto node = std::make_unique<NodeRuntime>(*transport, np,
                                               config_.dataset_size);
+    // The node records trace events into its own shard's ring (loop
+    // thread only — the TSan-bench contract).
+    node->set_tracer(&tracer_, shard);
+    node->set_service_histogram(&metrics_.histogram("node.service_s"));
     if (engine_) node->set_match_engine(engine_);
     if (config_.enable_ingest) node->enable_ingest(config_.ingest, engine_);
     if (config_.node_workers > 0) {
@@ -146,6 +155,171 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   if (!synced) {
     throw std::runtime_error("TcpCluster: initial view never delivered");
   }
+
+  register_gauges();
+  // Flight dumps render from the caller thread (anomalies originate in
+  // frontend timeout paths and harness invariant checks, both
+  // caller-driven); trace_events() marshals the shard-ring reads.
+  tracer_.set_dump_renderer([this](uint64_t id, const std::string& reason) {
+    return core::render_flight_dump(trace_events(), id, reason,
+                                    metrics_.to_text());
+  });
+}
+
+// Same naming scheme as EmulatedCluster::register_gauges so dashboards
+// and baselines read identically off either harness. Per-node counters
+// are plain fields owned by shard threads, so their gauges marshal the
+// reads through on_node_shard; transport/driver/pool counters are
+// relaxed atomics and read directly.
+void TcpCluster::register_gauges() {
+  metrics_.gauge_fn("frontend.completed", [this] {
+    uint64_t n = 0;
+    for (const auto& fe : frontends_) n += fe->queries_completed();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("frontend.failures_detected", [this] {
+    uint64_t n = 0;
+    for (const auto& fe : frontends_) n += fe->failures_detected();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("frontend.shed", [this] {
+    uint64_t n = 0;
+    for (const auto& fe : frontends_) n += fe->shed_count();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("frontend.parts_shed", [this] {
+    uint64_t n = 0;
+    for (const auto& fe : frontends_) n += fe->parts_shed();
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("frontend.queue_hwm", [this] {
+    size_t m = 0;
+    for (const auto& fe : frontends_) m = std::max(m, fe->queue_hwm());
+    return static_cast<double>(m);
+  });
+  metrics_.gauge_fn("node.subqueries", [this] {
+    uint64_t n = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      on_node_shard(id, [&] { n += nodes_[id]->subqueries_served(); });
+    }
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("node.updates_applied", [this] {
+    uint64_t n = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      on_node_shard(id, [&] { n += nodes_[id]->updates_applied(); });
+    }
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("node.shed", [this] {
+    uint64_t n = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      on_node_shard(id, [&] { n += nodes_[id]->subs_shed(); });
+    }
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("node.exec_queue_hwm", [this] {
+    size_t m = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      on_node_shard(id,
+                    [&] { m = std::max(m, nodes_[id]->exec_queue_hwm()); });
+    }
+    return static_cast<double>(m);
+  });
+  metrics_.gauge_fn("net.messages_sent", [this] {
+    return static_cast<double>(messages_sent());
+  });
+  metrics_.gauge_fn("net.messages_dropped", [this] {
+    return static_cast<double>(messages_dropped());
+  });
+  metrics_.gauge_fn("net.bytes_sent", [this] {
+    return static_cast<double>(bytes_sent());
+  });
+  driver_.register_metrics(metrics_, "driver");
+  metrics_.gauge_fn("pool.tasks_executed", [this] {
+    return static_cast<double>(pool_tasks_executed());
+  });
+  metrics_.gauge_fn("pool.tasks_stolen", [this] {
+    return static_cast<double>(pool_tasks_stolen());
+  });
+  metrics_.gauge_fn("pool.ring_full_events", [this] {
+    return static_cast<double>(pool_ring_full_events());
+  });
+  metrics_.gauge_fn("pool.express_submits", [this] {
+    return static_cast<double>(pool_express_submits());
+  });
+  metrics_.gauge_fn("control.epoch", [this] {
+    return static_cast<double>(control_->epoch());
+  });
+  metrics_.gauge_fn("control.epoch_lag", [this] {
+    return static_cast<double>(control_->max_epoch_lag());
+  });
+  metrics_.gauge_fn("control.p_changes_committed", [this] {
+    return static_cast<double>(control_->p_changes_committed());
+  });
+  metrics_.gauge_fn("trace.events", [this] {
+    return static_cast<double>(tracer_.events_recorded());
+  });
+  metrics_.gauge_fn("trace.anomalies", [this] {
+    return static_cast<double>(tracer_.anomalies_seen());
+  });
+  if (ingest_router_) {
+    IngestRouter* r = ingest_router_.get();
+    metrics_.gauge_fn("ingest.ops_accepted", [r] {
+      return static_cast<double>(r->ops_accepted());
+    });
+    metrics_.gauge_fn("ingest.updates_sent", [r] {
+      return static_cast<double>(r->updates_sent());
+    });
+    metrics_.gauge_fn("ingest.retransmits", [r] {
+      return static_cast<double>(r->retransmits());
+    });
+    metrics_.gauge_fn("ingest.loss_events", [r] {
+      return static_cast<double>(r->loss_events());
+    });
+    metrics_.gauge_fn("ingest.flow_abandoned", [r] {
+      return static_cast<double>(r->flow_abandoned());
+    });
+    metrics_.gauge_fn("ingest.syncs_served", [r] {
+      return static_cast<double>(r->syncs_served());
+    });
+    metrics_.gauge_fn("ingest.sync_chunks_sent", [r] {
+      return static_cast<double>(r->sync_chunks_sent());
+    });
+    metrics_.gauge_fn("ingest.full_segments_sent", [r] {
+      return static_cast<double>(r->full_segments_sent());
+    });
+    metrics_.gauge_fn("ingest.ops_applied", [this] {
+      uint64_t n = 0;
+      for (NodeId id = 0; id < nodes_.size(); ++id) {
+        on_node_shard(id, [&] {
+          if (nodes_[id]->ingest()) n += nodes_[id]->ingest()->ops_applied();
+        });
+      }
+      return static_cast<double>(n);
+    });
+  }
+}
+
+std::vector<core::TraceEvent> TcpCluster::trace_events() const {
+  std::vector<core::TraceEvent> all;
+  auto& driver = const_cast<net::TcpDriver&>(driver_);
+  for (size_t s = 0; s < tracer_.shards(); ++s) {
+    // Each ring is read on its owning loop thread (inline for shard 0).
+    driver.run_on(s, [&] {
+      auto evs = tracer_.events(s);
+      all.insert(all.end(), evs.begin(), evs.end());
+    });
+  }
+  std::sort(all.begin(), all.end(),
+            [](const core::TraceEvent& a, const core::TraceEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              if (a.stage != b.stage) return a.stage < b.stage;
+              if (a.actor != b.actor) return a.actor < b.actor;
+              return a.part < b.part;
+            });
+  return all;
 }
 
 TcpCluster::~TcpCluster() {

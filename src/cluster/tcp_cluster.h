@@ -17,7 +17,9 @@
 #include "cluster/control.h"
 #include "cluster/frontend.h"
 #include "cluster/node.h"
+#include "common/metrics.h"
 #include "core/membership.h"
+#include "core/tracer.h"
 #include "net/tcp_transport.h"
 
 namespace roar::cluster {
@@ -156,9 +158,31 @@ class TcpCluster {
   uint64_t pool_ring_full_events() const;
   uint64_t pool_express_submits() const;
 
+  // --- observability ------------------------------------------------------
+  // The unified metrics plane. snapshot()/to_text() marshal per-node
+  // counter reads onto the owning shard threads, so sampling while the
+  // cluster runs is race-free.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  // Per-shard trace rings: front-ends, control and the ingest router
+  // write ring 0 (the caller-driven shard); node i writes its reactor
+  // shard's ring. Ring reads marshal through trace_events().
+  core::Tracer& tracer() { return tracer_; }
+  const core::Tracer& tracer() const { return tracer_; }
+  // Merged, time-sorted trace events; each shard's ring is read on its
+  // own loop thread (safe while the cluster runs).
+  std::vector<core::TraceEvent> trace_events() const;
+
  private:
+  void register_gauges();
+
   TcpClusterConfig config_;
   net::TcpDriver driver_;
+  // Observability plane: declared right after the driver (destroyed after
+  // every component that records into it; the driver's shard threads are
+  // joined by ~TcpCluster before any of this unwinds).
+  MetricsRegistry metrics_;
+  core::Tracer tracer_;
   // transports_[0] hosts the control plane + all front-ends + the update
   // server (one "control process"); transports_[i + 1] hosts node i.
   std::vector<std::unique_ptr<net::TcpTransport>> transports_;

@@ -1,16 +1,85 @@
 #include "common/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 namespace roar::log_internal {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+std::atomic<int> g_level{-1};  // unset: defer to ROAR_LOG_LEVEL
 
-void emit(LogLevel level, const std::string& msg) {
+namespace {
+
+thread_local uint64_t t_trace_id = 0;
+
+int parse_level(const char* s) {
+  if (!s || !*s) return static_cast<int>(LogLevel::kOff);
+  if (!std::strcmp(s, "debug")) return static_cast<int>(LogLevel::kDebug);
+  if (!std::strcmp(s, "info")) return static_cast<int>(LogLevel::kInfo);
+  if (!std::strcmp(s, "warn")) return static_cast<int>(LogLevel::kWarn);
+  if (!std::strcmp(s, "error")) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kOff);
+}
+
+// ROAR_LOG_TAGS as a parsed list; empty means "no filter".
+const std::vector<std::string>& tag_filter() {
+  static const std::vector<std::string> tags = [] {
+    std::vector<std::string> out;
+    const char* env = std::getenv("ROAR_LOG_TAGS");
+    if (!env) return out;
+    std::string cur;
+    for (const char* p = env;; ++p) {
+      if (*p == ',' || *p == '\0') {
+        if (!cur.empty()) out.push_back(cur);
+        cur.clear();
+        if (*p == '\0') break;
+      } else {
+        cur += *p;
+      }
+    }
+    return out;
+  }();
+  return tags;
+}
+
+}  // namespace
+
+int env_level() {
+  static const int level = parse_level(std::getenv("ROAR_LOG_LEVEL"));
+  return level;
+}
+
+bool tag_enabled(const char* tag) {
+  const auto& filter = tag_filter();
+  if (filter.empty()) return true;
+  // Untagged lines always pass: the filter narrows subsystems, it should
+  // never hide top-level diagnostics.
+  if (!tag || !*tag) return true;
+  for (const auto& t : filter) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+uint64_t current_trace_id() { return t_trace_id; }
+void set_current_trace_id(uint64_t id) { t_trace_id = id; }
+
+void emit(LogLevel level, const char* tag, const std::string& msg) {
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   int idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
-  std::fprintf(stderr, "[%s] %s\n", kNames[idx], msg.c_str());
+  char prefix[64] = "";
+  if (t_trace_id != 0) {
+    std::snprintf(prefix, sizeof(prefix), "[trace=%016llx]",
+                  static_cast<unsigned long long>(t_trace_id));
+  }
+  if (tag && *tag) {
+    std::fprintf(stderr, "[%s][%s]%s %s\n", kNames[idx], tag, prefix,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s]%s %s\n", kNames[idx], prefix, msg.c_str());
+  }
 }
 
 }  // namespace roar::log_internal

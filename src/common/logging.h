@@ -1,10 +1,25 @@
-// Minimal leveled logging. The emulated cluster logs membership and failure
-// events at INFO; everything is silent by default so tests and benches stay
-// clean. Not thread-synchronized beyond the atomic level gate; cluster code
-// serializes through the event loop.
+// Minimal leveled logging with per-subsystem tags and trace-id stamping.
+//
+// The emulated cluster logs membership and failure events at INFO;
+// everything is silent by default so tests and benches stay clean. Two
+// environment knobs filter without recompiling:
+//
+//   ROAR_LOG_LEVEL=debug|info|warn|error|off   level floor (default off);
+//                                              set_log_level() overrides
+//   ROAR_LOG_TAGS=frontend,node,...            only these subsystem tags
+//                                              (unset/empty = all tags)
+//
+// When a query or ingest trace id is in scope (TraceIdScope, set by the
+// frontend/node message handlers), every line emitted on that thread is
+// stamped with it, so grepping one trace id yields the full cross-
+// component story of a query.
+//
+// Not thread-synchronized beyond the atomic level gate and the
+// thread-local trace id; cluster code serializes through the event loop.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,8 +28,13 @@ namespace roar {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 namespace log_internal {
+// < 0 means "unset": fall back to the ROAR_LOG_LEVEL env default.
 extern std::atomic<int> g_level;
-void emit(LogLevel level, const std::string& msg);
+int env_level();
+bool tag_enabled(const char* tag);
+void emit(LogLevel level, const char* tag, const std::string& msg);
+uint64_t current_trace_id();
+void set_current_trace_id(uint64_t id);
 }  // namespace log_internal
 
 inline void set_log_level(LogLevel level) {
@@ -22,25 +42,49 @@ inline void set_log_level(LogLevel level) {
 }
 
 inline bool log_enabled(LogLevel level) {
-  return static_cast<int>(level) >=
-         log_internal::g_level.load(std::memory_order_relaxed);
+  int floor = log_internal::g_level.load(std::memory_order_relaxed);
+  if (floor < 0) floor = log_internal::env_level();
+  return static_cast<int>(level) >= floor;
 }
 
+// Stamps log lines emitted on this thread with a trace id for the scope's
+// lifetime (0 = no stamp). Restores the previous id on exit so nested
+// handlers (e.g. a reply handler finishing a query) compose.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(uint64_t id)
+      : prev_(log_internal::current_trace_id()) {
+    log_internal::set_current_trace_id(id);
+  }
+  ~TraceIdScope() { log_internal::set_current_trace_id(prev_); }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
 // Usage: ROAR_LOG(kInfo) << "node " << id << " joined";
-#define ROAR_LOG(severity)                                        \
-  if (!::roar::log_enabled(::roar::LogLevel::severity)) {         \
-  } else                                                          \
-    ::roar::log_internal::LogLine(::roar::LogLevel::severity).stream()
+//        ROAR_LOG_TAG(kInfo, "frontend") << "query " << id << " split";
+#define ROAR_LOG_TAG(severity, tag)                                \
+  if (!(::roar::log_enabled(::roar::LogLevel::severity) &&         \
+        ::roar::log_internal::tag_enabled(tag))) {                 \
+  } else                                                           \
+    ::roar::log_internal::LogLine(::roar::LogLevel::severity, tag).stream()
+
+#define ROAR_LOG(severity) ROAR_LOG_TAG(severity, "")
 
 namespace log_internal {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { emit(level_, os_.str()); }
+  explicit LogLine(LogLevel level, const char* tag = "")
+      : level_(level), tag_(tag) {}
+  ~LogLine() { emit(level_, tag_, os_.str()); }
   std::ostringstream& stream() { return os_; }
 
  private:
   LogLevel level_;
+  const char* tag_;
   std::ostringstream os_;
 };
 }  // namespace log_internal

@@ -1,0 +1,184 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace roar {
+
+namespace {
+
+double bits_to_double(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t double_to_bits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+size_t Histogram::bucket_index(double x) {
+  if (!(x > 0.0)) return 0;  // zeros, negatives and NaN all underflow
+  int exp = 0;
+  double m = std::frexp(x, &exp);  // x = m * 2^exp, m in [0.5, 1)
+  if (exp <= kMinExp) return 0;
+  if (exp > kMaxExp) return kBucketCount - 1;
+  // Linear slice of the mantissa range [0.5, 1) into kSubBuckets.
+  auto sub = static_cast<size_t>((m - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return static_cast<size_t>(exp - 1 - kMinExp) * kSubBuckets + sub + 1;
+}
+
+double Histogram::bucket_lower(size_t idx) {
+  if (idx == 0) return 0.0;
+  if (idx >= kBucketCount - 1) return std::ldexp(1.0, kMaxExp);
+  size_t k = idx - 1;
+  int exp = kMinExp + 1 + static_cast<int>(k / kSubBuckets);
+  auto sub = static_cast<double>(k % kSubBuckets);
+  return std::ldexp(0.5 + sub * 0.5 / kSubBuckets, exp);
+}
+
+double Histogram::bucket_upper(size_t idx) {
+  if (idx == 0) return std::ldexp(1.0, kMinExp);
+  if (idx >= kBucketCount - 1) return std::ldexp(1.0, kMaxExp);
+  return bucket_lower(idx + 1);
+}
+
+void Histogram::record(double x) {
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      expected, double_to_bits(bits_to_double(expected) + x),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return bits_to_double(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil — the sample at or above q of
+  // the mass), walked against the cumulative bucket counts.
+  auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      double lo = bucket_lower(i);
+      double hi = bucket_upper(i);
+      double frac =
+          (static_cast<double>(rank - seen) - 0.5) / static_cast<double>(c);
+      if (frac < 0.0) frac = 0.0;
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return bucket_upper(kBucketCount - 1);
+}
+
+double Histogram::max_bound() const {
+  for (size_t i = kBucketCount; i-- > 0;) {
+    if (buckets_[i].load(std::memory_order_relaxed) != 0) {
+      return bucket_upper(i);
+    }
+  }
+  return 0.0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name,
+                               std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+double MetricsRegistry::Snapshot::get(const std::string& name,
+                                      double fallback) const {
+  for (const auto& [k, v] : values) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  // Gauge callbacks may themselves grab locks (cross-shard marshaling),
+  // so copy the callback list out before invoking anything.
+  std::vector<std::pair<std::string, std::function<double()>>> gauges;
+  std::map<std::string, double> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      out[name] = static_cast<double>(c->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      out[name + ".count"] = static_cast<double>(h->count());
+      out[name + ".mean"] = h->mean();
+      out[name + ".p50"] = h->percentile(0.50);
+      out[name + ".p99"] = h->percentile(0.99);
+      out[name + ".max"] = h->max_bound();
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+  }
+  for (const auto& [name, fn] : gauges) out[name] = fn();
+  Snapshot snap;
+  snap.values.assign(out.begin(), out.end());  // map order == sorted
+  return snap;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::string out;
+  char line[512];
+  for (const auto& [name, value] : snapshot().values) {
+    std::snprintf(line, sizeof(line), "%s %.10g\n", name.c_str(), value);
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  Snapshot snap = snapshot();
+  std::string out = "{\n";
+  char line[512];
+  for (size_t i = 0; i < snap.values.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  \"%s\": %.10g%s\n",
+                  snap.values[i].first.c_str(), snap.values[i].second,
+                  i + 1 < snap.values.size() ? "," : "");
+    out += line;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace roar

@@ -260,6 +260,26 @@ uint64_t TcpDriver::wakeups_elided() const {
   return total;
 }
 
+void TcpDriver::register_metrics(MetricsRegistry& reg,
+                                 const std::string& prefix) {
+  reg.gauge_fn(prefix + ".ring_full_events", [this] {
+    return static_cast<double>(ring_full_events());
+  });
+  reg.gauge_fn(prefix + ".wakeups_elided", [this] {
+    return static_cast<double>(wakeups_elided());
+  });
+  reg.gauge_fn(prefix + ".flush_syscalls", [this] {
+    uint64_t n = 0;
+    for (const auto& sh : shards_) n += sh->reactor.flush_syscalls();
+    return static_cast<double>(n);
+  });
+  reg.gauge_fn(prefix + ".frames_flushed", [this] {
+    uint64_t n = 0;
+    for (const auto& sh : shards_) n += sh->reactor.frames_flushed();
+    return static_cast<double>(n);
+  });
+}
+
 // ----------------------------------------------------------- TcpTransport
 
 namespace {

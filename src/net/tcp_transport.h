@@ -37,6 +37,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/spsc_ring.h"
 #include "net/tcp.h"
 #include "net/transport.h"
@@ -177,6 +178,12 @@ class TcpDriver {
   // Backpressure/efficiency counters summed over shards.
   uint64_t ring_full_events() const;
   uint64_t wakeups_elided() const;
+  // Registers the driver's counters with a metrics registry as lazy
+  // gauges under `prefix` (mailbox ring overflows, elided wakeups, and
+  // the per-reactor flush batching counters summed over shards). All
+  // sampled counters are relaxed atomics, so snapshotting while shard
+  // loops run is race-free.
+  void register_metrics(MetricsRegistry& reg, const std::string& prefix);
 
  private:
   struct Shard {

@@ -1,0 +1,185 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace roar {
+namespace {
+
+// ---- histogram bucket math ----------------------------------------------
+
+TEST(HistogramBucketTest, EdgesPartitionTheRange) {
+  // Buckets tile [2^kMinExp, 2^kMaxExp): each interior bucket's upper
+  // bound is the next bucket's lower bound, bounds are strictly
+  // increasing, and the first/last interior bounds hit the range edges.
+  double lo = Histogram::bucket_lower(1);
+  EXPECT_DOUBLE_EQ(lo, std::ldexp(1.0, Histogram::kMinExp));
+  for (size_t i = 1; i + 1 < Histogram::kBucketCount; ++i) {
+    double l = Histogram::bucket_lower(i);
+    double u = Histogram::bucket_upper(i);
+    EXPECT_LT(l, u) << "bucket " << i;
+    if (i + 2 < Histogram::kBucketCount) {
+      EXPECT_DOUBLE_EQ(u, Histogram::bucket_lower(i + 1)) << "bucket " << i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(
+      Histogram::bucket_upper(Histogram::kBucketCount - 2),
+      std::ldexp(1.0, Histogram::kMaxExp));
+}
+
+TEST(HistogramBucketTest, IndexRoundTripsBounds) {
+  // Every interior bucket's lower bound indexes back to that bucket, and
+  // the midpoint does too (upper bounds are exclusive).
+  for (size_t i = 1; i + 1 < Histogram::kBucketCount; ++i) {
+    double l = Histogram::bucket_lower(i);
+    double u = Histogram::bucket_upper(i);
+    EXPECT_EQ(Histogram::bucket_index(l), i) << "lower of " << i;
+    EXPECT_EQ(Histogram::bucket_index(l + (u - l) / 2), i) << "mid of " << i;
+  }
+}
+
+TEST(HistogramBucketTest, IndexIsMonotone) {
+  size_t prev = 0;
+  for (double x = 1e-10; x < 1e10; x *= 1.05) {
+    size_t idx = Histogram::bucket_index(x);
+    EXPECT_GE(idx, prev) << "x=" << x;
+    prev = idx;
+  }
+}
+
+TEST(HistogramBucketTest, UnderflowAndOverflow) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMinExp) / 2),
+            0u);
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMaxExp) * 2),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(HistogramBucketTest, RelativeResolutionIsBounded) {
+  // Log-linear with 8 sub-buckets: relative bucket width stays under
+  // 1/8 = 12.5% everywhere in range.
+  for (size_t i = 1; i + 1 < Histogram::kBucketCount; ++i) {
+    double l = Histogram::bucket_lower(i);
+    double u = Histogram::bucket_upper(i);
+    EXPECT_LE((u - l) / l, 0.125 + 1e-12) << "bucket " << i;
+  }
+}
+
+// ---- histogram aggregates -----------------------------------------------
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.record(0.001);
+  h.record(0.002);
+  h.record(0.003);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.006);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.002);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);  // 1 ms .. 1 s
+  // ~9% relative resolution: percentile estimates land within one bucket
+  // of the exact order statistic.
+  EXPECT_NEAR(h.percentile(0.50), 0.5, 0.5 * 0.13);
+  EXPECT_NEAR(h.percentile(0.99), 0.99, 0.99 * 0.13);
+  EXPECT_NEAR(h.percentile(0.0), 1e-3, 1e-3 * 0.13);
+  EXPECT_GE(h.max_bound(), 1.0);
+  EXPECT_LE(h.max_bound(), 1.0 * 1.13);
+}
+
+TEST(HistogramTest, PercentileOfSingleValue) {
+  Histogram h;
+  h.record(0.125);  // exact power-of-two fraction: bucket lower bound
+  EXPECT_NEAR(h.percentile(0.5), 0.125, 0.125 * 0.13);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), h.percentile(0.99));
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllLand) {
+  Histogram h;
+  constexpr int kThreads = 4, kPer = 10'000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPer; ++i) h.record(1e-3);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPer);
+  EXPECT_NEAR(h.sum(), kThreads * kPer * 1e-3, 1e-6);
+}
+
+// ---- registry -----------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("frontend.shed");
+  Counter& b = reg.counter("frontend.shed");
+  EXPECT_EQ(&a, &b);  // re-registration returns the same series
+  a.inc(3);
+  b.inc();
+  EXPECT_EQ(reg.counter("frontend.shed").value(), 4u);
+
+  Histogram& h1 = reg.histogram("frontend.latency_s");
+  Histogram& h2 = reg.histogram("frontend.latency_s");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, SnapshotRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("node.subqueries").inc(42);
+  reg.gauge_fn("control.epoch", [] { return 7.0; });
+  Histogram& h = reg.histogram("frontend.latency_s");
+  h.record(0.010);
+  h.record(0.020);
+
+  MetricsRegistry::Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.get("node.subqueries"), 42.0);
+  EXPECT_DOUBLE_EQ(snap.get("control.epoch"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.get("frontend.latency_s.count"), 2.0);
+  EXPECT_NEAR(snap.get("frontend.latency_s.mean"), 0.015, 1e-9);
+  EXPECT_GT(snap.get("frontend.latency_s.p99"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.get("no.such.metric", -1.0), -1.0);
+
+  // Sorted by name.
+  for (size_t i = 1; i < snap.values.size(); ++i) {
+    EXPECT_LT(snap.values[i - 1].first, snap.values[i].first);
+  }
+}
+
+TEST(MetricsRegistryTest, GaugeReplacedOnReregistration) {
+  MetricsRegistry reg;
+  reg.gauge_fn("g", [] { return 1.0; });
+  reg.gauge_fn("g", [] { return 2.0; });
+  EXPECT_DOUBLE_EQ(reg.snapshot().get("g"), 2.0);
+}
+
+TEST(MetricsRegistryTest, TextAndJsonExposition) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(5);
+  reg.gauge_fn("b.gauge", [] { return 1.5; });
+
+  std::string text = reg.to_text();
+  EXPECT_NE(text.find("a.count 5"), std::string::npos);
+  EXPECT_NE(text.find("b.gauge 1.5"), std::string::npos);
+
+  std::string json = reg.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("}\n"), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"b.gauge\": 1.5"), std::string::npos);
+  // Deterministic exposition: same registry, same bytes.
+  EXPECT_EQ(json, reg.to_json());
+  EXPECT_EQ(text, reg.to_text());
+}
+
+}  // namespace
+}  // namespace roar

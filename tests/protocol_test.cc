@@ -25,6 +25,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   sq.pq = 16;
   sq.share = 0.0625;
   sq.klass = 2;
+  sq.trace = 0x0000000100000001ull;
   out.emplace_back("SubQuery", sq.encode());
 
   SubQueryReplyMsg rep;
@@ -34,6 +35,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   rep.matches = 41;
   rep.service_s = 0.125;
   rep.shed = 1;
+  rep.trace = 0x0000000400000063ull;
   out.emplace_back("SubQueryReply", rep.encode());
 
   ViewDeltaMsg vd;
@@ -97,6 +99,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   up.keywords = {"w8", "w91", "zz_nomatch_0"};
   up.size_bytes = -1;  // sign round-trip
   up.mtime = 1'600'000'000;
+  up.trace = 0x8000050000000001ull;  // ingest-domain trace id (top bit set)
   out.emplace_back("Update", up.encode());
 
   UpdateMsg del;
@@ -118,6 +121,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   sr.have_lsn = 42;
   sr.segment_lsn = 99;
   sr.chunk_offset = 4;
+  sr.trace = 0x4000000000030007ull;  // sync-domain trace id
   out.emplace_back("SyncReq", sr.encode());
 
   SyncDataMsg sd;
@@ -126,6 +130,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   sd.issued_lsn = 99;
   sd.chunk_offset = 4;
   sd.total_ops = 6;
+  sd.trace = 0x4000000000030007ull;
   sd.ops = {up, del};
   out.emplace_back("SyncData", sd.encode());
 

@@ -1,0 +1,179 @@
+// End-to-end tracing tests: deterministic span trees under virtual time,
+// breakdown arithmetic against the wall-clock TCP cluster, and the
+// flight recorder's timeout path.
+#include "core/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/emulated_cluster.h"
+#include "cluster/tcp_cluster.h"
+
+namespace roar::cluster {
+namespace {
+
+ClusterConfig emulated_config() {
+  ClusterConfig cfg;
+  cfg.classes = {{"uniform", 12, 1.0}};
+  cfg.dataset_size = 1'000'000;
+  cfg.p = 4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+QueryOutcome run_one(EmulatedCluster& c) {
+  QueryOutcome out;
+  bool done = false;
+  c.frontend().submit([&](const QueryOutcome& o) {
+    out = o;
+    done = true;
+  });
+  while (!done) c.loop().run_until(c.now() + 0.01);
+  return out;
+}
+
+TcpClusterConfig tcp_config(uint32_t workers = 0) {
+  TcpClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.p = 4;
+  cfg.dataset_size = 88'000;
+  cfg.seed = 11;
+  cfg.node_proto.base_rate = 1e6;
+  cfg.frontend.initial_rate = 1e6;
+  cfg.frontend.timeout_factor = 3.0;
+  cfg.frontend.timeout_margin_s = 0.3;
+  cfg.node_workers = workers;
+  return cfg;
+}
+
+// ---- deterministic span trees (virtual time) ----------------------------
+
+TEST(TraceTest, EmulatedSpanTreesAreByteIdenticalPerSeed) {
+  std::string renders[2];
+  for (int run = 0; run < 2; ++run) {
+    EmulatedCluster cluster(emulated_config());
+    for (int i = 0; i < 6; ++i) run_one(cluster);
+    renders[run] = core::SpanAssembler::render_all(cluster.trace_events());
+  }
+  EXPECT_FALSE(renders[0].empty());
+  EXPECT_EQ(renders[0], renders[1]);
+}
+
+TEST(TraceTest, QueryOutcomeCarriesDeterministicTraceId) {
+  EmulatedCluster cluster(emulated_config());
+  QueryOutcome out = run_one(cluster);
+  ASSERT_NE(out.id, 0u);
+  EXPECT_EQ(out.trace, core::query_trace_id(0, out.id));
+
+  // The assembled tree for that id exists and covers the fan-out.
+  auto traces = core::SpanAssembler::assemble(cluster.trace_events());
+  ASSERT_FALSE(traces.empty());
+  const core::QueryTrace* mine = nullptr;
+  for (const auto& t : traces) {
+    if (t.trace_id == out.trace) mine = &t;
+  }
+  ASSERT_NE(mine, nullptr);
+  EXPECT_TRUE(mine->complete());
+  EXPECT_EQ(mine->parts.size(), static_cast<size_t>(out.parts_sent));
+}
+
+TEST(TraceTest, LatencyHistogramCountsEveryQuery) {
+  EmulatedCluster cluster(emulated_config());
+  for (int i = 0; i < 5; ++i) run_one(cluster);
+  const Histogram& lat = cluster.metrics().histogram("frontend.latency_s");
+  EXPECT_EQ(lat.count(), 5u);
+  EXPECT_GT(lat.mean(), 0.0);
+}
+
+// ---- breakdown arithmetic (wall clock, real sockets) --------------------
+
+TEST(TraceTest, TcpBreakdownSumsToEndToEnd) {
+  TcpCluster cluster(tcp_config());
+  QueryOutcome out = cluster.run_query();
+  ASSERT_NE(out.id, 0u);
+  ASSERT_NE(out.trace, 0u);
+
+  auto traces = core::SpanAssembler::assemble(cluster.trace_events());
+  const core::QueryTrace* mine = nullptr;
+  for (const auto& t : traces) {
+    if (t.trace_id == out.trace) mine = &t;
+  }
+  ASSERT_NE(mine, nullptr);
+  ASSERT_TRUE(mine->complete());
+  ASSERT_FALSE(mine->parts.size() == 0);
+  ASSERT_NE(mine->straggler(), static_cast<size_t>(-1));
+
+  // The per-stage attribution sums to the frontend-observed span exactly:
+  // network_s absorbs the signed cross-clock residual by construction.
+  core::QueryTrace::Breakdown b = mine->breakdown();
+  EXPECT_NEAR(b.total(), mine->done_at - mine->submit_at, 1e-6);
+  EXPECT_GT(b.node_service_s, 0.0);
+  EXPECT_GE(b.plan_s, 0.0);
+  EXPECT_GE(b.tail_s, 0.0);
+}
+
+TEST(TraceTest, WorkerPoolDoesNotChangeSpanStructure) {
+  // The first query's fan-out (part ids and target nodes) is a pure
+  // scheduling decision from identical priors — the executor pool size
+  // must not change it, only the timings.
+  core::QueryTrace first[2];
+  uint32_t workers_of[2] = {0, 4};
+  for (int i = 0; i < 2; ++i) {
+    TcpCluster cluster(tcp_config(workers_of[i]));
+    QueryOutcome out = cluster.run_query();
+    ASSERT_NE(out.id, 0u);
+    auto traces = core::SpanAssembler::assemble(cluster.trace_events());
+    bool found = false;
+    for (const auto& t : traces) {
+      if (t.trace_id == out.trace) {
+        first[i] = t;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+  ASSERT_EQ(first[0].parts.size(), first[1].parts.size());
+  for (size_t p = 0; p < first[0].parts.size(); ++p) {
+    EXPECT_EQ(first[0].parts[p].part, first[1].parts[p].part);
+    EXPECT_EQ(first[0].parts[p].node, first[1].parts[p].node);
+    EXPECT_TRUE(first[1].parts[p].replied());
+  }
+}
+
+// ---- flight recorder ----------------------------------------------------
+
+TEST(TraceTest, QueryTimeoutProducesFlightDumpWithOffendingTrace) {
+  TcpCluster cluster(tcp_config());
+  cluster.run_query();  // warm the estimators
+  cluster.kill_node(2);
+
+  for (int i = 0; i < 30 && cluster.frontend().failures_detected() == 0;
+       ++i) {
+    cluster.run_query();
+  }
+  ASSERT_GT(cluster.frontend().failures_detected(), 0u);
+
+  ASSERT_GT(cluster.tracer().anomalies_seen(), 0u);
+  auto dumps = cluster.tracer().dumps();
+  ASSERT_FALSE(dumps.empty());
+  const auto& dump = dumps.front();
+  EXPECT_NE(dump.trace_id, 0u);
+  EXPECT_NE(dump.reason.find("timeout"), std::string::npos);
+
+  // The rendered timeline names the offending trace and carries the
+  // metrics snapshot.
+  char id_hex[32];
+  std::snprintf(id_hex, sizeof(id_hex), "%016llx",
+                static_cast<unsigned long long>(dump.trace_id));
+  EXPECT_NE(dump.rendered.find(id_hex), std::string::npos);
+  EXPECT_NE(dump.rendered.find("--- metrics ---"), std::string::npos);
+  EXPECT_NE(dump.rendered.find("frontend.latency_s.count"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace roar::cluster
