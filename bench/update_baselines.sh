@@ -27,6 +27,7 @@ declare -A RUNS=(
   [fig7_5_dynamic_p]="$BUILD_DIR/bench/bench_fig7_5_dynamic_p --seed 9"
   [sync_storm]="$BUILD_DIR/bench/bench_sync_storm --seed 17"
   [overload]="$BUILD_DIR/bench/bench_overload --seed 37"
+  [tab7_3_scale1000]="$BUILD_DIR/bench/bench_tab7_3_scale1000 --seed 13"
 )
 
 mkdir -p "$BASELINES"

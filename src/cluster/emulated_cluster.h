@@ -65,6 +65,12 @@ struct ClusterConfig {
   double adaptive_interval_s = 4.0;
   // Laggard-resync cadence of the control plane.
   double control_retransmit_s = 0.5;
+  // Dissemination-tree fanout k (control-plane roots and interior relay
+  // nodes) and the tree/sliced decision divisor: waves interesting at
+  // least node_count/tree_divisor subscribers go through the relay tree,
+  // smaller ones are sent directly to the interested slice.
+  uint32_t relay_fanout = 8;
+  uint32_t tree_divisor = 4;
   // Overload control (core/slo.h): per-class contracts feeding frontend
   // admission/shedding, Spang-sized queue bounds on frontends and nodes,
   // and (with adaptive_p) the controller's p99 target — all from this one

@@ -146,12 +146,12 @@ void Frontend::sync_from_view() {
   }
 }
 
-void Frontend::send_ack() {
+void Frontend::send_ack(net::Address to) {
   // Plain watermark: completed == 0 keeps it out of the latency signal.
   ViewAckMsg ack;
   ack.subscriber = address();
   ack.epoch = view_epoch();
-  net_.send(address(), kMembershipAddr, ack.encode());
+  net_.send(address(), to, ack.encode());
 }
 
 void Frontend::send_digest(uint64_t life) {
@@ -175,10 +175,10 @@ void Frontend::on_view_delta(const ViewDeltaMsg& m) {
     case core::ViewSubscription::Apply::kApplied:
       synced_ = true;
       sync_from_view();
-      send_ack();
+      send_ack(m.ack_to);
       break;
     case core::ViewSubscription::Apply::kStale:
-      send_ack();  // refresh the control plane's watermark anyway
+      send_ack(m.ack_to);  // refresh the control plane's watermark anyway
       break;
     case core::ViewSubscription::Apply::kGap: {
       ViewPullMsg pull;

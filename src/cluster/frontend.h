@@ -247,7 +247,7 @@ class Frontend {
   void handle(net::Address from, net::ByteView payload);
   void on_view_delta(const ViewDeltaMsg& m);
   void sync_from_view();
-  void send_ack();
+  void send_ack(net::Address to = kMembershipAddr);
   void send_digest(uint64_t generation);
   void on_reply(const SubQueryReplyMsg& m);
   void on_timeout(uint64_t query_id, uint32_t part_index);

@@ -49,6 +49,13 @@ void NodeRuntime::kill() {
   pending_subs_.clear();
   fetch_running_for_p_ = 0;
   ++fetch_gen_;
+  // Relay duty and queued forwards die with the process; a crashed node's
+  // subtree is repaired by the control plane's laggard path. The interest
+  // registration may be re-assigned stale on the control side — re-send
+  // it on the first reconcile of the next life.
+  children_.clear();
+  ack_to_ = kMembershipAddr;
+  interest_sent_ = false;
   // The ingest log and its store survive (they are the node's disk); only
   // the sync timer stops until a revival restarts it.
   if (ingest_) ingest_->on_kill();
@@ -124,6 +131,9 @@ void NodeRuntime::handle(net::Address from, net::ByteView payload) {
       break;
     case MsgType::kViewDelta:
       if (auto m = ViewDeltaMsg::decode(payload)) on_view_delta(*m);
+      break;
+    case MsgType::kViewAck:
+      if (auto m = ViewAckMsg::decode(payload)) on_child_ack(*m);
       break;
     case MsgType::kObjectUpdate:
       if (auto m = ObjectUpdateMsg::decode(payload)) on_update(*m);
@@ -391,6 +401,15 @@ void NodeRuntime::drain_batch() {
 }
 
 void NodeRuntime::on_view_delta(const ViewDeltaMsg& m) {
+  // Relay duty is per-message: targets set it (and this node forwards the
+  // wave before touching its own state — children are not gated on our
+  // apply), no targets clear it.
+  if (!m.relay_targets.empty()) {
+    take_relay_duty(m);
+  } else {
+    children_.clear();
+  }
+  ack_to_ = m.ack_to;
   switch (sub_.apply(m.delta)) {
     case core::ViewSubscription::Apply::kApplied:
       reconcile_view();
@@ -398,17 +417,146 @@ void NodeRuntime::on_view_delta(const ViewDeltaMsg& m) {
     case core::ViewSubscription::Apply::kStale:
       break;
     case core::ViewSubscription::Apply::kGap: {
+      // Our basis is missing; pull the compacted suffix. The registration
+      // may have been lost along with whatever we missed — re-send it
+      // once the pulled view applies.
+      interest_sent_ = false;
       ViewPullMsg pull;
       pull.subscriber = address();
       pull.have_epoch = sub_.epoch();
       net_.send(address(), kMembershipAddr, pull.encode());
-      return;  // ack once the pulled epochs apply
+      break;  // watermark unchanged; children may still advance it
     }
   }
+  maybe_send_ack();
+}
+
+void NodeRuntime::take_relay_duty(const ViewDeltaMsg& m) {
+  relay_fanout_ = m.relay_fanout == 0 ? 1 : m.relay_fanout;
+  auto branches = relay::split(m.relay_targets, relay_fanout_);
+  // Keep pacing state for children that persist across waves (the tree is
+  // deterministic, so they usually all do).
+  std::vector<RelayChild> next;
+  next.reserve(branches.size());
+  for (auto& b : branches) {
+    RelayChild c;
+    c.addr = b.head;
+    c.targets = std::move(b.rest);
+    for (RelayChild& old : children_) {
+      if (old.addr == c.addr) {
+        c.win = old.win;
+        c.queued = std::move(old.queued);
+        break;
+      }
+    }
+    next.push_back(std::move(c));
+  }
+  children_ = std::move(next);
+  for (RelayChild& c : children_) forward_to_child(c, m.delta);
+}
+
+void NodeRuntime::forward_to_child(RelayChild& c, const core::ViewDelta& d) {
+  if (!c.win.can_send()) {
+    // Bounded buffer of one: a newer wave supersedes a queued older one —
+    // the signal this child is not draining, halve its window.
+    if (c.queued) {
+      ++relay_supersessions_;
+      c.win.on_supersede();
+    }
+    c.queued = d;
+    return;
+  }
+  ViewDeltaMsg fwd;
+  fwd.delta = d;
+  fwd.ack_to = address();  // children ack here for aggregation
+  fwd.relay_fanout = c.targets.empty() ? 0 : relay_fanout_;
+  fwd.relay_targets = c.targets;
+  net_.send(address(), c.addr, fwd.encode());
+  c.win.on_sent(d.epoch);
+  ++deltas_relayed_;
+}
+
+void NodeRuntime::on_child_ack(const ViewAckMsg& m) {
+  for (RelayChild& c : children_) {
+    if (c.addr != m.subscriber) continue;
+    c.win.on_ack(m.epoch, m.agg_count);
+    if (c.queued && c.win.can_send()) {
+      core::ViewDelta d = std::move(*c.queued);
+      c.queued.reset();
+      forward_to_child(c, d);
+    }
+    break;
+  }
+  maybe_send_ack();
+}
+
+void NodeRuntime::maybe_send_ack() {
+  // Aggregated watermark: the oldest epoch anyone in this subtree has
+  // applied. Children that never acked hold it at 0 (nothing to report
+  // yet).
+  uint64_t wm = sub_.epoch();
+  uint32_t agg = 1;
+  for (const RelayChild& c : children_) {
+    wm = std::min(wm, c.win.acked);
+    agg += c.win.agg;
+  }
+  if (wm == 0 || wm < ack_reported_) return;
+  ack_reported_ = wm;
+  if (agg > 1) ++acks_aggregated_;
   ViewAckMsg ack;
   ack.subscriber = address();
-  ack.epoch = sub_.epoch();
-  net_.send(address(), kMembershipAddr, ack.encode());
+  ack.epoch = wm;
+  ack.agg_count = agg;
+  net_.send(address(), ack_to_, ack.encode());
+}
+
+void NodeRuntime::refresh_interest() {
+  if (range_.empty()) return;
+  const core::ClusterView& v = sub_.view();
+  // The region this node's control logic depends on: its range plus the
+  // replication arc reaching back 1/p — membership changes there move its
+  // range or its stored arc. Use the smallest p in play so an in-flight
+  // decrease is already covered.
+  uint32_t p = std::min({p_, v.target_p, v.safe_p});
+  bool want_full = p <= 2;  // arcs cover most of the ring anyway
+  uint64_t m = p > 0 ? circle_fraction(p) : 0;
+  Arc needed;
+  Arc reg;
+  if (!want_full) {
+    needed = Arc(range_.begin().advanced_raw(uint64_t{1} - m),
+                 m - 1 + range_.length());
+    if (needed.length() < range_.length()) want_full = true;  // wrapped
+  }
+  if (!want_full) {
+    // Register twice the needed slack: hysteresis, so ordinary churn
+    // (balance moves, neighbour joins) doesn't re-register every epoch.
+    uint64_t slack = 2 * m;
+    uint64_t len = slack - 1 + range_.length();
+    if (len < range_.length()) {
+      want_full = true;
+    } else {
+      reg = Arc(range_.begin().advanced_raw(uint64_t{1} - slack), len);
+    }
+  }
+  if (interest_sent_) {
+    bool covered =
+        want_full ? interest_registered_.empty()
+                  : !interest_registered_.empty() &&
+                        interest_registered_.contains(needed.begin()) &&
+                        interest_registered_.intersection_length(needed) ==
+                            needed.length();
+    if (covered) return;
+  } else if (want_full) {
+    return;  // full interest is the default; nothing to say
+  }
+  interest_registered_ = want_full ? Arc() : reg;
+  interest_sent_ = true;
+  ++interests_sent_;
+  ViewInterestMsg msg;
+  msg.subscriber = address();
+  msg.epoch = sub_.epoch();
+  if (!want_full) msg.arcs.push_back(interest_registered_);
+  net_.send(address(), kMembershipAddr, msg.encode());
 }
 
 void NodeRuntime::reconcile_view() {
@@ -451,6 +599,7 @@ void NodeRuntime::reconcile_view() {
     if (fetch_running_for_p_ != 0) ++fetch_gen_;
     fetch_running_for_p_ = 0;
   }
+  refresh_interest();
 }
 
 void NodeRuntime::begin_fetch(const core::Ring& ring, uint32_t p_old,

@@ -27,12 +27,14 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "cluster/ingest.h"
 #include "cluster/match_engine.h"
 #include "cluster/protocol.h"
+#include "cluster/relay.h"
 #include "common/metrics.h"
 #include "core/cluster_view.h"
 #include "core/tracer.h"
@@ -144,6 +146,14 @@ class NodeRuntime {
   uint32_t current_p() const { return p_; }
   // The node's replicated control state.
   uint64_t view_epoch() const { return sub_.epoch(); }
+  // Dissemination-tree diagnostics: view deltas forwarded to relay
+  // children, aggregated acks sent upward (covering > 1 subscriber), and
+  // queued forwards superseded by a newer wave (the AIMD halving signal).
+  uint64_t deltas_relayed() const { return deltas_relayed_; }
+  uint64_t acks_aggregated() const { return acks_aggregated_; }
+  uint64_t relay_supersessions() const { return relay_supersessions_; }
+  // Interest registrations sent to the control plane (kViewInterest).
+  uint64_t interests_sent() const { return interests_sent_; }
   // Batching diagnostics: drain wakeups and sub-queries they carried.
   uint64_t batches_drained() const { return batches_drained_; }
   uint64_t batched_subqueries() const { return batched_subqueries_; }
@@ -184,7 +194,33 @@ class NodeRuntime {
   // True if the bounded executor queue cannot take `m` (after trying to
   // displace a newer, lower-priority entry).
   bool exec_queue_refuses(const SubQueryMsg& m);
+  // One relay child: its own branch targets, pacing window and (at most
+  // one) queued wave a full window deferred.
+  struct RelayChild {
+    net::Address addr = 0;
+    std::vector<net::Address> targets;
+    relay::Window win;
+    std::optional<core::ViewDelta> queued;
+  };
+
   void on_view_delta(const ViewDeltaMsg& m);
+  // Relay duty (tree dissemination). A delta carrying relay_targets makes
+  // this node an interior relay for that wave: it splits the list into
+  // per-child branches and forwards, pacing each child with an AIMD
+  // window (at most one wave queued per child; a newer wave supersedes
+  // it). A delta with NO targets clears the duty — the node acks
+  // individually again, so a repaired branch can never freeze the
+  // aggregate.
+  void take_relay_duty(const ViewDeltaMsg& m);
+  void forward_to_child(RelayChild& c, const core::ViewDelta& d);
+  void on_child_ack(const ViewAckMsg& m);
+  // Sends the (possibly aggregated) watermark upward: min over own epoch
+  // and every child's acked watermark, monotone in what was last
+  // reported.
+  void maybe_send_ack();
+  // Registers this node's interest arc (stored region + slack) with the
+  // control plane when the needed region escapes what was registered.
+  void refresh_interest();
   // Re-derives range, storage p and §4.5 fetch duties from the current
   // view. Idempotent: re-applied epochs re-trigger it harmlessly.
   void reconcile_view();
@@ -237,6 +273,20 @@ class NodeRuntime {
   uint64_t fetch_gen_ = 0;
   // Invalidates timer chains from a previous life on kill()/start().
   uint64_t life_ = 0;
+  // --- dissemination-tree + interest state -------------------------------
+  std::vector<RelayChild> children_;  // empty = leaf / direct subscriber
+  uint8_t relay_fanout_ = 1;  // fanout of the wave that set the duty
+  net::Address ack_to_ = kMembershipAddr;  // upward ack destination
+  uint64_t ack_reported_ = 0;  // newest watermark sent upward (monotone)
+  uint64_t deltas_relayed_ = 0;
+  uint64_t acks_aggregated_ = 0;
+  uint64_t relay_supersessions_ = 0;
+  // Interest registration: the arc last sent to the control plane (2×
+  // slack around the needed region, hysteresis against churn). Cleared on
+  // restart/gap so a possibly-lost registration is re-sent.
+  bool interest_sent_ = false;
+  Arc interest_registered_;
+  uint64_t interests_sent_ = 0;
   double stats_busy_mark_ = 0.0;
   double busy_until_ = 0.0;
   double busy_seconds_ = 0.0;

@@ -24,7 +24,7 @@ std::optional<MsgType> peek_type(net::ByteView b) {
   if (b.empty()) return std::nullopt;
   uint8_t t = b[0];
   // 3 and 4 are the retired kRangePush/kFetchOrder slots.
-  if (t < 1 || t > 14 || t == 3 || t == 4) return std::nullopt;
+  if (t < 1 || t > 15 || t == 3 || t == 4) return std::nullopt;
   return static_cast<MsgType>(t);
 }
 
@@ -89,6 +89,7 @@ std::optional<SubQueryReplyMsg> SubQueryReplyMsg::decode(net::ByteView b) {
 net::Bytes ViewDeltaMsg::encode() const {
   auto w = with_type(MsgType::kViewDelta);
   w.u64(delta.epoch);
+  w.u64(delta.prev_epoch);
   w.u8(delta.full ? 1 : 0);
   w.u32(delta.target_p);
   w.u32(delta.safe_p);
@@ -104,6 +105,10 @@ net::Bytes ViewDeltaMsg::encode() const {
   for (NodeId id : delta.removes) w.u32(id);
   w.u32(static_cast<uint32_t>(delta.pending.size()));
   for (NodeId id : delta.pending) w.u32(id);
+  w.u32(ack_to);
+  w.u8(relay_fanout);
+  w.u32(static_cast<uint32_t>(relay_targets.size()));
+  for (net::Address a : relay_targets) w.u32(a);
   return w.take();
 }
 
@@ -112,6 +117,7 @@ std::optional<ViewDeltaMsg> ViewDeltaMsg::decode(net::ByteView b) {
   if (!r) return std::nullopt;
   ViewDeltaMsg m;
   m.delta.epoch = r->u64();
+  m.delta.prev_epoch = r->u64();
   m.delta.full = r->u8() != 0;
   m.delta.target_p = r->u32();
   m.delta.safe_p = r->u32();
@@ -143,10 +149,25 @@ std::optional<ViewDeltaMsg> ViewDeltaMsg::decode(net::ByteView b) {
   }
   m.delta.pending.reserve(n);
   for (uint32_t i = 0; i < n; ++i) m.delta.pending.push_back(r->u32());
+  m.ack_to = r->u32();
+  m.relay_fanout = r->u8();
+  n = r->u32();
+  if (!r->ok() || static_cast<uint64_t>(n) * 4 > r->remaining()) {
+    return std::nullopt;
+  }
+  m.relay_targets.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) m.relay_targets.push_back(r->u32());
   if (!r->ok()) return std::nullopt;
   // A full snapshot replaces the member set wholesale; carrying removals
   // too would be ambiguous, so such a message is malformed by definition.
   if (m.delta.full && !m.delta.removes.empty()) return std::nullopt;
+  // Relay targets without a fanout give the recipient no way to split the
+  // forwarding work; an incremental delta whose basis is at or past its
+  // own epoch could never have been produced by the delta log.
+  if (!m.relay_targets.empty() && m.relay_fanout == 0) return std::nullopt;
+  if (!m.delta.full && m.delta.prev_epoch >= m.delta.epoch) {
+    return std::nullopt;
+  }
   return m;
 }
 
@@ -154,6 +175,7 @@ net::Bytes ViewAckMsg::encode() const {
   auto w = with_type(MsgType::kViewAck);
   w.u32(subscriber);
   w.u64(epoch);
+  w.u32(agg_count);
   w.u64(completed);
   w.f64(p99_s);
   w.f64(mean_s);
@@ -166,9 +188,46 @@ std::optional<ViewAckMsg> ViewAckMsg::decode(net::ByteView b) {
   ViewAckMsg m;
   m.subscriber = r->u32();
   m.epoch = r->u64();
+  m.agg_count = r->u32();
   m.completed = r->u64();
   m.p99_s = r->f64();
   m.mean_s = r->f64();
+  if (!r->ok()) return std::nullopt;
+  // A watermark covering zero subscribers is meaningless: even a plain
+  // ack covers its sender.
+  if (m.agg_count == 0) return std::nullopt;
+  return m;
+}
+
+net::Bytes ViewInterestMsg::encode() const {
+  auto w = with_type(MsgType::kViewInterest);
+  w.u32(subscriber);
+  w.u64(epoch);
+  w.u32(static_cast<uint32_t>(arcs.size()));
+  for (const Arc& a : arcs) {
+    w.ring_id(a.begin());
+    w.u64(a.length());
+  }
+  return w.take();
+}
+
+std::optional<ViewInterestMsg> ViewInterestMsg::decode(net::ByteView b) {
+  auto r = reader_for(b, MsgType::kViewInterest);
+  if (!r) return std::nullopt;
+  ViewInterestMsg m;
+  m.subscriber = r->u32();
+  m.epoch = r->u64();
+  // Hostile-count guard: each arc costs 16 bytes on the wire.
+  uint32_t n = r->u32();
+  if (!r->ok() || static_cast<uint64_t>(n) * 16 > r->remaining()) {
+    return std::nullopt;
+  }
+  m.arcs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RingId begin = r->ring_id();
+    uint64_t len = r->u64();
+    m.arcs.emplace_back(begin, len);
+  }
   if (!r->ok()) return std::nullopt;
   return m;
 }

@@ -45,8 +45,9 @@ enum class MsgType : uint8_t {
   kSyncReq = 10,       // replica -> router: anti-entropy catch-up request
   kSyncData = 11,      // router -> replica: ops since LSN / full segment
   kViewDelta = 12,     // control plane -> subscriber: one view epoch step
-  kViewAck = 13,       // subscriber -> control plane: epoch watermark
+  kViewAck = 13,       // subscriber -> parent/control plane: epoch watermark
   kViewPull = 14,      // subscriber -> control plane: catch-up request
+  kViewInterest = 15,  // node -> control plane: ring arcs it depends on
 };
 
 struct SubQueryMsg {
@@ -84,26 +85,41 @@ struct SubQueryReplyMsg {
   static std::optional<SubQueryReplyMsg> decode(net::ByteView b);
 };
 
-// One epoch step of the control state (core/cluster_view.h), broadcast by
-// the ControlPlane to every subscriber (nodes and front-ends). Incremental
-// deltas apply against epoch-1; full snapshots replace the subscriber's
-// state and may re-apply the current epoch (idempotent — this is what
-// retransmission and revival catch-up lean on).
+// One step of the control state (core/cluster_view.h), disseminated by
+// the ControlPlane. Incremental deltas apply against their carried basis
+// epoch (possibly compacted across many steps); full snapshots replace
+// the subscriber's state and may re-apply the current epoch (idempotent —
+// this is what retransmission and revival catch-up lean on).
+//
+// Tree dissemination: a message carrying `relay_targets` instructs the
+// recipient to forward the delta onward — it splits the target list into
+// up to `relay_fanout` contiguous chunks, sends each chunk's head the
+// chunk's tail as that child's own relay_targets, and aggregates the
+// children's ack watermarks into its own upward ack. `ack_to` names where
+// the recipient's kViewAck must go: the control plane for direct sends,
+// the forwarding relay for tree-disseminated deltas.
 struct ViewDeltaMsg {
   core::ViewDelta delta;
+  net::Address ack_to = kMembershipAddr;
+  uint8_t relay_fanout = 0;
+  std::vector<net::Address> relay_targets;
 
   net::Bytes encode() const;
   static std::optional<ViewDeltaMsg> decode(net::ByteView b);
 };
 
-// Subscriber -> control plane: "I have applied `epoch`". The control
-// plane's per-subscriber watermarks come from these; they gate surplus
-// drops after a p increase and steer laggard retransmission. Front-ends
-// piggyback their periodic latency digest (zeros from storage nodes) —
-// the adaptive-p controller's query-side signal.
+// Subscriber -> parent relay or control plane: "my subtree has applied
+// `epoch`". The control plane's per-subscriber watermarks come from
+// these; they gate surplus drops after a p increase and steer laggard
+// retransmission. A relay reports the minimum watermark over itself and
+// its children, with `agg_count` subscribers covered (1 = just the
+// sender), so the control plane's per-epoch ack work is O(fanout), not
+// O(members). Front-ends piggyback their periodic latency digest (zeros
+// from storage nodes) — the adaptive-p controller's query-side signal.
 struct ViewAckMsg {
   net::Address subscriber = 0;
   uint64_t epoch = 0;
+  uint32_t agg_count = 1;  // subscribers this watermark covers (>= 1)
   // Latency digest over the front-end's current window. `completed` is
   // the window's query count — 0 marks a plain watermark ack (or an
   // empty window), which carries no latency signal and must not steer
@@ -114,6 +130,21 @@ struct ViewAckMsg {
 
   net::Bytes encode() const;
   static std::optional<ViewAckMsg> decode(net::ByteView b);
+};
+
+// Node -> control plane: the ring arcs this node's control logic depends
+// on (its stored arc plus margin). The control plane thereafter skips the
+// node on view waves that touch none of its arcs (level changes, full
+// snapshots and changes to the node itself always qualify); an empty arc
+// list restores full interest. Refreshed whenever the node's recomputed
+// coverage escapes the registered arcs (reconfigure, join, range move).
+struct ViewInterestMsg {
+  net::Address subscriber = 0;
+  uint64_t epoch = 0;  // view epoch the arcs were derived from
+  std::vector<Arc> arcs;
+
+  net::Bytes encode() const;
+  static std::optional<ViewInterestMsg> decode(net::ByteView b);
 };
 
 // Subscriber -> control plane: "send me everything after `have_epoch`".

@@ -1,0 +1,26 @@
+#include "cluster/relay.h"
+
+namespace roar::cluster::relay {
+
+std::vector<Branch> split(const std::vector<net::Address>& targets,
+                          uint32_t fanout) {
+  std::vector<Branch> out;
+  if (targets.empty() || fanout == 0) return out;
+  size_t k = std::min<size_t>(fanout, targets.size());
+  out.reserve(k);
+  size_t base = targets.size() / k;
+  size_t extra = targets.size() % k;  // first `extra` chunks get one more
+  size_t at = 0;
+  for (size_t i = 0; i < k; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    Branch b;
+    b.head = targets[at];
+    b.rest.assign(targets.begin() + static_cast<ptrdiff_t>(at + 1),
+                  targets.begin() + static_cast<ptrdiff_t>(at + len));
+    out.push_back(std::move(b));
+    at += len;
+  }
+  return out;
+}
+
+}  // namespace roar::cluster::relay

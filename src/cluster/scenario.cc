@@ -130,6 +130,22 @@ void InvariantChecker::check_view(const std::string& context) {
     NodeRuntime& node = cluster_.node(n.id);
     if (!node.alive() || node.range().empty()) continue;
     max_node_p = std::max(max_node_p, node.current_p());
+    // Dissemination soundness: a node never applies an epoch the control
+    // plane has not published, and the (possibly relay-aggregated)
+    // watermark the control plane holds for it never exceeds what the
+    // node actually applied — an aggregator that over-reported here could
+    // clear the drop gate or the laggard set early.
+    if (node.view_epoch() > epoch) {
+      fail(context, "node " + std::to_string(n.id) +
+                        " view epoch ahead of the control plane");
+    }
+    uint64_t acked = control.acked_epoch(node_address(n.id));
+    if (acked > node.view_epoch()) {
+      fail(context, "node " + std::to_string(n.id) +
+                        " acked watermark " + std::to_string(acked) +
+                        " ahead of its applied epoch " +
+                        std::to_string(node.view_epoch()));
+    }
   }
 
   for (uint32_t i = 0; i < cluster_.frontend_count(); ++i) {

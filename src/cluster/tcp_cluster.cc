@@ -56,6 +56,8 @@ TcpCluster::TcpCluster(TcpClusterConfig config)
   ControlPlaneParams cp;
   cp.initial_p = config_.p;
   cp.retransmit_interval_s = config_.control_retransmit_s;
+  cp.relay_fanout = config_.relay_fanout;
+  cp.tree_divisor = config_.tree_divisor;
   control_ = std::make_unique<ControlPlane>(control, membership_, cp);
   control_->on_reconfigured = [](uint32_t new_p) {
     ROAR_LOG(kInfo) << "tcp-cluster: reconfiguration to p=" << new_p
@@ -256,6 +258,45 @@ void TcpCluster::register_gauges() {
   });
   metrics_.gauge_fn("control.p_changes_committed", [this] {
     return static_cast<double>(control_->p_changes_committed());
+  });
+  metrics_.gauge_fn("control.deltas_sent", [this] {
+    return static_cast<double>(control_->deltas_sent());
+  });
+  metrics_.gauge_fn("control.interest_filtered_sends", [this] {
+    return static_cast<double>(control_->interest_skips());
+  });
+  metrics_.gauge_fn("control.acks_aggregated", [this] {
+    return static_cast<double>(control_->acks_aggregated());
+  });
+  metrics_.gauge_fn("control.compaction_ratio", [this] {
+    return control_->compaction_ratio();
+  });
+  metrics_.gauge_fn("control.delta_log_retain", [this] {
+    return static_cast<double>(control_->delta_log_retain());
+  });
+  metrics_.gauge_fn("control.tree_rebuilds", [this] {
+    return static_cast<double>(control_->tree_rebuilds());
+  });
+  metrics_.gauge_fn("control.deltas_relayed", [this] {
+    uint64_t n = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      on_node_shard(id, [&] { n += nodes_[id]->deltas_relayed(); });
+    }
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("control.node_acks_aggregated", [this] {
+    uint64_t n = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      on_node_shard(id, [&] { n += nodes_[id]->acks_aggregated(); });
+    }
+    return static_cast<double>(n);
+  });
+  metrics_.gauge_fn("control.interests_registered", [this] {
+    uint64_t n = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      on_node_shard(id, [&] { n += nodes_[id]->interests_sent(); });
+    }
+    return static_cast<double>(n);
   });
   metrics_.gauge_fn("trace.events", [this] {
     return static_cast<double>(tracer_.events_recorded());

@@ -41,6 +41,10 @@ struct TcpClusterConfig {
   double latency_hint_s = 100e-6;
   // Laggard-resync cadence of the control plane.
   double control_retransmit_s = 0.5;
+  // Dissemination-tree fanout and tree/sliced decision divisor (see
+  // ClusterConfig — same semantics over TCP).
+  uint32_t relay_fanout = 8;
+  uint32_t tree_divisor = 4;
 
   // --- execution engine --------------------------------------------------
   // Reactor shards in the TcpDriver. 1 = the original single-threaded

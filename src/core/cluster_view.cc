@@ -1,6 +1,8 @@
 #include "core/cluster_view.h"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 
 namespace roar::core {
 
@@ -54,6 +56,7 @@ ClusterView ClusterView::capture(uint64_t epoch, const Ring& ring,
 ViewDelta view_diff(const ClusterView& prev, const ClusterView& next) {
   ViewDelta d;
   d.epoch = next.epoch;
+  d.prev_epoch = prev.epoch;
   d.full = false;
   d.target_p = next.target_p;
   d.safe_p = next.safe_p;
@@ -95,6 +98,33 @@ ViewDelta view_full_delta(const ClusterView& view) {
   return d;
 }
 
+ViewDelta compact_log(const std::deque<ViewDelta>& log, uint64_t from_epoch,
+                      uint64_t to_epoch) {
+  ViewDelta out;
+  out.prev_epoch = from_epoch;
+  out.epoch = to_epoch;
+  // Net member effect over the range: the map's iteration order doubles as
+  // the canonical id-sorted output order.
+  std::map<NodeId, std::optional<ViewMember>> net;  // nullopt = removed
+  for (const auto& d : log) {
+    if (d.epoch <= from_epoch || d.epoch > to_epoch) continue;
+    for (const auto& up : d.upserts) net[up.id] = up;
+    for (NodeId id : d.removes) net[id] = std::nullopt;
+    out.target_p = d.target_p;
+    out.safe_p = d.safe_p;
+    out.storage_p = d.storage_p;
+    out.pending = d.pending;
+  }
+  for (const auto& [id, m] : net) {
+    if (m) {
+      out.upserts.push_back(*m);
+    } else {
+      out.removes.push_back(id);
+    }
+  }
+  return out;
+}
+
 ViewSubscription::Apply ViewSubscription::apply(const ViewDelta& d) {
   if (d.full) {
     // A full snapshot at our epoch or later always applies: re-applying
@@ -114,7 +144,7 @@ ViewSubscription::Apply ViewSubscription::apply(const ViewDelta& d) {
     return Apply::kApplied;
   }
   if (d.epoch <= view_.epoch) return Apply::kStale;
-  if (d.epoch != view_.epoch + 1) return Apply::kGap;
+  if (d.prev_epoch > view_.epoch) return Apply::kGap;
   view_.epoch = d.epoch;
   view_.target_p = d.target_p;
   view_.safe_p = d.safe_p;

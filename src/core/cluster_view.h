@@ -24,14 +24,17 @@
 //               "no query is ever partitioned with an unsafe p" a global
 //               invariant rather than a single-process accident.
 //
-// Deltas are incremental (member upserts/removes against epoch-1) or full
-// (complete member list, replacing the subscriber's state); both carry the
-// p levels and the pending-confirmer set verbatim since those are tiny.
-// A subscriber that sees a gap pulls; the control plane answers with the
-// retained delta suffix or a full snapshot.
+// Deltas are incremental (member upserts/removes against a basis epoch)
+// or full (complete member list, replacing the subscriber's state); both
+// carry the p levels and the pending-confirmer set verbatim since those
+// are tiny. An incremental delta names the basis it was computed against
+// (`prev_epoch`) so a retained log can be folded into one compacted delta
+// spanning many epochs. A subscriber that sees a gap pulls; the control
+// plane answers with a compacted suffix or a full snapshot.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <set>
 #include <vector>
 
@@ -77,10 +80,13 @@ struct ClusterView {
                              const std::set<NodeId>& warming);
 };
 
-// One epoch step of the view, as broadcast on the wire (the serialized
-// form lives in cluster/protocol.h).
+// One step of the view, as broadcast on the wire (the serialized form
+// lives in cluster/protocol.h). An incremental delta transforms the state
+// at `prev_epoch` into the state at `epoch`; a classic one-epoch step has
+// prev_epoch == epoch - 1, a compacted delta spans further.
 struct ViewDelta {
   uint64_t epoch = 0;
+  uint64_t prev_epoch = 0;  // basis (ignored when full)
   bool full = false;  // true: `upserts` is the complete member list
   uint32_t target_p = 1;
   uint32_t safe_p = 1;
@@ -97,13 +103,32 @@ ViewDelta view_diff(const ClusterView& prev, const ClusterView& next);
 // A full-snapshot delta carrying `view` verbatim.
 ViewDelta view_full_delta(const ClusterView& view);
 
+// Folds the incremental deltas of `log` covering (from_epoch, to_epoch]
+// into one delta with prev_epoch = from_epoch: per member the latest
+// upsert/remove wins, levels and the pending set come from the newest
+// delta. The log must hold the consecutive one-epoch steps of that range
+// (the control plane's retained delta log does). A remove of a member
+// that was also created inside the range is emitted anyway; applying a
+// remove for an unknown id is a no-op, so the net effect stays exact.
+ViewDelta compact_log(const std::deque<ViewDelta>& log, uint64_t from_epoch,
+                      uint64_t to_epoch);
+
 // Subscriber-side replica of the control state.
+//
+// An incremental delta applies whenever prev_epoch <= current < epoch:
+// upserts/removes carry absolute member state at the target epoch, so a
+// delta spanning past the subscriber's exact position still lands it on
+// the correct state. The one case this cannot repair — a member changing
+// and then reverting entirely between the basis and the target, invisible
+// in the folded diff while the subscriber saw the intermediate state — is
+// confined to crash/revive churn, and every such path already forces a
+// full-snapshot resync.
 class ViewSubscription {
  public:
   enum class Apply {
     kApplied,  // state advanced (or a full snapshot re-applied)
     kStale,    // delta for an epoch we already have; ignored
-    kGap,      // missed epochs: caller must pull from the control plane
+    kGap,      // basis ahead of us: caller must pull from the control plane
   };
 
   Apply apply(const ViewDelta& d);

@@ -138,6 +138,83 @@ TEST(ClusterViewTest, FullSnapshotJumpsGapsAndDropsDepartedMembers) {
       << "full snapshot must drop members it does not list";
 }
 
+TEST(ClusterViewTest, SpanningDeltaAppliesOverIntermediateEpochs) {
+  // A delta whose basis (prev_epoch) is older than the subscriber's state
+  // applies: upserts carry absolute state at the target epoch, so a
+  // subscriber that already absorbed part of the range lands correctly.
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  ClusterView a = ClusterView::capture(1, ring, repl, 8, {});
+  ring.set_alive(0, false);
+  ClusterView b = ClusterView::capture(2, ring, repl, 8, {});
+  ring.add_node(7, RingId::from_double(0.4), 1.0);
+  ClusterView c = ClusterView::capture(3, ring, repl, 8, {});
+
+  ViewSubscription sub;
+  ASSERT_EQ(sub.apply(view_diff(ClusterView{}, a)),
+            ViewSubscription::Apply::kApplied);
+  ASSERT_EQ(sub.apply(view_diff(a, b)), ViewSubscription::Apply::kApplied);
+  // The spanning delta 1→3 arrives at a subscriber already on epoch 2:
+  // prev_epoch (1) <= current (2) < epoch (3) — applies, no pull.
+  ViewDelta span = view_diff(a, c);
+  EXPECT_EQ(span.prev_epoch, 1u);
+  EXPECT_EQ(sub.apply(span), ViewSubscription::Apply::kApplied);
+  EXPECT_TRUE(sub.view().same_state(c));
+}
+
+TEST(ClusterViewTest, CompactLogFoldsSupersededEntries) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  std::vector<ClusterView> views;
+  views.push_back(ClusterView::capture(1, ring, repl, 8, {}));
+  ring.set_alive(1, false);  // epoch 2: node 1 down
+  views.push_back(ClusterView::capture(2, ring, repl, 8, {}));
+  ring.set_alive(1, true);  // epoch 3: node 1 back — supersedes epoch 2
+  ring.add_node(7, RingId::from_double(0.4), 1.0);
+  views.push_back(ClusterView::capture(3, ring, repl, 8, {}));
+  ring.remove_node(2);  // epoch 4
+  views.push_back(ClusterView::capture(4, ring, repl, 8, {}));
+
+  std::deque<ViewDelta> log;
+  for (size_t i = 1; i < views.size(); ++i) {
+    log.push_back(view_diff(views[i - 1], views[i]));
+  }
+  ViewDelta folded = compact_log(log, 1, 4);
+  EXPECT_EQ(folded.prev_epoch, 1u);
+  EXPECT_EQ(folded.epoch, 4u);
+  // Per member the LATEST state wins: node 1 appears alive (epoch 3
+  // superseded epoch 2), node 7 appears once, node 2 is removed.
+  ViewSubscription sub;
+  ASSERT_EQ(sub.apply(view_full_delta(views[0])),
+            ViewSubscription::Apply::kApplied);
+  ASSERT_EQ(sub.apply(folded), ViewSubscription::Apply::kApplied);
+  EXPECT_TRUE(sub.view().same_state(views.back()))
+      << "one folded delta must reproduce the chain's end state";
+  // And it is genuinely compacted: at most one upsert per touched member.
+  EXPECT_LE(folded.upserts.size(), 2u);  // nodes 1 and 7
+}
+
+TEST(ClusterViewTest, CompactLogHonoursRangeBounds) {
+  Ring ring = three_node_ring();
+  ReplicationController repl(8);
+  ClusterView a = ClusterView::capture(1, ring, repl, 8, {});
+  ring.set_alive(0, false);
+  ClusterView b = ClusterView::capture(2, ring, repl, 8, {});
+  ring.set_alive(2, false);
+  ClusterView c = ClusterView::capture(3, ring, repl, 8, {});
+
+  std::deque<ViewDelta> log;
+  log.push_back(view_diff(a, b));
+  log.push_back(view_diff(b, c));
+  // Fold only (2, 3]: a subscriber at epoch 2 must not re-receive epoch
+  // 2's changes, and the fold's basis reflects the request.
+  ViewDelta folded = compact_log(log, 2, 3);
+  EXPECT_EQ(folded.prev_epoch, 2u);
+  EXPECT_EQ(folded.epoch, 3u);
+  ASSERT_EQ(folded.upserts.size(), 1u);
+  EXPECT_EQ(folded.upserts[0].id, 2u);
+}
+
 // ---------------------------------------------------------------- adaptive
 
 AdaptivePParams test_params() {

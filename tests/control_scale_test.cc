@@ -1,0 +1,112 @@
+// The headline scale gate (ctest label `scale`, nightly tier): 1000
+// emulated nodes construct, converge and reconfigure with sub-quadratic
+// control traffic, and a ~100-node TcpCluster shows the same interest/
+// tree dissemination behaviour over real sockets. Small-N smokes of the
+// same mechanisms run in the PR tier (control_interest_test.cc).
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.h"
+#include "cluster/tcp_cluster.h"
+
+namespace roar::cluster {
+namespace {
+
+uint32_t live_nodes_at_epoch(EmulatedCluster& c, uint64_t epoch) {
+  uint32_t n = 0;
+  for (NodeId id : c.node_ids()) {
+    if (c.node(id).alive() && c.node(id).view_epoch() == epoch) ++n;
+  }
+  return n;
+}
+
+TEST(ControlScaleTest, ThousandNodesConvergeSubQuadratic) {
+  ClusterConfig cfg;
+  cfg.classes = {{"scale", 1000, 1.0}};
+  cfg.dataset_size = 100'000;
+  cfg.p = 8;
+  cfg.frontends = 2;
+  cfg.seed = 1000;
+  EmulatedCluster c(cfg);
+  c.loop().run_until(c.now() + 5.0);
+
+  uint64_t boot_epoch = c.control().epoch();
+  ASSERT_EQ(live_nodes_at_epoch(c, boot_epoch), 1000u)
+      << "all 1000 nodes must converge on the boot epoch";
+  EXPECT_LT(c.control().deltas_sent(), 50u * 1000u)
+      << "boot dissemination must stay far below N^2";
+  // Tree dissemination: the control plane's own sends per broad wave are
+  // O(fanout + frontends), relays carry the rest.
+  EXPECT_GT(c.control().tree_rebuilds(), 0u);
+
+  // §4.5 decrease at scale: every node fetches, confirms, and each
+  // confirm wave is interest-sliced to a handful of subscribers.
+  uint64_t sends0 = c.control().deltas_sent();
+  c.change_p(7);
+  c.loop().run_until(c.now() + 600.0);
+  ASSERT_EQ(c.safe_p(), 7u);
+  ASSERT_EQ(c.control().p_changes_committed(), 1u);
+  uint64_t epoch = c.control().epoch();
+  ASSERT_EQ(live_nodes_at_epoch(c, epoch), 1000u);
+  EXPECT_EQ(c.control().max_epoch_lag(), 0u);
+
+  uint64_t waves = epoch - boot_epoch;
+  uint64_t sends = c.control().deltas_sent() - sends0;
+  ASSERT_GT(waves, 0u);
+  // A broadcast control plane pushes every wave to all 1002 subscribers;
+  // the ISSUE gate demands >=10x fewer control messages per wave.
+  EXPECT_GE(waves * 1002u, 10u * sends)
+      << "waves=" << waves << " sends=" << sends;
+
+  // Queries still flow at the new replication level.
+  EXPECT_GT(c.run_queries(50.0, 20), 0u);
+
+  InvariantChecker chk(c, 1000);
+  chk.check("1000-node decrease");
+  chk.check_view_converged("1000-node decrease");
+  for (const auto& v : chk.violations()) {
+    ADD_FAILURE() << v.context << ": " << v.detail;
+  }
+}
+
+TEST(ControlScaleTest, HundredNodeTcpParity) {
+  // Same choreography byte-for-byte over loopback sockets: boot
+  // convergence, a broad wave through the relay tree, aggregated ack
+  // watermarks that never run ahead of applied epochs.
+  TcpClusterConfig cfg;
+  cfg.nodes = 100;
+  cfg.p = 8;
+  cfg.frontends = 2;
+  cfg.dataset_size = 50'000;
+  cfg.seed = 100;
+  TcpCluster c(cfg);
+  c.run_for(1.0);
+
+  uint64_t boot_epoch = c.control().epoch();
+  for (NodeId id = 0; id < 100; ++id) {
+    ASSERT_EQ(c.node(id).view_epoch(), boot_epoch) << "node " << id;
+  }
+  EXPECT_LT(c.control().deltas_sent(), 10u * 100u);
+
+  c.change_p(9);  // broad wave: immediate safe, tree-disseminated
+  c.run_for(2.0);
+  uint64_t epoch = c.control().epoch();
+  ASSERT_GT(epoch, boot_epoch);
+  ASSERT_EQ(c.safe_p(), 9u);
+  uint64_t relayed = 0;
+  for (NodeId id = 0; id < 100; ++id) {
+    EXPECT_EQ(c.node(id).view_epoch(), epoch) << "node " << id;
+    EXPECT_LE(c.control().acked_epoch(node_address(id)),
+              c.node(id).view_epoch())
+        << "node " << id << ": ack watermark ran ahead";
+    relayed += c.node(id).deltas_relayed();
+  }
+  EXPECT_GT(relayed, 0u) << "broad waves must flow through the relay tree";
+  EXPECT_EQ(c.control().max_epoch_lag(), 0u);
+
+  // The cluster still answers queries after the reconfiguration.
+  auto outcomes = c.run_queries(5);
+  for (const auto& o : outcomes) EXPECT_TRUE(o.complete);
+}
+
+}  // namespace
+}  // namespace roar::cluster

@@ -39,6 +39,7 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   out.emplace_back("SubQueryReply", rep.encode());
 
   ViewDeltaMsg vd;
+  vd.delta.prev_epoch = 0xDEADBEEFCAFDull;
   vd.delta.epoch = 0xDEADBEEFCAFEull;
   vd.delta.full = false;
   vd.delta.target_p = 4;
@@ -49,6 +50,20 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   vd.delta.removes = {3, 4};
   vd.delta.pending = {7, 21};
   out.emplace_back("ViewDelta", vd.encode());
+
+  ViewDeltaMsg vr;  // relay-forwarded compacted wave (tree dissemination)
+  vr.delta.prev_epoch = 90;
+  vr.delta.epoch = 99;
+  vr.delta.full = false;
+  vr.delta.target_p = 8;
+  vr.delta.safe_p = 8;
+  vr.delta.storage_p = 8;
+  vr.delta.upserts = {{7, RingId::from_double(0.125), 1.75, true}};
+  vr.ack_to = node_address(3);
+  vr.relay_fanout = 4;
+  vr.relay_targets = {node_address(5), node_address(6), node_address(9),
+                      node_address(12), node_address(30)};
+  out.emplace_back("ViewDeltaRelayed", vr.encode());
 
   ViewDeltaMsg vf;
   vf.delta.epoch = 99;
@@ -68,10 +83,23 @@ std::vector<std::pair<std::string, net::Bytes>> sample_messages() {
   va.mean_s = 0.25;
   out.emplace_back("ViewAck", va.encode());
 
+  ViewAckMsg vagg;  // relay root's aggregated watermark
+  vagg.subscriber = node_address(3);
+  vagg.epoch = 99;
+  vagg.agg_count = 125;
+  out.emplace_back("ViewAckAggregated", vagg.encode());
+
   ViewPullMsg vp;
   vp.subscriber = node_address(17);
   vp.have_epoch = 41;
   out.emplace_back("ViewPull", vp.encode());
+
+  ViewInterestMsg vi;
+  vi.subscriber = node_address(17);
+  vi.epoch = 41;
+  vi.arcs = {Arc(RingId::from_double(0.125), uint64_t{1} << 60),
+             Arc(RingId::from_double(0.875), uint64_t{1} << 59)};
+  out.emplace_back("ViewInterest", vi.encode());
 
   FetchCompleteMsg fc;
   fc.node = 42;
@@ -166,6 +194,9 @@ net::Bytes reencode(const net::Bytes& b) {
     case MsgType::kViewPull:
       if (auto m = ViewPullMsg::decode(b)) return m->encode();
       break;
+    case MsgType::kViewInterest:
+      if (auto m = ViewInterestMsg::decode(b)) return m->encode();
+      break;
     case MsgType::kFetchComplete:
       if (auto m = FetchCompleteMsg::decode(b)) return m->encode();
       break;
@@ -246,7 +277,8 @@ TEST(ProtocolCoverageTest, CorruptTailsNeverCrashAndNeverOverread) {
     // decoding fixed point rather than the original size.
     bool variable = name == "Update" || name == "UpdateDelete" ||
                     name == "SyncData" || name == "SyncDataIncremental" ||
-                    name == "ViewDelta" || name == "ViewFull";
+                    name == "ViewDelta" || name == "ViewFull" ||
+                    name == "ViewDeltaRelayed" || name == "ViewInterest";
     for (int trial = 0; trial < 200; ++trial) {
       net::Bytes mutated = bytes;
       size_t idx = 1 + rng.next_below(mutated.size() - 1);
@@ -275,6 +307,7 @@ TEST(ProtocolCoverageTest, RandomMutationFuzzNeverCrashesAnyDecoder) {
     (void)ViewDeltaMsg::decode(b);
     (void)ViewAckMsg::decode(b);
     (void)ViewPullMsg::decode(b);
+    (void)ViewInterestMsg::decode(b);
     (void)FetchCompleteMsg::decode(b);
     (void)ObjectUpdateMsg::decode(b);
     (void)NodeStatsMsg::decode(b);
